@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Section III's methodology argument, quantified: the naive
+ * record-two-signals-and-subtract approach versus the alternation
+ * methodology, on identical simulated physics.
+ *
+ * The paper's claims under test:
+ *   1. with realistic noise (proportional to the overall signal
+ *      level) the naive estimate's relative error dwarfs the true
+ *      single-instruction difference;
+ *   2. sample-grid misalignment adds further error;
+ *   3. the alternation methodology measures the same pairs with a
+ *      few-percent repeatability.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "support/strings.hh"
+#include "core/meter.hh"
+#include "core/naive.hh"
+#include "support/stats.hh"
+#include "support/table.hh"
+
+using namespace savat;
+using kernels::EventKind;
+
+int
+main()
+{
+    const auto machine = uarch::core2duo();
+    const auto profile = em::emissionProfileFor("core2duo");
+    auto meter = core::SavatMeter::forMachine("core2duo");
+
+    const std::vector<std::pair<EventKind, EventKind>> pairs = {
+        {EventKind::ADD, EventKind::SUB},
+        {EventKind::ADD, EventKind::MUL},
+        {EventKind::ADD, EventKind::DIV},
+        {EventKind::ADD, EventKind::LDM},
+    };
+
+    bench::heading("Naive methodology: relative error per pair");
+    TextTable t;
+    t.setHeader({"pair", "true diff", "naive mean", "naive std",
+                 "rel. error", "alternation std/mean"});
+    for (const auto &[a, b] : pairs) {
+        core::NaiveConfig cfg;
+        Rng rng(7);
+        const auto naive = core::runNaiveComparison(
+            machine, profile, a, b, cfg, 40, rng);
+
+        // Alternation methodology repeatability on the same pair.
+        const auto &sim = meter.simulatePair(a, b);
+        Rng arng(7);
+        RunningStats alt;
+        for (int i = 0; i < 10; ++i) {
+            auto rep = arng.fork();
+            alt.add(meter.measure(sim, rep).savat.inZepto());
+        }
+
+        t.startRow();
+        t.addCell(std::string(kernels::eventName(a)) + "/" +
+                  kernels::eventName(b));
+        t.addCell(format("%.3g", naive.trueDifference));
+        t.addCell(format("%.3g", naive.estimates.mean));
+        t.addCell(format("%.3g", naive.estimates.stddev));
+        t.addCell(naive.trueDifference > 0.0
+                      ? format("%.1fx", naive.meanRelativeError)
+                      : std::string("inf (truth = 0)"));
+        t.addCell(alt.coefficientOfVariation(), 3);
+    }
+    t.render(std::cout);
+
+    bench::heading("Error decomposition (ADD/DIV)");
+    TextTable d;
+    d.setHeader({"noise", "alignment jitter", "relative error"});
+    for (double noise : {0.0, 0.001, 0.005, 0.02}) {
+        for (int jitter : {0, 1, 2}) {
+            core::NaiveConfig cfg;
+            cfg.noiseFraction = noise;
+            cfg.alignmentJitterSamples = jitter;
+            Rng rng(11);
+            const auto res = core::runNaiveComparison(
+                machine, profile, EventKind::ADD, EventKind::DIV, cfg,
+                30, rng);
+            d.startRow();
+            d.addCell(format("%.3f", noise));
+            d.addCell(format("+/-%d samples", jitter));
+            d.addCell(res.meanRelativeError, 3);
+        }
+    }
+    d.render(std::cout);
+    std::cout
+        << "\nThe naive approach needs a >50 GS/s instrument and "
+           "still loses the single-instruction signal in noise; the "
+           "alternation methodology reaches ~5 % repeatability with "
+           "a narrowband receiver.\n";
+    return 0;
+}

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Substrate-sensitivity ablations (DESIGN.md design choices):
+ *   1. timing model -- Pipelined (default) versus Scalar
+ *      (non-pipelined): the arithmetic/L1 group only exists because
+ *      the pipelined core hides simple-op latency; a scalar core
+ *      exposes rate differences everywhere;
+ *   2. burst-length policy -- EqualDuration (50 % duty) versus the
+ *      paper's Figure-4 EqualCounts listing: the matrix orderings
+ *      must survive the policy change.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "core/meter.hh"
+#include "support/stats.hh"
+#include "support/table.hh"
+
+using namespace savat;
+using kernels::EventKind;
+
+namespace {
+
+double
+meanSavat(core::SavatMeter &meter, EventKind a, EventKind b)
+{
+    const auto &sim = meter.simulatePair(a, b);
+    Rng rng(23);
+    RunningStats s;
+    for (int i = 0; i < 8; ++i) {
+        auto rep = rng.fork();
+        s.add(meter.measure(sim, rep).savat.inZepto());
+    }
+    return s.mean();
+}
+
+core::SavatMeter
+meterFor(uarch::TimingModel timing, kernels::PairingMode pairing)
+{
+    auto machine = uarch::core2duo();
+    machine.timing = timing;
+    core::MeterConfig cfg;
+    cfg.pairing = pairing;
+    em::ReceivedSignalSynthesizer synth(
+        em::emissionProfileFor("core2duo"), em::DistanceModel(),
+        em::LoopAntenna(), em::EnvironmentConfig());
+    return core::SavatMeter(std::move(machine), std::move(synth),
+                            cfg);
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::vector<std::pair<EventKind, EventKind>> pairs = {
+        {EventKind::ADD, EventKind::NOI},
+        {EventKind::ADD, EventKind::MUL},
+        {EventKind::ADD, EventKind::LDL1},
+        {EventKind::ADD, EventKind::DIV},
+        {EventKind::ADD, EventKind::LDL2},
+        {EventKind::ADD, EventKind::LDM},
+    };
+
+    bench::heading("Timing-model ablation (Core 2 Duo, 10 cm)");
+    TextTable t;
+    t.setHeader({"pair", "Pipelined [zJ]", "Scalar [zJ]"});
+    auto pipe = meterFor(uarch::TimingModel::Pipelined,
+                         kernels::PairingMode::EqualDuration);
+    auto scalar = meterFor(uarch::TimingModel::Scalar,
+                           kernels::PairingMode::EqualDuration);
+    for (const auto &[a, b] : pairs) {
+        t.startRow();
+        t.addCell(std::string(kernels::eventName(a)) + "/" +
+                  kernels::eventName(b));
+        t.addCell(meanSavat(pipe, a, b), 2);
+        t.addCell(meanSavat(scalar, a, b), 2);
+    }
+    t.render(std::cout);
+    std::cout
+        << "\nOn the scalar core every latency difference changes "
+           "the surrounding code's execution rate, so even ADD/NOI "
+           "and ADD/MUL rise above the floor -- the paper's "
+           "tight arithmetic/L1 group depends on pipelined "
+           "machines hiding simple-op latency.\n";
+
+    bench::heading("Burst policy ablation: EqualDuration vs "
+                   "EqualCounts (Figure 4 verbatim)");
+    TextTable p;
+    p.setHeader({"pair", "EqualDuration [zJ]", "EqualCounts [zJ]",
+                 "duty (EqualCounts)"});
+    auto eq_dur = meterFor(uarch::TimingModel::Pipelined,
+                           kernels::PairingMode::EqualDuration);
+    auto eq_cnt = meterFor(uarch::TimingModel::Pipelined,
+                           kernels::PairingMode::EqualCounts);
+    for (const auto &[a, b] : pairs) {
+        p.startRow();
+        p.addCell(std::string(kernels::eventName(a)) + "/" +
+                  kernels::eventName(b));
+        p.addCell(meanSavat(eq_dur, a, b), 2);
+        p.addCell(meanSavat(eq_cnt, a, b), 2);
+        p.addCell(eq_cnt.simulatePair(a, b).duty, 2);
+    }
+    p.render(std::cout);
+    std::cout
+        << "\nBoth policies hit the intended 80 kHz and preserve "
+           "the orderings; EqualCounts loses some contrast on "
+           "slow events because the duty cycle drifts from 50 %.\n";
+    return 0;
+}

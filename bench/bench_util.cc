@@ -1,0 +1,125 @@
+#include "bench_util.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "core/report.hh"
+#include "support/strings.hh"
+
+namespace savat::bench {
+
+void
+heading(const std::string &title)
+{
+    std::cout << "\n==== " << title << " ====\n\n";
+}
+
+std::size_t
+benchRepetitions(std::size_t defaultReps)
+{
+    if (const char *env = std::getenv("SAVAT_BENCH_REPS")) {
+        long long v = 0;
+        if (parseInt(env, v) && v >= 1)
+            return static_cast<std::size_t>(v);
+    }
+    return defaultReps;
+}
+
+namespace {
+
+core::CampaignConfig
+makeConfig(const std::string &machineId, double distanceCm,
+           std::size_t repetitions, std::uint64_t seed)
+{
+    core::CampaignConfig cfg;
+    cfg.machineId = machineId;
+    cfg.repetitions = repetitions;
+    cfg.seed = seed;
+    cfg.meter.distance = Distance::centimeters(distanceCm);
+    return cfg;
+}
+
+core::ProgressFn
+progressBar()
+{
+    return [](std::size_t done, std::size_t total) {
+        std::fprintf(stderr, "\r  measuring pair %zu/%zu ...", done,
+                     total);
+        if (done == total)
+            std::fprintf(stderr, "\n");
+    };
+}
+
+} // namespace
+
+core::CampaignResult
+runFullCampaign(const std::string &machineId, double distanceCm,
+                std::size_t repetitions, std::uint64_t seed)
+{
+    return core::runCampaign(
+        makeConfig(machineId, distanceCm, repetitions, seed),
+        progressBar());
+}
+
+core::CampaignResult
+runSelectedPairs(const std::string &machineId, double distanceCm,
+                 std::size_t repetitions, std::uint64_t seed)
+{
+    return core::runCampaignPairs(
+        makeConfig(machineId, distanceCm, repetitions, seed),
+        core::selectedBarPairs(), progressBar());
+}
+
+void
+reportCampaign(const core::CampaignResult &result,
+               const core::ReferenceMatrix *reference)
+{
+    std::cout << "SAVAT matrix [zJ], rows = A, columns = B:\n\n";
+    core::printMatrixTable(std::cout, result.matrix);
+    std::cout << "\nGrayscale visualization (dark = high SAVAT):\n\n";
+    core::printMatrixHeatmap(std::cout, result.matrix);
+    std::cout << "\nValidation:\n";
+    std::cout << format(
+        "  diagonal is row/column minimum (0.15 zJ tol): %zu of %zu\n",
+        result.matrix.diagonalMinimumCount(0.15),
+        result.matrix.size());
+    std::cout << format("  repeatability (mean std/mean): %.3f\n",
+                        result.matrix.meanCoefficientOfVariation());
+    std::cout << format("  A/B vs B/A asymmetry: %.3f\n",
+                        result.matrix.symmetryError());
+    if (reference) {
+        std::cout << format(
+            "\nAgreement with the paper's %s:\n",
+            reference->figure.c_str());
+        std::cout << format(
+            "  Spearman rank correlation: %.3f\n",
+            core::rankCorrelation(result.matrix, *reference));
+        std::cout << format(
+            "  Pearson correlation of log-SAVAT: %.3f\n",
+            core::logCorrelation(result.matrix, *reference));
+    }
+}
+
+void
+reportAnchors(const core::CampaignResult &result,
+              const std::vector<core::ReferenceAnchor> &anchors)
+{
+    std::cout << format("%-12s %10s %10s %8s\n", "pair", "paper[zJ]",
+                        "sim[zJ]", "ratio");
+    for (const auto &a : anchors) {
+        const auto ia = result.matrix.tryIndexOf(a.a);
+        const auto ib = result.matrix.tryIndexOf(a.b);
+        if (ia < 0 || ib < 0)
+            continue;
+        const double sim =
+            result.matrix.mean(static_cast<std::size_t>(ia),
+                               static_cast<std::size_t>(ib));
+        std::cout << format("%-5s/%-6s %10.2f %10.2f %8.2f\n",
+                            kernels::eventName(a.a),
+                            kernels::eventName(a.b), a.zj, sim,
+                            sim / a.zj);
+    }
+}
+
+} // namespace savat::bench

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Shared helpers for the experiment-reproduction benchmark binaries:
+ * campaign execution with progress output, reference comparison and
+ * consistent report formatting.
+ */
+
+#ifndef SAVAT_BENCH_BENCH_UTIL_HH
+#define SAVAT_BENCH_BENCH_UTIL_HH
+
+#include <string>
+
+#include "core/campaign.hh"
+#include "core/reference.hh"
+
+namespace savat::bench {
+
+/** Print a section heading. */
+void heading(const std::string &title);
+
+/** Run a full 11x11 campaign with a progress spinner on stderr. */
+core::CampaignResult runFullCampaign(const std::string &machineId,
+                                     double distanceCm,
+                                     std::size_t repetitions = 10,
+                                     std::uint64_t seed = 0x5AFA7);
+
+/**
+ * Run only the paper's selected bar-chart pairings (Figures
+ * 11/13/15/16) -- much faster than the full matrix.
+ */
+core::CampaignResult runSelectedPairs(const std::string &machineId,
+                                      double distanceCm,
+                                      std::size_t repetitions = 10,
+                                      std::uint64_t seed = 0x5AFA7);
+
+/**
+ * Print matrix + heatmap + validation statistics, and when a
+ * reference matrix is supplied, the paper-vs-measured comparison.
+ */
+void reportCampaign(const core::CampaignResult &result,
+                    const core::ReferenceMatrix *reference = nullptr);
+
+/** Print paper-vs-measured rows for a set of anchors. */
+void reportAnchors(const core::CampaignResult &result,
+                   const std::vector<core::ReferenceAnchor> &anchors);
+
+/**
+ * Repetitions for campaigns, overridable with SAVAT_BENCH_REPS for
+ * quick smoke runs.
+ */
+std::size_t benchRepetitions(std::size_t defaultReps = 10);
+
+} // namespace savat::bench
+
+#endif // SAVAT_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Calibration report: simulated SAVAT versus the paper's anchor
+ * values for every machine and distance. Used to fit the emission
+ * constants in src/em/emission.cc and regenerated for
+ * EXPERIMENTS.md.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "core/meter.hh"
+#include "core/reference.hh"
+#include "support/stats.hh"
+#include "support/units.hh"
+
+using namespace savat;
+using core::ReferenceAnchor;
+using kernels::EventKind;
+
+namespace {
+
+double
+meanSavat(core::SavatMeter &meter, EventKind a, EventKind b,
+          std::uint64_t seed, int reps = 10)
+{
+    const auto &sim = meter.simulatePair(a, b);
+    Rng rng(seed);
+    RunningStats stats;
+    for (int i = 0; i < reps; ++i) {
+        auto rep = rng.fork();
+        stats.add(meter.measure(sim, rep).savat.inZepto());
+    }
+    return stats.mean();
+}
+
+void
+reportAnchors(const std::string &machine, double distance_cm,
+              const std::vector<ReferenceAnchor> &anchors)
+{
+    core::MeterConfig config;
+    config.distance = Distance::centimeters(distance_cm);
+    auto meter = core::SavatMeter::forMachine(machine, config);
+    std::printf("== %s @ %.0f cm ==\n", machine.c_str(), distance_cm);
+    std::printf("%-12s %10s %10s %8s\n", "pair", "paper[zJ]", "sim[zJ]",
+                "ratio");
+    for (const auto &a : anchors) {
+        const double sim =
+            meanSavat(meter, a.a, a.b, 42 + distance_cm);
+        std::printf("%-5s/%-6s %10.2f %10.2f %8.2f\n",
+                    kernels::eventName(a.a), kernels::eventName(a.b),
+                    a.zj, sim, sim / a.zj);
+    }
+    std::printf("\n");
+}
+
+std::vector<ReferenceAnchor>
+core2duoAnchors10cm()
+{
+    const auto &ref = core::figure9Core2Duo();
+    auto cell = [&ref](EventKind a, EventKind b) {
+        const auto ia = static_cast<std::size_t>(a);
+        const auto ib = static_cast<std::size_t>(b);
+        return ReferenceAnchor{a, b, ref.zj[ia][ib]};
+    };
+    return {
+        cell(EventKind::ADD, EventKind::ADD),
+        cell(EventKind::ADD, EventKind::MUL),
+        cell(EventKind::ADD, EventKind::LDL1),
+        cell(EventKind::ADD, EventKind::DIV),
+        cell(EventKind::ADD, EventKind::LDL2),
+        cell(EventKind::ADD, EventKind::STL2),
+        cell(EventKind::ADD, EventKind::LDM),
+        cell(EventKind::ADD, EventKind::STM),
+        cell(EventKind::LDL2, EventKind::LDM),
+        cell(EventKind::LDL1, EventKind::LDL2),
+        cell(EventKind::STL1, EventKind::STL2),
+        cell(EventKind::STL2, EventKind::STM),
+        cell(EventKind::STL2, EventKind::DIV),
+        cell(EventKind::LDM, EventKind::LDM),
+        cell(EventKind::STM, EventKind::STM),
+        cell(EventKind::LDL2, EventKind::LDL2),
+        cell(EventKind::DIV, EventKind::DIV),
+        cell(EventKind::LDM, EventKind::STM),
+    };
+}
+
+std::vector<ReferenceAnchor>
+core2duoAnchors(const core::ReferenceMatrix &ref)
+{
+    auto cell = [&ref](EventKind a, EventKind b) {
+        const auto ia = static_cast<std::size_t>(a);
+        const auto ib = static_cast<std::size_t>(b);
+        return ReferenceAnchor{a, b, ref.zj[ia][ib]};
+    };
+    return {
+        cell(EventKind::ADD, EventKind::ADD),
+        cell(EventKind::ADD, EventKind::DIV),
+        cell(EventKind::ADD, EventKind::LDL2),
+        cell(EventKind::ADD, EventKind::LDM),
+        cell(EventKind::ADD, EventKind::STM),
+        cell(EventKind::LDM, EventKind::LDM),
+        cell(EventKind::STM, EventKind::STM),
+    };
+}
+
+} // namespace
+
+int
+main()
+{
+    reportAnchors("core2duo", 10.0, core2duoAnchors10cm());
+    reportAnchors("core2duo", 50.0,
+                  core2duoAnchors(core::figure17Core2Duo50cm()));
+    reportAnchors("core2duo", 100.0,
+                  core2duoAnchors(core::figure18Core2Duo100cm()));
+    reportAnchors("pentium3m", 10.0, core::pentium3mAnchors());
+    reportAnchors("turionx2", 10.0, core::turionx2Anchors());
+    return 0;
+}

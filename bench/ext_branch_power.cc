@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Extension experiments from the paper's Section VII future-work
+ * list:
+ *   1. branch-predictor hit/miss events (BRH/BRM) measured with the
+ *      standard methodology on all three machines;
+ *   2. the power side channel: the same campaign measured on the
+ *      supply rail instead of the EM antenna.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "core/meter.hh"
+#include "support/stats.hh"
+#include "support/strings.hh"
+#include "support/table.hh"
+
+using namespace savat;
+using kernels::EventKind;
+
+namespace {
+
+double
+meanSavat(core::SavatMeter &meter, EventKind a, EventKind b)
+{
+    const auto &sim = meter.simulatePair(a, b);
+    Rng rng(55);
+    RunningStats s;
+    for (int i = 0; i < 8; ++i) {
+        auto rep = rng.fork();
+        s.add(meter.measure(sim, rep).savat.inZepto());
+    }
+    return s.mean();
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::heading("Branch-predictor events (Section VII)");
+    TextTable t;
+    t.setHeader({"machine", "BRH/BRH", "BRH/BRM", "ADD/BRM",
+                 "ADD/DIV", "mispredict cost [cyc]"});
+    for (const auto &mc : uarch::caseStudyMachines()) {
+        auto meter = core::SavatMeter::forMachine(mc.id);
+        t.startRow();
+        t.addCell(mc.id);
+        t.addCell(meanSavat(meter, EventKind::BRH, EventKind::BRH),
+                  2);
+        t.addCell(meanSavat(meter, EventKind::BRH, EventKind::BRM),
+                  2);
+        t.addCell(meanSavat(meter, EventKind::ADD, EventKind::BRM),
+                  2);
+        t.addCell(meanSavat(meter, EventKind::ADD, EventKind::DIV),
+                  2);
+        t.addCell(static_cast<long long>(mc.lat.branchMispredict));
+    }
+    t.render(std::cout);
+    std::cout
+        << "\nMisprediction flushes are distinguishable at roughly "
+           "the divider's level: secret-dependent branch outcomes "
+           "belong on the same watch list the paper puts DIV on.\n";
+
+    bench::heading("Power side channel vs EM (Core 2 Duo)");
+    core::MeterConfig power_cfg;
+    power_cfg.sideChannel = core::SideChannel::Power;
+    auto power = core::SavatMeter::forMachine("core2duo", power_cfg);
+    auto em = core::SavatMeter::forMachine("core2duo");
+
+    const std::vector<std::pair<EventKind, EventKind>> pairs = {
+        {EventKind::ADD, EventKind::ADD},
+        {EventKind::ADD, EventKind::MUL},
+        {EventKind::ADD, EventKind::LDL1},
+        {EventKind::ADD, EventKind::DIV},
+        {EventKind::ADD, EventKind::LDL2},
+        {EventKind::ADD, EventKind::STL2},
+        {EventKind::ADD, EventKind::LDM},
+        {EventKind::LDL2, EventKind::LDM},
+    };
+    TextTable c;
+    c.setHeader({"pair", "EM @10cm [zJ]", "power rail [zJ]",
+                 "power/EM"});
+    for (const auto &[a, b] : pairs) {
+        const double e = meanSavat(em, a, b);
+        const double p = meanSavat(power, a, b);
+        c.startRow();
+        c.addCell(std::string(kernels::eventName(a)) + "/" +
+                  kernels::eventName(b));
+        c.addCell(e, 2);
+        c.addCell(p, 2);
+        c.addCell(p / e, 1);
+    }
+    c.render(std::cout);
+    std::cout
+        << "\nThe rail hands the attacker far more raw energy (no "
+           "propagation loss) but sees net current, not fields: "
+           "off-chip bursts dominate, the divider's unpipelined "
+           "burn still shows, and L2 *hits* nearly vanish because "
+           "the stalled pipeline offsets the array's draw -- the "
+           "same event class that is among the loudest at the EM "
+           "antenna. Which side channel is dangerous depends on "
+           "the component, exactly the cross-channel comparison "
+           "the paper's Section VII calls for.\n";
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Figures 5 and 6: the case-study instruction table and the three
+ * laptop configurations, regenerated from the library's own models
+ * (so drift between code and paper is visible immediately).
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "support/strings.hh"
+#include "kernels/events.hh"
+#include "kernels/generator.hh"
+#include "support/table.hh"
+#include "uarch/machine.hh"
+
+using namespace savat;
+
+int
+main()
+{
+    bench::heading("Figure 5: instruction/event classes");
+    TextTable fig5;
+    fig5.setHeader({"Event", "Instruction", "Description",
+                    "sweep footprint (core2duo)"});
+    const auto core2 = uarch::core2duo();
+    for (auto e : kernels::allEvents()) {
+        fig5.startRow();
+        fig5.addCell(kernels::eventName(e));
+        const auto text = kernels::eventAsm(e, "esi");
+        fig5.addCell(text.empty() ? "(empty slot)" : text);
+        fig5.addCell(kernels::eventDescription(e));
+        fig5.addCell(format(
+            "%llu KB", static_cast<unsigned long long>(
+                           kernels::footprintBytes(e, core2) / 1024)));
+    }
+    fig5.render(std::cout);
+
+    bench::heading("Figure 6: laptop systems");
+    TextTable fig6;
+    fig6.setHeader({"Processor", "clock", "L1 data cache", "L2 cache",
+                    "eff. mem stall", "idiv lat"});
+    for (const auto &m : uarch::caseStudyMachines()) {
+        fig6.startRow();
+        fig6.addCell(m.name);
+        fig6.addCell(format("%.1f GHz", m.clock.inGhz()));
+        fig6.addCell(format("%u KB, %u way", m.l1.sizeBytes / 1024,
+                            m.l1.assoc));
+        fig6.addCell(format("%u KB, %u way", m.l2.sizeBytes / 1024,
+                            m.l2.assoc));
+        fig6.addCell(format("%u cyc", m.memLatency));
+        fig6.addCell(format("%u cyc", m.lat.idiv));
+    }
+    fig6.render(std::cout);
+
+    bench::heading("Steady-state cycles per kernel iteration");
+    TextTable cpi;
+    std::vector<std::string> header = {"machine"};
+    for (auto e : kernels::allEvents())
+        header.emplace_back(kernels::eventName(e));
+    cpi.setHeader(header);
+    for (const auto &m : uarch::caseStudyMachines()) {
+        cpi.startRow();
+        cpi.addCell(m.id);
+        for (auto e : kernels::allEvents())
+            cpi.addCell(kernels::measureIterationCycles(m, e), 1);
+    }
+    cpi.render(std::cout);
+
+    bench::heading("Generated alternation kernel (ADD/LDM, Figure 4)");
+    const auto kernel = kernels::buildAlternationKernel(
+        core2, kernels::EventKind::ADD, kernels::EventKind::LDM, 1667,
+        625);
+    std::cout << kernel.source;
+    return 0;
+}

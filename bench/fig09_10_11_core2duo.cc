@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Figures 9, 10 and 11: the full 11x11 pairwise SAVAT matrix for the
+ * Core 2 Duo laptop at 10 cm and 80 kHz (values, grayscale
+ * visualization, and the selected-pairings bar chart), with the
+ * paper's published matrix as the comparison baseline.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "core/report.hh"
+
+using namespace savat;
+
+int
+main()
+{
+    bench::heading("Figures 9/10: Core 2 Duo, 10 cm, 80 kHz");
+    const auto result = bench::runFullCampaign(
+        "core2duo", 10.0, bench::benchRepetitions());
+    bench::reportCampaign(result, &core::figure9Core2Duo());
+
+    bench::heading("Figure 11: selected instruction pairings [zJ]");
+    core::printSelectedBars(std::cout, result.matrix);
+
+    bench::heading("Paper-vs-measured, key cells");
+    const auto &ref = core::figure9Core2Duo();
+    std::vector<core::ReferenceAnchor> anchors;
+    for (const auto &[a, b] : core::selectedBarPairs()) {
+        anchors.push_back(
+            {a, b,
+             ref.zj[static_cast<std::size_t>(a)]
+                   [static_cast<std::size_t>(b)]});
+    }
+    bench::reportAnchors(result, anchors);
+    return 0;
+}

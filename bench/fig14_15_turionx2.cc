@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Figures 14 and 15: the Turion X2 campaign (10 cm, 80 kHz).
+ * The paper: "very similar results as the Pentium 3 M, except that
+ * the DIV instruction here has an even higher SAVAT -- rivaling
+ * off-chip memory accesses."
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "support/strings.hh"
+#include "core/report.hh"
+
+using namespace savat;
+using kernels::EventKind;
+
+int
+main()
+{
+    bench::heading("Figure 14: Turion X2, 10 cm, 80 kHz");
+    const auto result = bench::runFullCampaign(
+        "turionx2", 10.0, bench::benchRepetitions());
+    bench::reportCampaign(result);
+
+    bench::heading("Figure 15: selected instruction pairings [zJ]");
+    core::printSelectedBars(std::cout, result.matrix);
+
+    bench::heading("Prose-corroborated anchors");
+    bench::reportAnchors(result, core::turionx2Anchors());
+
+    const auto &m = result.matrix;
+    auto at = [&](EventKind a, EventKind b) {
+        return m.mean(m.indexOf(a), m.indexOf(b));
+    };
+    std::cout << format(
+        "\nADD/DIV vs ADD/LDM: %.2f (paper: DIV rivals off-chip "
+        "accesses)\n",
+        at(EventKind::ADD, EventKind::DIV) /
+            at(EventKind::ADD, EventKind::LDM));
+    return 0;
+}

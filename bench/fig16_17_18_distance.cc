@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Figures 16, 17 and 18: the distance study. Selected pairings
+ * measured at 50 cm and 100 cm (Figure 16), and the full matrices at
+ * both distances (Figures 17/18), compared with the published
+ * Core 2 Duo data. The paper's observations under test:
+ *   1. SAVAT drops significantly from 10 cm to 50 cm;
+ *   2. it barely drops further from 50 cm to 100 cm;
+ *   3. at range, off-chip pairs are by far the most distinguishable;
+ *   4. DIV's advantage over other arithmetic almost vanishes.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "support/strings.hh"
+#include "core/report.hh"
+#include "support/table.hh"
+
+using namespace savat;
+using kernels::EventKind;
+
+int
+main()
+{
+    const auto reps = bench::benchRepetitions();
+
+    bench::heading("Figure 16: selected pairings at 50 cm / 100 cm");
+    const auto sel10 = bench::runSelectedPairs("core2duo", 10.0, reps);
+    const auto sel50 = bench::runSelectedPairs("core2duo", 50.0, reps);
+    const auto sel100 =
+        bench::runSelectedPairs("core2duo", 100.0, reps);
+
+    TextTable t;
+    t.setHeader({"pair", "10cm[zJ]", "50cm[zJ]", "100cm[zJ]",
+                 "50/10", "100/50"});
+    for (const auto &[a, b] : core::selectedBarPairs()) {
+        const auto ia = sel10.matrix.indexOf(a);
+        const auto ib = sel10.matrix.indexOf(b);
+        const double v10 = sel10.matrix.mean(ia, ib);
+        const double v50 = sel50.matrix.mean(ia, ib);
+        const double v100 = sel100.matrix.mean(ia, ib);
+        t.startRow();
+        t.addCell(std::string(kernels::eventName(a)) + "/" +
+                  kernels::eventName(b));
+        t.addCell(v10, 2);
+        t.addCell(v50, 2);
+        t.addCell(v100, 2);
+        t.addCell(v50 / v10, 2);
+        t.addCell(v100 / v50, 2);
+    }
+    t.render(std::cout);
+
+    bench::heading("Figure 17: full matrix at 50 cm");
+    const auto full50 = bench::runFullCampaign("core2duo", 50.0, reps);
+    bench::reportCampaign(full50, &core::figure17Core2Duo50cm());
+
+    bench::heading("Figure 18: full matrix at 100 cm");
+    const auto full100 =
+        bench::runFullCampaign("core2duo", 100.0, reps);
+    bench::reportCampaign(full100, &core::figure18Core2Duo100cm());
+
+    bench::heading("Distance-study observations");
+    auto at = [](const core::CampaignResult &r, EventKind a,
+                 EventKind b) {
+        return r.matrix.mean(r.matrix.indexOf(a),
+                             r.matrix.indexOf(b));
+    };
+    std::cout << format(
+        "off-chip pairs stay on top at 50 cm: ADD/LDM %.2f vs "
+        "ADD/LDL2 %.2f vs ADD/DIV %.2f zJ\n",
+        at(full50, EventKind::ADD, EventKind::LDM),
+        at(full50, EventKind::ADD, EventKind::LDL2),
+        at(full50, EventKind::ADD, EventKind::DIV));
+    std::cout << format(
+        "DIV barely distinguishable at range: ADD/DIV %.2f vs "
+        "ADD/MUL %.2f zJ at 50 cm\n",
+        at(full50, EventKind::ADD, EventKind::DIV),
+        at(full50, EventKind::ADD, EventKind::MUL));
+    return 0;
+}

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the performance-critical
+ * substrate: simulator instruction throughput, cache accesses, FFT,
+ * single-bin DFT and spectrum synthesis. These guard the end-to-end
+ * campaign time (a full 11x11 campaign is ~1M simulated
+ * instructions per pair).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/meter.hh"
+#include "dsp/fft.hh"
+#include "isa/assembler.hh"
+#include "kernels/generator.hh"
+#include "uarch/cpu.hh"
+
+using namespace savat;
+
+namespace {
+
+void
+BM_CpuAluLoop(benchmark::State &state)
+{
+    uarch::NullActivitySink sink;
+    uarch::SimpleCpu cpu(uarch::core2duo(), sink);
+    const auto prog = isa::assembleOrDie(
+        "top: add eax,1\nsub ebx,1\nxor ecx,5\ndec edx\njmp top\n",
+        "alu");
+    for (auto _ : state) {
+        uarch::RunLimits limits;
+        limits.maxInstructions = 10000;
+        benchmark::DoNotOptimize(cpu.run(prog, limits));
+    }
+    state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_CpuAluLoop);
+
+void
+BM_CpuMemorySweep(benchmark::State &state)
+{
+    uarch::NullActivitySink sink;
+    uarch::SimpleCpu cpu(uarch::core2duo(), sink);
+    const auto prog = kernels::buildCalibrationKernel(
+        uarch::core2duo(), kernels::EventKind::LDM, 1, 10000);
+    for (auto _ : state) {
+        state.PauseTiming();
+        cpu.reset();
+        state.ResumeTiming();
+        benchmark::DoNotOptimize(cpu.run(prog));
+    }
+    state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_CpuMemorySweep);
+
+void
+BM_Fft(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    std::vector<dsp::Complex> data(n);
+    for (std::size_t i = 0; i < n; ++i)
+        data[i] = dsp::Complex(std::sin(0.1 * static_cast<double>(i)),
+                               0.0);
+    for (auto _ : state) {
+        auto copy = data;
+        dsp::fft(copy);
+        benchmark::DoNotOptimize(copy);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Fft)->Arg(1024)->Arg(16384)->Arg(262144);
+
+void
+BM_SingleBinDft(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    std::vector<double> data(n);
+    for (std::size_t i = 0; i < n; ++i)
+        data[i] = std::sin(0.01 * static_cast<double>(i));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(dsp::singleBinDft(data, 0.00123));
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SingleBinDft)->Arg(30000)->Arg(240000);
+
+void
+BM_PairSimulation(benchmark::State &state)
+{
+    for (auto _ : state) {
+        auto meter = core::SavatMeter::forMachine("core2duo");
+        benchmark::DoNotOptimize(meter.simulatePair(
+            kernels::EventKind::ADD, kernels::EventKind::LDL2));
+    }
+}
+BENCHMARK(BM_PairSimulation)->Unit(benchmark::kMillisecond);
+
+void
+BM_MeasureRepetition(benchmark::State &state)
+{
+    auto meter = core::SavatMeter::forMachine("core2duo");
+    const auto &sim = meter.simulatePair(kernels::EventKind::ADD,
+                                         kernels::EventKind::LDM);
+    Rng rng(3);
+    for (auto _ : state) {
+        auto rep = rng.fork();
+        benchmark::DoNotOptimize(meter.measure(sim, rep));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MeasureRepetition)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

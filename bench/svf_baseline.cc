@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Baseline comparison: SVF (Demme et al., the state of the art the
+ * paper cites) versus SAVAT, on the same simulated physics.
+ *
+ * The paper's argument (Sections I and VI): SVF tells you *that* a
+ * system/application leaks -- the correlation between execution
+ * phases and the side-channel signal -- but not *which* instructions
+ * or components are responsible. This bench computes SVF for a
+ * phased workload across distances and noise levels, then shows the
+ * per-component attribution only SAVAT provides.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "core/assessment.hh"
+#include "core/svf.hh"
+#include "support/strings.hh"
+#include "support/table.hh"
+
+using namespace savat;
+using kernels::EventKind;
+
+int
+main()
+{
+    const auto machine = uarch::core2duo();
+    const auto profile = em::emissionProfileFor("core2duo");
+    const auto workload = core::buildPhasedWorkload(machine, 200);
+
+    bench::heading(
+        "SVF of a phased workload vs distance and noise");
+    TextTable t;
+    t.setHeader({"distance", "noise 0.05", "noise 0.5", "noise 2.0"});
+    for (double cm : {10.0, 50.0, 100.0, 300.0}) {
+        t.startRow();
+        t.addCell(format("%.0f cm", cm));
+        for (double noise : {0.05, 0.5, 2.0}) {
+            core::SvfConfig cfg;
+            cfg.distance = Distance::centimeters(cm);
+            cfg.observationNoise = noise;
+            cfg.windows = 48;
+            const auto res = core::computeSvf(
+                machine, profile, em::DistanceModel(), workload, cfg);
+            t.addCell(res.svf, 3);
+        }
+    }
+    t.render(std::cout);
+    std::cout
+        << "\nSVF grades the whole system: it reports clear leakage "
+           "near the device and decays with distance/noise -- but a "
+           "0.3 and a 0.8 tell an architect nothing about WHERE to "
+           "spend mitigation effort. It also cannot separate the L2 "
+           "and off-chip phases (their total powers match on this "
+           "machine, exactly the ADD/LDL2 ~ ADD/LDM effect the "
+           "paper measures).\n";
+
+    bench::heading("The same question answered with SAVAT");
+    auto meter = core::SavatMeter::forMachine("core2duo");
+    TextTable s;
+    s.setHeader({"component under suspicion", "probe pair",
+                 "net SAVAT [zJ]"});
+    struct Row
+    {
+        const char *component;
+        EventKind a, b;
+    };
+    for (const auto &row : std::initializer_list<Row>{
+             {"off-chip bus/DRAM", EventKind::ADD, EventKind::LDM},
+             {"L2 array", EventKind::ADD, EventKind::LDL2},
+             {"L1 array", EventKind::ADD, EventKind::LDL1},
+             {"divider", EventKind::ADD, EventKind::DIV},
+             {"multiplier", EventKind::ADD, EventKind::MUL},
+             {"branch predictor", EventKind::BRH, EventKind::BRM},
+         }) {
+        s.startRow();
+        s.addCell(row.component);
+        s.addCell(std::string(kernels::eventName(row.a)) + "/" +
+                  kernels::eventName(row.b));
+        s.addCell(core::netSavatZj(meter, row.a, row.b), 2);
+    }
+    s.render(std::cout);
+    std::cout << "\nSAVAT attributes the leakage: the off-chip "
+                 "interface and L2 array dominate, the divider and "
+                 "branch mispredictions follow, and the rest sits "
+                 "at the floor -- a concrete worklist for the "
+                 "architect.\n";
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Full measurement-campaign driver: runs the 11x11 pairwise SAVAT
+ * sweep for a machine/distance, prints the paper-style report
+ * (value table, grayscale map, bar chart, validation statistics,
+ * clustering) and writes machine-readable CSV.
+ *
+ * Usage: campaign_report [machine [distance_cm [reps [csv_path]]]]
+ *   e.g. campaign_report pentium3m 10 10 /tmp/p3m.csv
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/campaign.hh"
+#include "core/clustering.hh"
+#include "core/report.hh"
+
+using namespace savat;
+
+int
+main(int argc, char **argv)
+{
+    core::CampaignConfig config;
+    config.machineId = argc >= 2 ? argv[1] : "core2duo";
+    const double distance_cm = argc >= 3 ? std::atof(argv[2]) : 10.0;
+    config.meter.distance = Distance::centimeters(distance_cm);
+    config.repetitions =
+        argc >= 4 ? static_cast<std::size_t>(std::atoi(argv[3])) : 10;
+    const std::string csv_path = argc >= 5 ? argv[4] : "";
+
+    std::printf("SAVAT campaign: %s at %.0f cm, %zu repetitions\n",
+                config.machineId.c_str(), distance_cm,
+                config.repetitions);
+
+    const auto result = core::runCampaign(
+        config, [](std::size_t done, std::size_t total) {
+            std::fprintf(stderr, "\r  pair %zu/%zu ...", done, total);
+            if (done == total)
+                std::fprintf(stderr, "\n");
+        });
+
+    std::cout << "\nSAVAT matrix [zJ]:\n\n";
+    core::printMatrixTable(std::cout, result.matrix);
+    std::cout << "\nGrayscale visualization:\n\n";
+    core::printMatrixHeatmap(std::cout, result.matrix);
+    std::cout << "\nSelected pairings:\n\n";
+    core::printSelectedBars(std::cout, result.matrix);
+    std::cout << "\nCampaign summary:\n\n";
+    core::printCampaignSummary(std::cout, result);
+
+    std::cout << "\nInstruction groups (k=4, SAVAT distance):\n  "
+              << core::describeClusters(
+                     core::clusterEvents(result.matrix, 4))
+              << "\n";
+
+    if (!csv_path.empty()) {
+        std::ofstream csv(csv_path);
+        if (!csv) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         csv_path.c_str());
+            return 1;
+        }
+        core::printMatrixCsv(csv, result.matrix);
+        std::printf("\nCSV written to %s\n", csv_path.c_str());
+    }
+    return 0;
+}

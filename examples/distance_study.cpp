@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Attacker-range study: how far away can each instruction-level
+ * difference still be distinguished?
+ *
+ * Sweeps the antenna distance from 5 cm to 2 m for a set of pairs,
+ * reports SAVAT versus distance, and estimates each pair's
+ * "detection range" -- the distance at which the pair's signal
+ * drops below 1.5x the same-instruction residual (the paper's A/A
+ * floor). Reproduces the paper's Section V.B conclusion: only
+ * off-chip activity remains usable at desk-to-desk distances.
+ *
+ * Usage: distance_study [machine]
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/meter.hh"
+#include "support/stats.hh"
+
+using namespace savat;
+using kernels::EventKind;
+
+namespace {
+
+double
+savatAt(const std::string &machine, double cm, EventKind a,
+        EventKind b)
+{
+    core::MeterConfig config;
+    config.distance = Distance::centimeters(cm);
+    auto meter = core::SavatMeter::forMachine(machine, config);
+    const auto &sim = meter.simulatePair(a, b);
+    Rng rng(99);
+    RunningStats s;
+    for (int i = 0; i < 6; ++i) {
+        auto rep = rng.fork();
+        s.add(meter.measure(sim, rep).savat.inZepto());
+    }
+    return s.mean();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string machine = argc >= 2 ? argv[1] : "core2duo";
+    const std::vector<double> distances = {5,  10,  25,  50,
+                                           75, 100, 150, 200};
+    const std::vector<std::pair<EventKind, EventKind>> pairs = {
+        {EventKind::ADD, EventKind::LDM},
+        {EventKind::ADD, EventKind::STM},
+        {EventKind::ADD, EventKind::LDL2},
+        {EventKind::ADD, EventKind::DIV},
+        {EventKind::ADD, EventKind::LDL1},
+    };
+
+    std::printf("SAVAT vs antenna distance [zJ], machine %s\n\n",
+                machine.c_str());
+    std::printf("%-10s", "pair");
+    for (double d : distances)
+        std::printf("%8.0fcm", d);
+    std::printf("\n");
+
+    std::vector<std::vector<double>> table;
+    for (const auto &[a, b] : pairs) {
+        std::printf("%s/%-5s", kernels::eventName(a),
+                    kernels::eventName(b));
+        std::vector<double> row;
+        for (double d : distances) {
+            const double v = savatAt(machine, d, a, b);
+            row.push_back(v);
+            std::printf("%10.2f", v);
+        }
+        table.push_back(row);
+        std::printf("\n");
+    }
+
+    // Same-instruction floor per distance.
+    std::printf("%-10s", "A/A floor");
+    std::vector<double> floor_row;
+    for (double d : distances) {
+        const double v =
+            savatAt(machine, d, EventKind::ADD, EventKind::ADD);
+        floor_row.push_back(v);
+        std::printf("%10.2f", v);
+    }
+    std::printf("\n\nDetection range (signal > 1.5x A/A floor):\n");
+    for (std::size_t p = 0; p < pairs.size(); ++p) {
+        double range_cm = 0.0;
+        for (std::size_t i = 0; i < distances.size(); ++i) {
+            if (table[p][i] > 1.5 * floor_row[i])
+                range_cm = distances[i];
+        }
+        std::printf("  %s/%-5s : %s\n",
+                    kernels::eventName(pairs[p].first),
+                    kernels::eventName(pairs[p].second),
+                    range_cm > 0.0
+                        ? (std::to_string(
+                               static_cast<int>(range_cm)) +
+                           " cm")
+                              .c_str()
+                        : "below floor everywhere");
+    }
+    std::printf("\nOff-chip pairs stay detectable at desk-to-desk "
+                "range; L2 and divider contrasts are near-field "
+                "only -- measure at the distance your threat model "
+                "assumes (Section V.B).\n");
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Quickstart: measure the SAVAT of a single instruction pair.
+ *
+ * Builds the full measurement chain for the Core 2 Duo laptop model,
+ * measures ADD vs LDM (an off-chip load) ten times at 10 cm, and
+ * prints the per-repetition values plus the simulation diagnostics.
+ *
+ * Usage: quickstart [A B [machine [distance_cm]]]
+ *   e.g. quickstart ADD DIV pentium3m 50
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "core/meter.hh"
+#include "core/report.hh"
+#include "support/stats.hh"
+
+using namespace savat;
+
+int
+main(int argc, char **argv)
+{
+    kernels::EventKind a = kernels::EventKind::ADD;
+    kernels::EventKind b = kernels::EventKind::LDM;
+    std::string machine = "core2duo";
+    double distance_cm = 10.0;
+
+    if (argc >= 3) {
+        a = kernels::eventByName(argv[1]);
+        b = kernels::eventByName(argv[2]);
+    }
+    if (argc >= 4)
+        machine = argv[3];
+    if (argc >= 5)
+        distance_cm = std::atof(argv[4]);
+
+    core::MeterConfig config;
+    config.distance = Distance::centimeters(distance_cm);
+    auto meter = core::SavatMeter::forMachine(machine, config);
+
+    std::printf("SAVAT quickstart: %s/%s on %s at %.0f cm, %g kHz\n\n",
+                kernels::eventName(a), kernels::eventName(b),
+                machine.c_str(), distance_cm,
+                config.alternation.inKhz());
+
+    const auto &sim = meter.simulatePair(a, b);
+    std::printf("burst lengths: countA=%llu (%.1f cyc/iter)  "
+                "countB=%llu (%.1f cyc/iter)\n",
+                static_cast<unsigned long long>(sim.counts.countA),
+                sim.counts.cpiA,
+                static_cast<unsigned long long>(sim.counts.countB),
+                sim.counts.cpiB);
+    std::printf("alternation: %.3f kHz (duty %.2f), %.3g A/B pairs/s\n\n",
+                sim.actualFrequency.inKhz(), sim.duty,
+                sim.pairsPerSecond);
+
+    Rng rng(1234);
+    RunningStats stats;
+    for (int rep = 0; rep < 10; ++rep) {
+        auto rep_rng = rng.fork();
+        const auto m = meter.measure(sim, rep_rng);
+        stats.add(m.savat.inZepto());
+        std::printf("  rep %2d: SAVAT = %7.2f zJ   (band power %.3e W, "
+                    "tone at %.1f Hz)\n",
+                    rep + 1, m.savat.inZepto(), m.bandPowerW, m.toneHz);
+    }
+    std::printf("\nmean %.2f zJ, std/mean %.3f\n", stats.mean(),
+                stats.coefficientOfVariation());
+    return 0;
+}

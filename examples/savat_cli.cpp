@@ -1,0 +1,307 @@
+/**
+ * @file
+ * savat_cli — a command-line driver over the whole library.
+ *
+ *   savat_cli events
+ *   savat_cli measure ADD LDM [options]
+ *   savat_cli spectrum ADD LDM [options]
+ *   savat_cli campaign [options]
+ *   savat_cli assess <profile-file> [options]
+ *   savat_cli detect ADD LDM --uses 100 [options]
+ *   savat_cli svf [options]
+ *
+ * Common options:
+ *   --machine core2duo|pentium3m|turionx2   (default core2duo)
+ *   --distance <cm>                         (default 10)
+ *   --freq <kHz>                            (default 80)
+ *   --reps <n>                              (default 10)
+ *   --power                                 (power rail instead of EM)
+ *   --csv <path>                            (campaign only)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/assessment.hh"
+#include "core/campaign.hh"
+#include "core/clustering.hh"
+#include "core/detection.hh"
+#include "core/report.hh"
+#include "core/svf.hh"
+#include "support/stats.hh"
+
+using namespace savat;
+using kernels::EventKind;
+
+namespace {
+
+struct Options
+{
+    std::string machine = "core2duo";
+    double distanceCm = 10.0;
+    double freqKhz = 80.0;
+    int reps = 10;
+    bool power = false;
+    double uses = 100.0;
+    std::string csv;
+    std::vector<std::string> positional;
+};
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: savat_cli <events|measure|spectrum|campaign|assess|"
+        "detect|svf> [args] [options]\n"
+        "options: --machine M --distance CM --freq KHZ --reps N "
+        "--power --uses N --csv PATH\n");
+    std::exit(2);
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n",
+                             arg.c_str());
+                usage();
+            }
+            return argv[++i];
+        };
+        if (arg == "--machine")
+            opt.machine = value();
+        else if (arg == "--distance")
+            opt.distanceCm = std::atof(value().c_str());
+        else if (arg == "--freq")
+            opt.freqKhz = std::atof(value().c_str());
+        else if (arg == "--reps")
+            opt.reps = std::atoi(value().c_str());
+        else if (arg == "--uses")
+            opt.uses = std::atof(value().c_str());
+        else if (arg == "--csv")
+            opt.csv = value();
+        else if (arg == "--power")
+            opt.power = true;
+        else if (arg.rfind("--", 0) == 0) {
+            std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+            usage();
+        } else
+            opt.positional.push_back(arg);
+    }
+    return opt;
+}
+
+core::MeterConfig
+meterConfig(const Options &opt)
+{
+    core::MeterConfig cfg;
+    cfg.distance = Distance::centimeters(opt.distanceCm);
+    cfg.alternation = Frequency::khz(opt.freqKhz);
+    if (opt.power)
+        cfg.sideChannel = core::SideChannel::Power;
+    return cfg;
+}
+
+int
+cmdEvents()
+{
+    std::printf("%-6s %s\n", "name", "description");
+    for (auto e : kernels::extendedEvents()) {
+        std::printf("%-6s %s%s\n", kernels::eventName(e),
+                    kernels::eventDescription(e),
+                    kernels::isBranchEvent(e) ? "  [extension]" : "");
+    }
+    return 0;
+}
+
+int
+cmdMeasure(const Options &opt)
+{
+    if (opt.positional.size() != 2)
+        usage();
+    const auto a = kernels::eventByName(opt.positional[0]);
+    const auto b = kernels::eventByName(opt.positional[1]);
+    auto meter =
+        core::SavatMeter::forMachine(opt.machine, meterConfig(opt));
+    const auto &sim = meter.simulatePair(a, b);
+    std::printf("machine %s, %.0f cm, %.0f kHz, %s channel\n",
+                opt.machine.c_str(), opt.distanceCm, opt.freqKhz,
+                opt.power ? "power" : "EM");
+    std::printf("counts %llu/%llu, realized %.3f kHz, %.3g pairs/s\n",
+                static_cast<unsigned long long>(sim.counts.countA),
+                static_cast<unsigned long long>(sim.counts.countB),
+                sim.actualFrequency.inKhz(), sim.pairsPerSecond);
+    Rng rng(1);
+    RunningStats stats;
+    for (int i = 0; i < opt.reps; ++i) {
+        auto rep = rng.fork();
+        const auto m = meter.measure(sim, rep);
+        stats.add(m.savat.inZepto());
+        std::printf("  rep %2d: %7.2f zJ\n", i + 1,
+                    m.savat.inZepto());
+    }
+    std::printf("mean %.2f zJ, std/mean %.3f\n", stats.mean(),
+                stats.coefficientOfVariation());
+    return 0;
+}
+
+int
+cmdSpectrum(const Options &opt)
+{
+    if (opt.positional.size() != 2)
+        usage();
+    const auto a = kernels::eventByName(opt.positional[0]);
+    const auto b = kernels::eventByName(opt.positional[1]);
+    auto meter =
+        core::SavatMeter::forMachine(opt.machine, meterConfig(opt));
+    Rng rng(1);
+    const auto m = meter.measurePair(a, b, rng);
+    std::printf("SAVAT %.2f zJ, tone at %.1f Hz\n", m.savat.inZepto(),
+                m.toneHz);
+    const double f0 = meter.config().alternation.inHz();
+    core::printSpectrum(std::cout, m.trace, f0 - 1000.0, f0 + 1000.0);
+    return 0;
+}
+
+int
+cmdCampaign(const Options &opt)
+{
+    core::CampaignConfig cfg;
+    cfg.machineId = opt.machine;
+    cfg.repetitions = static_cast<std::size_t>(opt.reps);
+    cfg.meter = meterConfig(opt);
+    for (const auto &name : opt.positional)
+        cfg.events.push_back(kernels::eventByName(name));
+    const auto res = core::runCampaign(
+        cfg, [](std::size_t done, std::size_t total) {
+            std::fprintf(stderr, "\r%zu/%zu ...", done, total);
+            if (done == total)
+                std::fprintf(stderr, "\n");
+        });
+    core::printMatrixTable(std::cout, res.matrix);
+    std::cout << "\n";
+    core::printMatrixHeatmap(std::cout, res.matrix);
+    std::cout << "\nclusters(k=4): "
+              << core::describeClusters(
+                     core::clusterEvents(res.matrix, 4))
+              << "\n";
+    if (!opt.csv.empty()) {
+        std::ofstream out(opt.csv);
+        core::printMatrixCsv(out, res.matrix);
+        std::printf("CSV written to %s\n", opt.csv.c_str());
+    }
+    return 0;
+}
+
+int
+cmdAssess(const Options &opt)
+{
+    if (opt.positional.size() != 1)
+        usage();
+    std::ifstream in(opt.positional[0]);
+    if (!in) {
+        std::fprintf(stderr, "cannot open %s\n",
+                     opt.positional[0].c_str());
+        return 1;
+    }
+    const auto parsed = core::parseProgramProfile(in);
+    if (!parsed.ok) {
+        std::fprintf(stderr, "%s:%zu: %s\n",
+                     opt.positional[0].c_str(), parsed.errorLine,
+                     parsed.error.c_str());
+        return 1;
+    }
+    auto meter =
+        core::SavatMeter::forMachine(opt.machine, meterConfig(opt));
+    const auto report =
+        core::assessProgram(meter, parsed.profile, opt.reps);
+    core::printAssessment(std::cout, report);
+    const double uses10 = report.usesForMargin(10.0);
+    if (std::isinf(uses10)) {
+        std::printf("nothing above the measurement floor\n");
+    } else {
+        std::printf("uses for 10x margin: %.1f\n", uses10);
+        std::printf("uses to decide a key bit at 1e-3 error: %.1f\n",
+                    report.usesForErrorRate(1e-3));
+    }
+    return 0;
+}
+
+int
+cmdDetect(const Options &opt)
+{
+    if (opt.positional.size() != 2)
+        usage();
+    const auto a = kernels::eventByName(opt.positional[0]);
+    const auto b = kernels::eventByName(opt.positional[1]);
+    auto meter =
+        core::SavatMeter::forMachine(opt.machine, meterConfig(opt));
+    const double signal = core::netSavatZj(meter, a, b, opt.reps);
+    const double noise =
+        core::meanSavatZj(meter, a, a, opt.reps);
+    const double d = core::dPrime(signal, noise, opt.uses);
+    std::printf("signal %.3f zJ/use, noise scale %.3f zJ\n", signal,
+                noise);
+    std::printf("after %.0f uses: d' = %.2f, error %.3g, AUC %.4f\n",
+                opt.uses, d, core::errorProbability(d),
+                core::rocArea(d));
+    for (double err : {0.25, 0.05, 1e-3, 1e-6}) {
+        std::printf("uses for error %g: %.1f\n", err,
+                    core::usesForError(signal, noise, err));
+    }
+    return 0;
+}
+
+int
+cmdSvf(const Options &opt)
+{
+    const auto machine = uarch::machineById(opt.machine);
+    const auto profile = em::emissionProfileFor(opt.machine);
+    const auto workload = core::buildPhasedWorkload(machine, 200);
+    core::SvfConfig cfg;
+    cfg.distance = Distance::centimeters(opt.distanceCm);
+    cfg.windows = 48;
+    const auto res = core::computeSvf(machine, profile,
+                                      em::DistanceModel(), workload,
+                                      cfg);
+    std::printf("SVF(%s, %.0f cm) = %.3f over %zu windows\n",
+                opt.machine.c_str(), opt.distanceCm, res.svf,
+                res.windows);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        usage();
+    const std::string cmd = argv[1];
+    const Options opt = parseArgs(argc, argv);
+    if (cmd == "events")
+        return cmdEvents();
+    if (cmd == "measure")
+        return cmdMeasure(opt);
+    if (cmd == "spectrum")
+        return cmdSpectrum(opt);
+    if (cmd == "campaign")
+        return cmdCampaign(opt);
+    if (cmd == "assess")
+        return cmdAssess(opt);
+    if (cmd == "detect")
+        return cmdDetect(opt);
+    if (cmd == "svf")
+        return cmdSvf(opt);
+    usage();
+}

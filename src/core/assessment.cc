@@ -1,0 +1,194 @@
+#include "core/assessment.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <ostream>
+
+#include "core/detection.hh"
+#include "support/stats.hh"
+#include "support/strings.hh"
+#include "support/table.hh"
+
+namespace savat::core {
+
+double
+meanSavatZj(SavatMeter &meter, kernels::EventKind a,
+            kernels::EventKind b, int reps, std::uint64_t seed)
+{
+    const auto &sim = meter.simulatePair(a, b);
+    Rng rng(seed);
+    RunningStats s;
+    for (int i = 0; i < reps; ++i) {
+        auto rep = rng.fork();
+        s.add(meter.measure(sim, rep).savat.inZepto());
+    }
+    return s.mean();
+}
+
+double
+netSavatZj(SavatMeter &meter, kernels::EventKind a,
+           kernels::EventKind b, int reps, std::uint64_t seed)
+{
+    const double raw = meanSavatZj(meter, a, b, reps, seed);
+    const double floor =
+        0.5 * (meanSavatZj(meter, a, a, reps, seed) +
+               meanSavatZj(meter, b, b, reps, seed));
+    return std::max(0.0, raw - floor);
+}
+
+double
+AssessmentReport::usesForMargin(double margin,
+                                double bitsPerUse) const
+{
+    if (totalPerUseZj <= 0.0)
+        return std::numeric_limits<double>::infinity();
+    return margin * floorZj * bitsPerUse / totalPerUseZj;
+}
+
+double
+AssessmentReport::usesForErrorRate(double targetError,
+                                   double bitsPerUse) const
+{
+    if (floorZj <= 0.0)
+        return std::numeric_limits<double>::infinity();
+    return usesForError(totalPerUseZj / bitsPerUse, floorZj,
+                        targetError);
+}
+
+AssessmentReport
+assessProgram(SavatMeter &meter, const ProgramProfile &profile,
+              int reps)
+{
+    AssessmentReport report;
+    report.program = profile.name;
+    report.floorZj =
+        meanSavatZj(meter, kernels::EventKind::NOI,
+                    kernels::EventKind::NOI, reps);
+
+    for (const auto &site : profile.sites) {
+        SiteAssessment sa;
+        sa.site = site;
+        sa.perInstanceZj =
+            netSavatZj(meter, site.executed, site.alternative, reps);
+        sa.perUseZj = sa.perInstanceZj *
+                      static_cast<double>(site.instancesPerUse);
+        report.totalPerUseZj += sa.perUseZj;
+        report.sites.push_back(std::move(sa));
+    }
+
+    for (auto &sa : report.sites) {
+        sa.share = report.totalPerUseZj > 0.0
+                       ? sa.perUseZj / report.totalPerUseZj
+                       : 0.0;
+    }
+    std::sort(report.sites.begin(), report.sites.end(),
+              [](const SiteAssessment &x, const SiteAssessment &y) {
+                  return x.perUseZj > y.perUseZj;
+              });
+    return report;
+}
+
+ProfileParseResult
+parseProgramProfile(std::istream &in)
+{
+    ProfileParseResult res;
+    auto fail = [&res](std::size_t line, const std::string &msg) {
+        res.ok = false;
+        res.error = msg;
+        res.errorLine = line;
+        return res;
+    };
+
+    std::string text;
+    std::size_t line_no = 0;
+    bool have_name = false;
+    while (std::getline(in, text)) {
+        ++line_no;
+        const std::string line = trim(text);
+        if (line.empty() || line.front() == '#')
+            continue;
+        if (startsWith(line, "program")) {
+            const auto name = trim(line.substr(7));
+            if (name.empty())
+                return fail(line_no, "program needs a name");
+            res.profile.name = name;
+            have_name = true;
+            continue;
+        }
+        if (startsWith(line, "site")) {
+            const auto rest = trim(line.substr(4));
+            if (rest.empty() || rest.front() != '"')
+                return fail(line_no, "site needs a quoted label");
+            const auto close = rest.find('"', 1);
+            if (close == std::string::npos)
+                return fail(line_no, "unterminated site label");
+            CodeSite site;
+            site.label = rest.substr(1, close - 1);
+            const auto fields =
+                splitWhitespace(rest.substr(close + 1));
+            if (fields.size() != 3)
+                return fail(line_no,
+                            "site needs: \"label\" EXEC ALT count");
+            bool known = false;
+            for (auto e : kernels::extendedEvents()) {
+                if (fields[0] == kernels::eventName(e)) {
+                    site.executed = e;
+                    known = true;
+                }
+            }
+            if (!known)
+                return fail(line_no,
+                            "unknown event: " + fields[0]);
+            known = false;
+            for (auto e : kernels::extendedEvents()) {
+                if (fields[1] == kernels::eventName(e)) {
+                    site.alternative = e;
+                    known = true;
+                }
+            }
+            if (!known)
+                return fail(line_no,
+                            "unknown event: " + fields[1]);
+            long long count = 0;
+            if (!parseInt(fields[2], count) || count <= 0)
+                return fail(line_no,
+                            "bad instance count: " + fields[2]);
+            site.instancesPerUse = static_cast<std::size_t>(count);
+            res.profile.sites.push_back(std::move(site));
+            continue;
+        }
+        return fail(line_no, "unrecognized directive: " + line);
+    }
+    if (!have_name)
+        return fail(line_no, "missing 'program <name>' line");
+    if (res.profile.sites.empty())
+        return fail(line_no, "profile has no sites");
+    res.ok = true;
+    return res;
+}
+
+void
+printAssessment(std::ostream &os, const AssessmentReport &report)
+{
+    os << "leakage assessment: " << report.program << "\n";
+    os << format("measurement floor: %.2f zJ\n", report.floorZj);
+    TextTable t;
+    t.setHeader({"site", "difference", "instances",
+                 "per-instance [zJ]", "per-use [zJ]", "share"});
+    for (const auto &sa : report.sites) {
+        t.startRow();
+        t.addCell(sa.site.label);
+        t.addCell(std::string(kernels::eventName(sa.site.executed)) +
+                  " vs " + kernels::eventName(sa.site.alternative));
+        t.addCell(static_cast<long long>(sa.site.instancesPerUse));
+        t.addCell(sa.perInstanceZj, 3);
+        t.addCell(sa.perUseZj, 1);
+        t.addCell(format("%.0f%%", sa.share * 100.0));
+    }
+    t.render(os);
+    os << format("total per secret use: %.1f zJ\n",
+                 report.totalPerUseZj);
+}
+
+} // namespace savat::core

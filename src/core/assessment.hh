@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Program leakage assessment: the programmer-facing use the paper's
+ * introduction promises — "programmers ... can use SAVAT to guide
+ * code changes to avoid using 'loud' activity when operating on
+ * sensitive data".
+ *
+ * A ProgramProfile describes the secret-dependent instruction-level
+ * differences a piece of code creates (site by site: what executes
+ * when the secret bit is 1 versus 0, and how many instances per
+ * use). assessProgram weighs every site with measured SAVAT values,
+ * subtracts the same-instruction measurement floor, and returns the
+ * sites ranked by their contribution — the worklist a developer
+ * would fix first.
+ */
+
+#ifndef SAVAT_CORE_ASSESSMENT_HH
+#define SAVAT_CORE_ASSESSMENT_HH
+
+#include <istream>
+#include <string>
+#include <vector>
+
+#include "core/meter.hh"
+
+namespace savat::core {
+
+/** One secret-dependent difference site in a program. */
+struct CodeSite
+{
+    /** Human-readable location ("bignum multiply", "table lookup"). */
+    std::string label;
+
+    /** What executes when the secret selects this path. */
+    kernels::EventKind executed = kernels::EventKind::NOI;
+
+    /** What executes on the other path. */
+    kernels::EventKind alternative = kernels::EventKind::NOI;
+
+    /** Instances of this difference per use of the secret. */
+    std::size_t instancesPerUse = 1;
+};
+
+/** A program's secret-dependent behaviour, site by site. */
+struct ProgramProfile
+{
+    std::string name;
+    std::vector<CodeSite> sites;
+};
+
+/** Assessment of one site. */
+struct SiteAssessment
+{
+    CodeSite site;
+
+    /** Floor-subtracted SAVAT per instance (zJ). */
+    double perInstanceZj = 0.0;
+
+    /** Total signal energy per secret use (zJ). */
+    double perUseZj = 0.0;
+
+    /** Share of the program's total leakage (0..1). */
+    double share = 0.0;
+};
+
+/** Assessment of a whole program. */
+struct AssessmentReport
+{
+    std::string program;
+
+    /** Total attacker-visible energy per secret use (zJ). */
+    double totalPerUseZj = 0.0;
+
+    /** Sites, loudest first. */
+    std::vector<SiteAssessment> sites;
+
+    /** Residual same-instruction energy (the measurement floor). */
+    double floorZj = 0.0;
+
+    /**
+     * Secret uses an attacker must observe for the accumulated
+     * signal to exceed the floor by the given margin, assuming the
+     * paper's repetition accumulation. Returns +infinity when the
+     * program leaks nothing above the floor.
+     */
+    double usesForMargin(double margin = 10.0,
+                         double bitsPerUse = 2048.0) const;
+
+    /**
+     * Detection-theoretic version (see core/detection.hh): uses an
+     * attacker needs to decide one secret bit with the given error
+     * probability, treating the per-bit signal as
+     * totalPerUseZj / bitsPerUse against the floor energy.
+     */
+    double usesForErrorRate(double targetError = 1e-3,
+                            double bitsPerUse = 2048.0) const;
+};
+
+/**
+ * Mean pairwise SAVAT over `reps` repetitions (zJ).
+ */
+double meanSavatZj(SavatMeter &meter, kernels::EventKind a,
+                   kernels::EventKind b, int reps = 6,
+                   std::uint64_t seed = 0x5EED);
+
+/**
+ * Floor-subtracted ("net") SAVAT: the pairwise value minus the mean
+ * of the two same-instruction diagonals, clamped at zero. This is
+ * the genuine per-difference signal, with the environmental residual
+ * removed.
+ */
+double netSavatZj(SavatMeter &meter, kernels::EventKind a,
+                  kernels::EventKind b, int reps = 6,
+                  std::uint64_t seed = 0x5EED);
+
+/** Assess a program profile with the given meter. */
+AssessmentReport assessProgram(SavatMeter &meter,
+                               const ProgramProfile &profile,
+                               int reps = 6);
+
+/** Result of parsing a profile file. */
+struct ProfileParseResult
+{
+    ProgramProfile profile;
+    bool ok = false;
+    std::string error;
+    std::size_t errorLine = 0;
+};
+
+/**
+ * Parse a ProgramProfile from its text format:
+ *
+ *     # comment
+ *     program rsa-2048
+ *     site "secret-indexed lookups" LDL2 LDL1 512
+ *     site "conditional multiply"   MUL  NOI  4096
+ *
+ * Event names are those of kernels::eventName (extension events
+ * included). Labels are double-quoted; counts are positive.
+ */
+ProfileParseResult parseProgramProfile(std::istream &in);
+
+/** Render the report as a fixed-width table. */
+void printAssessment(std::ostream &os, const AssessmentReport &report);
+
+} // namespace savat::core
+
+#endif // SAVAT_CORE_ASSESSMENT_HH

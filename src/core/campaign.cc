@@ -1,0 +1,73 @@
+#include "core/campaign.hh"
+
+#include "support/logging.hh"
+
+namespace savat::core {
+
+using kernels::EventKind;
+
+namespace {
+
+std::vector<EventKind>
+effectiveEvents(const CampaignConfig &config)
+{
+    return config.events.empty() ? kernels::allEvents() : config.events;
+}
+
+/** Deterministic per-cell RNG stream. */
+Rng
+cellRng(const CampaignConfig &config, std::size_t a, std::size_t b)
+{
+    const std::uint64_t mix =
+        config.seed ^ (0x9E3779B97F4A7C15ull * (a * 131 + b + 1));
+    return Rng(mix);
+}
+
+} // namespace
+
+CampaignResult
+runCampaign(const CampaignConfig &config, const ProgressFn &progress)
+{
+    const auto events = effectiveEvents(config);
+    std::vector<std::pair<EventKind, EventKind>> pairs;
+    pairs.reserve(events.size() * events.size());
+    for (auto a : events)
+        for (auto b : events)
+            pairs.emplace_back(a, b);
+    return runCampaignPairs(config, pairs, progress);
+}
+
+CampaignResult
+runCampaignPairs(
+    const CampaignConfig &config,
+    const std::vector<std::pair<EventKind, EventKind>> &pairs,
+    const ProgressFn &progress)
+{
+    const auto events = effectiveEvents(config);
+    CampaignResult result{config, SavatMatrix(events), {}};
+    result.config.events = events;
+    result.simulations.resize(events.size() * events.size());
+
+    auto meter = SavatMeter::forMachine(config.machineId, config.meter);
+
+    std::size_t done = 0;
+    for (const auto &[a, b] : pairs) {
+        const std::size_t ia = result.matrix.indexOf(a);
+        const std::size_t ib = result.matrix.indexOf(b);
+        const auto &sim = meter.simulatePair(a, b);
+        result.simulations[ia * events.size() + ib] = sim;
+
+        Rng rng = cellRng(config, ia, ib);
+        for (std::size_t rep = 0; rep < config.repetitions; ++rep) {
+            auto rep_rng = rng.fork();
+            const auto m = meter.measure(sim, rep_rng);
+            result.matrix.addSample(ia, ib, m.savat.inZepto());
+        }
+        ++done;
+        if (progress)
+            progress(done, pairs.size());
+    }
+    return result;
+}
+
+} // namespace savat::core

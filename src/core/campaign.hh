@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Measurement campaigns: the paper's 11-by-11, ten-repetition
+ * pairwise SAVAT sweeps.
+ */
+
+#ifndef SAVAT_CORE_CAMPAIGN_HH
+#define SAVAT_CORE_CAMPAIGN_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/matrix.hh"
+#include "core/meter.hh"
+
+namespace savat::core {
+
+/** Campaign parameters. */
+struct CampaignConfig
+{
+    std::string machineId = "core2duo";
+
+    /** Events to pair (defaults to all eleven of Figure 5). */
+    std::vector<kernels::EventKind> events;
+
+    /** Repetitions per cell (the paper uses 10, spread over days). */
+    std::size_t repetitions = 10;
+
+    /** Meter settings (frequency, distance, band...). */
+    MeterConfig meter;
+
+    /** Base seed; each repetition forks its own stream. */
+    std::uint64_t seed = 0x5AFA7u;
+};
+
+/** Progress callback: (pairs done, pairs total). */
+using ProgressFn = std::function<void(std::size_t, std::size_t)>;
+
+/** Campaign outputs. */
+struct CampaignResult
+{
+    CampaignConfig config;
+    SavatMatrix matrix;
+
+    /** Per-pair deterministic simulation info (row-major). */
+    std::vector<PairSimulation> simulations;
+
+    const PairSimulation &
+    simulation(std::size_t a, std::size_t b) const
+    {
+        return simulations[a * matrix.size() + b];
+    }
+};
+
+/**
+ * Run a full pairwise campaign: every (A, B) combination, measured
+ * `repetitions` times with fresh environmental randomness.
+ */
+CampaignResult runCampaign(const CampaignConfig &config,
+                           const ProgressFn &progress = {});
+
+/**
+ * Run only the selected pairs (used by the bar-chart figures);
+ * other cells stay empty.
+ */
+CampaignResult runCampaignPairs(
+    const CampaignConfig &config,
+    const std::vector<std::pair<kernels::EventKind,
+                                kernels::EventKind>> &pairs,
+    const ProgressFn &progress = {});
+
+} // namespace savat::core
+
+#endif // SAVAT_CORE_CAMPAIGN_HH

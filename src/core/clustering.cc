@@ -1,0 +1,130 @@
+#include "core/clustering.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/logging.hh"
+
+namespace savat::core {
+
+std::vector<std::vector<double>>
+savatDistance(const SavatMatrix &matrix, bool subtractDiagonalFloor)
+{
+    const std::size_t n = matrix.size();
+    const auto m = matrix.means();
+    std::vector<std::vector<double>> d(n, std::vector<double>(n, 0.0));
+    for (std::size_t a = 0; a < n; ++a) {
+        for (std::size_t b = 0; b < n; ++b) {
+            if (a == b)
+                continue;
+            double v = 0.5 * (m[a][b] + m[b][a]);
+            if (subtractDiagonalFloor)
+                v = std::max(0.0, v - 0.5 * (m[a][a] + m[b][b]));
+            d[a][b] = v;
+        }
+    }
+    return d;
+}
+
+ClusteringResult
+clusterEvents(const SavatMatrix &matrix, std::size_t k)
+{
+    const std::size_t n = matrix.size();
+    SAVAT_ASSERT(k >= 1 && k <= n, "bad cluster count k=", k);
+    const auto dist = savatDistance(matrix);
+
+    // Active clusters as member lists; cluster ids grow as we merge.
+    struct Cluster
+    {
+        std::vector<std::size_t> members;
+        bool active = true;
+    };
+    std::vector<Cluster> clusters(n);
+    for (std::size_t i = 0; i < n; ++i)
+        clusters[i].members = {i};
+
+    // Average linkage between two member lists.
+    auto linkage = [&dist](const Cluster &x, const Cluster &y) {
+        double total = 0.0;
+        for (auto a : x.members)
+            for (auto b : y.members)
+                total += dist[a][b];
+        return total / (static_cast<double>(x.members.size()) *
+                        static_cast<double>(y.members.size()));
+    };
+
+    ClusteringResult result;
+    std::size_t active = n;
+    while (active > k) {
+        double best = std::numeric_limits<double>::infinity();
+        std::size_t bi = 0, bj = 0;
+        for (std::size_t i = 0; i < clusters.size(); ++i) {
+            if (!clusters[i].active)
+                continue;
+            for (std::size_t j = i + 1; j < clusters.size(); ++j) {
+                if (!clusters[j].active)
+                    continue;
+                const double d = linkage(clusters[i], clusters[j]);
+                if (d < best) {
+                    best = d;
+                    bi = i;
+                    bj = j;
+                }
+            }
+        }
+        Cluster merged;
+        merged.members = clusters[bi].members;
+        merged.members.insert(merged.members.end(),
+                              clusters[bj].members.begin(),
+                              clusters[bj].members.end());
+        clusters[bi].active = false;
+        clusters[bj].active = false;
+        clusters.push_back(std::move(merged));
+        result.dendrogram.push_back(
+            {bi, bj, clusters.size() - 1, best});
+        --active;
+    }
+
+    // Collect the surviving clusters, largest first.
+    std::vector<const Cluster *> final_clusters;
+    for (const auto &c : clusters) {
+        if (c.active)
+            final_clusters.push_back(&c);
+    }
+    std::sort(final_clusters.begin(), final_clusters.end(),
+              [](const Cluster *x, const Cluster *y) {
+                  return x->members.size() > y->members.size();
+              });
+
+    result.assignment.assign(n, 0);
+    for (std::size_t ci = 0; ci < final_clusters.size(); ++ci) {
+        std::vector<kernels::EventKind> evs;
+        for (auto m : final_clusters[ci]->members) {
+            result.assignment[m] = ci;
+            evs.push_back(matrix.events()[m]);
+        }
+        std::sort(evs.begin(), evs.end());
+        result.clusters.push_back(std::move(evs));
+    }
+    return result;
+}
+
+std::string
+describeClusters(const ClusteringResult &result)
+{
+    std::string out;
+    for (const auto &cluster : result.clusters) {
+        out += "{";
+        for (std::size_t i = 0; i < cluster.size(); ++i) {
+            if (i)
+                out += " ";
+            out += kernels::eventName(cluster[i]);
+        }
+        out += "} ";
+    }
+    if (!out.empty())
+        out.pop_back();
+    return out;
+}
+
+} // namespace savat::core

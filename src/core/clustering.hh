@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Instruction clustering with SAVAT as the distance metric.
+ *
+ * Section III of the paper proposes clustering instruction opcodes
+ * using SAVAT as a distance to tame the O(N^2) measurement cost of
+ * large instruction sets; Section V observes four natural groups in
+ * the Core 2 Duo matrix (off-chip accesses, L2 hits,
+ * arithmetic + L1, and DIV alone). This module implements
+ * agglomerative average-linkage clustering over a symmetrized SAVAT
+ * matrix and reproduces that grouping.
+ */
+
+#ifndef SAVAT_CORE_CLUSTERING_HH
+#define SAVAT_CORE_CLUSTERING_HH
+
+#include <string>
+#include <vector>
+
+#include "core/matrix.hh"
+
+namespace savat::core {
+
+/** One merge step of the agglomerative clustering. */
+struct MergeStep
+{
+    std::size_t left;    //!< cluster id merged from
+    std::size_t right;   //!< cluster id merged from
+    std::size_t merged;  //!< new cluster id
+    double distance;     //!< linkage distance at the merge
+};
+
+/** Clustering outputs. */
+struct ClusteringResult
+{
+    /** events()[i] belongs to clusters[assignment[i]]. */
+    std::vector<std::size_t> assignment;
+
+    /** Clusters as event lists, largest first. */
+    std::vector<std::vector<kernels::EventKind>> clusters;
+
+    /** Full dendrogram (merge history). */
+    std::vector<MergeStep> dendrogram;
+};
+
+/**
+ * Symmetrize a SAVAT matrix into a distance matrix:
+ * d(a,b) = (savat(a,b) + savat(b,a)) / 2, d(a,a) = 0.
+ *
+ * When subtractDiagonalFloor is set (the default), each pair's
+ * measurement floor -- the mean of the two events' A/A diagonals,
+ * i.e. the residual signal present even for identical instructions
+ * -- is subtracted (clamped at zero). This removes the noise
+ * pedestal so the clustering sees only genuine signal differences;
+ * without it, loud events (off-chip accesses) carry a large
+ * diagonal that inflates their mutual distance artificially.
+ */
+std::vector<std::vector<double>>
+savatDistance(const SavatMatrix &matrix,
+              bool subtractDiagonalFloor = true);
+
+/**
+ * Agglomerative average-linkage clustering cut at k clusters.
+ *
+ * @param matrix SAVAT matrix (means are used).
+ * @param k      Number of clusters to return (1 <= k <= N).
+ */
+ClusteringResult clusterEvents(const SavatMatrix &matrix, std::size_t k);
+
+/** Render cluster membership as text ("{LDM STM} {LDL2 STL2} ..."). */
+std::string describeClusters(const ClusteringResult &result);
+
+} // namespace savat::core
+
+#endif // SAVAT_CORE_CLUSTERING_HH

@@ -1,0 +1,74 @@
+#include "core/detection.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "support/logging.hh"
+
+namespace savat::core {
+
+double
+normalCdf(double x)
+{
+    return 0.5 * std::erfc(-x / std::sqrt(2.0));
+}
+
+double
+normalQ(double x)
+{
+    return 0.5 * std::erfc(x / std::sqrt(2.0));
+}
+
+double
+normalQInverse(double p)
+{
+    SAVAT_ASSERT(p > 0.0 && p < 0.5, "normalQInverse needs 0<p<0.5");
+    // Q is strictly decreasing on [0, inf); bisect. Q(40) underflows
+    // any representable p, so [0, 40] brackets every target.
+    double lo = 0.0, hi = 40.0;
+    for (int i = 0; i < 200; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        if (normalQ(mid) > p)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return 0.5 * (lo + hi);
+}
+
+double
+dPrime(double signalZj, double noiseZj, double uses)
+{
+    SAVAT_ASSERT(noiseZj > 0.0, "non-positive noise energy");
+    SAVAT_ASSERT(uses >= 0.0, "negative use count");
+    if (signalZj <= 0.0)
+        return 0.0;
+    return std::sqrt(uses) * signalZj / noiseZj;
+}
+
+double
+errorProbability(double d_prime)
+{
+    return normalQ(d_prime / 2.0);
+}
+
+double
+rocArea(double d_prime)
+{
+    return normalCdf(d_prime / std::sqrt(2.0));
+}
+
+double
+usesForError(double signalZj, double noiseZj, double targetError)
+{
+    SAVAT_ASSERT(noiseZj > 0.0, "non-positive noise energy");
+    SAVAT_ASSERT(targetError > 0.0 && targetError < 0.5,
+                 "target error must be in (0, 0.5)");
+    if (signalZj <= 0.0)
+        return std::numeric_limits<double>::infinity();
+    const double needed_dprime = 2.0 * normalQInverse(targetError);
+    const double root = needed_dprime * noiseZj / signalZj;
+    return root * root;
+}
+
+} // namespace savat::core

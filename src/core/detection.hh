@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Attacker-success estimation from SAVAT values.
+ *
+ * Section III frames the attack model: a single-instruction
+ * difference leaks a tiny energy, but attackers accumulate it by
+ * repetition (the same secret reused) and combination (sequences of
+ * differing instructions). This module turns a SAVAT value into the
+ * standard detection-theoretic quantities for an energy detector:
+ * the sensitivity index d', the decision error probability, the ROC
+ * area, and the number of repetitions needed for a target error
+ * rate — the paper's "huge SAVAT values enable attacks even when
+ * sensitive data creates a seemingly small difference" made
+ * quantitative.
+ *
+ * Model: each observed use contributes signal energy E_s (the
+ * floor-subtracted SAVAT times the number of differing instances)
+ * on top of a fluctuating background with energy scale E_n (the A/A
+ * residual). After n independent uses the two hypotheses are
+ * Gaussians separated by n*E_s with standard deviation
+ * sqrt(n)*E_n, giving d' = sqrt(n) * E_s / E_n.
+ */
+
+#ifndef SAVAT_CORE_DETECTION_HH
+#define SAVAT_CORE_DETECTION_HH
+
+#include <cstddef>
+
+namespace savat::core {
+
+/**
+ * Sensitivity index of the A-vs-B decision after n observed uses.
+ *
+ * @param signalZj Per-use signal energy (floor-subtracted SAVAT x
+ *                 instances), zJ.
+ * @param noiseZj  Per-use background energy scale (the A/A floor),
+ *                 zJ. Must be positive.
+ * @param uses     Number of independent uses observed.
+ */
+double dPrime(double signalZj, double noiseZj, double uses);
+
+/**
+ * Probability that a maximum-likelihood decision between the two
+ * equally likely hypotheses errs: Q(d'/2).
+ */
+double errorProbability(double d_prime);
+
+/** Area under the ROC curve: Phi(d'/sqrt(2)). */
+double rocArea(double d_prime);
+
+/**
+ * Uses required for the decision error to fall below `targetError`
+ * (0 < targetError < 0.5). Returns +infinity when signalZj <= 0.
+ */
+double usesForError(double signalZj, double noiseZj,
+                    double targetError);
+
+/** Standard normal CDF. */
+double normalCdf(double x);
+
+/** Upper-tail probability Q(x) = 1 - Phi(x). */
+double normalQ(double x);
+
+/**
+ * Inverse of Q for 0 < p < 0.5, solved by bisection (absolute error
+ * below 1e-12 over the supported range).
+ */
+double normalQInverse(double p);
+
+} // namespace savat::core
+
+#endif // SAVAT_CORE_DETECTION_HH

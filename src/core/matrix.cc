@@ -1,0 +1,168 @@
+#include "core/matrix.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace savat::core {
+
+using kernels::EventKind;
+
+SavatMatrix::SavatMatrix(std::vector<EventKind> events)
+    : _events(std::move(events))
+{
+    SAVAT_ASSERT(!_events.empty(), "empty event list");
+    _cells.assign(_events.size(),
+                  std::vector<std::vector<double>>(_events.size()));
+}
+
+std::vector<std::string>
+SavatMatrix::labels() const
+{
+    std::vector<std::string> out;
+    out.reserve(_events.size());
+    for (auto e : _events)
+        out.emplace_back(kernels::eventName(e));
+    return out;
+}
+
+void
+SavatMatrix::addSample(std::size_t a, std::size_t b, double zj)
+{
+    SAVAT_ASSERT(a < size() && b < size(), "cell out of range");
+    _cells[a][b].push_back(zj);
+}
+
+const std::vector<double> &
+SavatMatrix::samples(std::size_t a, std::size_t b) const
+{
+    SAVAT_ASSERT(a < size() && b < size(), "cell out of range");
+    return _cells[a][b];
+}
+
+double
+SavatMatrix::mean(std::size_t a, std::size_t b) const
+{
+    return cellSummary(a, b).mean;
+}
+
+Summary
+SavatMatrix::cellSummary(std::size_t a, std::size_t b) const
+{
+    return summarize(samples(a, b));
+}
+
+std::vector<std::vector<double>>
+SavatMatrix::means() const
+{
+    std::vector<std::vector<double>> out(size(),
+                                         std::vector<double>(size(), 0.0));
+    for (std::size_t a = 0; a < size(); ++a)
+        for (std::size_t b = 0; b < size(); ++b)
+            out[a][b] = mean(a, b);
+    return out;
+}
+
+std::vector<double>
+SavatMatrix::flatMeans() const
+{
+    std::vector<double> out;
+    out.reserve(size() * size());
+    for (std::size_t a = 0; a < size(); ++a)
+        for (std::size_t b = 0; b < size(); ++b)
+            out.push_back(mean(a, b));
+    return out;
+}
+
+double
+SavatMatrix::meanCoefficientOfVariation() const
+{
+    double total = 0.0;
+    std::size_t n = 0;
+    for (std::size_t a = 0; a < size(); ++a) {
+        for (std::size_t b = 0; b < size(); ++b) {
+            const auto s = cellSummary(a, b);
+            if (s.count >= 2 && s.mean > 0.0) {
+                total += s.stddev / s.mean;
+                ++n;
+            }
+        }
+    }
+    return n ? total / static_cast<double>(n) : 0.0;
+}
+
+std::size_t
+SavatMatrix::diagonalMinimumCount(double tolerance) const
+{
+    const auto m = means();
+    std::size_t count = 0;
+    for (std::size_t d = 0; d < size(); ++d) {
+        bool is_min = true;
+        for (std::size_t k = 0; k < size(); ++k) {
+            if (k == d)
+                continue;
+            if (m[d][k] + tolerance < m[d][d] ||
+                m[k][d] + tolerance < m[d][d]) {
+                is_min = false;
+                break;
+            }
+        }
+        if (is_min)
+            ++count;
+    }
+    return count;
+}
+
+double
+SavatMatrix::symmetryError() const
+{
+    const auto m = means();
+    double total = 0.0;
+    std::size_t n = 0;
+    for (std::size_t a = 0; a < size(); ++a) {
+        for (std::size_t b = a + 1; b < size(); ++b) {
+            const double avg = 0.5 * (m[a][b] + m[b][a]);
+            if (avg > 0.0) {
+                total += std::abs(m[a][b] - m[b][a]) / avg;
+                ++n;
+            }
+        }
+    }
+    return n ? total / static_cast<double>(n) : 0.0;
+}
+
+double
+SavatMatrix::singleInstructionSavat(
+    const std::vector<EventKind> &group) const
+{
+    SAVAT_ASSERT(!group.empty(), "empty instruction group");
+    double best = 0.0;
+    for (auto a : group) {
+        for (auto b : group) {
+            best = std::max(best, mean(indexOf(a), indexOf(b)));
+        }
+    }
+    return best;
+}
+
+std::size_t
+SavatMatrix::indexOf(EventKind e) const
+{
+    const auto idx = tryIndexOf(e);
+    if (idx < 0)
+        SAVAT_FATAL("event ", kernels::eventName(e), " not in matrix");
+    return static_cast<std::size_t>(idx);
+}
+
+std::int64_t
+SavatMatrix::tryIndexOf(EventKind e) const
+{
+    for (std::size_t i = 0; i < _events.size(); ++i) {
+        if (_events[i] == e)
+            return static_cast<std::int64_t>(i);
+    }
+    return -1;
+}
+
+} // namespace savat::core

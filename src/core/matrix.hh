@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The pairwise SAVAT matrix and its validation statistics.
+ */
+
+#ifndef SAVAT_CORE_MATRIX_HH
+#define SAVAT_CORE_MATRIX_HH
+
+#include <string>
+#include <vector>
+
+#include "kernels/events.hh"
+#include "support/stats.hh"
+
+namespace savat::core {
+
+/**
+ * An N x N matrix of SAVAT measurements (zJ), with the raw
+ * per-repetition samples kept for repeatability statistics. Row =
+ * event A, column = event B, as in the paper's Figure 9.
+ */
+class SavatMatrix
+{
+  public:
+    explicit SavatMatrix(std::vector<kernels::EventKind> events);
+
+    std::size_t size() const { return _events.size(); }
+    const std::vector<kernels::EventKind> &events() const
+    {
+        return _events;
+    }
+
+    /** Row/column labels. */
+    std::vector<std::string> labels() const;
+
+    /** Append one repetition's value (zJ) for the (a, b) cell. */
+    void addSample(std::size_t a, std::size_t b, double zj);
+
+    /** All samples of a cell. */
+    const std::vector<double> &samples(std::size_t a,
+                                       std::size_t b) const;
+
+    /** Mean of a cell's samples (zJ). */
+    double mean(std::size_t a, std::size_t b) const;
+
+    /** Summary statistics of a cell. */
+    Summary cellSummary(std::size_t a, std::size_t b) const;
+
+    /** Matrix of cell means. */
+    std::vector<std::vector<double>> means() const;
+
+    /** Means flattened row-major (for correlation tests). */
+    std::vector<double> flatMeans() const;
+
+    /**
+     * Average coefficient of variation across cells: the paper
+     * reports ~0.05 for its ten-repetition campaigns.
+     */
+    double meanCoefficientOfVariation() const;
+
+    /**
+     * Number of diagonal cells that are the minimum of both their
+     * row and their column (the paper's validation: all but one).
+     *
+     * @param tolerance Slack in zJ: a diagonal still counts when an
+     *        off-diagonal entry undercuts it by no more than this
+     *        (the published matrix itself has 0.1 zJ rounding ties).
+     */
+    std::size_t diagonalMinimumCount(double tolerance = 0.0) const;
+
+    /**
+     * Mean relative difference |savat(a,b) - savat(b,a)| /
+     * ((savat(a,b) + savat(b,a)) / 2) over off-diagonal pairs: the
+     * paper uses A/B-vs-B/A agreement to bound the measurement error
+     * from instruction placement.
+     */
+    double symmetryError() const;
+
+    /**
+     * Single-instruction SAVAT of an instruction class: the maximum
+     * over pairwise SAVATs whose both events use the same instruction
+     * (Section II). E.g. for loads: max over pairs of
+     * {LDM, LDL2, LDL1}.
+     */
+    double singleInstructionSavat(
+        const std::vector<kernels::EventKind> &group) const;
+
+    /** Index of an event in this matrix; fatal if absent. */
+    std::size_t indexOf(kernels::EventKind e) const;
+
+    /** Index of an event, or -1 when the event is not present. */
+    std::int64_t tryIndexOf(kernels::EventKind e) const;
+
+  private:
+    std::vector<kernels::EventKind> _events;
+    std::vector<std::vector<std::vector<double>>> _cells;
+};
+
+} // namespace savat::core
+
+#endif // SAVAT_CORE_MATRIX_HH

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * The SAVAT meter: the paper's measurement methodology, end to end.
+ *
+ * For a pair of instruction/events (A, B) the meter
+ *  1. measures each event's steady-state iteration time and solves
+ *     for the burst lengths that hit the intended alternation
+ *     frequency (Section III),
+ *  2. builds and runs the A/B alternation kernel on the simulated
+ *     machine, capturing the micro-architectural activity trace over
+ *     several alternation periods after a cache warm-up,
+ *  3. extracts each emission channel's complex amplitude at the
+ *     alternation frequency,
+ *  4. synthesizes the received spectrum at the antenna (distance,
+ *     environment, instrument) and integrates the power in the
+ *     +/- 1 kHz band around the intended alternation frequency,
+ *  5. divides by the number of A/B pairs executed per second,
+ *     yielding the per-pair signal energy: the SAVAT value.
+ *
+ * Steps 1-3 are deterministic per pair and cached; step 4-5 are
+ * repeated per measurement repetition with fresh environmental
+ * randomness, matching the paper's ten-repetition campaigns.
+ */
+
+#ifndef SAVAT_CORE_METER_HH
+#define SAVAT_CORE_METER_HH
+
+#include <array>
+#include <functional>
+#include <map>
+
+#include "em/synth.hh"
+#include "kernels/generator.hh"
+#include "kernels/sequence.hh"
+#include "spectrum/analyzer.hh"
+#include "support/rng.hh"
+#include "support/units.hh"
+#include "uarch/cpu.hh"
+
+namespace savat::core {
+
+/** Which physical side channel the meter measures. */
+enum class SideChannel {
+    Em,   //!< EM emanations via the loop antenna (the paper's case)
+    Power //!< supply-current measurement (Section VII future work)
+};
+
+/** Measurement parameters shared by a campaign. */
+struct MeterConfig
+{
+    /** Intended alternation frequency (the paper uses 80 kHz). */
+    Frequency alternation = Frequency::khz(80.0);
+
+    /** Antenna distance (the paper uses 10/50/100 cm). */
+    Distance distance = Distance::centimeters(10.0);
+
+    /** Burst-length selection policy. */
+    kernels::PairingMode pairing = kernels::PairingMode::EqualDuration;
+
+    /** Alternation periods captured for spectral analysis. */
+    std::size_t measurePeriods = 8;
+
+    /** Half-width of the measured band around the intended
+     * frequency (the paper integrates +/- 1 kHz). */
+    double bandHz = 1000.0;
+
+    /** Half-width of the synthesized spectral window. */
+    double spanHz = 2000.0;
+
+    /** Spectrum analyzer sweep settings. */
+    double rbwHz = 1.0;
+    double noiseFloorWPerHz = 5.0e-18;
+
+    /** Side channel under measurement. */
+    SideChannel sideChannel = SideChannel::Em;
+
+    /** Noise floor of the power-measurement front end [W/Hz]. */
+    double powerNoiseFloorWPerHz = 2.0e-16;
+};
+
+/** Deterministic per-pair simulation products (environment-free). */
+struct PairSimulation
+{
+    kernels::EventKind a = kernels::EventKind::NOI;
+    kernels::EventKind b = kernels::EventKind::NOI;
+
+    kernels::CountSolution counts;
+
+    /** Realized alternation frequency of the generated kernel. */
+    Frequency actualFrequency;
+
+    /** Fraction of the period spent in the A burst. */
+    double duty = 0.5;
+
+    /** Average period length in cycles. */
+    double periodCycles = 0.0;
+
+    /**
+     * A/B pairs per second: the intended alternation frequency times
+     * the burst length (the larger one when the two bursts differ).
+     * SAVAT divides measured band power by this rate.
+     */
+    double pairsPerSecond = 0.0;
+
+    /** Per-channel complex amplitude at the alternation frequency. */
+    em::ChannelAmplitudes amplitude{};
+
+    /** Per-channel mean activity of each half (au/cycle). */
+    std::array<double, em::kNumChannels> meanA{};
+    std::array<double, em::kNumChannels> meanB{};
+
+    /** Memory-system statistics over the measured window. */
+    uarch::CacheStats l1;
+    uarch::CacheStats l2;
+    uarch::MainMemoryStats mem;
+};
+
+/** One measurement repetition's outputs. */
+struct Measurement
+{
+    Energy savat;              //!< the SAVAT value
+    double bandPowerW = 0.0;   //!< integrated band power
+    double toneHz = 0.0;       //!< realized tone frequency
+    spectrum::Trace trace;     //!< the analyzer display
+};
+
+/** The meter. */
+class SavatMeter
+{
+  public:
+    /**
+     * @param machine Machine to measure.
+     * @param synth   Emission/propagation/antenna/environment chain
+     *                (must match the machine).
+     * @param config  Measurement parameters.
+     */
+    SavatMeter(uarch::MachineConfig machine,
+               em::ReceivedSignalSynthesizer synth, MeterConfig config);
+
+    /** Convenience: build the full chain for a case-study machine. */
+    static SavatMeter forMachine(const std::string &machineId,
+                                 MeterConfig config = {});
+
+    /**
+     * Run the deterministic part of a pair measurement (kernel
+     * construction, simulation, spectral extraction). Results are
+     * cached per (a, b).
+     */
+    const PairSimulation &simulatePair(kernels::EventKind a,
+                                       kernels::EventKind b);
+
+    /**
+     * Sequence variant (Section III "combination"): the A and B
+     * slots each hold a short instruction sequence. Results are
+     * cached per (sequenceName(a), sequenceName(b)).
+     */
+    const PairSimulation &
+    simulateSequencePair(const kernels::EventSequence &a,
+                         const kernels::EventSequence &b);
+
+    /**
+     * One measurement repetition: synthesize the received spectrum
+     * with fresh environmental randomness and integrate the band.
+     */
+    Measurement measure(const PairSimulation &sim, Rng &rng) const;
+
+    /** Convenience: simulate (cached) + one repetition. */
+    Measurement measurePair(kernels::EventKind a, kernels::EventKind b,
+                            Rng &rng);
+
+    /** Steady-state cycles/iteration of an event's half (cached). */
+    double iterationCycles(kernels::EventKind e);
+
+    const uarch::MachineConfig &machine() const { return _machine; }
+    const MeterConfig &config() const { return _config; }
+    const em::ReceivedSignalSynthesizer &synth() const { return _synth; }
+
+  private:
+    uarch::MachineConfig _machine;
+    em::ReceivedSignalSynthesizer _synth;
+    MeterConfig _config;
+
+    std::map<kernels::EventKind, double> _cpiCache;
+    std::map<std::pair<kernels::EventKind, kernels::EventKind>,
+             PairSimulation>
+        _pairCache;
+    std::map<std::pair<std::string, std::string>, PairSimulation>
+        _sequenceCache;
+
+    /** Everything runAlternation needs to know about one kernel. */
+    struct AlternationSpec
+    {
+        std::function<kernels::AlternationKernel(
+            std::uint64_t countA, std::uint64_t countB)>
+            build;
+        double cpiA = 0.0;
+        double cpiB = 0.0;
+        std::uint64_t footprintA = 0;
+        std::uint64_t footprintB = 0;
+        bool prefillA = false; //!< half A loads data
+        bool prefillB = false;
+        kernels::EventKind labelA = kernels::EventKind::NOI;
+        kernels::EventKind labelB = kernels::EventKind::NOI;
+    };
+
+    PairSimulation runAlternation(const AlternationSpec &spec);
+    PairSimulation runPairSimulation(kernels::EventKind a,
+                                     kernels::EventKind b);
+};
+
+} // namespace savat::core
+
+#endif // SAVAT_CORE_METER_HH

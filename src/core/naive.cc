@@ -1,0 +1,175 @@
+#include "core/naive.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "isa/assembler.hh"
+#include "kernels/generator.hh"
+#include "support/logging.hh"
+#include "uarch/cpu.hh"
+
+namespace savat::core {
+
+using kernels::EventKind;
+
+namespace {
+
+/**
+ * Build the single-shot program: identical context around one test
+ * instruction.
+ */
+isa::Program
+buildSingleShot(EventKind e, std::size_t context)
+{
+    std::ostringstream oss;
+    oss << "; naive single-shot capture: " << kernels::eventName(e)
+        << "\n";
+    oss << "    mov esi,0x10000000\n";
+    oss << "    mov eax,7\n";
+    oss << "    mov edx,0\n";
+    auto filler = [&oss](std::size_t n) {
+        for (std::size_t i = 0; i < n; ++i) {
+            switch (i % 4) {
+              case 0: oss << "    add ebx,13\n"; break;
+              case 1: oss << "    mov ecx,ebx\n"; break;
+              case 2: oss << "    xor ecx,173\n"; break;
+              default: oss << "    sub ebx,5\n"; break;
+            }
+        }
+    };
+    filler(context);
+    oss << "    cdq\n";
+    const std::string test = kernels::eventAsm(e, "esi");
+    if (!test.empty())
+        oss << "    " << test << "\n";
+    filler(context);
+    oss << "    hlt\n";
+    return isa::assembleOrDie(oss.str(), std::string("naive_") +
+                                             kernels::eventName(e));
+}
+
+/**
+ * Simulate one single-shot run and return the scope-rate samples of
+ * the total emission-weighted activity.
+ */
+std::vector<double>
+captureSignal(const uarch::MachineConfig &machine,
+              const em::EmissionProfile &profile, EventKind e,
+              const NaiveConfig &config)
+{
+    uarch::ActivityTrace trace;
+    uarch::SimpleCpu cpu(machine, trace);
+    // Make loads hit valid data.
+    cpu.memory().writeWord(0x10000000ull, 0x07070707u);
+
+    const auto program = buildSingleShot(e, config.contextInstructions);
+    const auto res = cpu.run(program);
+    SAVAT_ASSERT(res.halted, "single-shot program did not halt");
+
+    // Total scope-visible signal: all channels weighted by coupling
+    // gain (close-range probe, no distance attenuation).
+    std::array<double, uarch::kNumMicroEvents> weights{};
+    for (std::size_t ev = 0; ev < uarch::kNumMicroEvents; ++ev) {
+        const auto ch =
+            static_cast<std::size_t>(profile.eventChannel[ev]);
+        weights[ev] = profile.eventWeight[ev] * profile.gain[ch] * 1e6;
+    }
+    auto wave = trace.weightedWaveform(weights, 0, cpu.cycle());
+    for (auto &v : wave)
+        v += config.backgroundAmplitude;
+
+    // Resample to the scope rate with linear interpolation.
+    const double samples_per_cycle =
+        config.scopeSamplesPerSecond / machine.clock.inHz();
+    const std::size_t nsamples = static_cast<std::size_t>(
+        std::floor(static_cast<double>(wave.size() - 1) *
+                   samples_per_cycle));
+    std::vector<double> out(nsamples, 0.0);
+    for (std::size_t i = 0; i < nsamples; ++i) {
+        const double t = static_cast<double>(i) / samples_per_cycle;
+        const auto lo = static_cast<std::size_t>(std::floor(t));
+        const double frac = t - static_cast<double>(lo);
+        const double a = wave[lo];
+        const double b = lo + 1 < wave.size() ? wave[lo + 1] : a;
+        out[i] = a + frac * (b - a);
+    }
+    return out;
+}
+
+/** Area between two sample vectors (per-sample dt applied). */
+double
+areaBetween(const std::vector<double> &a, const std::vector<double> &b,
+            double dt, std::ptrdiff_t shift_b)
+{
+    const std::size_t n = std::min(a.size(), b.size());
+    double area = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::ptrdiff_t j =
+            static_cast<std::ptrdiff_t>(i) + shift_b;
+        const double bv =
+            (j >= 0 && j < static_cast<std::ptrdiff_t>(b.size()))
+                ? b[static_cast<std::size_t>(j)]
+                : 0.0;
+        area += std::abs(a[i] - bv) * dt;
+    }
+    return area;
+}
+
+} // namespace
+
+NaiveResult
+runNaiveComparison(const uarch::MachineConfig &machine,
+                   const em::EmissionProfile &profile, EventKind a,
+                   EventKind b, const NaiveConfig &config,
+                   std::size_t trials, Rng &rng)
+{
+    SAVAT_ASSERT(trials >= 1, "need at least one trial");
+
+    const auto sig_a = captureSignal(machine, profile, a, config);
+    const auto sig_b = captureSignal(machine, profile, b, config);
+    const double dt = 1.0 / config.scopeSamplesPerSecond;
+
+    NaiveResult result;
+    result.trueDifference = areaBetween(sig_a, sig_b, dt, 0);
+
+    // Noise amplitude proportional to the overall signal magnitude
+    // (the paper: "the measurement error ... is proportional to the
+    // signal's overall value"), which the common-mode background
+    // dominates.
+    double hi = 0.0;
+    for (double v : sig_a)
+        hi = std::max(hi, std::abs(v));
+    for (double v : sig_b)
+        hi = std::max(hi, std::abs(v));
+    const double sigma = config.noiseFraction * hi;
+
+    std::vector<double> estimates;
+    estimates.reserve(trials);
+    double err_total = 0.0;
+    for (std::size_t t = 0; t < trials; ++t) {
+        std::vector<double> na = sig_a;
+        std::vector<double> nb = sig_b;
+        for (auto &v : na)
+            v += rng.gaussian(0.0, sigma);
+        for (auto &v : nb)
+            v += rng.gaussian(0.0, sigma);
+        const int jitter_range = 2 * config.alignmentJitterSamples + 1;
+        const std::ptrdiff_t shift =
+            static_cast<std::ptrdiff_t>(rng.uniformInt(
+                static_cast<std::uint64_t>(jitter_range))) -
+            config.alignmentJitterSamples;
+        const double est = areaBetween(na, nb, dt, shift);
+        estimates.push_back(est);
+        if (result.trueDifference > 0.0) {
+            err_total += std::abs(est - result.trueDifference) /
+                         result.trueDifference;
+        }
+    }
+    result.estimates = summarize(estimates);
+    result.meanRelativeError =
+        err_total / static_cast<double>(trials);
+    return result;
+}
+
+} // namespace savat::core

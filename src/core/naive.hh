@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The naive SAVAT measurement methodology (the paper's Figure 2),
+ * implemented as a baseline.
+ *
+ * Record the side-channel signal around a single execution of
+ * instruction A, record it again for B, align the two captures and
+ * integrate the area between the curves. Section III argues this
+ * fails in practice: the one-instruction difference is far below
+ * instrument noise, the subtraction of two large nearly-equal
+ * signals amplifies relative error, and sample-grid misalignment
+ * adds more. This module reproduces that argument quantitatively so
+ * the alternation methodology's advantage can be benchmarked.
+ */
+
+#ifndef SAVAT_CORE_NAIVE_HH
+#define SAVAT_CORE_NAIVE_HH
+
+#include "em/emission.hh"
+#include "kernels/events.hh"
+#include "support/rng.hh"
+#include "support/stats.hh"
+#include "uarch/machine.hh"
+
+namespace savat::core {
+
+/** Oscilloscope and capture parameters for the naive measurement. */
+struct NaiveConfig
+{
+    /** Real-time sampling rate (a top-end scope: 40 GS/s). */
+    double scopeSamplesPerSecond = 40e9;
+
+    /** Additive noise, as a fraction of the signal's range (the
+     * paper's example uses 0.5 %). */
+    double noiseFraction = 0.005;
+
+    /** Worst-case misalignment between the two captures, in scope
+     * samples. */
+    int alignmentJitterSamples = 1;
+
+    /** Surrounding (identical) instructions before and after the
+     * instruction under test. */
+    std::size_t contextInstructions = 40;
+
+    /**
+     * Common-mode background signal level (scaled signal units):
+     * the probe sees the whole die -- clock trees, other cores,
+     * refresh -- which dwarfs any single instruction's
+     * contribution. The measurement noise is proportional to the
+     * full signal range, so this is what makes the naive approach
+     * hopeless for small differences.
+     */
+    double backgroundAmplitude = 40.0;
+};
+
+/** Outcome of a naive-methodology experiment. */
+struct NaiveResult
+{
+    /** Noise-free, perfectly aligned area between the curves
+     * (arbitrary signal units x seconds). */
+    double trueDifference = 0.0;
+
+    /** Distribution of the noisy estimates across trials. */
+    Summary estimates;
+
+    /** Mean of |estimate - truth| / truth across trials. */
+    double meanRelativeError = 0.0;
+};
+
+/**
+ * Run the naive measurement `trials` times for the (a, b) pair.
+ *
+ * The same emission profile used by the alternation methodology
+ * weighs the simulated activity into a scope-visible signal, so the
+ * two methodologies are compared on identical physics.
+ */
+NaiveResult runNaiveComparison(const uarch::MachineConfig &machine,
+                               const em::EmissionProfile &profile,
+                               kernels::EventKind a, kernels::EventKind b,
+                               const NaiveConfig &config,
+                               std::size_t trials, Rng &rng);
+
+} // namespace savat::core
+
+#endif // SAVAT_CORE_NAIVE_HH

@@ -1,0 +1,201 @@
+#include "core/reference.hh"
+
+#include <cmath>
+
+#include "support/logging.hh"
+#include "support/stats.hh"
+
+namespace savat::core {
+
+using kernels::EventKind;
+
+namespace {
+
+std::vector<EventKind>
+paperOrder()
+{
+    return kernels::allEvents();
+}
+
+ReferenceMatrix
+makeMatrix(const char *figure, const char *machine, double distance_cm,
+           std::initializer_list<std::initializer_list<double>> rows)
+{
+    ReferenceMatrix m;
+    m.figure = figure;
+    m.machine = machine;
+    m.distanceCm = distance_cm;
+    m.events = paperOrder();
+    for (const auto &row : rows)
+        m.zj.emplace_back(row);
+    SAVAT_ASSERT(m.zj.size() == m.events.size(),
+                 "reference matrix row count");
+    for (const auto &row : m.zj) {
+        SAVAT_ASSERT(row.size() == m.events.size(),
+                     "reference matrix column count");
+    }
+    return m;
+}
+
+} // namespace
+
+const ReferenceMatrix &
+figure9Core2Duo()
+{
+    // Rows are the A instruction, columns the B instruction, in the
+    // order LDM STM LDL2 STL2 LDL1 STL1 NOI ADD SUB MUL DIV.
+    static const ReferenceMatrix m = makeMatrix(
+        "Figure 9", "core2duo", 10.0,
+        {
+            {1.8, 2.4, 7.9, 11.5, 4.6, 4.4, 4.3, 4.2, 4.4, 4.2, 5.1},
+            {2.3, 2.4, 8.8, 11.8, 4.3, 4.2, 3.8, 3.9, 3.9, 4.3, 4.2},
+            {7.7, 7.7, 0.6, 0.8, 3.9, 3.5, 4.3, 3.6, 4.8, 3.8, 6.2},
+            {11.5, 10.6, 0.8, 0.7, 5.1, 6.1, 6.1, 6.1, 6.1, 6.2, 10.1},
+            {4.4, 4.2, 3.3, 5.8, 0.7, 0.6, 0.7, 0.7, 0.7, 0.7, 1.3},
+            {4.5, 4.2, 3.8, 4.9, 0.7, 0.6, 0.7, 0.6, 0.6, 0.6, 1.2},
+            {4.1, 3.8, 4.1, 6.4, 0.7, 0.7, 0.6, 0.6, 0.7, 0.6, 1.0},
+            {4.2, 4.1, 4.1, 7.0, 0.7, 0.7, 0.6, 0.7, 0.6, 0.6, 1.0},
+            {4.4, 4.0, 3.8, 7.3, 0.7, 0.6, 0.7, 0.6, 0.6, 0.6, 1.1},
+            {4.4, 3.9, 3.7, 5.7, 0.7, 0.7, 0.6, 0.6, 0.6, 0.6, 1.1},
+            {5.0, 4.6, 6.9, 9.3, 1.3, 1.2, 1.0, 1.1, 1.1, 1.1, 0.8},
+        });
+    return m;
+}
+
+const ReferenceMatrix &
+figure17Core2Duo50cm()
+{
+    static const ReferenceMatrix m = makeMatrix(
+        "Figure 17", "core2duo", 50.0,
+        {
+            {1.7, 1.9, 1.3, 1.3, 1.2, 1.2, 1.2, 1.2, 1.2, 1.2, 1.3},
+            {2.0, 2.2, 1.5, 1.6, 1.4, 1.4, 1.4, 1.4, 1.4, 1.4, 1.5},
+            {1.2, 1.5, 0.6, 0.6, 0.7, 0.7, 0.6, 0.7, 0.7, 0.7, 0.8},
+            {1.3, 1.6, 0.6, 0.6, 0.7, 0.7, 0.7, 0.7, 0.7, 0.7, 0.9},
+            {1.2, 1.4, 0.6, 0.7, 0.6, 0.6, 0.6, 0.6, 0.6, 0.6, 0.7},
+            {1.2, 1.4, 0.7, 0.7, 0.6, 0.6, 0.6, 0.6, 0.6, 0.6, 0.7},
+            {1.2, 1.4, 0.7, 0.7, 0.6, 0.6, 0.6, 0.6, 0.6, 0.6, 0.7},
+            {1.2, 1.4, 0.7, 0.7, 0.6, 0.6, 0.6, 0.6, 0.6, 0.6, 0.7},
+            {1.2, 1.4, 0.7, 0.7, 0.6, 0.6, 0.6, 0.6, 0.6, 0.6, 0.7},
+            {1.2, 1.4, 0.6, 0.7, 0.6, 0.6, 0.6, 0.6, 0.6, 0.6, 0.7},
+            {1.3, 1.5, 0.8, 0.9, 0.7, 0.7, 0.7, 0.7, 0.7, 0.7, 0.8},
+        });
+    return m;
+}
+
+const ReferenceMatrix &
+figure18Core2Duo100cm()
+{
+    static const ReferenceMatrix m = makeMatrix(
+        "Figure 18", "core2duo", 100.0,
+        {
+            {1.7, 1.9, 1.2, 1.2, 1.2, 1.1, 1.1, 1.1, 1.2, 1.1, 1.3},
+            {2.0, 2.2, 1.4, 1.4, 1.4, 1.4, 1.4, 1.4, 1.4, 1.4, 1.5},
+            {1.2, 1.4, 0.6, 0.6, 0.6, 0.6, 0.6, 0.6, 0.6, 0.6, 0.7},
+            {1.2, 1.4, 0.6, 0.6, 0.6, 0.6, 0.6, 0.6, 0.6, 0.6, 0.7},
+            {1.2, 1.4, 0.6, 0.6, 0.6, 0.6, 0.6, 0.6, 0.6, 0.6, 0.7},
+            {1.2, 1.4, 0.6, 0.6, 0.6, 0.6, 0.6, 0.6, 0.6, 0.6, 0.7},
+            {1.2, 1.4, 0.6, 0.6, 0.6, 0.6, 0.6, 0.6, 0.6, 0.6, 0.7},
+            {1.2, 1.4, 0.6, 0.6, 0.6, 0.6, 0.6, 0.6, 0.6, 0.6, 0.7},
+            {1.2, 1.4, 0.6, 0.6, 0.6, 0.6, 0.6, 0.6, 0.6, 0.6, 0.7},
+            {1.2, 1.4, 0.6, 0.6, 0.6, 0.6, 0.6, 0.6, 0.6, 0.6, 0.7},
+            {1.3, 1.5, 0.7, 0.7, 0.7, 0.7, 0.7, 0.7, 0.7, 0.7, 0.8},
+        });
+    return m;
+}
+
+std::vector<ReferenceAnchor>
+pentium3mAnchors()
+{
+    // Prose-corroborated values: off-chip accesses dominate, LDM
+    // louder than STM, DIV an order of magnitude above ADD/MUL.
+    return {
+        {EventKind::ADD, EventKind::LDM, 26.5},
+        {EventKind::ADD, EventKind::STM, 11.3},
+        {EventKind::ADD, EventKind::LDL2, 3.4},
+        {EventKind::ADD, EventKind::STL2, 6.4},
+        {EventKind::ADD, EventKind::DIV, 10.0},
+        {EventKind::ADD, EventKind::MUL, 0.9},
+        {EventKind::ADD, EventKind::ADD, 0.9},
+        {EventKind::DIV, EventKind::DIV, 1.9},
+    };
+}
+
+std::vector<ReferenceAnchor>
+turionx2Anchors()
+{
+    // "Very similar results ... except that the DIV instruction here
+    // has even higher SAVAT values - they rival those of off-chip
+    // memory accesses."
+    return {
+        {EventKind::ADD, EventKind::LDM, 14.3},
+        {EventKind::ADD, EventKind::STM, 3.5},
+        {EventKind::ADD, EventKind::LDL2, 6.9},
+        {EventKind::ADD, EventKind::DIV, 13.4},
+        {EventKind::ADD, EventKind::MUL, 0.9},
+        {EventKind::ADD, EventKind::ADD, 0.9},
+        {EventKind::DIV, EventKind::DIV, 4.3},
+    };
+}
+
+std::vector<std::pair<EventKind, EventKind>>
+selectedBarPairs()
+{
+    // The pairings of Figures 11/13/15/16, in display order.
+    return {
+        {EventKind::ADD, EventKind::ADD},
+        {EventKind::ADD, EventKind::MUL},
+        {EventKind::ADD, EventKind::LDL1},
+        {EventKind::ADD, EventKind::DIV},
+        {EventKind::ADD, EventKind::LDL2},
+        {EventKind::ADD, EventKind::LDM},
+        {EventKind::LDL1, EventKind::LDL2},
+        {EventKind::LDL2, EventKind::LDM},
+        {EventKind::STL1, EventKind::STL2},
+        {EventKind::STL2, EventKind::STM},
+        {EventKind::STL2, EventKind::DIV},
+    };
+}
+
+namespace {
+
+/** Flatten reference and simulated means over matching cells. */
+void
+flatten(const SavatMatrix &sim, const ReferenceMatrix &ref,
+        std::vector<double> &s, std::vector<double> &r)
+{
+    for (std::size_t a = 0; a < ref.events.size(); ++a) {
+        for (std::size_t b = 0; b < ref.events.size(); ++b) {
+            const auto ia = sim.indexOf(ref.events[a]);
+            const auto ib = sim.indexOf(ref.events[b]);
+            if (sim.samples(ia, ib).empty())
+                continue;
+            s.push_back(sim.mean(ia, ib));
+            r.push_back(ref.zj[a][b]);
+        }
+    }
+}
+
+} // namespace
+
+double
+rankCorrelation(const SavatMatrix &sim, const ReferenceMatrix &ref)
+{
+    std::vector<double> s, r;
+    flatten(sim, ref, s, r);
+    return spearman(s, r);
+}
+
+double
+logCorrelation(const SavatMatrix &sim, const ReferenceMatrix &ref)
+{
+    std::vector<double> s, r;
+    flatten(sim, ref, s, r);
+    for (auto &v : s)
+        v = std::log(std::max(v, 1e-3));
+    for (auto &v : r)
+        v = std::log(std::max(v, 1e-3));
+    return pearson(s, r);
+}
+
+} // namespace savat::core

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Reference data from the paper, used only for comparison: tests and
+ * EXPERIMENTS.md check that the simulated matrices reproduce the
+ * published orderings and magnitudes, never the other way around.
+ *
+ * The Core 2 Duo matrices (Figures 9, 17 and 18) are embedded in
+ * full. The Pentium 3 M and Turion X2 tables did not survive the
+ * source's OCR reliably, so for those machines we embed only anchor
+ * values that are corroborated by the paper's prose (e.g. "the
+ * ADD/DIV SAVAT is an order of magnitude higher than the ADD/MUL
+ * SAVAT").
+ */
+
+#ifndef SAVAT_CORE_REFERENCE_HH
+#define SAVAT_CORE_REFERENCE_HH
+
+#include <string>
+#include <vector>
+
+#include "core/matrix.hh"
+#include "kernels/events.hh"
+
+namespace savat::core {
+
+/** A reference matrix (means only) with its provenance. */
+struct ReferenceMatrix
+{
+    std::string figure;   //!< e.g. "Figure 9"
+    std::string machine;  //!< machine id
+    double distanceCm;    //!< antenna distance
+    std::vector<kernels::EventKind> events;
+    std::vector<std::vector<double>> zj; //!< row = A, col = B
+};
+
+/** Figure 9: Core 2 Duo, 10 cm, 80 kHz. */
+const ReferenceMatrix &figure9Core2Duo();
+
+/** Figure 17: Core 2 Duo, 50 cm. */
+const ReferenceMatrix &figure17Core2Duo50cm();
+
+/** Figure 18: Core 2 Duo, 100 cm. */
+const ReferenceMatrix &figure18Core2Duo100cm();
+
+/** One anchor value with provenance. */
+struct ReferenceAnchor
+{
+    kernels::EventKind a;
+    kernels::EventKind b;
+    double zj;
+};
+
+/** Prose-corroborated anchors for the Pentium 3 M (10 cm). */
+std::vector<ReferenceAnchor> pentium3mAnchors();
+
+/** Prose-corroborated anchors for the Turion X2 (10 cm). */
+std::vector<ReferenceAnchor> turionx2Anchors();
+
+/**
+ * The selected instruction pairings of the paper's bar charts
+ * (Figures 11, 13, 15, 16), in display order.
+ */
+std::vector<std::pair<kernels::EventKind, kernels::EventKind>>
+selectedBarPairs();
+
+/**
+ * Spearman rank correlation between a simulated matrix's means and a
+ * reference matrix (cells matched by event pair).
+ */
+double rankCorrelation(const SavatMatrix &sim,
+                       const ReferenceMatrix &ref);
+
+/**
+ * Pearson correlation between log-SAVAT values of a simulated matrix
+ * and a reference (log compresses the dynamic range so the big
+ * off-chip cells do not dominate).
+ */
+double logCorrelation(const SavatMatrix &sim, const ReferenceMatrix &ref);
+
+} // namespace savat::core
+
+#endif // SAVAT_CORE_REFERENCE_HH

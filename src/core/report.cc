@@ -1,0 +1,158 @@
+#include "core/report.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/reference.hh"
+#include "support/logging.hh"
+#include "support/strings.hh"
+#include "support/table.hh"
+
+namespace savat::core {
+
+void
+printMatrixTable(std::ostream &os, const SavatMatrix &matrix)
+{
+    TextTable table;
+    auto header = matrix.labels();
+    header.insert(header.begin(), "A\\B");
+    table.setHeader(header);
+    const auto m = matrix.means();
+    for (std::size_t a = 0; a < matrix.size(); ++a) {
+        table.startRow();
+        table.addCell(matrix.labels()[a]);
+        for (std::size_t b = 0; b < matrix.size(); ++b)
+            table.addCell(m[a][b], 1);
+    }
+    table.render(os);
+}
+
+void
+printMatrixHeatmap(std::ostream &os, const SavatMatrix &matrix)
+{
+    os << asciiHeatmap(matrix.labels(), matrix.means());
+}
+
+void
+printSelectedBars(std::ostream &os, const SavatMatrix &matrix)
+{
+    std::vector<std::string> labels;
+    std::vector<double> values;
+    for (const auto &[a, b] : selectedBarPairs()) {
+        const auto ia_t = matrix.tryIndexOf(a);
+        const auto ib_t = matrix.tryIndexOf(b);
+        if (ia_t < 0 || ib_t < 0)
+            continue;
+        const auto ia = static_cast<std::size_t>(ia_t);
+        const auto ib = static_cast<std::size_t>(ib_t);
+        if (matrix.samples(ia, ib).empty())
+            continue;
+        labels.push_back(std::string(kernels::eventName(a)) + "/" +
+                         kernels::eventName(b));
+        values.push_back(matrix.mean(ia, ib));
+    }
+    os << asciiBarChart(labels, values);
+}
+
+void
+printMatrixCsv(std::ostream &os, const SavatMatrix &matrix)
+{
+    TextTable table;
+    table.setHeader({"a", "b", "mean_zj", "stddev_zj", "min_zj",
+                     "max_zj", "samples"});
+    for (std::size_t a = 0; a < matrix.size(); ++a) {
+        for (std::size_t b = 0; b < matrix.size(); ++b) {
+            const auto s = matrix.cellSummary(a, b);
+            if (s.count == 0)
+                continue;
+            table.startRow();
+            table.addCell(matrix.labels()[a]);
+            table.addCell(matrix.labels()[b]);
+            table.addCell(s.mean, 3);
+            table.addCell(s.stddev, 3);
+            table.addCell(s.min, 3);
+            table.addCell(s.max, 3);
+            table.addCell(static_cast<long long>(s.count));
+        }
+    }
+    table.renderCsv(os);
+}
+
+void
+printCampaignSummary(std::ostream &os, const CampaignResult &result)
+{
+    const auto &matrix = result.matrix;
+    os << "machine: " << result.config.machineId
+       << "  distance: "
+       << format("%.0f cm",
+                 result.config.meter.distance.inCentimeters())
+       << "  alternation: "
+       << format("%.0f kHz",
+                 result.config.meter.alternation.inKhz())
+       << "  repetitions: " << result.config.repetitions << "\n";
+    os << format("diagonal-minimum cells: %zu of %zu\n",
+                 matrix.diagonalMinimumCount(), matrix.size());
+    os << format("mean std/mean (repeatability): %.3f\n",
+                 matrix.meanCoefficientOfVariation());
+    os << format("A/B vs B/A mean asymmetry: %.3f\n",
+                 matrix.symmetryError());
+
+    TextTable table;
+    table.setHeader({"pair", "cpiA", "cpiB", "countA", "countB",
+                     "f_alt[kHz]", "pairs/s", "SAVAT[zJ]"});
+    for (std::size_t a = 0; a < matrix.size(); ++a) {
+        for (std::size_t b = 0; b < matrix.size(); ++b) {
+            if (matrix.samples(a, b).empty())
+                continue;
+            const auto &sim = result.simulation(a, b);
+            table.startRow();
+            table.addCell(matrix.labels()[a] + "/" +
+                          matrix.labels()[b]);
+            table.addCell(sim.counts.cpiA, 1);
+            table.addCell(sim.counts.cpiB, 1);
+            table.addCell(static_cast<long long>(sim.counts.countA));
+            table.addCell(static_cast<long long>(sim.counts.countB));
+            table.addCell(sim.actualFrequency.inKhz(), 2);
+            table.addCell(sim.pairsPerSecond, 0);
+            table.addCell(matrix.mean(a, b), 2);
+        }
+    }
+    table.render(os);
+}
+
+void
+printSpectrum(std::ostream &os, const spectrum::Trace &trace,
+              double bandLoHz, double bandHiHz)
+{
+    // Down-sample the display to ~80 rows; show dBm/Hz bars.
+    const std::size_t rows = 80;
+    const std::size_t stride =
+        std::max<std::size_t>(1, trace.size() / rows);
+
+    double peak = 0.0;
+    for (double v : trace.psd)
+        peak = std::max(peak, v);
+    const double floor_psd = 1e-19;
+
+    os << format("band power [%.0f, %.0f] Hz: %.3e W\n", bandLoHz,
+                 bandHiHz, trace.bandPower(bandLoHz, bandHiHz));
+    for (std::size_t i = 0; i + stride <= trace.size(); i += stride) {
+        double v = 0.0;
+        for (std::size_t k = 0; k < stride; ++k)
+            v = std::max(v, trace.psd[i + k]);
+        const double f = trace.frequency(i + stride / 2);
+        const double db =
+            10.0 * std::log10(std::max(v, floor_psd) / floor_psd);
+        const double db_max =
+            10.0 * std::log10(std::max(peak, floor_psd) / floor_psd);
+        const int n = static_cast<int>(
+            std::lround(db / std::max(db_max, 1.0) * 60.0));
+        const bool in_band = f >= bandLoHz && f <= bandHiHz;
+        os << format("%9.1f Hz %10.3e W/Hz %c|", f, v,
+                     in_band ? '*' : ' ')
+           << std::string(static_cast<std::size_t>(std::max(n, 0)), '#')
+           << "\n";
+    }
+}
+
+} // namespace savat::core

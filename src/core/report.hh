@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Report rendering: the same rows/figures the paper prints.
+ */
+
+#ifndef SAVAT_CORE_REPORT_HH
+#define SAVAT_CORE_REPORT_HH
+
+#include <ostream>
+#include <string>
+
+#include "core/campaign.hh"
+#include "core/matrix.hh"
+#include "spectrum/analyzer.hh"
+
+namespace savat::core {
+
+/** Figure-9-style value table (zJ, one decimal). */
+void printMatrixTable(std::ostream &os, const SavatMatrix &matrix);
+
+/** Figure-10-style grayscale visualization (ASCII ramp). */
+void printMatrixHeatmap(std::ostream &os, const SavatMatrix &matrix);
+
+/** Figure-11-style bar chart over the selected pairings. */
+void printSelectedBars(std::ostream &os, const SavatMatrix &matrix);
+
+/** CSV dump of the matrix means (with stddev columns). */
+void printMatrixCsv(std::ostream &os, const SavatMatrix &matrix);
+
+/**
+ * Campaign summary: validation statistics (diagonal-minimum count,
+ * repeatability, symmetry) plus per-pair timing diagnostics.
+ */
+void printCampaignSummary(std::ostream &os, const CampaignResult &result);
+
+/**
+ * Figure-7/8-style spectrum listing: PSD versus frequency around the
+ * alternation band, in fixed-width columns (and a crude ASCII plot).
+ */
+void printSpectrum(std::ostream &os, const spectrum::Trace &trace,
+                   double bandLoHz, double bandHiHz);
+
+} // namespace savat::core
+
+#endif // SAVAT_CORE_REPORT_HH

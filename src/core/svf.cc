@@ -1,0 +1,180 @@
+#include "core/svf.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "isa/assembler.hh"
+#include "support/logging.hh"
+#include "support/stats.hh"
+#include "support/strings.hh"
+#include "uarch/cpu.hh"
+
+namespace savat::core {
+
+namespace {
+
+/** Cosine similarity between two activity vectors. */
+double
+cosine(const std::vector<double> &a, const std::vector<double> &b)
+{
+    SAVAT_ASSERT(a.size() == b.size(), "cosine: size mismatch");
+    double dot = 0.0, na = 0.0, nb = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        dot += a[i] * b[i];
+        na += a[i] * a[i];
+        nb += b[i] * b[i];
+    }
+    if (na == 0.0 || nb == 0.0)
+        return 0.0;
+    return dot / std::sqrt(na * nb);
+}
+
+} // namespace
+
+double
+similarityCorrelation(const std::vector<std::vector<double>> &oracle,
+                      const std::vector<double> &observed)
+{
+    SAVAT_ASSERT(oracle.size() == observed.size(),
+                 "window count mismatch");
+    const std::size_t n = oracle.size();
+    std::vector<double> sim_oracle, sim_observed;
+    sim_oracle.reserve(n * (n - 1) / 2);
+    sim_observed.reserve(n * (n - 1) / 2);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j) {
+            sim_oracle.push_back(cosine(oracle[i], oracle[j]));
+            sim_observed.push_back(
+                -std::abs(observed[i] - observed[j]));
+        }
+    }
+    return pearson(sim_oracle, sim_observed);
+}
+
+SvfResult
+computeSvf(const uarch::MachineConfig &machine,
+           const em::EmissionProfile &profile,
+           const em::DistanceModel &distances,
+           const isa::Program &program, const SvfConfig &config)
+{
+    SAVAT_ASSERT(config.windows >= 4, "need at least four windows");
+    SAVAT_ASSERT(config.windowCycles >= 16, "windows too short");
+
+    // Run the program long enough to cover the requested windows.
+    uarch::ActivityTrace trace;
+    uarch::SimpleCpu cpu(machine, trace);
+    uarch::RunLimits limits;
+    limits.maxCycles = config.windowCycles * config.windows + 1;
+    cpu.run(program, limits);
+
+    const std::uint64_t total = cpu.cycle();
+    const std::size_t usable = std::min<std::size_t>(
+        config.windows,
+        static_cast<std::size_t>(total / config.windowCycles));
+    SAVAT_ASSERT(usable >= 4, "program too short for SVF windows");
+
+    // Attacker-visible per-cycle signal: emission weights x channel
+    // gain x distance attenuation, summed over channels. A second
+    // weight set at the 10 cm reference fixes the (absolute)
+    // measurement-noise scale.
+    std::array<double, uarch::kNumMicroEvents> weights{};
+    std::array<double, uarch::kNumMicroEvents> ref_weights{};
+    const auto ref_distance = Distance::centimeters(10.0);
+    for (std::size_t ev = 0; ev < uarch::kNumMicroEvents; ++ev) {
+        const auto ch = profile.eventChannel[ev];
+        const double base =
+            profile.eventWeight[ev] *
+            profile.gain[static_cast<std::size_t>(ch)];
+        weights[ev] =
+            base * distances.amplitudeFactor(ch, config.distance);
+        ref_weights[ev] =
+            base * distances.amplitudeFactor(ch, ref_distance);
+    }
+
+    SvfResult res;
+    res.windows = usable;
+    Rng rng(config.seed);
+
+    const auto full_wave = trace.weightedWaveform(
+        weights, 0, config.windowCycles * usable);
+
+    // Mean power the attacker would see at the reference distance:
+    // the absolute noise scale.
+    const auto ref_wave = trace.weightedWaveform(
+        ref_weights, 0, config.windowCycles * usable);
+    double ref_power = 0.0;
+    for (double v : ref_wave)
+        ref_power += v * v;
+    ref_power /= static_cast<double>(ref_wave.size());
+
+    for (std::size_t w = 0; w < usable; ++w) {
+        const std::uint64_t begin = w * config.windowCycles;
+        const std::uint64_t end = begin + config.windowCycles;
+
+        // Oracle: the window's micro-event census.
+        std::vector<double> census(uarch::kNumMicroEvents, 0.0);
+        for (std::size_t ev = 0; ev < uarch::kNumMicroEvents; ++ev) {
+            census[ev] = trace.meanRate(
+                static_cast<uarch::MicroEvent>(ev), begin, end);
+        }
+        res.oracle.push_back(std::move(census));
+
+        // Attacker: window signal power + measurement noise.
+        double power = 0.0;
+        for (std::uint64_t c = begin; c < end; ++c)
+            power += full_wave[c] * full_wave[c];
+        power /= static_cast<double>(config.windowCycles);
+        power +=
+            rng.gaussian(0.0, config.observationNoise * ref_power);
+        res.observed.push_back(power);
+    }
+
+    res.svf = similarityCorrelation(res.oracle, res.observed);
+    return res;
+}
+
+isa::Program
+buildPhasedWorkload(const uarch::MachineConfig &machine,
+                    std::uint64_t iterationsPerPhase)
+{
+    SAVAT_ASSERT(iterationsPerPhase >= 1, "empty phases");
+    const std::uint64_t l1_mask = machine.l1.sizeBytes / 2 - 1;
+    const std::uint64_t l2_mask =
+        std::min<std::uint64_t>(4 * machine.l1.sizeBytes,
+                                machine.l2.sizeBytes / 4) -
+        1;
+    const std::uint64_t mem_mask = 4ull * machine.l2.sizeBytes - 1;
+
+    std::ostringstream oss;
+    oss << "; SVF phased workload: compute / L2 / memory phases\n";
+    oss << "    mov esi,0x10000000\n";
+    oss << "    mov eax,7\n";
+    oss << "    mov edx,0\n";
+    oss << "top:\n";
+
+    auto sweep_phase = [&](const char *label, std::uint64_t mask,
+                           bool memory) {
+        oss << "    mov ecx," << iterationsPerPhase << "\n";
+        oss << label << ":\n";
+        oss << "    mov ebx,esi\n";
+        oss << "    add ebx," << machine.l1.lineBytes << "\n";
+        oss << format("    and ebx,0x%llX\n",
+                      static_cast<unsigned long long>(mask));
+        oss << "    and esi,0xF0000000\n";
+        oss << "    or esi,ebx\n";
+        if (memory)
+            oss << "    mov eax,[esi]\n";
+        else
+            oss << "    imul eax,173\n";
+        oss << "    dec ecx\n";
+        oss << "    jne " << label << "\n";
+    };
+
+    sweep_phase("compute", l1_mask, false);
+    sweep_phase("l2_phase", l2_mask, true);
+    sweep_phase("mem_phase", mem_mask, true);
+    oss << "    jmp top\n";
+    return isa::assembleOrDie(oss.str(), "svf_phased");
+}
+
+} // namespace savat::core

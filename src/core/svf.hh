@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Side-channel Vulnerability Factor (SVF) — the prior-art metric the
+ * paper positions SAVAT against (Demme et al., ISCA 2012).
+ *
+ * SVF measures how strongly an attacker's side-channel observations
+ * correlate with the victim's actual execution patterns: split the
+ * execution into windows, build the pairwise similarity matrix of
+ * the ground-truth activity ("oracle") and of the attacker's
+ * observations, and report the Pearson correlation between the two
+ * matrices' entries. An SVF near 1 means execution phases show
+ * through the side channel clearly.
+ *
+ * The paper's critique (Sections I/VI) is that SVF grades the whole
+ * system/application but cannot attribute leakage to instructions or
+ * components. Implementing it on the same simulated physics lets the
+ * benchmarks demonstrate that contrast directly: SVF says *that* the
+ * system leaks, the SAVAT matrix says *what* leaks.
+ */
+
+#ifndef SAVAT_CORE_SVF_HH
+#define SAVAT_CORE_SVF_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "em/synth.hh"
+#include "isa/instruction.hh"
+#include "support/rng.hh"
+#include "support/units.hh"
+#include "uarch/machine.hh"
+
+namespace savat::core {
+
+/** SVF computation parameters. */
+struct SvfConfig
+{
+    /** Window length over which activity is aggregated (cycles). */
+    std::uint64_t windowCycles = 2000;
+
+    /** Number of windows to correlate. */
+    std::size_t windows = 64;
+
+    /** Antenna distance for the attacker's observation. */
+    Distance distance = Distance::centimeters(10.0);
+
+    /**
+     * Attacker measurement noise, as a fraction of the mean window
+     * power the attacker would see at the 10 cm reference distance.
+     * Absolute (distance-independent): backing away from the device
+     * buries the signal under it.
+     */
+    double observationNoise = 0.1;
+
+    /** Randomness seed for the observation noise. */
+    std::uint64_t seed = 0xC0FFEE;
+};
+
+/** SVF computation outputs. */
+struct SvfResult
+{
+    /** The Side-channel Vulnerability Factor, in [-1, 1]. */
+    double svf = 0.0;
+
+    /** Windows actually used (execution may end early). */
+    std::size_t windows = 0;
+
+    /** Per-window oracle activity vectors (for diagnostics). */
+    std::vector<std::vector<double>> oracle;
+
+    /** Per-window attacker observations (signal power). */
+    std::vector<double> observed;
+};
+
+/**
+ * Compute the SVF of a program on a machine as seen through the EM
+ * side channel at the given distance.
+ *
+ * The oracle pattern of each window is its micro-event census (what
+ * the processor actually did); the attacker's observation is the
+ * emission-weighted, distance-attenuated signal power in the window
+ * plus measurement noise.
+ */
+SvfResult computeSvf(const uarch::MachineConfig &machine,
+                     const em::EmissionProfile &profile,
+                     const em::DistanceModel &distances,
+                     const isa::Program &program,
+                     const SvfConfig &config);
+
+/**
+ * A phased demo workload for SVF studies: loops that cycle through
+ * compute-heavy, L2-resident and off-chip phases (the "program phase
+ * transitions" SVF was designed to expose).
+ *
+ * @param iterationsPerPhase Loop iterations in each phase burst.
+ */
+isa::Program buildPhasedWorkload(const uarch::MachineConfig &machine,
+                                 std::uint64_t iterationsPerPhase);
+
+/**
+ * Pairwise-similarity correlation helper (exposed for testing):
+ * Pearson correlation between the upper triangles of the two
+ * similarity matrices induced by the oracle vectors (cosine
+ * similarity) and the observations (negative absolute difference).
+ */
+double similarityCorrelation(
+    const std::vector<std::vector<double>> &oracle,
+    const std::vector<double> &observed);
+
+} // namespace savat::core
+
+#endif // SAVAT_CORE_SVF_HH

@@ -1,0 +1,100 @@
+#include "dsp/fft.hh"
+
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace savat::dsp {
+
+void
+fft(std::vector<Complex> &data, bool inverse)
+{
+    const std::size_t n = data.size();
+    SAVAT_ASSERT(n > 0 && (n & (n - 1)) == 0,
+                 "fft size must be a power of two, got ", n);
+
+    // Bit-reversal permutation.
+    for (std::size_t i = 1, j = 0; i < n; ++i) {
+        std::size_t bit = n >> 1;
+        for (; j & bit; bit >>= 1)
+            j ^= bit;
+        j ^= bit;
+        if (i < j)
+            std::swap(data[i], data[j]);
+    }
+
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+        const double ang =
+            (inverse ? 2.0 : -2.0) * M_PI / static_cast<double>(len);
+        const Complex wlen(std::cos(ang), std::sin(ang));
+        for (std::size_t i = 0; i < n; i += len) {
+            Complex w(1.0, 0.0);
+            for (std::size_t k = 0; k < len / 2; ++k) {
+                const Complex u = data[i + k];
+                const Complex v = data[i + k + len / 2] * w;
+                data[i + k] = u + v;
+                data[i + k + len / 2] = u - v;
+                w *= wlen;
+            }
+        }
+    }
+}
+
+std::vector<Complex>
+fftCopy(const std::vector<Complex> &data, bool inverse)
+{
+    std::vector<Complex> out = data;
+    fft(out, inverse);
+    return out;
+}
+
+std::size_t
+nextPowerOfTwo(std::size_t n)
+{
+    SAVAT_ASSERT(n >= 1, "nextPowerOfTwo needs n >= 1");
+    std::size_t p = 1;
+    while (p < n)
+        p <<= 1;
+    return p;
+}
+
+std::vector<Complex>
+realFft(const std::vector<double> &data)
+{
+    const std::size_t n = nextPowerOfTwo(std::max<std::size_t>(1,
+                                                               data.size()));
+    std::vector<Complex> buf(n, Complex(0.0, 0.0));
+    for (std::size_t i = 0; i < data.size(); ++i)
+        buf[i] = Complex(data[i], 0.0);
+    fft(buf);
+    return buf;
+}
+
+Complex
+singleBinDft(const std::vector<double> &data, double freq)
+{
+    const std::size_t n = data.size();
+    SAVAT_ASSERT(n > 0, "singleBinDft on empty data");
+    // Direct evaluation with a recurrence for the rotating phasor.
+    const double ang = -2.0 * M_PI * freq;
+    const Complex step(std::cos(ang), std::sin(ang));
+    Complex phasor(1.0, 0.0);
+    Complex acc(0.0, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        acc += data[i] * phasor;
+        phasor *= step;
+        // Renormalize occasionally to stop drift of |phasor| over
+        // long windows.
+        if ((i & 0xFFF) == 0xFFF)
+            phasor /= std::abs(phasor);
+    }
+    return acc / static_cast<double>(n);
+}
+
+double
+toneAmplitude(const std::vector<double> &data, double freq)
+{
+    return 2.0 * std::abs(singleBinDft(data, freq));
+}
+
+} // namespace savat::dsp

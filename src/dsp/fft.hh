@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Fast Fourier transform and single-bin DFT (Goertzel) primitives.
+ */
+
+#ifndef SAVAT_DSP_FFT_HH
+#define SAVAT_DSP_FFT_HH
+
+#include <complex>
+#include <vector>
+
+namespace savat::dsp {
+
+using Complex = std::complex<double>;
+
+/**
+ * In-place iterative radix-2 decimation-in-time FFT.
+ * Size must be a power of two.
+ *
+ * @param data    Samples, replaced by the spectrum.
+ * @param inverse When true computes the (unnormalized) inverse
+ *                transform; divide by N yourself if needed.
+ */
+void fft(std::vector<Complex> &data, bool inverse = false);
+
+/** Out-of-place convenience wrapper around fft(). */
+std::vector<Complex> fftCopy(const std::vector<Complex> &data,
+                             bool inverse = false);
+
+/**
+ * FFT of a real signal, zero-padded to the next power of two.
+ * Returns the full complex spectrum of the padded length.
+ */
+std::vector<Complex> realFft(const std::vector<double> &data);
+
+/** Smallest power of two >= n (n >= 1). */
+std::size_t nextPowerOfTwo(std::size_t n);
+
+/**
+ * Goertzel-style single-frequency DFT at an arbitrary (non-integer)
+ * normalized frequency.
+ *
+ * Computes sum_n x[n] * exp(-j*2*pi*freq*n) / N, i.e. the complex
+ * amplitude of the component at `freq` cycles per sample. For a pure
+ * cosine of peak amplitude A at that frequency the result has
+ * magnitude A/2.
+ */
+Complex singleBinDft(const std::vector<double> &data, double freq);
+
+/**
+ * Peak amplitude estimate of the component at normalized frequency
+ * `freq`: 2 * |singleBinDft|.
+ */
+double toneAmplitude(const std::vector<double> &data, double freq);
+
+} // namespace savat::dsp
+
+#endif // SAVAT_DSP_FFT_HH

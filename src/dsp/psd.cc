@@ -1,0 +1,147 @@
+#include "dsp/psd.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dsp/fft.hh"
+#include "support/logging.hh"
+
+namespace savat::dsp {
+
+std::size_t
+PsdEstimate::nearestBin(double freq_hz) const
+{
+    SAVAT_ASSERT(!bins.empty() && binHz > 0.0, "empty PSD");
+    const double idx = freq_hz / binHz;
+    const auto clamped = std::clamp(
+        idx, 0.0, static_cast<double>(bins.size() - 1));
+    return static_cast<std::size_t>(std::lround(clamped));
+}
+
+double
+PsdEstimate::bandPower(double lo_hz, double hi_hz) const
+{
+    SAVAT_ASSERT(hi_hz >= lo_hz, "inverted band");
+    if (bins.empty())
+        return 0.0;
+    double power = 0.0;
+    for (std::size_t i = 0; i < bins.size(); ++i) {
+        const double lo = frequency(i) - 0.5 * binHz;
+        const double hi = frequency(i) + 0.5 * binHz;
+        const double olo = std::max(lo, lo_hz);
+        const double ohi = std::min(hi, hi_hz);
+        if (ohi > olo)
+            power += bins[i] * (ohi - olo);
+    }
+    return power;
+}
+
+std::size_t
+PsdEstimate::peakBin(double lo_hz, double hi_hz) const
+{
+    SAVAT_ASSERT(!bins.empty(), "empty PSD");
+    std::size_t best = nearestBin(lo_hz);
+    double best_v = -1.0;
+    for (std::size_t i = 0; i < bins.size(); ++i) {
+        const double f = frequency(i);
+        if (f < lo_hz || f > hi_hz)
+            continue;
+        if (bins[i] > best_v) {
+            best_v = bins[i];
+            best = i;
+        }
+    }
+    return best;
+}
+
+namespace {
+
+/**
+ * Modified periodogram of one segment into an accumulator.
+ * Scaling follows the standard Welch definition: PSD one-sided,
+ * P(f) = |X(f)|^2 / (fs * sum w^2), doubled off DC/Nyquist.
+ */
+void
+accumulateSegment(const std::vector<double> &seg,
+                  const std::vector<double> &window, double sample_rate,
+                  std::vector<double> &acc)
+{
+    const std::size_t n = window.size();
+    std::vector<Complex> buf(n);
+    for (std::size_t i = 0; i < n; ++i)
+        buf[i] = Complex(seg[i] * window[i], 0.0);
+    fft(buf);
+
+    double w2 = 0.0;
+    for (double w : window)
+        w2 += w * w;
+    const double scale = 1.0 / (sample_rate * w2);
+
+    const std::size_t half = n / 2;
+    for (std::size_t i = 0; i <= half; ++i) {
+        double p = std::norm(buf[i]) * scale;
+        if (i != 0 && i != half)
+            p *= 2.0; // fold the negative frequencies
+        acc[i] += p;
+    }
+}
+
+} // namespace
+
+PsdEstimate
+welchPsd(const std::vector<double> &samples, double sampleRate,
+         std::size_t segmentLen, WindowKind kind)
+{
+    SAVAT_ASSERT(sampleRate > 0.0, "bad sample rate");
+    SAVAT_ASSERT(!samples.empty(), "empty signal");
+
+    std::size_t n = nextPowerOfTwo(std::max<std::size_t>(segmentLen, 8));
+    // Clamp to the largest power of two that fits in the signal.
+    std::size_t max_n = 1;
+    while (max_n * 2 <= samples.size())
+        max_n *= 2;
+    n = std::min(n, max_n);
+    SAVAT_ASSERT(n >= 2, "signal too short for Welch PSD");
+
+    const auto window = makeWindow(kind, n);
+    const std::size_t hop = n / 2;
+    const std::size_t half = n / 2;
+
+    PsdEstimate est;
+    est.binHz = sampleRate / static_cast<double>(n);
+    est.bins.assign(half + 1, 0.0);
+
+    std::size_t segments = 0;
+    std::vector<double> seg(n);
+    for (std::size_t start = 0; start + n <= samples.size();
+         start += hop) {
+        std::copy(samples.begin() + static_cast<std::ptrdiff_t>(start),
+                  samples.begin() + static_cast<std::ptrdiff_t>(start + n),
+                  seg.begin());
+        accumulateSegment(seg, window, sampleRate, est.bins);
+        ++segments;
+    }
+    SAVAT_ASSERT(segments > 0, "no complete Welch segments");
+    for (auto &b : est.bins)
+        b /= static_cast<double>(segments);
+    return est;
+}
+
+PsdEstimate
+periodogram(const std::vector<double> &samples, double sampleRate,
+            WindowKind kind)
+{
+    SAVAT_ASSERT(!samples.empty(), "empty signal");
+    const std::size_t n = nextPowerOfTwo(samples.size());
+    std::vector<double> padded(samples);
+    padded.resize(n, 0.0);
+    const auto window = makeWindow(kind, n);
+
+    PsdEstimate est;
+    est.binHz = sampleRate / static_cast<double>(n);
+    est.bins.assign(n / 2 + 1, 0.0);
+    accumulateSegment(padded, window, sampleRate, est.bins);
+    return est;
+}
+
+} // namespace savat::dsp

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Power spectral density estimation and band-power integration.
+ */
+
+#ifndef SAVAT_DSP_PSD_HH
+#define SAVAT_DSP_PSD_HH
+
+#include <vector>
+
+#include "dsp/window.hh"
+#include "support/units.hh"
+
+namespace savat::dsp {
+
+/**
+ * A one-sided power spectral density estimate.
+ *
+ * bins[i] is the PSD (power per hertz) at frequency i * binHz.
+ */
+struct PsdEstimate
+{
+    double binHz = 0.0;
+    std::vector<double> bins;
+
+    std::size_t size() const { return bins.size(); }
+
+    /** Frequency of bin i. */
+    double frequency(std::size_t i) const
+    {
+        return static_cast<double>(i) * binHz;
+    }
+
+    /** Index of the bin nearest the given frequency. */
+    std::size_t nearestBin(double freq_hz) const;
+
+    /**
+     * Total power in [lo, hi] (inclusive of partial edge bins),
+     * integrating PSD * bin width.
+     */
+    double bandPower(double lo_hz, double hi_hz) const;
+
+    /** Index of the largest bin within [lo, hi]. */
+    std::size_t peakBin(double lo_hz, double hi_hz) const;
+};
+
+/**
+ * Welch's method: average modified periodograms over 50 %-overlapped
+ * segments.
+ *
+ * @param samples    Real signal.
+ * @param sampleRate Sample rate in Hz.
+ * @param segmentLen Segment length (rounded up to a power of two).
+ * @param kind       Window applied to each segment.
+ */
+PsdEstimate welchPsd(const std::vector<double> &samples, double sampleRate,
+                     std::size_t segmentLen,
+                     WindowKind kind = WindowKind::Hann);
+
+/**
+ * Single periodogram of the full signal (rectangular window by
+ * default); convenience wrapper for short signals.
+ */
+PsdEstimate periodogram(const std::vector<double> &samples,
+                        double sampleRate,
+                        WindowKind kind = WindowKind::Rectangular);
+
+} // namespace savat::dsp
+
+#endif // SAVAT_DSP_PSD_HH

@@ -1,0 +1,106 @@
+#include "dsp/window.hh"
+
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace savat::dsp {
+
+const char *
+windowName(WindowKind kind)
+{
+    switch (kind) {
+      case WindowKind::Rectangular: return "rectangular";
+      case WindowKind::Hann: return "hann";
+      case WindowKind::Hamming: return "hamming";
+      case WindowKind::Blackman: return "blackman";
+      case WindowKind::BlackmanHarris: return "blackman-harris";
+      case WindowKind::FlatTop: return "flattop";
+      default: SAVAT_PANIC("bad window kind");
+    }
+}
+
+namespace {
+
+/** Generalized cosine window from coefficient list. */
+std::vector<double>
+cosineWindow(std::size_t n, const double *a, std::size_t terms)
+{
+    std::vector<double> w(n, 0.0);
+    if (n == 1) {
+        w[0] = 1.0;
+        return w;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        const double x =
+            2.0 * M_PI * static_cast<double>(i) /
+            static_cast<double>(n - 1);
+        double v = 0.0;
+        double sign = 1.0;
+        for (std::size_t k = 0; k < terms; ++k) {
+            v += sign * a[k] * std::cos(static_cast<double>(k) * x);
+            sign = -sign;
+        }
+        w[i] = v;
+    }
+    return w;
+}
+
+} // namespace
+
+std::vector<double>
+makeWindow(WindowKind kind, std::size_t n)
+{
+    SAVAT_ASSERT(n >= 1, "window length must be >= 1");
+    switch (kind) {
+      case WindowKind::Rectangular:
+        return std::vector<double>(n, 1.0);
+      case WindowKind::Hann: {
+        static const double a[] = {0.5, 0.5};
+        return cosineWindow(n, a, 2);
+      }
+      case WindowKind::Hamming: {
+        static const double a[] = {0.54, 0.46};
+        return cosineWindow(n, a, 2);
+      }
+      case WindowKind::Blackman: {
+        static const double a[] = {0.42, 0.5, 0.08};
+        return cosineWindow(n, a, 3);
+      }
+      case WindowKind::BlackmanHarris: {
+        static const double a[] = {0.35875, 0.48829, 0.14128, 0.01168};
+        return cosineWindow(n, a, 4);
+      }
+      case WindowKind::FlatTop: {
+        static const double a[] = {0.21557895, 0.41663158, 0.277263158,
+                                   0.083578947, 0.006947368};
+        return cosineWindow(n, a, 5);
+      }
+      default:
+        SAVAT_PANIC("bad window kind");
+    }
+}
+
+double
+coherentGain(const std::vector<double> &window)
+{
+    SAVAT_ASSERT(!window.empty(), "empty window");
+    double s = 0.0;
+    for (double w : window)
+        s += w;
+    return s / static_cast<double>(window.size());
+}
+
+double
+noiseBandwidthBins(const std::vector<double> &window)
+{
+    SAVAT_ASSERT(!window.empty(), "empty window");
+    double s1 = 0.0, s2 = 0.0;
+    for (double w : window) {
+        s1 += w;
+        s2 += w * w;
+    }
+    return static_cast<double>(window.size()) * s2 / (s1 * s1);
+}
+
+} // namespace savat::dsp

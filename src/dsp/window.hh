@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Window functions for spectral estimation.
+ */
+
+#ifndef SAVAT_DSP_WINDOW_HH
+#define SAVAT_DSP_WINDOW_HH
+
+#include <string>
+#include <vector>
+
+namespace savat::dsp {
+
+/** Supported window shapes. */
+enum class WindowKind {
+    Rectangular,
+    Hann,
+    Hamming,
+    Blackman,
+    BlackmanHarris,
+    FlatTop
+};
+
+/** Display name ("hann", ...). */
+const char *windowName(WindowKind kind);
+
+/** Generate an n-point symmetric window of the given kind. */
+std::vector<double> makeWindow(WindowKind kind, std::size_t n);
+
+/**
+ * Coherent gain: mean of the window samples. An amplitude estimate
+ * through a window must be divided by this to be unbiased.
+ */
+double coherentGain(const std::vector<double> &window);
+
+/**
+ * Noise-equivalent bandwidth in bins:
+ * N * sum(w^2) / (sum w)^2. Needed to convert windowed periodogram
+ * values into power spectral density.
+ */
+double noiseBandwidthBins(const std::vector<double> &window);
+
+} // namespace savat::dsp
+
+#endif // SAVAT_DSP_WINDOW_HH

@@ -1,0 +1,31 @@
+#include "em/antenna.hh"
+
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace savat::em {
+
+LoopAntenna::LoopAntenna(double gain, Frequency cornerHz,
+                         Frequency maxFrequency)
+    : _gain(gain), _corner(cornerHz), _max(maxFrequency)
+{
+    SAVAT_ASSERT(gain > 0.0, "non-positive antenna gain");
+    SAVAT_ASSERT(cornerHz.inHz() > 0.0, "non-positive corner frequency");
+}
+
+double
+LoopAntenna::amplitudeResponse(Frequency f) const
+{
+    SAVAT_ASSERT(f.inHz() > 0.0, "non-positive frequency");
+    if (f > _max) {
+        // Beyond the rated band the response collapses quickly.
+        const double ratio = _max.inHz() / f.inHz();
+        return _gain * ratio * ratio;
+    }
+    // Single-pole high-pass shape: flat above the corner.
+    const double x = f.inHz() / _corner.inHz();
+    return _gain * x / std::sqrt(1.0 + x * x);
+}
+
+} // namespace savat::em

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Receiving antenna model (magnetic loop, AOR LA400 class).
+ */
+
+#ifndef SAVAT_EM_ANTENNA_HH
+#define SAVAT_EM_ANTENNA_HH
+
+#include "support/units.hh"
+
+namespace savat::em {
+
+/**
+ * A wideband magnetic loop antenna.
+ *
+ * The loop's output is flat across its rated band and rolls off
+ * below a corner frequency (the electrically-small loop's response
+ * falls ~20 dB/decade toward DC). The paper's 80 kHz alternation
+ * tone sits comfortably inside the LA400's 10 kHz-500 MHz range.
+ */
+class LoopAntenna
+{
+  public:
+    /**
+     * @param gain          Mid-band amplitude gain (relative, 1.0 =
+     *                      calibrated reference).
+     * @param cornerHz      Low-frequency corner.
+     * @param maxFrequency  Upper edge of the rated band.
+     */
+    explicit LoopAntenna(double gain = 1.0,
+                         Frequency cornerHz = Frequency::khz(10.0),
+                         Frequency maxFrequency = Frequency::mhz(500.0));
+
+    /** Amplitude response at the given frequency. */
+    double amplitudeResponse(Frequency f) const;
+
+    /** Power response (square of amplitude response). */
+    double
+    powerResponse(Frequency f) const
+    {
+        const double a = amplitudeResponse(f);
+        return a * a;
+    }
+
+    double gain() const { return _gain; }
+    Frequency corner() const { return _corner; }
+    Frequency maxFrequency() const { return _max; }
+
+  private:
+    double _gain;
+    Frequency _corner;
+    Frequency _max;
+};
+
+} // namespace savat::em
+
+#endif // SAVAT_EM_ANTENNA_HH

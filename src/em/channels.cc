@@ -1,0 +1,23 @@
+#include "em/channels.hh"
+
+#include "support/logging.hh"
+
+namespace savat::em {
+
+const char *
+channelName(Channel c)
+{
+    switch (c) {
+      case Channel::Fetch: return "Fetch";
+      case Channel::Logic: return "Logic";
+      case Channel::Mul: return "Mul";
+      case Channel::Div: return "Div";
+      case Channel::L1: return "L1";
+      case Channel::L2: return "L2";
+      case Channel::Bus: return "Bus";
+      case Channel::Dram: return "Dram";
+      default: SAVAT_PANIC("bad channel");
+    }
+}
+
+} // namespace savat::em

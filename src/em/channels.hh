@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Physical emitter channels.
+ *
+ * Each micro-architectural component with a distinct physical
+ * location/geometry radiates on its own "channel": its field has its
+ * own coupling strength, phase, and distance behaviour at the
+ * receiving antenna. This is how the model reproduces the paper's
+ * observation that LDM and LDL2 are each distinguishable from ADD by
+ * about the same amount, yet *more* distinguishable from each other:
+ * their signals live on different channels.
+ */
+
+#ifndef SAVAT_EM_CHANNELS_HH
+#define SAVAT_EM_CHANNELS_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace savat::em {
+
+/** Emitter channels (one per physically distinct radiating group). */
+enum class Channel : std::uint8_t {
+    Fetch, //!< front-end fetch/decode structures
+    Logic, //!< general integer logic, schedulers, pipeline clocking
+    Mul,   //!< multiplier array
+    Div,   //!< iterative divider
+    L1,    //!< L1 data array
+    L2,    //!< L2 data array (large on-chip SRAM)
+    Bus,   //!< off-chip processor-memory bus traces
+    Dram,  //!< DRAM devices
+    NumChannels
+};
+
+/** Number of emitter channels. */
+inline constexpr std::size_t kNumChannels =
+    static_cast<std::size_t>(Channel::NumChannels);
+
+/** Short display name ("L2", "Bus", ...). */
+const char *channelName(Channel c);
+
+/** Iteration helper. */
+inline Channel
+channelAt(std::size_t i)
+{
+    return static_cast<Channel>(i);
+}
+
+} // namespace savat::em
+
+#endif // SAVAT_EM_CHANNELS_HH

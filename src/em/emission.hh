@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Machine emission profiles: how micro-architectural activity turns
+ * into radiated signal.
+ *
+ * An EmissionProfile maps every MicroEvent onto an emitter channel
+ * with an activity weight, and gives each channel a coupling gain
+ * (received amplitude per unit activity at the reference distance),
+ * a coupling phase, and a relative mismatch fraction (how much the
+ * channel's activity differs between the two structurally identical
+ * kernel halves: different array addresses, DRAM row behaviour,
+ * fetch alignment...).
+ *
+ * The gains are *calibrated constants* per machine, chosen so that
+ * the full simulation pipeline lands in the zJ range the paper
+ * reports; the structure of the SAVAT matrices emerges from the
+ * simulated activity, not from these tables. See DESIGN.md §2.
+ */
+
+#ifndef SAVAT_EM_EMISSION_HH
+#define SAVAT_EM_EMISSION_HH
+
+#include <array>
+#include <string>
+
+#include "em/channels.hh"
+#include "uarch/activity.hh"
+
+namespace savat::em {
+
+/** Complete emission description of one machine. */
+struct EmissionProfile
+{
+    /** Machine this profile belongs to. */
+    std::string machineId;
+
+    /** Channel each MicroEvent radiates on. */
+    std::array<Channel, uarch::kNumMicroEvents> eventChannel{};
+
+    /** Activity weight of each MicroEvent (arbitrary units, "au"). */
+    std::array<double, uarch::kNumMicroEvents> eventWeight{};
+
+    /**
+     * Per-channel coupling gain: received field amplitude
+     * (sqrt(watt)) per au of activity rate, at the 10 cm reference
+     * distance.
+     */
+    std::array<double, kNumChannels> gain{};
+
+    /** Per-channel coupling phase at the antenna (radians). */
+    std::array<double, kNumChannels> phase{};
+
+    /**
+     * Per-channel supply-current draw (sqrt(watt) at the power
+     * meter per au of activity). Used by the power side channel,
+     * where all components share one rail and therefore sum
+     * coherently -- no spatial/phase diversity.
+     */
+    std::array<double, kNumChannels> currentWeight{};
+
+    /**
+     * Relative half-to-half activity mismatch of each channel
+     * (fraction of the mean activity level).
+     */
+    std::array<double, kNumChannels> mismatchFraction{};
+
+    /**
+     * Residual per-pair signal energy (zJ) present in every
+     * measurement regardless of the instruction pair: imperfect
+     * matching of the two alternation-loop bodies plus environmental
+     * pickup. Matches the paper's A/A diagonal floor.
+     */
+    double baseMismatchEnergyZj = 0.55;
+
+    /** Standard deviation of the residual energy across repetitions. */
+    double baseMismatchSpreadZj = 0.07;
+
+    /**
+     * Weight vector selecting the activity of a single channel; feed
+     * to uarch::ActivityTrace::weightedWaveform.
+     */
+    std::array<double, uarch::kNumMicroEvents>
+    channelWeights(Channel c) const;
+};
+
+/**
+ * Emission profile of a case-study machine
+ * ("core2duo" | "pentium3m" | "turionx2"); fatal on unknown id.
+ */
+EmissionProfile emissionProfileFor(const std::string &machineId);
+
+} // namespace savat::em
+
+#endif // SAVAT_EM_EMISSION_HH

@@ -1,0 +1,16 @@
+#include "em/environment.hh"
+
+namespace savat::em {
+
+EnvironmentDraw
+drawEnvironment(const EnvironmentConfig &cfg, Rng &rng)
+{
+    EnvironmentDraw d;
+    d.freqOffsetHz = rng.gaussian(0.0, cfg.freqOffsetSigmaHz);
+    d.gainFactor = 1.0 + rng.gaussian(0.0, cfg.gainDriftSigma);
+    if (d.gainFactor < 0.5)
+        d.gainFactor = 0.5;
+    return d;
+}
+
+} // namespace savat::em

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Measurement-environment model: everything about the lab that is
+ * not the device under test or the instrument.
+ */
+
+#ifndef SAVAT_EM_ENVIRONMENT_HH
+#define SAVAT_EM_ENVIRONMENT_HH
+
+#include "support/rng.hh"
+#include "support/units.hh"
+
+namespace savat::em {
+
+/**
+ * Stochastic properties of the measurement environment.
+ *
+ * These produce the imperfections visible in the paper's recorded
+ * spectra (Figures 7 and 8): the alternation tone is shifted a few
+ * hundred hertz from its intended frequency and dispersed over tens
+ * of hertz (OS jitter and clock wander in the running code), weak
+ * external radio carriers appear in the window, and repeated
+ * measurement campaigns see slow gain drift (antenna repositioning,
+ * temperature).
+ */
+struct EnvironmentConfig
+{
+    /** Ambient (non-instrument) RF noise density [W/Hz]. */
+    double ambientNoiseWPerHz = 1.0e-18;
+
+    /** Expected number of narrowband interferers per kHz of window. */
+    double interfererDensityPerKhz = 0.4;
+
+    /** Log10 mean of interferer carrier power [W]. */
+    double interfererLogMeanW = -16.0;
+
+    /** Log10 standard deviation of interferer power. */
+    double interfererLogSigma = 0.6;
+
+    /** Std dev of the per-measurement tone frequency shift [Hz]. */
+    double freqOffsetSigmaHz = 220.0;
+
+    /** Total rms dispersion of the tone over a capture [Hz]. */
+    double dispersionSigmaHz = 45.0;
+
+    /** Per-measurement multiplicative gain drift (std dev). */
+    double gainDriftSigma = 0.015;
+
+    /** Per-measurement coupling phase jitter per channel [rad]. */
+    double phaseJitterSigma = 0.06;
+
+    /** Random-walk steps used to spread the tone (1 ms steps / 1 s). */
+    std::size_t dispersionSteps = 1000;
+};
+
+/** One measurement's realized environmental state. */
+struct EnvironmentDraw
+{
+    double freqOffsetHz = 0.0; //!< realized tone shift
+    double gainFactor = 1.0;   //!< realized amplitude drift factor
+};
+
+/** Draw the per-measurement environmental state. */
+EnvironmentDraw drawEnvironment(const EnvironmentConfig &cfg, Rng &rng);
+
+} // namespace savat::em
+
+#endif // SAVAT_EM_ENVIRONMENT_HH

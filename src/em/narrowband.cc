@@ -1,0 +1,48 @@
+#include "em/narrowband.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace savat::em {
+
+std::size_t
+NarrowbandSpectrum::binFor(double freq_hz) const
+{
+    SAVAT_ASSERT(!psd.empty() && binHz > 0.0, "empty spectrum");
+    const double idx = (freq_hz - startHz) / binHz;
+    const double clamped =
+        std::clamp(idx, 0.0, static_cast<double>(psd.size() - 1));
+    return static_cast<std::size_t>(std::lround(clamped));
+}
+
+double
+NarrowbandSpectrum::bandPower(double lo_hz, double hi_hz) const
+{
+    SAVAT_ASSERT(hi_hz >= lo_hz, "inverted band");
+    double power = 0.0;
+    for (std::size_t i = 0; i < psd.size(); ++i) {
+        const double lo = frequency(i) - 0.5 * binHz;
+        const double hi = frequency(i) + 0.5 * binHz;
+        const double olo = std::max(lo, lo_hz);
+        const double ohi = std::min(hi, hi_hz);
+        if (ohi > olo)
+            power += psd[i] * (ohi - olo);
+    }
+    return power;
+}
+
+double
+NarrowbandSpectrum::peakPsd(double lo_hz, double hi_hz) const
+{
+    double peak = 0.0;
+    for (std::size_t i = 0; i < psd.size(); ++i) {
+        const double f = frequency(i);
+        if (f >= lo_hz && f <= hi_hz)
+            peak = std::max(peak, psd[i]);
+    }
+    return peak;
+}
+
+} // namespace savat::em

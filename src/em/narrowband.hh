@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Narrowband spectrum container shared by the EM synthesizer and the
+ * spectrum-analyzer model.
+ */
+
+#ifndef SAVAT_EM_NARROWBAND_HH
+#define SAVAT_EM_NARROWBAND_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace savat::em {
+
+/**
+ * A power spectral density over a narrow frequency window
+ * (e.g. 80 kHz +/- 2 kHz at 1 Hz resolution).
+ */
+struct NarrowbandSpectrum
+{
+    double startHz = 0.0; //!< frequency of bin 0
+    double binHz = 1.0;   //!< bin width
+    std::vector<double> psd; //!< W/Hz per bin
+
+    std::size_t size() const { return psd.size(); }
+
+    /** Center frequency of bin i. */
+    double frequency(std::size_t i) const
+    {
+        return startHz + static_cast<double>(i) * binHz;
+    }
+
+    /** Frequency of the last bin. */
+    double endHz() const
+    {
+        return psd.empty() ? startHz
+                           : frequency(psd.size() - 1);
+    }
+
+    /** Index of the bin containing the given frequency (clamped). */
+    std::size_t binFor(double freq_hz) const;
+
+    /** Integrated power in [lo, hi] (partial edge bins included). */
+    double bandPower(double lo_hz, double hi_hz) const;
+
+    /** Largest PSD value in [lo, hi]; 0 when the band is empty. */
+    double peakPsd(double lo_hz, double hi_hz) const;
+};
+
+} // namespace savat::em
+
+#endif // SAVAT_EM_NARROWBAND_HH

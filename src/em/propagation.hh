@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Distance-dependent propagation of emitter channels.
+ *
+ * Small on-chip current loops (ALU, caches) are near-field sources
+ * whose magnetic field collapses quickly with distance; off-chip bus
+ * traces and DRAM modules are electrically larger and keep more of
+ * their signal at range (the paper's Figures 16-18 show exactly this
+ * split). We anchor each channel's amplitude factor at the paper's
+ * three measurement distances (10/50/100 cm) and interpolate in
+ * log-log space, extrapolating with a near-field slope below the
+ * first anchor and a far-field slope beyond the last.
+ */
+
+#ifndef SAVAT_EM_PROPAGATION_HH
+#define SAVAT_EM_PROPAGATION_HH
+
+#include <array>
+
+#include "em/channels.hh"
+#include "support/units.hh"
+
+namespace savat::em {
+
+/** Per-channel distance attenuation model. */
+class DistanceModel
+{
+  public:
+    /** Number of anchor distances. */
+    static constexpr std::size_t kAnchors = 3;
+
+    /** Anchor distances in meters (the paper's 10/50/100 cm). */
+    static constexpr std::array<double, kAnchors> kAnchorMeters = {
+        0.10, 0.50, 1.00};
+
+    /** Construct with the default calibrated anchor table. */
+    DistanceModel();
+
+    /**
+     * Replace the amplitude anchors of one channel. Values are
+     * amplitude factors relative to the 10 cm reference; the first
+     * must be 1.0 and the sequence non-increasing.
+     */
+    void setAnchors(Channel c, const std::array<double, kAnchors> &a);
+
+    /** Anchor values of a channel. */
+    const std::array<double, kAnchors> &anchors(Channel c) const;
+
+    /**
+     * Amplitude factor (relative to 10 cm) for the given channel at
+     * the given distance. Requires a strictly positive distance.
+     */
+    double amplitudeFactor(Channel c, Distance d) const;
+
+    /** Power factor: square of the amplitude factor. */
+    double
+    powerFactor(Channel c, Distance d) const
+    {
+        const double a = amplitudeFactor(c, d);
+        return a * a;
+    }
+
+  private:
+    std::array<std::array<double, kAnchors>, kNumChannels> _anchors;
+
+    /** log-log slope between anchors i and i+1 for channel c. */
+    double segmentSlope(Channel c, std::size_t i) const;
+};
+
+} // namespace savat::em
+
+#endif // SAVAT_EM_PROPAGATION_HH

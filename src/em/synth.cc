@@ -1,0 +1,158 @@
+#include "em/synth.hh"
+
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace savat::em {
+
+ReceivedSignalSynthesizer::ReceivedSignalSynthesizer(
+    EmissionProfile profile, DistanceModel distances, LoopAntenna antenna,
+    EnvironmentConfig environment)
+    : _profile(std::move(profile)),
+      _distances(distances),
+      _antenna(antenna),
+      _environment(environment)
+{
+}
+
+double
+ReceivedSignalSynthesizer::tonePower(const ChannelAmplitudes &amps,
+                                     Distance d,
+                                     const EnvironmentDraw &env,
+                                     Rng &rng) const
+{
+    // Coherent sum over channels: each channel arrives with its own
+    // coupling gain, distance attenuation and phase (plus the
+    // per-measurement positioning jitter).
+    std::complex<double> field(0.0, 0.0);
+    for (std::size_t c = 0; c < kNumChannels; ++c) {
+        const Channel ch = channelAt(c);
+        const double mag = std::abs(amps[c]);
+        if (mag == 0.0)
+            continue;
+        const double coupling =
+            _profile.gain[c] * _distances.amplitudeFactor(ch, d);
+        const double jitter =
+            rng.gaussian(0.0, _environment.phaseJitterSigma);
+        const std::complex<double> rot(
+            std::cos(_profile.phase[c] + jitter),
+            std::sin(_profile.phase[c] + jitter));
+        field += coupling * rot * amps[c];
+    }
+    const double peak = std::abs(field) * env.gainFactor;
+    // Mean power of a sinusoid with the given peak amplitude.
+    return 0.5 * peak * peak;
+}
+
+double
+ReceivedSignalSynthesizer::powerRailTonePower(
+    const ChannelAmplitudes &amps, const EnvironmentDraw &env) const
+{
+    std::complex<double> current(0.0, 0.0);
+    for (std::size_t c = 0; c < kNumChannels; ++c)
+        current += _profile.currentWeight[c] * amps[c];
+    const double peak = std::abs(current) * env.gainFactor;
+    return 0.5 * peak * peak;
+}
+
+SynthesisResult
+ReceivedSignalSynthesizer::synthesize(const ToneInput &input, Distance d,
+                                      Frequency windowCenter, double spanHz,
+                                      Rng &rng) const
+{
+    SAVAT_ASSERT(spanHz > 0.0, "non-positive span");
+    const double f0 = windowCenter.inHz();
+    SAVAT_ASSERT(f0 > spanHz, "window extends below DC");
+
+    const EnvironmentDraw env = drawEnvironment(_environment, rng);
+
+    SynthesisResult res;
+    res.spectrum.startHz = f0 - spanHz;
+    res.spectrum.binHz = 1.0;
+    const std::size_t nbins =
+        static_cast<std::size_t>(std::lround(2.0 * spanHz)) + 1;
+    res.spectrum.psd.assign(nbins, 0.0);
+
+    // Antenna response at the tone (the power rail bypasses it).
+    const double ant =
+        input.powerRail ? 1.0 : _antenna.powerResponse(windowCenter);
+
+    const double signal =
+        input.powerRail
+            ? powerRailTonePower(input.amplitude, env) +
+                  powerRailTonePower(input.residualAmplitude, env)
+            : tonePower(input.amplitude, d, env, rng) +
+                  tonePower(input.residualAmplitude, d, env, rng);
+    const double p_tone =
+        (signal +
+         input.residualPowerW * env.gainFactor * env.gainFactor) *
+        ant;
+    res.tonePowerW = p_tone;
+
+    // Spread the tone with a bounded random walk of the
+    // instantaneous frequency (clock wander / OS jitter), exactly
+    // the dispersion visible in the paper's Figure 7.
+    const double tone_center =
+        input.toneFrequency.inHz() + env.freqOffsetHz;
+    res.realizedToneHz = tone_center;
+
+    const std::size_t steps =
+        std::max<std::size_t>(1, _environment.dispersionSteps);
+    const double step_sigma =
+        _environment.dispersionSigmaHz /
+        std::sqrt(static_cast<double>(steps) / 3.0);
+    double wander = 0.0;
+    const double p_slice = p_tone / static_cast<double>(steps);
+    for (std::size_t i = 0; i < steps; ++i) {
+        wander += rng.gaussian(0.0, step_sigma);
+        // Mean-revert so the walk stays bounded over the capture.
+        wander *= 0.98;
+        const double f = tone_center + wander;
+        if (f >= res.spectrum.startHz - 0.5 &&
+            f <= res.spectrum.endHz() + 0.5) {
+            res.spectrum.psd[res.spectrum.binFor(f)] +=
+                p_slice / res.spectrum.binHz;
+        }
+    }
+
+    // Ambient noise: exponentially distributed per 1 Hz bin
+    // (Rayleigh-fading power) around the configured density.
+    const double ambient = _environment.ambientNoiseWPerHz * ant;
+    for (auto &bin : res.spectrum.psd) {
+        double u;
+        do {
+            u = rng.uniform();
+        } while (u <= 0.0);
+        bin += ambient * -std::log(u);
+    }
+
+    // Narrowband interferers: Poisson count across the window, each
+    // a 1-bin carrier with log-normal power (the "weak external
+    // radio signal" of Figure 8).
+    const double expected =
+        _environment.interfererDensityPerKhz * (2.0 * spanHz / 1000.0);
+    // Knuth Poisson sampling (expected is small).
+    std::size_t count = 0;
+    {
+        const double limit = std::exp(-expected);
+        double prod = rng.uniform();
+        while (prod > limit) {
+            ++count;
+            prod *= rng.uniform();
+        }
+    }
+    for (std::size_t i = 0; i < count; ++i) {
+        const std::size_t bin = static_cast<std::size_t>(
+            rng.uniformInt(res.spectrum.psd.size()));
+        const double log_p =
+            rng.gaussian(_environment.interfererLogMeanW,
+                         _environment.interfererLogSigma);
+        res.spectrum.psd[bin] +=
+            std::pow(10.0, log_p) / res.spectrum.binHz;
+    }
+
+    return res;
+}
+
+} // namespace savat::em

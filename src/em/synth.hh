@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Received-signal synthesizer.
+ *
+ * Combines the per-channel alternation-tone amplitudes produced by
+ * the micro-architectural simulation with the emission profile,
+ * distance model, antenna and environment to produce the incident
+ * narrowband spectrum a spectrum analyzer would see over a one-second
+ * capture.
+ *
+ * The alternation signal is periodic and narrowband, so instead of
+ * synthesizing 10^9 time-domain samples we place the tone's power
+ * directly in the frequency domain: a random-walk of the
+ * instantaneous alternation frequency (clock wander, OS jitter)
+ * spreads the tone over nearby 1 Hz bins exactly as in the paper's
+ * Figure 7, and ambient noise plus narrowband interferers fill the
+ * rest of the window.
+ */
+
+#ifndef SAVAT_EM_SYNTH_HH
+#define SAVAT_EM_SYNTH_HH
+
+#include <array>
+#include <complex>
+
+#include "em/antenna.hh"
+#include "em/channels.hh"
+#include "em/emission.hh"
+#include "em/environment.hh"
+#include "em/narrowband.hh"
+#include "em/propagation.hh"
+#include "support/rng.hh"
+#include "support/units.hh"
+
+namespace savat::em {
+
+/** Per-channel complex tone amplitude, in activity units (au). */
+using ChannelAmplitudes =
+    std::array<std::complex<double>, kNumChannels>;
+
+/** Inputs of one synthesis. */
+struct ToneInput
+{
+    /** Fundamental (peak) amplitude of each channel's activity. */
+    ChannelAmplitudes amplitude{};
+
+    /**
+     * Residual half-mismatch amplitudes (same units). Added to the
+     * tone as INCOHERENT power: the mismatch comes from fluctuating
+     * array/DRAM behaviour whose phase wanders over the capture, so
+     * it cannot systematically cancel the genuine difference.
+     */
+    ChannelAmplitudes residualAmplitude{};
+
+    /**
+     * Measure on the power rail instead of the EM antenna: coherent
+     * current summation, no propagation loss.
+     */
+    bool powerRail = false;
+
+    /** Actual alternation frequency achieved by the software. */
+    Frequency toneFrequency;
+
+    /**
+     * Extra tone power injected to model the residual mismatch of
+     * the two structurally identical loop bodies (watts). See
+     * EmissionProfile::baseMismatchEnergyZj.
+     */
+    double residualPowerW = 0.0;
+
+    /** Capture duration (the spectrum analyzer dwell). */
+    Duration captureTime = Duration::seconds(1.0);
+};
+
+/** Synthesis result. */
+struct SynthesisResult
+{
+    NarrowbandSpectrum spectrum; //!< incident PSD around the tone
+    double tonePowerW = 0.0;     //!< received tone power (pre-noise)
+    double realizedToneHz = 0.0; //!< tone center after env. shift
+};
+
+/** The full emission -> antenna chain for one machine. */
+class ReceivedSignalSynthesizer
+{
+  public:
+    ReceivedSignalSynthesizer(EmissionProfile profile,
+                              DistanceModel distances, LoopAntenna antenna,
+                              EnvironmentConfig environment);
+
+    /**
+     * Received tone power (watts) for the given channel amplitudes
+     * at the given distance, including per-measurement phase jitter
+     * and gain drift.
+     */
+    double tonePower(const ChannelAmplitudes &amps, Distance d,
+                     const EnvironmentDraw &env, Rng &rng) const;
+
+    /**
+     * Tone power on the power side channel: all channels draw from
+     * one supply rail, so their currents add coherently with the
+     * profile's currentWeight -- no distance attenuation, no
+     * antenna, no spatial phase diversity.
+     */
+    double powerRailTonePower(const ChannelAmplitudes &amps,
+                              const EnvironmentDraw &env) const;
+
+    /**
+     * Synthesize the incident spectrum in a window of +/- spanHz
+     * around the intended tone frequency.
+     *
+     * @param input      Tone description from the simulation.
+     * @param d          Antenna distance.
+     * @param windowCenter Intended alternation frequency (window
+     *                   center; the realized tone lands nearby).
+     * @param spanHz     Half-width of the synthesized window.
+     * @param rng        Randomness source for this measurement.
+     */
+    SynthesisResult synthesize(const ToneInput &input, Distance d,
+                               Frequency windowCenter, double spanHz,
+                               Rng &rng) const;
+
+    const EmissionProfile &profile() const { return _profile; }
+    const DistanceModel &distances() const { return _distances; }
+    const LoopAntenna &antenna() const { return _antenna; }
+    const EnvironmentConfig &environment() const { return _environment; }
+
+  private:
+    EmissionProfile _profile;
+    DistanceModel _distances;
+    LoopAntenna _antenna;
+    EnvironmentConfig _environment;
+};
+
+} // namespace savat::em
+
+#endif // SAVAT_EM_SYNTH_HH

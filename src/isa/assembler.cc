@@ -1,0 +1,246 @@
+#include "isa/assembler.hh"
+
+#include <map>
+
+#include "support/logging.hh"
+#include "support/strings.hh"
+
+namespace savat::isa {
+
+namespace {
+
+/** Pending branch fix-up: instruction index -> label name. */
+struct Fixup
+{
+    std::size_t instIndex;
+    std::string label;
+    std::size_t line;
+};
+
+std::optional<Opcode>
+parseOpcode(std::string_view token)
+{
+    static const std::map<std::string, Opcode, std::less<>> table = {
+        {"mov", Opcode::Mov},   {"add", Opcode::Add},
+        {"sub", Opcode::Sub},   {"and", Opcode::And},
+        {"or", Opcode::Or},     {"xor", Opcode::Xor},
+        {"imul", Opcode::Imul}, {"idiv", Opcode::Idiv},
+        {"cdq", Opcode::Cdq},   {"inc", Opcode::Inc},
+        {"dec", Opcode::Dec},   {"cmp", Opcode::Cmp},
+        {"test", Opcode::Test}, {"jmp", Opcode::Jmp},
+        {"je", Opcode::Je},     {"jne", Opcode::Jne},
+        {"nop", Opcode::Nop},   {"hlt", Opcode::Hlt},
+        {"mark", Opcode::Mark},
+    };
+    auto it = table.find(toLower(token));
+    if (it == table.end())
+        return std::nullopt;
+    return it->second;
+}
+
+/** Parse one operand token: register, [register], or immediate. */
+bool
+parseOperand(std::string_view token, Operand &out, std::string &err)
+{
+    const std::string t = trim(token);
+    if (t.empty()) {
+        err = "empty operand";
+        return false;
+    }
+    if (t.front() == '[') {
+        if (t.back() != ']') {
+            err = "unterminated memory operand: " + t;
+            return false;
+        }
+        const auto inner = trim(std::string_view(t).substr(1, t.size() - 2));
+        auto reg = parseReg(inner);
+        if (!reg) {
+            err = "bad memory base register: " + t;
+            return false;
+        }
+        out = Operand::memIndirect(*reg);
+        return true;
+    }
+    if (auto reg = parseReg(t)) {
+        out = Operand::regDirect(*reg);
+        return true;
+    }
+    long long imm = 0;
+    if (parseInt(t, imm)) {
+        out = Operand::immediate(imm);
+        return true;
+    }
+    err = "unrecognized operand: " + t;
+    return false;
+}
+
+/** Does this opcode take a label operand? */
+bool
+isBranchOpcode(Opcode op)
+{
+    return op == Opcode::Jmp || op == Opcode::Je || op == Opcode::Jne;
+}
+
+} // namespace
+
+std::optional<Reg>
+parseReg(std::string_view token)
+{
+    static const std::map<std::string, Reg, std::less<>> table = {
+        {"eax", Reg::Eax}, {"ebx", Reg::Ebx}, {"ecx", Reg::Ecx},
+        {"edx", Reg::Edx}, {"esi", Reg::Esi}, {"edi", Reg::Edi},
+        {"ebp", Reg::Ebp}, {"esp", Reg::Esp},
+    };
+    auto it = table.find(toLower(token));
+    if (it == table.end())
+        return std::nullopt;
+    return it->second;
+}
+
+AssemblyResult
+assemble(std::string_view source, const std::string &name)
+{
+    AssemblyResult res;
+    res.program.setName(name);
+    std::vector<Fixup> fixups;
+
+    auto fail = [&](std::size_t line, const std::string &msg) {
+        res.ok = false;
+        res.error = msg;
+        res.errorLine = line;
+        return res;
+    };
+
+    const auto lines = split(source, '\n');
+    for (std::size_t ln = 0; ln < lines.size(); ++ln) {
+        std::string text = lines[ln];
+        // Strip comment.
+        if (auto pos = text.find(';'); pos != std::string::npos)
+            text = text.substr(0, pos);
+        text = trim(text);
+        if (text.empty())
+            continue;
+
+        // Labels: one or more "name:" prefixes may precede an
+        // instruction on the same line.
+        while (true) {
+            const auto colon = text.find(':');
+            if (colon == std::string::npos)
+                break;
+            const std::string label = trim(text.substr(0, colon));
+            if (label.empty() ||
+                label.find_first_of(" \t,[]") != std::string::npos) {
+                return fail(ln + 1, "malformed label: '" + label + "'");
+            }
+            if (res.program.labelIndex(label) >= 0)
+                return fail(ln + 1, "duplicate label: " + label);
+            res.program.addLabel(label, res.program.size());
+            text = trim(text.substr(colon + 1));
+        }
+        if (text.empty())
+            continue;
+
+        // Mnemonic and operand field.
+        std::string mnem = text;
+        std::string operands;
+        if (auto sp = text.find_first_of(" \t"); sp != std::string::npos) {
+            mnem = text.substr(0, sp);
+            operands = trim(text.substr(sp + 1));
+        }
+
+        auto opcode = parseOpcode(mnem);
+        if (!opcode)
+            return fail(ln + 1, "unknown mnemonic: " + mnem);
+
+        Instruction inst;
+        inst.op = *opcode;
+
+        if (isBranchOpcode(*opcode)) {
+            if (operands.empty())
+                return fail(ln + 1, "branch needs a target label");
+            fixups.push_back({res.program.size(), operands, ln + 1});
+            res.program.append(inst);
+            continue;
+        }
+
+        std::string err;
+        std::vector<std::string> fields;
+        if (!operands.empty())
+            fields = split(operands, ',');
+
+        switch (*opcode) {
+          case Opcode::Cdq:
+          case Opcode::Nop:
+          case Opcode::Hlt:
+            if (!fields.empty())
+                return fail(ln + 1, std::string(opcodeName(*opcode)) +
+                                        " takes no operands");
+            break;
+          case Opcode::Idiv:
+          case Opcode::Inc:
+          case Opcode::Dec:
+            if (fields.size() != 1)
+                return fail(ln + 1, std::string(opcodeName(*opcode)) +
+                                        " takes one operand");
+            if (!parseOperand(fields[0], inst.dst, err))
+                return fail(ln + 1, err);
+            if (!inst.dst.isReg())
+                return fail(ln + 1, std::string(opcodeName(*opcode)) +
+                                        " requires a register operand");
+            break;
+          case Opcode::Mark:
+            if (fields.size() != 1)
+                return fail(ln + 1, "mark takes one immediate");
+            if (!parseOperand(fields[0], inst.dst, err))
+                return fail(ln + 1, err);
+            if (!inst.dst.isImm())
+                return fail(ln + 1, "mark requires an immediate");
+            break;
+          default:
+            // Two-operand instructions.
+            if (fields.size() != 2)
+                return fail(ln + 1, std::string(opcodeName(*opcode)) +
+                                        " takes two operands");
+            if (!parseOperand(fields[0], inst.dst, err))
+                return fail(ln + 1, err);
+            if (!parseOperand(fields[1], inst.src, err))
+                return fail(ln + 1, err);
+            if (inst.dst.isImm())
+                return fail(ln + 1, "destination cannot be an immediate");
+            if (inst.dst.isMem() && inst.src.isMem())
+                return fail(ln + 1, "memory-to-memory is not encodable");
+            if (inst.op != Opcode::Mov &&
+                (inst.dst.isMem() || inst.src.isMem())) {
+                return fail(ln + 1,
+                            "memory operands are only modeled on mov");
+            }
+            break;
+        }
+        res.program.append(inst);
+    }
+
+    // Second pass: resolve branch targets.
+    for (const auto &fx : fixups) {
+        const auto idx = res.program.labelIndex(fx.label);
+        if (idx < 0)
+            return fail(fx.line, "undefined label: " + fx.label);
+        res.program.at(fx.instIndex).target =
+            static_cast<std::int32_t>(idx);
+    }
+
+    res.ok = true;
+    return res;
+}
+
+Program
+assembleOrDie(std::string_view source, const std::string &name)
+{
+    auto res = assemble(source, name);
+    if (!res.ok) {
+        SAVAT_FATAL("assembly of '", name, "' failed at line ",
+                    res.errorLine, ": ", res.error);
+    }
+    return std::move(res.program);
+}
+
+} // namespace savat::isa

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Two-pass text assembler for the modeled x86 subset.
+ *
+ * Accepts Intel-syntax source of the form used by the paper's
+ * measurement kernels:
+ *
+ *     loop_a:
+ *         mov eax,[esi]      ; the A instruction (e.g. a load)
+ *         add esi,64
+ *         and esi,0x3FFFF
+ *         dec ecx
+ *         jne loop_a
+ *
+ * Lines may carry ';' comments; labels end with ':'. Branch targets
+ * are resolved in a second pass, so forward references are legal.
+ */
+
+#ifndef SAVAT_ISA_ASSEMBLER_HH
+#define SAVAT_ISA_ASSEMBLER_HH
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "isa/instruction.hh"
+
+namespace savat::isa {
+
+/** Result of an assembly attempt. */
+struct AssemblyResult
+{
+    Program program;
+    bool ok = false;
+    /** Human-readable description of the first error, if any. */
+    std::string error;
+    /** 1-based source line of the first error; 0 when ok. */
+    std::size_t errorLine = 0;
+};
+
+/**
+ * Assemble the given source text.
+ *
+ * @param source Assembly source (multiple lines).
+ * @param name   Name recorded on the resulting Program.
+ */
+AssemblyResult assemble(std::string_view source,
+                        const std::string &name = "program");
+
+/**
+ * Assemble or die: wraps assemble() and calls SAVAT_FATAL on error.
+ * Convenient for internally generated (trusted) kernels.
+ */
+Program assembleOrDie(std::string_view source,
+                      const std::string &name = "program");
+
+/** Parse a register name; nullopt when not a register. */
+std::optional<Reg> parseReg(std::string_view token);
+
+} // namespace savat::isa
+
+#endif // SAVAT_ISA_ASSEMBLER_HH

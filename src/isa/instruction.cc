@@ -1,0 +1,136 @@
+#include "isa/instruction.hh"
+
+#include <sstream>
+
+#include "support/logging.hh"
+#include "support/strings.hh"
+
+namespace savat::isa {
+
+const char *
+regName(Reg r)
+{
+    switch (r) {
+      case Reg::Eax: return "eax";
+      case Reg::Ebx: return "ebx";
+      case Reg::Ecx: return "ecx";
+      case Reg::Edx: return "edx";
+      case Reg::Esi: return "esi";
+      case Reg::Edi: return "edi";
+      case Reg::Ebp: return "ebp";
+      case Reg::Esp: return "esp";
+      default: SAVAT_PANIC("bad register");
+    }
+}
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Mov: return "mov";
+      case Opcode::Add: return "add";
+      case Opcode::Sub: return "sub";
+      case Opcode::And: return "and";
+      case Opcode::Or: return "or";
+      case Opcode::Xor: return "xor";
+      case Opcode::Imul: return "imul";
+      case Opcode::Idiv: return "idiv";
+      case Opcode::Cdq: return "cdq";
+      case Opcode::Inc: return "inc";
+      case Opcode::Dec: return "dec";
+      case Opcode::Cmp: return "cmp";
+      case Opcode::Test: return "test";
+      case Opcode::Jmp: return "jmp";
+      case Opcode::Je: return "je";
+      case Opcode::Jne: return "jne";
+      case Opcode::Nop: return "nop";
+      case Opcode::Hlt: return "hlt";
+      case Opcode::Mark: return "mark";
+      default: SAVAT_PANIC("bad opcode");
+    }
+}
+
+std::string
+Operand::toString() const
+{
+    switch (kind) {
+      case Kind::None: return "";
+      case Kind::Reg: return regName(reg);
+      case Kind::Imm:
+        if (imm > -4096 && imm < 4096)
+            return format("%lld", static_cast<long long>(imm));
+        return format("0x%llX", static_cast<unsigned long long>(imm));
+      case Kind::Mem: return format("[%s]", regName(reg));
+      default: SAVAT_PANIC("bad operand kind");
+    }
+}
+
+std::string
+Instruction::toString() const
+{
+    std::ostringstream oss;
+    oss << opcodeName(op);
+    if (isBranch()) {
+        oss << " @" << target;
+        return oss.str();
+    }
+    if (!dst.isNone()) {
+        oss << ' ' << dst.toString();
+        if (!src.isNone())
+            oss << ',' << src.toString();
+    }
+    return oss.str();
+}
+
+std::size_t
+Program::append(const Instruction &inst)
+{
+    _insts.push_back(inst);
+    return _insts.size() - 1;
+}
+
+const Instruction &
+Program::at(std::size_t i) const
+{
+    SAVAT_ASSERT(i < _insts.size(), "instruction index out of range: ", i);
+    return _insts[i];
+}
+
+Instruction &
+Program::at(std::size_t i)
+{
+    SAVAT_ASSERT(i < _insts.size(), "instruction index out of range: ", i);
+    return _insts[i];
+}
+
+void
+Program::addLabel(const std::string &label, std::size_t index)
+{
+    _labels.emplace_back(label, index);
+}
+
+std::int64_t
+Program::labelIndex(const std::string &label) const
+{
+    for (const auto &[name, idx] : _labels) {
+        if (name == label)
+            return static_cast<std::int64_t>(idx);
+    }
+    return -1;
+}
+
+std::string
+Program::disassemble() const
+{
+    std::ostringstream oss;
+    for (std::size_t i = 0; i < _insts.size(); ++i) {
+        for (const auto &[name, idx] : _labels) {
+            if (idx == i)
+                oss << name << ":\n";
+        }
+        oss << format("  %4zu  ", i) << _insts[i].toString() << '\n';
+    }
+    return oss.str();
+}
+
+} // namespace savat::isa

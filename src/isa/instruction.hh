@@ -1,0 +1,168 @@
+/**
+ * @file
+ * x86-subset instruction model.
+ *
+ * libsavat executes the paper's measurement kernels on a simulated
+ * machine. The kernels (Figure 4 of the paper) are written in a small
+ * x86 subset: register/immediate moves, loads/stores through [reg],
+ * ADD/SUB/AND/OR/XOR/IMUL/IDIV arithmetic, CMP + conditional branches,
+ * and the instructions of Figure 5 (e.g. "mov eax,[esi]",
+ * "idiv eax"). This header defines the opcode set, operands and the
+ * Instruction/Program containers.
+ */
+
+#ifndef SAVAT_ISA_INSTRUCTION_HH
+#define SAVAT_ISA_INSTRUCTION_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace savat::isa {
+
+/** Architectural registers (32-bit, x86 general purpose). */
+enum class Reg : std::uint8_t {
+    Eax,
+    Ebx,
+    Ecx,
+    Edx,
+    Esi,
+    Edi,
+    Ebp,
+    Esp,
+    NumRegs
+};
+
+/** Number of architectural registers. */
+inline constexpr std::size_t kNumRegs =
+    static_cast<std::size_t>(Reg::NumRegs);
+
+/** Textual (lower-case) name of a register. */
+const char *regName(Reg r);
+
+/** Opcodes of the modeled x86 subset. */
+enum class Opcode : std::uint8_t {
+    Mov,   //!< mov dst, src (any of reg/imm/mem combinations)
+    Add,   //!< add reg, reg|imm
+    Sub,   //!< sub reg, reg|imm
+    And,   //!< and reg, reg|imm
+    Or,    //!< or  reg, reg|imm
+    Xor,   //!< xor reg, reg|imm
+    Imul,  //!< imul reg, reg|imm (two-operand form)
+    Idiv,  //!< idiv reg (edx:eax / reg -> eax, remainder -> edx)
+    Cdq,   //!< sign-extend eax into edx
+    Inc,   //!< inc reg
+    Dec,   //!< dec reg
+    Cmp,   //!< cmp reg, reg|imm (sets flags only)
+    Test,  //!< test reg, reg|imm (AND, flags only)
+    Jmp,   //!< unconditional branch
+    Je,    //!< branch if ZF
+    Jne,   //!< branch if !ZF
+    Nop,   //!< no operation
+    Hlt,   //!< stop simulation
+    Mark,  //!< simulator hook: reports its immediate to the host
+    NumOpcodes
+};
+
+/** Textual mnemonic of an opcode. */
+const char *opcodeName(Opcode op);
+
+/** Operand of an instruction. */
+struct Operand
+{
+    enum class Kind : std::uint8_t {
+        None,  //!< absent
+        Reg,   //!< register direct
+        Imm,   //!< 32-bit immediate
+        Mem    //!< memory indirect through a register: [reg]
+    };
+
+    Kind kind = Kind::None;
+    Reg reg = Reg::Eax;
+    std::int64_t imm = 0;
+
+    static Operand none() { return {}; }
+    static Operand regDirect(Reg r) { return {Kind::Reg, r, 0}; }
+    static Operand immediate(std::int64_t v) { return {Kind::Imm, Reg::Eax, v}; }
+    static Operand memIndirect(Reg r) { return {Kind::Mem, r, 0}; }
+
+    bool isNone() const { return kind == Kind::None; }
+    bool isReg() const { return kind == Kind::Reg; }
+    bool isImm() const { return kind == Kind::Imm; }
+    bool isMem() const { return kind == Kind::Mem; }
+
+    bool operator==(const Operand &) const = default;
+
+    /** Assembly rendering, e.g. "eax", "[esi]", "173". */
+    std::string toString() const;
+};
+
+/** A single decoded instruction. */
+struct Instruction
+{
+    Opcode op = Opcode::Nop;
+    Operand dst;
+    Operand src;
+    /** Branch target as an instruction index; -1 when not a branch. */
+    std::int32_t target = -1;
+
+    bool
+    isBranch() const
+    {
+        return op == Opcode::Jmp || op == Opcode::Je || op == Opcode::Jne;
+    }
+
+    /** True for instructions that read memory. */
+    bool isLoad() const { return op == Opcode::Mov && src.isMem(); }
+
+    /** True for instructions that write memory. */
+    bool isStore() const { return op == Opcode::Mov && dst.isMem(); }
+
+    bool operator==(const Instruction &) const = default;
+
+    /** Assembly rendering (branch targets rendered as @index). */
+    std::string toString() const;
+};
+
+/**
+ * An assembled program: a flat instruction vector plus the label
+ * table produced by the assembler (useful for diagnostics).
+ */
+class Program
+{
+  public:
+    Program() = default;
+    explicit Program(std::string name) : _name(std::move(name)) {}
+
+    const std::string &name() const { return _name; }
+    void setName(std::string n) { _name = std::move(n); }
+
+    /** Append an instruction; returns its index. */
+    std::size_t append(const Instruction &inst);
+
+    std::size_t size() const { return _insts.size(); }
+    bool empty() const { return _insts.empty(); }
+
+    const Instruction &at(std::size_t i) const;
+    Instruction &at(std::size_t i);
+
+    const std::vector<Instruction> &instructions() const { return _insts; }
+
+    /** Record a label at the given instruction index. */
+    void addLabel(const std::string &label, std::size_t index);
+
+    /** Look up a label; returns -1 when absent. */
+    std::int64_t labelIndex(const std::string &label) const;
+
+    /** Full disassembly listing (one instruction per line). */
+    std::string disassemble() const;
+
+  private:
+    std::string _name;
+    std::vector<Instruction> _insts;
+    std::vector<std::pair<std::string, std::size_t>> _labels;
+};
+
+} // namespace savat::isa
+
+#endif // SAVAT_ISA_INSTRUCTION_HH

@@ -1,0 +1,165 @@
+#include "kernels/events.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace savat::kernels {
+
+const char *
+eventName(EventKind e)
+{
+    switch (e) {
+      case EventKind::LDM: return "LDM";
+      case EventKind::STM: return "STM";
+      case EventKind::LDL2: return "LDL2";
+      case EventKind::STL2: return "STL2";
+      case EventKind::LDL1: return "LDL1";
+      case EventKind::STL1: return "STL1";
+      case EventKind::NOI: return "NOI";
+      case EventKind::ADD: return "ADD";
+      case EventKind::SUB: return "SUB";
+      case EventKind::MUL: return "MUL";
+      case EventKind::DIV: return "DIV";
+      case EventKind::BRH: return "BRH";
+      case EventKind::BRM: return "BRM";
+      default: SAVAT_PANIC("bad event kind");
+    }
+}
+
+const char *
+eventDescription(EventKind e)
+{
+    switch (e) {
+      case EventKind::LDM: return "Load from main memory";
+      case EventKind::STM: return "Store to main memory";
+      case EventKind::LDL2: return "Load from L2 cache";
+      case EventKind::STL2: return "Store to L2 cache";
+      case EventKind::LDL1: return "Load from L1 cache";
+      case EventKind::STL1: return "Store to L1 cache";
+      case EventKind::NOI: return "No instruction";
+      case EventKind::ADD: return "Add imm to reg";
+      case EventKind::SUB: return "Sub imm from reg";
+      case EventKind::MUL: return "Integer multiplication";
+      case EventKind::DIV: return "Integer division";
+      case EventKind::BRH: return "Predicted branch";
+      case EventKind::BRM: return "Mispredicted branch";
+      default: SAVAT_PANIC("bad event kind");
+    }
+}
+
+EventKind
+eventByName(const std::string &name)
+{
+    for (auto e : extendedEvents()) {
+        if (name == eventName(e))
+            return e;
+    }
+    SAVAT_FATAL("unknown event name: ", name);
+}
+
+std::vector<EventKind>
+allEvents()
+{
+    std::vector<EventKind> out;
+    out.reserve(kNumPaperEvents);
+    for (std::size_t i = 0; i < kNumPaperEvents; ++i)
+        out.push_back(static_cast<EventKind>(i));
+    return out;
+}
+
+std::vector<EventKind>
+extendedEvents()
+{
+    std::vector<EventKind> out;
+    out.reserve(kNumEventKinds);
+    for (std::size_t i = 0; i < kNumEventKinds; ++i)
+        out.push_back(static_cast<EventKind>(i));
+    return out;
+}
+
+bool
+isBranchEvent(EventKind e)
+{
+    return e == EventKind::BRH || e == EventKind::BRM;
+}
+
+bool
+isLoadEvent(EventKind e)
+{
+    return e == EventKind::LDM || e == EventKind::LDL2 ||
+           e == EventKind::LDL1;
+}
+
+bool
+isStoreEvent(EventKind e)
+{
+    return e == EventKind::STM || e == EventKind::STL2 ||
+           e == EventKind::STL1;
+}
+
+bool
+isMemoryEvent(EventKind e)
+{
+    return isLoadEvent(e) || isStoreEvent(e);
+}
+
+std::string
+eventAsm(EventKind e, const std::string &ptrReg,
+         const std::string &labelSuffix)
+{
+    // The branch slots test a bit of the freshly computed sweep
+    // offset (in ebx): bit 6 of a 64-byte-stride sweep toggles every
+    // iteration, defeating the bimodal predictor; testing against 0
+    // gives a never-taken, perfectly predicted branch. Both slots
+    // execute the same instruction mix.
+    const std::string label = "bp_" + labelSuffix;
+    switch (e) {
+      case EventKind::LDM:
+      case EventKind::LDL2:
+      case EventKind::LDL1:
+        return "mov eax,[" + ptrReg + "]";
+      case EventKind::STM:
+      case EventKind::STL2:
+      case EventKind::STL1:
+        return "mov [" + ptrReg + "],0xFFFFFFFF";
+      case EventKind::NOI:
+        return "";
+      case EventKind::ADD:
+        return "add eax,173";
+      case EventKind::SUB:
+        return "sub eax,173";
+      case EventKind::MUL:
+        return "imul eax,173";
+      case EventKind::DIV:
+        return "idiv eax";
+      case EventKind::BRH:
+        return "test ebx,0\njne " + label + "\nnop\n" + label + ":";
+      case EventKind::BRM:
+        return "test ebx,64\njne " + label + "\nnop\n" + label +
+               ":";
+      default:
+        SAVAT_PANIC("bad event kind");
+    }
+}
+
+std::uint64_t
+footprintBytes(EventKind e, const uarch::MachineConfig &m)
+{
+    switch (e) {
+      case EventKind::LDM:
+      case EventKind::STM:
+        // Several times the L2 so the sweep always misses.
+        return std::uint64_t{4} * m.l2.sizeBytes;
+      case EventKind::LDL2:
+      case EventKind::STL2:
+        // Bigger than L1, comfortably resident in L2.
+        return std::min<std::uint64_t>(std::uint64_t{4} * m.l1.sizeBytes,
+                                       m.l2.sizeBytes / 4);
+      default:
+        // L1 hits and the non-memory events: half the L1.
+        return m.l1.sizeBytes / 2;
+    }
+}
+
+} // namespace savat::kernels

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The instruction/event classes of the paper's case study (Figure 5):
+ * loads and stores serviced by each level of the memory hierarchy,
+ * simple and complex integer arithmetic, and the empty "no
+ * instruction" slot.
+ */
+
+#ifndef SAVAT_KERNELS_EVENTS_HH
+#define SAVAT_KERNELS_EVENTS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "uarch/machine.hh"
+
+namespace savat::kernels {
+
+/** The eleven instruction/event classes of Figure 5. */
+enum class EventKind : std::uint8_t {
+    LDM,  //!< load from main memory
+    STM,  //!< store to main memory
+    LDL2, //!< load hitting in L2
+    STL2, //!< store hitting in L2
+    LDL1, //!< load hitting in L1
+    STL1, //!< store hitting in L1
+    NOI,  //!< no instruction (empty slot)
+    ADD,  //!< add immediate to register
+    SUB,  //!< subtract immediate from register
+    MUL,  //!< integer multiply
+    DIV,  //!< integer divide
+    // --- extension events (the paper's Section VII future work) ---
+    BRH,  //!< well-predicted conditional branch
+    BRM,  //!< frequently mispredicted conditional branch
+    NumEvents
+};
+
+/** Number of event classes, including the extension events. */
+inline constexpr std::size_t kNumEventKinds =
+    static_cast<std::size_t>(EventKind::NumEvents);
+
+/** Number of events in the paper's case study (Figure 5). */
+inline constexpr std::size_t kNumPaperEvents = 11;
+
+/** Short name ("LDM", "ADD", ...). */
+const char *eventName(EventKind e);
+
+/** Long description, as in Figure 5 ("Load from main memory", ...). */
+const char *eventDescription(EventKind e);
+
+/** Parse an event name; fatal on unknown names. */
+EventKind eventByName(const std::string &name);
+
+/** The paper's eleven events, in Figure 5's table order. */
+std::vector<EventKind> allEvents();
+
+/**
+ * The paper's events plus the extension events (branch predictor
+ * hits/misses -- Section VII's "should be studied" list).
+ */
+std::vector<EventKind> extendedEvents();
+
+/** True for the branch-predictor extension events. */
+bool isBranchEvent(EventKind e);
+
+/** True for memory-accessing events. */
+bool isMemoryEvent(EventKind e);
+
+/** True for loads (LDM/LDL2/LDL1). */
+bool isLoadEvent(EventKind e);
+
+/** True for stores (STM/STL2/STL1). */
+bool isStoreEvent(EventKind e);
+
+/**
+ * The assembly text of the event's test slot (Figure 5), with the
+ * access pointer in the given register ("esi"/"edi"). NOI returns an
+ * empty string; the branch events return a multi-line slot whose
+ * internal label is made unique with labelSuffix.
+ */
+std::string eventAsm(EventKind e, const std::string &ptrReg,
+                     const std::string &labelSuffix = "");
+
+/**
+ * Size of the array the pointer-update code sweeps to create the
+ * event's cache behaviour on the given machine: half the L1 for L1
+ * hits, bigger than L1 but resident in L2 for L2 hits, several times
+ * the L2 for off-chip accesses. Non-memory events get the L1-sized
+ * footprint (the pointer-update code runs either way, exactly as in
+ * the paper's Figure 4).
+ */
+std::uint64_t footprintBytes(EventKind e, const uarch::MachineConfig &m);
+
+} // namespace savat::kernels
+
+#endif // SAVAT_KERNELS_EVENTS_HH

@@ -1,0 +1,200 @@
+#include "kernels/generator.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "isa/assembler.hh"
+#include "support/logging.hh"
+#include "support/strings.hh"
+
+namespace savat::kernels {
+
+namespace {
+
+/**
+ * Emit one loop body (pointer update + test instruction + loop
+ * control) into the stream.
+ */
+void
+emitBody(std::ostringstream &oss, const uarch::MachineConfig &m,
+         EventKind e, const std::string &ptr_reg, std::uint64_t mask,
+         const std::string &label)
+{
+    const std::uint64_t not_mask = (~mask) & 0xFFFFFFFFull;
+    oss << label << ":\n";
+    oss << "    mov ebx," << ptr_reg << "\n";
+    oss << "    add ebx," << m.l1.lineBytes << "\n";
+    oss << format("    and ebx,0x%llX\n",
+                  static_cast<unsigned long long>(mask));
+    oss << format("    and %s,0x%llX\n", ptr_reg.c_str(),
+                  static_cast<unsigned long long>(not_mask));
+    oss << "    or " << ptr_reg << ",ebx\n";
+    oss << "    cdq\n";
+    const std::string test = eventAsm(e, ptr_reg, label);
+    if (!test.empty()) {
+        for (const auto &line : split(test, '\n'))
+            oss << "    " << line << "\n";
+    }
+    oss << "    dec ecx\n";
+    oss << "    jne " << label << "\n";
+}
+
+/** Common register setup. */
+void
+emitPrologue(std::ostringstream &oss)
+{
+    oss << format("    mov esi,0x%llX\n",
+                  static_cast<unsigned long long>(kBaseA));
+    oss << format("    mov edi,0x%llX\n",
+                  static_cast<unsigned long long>(kBaseB));
+    oss << "    mov eax,7\n";
+    oss << "    mov edx,0\n";
+}
+
+} // namespace
+
+AlternationKernel
+buildAlternationKernel(const uarch::MachineConfig &m, EventKind a,
+                       EventKind b, std::uint64_t countA,
+                       std::uint64_t countB)
+{
+    SAVAT_ASSERT(countA >= 1 && countB >= 1, "empty burst");
+
+    AlternationKernel k;
+    k.a = a;
+    k.b = b;
+    k.countA = countA;
+    k.countB = countB;
+    k.baseA = kBaseA;
+    k.baseB = kBaseB;
+    k.maskA = footprintBytes(a, m) - 1;
+    k.maskB = footprintBytes(b, m) - 1;
+
+    std::ostringstream oss;
+    oss << "; SAVAT alternation kernel: A=" << eventName(a)
+        << " B=" << eventName(b) << " machine=" << m.id << "\n";
+    emitPrologue(oss);
+    oss << "top:\n";
+    oss << "    mark " << Marks::kPeriodStart << "\n";
+    oss << "    mov ecx," << countA << "\n";
+    emitBody(oss, m, a, "esi", k.maskA, "a_loop");
+    oss << "    mark " << Marks::kHalfBoundary << "\n";
+    oss << "    mov ecx," << countB << "\n";
+    emitBody(oss, m, b, "edi", k.maskB, "b_loop");
+    oss << "    jmp top\n";
+
+    k.source = oss.str();
+    k.program = isa::assembleOrDie(
+        k.source, std::string("savat_") + eventName(a) + "_" +
+                      eventName(b));
+    return k;
+}
+
+isa::Program
+buildCalibrationKernel(const uarch::MachineConfig &m, EventKind e,
+                       std::uint64_t warmIters,
+                       std::uint64_t measureIters)
+{
+    SAVAT_ASSERT(warmIters >= 1 && measureIters >= 1,
+                 "degenerate calibration kernel");
+    const std::uint64_t mask = footprintBytes(e, m) - 1;
+
+    std::ostringstream oss;
+    oss << "; SAVAT calibration kernel: " << eventName(e)
+        << " machine=" << m.id << "\n";
+    emitPrologue(oss);
+    oss << "    mov ecx," << warmIters << "\n";
+    emitBody(oss, m, e, "esi", mask, "w_loop");
+    oss << "    mark " << Marks::kCalibBegin << "\n";
+    oss << "    mov ecx," << measureIters << "\n";
+    emitBody(oss, m, e, "esi", mask, "m_loop");
+    oss << "    mark " << Marks::kCalibEnd << "\n";
+    oss << "    hlt\n";
+    return isa::assembleOrDie(oss.str(),
+                              std::string("calib_") + eventName(e));
+}
+
+void
+prefillEventArray(uarch::SimpleCpu &cpu, const uarch::MachineConfig &m,
+                  EventKind e, std::uint64_t base)
+{
+    if (!isLoadEvent(e))
+        return;
+    const std::uint64_t bytes = footprintBytes(e, m);
+    for (std::uint64_t off = 0; off < bytes; off += 4)
+        cpu.memory().writeWord(base + off, 0x07070707u);
+}
+
+double
+measureIterationCycles(const uarch::MachineConfig &m, EventKind e)
+{
+    const std::uint64_t lines =
+        footprintBytes(e, m) / m.l1.lineBytes;
+
+    // Warm-up must cover two full sweeps for cache-resident events.
+    // Off-chip sweeps also need the L2 to fill completely: only then
+    // do store sweeps start evicting dirty lines (write-back
+    // pressure), which is part of their steady-state timing.
+    const bool fits_somewhere = footprintBytes(e, m) <= m.l2.sizeBytes;
+    const std::uint64_t l2_lines = m.l2.sizeBytes / m.l1.lineBytes;
+    const std::uint64_t warm = fits_somewhere
+                                   ? 2 * lines + 1024
+                                   : l2_lines * 6 / 5 + 1024;
+    const std::uint64_t measure = std::clamp<std::uint64_t>(
+        lines, 2048, 16384);
+
+    auto program = buildCalibrationKernel(m, e, warm, measure);
+
+    uarch::NullActivitySink sink;
+    uarch::SimpleCpu cpu(m, sink);
+    prefillEventArray(cpu, m, e, kBaseA);
+
+    std::uint64_t begin = 0, end = 0;
+    cpu.setMarkCallback([&](std::int64_t id, std::uint64_t cycle,
+                            std::uint64_t) {
+        if (id == Marks::kCalibBegin)
+            begin = cycle;
+        else if (id == Marks::kCalibEnd)
+            end = cycle;
+        return true;
+    });
+    const auto res = cpu.run(program);
+    SAVAT_ASSERT(res.halted, "calibration kernel did not halt");
+    SAVAT_ASSERT(end > begin, "calibration marks missing");
+    return static_cast<double>(end - begin) /
+           static_cast<double>(measure);
+}
+
+CountSolution
+solveCounts(const uarch::MachineConfig &m, double cpiA, double cpiB,
+            Frequency alternation, PairingMode mode)
+{
+    SAVAT_ASSERT(cpiA > 0.0 && cpiB > 0.0, "non-positive cpi");
+    const double period_cycles = m.cyclesPerPeriod(alternation);
+    SAVAT_ASSERT(period_cycles > cpiA + cpiB,
+                 "alternation frequency too high for this pair");
+
+    CountSolution s;
+    s.cpiA = cpiA;
+    s.cpiB = cpiB;
+    switch (mode) {
+      case PairingMode::EqualDuration: {
+        s.countA = static_cast<std::uint64_t>(
+            std::max(1.0, std::round(period_cycles / 2.0 / cpiA)));
+        s.countB = static_cast<std::uint64_t>(
+            std::max(1.0, std::round(period_cycles / 2.0 / cpiB)));
+        break;
+      }
+      case PairingMode::EqualCounts: {
+        const auto n = static_cast<std::uint64_t>(
+            std::max(1.0, std::round(period_cycles / (cpiA + cpiB))));
+        s.countA = n;
+        s.countB = n;
+        break;
+      }
+    }
+    return s;
+}
+
+} // namespace savat::kernels

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Generator for the paper's A/B alternation kernels (Figure 4).
+ *
+ * The generated program alternates between a burst of A
+ * instructions/events and a burst of B instructions/events forever:
+ *
+ *     top:    mark 1                  ; period boundary
+ *             mov ecx,<countA>
+ *     a_loop: mov ebx,esi             ; ptr1 update:
+ *             add ebx,<line>          ;   ptr1 = (ptr1 & ~mask1)
+ *             and ebx,<mask1>         ;        | ((ptr1+off) & mask1)
+ *             and esi,<~mask1>
+ *             or esi,ebx
+ *             cdq                     ; keeps edx:eax sane for idiv
+ *             <A instruction>         ; e.g. mov eax,[esi]
+ *             dec ecx
+ *             jne a_loop
+ *             mark 2                  ; half boundary
+ *             mov ecx,<countB>
+ *     b_loop: ... identical, ptr2 in edi, <B instruction> ...
+ *             jne b_loop
+ *             jmp top
+ *
+ * Every kernel body is identical except for the single test
+ * instruction — including the pointer-update code, which runs even
+ * for non-memory events, exactly as the paper requires. The `cdq`
+ * (present in every body in the same slot) keeps edx:eax a valid
+ * sign-extended dividend so the DIV event's `idiv eax` computes
+ * eax/eax = 1 with remainder 0 and never faults, whatever the other
+ * half does to eax.
+ */
+
+#ifndef SAVAT_KERNELS_GENERATOR_HH
+#define SAVAT_KERNELS_GENERATOR_HH
+
+#include <cstdint>
+#include <string>
+
+#include "isa/instruction.hh"
+#include "kernels/events.hh"
+#include "uarch/cpu.hh"
+#include "uarch/machine.hh"
+
+namespace savat::kernels {
+
+/** Mark identifiers planted in generated kernels. */
+struct Marks
+{
+    static constexpr std::int64_t kPeriodStart = 1;
+    static constexpr std::int64_t kHalfBoundary = 2;
+    static constexpr std::int64_t kCalibBegin = 10;
+    static constexpr std::int64_t kCalibEnd = 11;
+};
+
+/** Description of one generated alternation kernel. */
+struct AlternationKernel
+{
+    EventKind a = EventKind::NOI;
+    EventKind b = EventKind::NOI;
+    std::uint64_t countA = 0; //!< A instructions per burst
+    std::uint64_t countB = 0; //!< B instructions per burst
+
+    std::uint64_t baseA = 0; //!< base address of ptr1's array
+    std::uint64_t baseB = 0; //!< base address of ptr2's array
+    std::uint64_t maskA = 0; //!< footprintA - 1
+    std::uint64_t maskB = 0; //!< footprintB - 1
+
+    std::string source;   //!< generated assembly text
+    isa::Program program; //!< assembled program
+};
+
+/** Array base addresses used by generated kernels. */
+inline constexpr std::uint64_t kBaseA = 0x10000000ull;
+inline constexpr std::uint64_t kBaseB = 0x30000000ull;
+
+/**
+ * Build the alternation kernel for the (a, b) pair on the given
+ * machine with the given burst lengths.
+ */
+AlternationKernel buildAlternationKernel(const uarch::MachineConfig &m,
+                                         EventKind a, EventKind b,
+                                         std::uint64_t countA,
+                                         std::uint64_t countB);
+
+/**
+ * Build a single-burst calibration kernel: runs `warmIters`
+ * iterations of the event's loop body, emits mark kCalibBegin, runs
+ * `measureIters` more, emits mark kCalibEnd and halts. Used to
+ * measure the steady-state cycles-per-iteration of one half.
+ */
+isa::Program buildCalibrationKernel(const uarch::MachineConfig &m,
+                                    EventKind e, std::uint64_t warmIters,
+                                    std::uint64_t measureIters);
+
+/**
+ * Pre-fill the array a load event sweeps with a non-zero pattern
+ * (0x07 bytes) so loaded values are valid idiv operands. No-op for
+ * non-load events.
+ */
+void prefillEventArray(uarch::SimpleCpu &cpu, const uarch::MachineConfig &m,
+                       EventKind e, std::uint64_t base);
+
+/**
+ * Steady-state cycles per loop iteration of the event's half-loop on
+ * the given machine, measured by simulation (cold-start effects are
+ * excluded by a warm-up phase sized to the event's footprint).
+ */
+double measureIterationCycles(const uarch::MachineConfig &m, EventKind e);
+
+/** How A and B burst lengths are chosen. */
+enum class PairingMode {
+    /**
+     * Each burst lasts half the alternation period (a clean 50 %
+     * duty cycle); countA and countB differ when the two events have
+     * different iteration times. Default.
+     */
+    EqualDuration,
+    /**
+     * countA == countB, as in the paper's Figure 4 listing verbatim;
+     * the duty cycle then depends on the events' relative speed.
+     */
+    EqualCounts
+};
+
+/** Burst lengths for a pair at a target alternation frequency. */
+struct CountSolution
+{
+    std::uint64_t countA = 0;
+    std::uint64_t countB = 0;
+    double cpiA = 0.0; //!< measured cycles per A-loop iteration
+    double cpiB = 0.0; //!< measured cycles per B-loop iteration
+
+    /** Expected alternation period in cycles. */
+    double
+    periodCycles() const
+    {
+        return cpiA * static_cast<double>(countA) +
+               cpiB * static_cast<double>(countB);
+    }
+};
+
+/**
+ * Choose burst lengths so the A/B alternation runs at the intended
+ * frequency on the given machine.
+ *
+ * @param cpiA Steady-state cycles/iteration of the A half
+ *             (from measureIterationCycles).
+ * @param cpiB Same for the B half.
+ */
+CountSolution solveCounts(const uarch::MachineConfig &m, double cpiA,
+                          double cpiB, Frequency alternation,
+                          PairingMode mode);
+
+} // namespace savat::kernels
+
+#endif // SAVAT_KERNELS_GENERATOR_HH

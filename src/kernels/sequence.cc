@@ -1,0 +1,171 @@
+#include "kernels/sequence.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "isa/assembler.hh"
+#include "support/logging.hh"
+#include "support/strings.hh"
+#include "uarch/cpu.hh"
+
+namespace savat::kernels {
+
+std::string
+sequenceName(const EventSequence &seq)
+{
+    std::string out;
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+        if (i)
+            out += "+";
+        out += eventName(seq[i]);
+    }
+    return out.empty() ? "EMPTY" : out;
+}
+
+std::uint64_t
+sequenceFootprintBytes(const EventSequence &seq,
+                       const uarch::MachineConfig &m)
+{
+    std::uint64_t fp = footprintBytes(EventKind::NOI, m);
+    for (auto e : seq)
+        fp = std::max(fp, footprintBytes(e, m));
+    return fp;
+}
+
+namespace {
+
+/**
+ * Emit one sequence loop body. Layout matches the single-event
+ * kernels (pointer update, cdq, test slot, loop control); the test
+ * slot holds the whole sequence, all memory events sharing the
+ * half's pointer.
+ */
+void
+emitSequenceBody(std::ostringstream &oss, const uarch::MachineConfig &m,
+                 const EventSequence &seq, const std::string &ptr_reg,
+                 std::uint64_t mask, const std::string &label)
+{
+    const std::uint64_t not_mask = (~mask) & 0xFFFFFFFFull;
+    oss << label << ":\n";
+    oss << "    mov ebx," << ptr_reg << "\n";
+    oss << "    add ebx," << m.l1.lineBytes << "\n";
+    oss << format("    and ebx,0x%llX\n",
+                  static_cast<unsigned long long>(mask));
+    oss << format("    and %s,0x%llX\n", ptr_reg.c_str(),
+                  static_cast<unsigned long long>(not_mask));
+    oss << "    or " << ptr_reg << ",ebx\n";
+    oss << "    cdq\n";
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+        const std::string text =
+            eventAsm(seq[i], ptr_reg, label + format("_%zu", i));
+        if (text.empty())
+            continue;
+        for (const auto &line : split(text, '\n'))
+            oss << "    " << line << "\n";
+    }
+    oss << "    dec ecx\n";
+    oss << "    jne " << label << "\n";
+}
+
+} // namespace
+
+AlternationKernel
+buildSequenceKernel(const uarch::MachineConfig &m,
+                    const EventSequence &a, const EventSequence &b,
+                    std::uint64_t countA, std::uint64_t countB)
+{
+    SAVAT_ASSERT(countA >= 1 && countB >= 1, "empty burst");
+
+    AlternationKernel k;
+    k.a = a.empty() ? EventKind::NOI : a.front();
+    k.b = b.empty() ? EventKind::NOI : b.front();
+    k.countA = countA;
+    k.countB = countB;
+    k.baseA = kBaseA;
+    k.baseB = kBaseB;
+    k.maskA = sequenceFootprintBytes(a, m) - 1;
+    k.maskB = sequenceFootprintBytes(b, m) - 1;
+
+    std::ostringstream oss;
+    oss << "; SAVAT sequence kernel: A=" << sequenceName(a)
+        << " B=" << sequenceName(b) << " machine=" << m.id << "\n";
+    oss << format("    mov esi,0x%llX\n",
+                  static_cast<unsigned long long>(kBaseA));
+    oss << format("    mov edi,0x%llX\n",
+                  static_cast<unsigned long long>(kBaseB));
+    oss << "    mov eax,7\n";
+    oss << "    mov edx,0\n";
+    oss << "top:\n";
+    oss << "    mark " << Marks::kPeriodStart << "\n";
+    oss << "    mov ecx," << countA << "\n";
+    emitSequenceBody(oss, m, a, "esi", k.maskA, "a_loop");
+    oss << "    mark " << Marks::kHalfBoundary << "\n";
+    oss << "    mov ecx," << countB << "\n";
+    emitSequenceBody(oss, m, b, "edi", k.maskB, "b_loop");
+    oss << "    jmp top\n";
+
+    k.source = oss.str();
+    k.program = isa::assembleOrDie(
+        k.source,
+        "seq_" + sequenceName(a) + "_" + sequenceName(b));
+    return k;
+}
+
+double
+measureSequenceIterationCycles(const uarch::MachineConfig &m,
+                               const EventSequence &seq)
+{
+    const std::uint64_t fp = sequenceFootprintBytes(seq, m);
+    const std::uint64_t lines = fp / m.l1.lineBytes;
+    const bool fits_somewhere = fp <= m.l2.sizeBytes;
+    const std::uint64_t l2_lines = m.l2.sizeBytes / m.l1.lineBytes;
+    const std::uint64_t warm = fits_somewhere
+                                   ? 2 * lines + 1024
+                                   : l2_lines * 6 / 5 + 1024;
+    const std::uint64_t measure =
+        std::clamp<std::uint64_t>(lines, 2048, 16384);
+
+    std::ostringstream oss;
+    oss << "; sequence calibration: " << sequenceName(seq) << "\n";
+    oss << format("    mov esi,0x%llX\n",
+                  static_cast<unsigned long long>(kBaseA));
+    oss << "    mov eax,7\n";
+    oss << "    mov edx,0\n";
+    oss << "    mov ecx," << warm << "\n";
+    emitSequenceBody(oss, m, seq, "esi", fp - 1, "w_loop");
+    oss << "    mark " << Marks::kCalibBegin << "\n";
+    oss << "    mov ecx," << measure << "\n";
+    emitSequenceBody(oss, m, seq, "esi", fp - 1, "m_loop");
+    oss << "    mark " << Marks::kCalibEnd << "\n";
+    oss << "    hlt\n";
+    const auto program =
+        isa::assembleOrDie(oss.str(), "seqcalib_" + sequenceName(seq));
+
+    uarch::NullActivitySink sink;
+    uarch::SimpleCpu cpu(m, sink);
+    // Pre-fill so loaded values are valid idiv operands.
+    bool any_load = false;
+    for (auto e : seq)
+        any_load = any_load || isLoadEvent(e);
+    if (any_load) {
+        for (std::uint64_t off = 0; off < fp; off += 4)
+            cpu.memory().writeWord(kBaseA + off, 0x07070707u);
+    }
+
+    std::uint64_t begin = 0, end = 0;
+    cpu.setMarkCallback([&](std::int64_t id, std::uint64_t cycle,
+                            std::uint64_t) {
+        if (id == Marks::kCalibBegin)
+            begin = cycle;
+        else if (id == Marks::kCalibEnd)
+            end = cycle;
+        return true;
+    });
+    const auto res = cpu.run(program);
+    SAVAT_ASSERT(res.halted, "sequence calibration did not halt");
+    SAVAT_ASSERT(end > begin, "sequence calibration marks missing");
+    return static_cast<double>(end - begin) /
+           static_cast<double>(measure);
+}
+
+} // namespace savat::kernels

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Instruction-sequence alternation kernels.
+ *
+ * Section III of the paper raises "combination": sensitive data may
+ * select between entire *sequences* of instructions, not single
+ * ones, and conjectures that the sum of single-instruction SAVATs
+ * estimates the combined signal. It also notes that a more accurate
+ * measurement simply uses the whole sequences as the A/B activity in
+ * the alternation kernel. This module implements exactly that:
+ * alternation kernels whose test slot holds a short sequence of
+ * Figure-5 events, so sequence SAVAT can be measured directly and
+ * the additivity conjecture tested (see bench_ext_sequences).
+ */
+
+#ifndef SAVAT_KERNELS_SEQUENCE_HH
+#define SAVAT_KERNELS_SEQUENCE_HH
+
+#include <string>
+#include <vector>
+
+#include "kernels/events.hh"
+#include "kernels/generator.hh"
+
+namespace savat::kernels {
+
+/** A short sequence of Figure-5 events used as one test slot. */
+using EventSequence = std::vector<EventKind>;
+
+/** Display name ("ADD+LDM+DIV"). */
+std::string sequenceName(const EventSequence &seq);
+
+/**
+ * Build an alternation kernel whose A and B slots each execute a
+ * sequence of events (memory events use the half's own pointer, so
+ * the cache behaviour matches the single-event kernels).
+ *
+ * The loop body layout matches buildAlternationKernel exactly --
+ * pointer update, cdq, test slot, loop control -- only the test slot
+ * holds several instructions.
+ */
+AlternationKernel
+buildSequenceKernel(const uarch::MachineConfig &m,
+                    const EventSequence &a, const EventSequence &b,
+                    std::uint64_t countA, std::uint64_t countB);
+
+/**
+ * Steady-state cycles per iteration of a sequence half (analogous to
+ * measureIterationCycles).
+ */
+double measureSequenceIterationCycles(const uarch::MachineConfig &m,
+                                      const EventSequence &seq);
+
+/**
+ * Largest footprint used by the sequence (the sweep mask must cover
+ * the most demanding event; NOI-only sequences use the L1 default).
+ */
+std::uint64_t sequenceFootprintBytes(const EventSequence &seq,
+                                     const uarch::MachineConfig &m);
+
+} // namespace savat::kernels
+
+#endif // SAVAT_KERNELS_SEQUENCE_HH

@@ -1,0 +1,121 @@
+#include "spectrum/analyzer.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace savat::spectrum {
+
+double
+Trace::bandPower(double lo_hz, double hi_hz) const
+{
+    SAVAT_ASSERT(hi_hz >= lo_hz, "inverted band");
+    double power = 0.0;
+    for (std::size_t i = 0; i < psd.size(); ++i) {
+        const double lo = frequency(i) - 0.5 * binHz;
+        const double hi = frequency(i) + 0.5 * binHz;
+        const double olo = std::max(lo, lo_hz);
+        const double ohi = std::min(hi, hi_hz);
+        if (ohi > olo)
+            power += psd[i] * (ohi - olo);
+    }
+    return power;
+}
+
+double
+Trace::peakFrequency(double lo_hz, double hi_hz) const
+{
+    double best_f = lo_hz;
+    double best_v = -1.0;
+    for (std::size_t i = 0; i < psd.size(); ++i) {
+        const double f = frequency(i);
+        if (f < lo_hz || f > hi_hz)
+            continue;
+        if (psd[i] > best_v) {
+            best_v = psd[i];
+            best_f = f;
+        }
+    }
+    return best_f;
+}
+
+double
+Trace::peakPsd(double lo_hz, double hi_hz) const
+{
+    double best_v = 0.0;
+    for (std::size_t i = 0; i < psd.size(); ++i) {
+        const double f = frequency(i);
+        if (f >= lo_hz && f <= hi_hz)
+            best_v = std::max(best_v, psd[i]);
+    }
+    return best_v;
+}
+
+SpectrumAnalyzer::SpectrumAnalyzer(const SweepConfig &config)
+    : _config(config)
+{
+    SAVAT_ASSERT(_config.rbwHz > 0.0, "non-positive RBW");
+    SAVAT_ASSERT(_config.spanHz > 0.0, "non-positive span");
+    SAVAT_ASSERT(_config.center.inHz() > _config.spanHz / 2.0,
+                 "sweep extends below DC");
+}
+
+Trace
+SpectrumAnalyzer::measure(const em::NarrowbandSpectrum &incident,
+                          Rng &rng) const
+{
+    Trace out;
+    out.binHz = incident.binHz;
+    out.startHz = _config.center.inHz() - _config.spanHz / 2.0;
+    const std::size_t nbins = static_cast<std::size_t>(
+        std::lround(_config.spanHz / out.binHz)) + 1;
+    out.psd.assign(nbins, 0.0);
+
+    // Gaussian RBW filter: each displayed bin integrates the
+    // incident PSD weighted by the RBW shape centered on the bin.
+    // sigma chosen so the -3 dB width equals the RBW.
+    const double sigma = _config.rbwHz / 2.3548;
+    const int reach = std::max(
+        1, static_cast<int>(std::ceil(3.0 * sigma / incident.binHz)));
+
+    for (std::size_t i = 0; i < nbins; ++i) {
+        const double f = out.frequency(i);
+        if (incident.size() > 0 && f >= incident.startHz - 1.0 &&
+            f <= incident.endHz() + 1.0) {
+            const std::ptrdiff_t center =
+                static_cast<std::ptrdiff_t>(incident.binFor(f));
+            double acc = 0.0;
+            double wsum = 0.0;
+            for (int k = -reach; k <= reach; ++k) {
+                const std::ptrdiff_t j = center + k;
+                if (j < 0 ||
+                    j >= static_cast<std::ptrdiff_t>(incident.size())) {
+                    continue;
+                }
+                const double df = incident.frequency(
+                                      static_cast<std::size_t>(j)) -
+                                  f;
+                const double w =
+                    std::exp(-0.5 * (df / sigma) * (df / sigma));
+                acc += w * incident.psd[static_cast<std::size_t>(j)];
+                wsum += w;
+            }
+            if (wsum > 0.0)
+                out.psd[i] = acc / wsum *
+                    (_config.rbwHz >= incident.binHz
+                         ? 1.0
+                         : _config.rbwHz / incident.binHz);
+        }
+        // Instrument noise: exponentially distributed around the
+        // configured displayed-average-noise-level.
+        double u;
+        do {
+            u = rng.uniform();
+        } while (u <= 0.0);
+        out.psd[i] += _config.noiseFloorWPerHz * -std::log(u);
+    }
+    return out;
+}
+
+} // namespace savat::spectrum

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Spectrum analyzer model (Agilent MXA N9020A class).
+ *
+ * The instrument's job in the paper's methodology is narrowband
+ * power measurement: sweep a window around the alternation
+ * frequency at 1 Hz resolution bandwidth and integrate the received
+ * power in a +/- 1 kHz band. The model applies an RBW filter (a
+ * Gaussian, like the analog/digital RBW filters in real analyzers),
+ * adds the instrument's displayed-average-noise-level floor, and
+ * exposes trace, marker and band-power operations.
+ */
+
+#ifndef SAVAT_SPECTRUM_ANALYZER_HH
+#define SAVAT_SPECTRUM_ANALYZER_HH
+
+#include <vector>
+
+#include "em/narrowband.hh"
+#include "support/rng.hh"
+#include "support/units.hh"
+
+namespace savat::spectrum {
+
+/** Sweep configuration. */
+struct SweepConfig
+{
+    Frequency center;             //!< window center
+    double spanHz = 4000.0;       //!< full span of the sweep
+    double rbwHz = 1.0;           //!< resolution bandwidth
+    /** Instrument noise floor (DANL) [W/Hz]. Figure 8 shows
+     * ~6e-18 W/Hz total; the instrument contributes most of it. */
+    double noiseFloorWPerHz = 5.0e-18;
+};
+
+/** A captured trace: PSD per display bin. */
+struct Trace
+{
+    double startHz = 0.0;
+    double binHz = 1.0;
+    std::vector<double> psd; //!< displayed PSD [W/Hz]
+
+    std::size_t size() const { return psd.size(); }
+
+    double frequency(std::size_t i) const
+    {
+        return startHz + static_cast<double>(i) * binHz;
+    }
+
+    /** Integrated band power in [lo, hi] (W). */
+    double bandPower(double lo_hz, double hi_hz) const;
+
+    /** Frequency of the largest bin in [lo, hi]. */
+    double peakFrequency(double lo_hz, double hi_hz) const;
+
+    /** Largest PSD in [lo, hi]. */
+    double peakPsd(double lo_hz, double hi_hz) const;
+};
+
+/** The analyzer front-end. */
+class SpectrumAnalyzer
+{
+  public:
+    explicit SpectrumAnalyzer(const SweepConfig &config);
+
+    /**
+     * Measure an incident spectrum: apply the RBW filter, add the
+     * instrument floor (random per bin around the configured DANL)
+     * and return the displayed trace.
+     */
+    Trace measure(const em::NarrowbandSpectrum &incident, Rng &rng) const;
+
+    const SweepConfig &config() const { return _config; }
+
+  private:
+    SweepConfig _config;
+};
+
+} // namespace savat::spectrum
+
+#endif // SAVAT_SPECTRUM_ANALYZER_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Logging and error-reporting helpers.
+ *
+ * Follows the gem5 convention: panic() for internal invariant
+ * violations (bugs in libsavat itself), fatal() for unrecoverable
+ * user errors (bad configuration, impossible parameters), warn() and
+ * inform() for non-fatal status messages.
+ */
+
+#ifndef SAVAT_SUPPORT_LOGGING_HH
+#define SAVAT_SUPPORT_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace savat {
+
+/** Verbosity levels for the global logger. */
+enum class LogLevel {
+    Silent,  //!< suppress inform() and warn()
+    Warn,    //!< show warn() only
+    Info     //!< show warn() and inform()
+};
+
+/** Set the global verbosity. Thread-unsafe by design (set at startup). */
+void setLogLevel(LogLevel level);
+
+/** Current global verbosity. */
+LogLevel logLevel();
+
+namespace detail {
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** Concatenate a parameter pack into one string via operator<<. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+} // namespace detail
+
+/**
+ * Report an internal invariant violation and abort.
+ * Use only for conditions that indicate a bug in libsavat.
+ */
+#define SAVAT_PANIC(...)                                                  \
+    ::savat::detail::panicImpl(__FILE__, __LINE__,                        \
+                               ::savat::detail::concat(__VA_ARGS__))
+
+/**
+ * Report an unrecoverable user error (bad config, invalid argument)
+ * and exit with status 1.
+ */
+#define SAVAT_FATAL(...)                                                  \
+    ::savat::detail::fatalImpl(__FILE__, __LINE__,                        \
+                               ::savat::detail::concat(__VA_ARGS__))
+
+/** Warn about suspicious but survivable conditions. */
+#define SAVAT_WARN(...)                                                   \
+    ::savat::detail::warnImpl(::savat::detail::concat(__VA_ARGS__))
+
+/** Informational status message. */
+#define SAVAT_INFORM(...)                                                 \
+    ::savat::detail::informImpl(::savat::detail::concat(__VA_ARGS__))
+
+/** Panic unless the given condition holds. */
+#define SAVAT_ASSERT(cond, ...)                                           \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            SAVAT_PANIC("assertion failed: " #cond " ", __VA_ARGS__);     \
+        }                                                                 \
+    } while (0)
+
+} // namespace savat
+
+#endif // SAVAT_SUPPORT_LOGGING_HH

@@ -1,0 +1,109 @@
+#include "support/rng.hh"
+
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace savat {
+
+namespace {
+
+/** splitmix64 step, used for seeding. */
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t s = seed;
+    for (auto &w : _state)
+        w = splitmix64(s);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(_state[1] * 5, 7) * 9;
+    const std::uint64_t t = _state[1] << 17;
+
+    _state[2] ^= _state[0];
+    _state[3] ^= _state[1];
+    _state[1] ^= _state[2];
+    _state[0] ^= _state[3];
+    _state[2] ^= t;
+    _state[3] = rotl(_state[3], 45);
+
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 high bits -> double in [0, 1).
+    return (next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t
+Rng::uniformInt(std::uint64_t n)
+{
+    SAVAT_ASSERT(n > 0, "uniformInt needs a positive bound");
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = n * ((~0ull) / n);
+    std::uint64_t x;
+    do {
+        x = next();
+    } while (x >= limit);
+    return x % n;
+}
+
+double
+Rng::gaussian()
+{
+    if (_hasSpare) {
+        _hasSpare = false;
+        return _spare;
+    }
+    double u1, u2;
+    do {
+        u1 = uniform();
+    } while (u1 <= 0.0);
+    u2 = uniform();
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    _spare = mag * std::sin(2.0 * M_PI * u2);
+    _hasSpare = true;
+    return mag * std::cos(2.0 * M_PI * u2);
+}
+
+double
+Rng::gaussian(double mean, double sigma)
+{
+    return mean + sigma * gaussian();
+}
+
+Rng
+Rng::fork()
+{
+    return Rng(next() ^ 0xD1B54A32D192ED03ull);
+}
+
+} // namespace savat

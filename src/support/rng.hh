@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * libsavat needs reproducible randomness: a measurement campaign seeded
+ * with the same seed must produce bit-identical results on every
+ * platform. std::mt19937 distributions are not portable across
+ * standard-library implementations, so we implement xoshiro256** plus
+ * our own uniform/normal transforms.
+ */
+
+#ifndef SAVAT_SUPPORT_RNG_HH
+#define SAVAT_SUPPORT_RNG_HH
+
+#include <cstdint>
+
+namespace savat {
+
+/**
+ * xoshiro256** pseudo-random generator (Blackman & Vigna).
+ *
+ * Fast, high-quality, 256-bit state. Seeded through splitmix64 so any
+ * 64-bit seed (including 0) produces a well-mixed state.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed. */
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+    /** Next raw 64-bit output. */
+    std::uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, n). Requires n > 0. */
+    std::uint64_t uniformInt(std::uint64_t n);
+
+    /** Standard normal deviate (Box-Muller, cached pair). */
+    double gaussian();
+
+    /** Normal deviate with the given mean and standard deviation. */
+    double gaussian(double mean, double sigma);
+
+    /**
+     * Fork a statistically independent child generator.
+     *
+     * Used to give each repetition / each subsystem its own stream so
+     * adding random draws in one place does not perturb another.
+     */
+    Rng fork();
+
+  private:
+    std::uint64_t _state[4];
+    bool _hasSpare = false;
+    double _spare = 0.0;
+};
+
+} // namespace savat
+
+#endif // SAVAT_SUPPORT_RNG_HH

@@ -1,0 +1,135 @@
+#include "support/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "support/logging.hh"
+
+namespace savat {
+
+void
+RunningStats::add(double x)
+{
+    if (_n == 0) {
+        _min = x;
+        _max = x;
+    } else {
+        _min = std::min(_min, x);
+        _max = std::max(_max, x);
+    }
+    ++_n;
+    const double delta = x - _mean;
+    _mean += delta / static_cast<double>(_n);
+    _m2 += delta * (x - _mean);
+}
+
+double
+RunningStats::variance() const
+{
+    if (_n < 2)
+        return 0.0;
+    return _m2 / static_cast<double>(_n - 1);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+RunningStats::coefficientOfVariation() const
+{
+    if (_mean == 0.0)
+        return 0.0;
+    return stddev() / _mean;
+}
+
+Summary
+summarize(const std::vector<double> &xs)
+{
+    Summary s;
+    s.count = xs.size();
+    if (xs.empty())
+        return s;
+    RunningStats rs;
+    for (double x : xs)
+        rs.add(x);
+    s.mean = rs.mean();
+    s.stddev = rs.stddev();
+    s.min = rs.min();
+    s.max = rs.max();
+    s.median = median(xs);
+    return s;
+}
+
+double
+median(std::vector<double> xs)
+{
+    if (xs.empty())
+        return 0.0;
+    std::sort(xs.begin(), xs.end());
+    const std::size_t n = xs.size();
+    if (n % 2 == 1)
+        return xs[n / 2];
+    return 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+}
+
+double
+pearson(const std::vector<double> &a, const std::vector<double> &b)
+{
+    SAVAT_ASSERT(a.size() == b.size(), "pearson: size mismatch");
+    const std::size_t n = a.size();
+    if (n < 2)
+        return 0.0;
+    const double ma =
+        std::accumulate(a.begin(), a.end(), 0.0) / static_cast<double>(n);
+    const double mb =
+        std::accumulate(b.begin(), b.end(), 0.0) / static_cast<double>(n);
+    double sab = 0.0, saa = 0.0, sbb = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double da = a[i] - ma;
+        const double db = b[i] - mb;
+        sab += da * db;
+        saa += da * da;
+        sbb += db * db;
+    }
+    if (saa == 0.0 || sbb == 0.0)
+        return 0.0;
+    return sab / std::sqrt(saa * sbb);
+}
+
+std::vector<double>
+ranks(const std::vector<double> &xs)
+{
+    const std::size_t n = xs.size();
+    std::vector<std::size_t> idx(n);
+    std::iota(idx.begin(), idx.end(), std::size_t{0});
+    std::sort(idx.begin(), idx.end(),
+              [&](std::size_t i, std::size_t j) { return xs[i] < xs[j]; });
+
+    std::vector<double> out(n, 0.0);
+    std::size_t i = 0;
+    while (i < n) {
+        std::size_t j = i;
+        while (j + 1 < n && xs[idx[j + 1]] == xs[idx[i]])
+            ++j;
+        // Average rank for the tie group [i, j]; ranks are 1-based.
+        const double r = 0.5 * (static_cast<double>(i + 1) +
+                                static_cast<double>(j + 1));
+        for (std::size_t k = i; k <= j; ++k)
+            out[idx[k]] = r;
+        i = j + 1;
+    }
+    return out;
+}
+
+double
+spearman(const std::vector<double> &a, const std::vector<double> &b)
+{
+    SAVAT_ASSERT(a.size() == b.size(), "spearman: size mismatch");
+    return pearson(ranks(a), ranks(b));
+}
+
+} // namespace savat

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Descriptive statistics used for campaign post-processing.
+ */
+
+#ifndef SAVAT_SUPPORT_STATS_HH
+#define SAVAT_SUPPORT_STATS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace savat {
+
+/**
+ * Single-pass accumulator for mean/variance (Welford's algorithm).
+ *
+ * Numerically stable even for long accumulations of near-equal
+ * values, which is exactly the shape of the 10-repetition SAVAT sets.
+ */
+class RunningStats
+{
+  public:
+    /** Add one sample. */
+    void add(double x);
+
+    /** Number of samples seen so far. */
+    std::size_t count() const { return _n; }
+
+    /** Sample mean; 0 when empty. */
+    double mean() const { return _mean; }
+
+    /** Unbiased sample variance; 0 with fewer than two samples. */
+    double variance() const;
+
+    /** Unbiased sample standard deviation. */
+    double stddev() const;
+
+    /** Smallest sample seen; undefined when empty. */
+    double min() const { return _min; }
+
+    /** Largest sample seen; undefined when empty. */
+    double max() const { return _max; }
+
+    /**
+     * Coefficient of variation (stddev / mean).
+     *
+     * The paper reports this as ~0.05 for its ten-measurement SAVAT
+     * sets; we use the same statistic for the repeatability check.
+     */
+    double coefficientOfVariation() const;
+
+  private:
+    std::size_t _n = 0;
+    double _mean = 0.0;
+    double _m2 = 0.0;
+    double _min = 0.0;
+    double _max = 0.0;
+};
+
+/** Summary of a sample vector. */
+struct Summary
+{
+    std::size_t count = 0;
+    double mean = 0.0;
+    double stddev = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double median = 0.0;
+};
+
+/** Compute a Summary of the given samples (copy is sorted internally). */
+Summary summarize(const std::vector<double> &xs);
+
+/** Median of the samples; 0 when empty. */
+double median(std::vector<double> xs);
+
+/** Pearson linear correlation coefficient of two equal-length vectors. */
+double pearson(const std::vector<double> &a, const std::vector<double> &b);
+
+/**
+ * Spearman rank correlation of two equal-length vectors.
+ *
+ * Used to compare the *ordering* of simulated SAVAT matrices with the
+ * paper's published matrices: absolute zJ values depend on calibration
+ * but the ranking of pairs should reproduce.
+ */
+double spearman(const std::vector<double> &a, const std::vector<double> &b);
+
+/** Fractional ranks (average rank for ties), 1-based. */
+std::vector<double> ranks(const std::vector<double> &xs);
+
+} // namespace savat
+
+#endif // SAVAT_SUPPORT_STATS_HH

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Small string helpers shared by the assembler and report writers.
+ */
+
+#ifndef SAVAT_SUPPORT_STRINGS_HH
+#define SAVAT_SUPPORT_STRINGS_HH
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace savat {
+
+/** Strip leading and trailing whitespace. */
+std::string trim(std::string_view s);
+
+/** Lower-case an ASCII string. */
+std::string toLower(std::string_view s);
+
+/** Split on a single character delimiter; keeps empty fields. */
+std::vector<std::string> split(std::string_view s, char delim);
+
+/** Split on arbitrary whitespace runs; drops empty fields. */
+std::vector<std::string> splitWhitespace(std::string_view s);
+
+/** True if s starts with the given prefix. */
+bool startsWith(std::string_view s, std::string_view prefix);
+
+/** True if s ends with the given suffix. */
+bool endsWith(std::string_view s, std::string_view suffix);
+
+/**
+ * Parse a signed integer literal, accepting decimal and 0x-prefixed
+ * hexadecimal. Returns false on malformed input.
+ */
+bool parseInt(std::string_view s, long long &out);
+
+/** printf-style formatting into a std::string. */
+std::string format(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace savat
+
+#endif // SAVAT_SUPPORT_STRINGS_HH

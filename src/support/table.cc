@@ -1,0 +1,203 @@
+#include "support/table.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+#include "support/logging.hh"
+#include "support/strings.hh"
+
+namespace savat {
+
+void
+TextTable::setHeader(std::vector<std::string> header)
+{
+    _header = std::move(header);
+}
+
+void
+TextTable::startRow()
+{
+    _rows.emplace_back();
+}
+
+void
+TextTable::addCell(std::string cell)
+{
+    SAVAT_ASSERT(!_rows.empty(), "addCell before startRow");
+    _rows.back().push_back(std::move(cell));
+}
+
+void
+TextTable::addCell(double value, int precision)
+{
+    addCell(format("%.*f", precision, value));
+}
+
+void
+TextTable::addCell(long long value)
+{
+    addCell(format("%lld", value));
+}
+
+namespace {
+
+bool
+looksNumeric(const std::string &s)
+{
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    std::strtod(s.c_str(), &end);
+    return end != s.c_str() && *end == '\0';
+}
+
+} // namespace
+
+void
+TextTable::render(std::ostream &os) const
+{
+    std::size_t ncols = _header.size();
+    for (const auto &row : _rows)
+        ncols = std::max(ncols, row.size());
+
+    std::vector<std::size_t> widths(ncols, 0);
+    for (std::size_t c = 0; c < _header.size(); ++c)
+        widths[c] = _header[c].size();
+    for (const auto &row : _rows) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < ncols; ++c) {
+            const std::string cell = c < row.size() ? row[c] : "";
+            const bool right = looksNumeric(cell);
+            const auto pad = widths[c] - cell.size();
+            if (c)
+                os << "  ";
+            if (right)
+                os << std::string(pad, ' ') << cell;
+            else
+                os << cell << std::string(pad, ' ');
+        }
+        os << '\n';
+    };
+
+    if (!_header.empty()) {
+        emit_row(_header);
+        std::size_t total = 0;
+        for (std::size_t c = 0; c < ncols; ++c)
+            total += widths[c] + (c ? 2 : 0);
+        os << std::string(total, '-') << '\n';
+    }
+    for (const auto &row : _rows)
+        emit_row(row);
+}
+
+void
+TextTable::renderCsv(std::ostream &os) const
+{
+    auto escape = [](const std::string &s) {
+        if (s.find_first_of(",\"\n") == std::string::npos)
+            return s;
+        std::string out = "\"";
+        for (char c : s) {
+            if (c == '"')
+                out += "\"\"";
+            else
+                out += c;
+        }
+        out += '"';
+        return out;
+    };
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                os << ',';
+            os << escape(row[c]);
+        }
+        os << '\n';
+    };
+    if (!_header.empty())
+        emit_row(_header);
+    for (const auto &row : _rows)
+        emit_row(row);
+}
+
+std::string
+asciiHeatmap(const std::vector<std::string> &labels,
+             const std::vector<std::vector<double>> &values)
+{
+    SAVAT_ASSERT(labels.size() == values.size(), "heatmap shape mismatch");
+    // Light -> dark ramp, like the paper's white-to-black shading.
+    static const char *ramp = " .:-=+*#%@";
+    const int nshades = 10;
+
+    double lo = 0.0, hi = 0.0;
+    bool first = true;
+    for (const auto &row : values) {
+        for (double v : row) {
+            if (first) {
+                lo = hi = v;
+                first = false;
+            }
+            lo = std::min(lo, v);
+            hi = std::max(hi, v);
+        }
+    }
+    const double span = (hi > lo) ? (hi - lo) : 1.0;
+
+    std::size_t lw = 0;
+    for (const auto &l : labels)
+        lw = std::max(lw, l.size());
+
+    std::ostringstream oss;
+    oss << std::string(lw + 2, ' ');
+    for (const auto &l : labels)
+        oss << format("%5s", l.substr(0, 5).c_str());
+    oss << '\n';
+    for (std::size_t r = 0; r < values.size(); ++r) {
+        oss << format("%-*s  ", static_cast<int>(lw), labels[r].c_str());
+        SAVAT_ASSERT(values[r].size() == labels.size(),
+                     "heatmap row width mismatch");
+        for (double v : values[r]) {
+            int shade = static_cast<int>(
+                std::floor((v - lo) / span * (nshades - 1) + 0.5));
+            shade = std::clamp(shade, 0, nshades - 1);
+            const char ch = ramp[shade];
+            oss << "  " << ch << ch << ' ';
+        }
+        oss << '\n';
+    }
+    return oss.str();
+}
+
+std::string
+asciiBarChart(const std::vector<std::string> &labels,
+              const std::vector<double> &values, int width)
+{
+    SAVAT_ASSERT(labels.size() == values.size(), "bar chart shape mismatch");
+    double hi = 0.0;
+    for (double v : values)
+        hi = std::max(hi, v);
+    if (hi <= 0.0)
+        hi = 1.0;
+
+    std::size_t lw = 0;
+    for (const auto &l : labels)
+        lw = std::max(lw, l.size());
+
+    std::ostringstream oss;
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+        const int n = static_cast<int>(
+            std::lround(values[i] / hi * static_cast<double>(width)));
+        oss << format("%-*s |", static_cast<int>(lw), labels[i].c_str())
+            << std::string(static_cast<std::size_t>(std::max(n, 0)), '#')
+            << format(" %.2f", values[i]) << '\n';
+    }
+    return oss.str();
+}
+
+} // namespace savat

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Plain-text table and CSV writers for benchmark/report output.
+ *
+ * The benchmark binaries print the same row/column structures the
+ * paper's tables and figures report; this module handles alignment,
+ * number formatting and CSV escaping.
+ */
+
+#ifndef SAVAT_SUPPORT_TABLE_HH
+#define SAVAT_SUPPORT_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace savat {
+
+/**
+ * A rectangular table of string cells with a header row.
+ *
+ * Cells are added row by row; render() right-aligns numeric-looking
+ * cells and left-aligns text for readable console output.
+ */
+class TextTable
+{
+  public:
+    /** Set the column headers (also fixes the column count). */
+    void setHeader(std::vector<std::string> header);
+
+    /** Begin a new row. */
+    void startRow();
+
+    /** Append a string cell to the current row. */
+    void addCell(std::string cell);
+
+    /** Append a formatted floating-point cell. */
+    void addCell(double value, int precision = 2);
+
+    /** Append an integer cell. */
+    void addCell(long long value);
+
+    /** Number of data rows. */
+    std::size_t rowCount() const { return _rows.size(); }
+
+    /** Render with aligned columns to the stream. */
+    void render(std::ostream &os) const;
+
+    /** Render as RFC-4180 CSV (quoting cells that need it). */
+    void renderCsv(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> _header;
+    std::vector<std::vector<std::string>> _rows;
+};
+
+/**
+ * Render a matrix of values as an ASCII grayscale map, mimicking the
+ * paper's Figure 10/12/14/17/18 visualizations: white (small) through
+ * black (large), using a character ramp.
+ */
+std::string asciiHeatmap(const std::vector<std::string> &labels,
+                         const std::vector<std::vector<double>> &values);
+
+/**
+ * Render a labelled horizontal bar chart, mimicking the paper's
+ * Figure 11/13/15/16 bar charts.
+ */
+std::string asciiBarChart(const std::vector<std::string> &labels,
+                          const std::vector<double> &values,
+                          int width = 50);
+
+} // namespace savat
+
+#endif // SAVAT_SUPPORT_TABLE_HH

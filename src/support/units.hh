@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Strong unit types used throughout libsavat.
+ *
+ * All quantities are stored in SI base units (hertz, seconds, watts,
+ * joules, meters) inside a thin value wrapper. The wrappers prevent
+ * the classic "is this zJ or J, Hz or kHz?" confusion without
+ * imposing any runtime cost.
+ */
+
+#ifndef SAVAT_SUPPORT_UNITS_HH
+#define SAVAT_SUPPORT_UNITS_HH
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+
+namespace savat {
+
+/**
+ * CRTP base for a double-valued strong unit type.
+ *
+ * Provides value access, comparisons, and the linear-space arithmetic
+ * that makes sense for all physical scalars (add/subtract same unit,
+ * scale by dimensionless factors).
+ */
+template <typename Derived>
+class UnitBase
+{
+  public:
+    constexpr UnitBase() : _value(0.0) {}
+    explicit constexpr UnitBase(double v) : _value(v) {}
+
+    /** Raw value in the SI base unit of the derived type. */
+    constexpr double value() const { return _value; }
+
+    constexpr auto operator<=>(const UnitBase &) const = default;
+
+    constexpr Derived
+    operator+(const Derived &o) const
+    {
+        return Derived(_value + o.value());
+    }
+
+    constexpr Derived
+    operator-(const Derived &o) const
+    {
+        return Derived(_value - o.value());
+    }
+
+    constexpr Derived operator*(double s) const { return Derived(_value * s); }
+    constexpr Derived operator/(double s) const { return Derived(_value / s); }
+
+    /** Ratio of two like-dimensioned quantities is dimensionless. */
+    constexpr double operator/(const Derived &o) const
+    {
+        return _value / o.value();
+    }
+
+    Derived &
+    operator+=(const Derived &o)
+    {
+        _value += o.value();
+        return static_cast<Derived &>(*this);
+    }
+
+    Derived &
+    operator-=(const Derived &o)
+    {
+        _value -= o.value();
+        return static_cast<Derived &>(*this);
+    }
+
+  protected:
+    double _value;
+};
+
+/** Frequency in hertz. */
+class Frequency : public UnitBase<Frequency>
+{
+  public:
+    using UnitBase::UnitBase;
+
+    static constexpr Frequency hz(double v) { return Frequency(v); }
+    static constexpr Frequency khz(double v) { return Frequency(v * 1e3); }
+    static constexpr Frequency mhz(double v) { return Frequency(v * 1e6); }
+    static constexpr Frequency ghz(double v) { return Frequency(v * 1e9); }
+
+    constexpr double inHz() const { return _value; }
+    constexpr double inKhz() const { return _value / 1e3; }
+    constexpr double inMhz() const { return _value / 1e6; }
+    constexpr double inGhz() const { return _value / 1e9; }
+
+    /** Period of one cycle at this frequency. */
+    constexpr double periodSeconds() const { return 1.0 / _value; }
+};
+
+/** Time duration in seconds. */
+class Duration : public UnitBase<Duration>
+{
+  public:
+    using UnitBase::UnitBase;
+
+    static constexpr Duration seconds(double v) { return Duration(v); }
+    static constexpr Duration millis(double v) { return Duration(v * 1e-3); }
+    static constexpr Duration micros(double v) { return Duration(v * 1e-6); }
+    static constexpr Duration nanos(double v) { return Duration(v * 1e-9); }
+
+    constexpr double inSeconds() const { return _value; }
+    constexpr double inMillis() const { return _value / 1e-3; }
+    constexpr double inMicros() const { return _value / 1e-6; }
+    constexpr double inNanos() const { return _value / 1e-9; }
+};
+
+/** Power in watts. */
+class Power : public UnitBase<Power>
+{
+  public:
+    using UnitBase::UnitBase;
+
+    static constexpr Power watts(double v) { return Power(v); }
+    static constexpr Power milliwatts(double v) { return Power(v * 1e-3); }
+
+    /** Convert a dBm level into linear watts. */
+    static Power
+    fromDbm(double dbm)
+    {
+        return Power(1e-3 * std::pow(10.0, dbm / 10.0));
+    }
+
+    constexpr double inWatts() const { return _value; }
+
+    /** Level in dBm; returns -infinity for non-positive power. */
+    double
+    inDbm() const
+    {
+        return 10.0 * std::log10(_value / 1e-3);
+    }
+};
+
+/** Energy in joules. SAVAT values live in zeptojoules (1 zJ = 1e-21 J). */
+class Energy : public UnitBase<Energy>
+{
+  public:
+    using UnitBase::UnitBase;
+
+    static constexpr Energy joules(double v) { return Energy(v); }
+    static constexpr Energy zepto(double v) { return Energy(v * 1e-21); }
+    static constexpr Energy femto(double v) { return Energy(v * 1e-15); }
+    static constexpr Energy pico(double v) { return Energy(v * 1e-12); }
+
+    constexpr double inJoules() const { return _value; }
+    constexpr double inZepto() const { return _value / 1e-21; }
+    constexpr double inFemto() const { return _value / 1e-15; }
+};
+
+/** Distance in meters. */
+class Distance : public UnitBase<Distance>
+{
+  public:
+    using UnitBase::UnitBase;
+
+    static constexpr Distance meters(double v) { return Distance(v); }
+    static constexpr Distance centimeters(double v)
+    {
+        return Distance(v * 1e-2);
+    }
+
+    constexpr double inMeters() const { return _value; }
+    constexpr double inCentimeters() const { return _value / 1e-2; }
+};
+
+/** Energy accumulated over a duration at the given average power. */
+constexpr Energy
+operator*(const Power &p, const Duration &t)
+{
+    return Energy(p.value() * t.value());
+}
+
+/** Power corresponding to the given energy spread over a duration. */
+constexpr Power
+operator/(const Energy &e, const Duration &t)
+{
+    return Power(e.value() / t.value());
+}
+
+/** Speed of light in vacuum [m/s]. */
+inline constexpr double kSpeedOfLight = 299792458.0;
+
+/** Boltzmann constant [J/K]. */
+inline constexpr double kBoltzmann = 1.380649e-23;
+
+/** Free-space wavelength at the given frequency. */
+inline Distance
+wavelength(Frequency f)
+{
+    return Distance(kSpeedOfLight / f.inHz());
+}
+
+/** Convert a linear power ratio to decibels. */
+inline double
+toDb(double ratio)
+{
+    return 10.0 * std::log10(ratio);
+}
+
+/** Convert decibels to a linear power ratio. */
+inline double
+fromDb(double db)
+{
+    return std::pow(10.0, db / 10.0);
+}
+
+} // namespace savat
+
+#endif // SAVAT_SUPPORT_UNITS_HH

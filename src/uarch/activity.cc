@@ -1,0 +1,131 @@
+#include "uarch/activity.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace savat::uarch {
+
+const char *
+microEventName(MicroEvent ev)
+{
+    switch (ev) {
+      case MicroEvent::IFetch: return "IFetch";
+      case MicroEvent::PipelineCycle: return "PipelineCycle";
+      case MicroEvent::AluOp: return "AluOp";
+      case MicroEvent::MulOp: return "MulOp";
+      case MicroEvent::DivCycle: return "DivCycle";
+      case MicroEvent::AguOp: return "AguOp";
+      case MicroEvent::L1Read: return "L1Read";
+      case MicroEvent::L1Write: return "L1Write";
+      case MicroEvent::L1Fill: return "L1Fill";
+      case MicroEvent::L1Evict: return "L1Evict";
+      case MicroEvent::L2Read: return "L2Read";
+      case MicroEvent::L2Write: return "L2Write";
+      case MicroEvent::L2Fill: return "L2Fill";
+      case MicroEvent::L2Evict: return "L2Evict";
+      case MicroEvent::BusRead: return "BusRead";
+      case MicroEvent::BusWrite: return "BusWrite";
+      case MicroEvent::DramRead: return "DramRead";
+      case MicroEvent::DramWrite: return "DramWrite";
+      case MicroEvent::BpMispredict: return "BpMispredict";
+      default: SAVAT_PANIC("bad MicroEvent");
+    }
+}
+
+void
+ActivityTrace::record(MicroEvent ev, std::uint64_t start,
+                      std::uint32_t duration)
+{
+    SAVAT_ASSERT(duration >= 1, "zero-duration activity event");
+    _events.push_back({ev, duration, start});
+}
+
+void
+ActivityTrace::clear()
+{
+    _events.clear();
+}
+
+std::array<std::uint64_t, kNumMicroEvents>
+ActivityTrace::eventCounts() const
+{
+    std::array<std::uint64_t, kNumMicroEvents> counts{};
+    for (const auto &e : _events)
+        ++counts[static_cast<std::size_t>(e.ev)];
+    return counts;
+}
+
+double
+ActivityTrace::meanRate(MicroEvent ev, std::uint64_t begin,
+                        std::uint64_t end) const
+{
+    SAVAT_ASSERT(end > begin, "empty window");
+    double total = 0.0;
+    for (const auto &e : _events) {
+        if (e.ev != ev)
+            continue;
+        const std::uint64_t s = e.start;
+        const std::uint64_t t = e.start + e.duration;
+        const std::uint64_t lo = std::max(s, begin);
+        const std::uint64_t hi = std::min(t, end);
+        if (hi > lo) {
+            total += static_cast<double>(hi - lo) /
+                     static_cast<double>(e.duration);
+        }
+    }
+    return total / static_cast<double>(end - begin);
+}
+
+double
+ActivityTrace::weightedMeanRate(
+    const std::array<double, kNumMicroEvents> &weights,
+    std::uint64_t begin, std::uint64_t end) const
+{
+    SAVAT_ASSERT(end > begin, "empty window");
+    double total = 0.0;
+    for (const auto &e : _events) {
+        const double w = weights[static_cast<std::size_t>(e.ev)];
+        if (w == 0.0)
+            continue;
+        const std::uint64_t s = e.start;
+        const std::uint64_t t = e.start + e.duration;
+        const std::uint64_t lo = std::max(s, begin);
+        const std::uint64_t hi = std::min(t, end);
+        if (hi > lo)
+            total += w * static_cast<double>(hi - lo);
+    }
+    return total / static_cast<double>(end - begin);
+}
+
+std::vector<double>
+ActivityTrace::waveform(MicroEvent ev, std::uint64_t begin,
+                        std::uint64_t end) const
+{
+    std::array<double, kNumMicroEvents> weights{};
+    weights[static_cast<std::size_t>(ev)] = 1.0;
+    return weightedWaveform(weights, begin, end);
+}
+
+std::vector<double>
+ActivityTrace::weightedWaveform(
+    const std::array<double, kNumMicroEvents> &weights, std::uint64_t begin,
+    std::uint64_t end) const
+{
+    SAVAT_ASSERT(end > begin, "empty window");
+    std::vector<double> out(end - begin, 0.0);
+    for (const auto &e : _events) {
+        const double w = weights[static_cast<std::size_t>(e.ev)];
+        if (w == 0.0)
+            continue;
+        const std::uint64_t s = e.start;
+        const std::uint64_t t = e.start + e.duration;
+        const std::uint64_t lo = std::max(s, begin);
+        const std::uint64_t hi = std::min(t, end);
+        for (std::uint64_t c = lo; c < hi; ++c)
+            out[c - begin] += w;
+    }
+    return out;
+}
+
+} // namespace savat::uarch

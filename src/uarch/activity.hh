@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Micro-architectural activity events and traces.
+ *
+ * The timing CPU and cache hierarchy report every energy-relevant
+ * action (an ALU operation, an L2 array read, an off-chip burst...)
+ * as a MicroEvent with a start cycle and a duration. The EM model
+ * later maps events onto physical emitter channels; keeping the trace
+ * at event granularity leaves that mapping configurable.
+ */
+
+#ifndef SAVAT_UARCH_ACTIVITY_HH
+#define SAVAT_UARCH_ACTIVITY_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace savat::uarch {
+
+/** Energy-relevant micro-architectural events. */
+enum class MicroEvent : std::uint8_t {
+    IFetch,        //!< instruction fetch/decode
+    PipelineCycle, //!< baseline pipeline/clock activity per busy cycle
+    AluOp,         //!< simple integer ALU operation
+    MulOp,         //!< integer multiply
+    DivCycle,      //!< one active cycle of the (iterative) divider
+    AguOp,         //!< address generation for a memory access
+    L1Read,        //!< L1 data array read (hit or fill probe)
+    L1Write,       //!< L1 data array write (store hit)
+    L1Fill,        //!< line fill written into L1
+    L1Evict,       //!< dirty line read out of L1 for write-back
+    L2Read,        //!< L2 data array read (demand hit)
+    L2Write,       //!< L2 data array write (write-back from L1)
+    L2Fill,        //!< line fill written into L2
+    L2Evict,       //!< dirty line read out of L2 for write-back
+    BusRead,       //!< off-chip bus burst, memory -> chip
+    BusWrite,      //!< off-chip bus burst, chip -> memory
+    DramRead,      //!< DRAM array read access
+    DramWrite,     //!< DRAM array write access
+    BpMispredict,  //!< branch misprediction: pipeline flush/refetch
+    NumEvents
+};
+
+/** Number of distinct MicroEvent kinds. */
+inline constexpr std::size_t kNumMicroEvents =
+    static_cast<std::size_t>(MicroEvent::NumEvents);
+
+/** Short name of a MicroEvent ("L2Read", ...). */
+const char *microEventName(MicroEvent ev);
+
+/** Receiver of activity events. */
+class ActivitySink
+{
+  public:
+    virtual ~ActivitySink() = default;
+
+    /**
+     * Record one event.
+     *
+     * @param ev       Event kind.
+     * @param start    Cycle at which the activity begins.
+     * @param duration Number of cycles the activity spans (>= 1).
+     *                 The event contributes one unit of activity on
+     *                 EVERY cycle of its duration (a divider that
+     *                 iterates for 39 cycles switches 39 cycles'
+     *                 worth of logic, not one).
+     */
+    virtual void record(MicroEvent ev, std::uint64_t start,
+                        std::uint32_t duration) = 0;
+};
+
+/** ActivitySink that discards everything (for functional-only runs). */
+class NullActivitySink : public ActivitySink
+{
+  public:
+    void record(MicroEvent, std::uint64_t, std::uint32_t) override {}
+};
+
+/** One recorded event. */
+struct ActivityEvent
+{
+    MicroEvent ev;
+    std::uint32_t duration;
+    std::uint64_t start;
+};
+
+/**
+ * In-memory activity trace.
+ *
+ * Stores the raw event list plus helpers to compute the aggregates
+ * the SAVAT pipeline needs: per-event counts, duration-weighted mean
+ * activity rates over cycle windows, and dense per-cycle waveforms
+ * for spectral analysis.
+ */
+class ActivityTrace : public ActivitySink
+{
+  public:
+    void record(MicroEvent ev, std::uint64_t start,
+                std::uint32_t duration) override;
+
+    /** Drop all recorded events. */
+    void clear();
+
+    std::size_t size() const { return _events.size(); }
+    const std::vector<ActivityEvent> &events() const { return _events; }
+
+    /** Number of events of each kind (duration-independent). */
+    std::array<std::uint64_t, kNumMicroEvents> eventCounts() const;
+
+    /**
+     * Mean activity of one event kind over the half-open cycle window
+     * [begin, end): total (fractional) units of activity that land in
+     * the window, divided by the window length.
+     */
+    double meanRate(MicroEvent ev, std::uint64_t begin,
+                    std::uint64_t end) const;
+
+    /**
+     * Weighted mean activity over [begin, end): like meanRate but
+     * summing weights[ev] * activity(ev) across all event kinds.
+     */
+    double
+    weightedMeanRate(const std::array<double, kNumMicroEvents> &weights,
+                     std::uint64_t begin, std::uint64_t end) const;
+
+    /**
+     * Dense per-cycle waveform of one event kind over [begin, end).
+     * Element i is the activity landing in cycle begin + i.
+     */
+    std::vector<double> waveform(MicroEvent ev, std::uint64_t begin,
+                                 std::uint64_t end) const;
+
+    /**
+     * Weighted sum of per-event waveforms: the per-cycle waveform of
+     * sum_ev weights[ev] * activity(ev) over [begin, end).
+     */
+    std::vector<double>
+    weightedWaveform(const std::array<double, kNumMicroEvents> &weights,
+                     std::uint64_t begin, std::uint64_t end) const;
+
+  private:
+    std::vector<ActivityEvent> _events;
+};
+
+} // namespace savat::uarch
+
+#endif // SAVAT_UARCH_ACTIVITY_HH

@@ -1,0 +1,232 @@
+#include "uarch/cache.hh"
+
+#include "support/logging.hh"
+
+namespace savat::uarch {
+
+namespace {
+
+bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+bool
+CacheGeometry::valid() const
+{
+    if (sizeBytes == 0 || assoc == 0 || lineBytes == 0)
+        return false;
+    if (!isPowerOfTwo(lineBytes))
+        return false;
+    if (sizeBytes % (static_cast<std::uint64_t>(lineBytes) * assoc) != 0)
+        return false;
+    return isPowerOfTwo(numSets());
+}
+
+Cache::Cache(std::string name, const CacheGeometry &geom,
+             const CacheLevelEvents &events, MemLevel &next,
+             ActivitySink &sink)
+    : _name(std::move(name)),
+      _geom(geom),
+      _events(events),
+      _next(next),
+      _sink(sink)
+{
+    if (!_geom.valid()) {
+        SAVAT_FATAL("invalid cache geometry for ", _name, ": size=",
+                    _geom.sizeBytes, " assoc=", _geom.assoc,
+                    " line=", _geom.lineBytes);
+    }
+    _lines.resize(static_cast<std::size_t>(_geom.numSets()) * _geom.assoc);
+}
+
+std::uint64_t
+Cache::lineAddr(std::uint64_t addr) const
+{
+    return addr / _geom.lineBytes;
+}
+
+std::uint32_t
+Cache::setIndex(std::uint64_t addr) const
+{
+    return static_cast<std::uint32_t>(lineAddr(addr) % _geom.numSets());
+}
+
+std::uint64_t
+Cache::tagOf(std::uint64_t addr) const
+{
+    return lineAddr(addr) / _geom.numSets();
+}
+
+Cache::Line &
+Cache::lineAt(std::uint32_t set, std::uint32_t way)
+{
+    return _lines[static_cast<std::size_t>(set) * _geom.assoc + way];
+}
+
+const Cache::Line &
+Cache::lineAt(std::uint32_t set, std::uint32_t way) const
+{
+    return _lines[static_cast<std::size_t>(set) * _geom.assoc + way];
+}
+
+int
+Cache::findWay(std::uint64_t addr) const
+{
+    const auto set = setIndex(addr);
+    const auto tag = tagOf(addr);
+    for (std::uint32_t w = 0; w < _geom.assoc; ++w) {
+        const Line &line = lineAt(set, w);
+        if (line.valid && line.tag == tag)
+            return static_cast<int>(w);
+    }
+    return -1;
+}
+
+bool
+Cache::contains(std::uint64_t addr) const
+{
+    return findWay(addr) >= 0;
+}
+
+bool
+Cache::isDirty(std::uint64_t addr) const
+{
+    const int w = findWay(addr);
+    if (w < 0)
+        return false;
+    return lineAt(setIndex(addr), static_cast<std::uint32_t>(w)).dirty;
+}
+
+void
+Cache::flushAll()
+{
+    for (auto &line : _lines) {
+        line.valid = false;
+        line.dirty = false;
+    }
+}
+
+std::uint32_t
+Cache::evictFor(std::uint64_t addr, std::uint64_t cycle,
+                std::uint32_t &way_out)
+{
+    const auto set = setIndex(addr);
+    std::uint32_t victim = 0;
+    std::uint64_t oldest = ~0ull;
+    for (std::uint32_t w = 0; w < _geom.assoc; ++w) {
+        const Line &line = lineAt(set, w);
+        if (!line.valid) {
+            way_out = w;
+            return 0;
+        }
+        if (line.lastUse < oldest) {
+            oldest = line.lastUse;
+            victim = w;
+        }
+    }
+    Line &line = lineAt(set, victim);
+    std::uint32_t penalty = 0;
+    if (line.dirty) {
+        // Read the dirty data out of the array and push it down.
+        _sink.record(_events.evict, cycle, 1);
+        const std::uint64_t victim_addr =
+            (line.tag * _geom.numSets() + set) *
+            static_cast<std::uint64_t>(_geom.lineBytes);
+        ++_stats.writebacksOut;
+        _next.writeback(victim_addr, cycle);
+        line.dirty = false;
+        penalty = _geom.dirtyEvictPenalty;
+    }
+    line.valid = false;
+    way_out = victim;
+    return penalty;
+}
+
+std::uint32_t
+Cache::fillLine(std::uint64_t addr, std::uint64_t cycle,
+                std::uint64_t request, bool dirty)
+{
+    std::uint32_t way = 0;
+    const std::uint32_t penalty = evictFor(addr, cycle, way);
+    const std::uint32_t next_lat =
+        _next.read(addr, cycle + penalty) + penalty;
+    Line &line = lineAt(setIndex(addr), way);
+    line.valid = true;
+    line.dirty = dirty;
+    line.tag = tagOf(addr);
+    // LRU stamps use request order: a fill is a use at the time of
+    // the demand access, not at probe or completion time (otherwise
+    // an in-flight fill would look younger than a later hit).
+    line.lastUse = request;
+    _sink.record(_events.fill, cycle + next_lat, 1);
+    return next_lat;
+}
+
+std::uint32_t
+Cache::read(std::uint64_t addr, std::uint64_t cycle)
+{
+    const int way = findWay(addr);
+    if (way >= 0) {
+        ++_stats.readHits;
+        Line &line = lineAt(setIndex(addr), static_cast<std::uint32_t>(way));
+        line.lastUse = cycle;
+        _sink.record(_events.read, cycle, 1);
+        return _geom.hitLatency;
+    }
+    ++_stats.readMisses;
+    // Tag probe costs the hit latency, then the lower level services
+    // the fill.
+    const std::uint32_t next_lat = fillLine(
+        addr, cycle + _geom.hitLatency, cycle, /*dirty=*/false);
+    return _geom.hitLatency + next_lat;
+}
+
+std::uint32_t
+Cache::write(std::uint64_t addr, std::uint64_t cycle)
+{
+    const int way = findWay(addr);
+    if (way >= 0) {
+        ++_stats.writeHits;
+        Line &line = lineAt(setIndex(addr), static_cast<std::uint32_t>(way));
+        line.lastUse = cycle;
+        line.dirty = true;
+        _sink.record(_events.write, cycle, 1);
+        return _geom.hitLatency;
+    }
+    ++_stats.writeMisses;
+    // Write-allocate: fetch the line, then merge the store into it.
+    const std::uint32_t next_lat = fillLine(
+        addr, cycle + _geom.hitLatency, cycle, /*dirty=*/true);
+    _sink.record(_events.write, cycle + _geom.hitLatency + next_lat, 1);
+    return _geom.hitLatency + next_lat;
+}
+
+void
+Cache::writeback(std::uint64_t addr, std::uint64_t cycle)
+{
+    ++_stats.writebacksIn;
+    const int way = findWay(addr);
+    if (way >= 0) {
+        Line &line = lineAt(setIndex(addr), static_cast<std::uint32_t>(way));
+        line.lastUse = cycle;
+        line.dirty = true;
+        _sink.record(_events.write, cycle, 1);
+        return;
+    }
+    // Non-inclusive fallback: allocate the full line without fetching
+    // (the incoming write-back carries the whole line).
+    std::uint32_t way2 = 0;
+    evictFor(addr, cycle, way2);
+    Line &line = lineAt(setIndex(addr), way2);
+    line.valid = true;
+    line.dirty = true;
+    line.tag = tagOf(addr);
+    line.lastUse = cycle;
+    _sink.record(_events.write, cycle, 1);
+}
+
+} // namespace savat::uarch

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Set-associative write-back, write-allocate cache timing model.
+ *
+ * This is the substrate the paper's LDL1/LDL2/LDM/STL1/STL2/STM event
+ * classes are defined against: a load sweeping an array that fits in
+ * L1 produces pure L1 hits, one that fits only in L2 produces L1
+ * misses serviced by L2, and so on. Dirty-line write-backs are
+ * modeled explicitly because the paper attributes the elevated STL2
+ * SAVAT to the extra L2 traffic they cause.
+ */
+
+#ifndef SAVAT_UARCH_CACHE_HH
+#define SAVAT_UARCH_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "uarch/activity.hh"
+#include "uarch/memory.hh"
+
+namespace savat::uarch {
+
+/** Size/shape/latency of one cache level. */
+struct CacheGeometry
+{
+    std::uint32_t sizeBytes = 0;
+    std::uint32_t assoc = 0;
+    std::uint32_t lineBytes = 0;
+    /** Access (hit) latency in cycles. */
+    std::uint32_t hitLatency = 1;
+    /**
+     * Extra stall charged to a demand miss that must first write
+     * back a dirty victim (write-back buffer pressure). 0 = free.
+     */
+    std::uint32_t dirtyEvictPenalty = 0;
+
+    std::uint32_t numLines() const { return sizeBytes / lineBytes; }
+    std::uint32_t numSets() const { return numLines() / assoc; }
+
+    /** Validate shape (power-of-two sets/lines, divisibility). */
+    bool valid() const;
+};
+
+/** Per-cache event statistics. */
+struct CacheStats
+{
+    std::uint64_t readHits = 0;
+    std::uint64_t readMisses = 0;
+    std::uint64_t writeHits = 0;
+    std::uint64_t writeMisses = 0;
+    std::uint64_t writebacksIn = 0;  //!< write-backs received from above
+    std::uint64_t writebacksOut = 0; //!< dirty evictions sent below
+
+    std::uint64_t reads() const { return readHits + readMisses; }
+    std::uint64_t writes() const { return writeHits + writeMisses; }
+
+    double
+    missRate() const
+    {
+        const auto total = reads() + writes();
+        if (total == 0)
+            return 0.0;
+        return static_cast<double>(readMisses + writeMisses) /
+               static_cast<double>(total);
+    }
+};
+
+/** MicroEvents a cache level reports (differs per level). */
+struct CacheLevelEvents
+{
+    MicroEvent read;
+    MicroEvent write;
+    MicroEvent fill;
+    MicroEvent evict;
+};
+
+/**
+ * One cache level. LRU replacement, write-back, write-allocate.
+ * Timing is blocking for demand accesses; write-backs travel through
+ * buffered, non-blocking paths.
+ */
+class Cache : public MemLevel
+{
+  public:
+    /**
+     * @param name   Diagnostic name ("L1", "L2").
+     * @param geom   Geometry and latency.
+     * @param events Event codes this level reports.
+     * @param next   Next level (closer to memory).
+     * @param sink   Receiver for activity events.
+     */
+    Cache(std::string name, const CacheGeometry &geom,
+          const CacheLevelEvents &events, MemLevel &next,
+          ActivitySink &sink);
+
+    /** Demand load. Returns total latency in cycles. */
+    std::uint32_t read(std::uint64_t addr, std::uint64_t cycle) override;
+
+    /** Dirty-line write-back arriving from the level above. */
+    void writeback(std::uint64_t addr, std::uint64_t cycle) override;
+
+    /** Demand store (write-allocate). Returns total latency. */
+    std::uint32_t write(std::uint64_t addr, std::uint64_t cycle);
+
+    /** True if the line containing addr is currently resident. */
+    bool contains(std::uint64_t addr) const;
+
+    /** True if the line containing addr is resident and dirty. */
+    bool isDirty(std::uint64_t addr) const;
+
+    /** Invalidate all lines (drops dirty data; test helper). */
+    void flushAll();
+
+    const CacheStats &stats() const { return _stats; }
+    void clearStats() { _stats = {}; }
+
+    const std::string &name() const { return _name; }
+    const CacheGeometry &geometry() const { return _geom; }
+
+  private:
+    struct Line
+    {
+        std::uint64_t tag = 0;
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    std::string _name;
+    CacheGeometry _geom;
+    CacheLevelEvents _events;
+    MemLevel &_next;
+    ActivitySink &_sink;
+    CacheStats _stats;
+    std::vector<Line> _lines; // numSets * assoc, set-major
+
+    std::uint64_t lineAddr(std::uint64_t addr) const;
+    std::uint32_t setIndex(std::uint64_t addr) const;
+    std::uint64_t tagOf(std::uint64_t addr) const;
+
+    /** Find the way holding addr in its set; -1 when absent. */
+    int findWay(std::uint64_t addr) const;
+
+    /**
+     * Choose a victim way in addr's set (invalid first, else LRU),
+     * writing back its dirty contents if necessary.
+     *
+     * @param way_out Receives the victim way.
+     * @return Stall penalty (cycles): dirtyEvictPenalty when a dirty
+     *         victim had to be written back, else 0.
+     */
+    std::uint32_t evictFor(std::uint64_t addr, std::uint64_t cycle,
+                           std::uint32_t &way_out);
+
+    /**
+     * Bring the line containing addr into the cache (running the
+     * eviction and the fill), returning the added latency.
+     *
+     * @param cycle   Time the fill begins (tag probe done).
+     * @param request Time of the demand access: used as the LRU
+     *                stamp so replacement follows request order.
+     */
+    std::uint32_t fillLine(std::uint64_t addr, std::uint64_t cycle,
+                           std::uint64_t request, bool dirty);
+
+    Line &lineAt(std::uint32_t set, std::uint32_t way);
+    const Line &lineAt(std::uint32_t set, std::uint32_t way) const;
+};
+
+} // namespace savat::uarch
+
+#endif // SAVAT_UARCH_CACHE_HH

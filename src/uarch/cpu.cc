@@ -1,0 +1,303 @@
+#include "uarch/cpu.hh"
+
+#include "support/logging.hh"
+
+namespace savat::uarch {
+
+using isa::Instruction;
+using isa::Opcode;
+using isa::Operand;
+using isa::Reg;
+
+SimpleCpu::SimpleCpu(const MachineConfig &config, ActivitySink &sink)
+    : _config(config), _sink(sink)
+{
+    _mem = std::make_unique<MainMemory>(_config.memLatency,
+                                        _config.memBurst, _sink);
+    const CacheLevelEvents l2_events = {
+        MicroEvent::L2Read, MicroEvent::L2Write, MicroEvent::L2Fill,
+        MicroEvent::L2Evict};
+    _l2 = std::make_unique<Cache>("L2", _config.l2, l2_events, *_mem,
+                                  _sink);
+    const CacheLevelEvents l1_events = {
+        MicroEvent::L1Read, MicroEvent::L1Write, MicroEvent::L1Fill,
+        MicroEvent::L1Evict};
+    _l1 = std::make_unique<Cache>("L1", _config.l1, l1_events, *_l2,
+                                  _sink);
+    _bpTable.fill(2); // weakly taken
+}
+
+bool
+SimpleCpu::predictBranch(std::uint64_t pc, bool taken)
+{
+    std::uint8_t &counter = _bpTable[pc % kBpEntries];
+    const bool predicted_taken = counter >= 2;
+    if (taken) {
+        if (counter < 3)
+            ++counter;
+    } else {
+        if (counter > 0)
+            --counter;
+    }
+    ++_branchStats.conditional;
+    const bool correct = predicted_taken == taken;
+    if (!correct)
+        ++_branchStats.mispredicts;
+    return correct;
+}
+
+std::uint32_t
+SimpleCpu::reg(Reg r) const
+{
+    return _regs[static_cast<std::size_t>(r)];
+}
+
+void
+SimpleCpu::setReg(Reg r, std::uint32_t value)
+{
+    _regs[static_cast<std::size_t>(r)] = value;
+}
+
+void
+SimpleCpu::reset()
+{
+    _regs.fill(0);
+    _zf = false;
+    _cycle = 0;
+    _instsRetired = 0;
+    _bpTable.fill(2); // weakly taken
+    _branchStats = {};
+    _l1->flushAll();
+    _l2->flushAll();
+    _l1->clearStats();
+    _l2->clearStats();
+    _mem->clearStats();
+}
+
+std::uint32_t
+SimpleCpu::readOperand(const Operand &op) const
+{
+    switch (op.kind) {
+      case Operand::Kind::Reg:
+        return reg(op.reg);
+      case Operand::Kind::Imm:
+        return static_cast<std::uint32_t>(op.imm);
+      default:
+        SAVAT_PANIC("readOperand on non-value operand");
+    }
+}
+
+RunResult
+SimpleCpu::run(const isa::Program &program, RunLimits limits)
+{
+    RunResult res;
+    std::uint64_t pc = 0;
+    bool halted = false;
+    bool stop = false;
+
+    while (!halted && !stop && res.instructions < limits.maxInstructions &&
+           res.cycles < limits.maxCycles) {
+        if (pc >= program.size()) {
+            // Falling off the end behaves like hlt.
+            halted = true;
+            break;
+        }
+        const Instruction &inst = program.at(pc);
+        const std::uint32_t latency = execute(inst, pc, halted, stop);
+        if (latency > 0) {
+            _sink.record(MicroEvent::IFetch, _cycle, 1);
+            _sink.record(MicroEvent::PipelineCycle, _cycle, latency);
+            _cycle += latency;
+            res.cycles += latency;
+            ++res.instructions;
+            ++_instsRetired;
+        }
+    }
+    res.halted = halted;
+    res.stoppedByMark = stop;
+    return res;
+}
+
+std::uint32_t
+SimpleCpu::execute(const Instruction &inst, std::uint64_t &pc,
+                   bool &halted, bool &stop)
+{
+    const OpLatencies &lat = _config.lat;
+    const bool pipe = _config.timing == TimingModel::Pipelined;
+    std::uint64_t next_pc = pc + 1;
+    std::uint32_t latency = lat.alu;
+
+    switch (inst.op) {
+      case Opcode::Mov: {
+        if (inst.src.isMem()) {
+            // Load.
+            const std::uint64_t addr = reg(inst.src.reg);
+            _sink.record(MicroEvent::AguOp, _cycle, 1);
+            const std::uint32_t mem_lat = _l1->read(addr, _cycle + lat.agu);
+            setReg(inst.dst.reg, _memory.readWord(addr));
+            // A pipelined core hides an L1 hit behind issue bandwidth
+            // and exposes only the added miss latency.
+            latency = pipe
+                          ? 1 + (mem_lat - std::min(mem_lat,
+                                                    _config.l1.hitLatency))
+                          : lat.agu + mem_lat;
+        } else if (inst.dst.isMem()) {
+            // Store.
+            const std::uint64_t addr = reg(inst.dst.reg);
+            _sink.record(MicroEvent::AguOp, _cycle, 1);
+            const std::uint32_t mem_lat =
+                _l1->write(addr, _cycle + lat.agu);
+            _memory.writeWord(addr, readOperand(inst.src));
+            latency = pipe
+                          ? 1 + (mem_lat - std::min(mem_lat,
+                                                    _config.l1.hitLatency))
+                          : lat.agu + mem_lat;
+        } else {
+            setReg(inst.dst.reg, readOperand(inst.src));
+            latency = pipe ? 1 : lat.mov;
+            _sink.record(MicroEvent::AluOp, _cycle, 1);
+        }
+        break;
+      }
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor: {
+        const std::uint32_t a = reg(inst.dst.reg);
+        const std::uint32_t b = readOperand(inst.src);
+        std::uint32_t r = 0;
+        switch (inst.op) {
+          case Opcode::Add: r = a + b; break;
+          case Opcode::Sub: r = a - b; break;
+          case Opcode::And: r = a & b; break;
+          case Opcode::Or: r = a | b; break;
+          case Opcode::Xor: r = a ^ b; break;
+          default: SAVAT_PANIC("unreachable");
+        }
+        setReg(inst.dst.reg, r);
+        setZf(r);
+        latency = pipe ? 1 : lat.alu;
+        _sink.record(MicroEvent::AluOp, _cycle, 1);
+        break;
+      }
+      case Opcode::Imul: {
+        const std::int64_t a =
+            static_cast<std::int32_t>(reg(inst.dst.reg));
+        const std::int64_t b =
+            static_cast<std::int32_t>(readOperand(inst.src));
+        const std::uint32_t r = static_cast<std::uint32_t>(a * b);
+        setReg(inst.dst.reg, r);
+        setZf(r);
+        // The multiplier is pipelined: unit throughput, but its array
+        // switches for the full latency.
+        latency = pipe ? 1 : lat.imul;
+        _sink.record(MicroEvent::MulOp, _cycle, lat.imul);
+        break;
+      }
+      case Opcode::Idiv: {
+        const std::int64_t dividend =
+            (static_cast<std::int64_t>(reg(Reg::Edx)) << 32) |
+            static_cast<std::int64_t>(reg(Reg::Eax));
+        const std::int32_t divisor =
+            static_cast<std::int32_t>(readOperand(inst.dst));
+        if (divisor == 0)
+            SAVAT_FATAL("idiv by zero at pc=", pc);
+        const std::int64_t q = dividend / divisor;
+        const std::int64_t rem = dividend % divisor;
+        if (q < INT32_MIN || q > INT32_MAX)
+            SAVAT_FATAL("idiv overflow at pc=", pc);
+        setReg(Reg::Eax, static_cast<std::uint32_t>(q));
+        setReg(Reg::Edx, static_cast<std::uint32_t>(rem));
+        latency = lat.idiv;
+        _sink.record(MicroEvent::DivCycle, _cycle, lat.idiv);
+        break;
+      }
+      case Opcode::Cdq: {
+        const bool neg =
+            (static_cast<std::int32_t>(reg(Reg::Eax)) < 0);
+        setReg(Reg::Edx, neg ? 0xFFFFFFFFu : 0u);
+        latency = pipe ? 1 : lat.mov;
+        _sink.record(MicroEvent::AluOp, _cycle, 1);
+        break;
+      }
+      case Opcode::Inc:
+      case Opcode::Dec: {
+        const std::uint32_t r = inst.op == Opcode::Inc
+                                    ? reg(inst.dst.reg) + 1
+                                    : reg(inst.dst.reg) - 1;
+        setReg(inst.dst.reg, r);
+        setZf(r);
+        latency = pipe ? 1 : lat.alu;
+        _sink.record(MicroEvent::AluOp, _cycle, 1);
+        break;
+      }
+      case Opcode::Cmp: {
+        const std::uint32_t r =
+            reg(inst.dst.reg) - readOperand(inst.src);
+        setZf(r);
+        latency = pipe ? 1 : lat.alu;
+        _sink.record(MicroEvent::AluOp, _cycle, 1);
+        break;
+      }
+      case Opcode::Test: {
+        const std::uint32_t r =
+            reg(inst.dst.reg) & readOperand(inst.src);
+        setZf(r);
+        latency = pipe ? 1 : lat.alu;
+        _sink.record(MicroEvent::AluOp, _cycle, 1);
+        break;
+      }
+      case Opcode::Jmp:
+        next_pc = static_cast<std::uint64_t>(inst.target);
+        // Loop branches are perfectly predicted on the pipelined core.
+        latency = pipe ? 1 : lat.branchTaken;
+        _sink.record(MicroEvent::AluOp, _cycle, 1);
+        break;
+      case Opcode::Je:
+      case Opcode::Jne: {
+        const bool taken =
+            (inst.op == Opcode::Je) ? _zf : !_zf;
+        if (taken)
+            next_pc = static_cast<std::uint64_t>(inst.target);
+        if (pipe) {
+            // Bimodal predictor: correct predictions are free
+            // (1-cycle issue); mispredictions flush the pipeline.
+            const bool correct = predictBranch(pc, taken);
+            if (correct) {
+                latency = 1;
+            } else {
+                latency = 1 + lat.branchMispredict;
+                _sink.record(MicroEvent::BpMispredict, _cycle,
+                             lat.branchMispredict);
+            }
+        } else {
+            latency = taken ? lat.branchTaken : lat.branch;
+        }
+        _sink.record(MicroEvent::AluOp, _cycle, 1);
+        break;
+      }
+      case Opcode::Nop:
+        latency = pipe ? 1 : lat.nop;
+        break;
+      case Opcode::Hlt:
+        halted = true;
+        latency = 1;
+        break;
+      case Opcode::Mark:
+        // Pure simulator hook: free and emission-silent.
+        if (_markCb &&
+            !_markCb(inst.dst.imm, _cycle, _instsRetired)) {
+            stop = true;
+        }
+        pc = next_pc;
+        return 0;
+      default:
+        SAVAT_PANIC("unhandled opcode in execute");
+    }
+
+    pc = next_pc;
+    return latency;
+}
+
+} // namespace savat::uarch

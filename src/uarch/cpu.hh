@@ -1,0 +1,156 @@
+/**
+ * @file
+ * In-order timing CPU executing the modeled x86 subset.
+ *
+ * Modeled after gem5's "simple CPU" philosophy: one instruction at a
+ * time, charged its full execution latency, with blocking memory
+ * accesses through the two-level cache hierarchy. Every instruction
+ * reports its energy-relevant activity (fetch, ALU/MUL/DIV use, AGU,
+ * cache and bus events) to an ActivitySink.
+ */
+
+#ifndef SAVAT_UARCH_CPU_HH
+#define SAVAT_UARCH_CPU_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "isa/instruction.hh"
+#include "uarch/cache.hh"
+#include "uarch/machine.hh"
+#include "uarch/memory.hh"
+
+namespace savat::uarch {
+
+/** Limits for one CPU run. */
+struct RunLimits
+{
+    std::uint64_t maxInstructions = ~0ull;
+    std::uint64_t maxCycles = ~0ull;
+};
+
+/** Branch predictor statistics. */
+struct BranchStats
+{
+    std::uint64_t conditional = 0; //!< conditional branches retired
+    std::uint64_t mispredicts = 0; //!< bimodal mispredictions
+
+    double
+    mispredictRate() const
+    {
+        return conditional
+                   ? static_cast<double>(mispredicts) /
+                         static_cast<double>(conditional)
+                   : 0.0;
+    }
+};
+
+/** Outcome of one CPU run. */
+struct RunResult
+{
+    std::uint64_t instructions = 0; //!< instructions retired this run
+    std::uint64_t cycles = 0;       //!< cycles consumed this run
+    bool halted = false;            //!< program executed hlt
+    bool stoppedByMark = false;     //!< mark callback requested a stop
+};
+
+/**
+ * Callback invoked on each `mark` pseudo-instruction.
+ *
+ * The kernel generator plants marks at period and half-period
+ * boundaries; the measurement driver uses them to delimit warm-up and
+ * capture windows. Returning false stops execution (reported through
+ * RunResult::stoppedByMark).
+ *
+ * @param id    The mark's immediate operand.
+ * @param cycle Cycle count at which the mark retired.
+ * @param insts Total instructions retired so far.
+ */
+using MarkCallback =
+    std::function<bool(std::int64_t id, std::uint64_t cycle,
+                       std::uint64_t insts)>;
+
+/**
+ * The simulated core plus its private memory system.
+ *
+ * State (registers, caches, cycle counter) persists across run()
+ * calls so a warm-up run can be followed by a measured run.
+ */
+class SimpleCpu
+{
+  public:
+    SimpleCpu(const MachineConfig &config, ActivitySink &sink);
+
+    /** Execute the program from instruction 0 under the limits. */
+    RunResult run(const isa::Program &program, RunLimits limits = {});
+
+    /** Register file access (for tests and kernel setup). */
+    std::uint32_t reg(isa::Reg r) const;
+    void setReg(isa::Reg r, std::uint32_t value);
+
+    /** Zero flag (set by arithmetic and compare instructions). */
+    bool zeroFlag() const { return _zf; }
+
+    /** Functional memory image. */
+    SparseMemory &memory() { return _memory; }
+    const SparseMemory &memory() const { return _memory; }
+
+    /** Cycle counter (monotonic across runs). */
+    std::uint64_t cycle() const { return _cycle; }
+
+    /** Total instructions retired across runs. */
+    std::uint64_t instructionsRetired() const { return _instsRetired; }
+
+    const CacheStats &l1Stats() const { return _l1->stats(); }
+    const CacheStats &l2Stats() const { return _l2->stats(); }
+    const MainMemoryStats &memStats() const { return _mem->stats(); }
+    const BranchStats &branchStats() const { return _branchStats; }
+
+    /** Reset registers, flags, caches, cycle count (not memory). */
+    void reset();
+
+    void setMarkCallback(MarkCallback cb) { _markCb = std::move(cb); }
+
+    const MachineConfig &config() const { return _config; }
+
+  private:
+    MachineConfig _config;
+    ActivitySink &_sink;
+
+    SparseMemory _memory;
+    std::unique_ptr<MainMemory> _mem;
+    std::unique_ptr<Cache> _l2;
+    std::unique_ptr<Cache> _l1;
+
+    std::array<std::uint32_t, isa::kNumRegs> _regs{};
+    bool _zf = false;
+    std::uint64_t _cycle = 0;
+    std::uint64_t _instsRetired = 0;
+    MarkCallback _markCb;
+
+    /**
+     * Bimodal branch predictor: 2-bit saturating counters indexed by
+     * the branch's program-counter value. Used only by the pipelined
+     * timing model; mispredictions cost lat.branchMispredict cycles
+     * and emit BpMispredict activity (the refetch burst).
+     */
+    static constexpr std::size_t kBpEntries = 1024;
+    std::array<std::uint8_t, kBpEntries> _bpTable{};
+    BranchStats _branchStats;
+
+    /** Predict taken/not-taken and update the counter. */
+    bool predictBranch(std::uint64_t pc, bool taken);
+
+    /** Execute one instruction; returns its latency in cycles. */
+    std::uint32_t execute(const isa::Instruction &inst, std::uint64_t &pc,
+                          bool &halted, bool &stop);
+
+    std::uint32_t readOperand(const isa::Operand &op) const;
+    void setZf(std::uint32_t result) { _zf = (result == 0); }
+};
+
+} // namespace savat::uarch
+
+#endif // SAVAT_UARCH_CPU_HH

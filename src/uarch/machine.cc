@@ -1,0 +1,77 @@
+#include "uarch/machine.hh"
+
+#include "support/logging.hh"
+
+namespace savat::uarch {
+
+MachineConfig
+core2duo()
+{
+    MachineConfig m;
+    m.id = "core2duo";
+    m.name = "Intel Core 2 Duo";
+    m.clock = Frequency::ghz(2.4);
+    m.l1 = {32 * 1024, 8, 64, 3, 2};
+    m.l2 = {4096 * 1024, 16, 64, 4, 6};
+    // Effective (prefetch-assisted, bandwidth-bound) stall of the
+    // streaming sweeps the kernels run -- on real hardware a
+    // sequential miss stream costs ~20-30 cycles per line, not the
+    // raw DRAM round trip.
+    m.memLatency = 12;
+    m.memBurst = 16;
+    m.lat.imul = 3;
+    m.lat.idiv = 22;
+    return m;
+}
+
+MachineConfig
+pentium3m()
+{
+    MachineConfig m;
+    m.id = "pentium3m";
+    m.name = "Intel Pentium 3 M";
+    m.clock = Frequency::ghz(1.2);
+    m.l1 = {16 * 1024, 4, 32, 3, 2};
+    // The P3M's slow FSB makes dirty write-backs expensive: stores
+    // that miss stall noticeably longer than loads.
+    m.l2 = {512 * 1024, 8, 32, 3, 16};
+    m.memLatency = 10;
+    m.memBurst = 24;
+    m.lat.imul = 4;
+    m.lat.idiv = 39;
+    return m;
+}
+
+MachineConfig
+turionx2()
+{
+    MachineConfig m;
+    m.id = "turionx2";
+    m.name = "AMD Turion X2";
+    m.clock = Frequency::ghz(2.0);
+    m.l1 = {64 * 1024, 2, 64, 3, 2};
+    m.l2 = {1024 * 1024, 16, 64, 4, 26};
+    m.memLatency = 12;
+    m.memBurst = 20;
+    m.lat.imul = 3;
+    m.lat.idiv = 40;
+    return m;
+}
+
+std::vector<MachineConfig>
+caseStudyMachines()
+{
+    return {core2duo(), pentium3m(), turionx2()};
+}
+
+MachineConfig
+machineById(const std::string &id)
+{
+    for (const auto &m : caseStudyMachines()) {
+        if (m.id == id)
+            return m;
+    }
+    SAVAT_FATAL("unknown machine id: ", id);
+}
+
+} // namespace savat::uarch

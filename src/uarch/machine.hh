@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Machine configurations for the three laptops in the paper's case
+ * study (Figure 6), plus the timing parameters of the modeled cores.
+ */
+
+#ifndef SAVAT_UARCH_MACHINE_HH
+#define SAVAT_UARCH_MACHINE_HH
+
+#include <string>
+#include <vector>
+
+#include "support/units.hh"
+#include "uarch/cache.hh"
+
+namespace savat::uarch {
+
+/**
+ * Core timing style.
+ *
+ * Pipelined models the case-study machines: simple ALU/MUL/branch
+ * work is hidden by issue bandwidth (1 instruction/cycle), loads and
+ * stores expose only the latency beyond an L1 hit, and the iterative
+ * divider blocks for its full latency. Scalar is a non-pipelined
+ * in-order model (every instruction charged its full latency) used in
+ * substrate-sensitivity ablations.
+ */
+enum class TimingModel { Pipelined, Scalar };
+
+/** Per-opcode-class execution latencies (cycles). */
+struct OpLatencies
+{
+    std::uint32_t alu = 1;       //!< add/sub/and/or/xor/cmp/test/inc/dec
+    std::uint32_t mov = 1;       //!< register/immediate moves
+    std::uint32_t imul = 3;      //!< integer multiply
+    std::uint32_t idiv = 22;     //!< integer divide (iterative)
+    std::uint32_t branch = 1;    //!< not-taken branch
+    std::uint32_t branchTaken = 2; //!< taken branch (redirect penalty)
+    std::uint32_t nop = 1;
+    std::uint32_t agu = 1;       //!< address generation for mem ops
+    /** Pipeline flush cost of a branch misprediction (pipelined
+     * timing model only; the scalar model has no predictor). */
+    std::uint32_t branchMispredict = 12;
+};
+
+/** Complete description of a simulated machine. */
+struct MachineConfig
+{
+    std::string id;    //!< short identifier ("core2duo")
+    std::string name;  //!< display name ("Intel Core 2 Duo")
+
+    Frequency clock;   //!< core clock
+
+    CacheGeometry l1;  //!< L1 data cache
+    CacheGeometry l2;  //!< unified L2 cache
+
+    std::uint32_t memLatency = 200;  //!< off-chip access latency (cycles)
+    std::uint32_t memBurst = 16;     //!< bus burst occupancy (cycles)
+
+    OpLatencies lat;
+    TimingModel timing = TimingModel::Pipelined;
+
+    /** Cycles per intended alternation period at the given frequency. */
+    double
+    cyclesPerPeriod(Frequency alternation) const
+    {
+        return clock.inHz() / alternation.inHz();
+    }
+};
+
+/** Intel Core 2 Duo laptop: 32 KB 8-way L1, 4096 KB 16-way L2. */
+MachineConfig core2duo();
+
+/** Intel Pentium 3 M laptop: 16 KB 4-way L1, 512 KB 8-way L2. */
+MachineConfig pentium3m();
+
+/** AMD Turion X2 laptop: 64 KB 2-way L1, 1024 KB 16-way L2. */
+MachineConfig turionx2();
+
+/** All three case-study machines. */
+std::vector<MachineConfig> caseStudyMachines();
+
+/** Look up a machine by id; fatal on unknown id. */
+MachineConfig machineById(const std::string &id);
+
+} // namespace savat::uarch
+
+#endif // SAVAT_UARCH_MACHINE_HH

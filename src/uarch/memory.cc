@@ -1,0 +1,82 @@
+#include "uarch/memory.hh"
+
+#include <cstring>
+
+#include "support/logging.hh"
+
+namespace savat::uarch {
+
+std::uint8_t *
+SparseMemory::pageFor(std::uint64_t addr) const
+{
+    const std::uint64_t page = addr / kPageBytes;
+    auto it = _pages.find(page);
+    if (it == _pages.end()) {
+        auto mem = std::make_unique<std::uint8_t[]>(kPageBytes);
+        std::memset(mem.get(), 0, kPageBytes);
+        it = _pages.emplace(page, std::move(mem)).first;
+    }
+    return it->second.get();
+}
+
+std::uint8_t
+SparseMemory::readByte(std::uint64_t addr) const
+{
+    return pageFor(addr)[addr % kPageBytes];
+}
+
+void
+SparseMemory::writeByte(std::uint64_t addr, std::uint8_t value)
+{
+    pageFor(addr)[addr % kPageBytes] = value;
+}
+
+std::uint32_t
+SparseMemory::readWord(std::uint64_t addr) const
+{
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i)
+        v = (v << 8) | readByte(addr + static_cast<std::uint64_t>(i));
+    return v;
+}
+
+void
+SparseMemory::writeWord(std::uint64_t addr, std::uint32_t value)
+{
+    for (int i = 0; i < 4; ++i) {
+        writeByte(addr + static_cast<std::uint64_t>(i),
+                  static_cast<std::uint8_t>(value >> (8 * i)));
+    }
+}
+
+MainMemory::MainMemory(std::uint32_t latency, std::uint32_t burstCycles,
+                       ActivitySink &sink)
+    : _latency(latency), _burstCycles(burstCycles), _sink(sink)
+{
+    SAVAT_ASSERT(latency >= 1 && burstCycles >= 1,
+                 "degenerate memory timing");
+}
+
+std::uint32_t
+MainMemory::read(std::uint64_t, std::uint64_t cycle)
+{
+    ++_stats.reads;
+    // DRAM array activity during the access, then the burst back over
+    // the off-chip bus ending when the data arrives.
+    _sink.record(MicroEvent::DramRead, cycle, _latency);
+    const std::uint64_t burst_start =
+        cycle + (_latency > _burstCycles ? _latency - _burstCycles : 0);
+    _sink.record(MicroEvent::BusRead, burst_start, _burstCycles);
+    return _latency;
+}
+
+void
+MainMemory::writeback(std::uint64_t, std::uint64_t cycle)
+{
+    ++_stats.writes;
+    _sink.record(MicroEvent::BusWrite, cycle, _burstCycles);
+    _sink.record(MicroEvent::DramWrite, cycle + _burstCycles,
+                 _burstCycles);
+}
+
+} // namespace savat::uarch

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Functional sparse memory and the DRAM/bus timing model.
+ */
+
+#ifndef SAVAT_UARCH_MEMORY_HH
+#define SAVAT_UARCH_MEMORY_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "uarch/activity.hh"
+
+namespace savat::uarch {
+
+/**
+ * Byte-addressable functional memory backed by on-demand 4 KiB pages.
+ *
+ * The measurement kernels sweep arrays up to a few times the L2 size
+ * (8 MiB and more); sparse pages keep the host footprint proportional
+ * to the bytes actually touched.
+ */
+class SparseMemory
+{
+  public:
+    static constexpr std::uint64_t kPageBytes = 4096;
+
+    std::uint8_t readByte(std::uint64_t addr) const;
+    void writeByte(std::uint64_t addr, std::uint8_t value);
+
+    std::uint32_t readWord(std::uint64_t addr) const;
+    void writeWord(std::uint64_t addr, std::uint32_t value);
+
+    /** Number of pages materialized so far. */
+    std::size_t pageCount() const { return _pages.size(); }
+
+  private:
+    using Page = std::unique_ptr<std::uint8_t[]>;
+    mutable std::unordered_map<std::uint64_t, Page> _pages;
+
+    std::uint8_t *pageFor(std::uint64_t addr) const;
+};
+
+/**
+ * Abstract memory level: everything below a cache (another cache, or
+ * main memory) implements this timing interface.
+ */
+class MemLevel
+{
+  public:
+    virtual ~MemLevel() = default;
+
+    /**
+     * Demand read of the line containing addr.
+     * @return latency in cycles until the data is available.
+     */
+    virtual std::uint32_t read(std::uint64_t addr, std::uint64_t cycle) = 0;
+
+    /**
+     * Write-back of a full dirty line. Non-blocking (buffered): the
+     * caller does not stall, so no latency is returned.
+     */
+    virtual void writeback(std::uint64_t addr, std::uint64_t cycle) = 0;
+};
+
+/** Statistics kept by MainMemory. */
+struct MainMemoryStats
+{
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+};
+
+/**
+ * Main memory timing model: fixed access latency, burst transfers on
+ * the off-chip bus, DRAM array activity. Emits BusRead/BusWrite and
+ * DramRead/DramWrite events.
+ */
+class MainMemory : public MemLevel
+{
+  public:
+    /**
+     * @param latency     Demand-read latency in CPU cycles.
+     * @param burstCycles Bus occupancy of one line transfer.
+     * @param sink        Receiver for activity events.
+     */
+    MainMemory(std::uint32_t latency, std::uint32_t burstCycles,
+               ActivitySink &sink);
+
+    std::uint32_t read(std::uint64_t addr, std::uint64_t cycle) override;
+    void writeback(std::uint64_t addr, std::uint64_t cycle) override;
+
+    const MainMemoryStats &stats() const { return _stats; }
+    void clearStats() { _stats = {}; }
+
+  private:
+    std::uint32_t _latency;
+    std::uint32_t _burstCycles;
+    ActivitySink &_sink;
+    MainMemoryStats _stats;
+};
+
+} // namespace savat::uarch
+
+#endif // SAVAT_UARCH_MEMORY_HH

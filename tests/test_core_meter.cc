@@ -1,0 +1,287 @@
+/**
+ * @file
+ * Tests for the SAVAT meter: the measurement methodology end to end.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/meter.hh"
+#include "support/stats.hh"
+
+namespace savat::core {
+namespace {
+
+using kernels::EventKind;
+
+/** Shared meter (the pair cache makes reuse cheap). */
+class MeterTest : public ::testing::Test
+{
+  protected:
+    MeterTest() : meter(SavatMeter::forMachine("core2duo")) {}
+
+    double
+    meanSavat(EventKind a, EventKind b, int reps = 6,
+              std::uint64_t seed = 77)
+    {
+        const auto &sim = meter.simulatePair(a, b);
+        Rng rng(seed);
+        RunningStats stats;
+        for (int i = 0; i < reps; ++i) {
+            auto rep = rng.fork();
+            stats.add(meter.measure(sim, rep).savat.inZepto());
+        }
+        return stats.mean();
+    }
+
+    SavatMeter meter;
+};
+
+TEST_F(MeterTest, HitsIntendedAlternationFrequency)
+{
+    // The retuning loop must land every pair within 0.5 % of 80 kHz,
+    // including pairs whose halves interact in the caches.
+    for (auto [a, b] : std::vector<std::pair<EventKind, EventKind>>{
+             {EventKind::ADD, EventKind::ADD},
+             {EventKind::ADD, EventKind::LDM},
+             {EventKind::LDL1, EventKind::LDL2},
+             {EventKind::STL1, EventKind::STL2},
+             {EventKind::LDM, EventKind::DIV}}) {
+        const auto &sim = meter.simulatePair(a, b);
+        EXPECT_NEAR(sim.actualFrequency.inKhz(), 80.0, 0.4)
+            << kernels::eventName(a) << "/" << kernels::eventName(b);
+    }
+}
+
+TEST_F(MeterTest, EqualDurationDutyIsHalf)
+{
+    const auto &sim = meter.simulatePair(EventKind::ADD,
+                                         EventKind::LDM);
+    EXPECT_NEAR(sim.duty, 0.5, 0.05);
+}
+
+TEST_F(MeterTest, PairsPerSecondUsesLargerBurst)
+{
+    const auto &sim = meter.simulatePair(EventKind::ADD,
+                                         EventKind::LDM);
+    const auto expected =
+        sim.actualFrequency.inHz() *
+        static_cast<double>(std::max(sim.counts.countA,
+                                     sim.counts.countB));
+    EXPECT_DOUBLE_EQ(sim.pairsPerSecond, expected);
+    EXPECT_GT(sim.counts.countA, sim.counts.countB);
+}
+
+TEST_F(MeterTest, CacheBehaviourMatchesEventClasses)
+{
+    // LDM must reach memory; LDL2 must hit in L2; LDL1 in L1.
+    const auto &ldm = meter.simulatePair(EventKind::NOI,
+                                         EventKind::LDM);
+    EXPECT_GT(ldm.mem.reads, 100u);
+
+    const auto &ldl2 = meter.simulatePair(EventKind::NOI,
+                                          EventKind::LDL2);
+    EXPECT_GT(ldl2.l2.readHits, 100u);
+    EXPECT_EQ(ldl2.mem.reads, 0u);
+
+    const auto &ldl1 = meter.simulatePair(EventKind::NOI,
+                                          EventKind::LDL1);
+    EXPECT_GT(ldl1.l1.readHits, 1000u);
+    EXPECT_EQ(ldl1.l1.readMisses, 0u);
+}
+
+TEST_F(MeterTest, Stl2CausesWritebackTraffic)
+{
+    // The paper attributes STL2's elevated SAVAT to dirty
+    // write-backs: every store miss must push a dirty line to L2.
+    const auto &stl2 = meter.simulatePair(EventKind::NOI,
+                                          EventKind::STL2);
+    EXPECT_GT(stl2.l2.writebacksIn, 100u);
+    EXPECT_NEAR(static_cast<double>(stl2.l2.writebacksIn),
+                static_cast<double>(stl2.l1.writeMisses), 64.0);
+    EXPECT_EQ(stl2.mem.writes, 0u); // stays on chip
+}
+
+TEST_F(MeterTest, ChannelAmplitudesLandOnRightChannels)
+{
+    const auto &sim = meter.simulatePair(EventKind::ADD,
+                                         EventKind::LDL2);
+    const auto amp = [&](em::Channel c) {
+        return std::abs(
+            sim.amplitude[static_cast<std::size_t>(c)]);
+    };
+    // The L2 array dominates this pair's difference.
+    EXPECT_GT(amp(em::Channel::L2), 0.01);
+    EXPECT_LT(amp(em::Channel::Bus), amp(em::Channel::L2) / 10.0);
+    EXPECT_LT(amp(em::Channel::Div), 1e-3);
+}
+
+TEST_F(MeterTest, SameInstructionAmplitudesNearZero)
+{
+    const auto &sim = meter.simulatePair(EventKind::ADD,
+                                         EventKind::ADD);
+    for (std::size_t c = 0; c < em::kNumChannels; ++c)
+        EXPECT_LT(std::abs(sim.amplitude[c]), 0.02)
+            << em::channelName(em::channelAt(c));
+}
+
+TEST_F(MeterTest, MeanActivitySplitsPerHalf)
+{
+    const auto &sim = meter.simulatePair(EventKind::ADD,
+                                         EventKind::DIV);
+    const auto div_idx =
+        static_cast<std::size_t>(em::Channel::Div);
+    EXPECT_NEAR(sim.meanA[div_idx], 0.0, 1e-9);
+    EXPECT_GT(sim.meanB[div_idx], 0.3);
+}
+
+TEST_F(MeterTest, MeasurementDeterministicPerSeed)
+{
+    const auto &sim = meter.simulatePair(EventKind::ADD,
+                                         EventKind::LDM);
+    Rng r1(5), r2(5);
+    const auto m1 = meter.measure(sim, r1);
+    const auto m2 = meter.measure(sim, r2);
+    EXPECT_DOUBLE_EQ(m1.savat.inZepto(), m2.savat.inZepto());
+    EXPECT_DOUBLE_EQ(m1.bandPowerW, m2.bandPowerW);
+}
+
+TEST_F(MeterTest, SimulationCacheReturnsSameObject)
+{
+    const auto &s1 = meter.simulatePair(EventKind::ADD,
+                                        EventKind::SUB);
+    const auto &s2 = meter.simulatePair(EventKind::ADD,
+                                        EventKind::SUB);
+    EXPECT_EQ(&s1, &s2);
+}
+
+TEST_F(MeterTest, OffChipBeatsOnChip)
+{
+    // The paper's headline: off-chip accesses vs on-chip work leak
+    // far more than two on-chip instructions do.
+    const double off = meanSavat(EventKind::ADD, EventKind::LDM);
+    const double onchip = meanSavat(EventKind::ADD, EventKind::SUB);
+    EXPECT_GT(off, 4.0 * onchip);
+}
+
+TEST_F(MeterTest, L2HitsAreAsLoudAsMisses)
+{
+    // "last-level-cache hits and misses have similar (high) SAVAT".
+    const double l2 = meanSavat(EventKind::ADD, EventKind::LDL2);
+    const double mem = meanSavat(EventKind::ADD, EventKind::LDM);
+    EXPECT_GT(l2, 0.6 * mem);
+    EXPECT_LT(l2, 1.6 * mem);
+}
+
+TEST_F(MeterTest, DivStandsOutAmongArithmetic)
+{
+    const double div = meanSavat(EventKind::ADD, EventKind::DIV);
+    const double mul = meanSavat(EventKind::ADD, EventKind::MUL);
+    EXPECT_GT(div, 1.3 * mul);
+}
+
+TEST_F(MeterTest, DiagonalBelowOffDiagonal)
+{
+    const double diag = meanSavat(EventKind::LDL2, EventKind::LDL2);
+    const double off = meanSavat(EventKind::ADD, EventKind::LDL2);
+    EXPECT_LT(diag, off / 3.0);
+}
+
+TEST_F(MeterTest, SavatValuesAreZeptojouleScale)
+{
+    const double v = meanSavat(EventKind::ADD, EventKind::LDM);
+    EXPECT_GT(v, 0.1);
+    EXPECT_LT(v, 100.0);
+}
+
+TEST_F(MeterTest, TraceContainsToneInBand)
+{
+    const auto &sim = meter.simulatePair(EventKind::ADD,
+                                         EventKind::LDM);
+    Rng rng(9);
+    const auto m = meter.measure(sim, rng);
+    // Figure 7: the tone sits within about +/-1 kHz of 80 kHz and
+    // towers above the noise floor.
+    EXPECT_NEAR(m.toneHz, 80000.0, 1000.0);
+    const double peak = m.trace.peakPsd(79000.0, 81000.0);
+    EXPECT_GT(peak, 100.0 * meter.config().noiseFloorWPerHz);
+}
+
+TEST(MeterDistance, SavatDropsWithDistance)
+{
+    MeterConfig near_cfg;
+    near_cfg.distance = Distance::centimeters(10.0);
+    auto near_meter = SavatMeter::forMachine("core2duo", near_cfg);
+
+    MeterConfig far_cfg;
+    far_cfg.distance = Distance::centimeters(50.0);
+    auto far_meter = SavatMeter::forMachine("core2duo", far_cfg);
+
+    auto mean = [](SavatMeter &m, EventKind a, EventKind b) {
+        const auto &sim = m.simulatePair(a, b);
+        Rng rng(3);
+        RunningStats s;
+        for (int i = 0; i < 6; ++i) {
+            auto rep = rng.fork();
+            s.add(m.measure(sim, rep).savat.inZepto());
+        }
+        return s.mean();
+    };
+
+    const double near_l2 =
+        mean(near_meter, EventKind::ADD, EventKind::LDL2);
+    const double far_l2 =
+        mean(far_meter, EventKind::ADD, EventKind::LDL2);
+    EXPECT_LT(far_l2, near_l2 / 3.0);
+
+    // Off-chip survives distance much better (Figures 16-18).
+    const double near_mem =
+        mean(near_meter, EventKind::ADD, EventKind::LDM);
+    const double far_mem =
+        mean(far_meter, EventKind::ADD, EventKind::LDM);
+    EXPECT_GT(far_mem / near_mem, far_l2 / near_l2);
+    EXPECT_GT(far_mem, far_l2);
+}
+
+TEST(MeterModes, EqualCountsMode)
+{
+    MeterConfig cfg;
+    cfg.pairing = kernels::PairingMode::EqualCounts;
+    auto meter = SavatMeter::forMachine("core2duo", cfg);
+    const auto &sim = meter.simulatePair(EventKind::ADD,
+                                         EventKind::LDM);
+    EXPECT_EQ(sim.counts.countA, sim.counts.countB);
+    EXPECT_NEAR(sim.actualFrequency.inKhz(), 80.0, 0.4);
+    // Duty reflects the speed imbalance: the LDM half dominates.
+    EXPECT_LT(sim.duty, 0.35);
+}
+
+TEST(MeterModes, AlternationFrequencyFreedom)
+{
+    // Section III: the methodology works at any reasonable
+    // alternation frequency; SAVAT is a per-pair energy, so the
+    // value must be roughly frequency-independent.
+    auto at_freq = [](double khz) {
+        MeterConfig cfg;
+        cfg.alternation = Frequency::khz(khz);
+        auto meter = SavatMeter::forMachine("core2duo", cfg);
+        const auto &sim = meter.simulatePair(EventKind::ADD,
+                                             EventKind::LDL2);
+        Rng rng(13);
+        RunningStats s;
+        for (int i = 0; i < 8; ++i) {
+            auto rep = rng.fork();
+            s.add(meter.measure(sim, rep).savat.inZepto());
+        }
+        return s.mean();
+    };
+    const double at40 = at_freq(40.0);
+    const double at80 = at_freq(80.0);
+    const double at160 = at_freq(160.0);
+    EXPECT_NEAR(at40 / at80, 1.0, 0.35);
+    EXPECT_NEAR(at160 / at80, 1.0, 0.35);
+}
+
+} // namespace
+} // namespace savat::core

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Tests for the SVF baseline metric and the program leakage
+ * assessment API.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/assessment.hh"
+#include "core/svf.hh"
+#include "isa/assembler.hh"
+
+#include <sstream>
+#include "support/rng.hh"
+
+namespace savat::core {
+namespace {
+
+using kernels::EventKind;
+
+// ------------------------------------------------------------------ svf
+
+TEST(Svf, SimilarityCorrelationPerfect)
+{
+    // Two alternating phase types; observations follow exactly.
+    std::vector<std::vector<double>> oracle;
+    std::vector<double> observed;
+    for (int i = 0; i < 10; ++i) {
+        if (i % 2 == 0) {
+            oracle.push_back({1.0, 0.0});
+            observed.push_back(5.0);
+        } else {
+            oracle.push_back({0.0, 1.0});
+            observed.push_back(1.0);
+        }
+    }
+    EXPECT_NEAR(similarityCorrelation(oracle, observed), 1.0, 1e-9);
+}
+
+TEST(Svf, SimilarityCorrelationRandomIsLow)
+{
+    Rng rng(9);
+    std::vector<std::vector<double>> oracle;
+    std::vector<double> observed;
+    for (int i = 0; i < 60; ++i) {
+        oracle.push_back({rng.uniform(), rng.uniform()});
+        observed.push_back(rng.uniform());
+    }
+    EXPECT_LT(std::abs(similarityCorrelation(oracle, observed)),
+              0.25);
+}
+
+TEST(Svf, PhasedWorkloadAssembles)
+{
+    const auto m = uarch::core2duo();
+    const auto prog = buildPhasedWorkload(m, 200);
+    EXPECT_FALSE(prog.empty());
+    EXPECT_GE(prog.labelIndex("compute"), 0);
+    EXPECT_GE(prog.labelIndex("mem_phase"), 0);
+}
+
+TEST(Svf, PhasedWorkloadLeaksAtCloseRange)
+{
+    const auto m = uarch::core2duo();
+    const auto profile = em::emissionProfileFor("core2duo");
+    const auto prog = buildPhasedWorkload(m, 200);
+    SvfConfig cfg;
+    cfg.windows = 32;
+    cfg.windowCycles = 2000;
+    const auto res = computeSvf(m, profile, em::DistanceModel(), prog,
+                                cfg);
+    EXPECT_EQ(res.windows, 32u);
+    // Phase structure shows through -- but note the calibrated
+    // machine makes L2 and off-chip phases nearly equal in total
+    // power (ADD/LDL2 ~ ADD/LDM in the paper!), so a scalar power
+    // trace cannot separate them and SVF stays well below 1. That
+    // attribution blindness is the paper's critique of SVF.
+    EXPECT_GT(res.svf, 0.15)
+        << "phases should show through at 10 cm";
+    EXPECT_LE(res.svf, 1.0);
+}
+
+TEST(Svf, DistanceDegradesSvf)
+{
+    const auto m = uarch::core2duo();
+    const auto profile = em::emissionProfileFor("core2duo");
+    const auto prog = buildPhasedWorkload(m, 200);
+    SvfConfig near_cfg;
+    near_cfg.windows = 32;
+    near_cfg.observationNoise = 0.5;
+    SvfConfig far_cfg = near_cfg;
+    far_cfg.distance = Distance::meters(5.0);
+    const auto near_res = computeSvf(m, profile, em::DistanceModel(),
+                                     prog, near_cfg);
+    const auto far_res = computeSvf(m, profile, em::DistanceModel(),
+                                    prog, far_cfg);
+    EXPECT_GT(near_res.svf, far_res.svf);
+}
+
+TEST(Svf, NoiseDegradesSvf)
+{
+    const auto m = uarch::core2duo();
+    const auto profile = em::emissionProfileFor("core2duo");
+    const auto prog = buildPhasedWorkload(m, 200);
+    SvfConfig quiet;
+    quiet.windows = 32;
+    quiet.observationNoise = 0.01;
+    SvfConfig noisy = quiet;
+    noisy.observationNoise = 3.0;
+    const auto q = computeSvf(m, profile, em::DistanceModel(), prog,
+                              quiet);
+    const auto n = computeSvf(m, profile, em::DistanceModel(), prog,
+                              noisy);
+    EXPECT_GT(q.svf, n.svf);
+}
+
+TEST(Svf, UniformWorkloadHasNoPhases)
+{
+    // A single-phase program gives the attacker nothing to
+    // correlate: SVF collapses.
+    const auto m = uarch::core2duo();
+    const auto profile = em::emissionProfileFor("core2duo");
+    const auto prog = isa::assembleOrDie(
+        "mov eax,7\ntop: imul eax,173\nadd eax,5\njmp top\n",
+        "uniform");
+    SvfConfig cfg;
+    cfg.windows = 32;
+    const auto res = computeSvf(m, profile, em::DistanceModel(), prog,
+                                cfg);
+    EXPECT_LT(std::abs(res.svf), 0.4);
+}
+
+// ----------------------------------------------------------- assessment
+
+TEST(Assessment, NetSavatSubtractsFloor)
+{
+    auto meter = SavatMeter::forMachine("core2duo");
+    const double net =
+        netSavatZj(meter, EventKind::ADD, EventKind::SUB);
+    EXPECT_NEAR(net, 0.0, 0.15); // identical instructions
+    const double loud =
+        netSavatZj(meter, EventKind::ADD, EventKind::LDM);
+    EXPECT_GT(loud, 2.0);
+}
+
+TEST(Assessment, RanksSitesByContribution)
+{
+    auto meter = SavatMeter::forMachine("core2duo");
+    ProgramProfile profile;
+    profile.name = "demo";
+    profile.sites = {
+        {"quiet arithmetic", EventKind::ADD, EventKind::SUB, 1000},
+        {"secret-indexed table", EventKind::LDL2, EventKind::LDL1,
+         64},
+        {"conditional divide", EventKind::DIV, EventKind::NOI, 4},
+    };
+    const auto report = assessProgram(meter, profile);
+    ASSERT_EQ(report.sites.size(), 3u);
+    // The table lookups dominate despite fewer instances.
+    EXPECT_EQ(report.sites.front().site.label,
+              "secret-indexed table");
+    EXPECT_GT(report.sites.front().share, 0.5);
+    EXPECT_GT(report.totalPerUseZj, 0.0);
+    double share_sum = 0.0;
+    for (const auto &s : report.sites)
+        share_sum += s.share;
+    EXPECT_NEAR(share_sum, 1.0, 1e-9);
+}
+
+TEST(Assessment, ConstantTimeProgramLeaksNothing)
+{
+    auto meter = SavatMeter::forMachine("core2duo");
+    ProgramProfile profile;
+    profile.name = "constant-time";
+    profile.sites = {
+        {"balanced multiply", EventKind::MUL, EventKind::MUL, 4096},
+        {"balanced adds", EventKind::ADD, EventKind::ADD, 8192},
+    };
+    const auto report = assessProgram(meter, profile);
+    EXPECT_NEAR(report.totalPerUseZj, 0.0, 1e-9);
+    EXPECT_TRUE(std::isinf(report.usesForMargin()));
+}
+
+TEST(Assessment, UsesForMarginScales)
+{
+    AssessmentReport r;
+    r.totalPerUseZj = 100.0;
+    r.floorZj = 0.5;
+    EXPECT_NEAR(r.usesForMargin(10.0, 2048.0),
+                10.0 * 0.5 * 2048.0 / 100.0, 1e-9);
+    // Louder programs need fewer observations.
+    AssessmentReport loud = r;
+    loud.totalPerUseZj = 1000.0;
+    EXPECT_LT(loud.usesForMargin(), r.usesForMargin());
+}
+
+TEST(Assessment, PrintedReportContainsSites)
+{
+    auto meter = SavatMeter::forMachine("core2duo");
+    ProgramProfile profile;
+    profile.name = "printable";
+    profile.sites = {
+        {"divide", EventKind::DIV, EventKind::NOI, 2},
+    };
+    const auto report = assessProgram(meter, profile);
+    std::ostringstream oss;
+    printAssessment(oss, report);
+    EXPECT_NE(oss.str().find("printable"), std::string::npos);
+    EXPECT_NE(oss.str().find("divide"), std::string::npos);
+    EXPECT_NE(oss.str().find("DIV vs NOI"), std::string::npos);
+}
+
+} // namespace
+} // namespace savat::core

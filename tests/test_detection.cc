@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Tests for the detection-theory module and the profile-file parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "core/assessment.hh"
+#include "core/detection.hh"
+
+namespace savat::core {
+namespace {
+
+using kernels::EventKind;
+
+// ------------------------------------------------------------ detection
+
+TEST(Detection, NormalCdfKnownValues)
+{
+    EXPECT_NEAR(normalCdf(0.0), 0.5, 1e-12);
+    EXPECT_NEAR(normalCdf(1.0), 0.841345, 1e-5);
+    EXPECT_NEAR(normalCdf(-1.96), 0.025, 1e-3);
+    EXPECT_NEAR(normalQ(1.6449), 0.05, 1e-4);
+}
+
+TEST(Detection, QInverseRoundTrip)
+{
+    for (double p : {0.4, 0.25, 0.1, 0.05, 0.01, 1e-3, 1e-6}) {
+        const double x = normalQInverse(p);
+        EXPECT_NEAR(normalQ(x), p, 1e-6 + 1e-3 * p) << "p=" << p;
+    }
+}
+
+TEST(Detection, DPrimeScalesWithSqrtUses)
+{
+    const double one = dPrime(2.0, 1.0, 1.0);
+    EXPECT_NEAR(one, 2.0, 1e-12);
+    EXPECT_NEAR(dPrime(2.0, 1.0, 4.0), 2.0 * one, 1e-12);
+    EXPECT_NEAR(dPrime(2.0, 1.0, 100.0), 10.0 * one, 1e-12);
+    EXPECT_DOUBLE_EQ(dPrime(0.0, 1.0, 100.0), 0.0);
+    EXPECT_DOUBLE_EQ(dPrime(-1.0, 1.0, 100.0), 0.0);
+}
+
+TEST(Detection, ErrorProbabilityEndpoints)
+{
+    EXPECT_NEAR(errorProbability(0.0), 0.5, 1e-12); // coin flip
+    EXPECT_LT(errorProbability(6.0), 2e-3);
+    EXPECT_GT(errorProbability(1.0), errorProbability(2.0));
+}
+
+TEST(Detection, RocAreaEndpoints)
+{
+    EXPECT_NEAR(rocArea(0.0), 0.5, 1e-12);
+    EXPECT_GT(rocArea(3.0), 0.98);
+    EXPECT_LT(rocArea(3.0), 1.0 + 1e-12);
+}
+
+TEST(Detection, UsesForErrorConsistent)
+{
+    // Round trip: with that many uses, the error meets the target.
+    const double uses = usesForError(1.5, 1.0, 0.01);
+    const double d = dPrime(1.5, 1.0, uses);
+    EXPECT_NEAR(errorProbability(d), 0.01, 1e-4);
+    // Weak signals need quadratically more uses.
+    EXPECT_NEAR(usesForError(0.75, 1.0, 0.01), 4.0 * uses, 1e-6);
+    EXPECT_TRUE(std::isinf(usesForError(0.0, 1.0, 0.01)));
+}
+
+TEST(Detection, PaperScaleSanity)
+{
+    // An ADD/LDM-scale difference (net ~4 zJ against a ~0.65 zJ
+    // floor) is decidable from a handful of uses; an ADD/MUL-scale
+    // one (net ~0.05 zJ) needs tens of thousands.
+    EXPECT_LT(usesForError(4.0, 0.65, 1e-3), 2.0);
+    EXPECT_GT(usesForError(0.05, 0.65, 1e-3), 5000.0);
+}
+
+TEST(Detection, AssessmentUsesErrorRate)
+{
+    AssessmentReport r;
+    r.totalPerUseZj = 2048.0; // 1 zJ per bit
+    r.floorZj = 0.5;
+    const double uses = r.usesForErrorRate(0.01, 2048.0);
+    const double d = dPrime(1.0, 0.5, uses);
+    EXPECT_NEAR(errorProbability(d), 0.01, 1e-4);
+    AssessmentReport silent;
+    silent.totalPerUseZj = 0.0;
+    silent.floorZj = 0.5;
+    EXPECT_TRUE(std::isinf(silent.usesForErrorRate()));
+}
+
+// --------------------------------------------------------- profile files
+
+TEST(ProfileParser, ParsesWellFormedFile)
+{
+    std::istringstream in(
+        "# comment\n"
+        "program rsa-2048\n"
+        "\n"
+        "site \"table lookups\" LDL2 LDL1 512\n"
+        "site \"conditional multiply\" MUL NOI 4096\n"
+        "site \"branch on key bit\" BRM BRH 1\n");
+    const auto res = parseProgramProfile(in);
+    ASSERT_TRUE(res.ok) << res.error;
+    EXPECT_EQ(res.profile.name, "rsa-2048");
+    ASSERT_EQ(res.profile.sites.size(), 3u);
+    EXPECT_EQ(res.profile.sites[0].label, "table lookups");
+    EXPECT_EQ(res.profile.sites[0].executed, EventKind::LDL2);
+    EXPECT_EQ(res.profile.sites[0].alternative, EventKind::LDL1);
+    EXPECT_EQ(res.profile.sites[0].instancesPerUse, 512u);
+    EXPECT_EQ(res.profile.sites[2].executed, EventKind::BRM);
+}
+
+struct BadProfile
+{
+    const char *text;
+    const char *why;
+};
+
+class ProfileParserErrors
+    : public ::testing::TestWithParam<BadProfile>
+{
+};
+
+TEST_P(ProfileParserErrors, Rejected)
+{
+    std::istringstream in(GetParam().text);
+    const auto res = parseProgramProfile(in);
+    EXPECT_FALSE(res.ok) << GetParam().why;
+    EXPECT_FALSE(res.error.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ProfileParserErrors,
+    ::testing::Values(
+        BadProfile{"site \"x\" ADD NOI 5\n", "missing program line"},
+        BadProfile{"program p\n", "no sites"},
+        BadProfile{"program\nsite \"x\" ADD NOI 5\n",
+                   "program without name"},
+        BadProfile{"program p\nsite x ADD NOI 5\n",
+                   "unquoted label"},
+        BadProfile{"program p\nsite \"x ADD NOI 5\n",
+                   "unterminated label"},
+        BadProfile{"program p\nsite \"x\" FROB NOI 5\n",
+                   "unknown executed event"},
+        BadProfile{"program p\nsite \"x\" ADD FROB 5\n",
+                   "unknown alternative event"},
+        BadProfile{"program p\nsite \"x\" ADD NOI zero\n",
+                   "non-numeric count"},
+        BadProfile{"program p\nsite \"x\" ADD NOI -3\n",
+                   "negative count"},
+        BadProfile{"program p\nsite \"x\" ADD NOI\n",
+                   "missing count"},
+        BadProfile{"program p\nbogus line\n", "unknown directive"}));
+
+TEST(ProfileParser, ReportsErrorLine)
+{
+    std::istringstream in("program p\n# ok\nsite \"x\" ADD NOI 0\n");
+    const auto res = parseProgramProfile(in);
+    EXPECT_FALSE(res.ok);
+    EXPECT_EQ(res.errorLine, 3u);
+}
+
+} // namespace
+} // namespace savat::core

@@ -1,0 +1,310 @@
+/**
+ * @file
+ * Unit and property tests for the DSP substrate: FFT, single-bin
+ * DFT, windows and PSD estimation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsp/fft.hh"
+#include "dsp/psd.hh"
+#include "dsp/window.hh"
+#include "support/rng.hh"
+
+namespace savat::dsp {
+namespace {
+
+TEST(Fft, NextPowerOfTwo)
+{
+    EXPECT_EQ(nextPowerOfTwo(1), 1u);
+    EXPECT_EQ(nextPowerOfTwo(2), 2u);
+    EXPECT_EQ(nextPowerOfTwo(3), 4u);
+    EXPECT_EQ(nextPowerOfTwo(1024), 1024u);
+    EXPECT_EQ(nextPowerOfTwo(1025), 2048u);
+}
+
+TEST(Fft, ImpulseIsFlat)
+{
+    std::vector<Complex> x(8, Complex(0, 0));
+    x[0] = Complex(1, 0);
+    fft(x);
+    for (const auto &v : x) {
+        EXPECT_NEAR(v.real(), 1.0, 1e-12);
+        EXPECT_NEAR(v.imag(), 0.0, 1e-12);
+    }
+}
+
+TEST(Fft, DcConcentratesInBinZero)
+{
+    std::vector<Complex> x(16, Complex(2.0, 0));
+    fft(x);
+    EXPECT_NEAR(x[0].real(), 32.0, 1e-9);
+    for (std::size_t i = 1; i < x.size(); ++i)
+        EXPECT_NEAR(std::abs(x[i]), 0.0, 1e-9);
+}
+
+TEST(Fft, SineLandsInItsBin)
+{
+    const std::size_t n = 64;
+    const std::size_t k = 5;
+    std::vector<Complex> x(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        x[i] = Complex(std::cos(2.0 * M_PI * static_cast<double>(k * i) /
+                                static_cast<double>(n)),
+                       0.0);
+    }
+    fft(x);
+    EXPECT_NEAR(std::abs(x[k]), static_cast<double>(n) / 2.0, 1e-9);
+    EXPECT_NEAR(std::abs(x[n - k]), static_cast<double>(n) / 2.0, 1e-9);
+    EXPECT_NEAR(std::abs(x[k + 1]), 0.0, 1e-9);
+}
+
+TEST(Fft, InverseRoundTrip)
+{
+    Rng rng(17);
+    std::vector<Complex> x(128);
+    for (auto &v : x)
+        v = Complex(rng.gaussian(), rng.gaussian());
+    const auto orig = x;
+    fft(x);
+    fft(x, /*inverse=*/true);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        EXPECT_NEAR(x[i].real() / 128.0, orig[i].real(), 1e-9);
+        EXPECT_NEAR(x[i].imag() / 128.0, orig[i].imag(), 1e-9);
+    }
+}
+
+TEST(Fft, ParsevalHolds)
+{
+    Rng rng(23);
+    std::vector<Complex> x(256);
+    double time_energy = 0.0;
+    for (auto &v : x) {
+        v = Complex(rng.gaussian(), 0.0);
+        time_energy += std::norm(v);
+    }
+    const auto spec = fftCopy(x);
+    double freq_energy = 0.0;
+    for (const auto &v : spec)
+        freq_energy += std::norm(v);
+    EXPECT_NEAR(freq_energy / 256.0, time_energy,
+                1e-9 * time_energy);
+}
+
+TEST(Fft, Linearity)
+{
+    Rng rng(31);
+    std::vector<Complex> a(64), b(64), sum(64);
+    for (std::size_t i = 0; i < 64; ++i) {
+        a[i] = Complex(rng.gaussian(), 0);
+        b[i] = Complex(rng.gaussian(), 0);
+        sum[i] = a[i] + 2.0 * b[i];
+    }
+    const auto fa = fftCopy(a);
+    const auto fb = fftCopy(b);
+    const auto fsum = fftCopy(sum);
+    for (std::size_t i = 0; i < 64; ++i)
+        EXPECT_NEAR(std::abs(fsum[i] - (fa[i] + 2.0 * fb[i])), 0.0,
+                    1e-9);
+}
+
+TEST(Fft, RealFftPadsToPowerOfTwo)
+{
+    std::vector<double> x(100, 1.0);
+    const auto spec = realFft(x);
+    EXPECT_EQ(spec.size(), 128u);
+    EXPECT_NEAR(spec[0].real(), 100.0, 1e-9);
+}
+
+TEST(SingleBinDft, PureToneAmplitude)
+{
+    const std::size_t n = 4096;
+    const double freq = 0.0123; // cycles per sample, off-grid
+    std::vector<double> x(n);
+    for (std::size_t i = 0; i < n; ++i)
+        x[i] = 3.0 * std::cos(2.0 * M_PI * freq *
+                              static_cast<double>(i) + 0.7);
+    EXPECT_NEAR(toneAmplitude(x, freq), 3.0, 0.02);
+}
+
+TEST(SingleBinDft, IntegerPeriodExact)
+{
+    // When an integer number of cycles fits, the estimate is exact.
+    const std::size_t n = 1000;
+    const double freq = 10.0 / static_cast<double>(n);
+    std::vector<double> x(n);
+    for (std::size_t i = 0; i < n; ++i)
+        x[i] = 2.5 * std::cos(2.0 * M_PI * freq *
+                              static_cast<double>(i));
+    EXPECT_NEAR(toneAmplitude(x, freq), 2.5, 1e-9);
+}
+
+TEST(SingleBinDft, RejectsOtherFrequencies)
+{
+    const std::size_t n = 1000;
+    std::vector<double> x(n);
+    for (std::size_t i = 0; i < n; ++i)
+        x[i] = std::cos(2.0 * M_PI * 0.05 * static_cast<double>(i));
+    EXPECT_NEAR(toneAmplitude(x, 0.25), 0.0, 0.01);
+}
+
+TEST(SingleBinDft, RecoversPhase)
+{
+    const std::size_t n = 2000;
+    const double freq = 20.0 / static_cast<double>(n);
+    const double phase = 1.1;
+    std::vector<double> x(n);
+    for (std::size_t i = 0; i < n; ++i)
+        x[i] = std::cos(2.0 * M_PI * freq * static_cast<double>(i) +
+                        phase);
+    const auto c = singleBinDft(x, freq);
+    EXPECT_NEAR(std::arg(c), phase, 1e-6);
+}
+
+TEST(SingleBinDft, SquareWaveFundamental)
+{
+    // A +/-A square wave has fundamental amplitude 4A/pi.
+    const std::size_t period = 100;
+    const std::size_t n = period * 50;
+    std::vector<double> x(n);
+    for (std::size_t i = 0; i < n; ++i)
+        x[i] = (i % period) < period / 2 ? 1.0 : -1.0;
+    EXPECT_NEAR(toneAmplitude(x, 1.0 / static_cast<double>(period)),
+                4.0 / M_PI, 1e-3);
+}
+
+class Windows : public ::testing::TestWithParam<WindowKind>
+{
+};
+
+TEST_P(Windows, ShapeBasics)
+{
+    const auto w = makeWindow(GetParam(), 256);
+    ASSERT_EQ(w.size(), 256u);
+    // Symmetric.
+    for (std::size_t i = 0; i < w.size() / 2; ++i)
+        EXPECT_NEAR(w[i], w[w.size() - 1 - i], 1e-9);
+    // Bounded.
+    for (double v : w)
+        EXPECT_LE(v, 1.0 + 1e-9);
+    EXPECT_GT(coherentGain(w), 0.0);
+    EXPECT_GE(noiseBandwidthBins(w), 1.0 - 1e-9);
+}
+
+TEST_P(Windows, SingleElement)
+{
+    const auto w = makeWindow(GetParam(), 1);
+    ASSERT_EQ(w.size(), 1u);
+    EXPECT_DOUBLE_EQ(w[0], 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, Windows,
+    ::testing::Values(WindowKind::Rectangular, WindowKind::Hann,
+                      WindowKind::Hamming, WindowKind::Blackman,
+                      WindowKind::BlackmanHarris, WindowKind::FlatTop));
+
+TEST(Window, KnownGains)
+{
+    const auto rect = makeWindow(WindowKind::Rectangular, 1024);
+    EXPECT_NEAR(coherentGain(rect), 1.0, 1e-12);
+    EXPECT_NEAR(noiseBandwidthBins(rect), 1.0, 1e-12);
+
+    const auto hann = makeWindow(WindowKind::Hann, 4096);
+    EXPECT_NEAR(coherentGain(hann), 0.5, 1e-3);
+    EXPECT_NEAR(noiseBandwidthBins(hann), 1.5, 1e-2);
+}
+
+TEST(Window, Names)
+{
+    EXPECT_STREQ(windowName(WindowKind::Hann), "hann");
+    EXPECT_STREQ(windowName(WindowKind::FlatTop), "flattop");
+}
+
+TEST(Psd, SinePeakAndPower)
+{
+    const double fs = 10000.0;
+    const double f0 = 1250.0;
+    const double amp = 2.0;
+    std::vector<double> x(8192);
+    for (std::size_t i = 0; i < x.size(); ++i)
+        x[i] = amp * std::sin(2.0 * M_PI * f0 *
+                              static_cast<double>(i) / fs);
+    const auto psd = welchPsd(x, fs, 1024, WindowKind::Hann);
+    const auto peak = psd.peakBin(0.0, fs / 2.0);
+    EXPECT_NEAR(psd.frequency(peak), f0, 2.0 * psd.binHz);
+    // Total power of a sine is amp^2/2.
+    EXPECT_NEAR(psd.bandPower(f0 - 100.0, f0 + 100.0),
+                amp * amp / 2.0, 0.05);
+}
+
+TEST(Psd, WhiteNoiseLevel)
+{
+    Rng rng(77);
+    const double fs = 1000.0;
+    const double sigma = 0.5;
+    std::vector<double> x(65536);
+    for (auto &v : x)
+        v = rng.gaussian(0.0, sigma);
+    const auto psd = welchPsd(x, fs, 1024);
+    // Total power ~= sigma^2, spread over fs/2 of bandwidth.
+    const double expected_density = sigma * sigma / (fs / 2.0);
+    const auto mid = psd.nearestBin(fs / 4.0);
+    double local = 0.0;
+    for (std::size_t i = mid - 20; i <= mid + 20; ++i)
+        local += psd.bins[i];
+    local /= 41.0;
+    EXPECT_NEAR(local, expected_density, 0.3 * expected_density);
+}
+
+TEST(Psd, ParsevalTotalPower)
+{
+    Rng rng(99);
+    const double fs = 2000.0;
+    std::vector<double> x(16384);
+    double power = 0.0;
+    for (auto &v : x) {
+        v = rng.gaussian();
+        power += v * v;
+    }
+    power /= static_cast<double>(x.size());
+    const auto psd = welchPsd(x, fs, 2048);
+    EXPECT_NEAR(psd.bandPower(0.0, fs / 2.0), power, 0.1 * power);
+}
+
+TEST(Psd, PeriodogramMatchesWelchForStationary)
+{
+    const double fs = 1000.0;
+    std::vector<double> x(4096);
+    for (std::size_t i = 0; i < x.size(); ++i)
+        x[i] = std::sin(2.0 * M_PI * 125.0 *
+                        static_cast<double>(i) / fs);
+    const auto p = periodogram(x, fs);
+    const auto w = welchPsd(x, fs, 1024);
+    EXPECT_NEAR(p.bandPower(100.0, 150.0), w.bandPower(100.0, 150.0),
+                0.05);
+}
+
+TEST(Psd, NearestBinClamps)
+{
+    PsdEstimate est;
+    est.binHz = 10.0;
+    est.bins.assign(11, 1.0);
+    EXPECT_EQ(est.nearestBin(-50.0), 0u);
+    EXPECT_EQ(est.nearestBin(1e9), 10u);
+    EXPECT_EQ(est.nearestBin(34.0), 3u);
+}
+
+TEST(Psd, BandPowerPartialBins)
+{
+    PsdEstimate est;
+    est.binHz = 1.0;
+    est.bins.assign(100, 2.0); // 2 W/Hz everywhere
+    EXPECT_NEAR(est.bandPower(10.0, 20.0), 20.0, 1e-9);
+    EXPECT_NEAR(est.bandPower(10.25, 10.75), 1.0, 1e-9);
+}
+
+} // namespace
+} // namespace savat::dsp

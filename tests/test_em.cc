@@ -1,0 +1,377 @@
+/**
+ * @file
+ * Unit tests for the EM emanation model: channels, emission
+ * profiles, propagation, antenna, environment and the synthesizer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <csignal>
+
+#include "em/antenna.hh"
+#include "em/channels.hh"
+#include "em/emission.hh"
+#include "em/environment.hh"
+#include "em/narrowband.hh"
+#include "em/propagation.hh"
+#include "em/synth.hh"
+#include "support/stats.hh"
+#include "uarch/machine.hh"
+
+namespace savat::em {
+namespace {
+
+TEST(Channels, Names)
+{
+    EXPECT_STREQ(channelName(Channel::Bus), "Bus");
+    EXPECT_STREQ(channelName(Channel::Div), "Div");
+    for (std::size_t i = 0; i < kNumChannels; ++i)
+        EXPECT_NE(channelName(channelAt(i)), nullptr);
+}
+
+class Profiles : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(Profiles, WellFormed)
+{
+    const auto p = emissionProfileFor(GetParam());
+    EXPECT_EQ(p.machineId, GetParam());
+    for (std::size_t c = 0; c < kNumChannels; ++c) {
+        EXPECT_GT(p.gain[c], 0.0) << channelName(channelAt(c));
+        EXPECT_GE(p.mismatchFraction[c], 0.0);
+        EXPECT_LT(p.mismatchFraction[c], 1.0);
+    }
+    EXPECT_GT(p.baseMismatchEnergyZj, 0.0);
+    // Every event must carry a weight and route somewhere.
+    for (std::size_t e = 0; e < uarch::kNumMicroEvents; ++e)
+        EXPECT_GT(p.eventWeight[e], 0.0);
+}
+
+TEST_P(Profiles, OffChipLoudestOnChipQuietest)
+{
+    // The physical premise: long off-chip wires beat the small
+    // on-chip structures at the reference distance. A bus burst
+    // spans memBurst cycles while a cache-array access is one, so
+    // per-event received amplitude = gain x active cycles.
+    const auto p = emissionProfileFor(GetParam());
+    const auto m = uarch::machineById(GetParam());
+    const auto gain = [&p](Channel c) {
+        return p.gain[static_cast<std::size_t>(c)];
+    };
+    const double bus_event = gain(Channel::Bus) * m.memBurst;
+    const double div_event = gain(Channel::Div) * m.lat.idiv;
+    EXPECT_GT(bus_event, gain(Channel::L2));
+    EXPECT_GT(gain(Channel::L2), gain(Channel::L1));
+    EXPECT_GT(gain(Channel::L1), gain(Channel::Logic));
+    if (std::string(GetParam()) == "core2duo") {
+        // Core 2: the divider was tamed relative to off-chip I/O.
+        EXPECT_GT(bus_event, div_event);
+    } else {
+        // P3M/Turion: the paper finds the divider rivals (Turion)
+        // or approaches (P3M) off-chip accesses.
+        EXPECT_GT(div_event, 0.5 * bus_event);
+    }
+}
+
+TEST_P(Profiles, ChannelWeightsMask)
+{
+    const auto p = emissionProfileFor(GetParam());
+    const auto w = p.channelWeights(Channel::L2);
+    double total = 0.0;
+    for (std::size_t e = 0; e < uarch::kNumMicroEvents; ++e) {
+        if (w[e] > 0.0) {
+            EXPECT_EQ(p.eventChannel[e], Channel::L2);
+            total += w[e];
+        }
+    }
+    EXPECT_GT(total, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Machines, Profiles,
+                         ::testing::Values("core2duo", "pentium3m",
+                                           "turionx2"));
+
+TEST(Profiles, DividerGenerations)
+{
+    // The paper: the P3M and Turion dividers are far louder than the
+    // Core 2's (the Turion's rivals off-chip accesses).
+    const auto div = [](const char *m) {
+        return emissionProfileFor(m)
+            .gain[static_cast<std::size_t>(Channel::Div)];
+    };
+    EXPECT_GT(div("pentium3m"), div("core2duo"));
+    EXPECT_GT(div("turionx2"), div("pentium3m"));
+}
+
+TEST(Profiles, UnknownMachineDies)
+{
+    EXPECT_EXIT(emissionProfileFor("z80"),
+                ::testing::ExitedWithCode(1), "no emission profile");
+}
+
+TEST(Propagation, ReferenceDistanceIsUnity)
+{
+    DistanceModel dm;
+    for (std::size_t c = 0; c < kNumChannels; ++c) {
+        EXPECT_NEAR(dm.amplitudeFactor(channelAt(c),
+                                       Distance::centimeters(10.0)),
+                    1.0, 1e-12);
+    }
+}
+
+TEST(Propagation, MonotonicDecay)
+{
+    DistanceModel dm;
+    for (std::size_t c = 0; c < kNumChannels; ++c) {
+        double prev = 1e9;
+        for (double cm : {2.0, 10.0, 25.0, 50.0, 75.0, 100.0, 200.0}) {
+            const double a = dm.amplitudeFactor(
+                channelAt(c), Distance::centimeters(cm));
+            EXPECT_LT(a, prev) << channelName(channelAt(c)) << " @ "
+                               << cm;
+            prev = a;
+        }
+    }
+}
+
+TEST(Propagation, OffChipOutlastsOnChip)
+{
+    // Figures 17/18: at 50-100 cm only off-chip pairs stay visible.
+    DistanceModel dm;
+    for (double cm : {50.0, 100.0}) {
+        const auto d = Distance::centimeters(cm);
+        EXPECT_GT(dm.amplitudeFactor(Channel::Bus, d),
+                  dm.amplitudeFactor(Channel::L2, d));
+        EXPECT_GT(dm.amplitudeFactor(Channel::Bus, d),
+                  dm.amplitudeFactor(Channel::Logic, d));
+    }
+}
+
+TEST(Propagation, NearFieldExtrapolation)
+{
+    DistanceModel dm;
+    // Halving the distance below 10 cm raises amplitude ~8x (1/r^3).
+    const double a5 = dm.amplitudeFactor(Channel::L2,
+                                         Distance::centimeters(5.0));
+    EXPECT_NEAR(a5, 8.0, 0.01);
+}
+
+TEST(Propagation, FarFieldExtrapolation)
+{
+    DistanceModel dm;
+    const double a1 = dm.amplitudeFactor(Channel::Bus,
+                                         Distance::meters(1.0));
+    const double a2 = dm.amplitudeFactor(Channel::Bus,
+                                         Distance::meters(2.0));
+    EXPECT_NEAR(a2, a1 / 2.0, 1e-9);
+}
+
+TEST(Propagation, SetAnchorsValidated)
+{
+    DistanceModel dm;
+    dm.setAnchors(Channel::Bus, {1.0, 0.5, 0.4});
+    EXPECT_NEAR(dm.amplitudeFactor(Channel::Bus,
+                                   Distance::centimeters(50.0)),
+                0.5, 1e-12);
+    EXPECT_EXIT(dm.setAnchors(Channel::Bus, {0.9, 0.5, 0.4}),
+                ::testing::KilledBySignal(SIGABRT), "first anchor");
+    EXPECT_EXIT(dm.setAnchors(Channel::Bus, {1.0, 0.5, 0.6}),
+                ::testing::KilledBySignal(SIGABRT), "non-increasing");
+}
+
+TEST(Antenna, FlatInBand)
+{
+    LoopAntenna ant;
+    EXPECT_NEAR(ant.amplitudeResponse(Frequency::khz(80.0)),
+                ant.amplitudeResponse(Frequency::khz(160.0)), 0.01);
+    EXPECT_GT(ant.amplitudeResponse(Frequency::khz(80.0)), 0.99);
+}
+
+TEST(Antenna, LowFrequencyRolloff)
+{
+    LoopAntenna ant;
+    const double at_corner =
+        ant.amplitudeResponse(Frequency::khz(10.0));
+    EXPECT_NEAR(at_corner, 1.0 / std::sqrt(2.0), 1e-6);
+    EXPECT_LT(ant.amplitudeResponse(Frequency::khz(1.0)), 0.15);
+}
+
+TEST(Antenna, OutOfBandCollapse)
+{
+    LoopAntenna ant;
+    EXPECT_LT(ant.amplitudeResponse(Frequency::ghz(2.0)), 0.1);
+}
+
+TEST(Narrowband, BandPowerAndPeak)
+{
+    NarrowbandSpectrum s;
+    s.startHz = 78000.0;
+    s.binHz = 1.0;
+    s.psd.assign(4001, 1e-18);
+    s.psd[2000] = 1e-15; // tone at 80 kHz
+    EXPECT_EQ(s.binFor(80000.0), 2000u);
+    const double band = s.bandPower(79000.0, 81000.0);
+    EXPECT_NEAR(band, 1e-15 + 2000.0 * 1e-18, 1e-17);
+    EXPECT_NEAR(s.peakPsd(79000.0, 81000.0), 1e-15, 1e-20);
+}
+
+TEST(Environment, DrawStatistics)
+{
+    EnvironmentConfig cfg;
+    Rng rng(5);
+    RunningStats offsets, gains;
+    for (int i = 0; i < 2000; ++i) {
+        const auto d = drawEnvironment(cfg, rng);
+        offsets.add(d.freqOffsetHz);
+        gains.add(d.gainFactor);
+    }
+    EXPECT_NEAR(offsets.mean(), 0.0, 20.0);
+    EXPECT_NEAR(offsets.stddev(), cfg.freqOffsetSigmaHz, 15.0);
+    EXPECT_NEAR(gains.mean(), 1.0, 0.01);
+    EXPECT_GE(gains.min(), 0.5);
+}
+
+/** Synthesizer fixture with a quiet environment. */
+class Synth : public ::testing::Test
+{
+  protected:
+    static EnvironmentConfig
+    quietEnv()
+    {
+        EnvironmentConfig env;
+        env.ambientNoiseWPerHz = 0.0;
+        env.interfererDensityPerKhz = 0.0;
+        env.freqOffsetSigmaHz = 0.0;
+        env.dispersionSigmaHz = 0.0;
+        env.gainDriftSigma = 0.0;
+        env.phaseJitterSigma = 0.0;
+        return env;
+    }
+
+    Synth()
+        : synth(emissionProfileFor("core2duo"), DistanceModel(),
+                LoopAntenna(), quietEnv())
+    {
+    }
+
+    ReceivedSignalSynthesizer synth;
+};
+
+TEST_F(Synth, SingleChannelTonePower)
+{
+    ChannelAmplitudes amps{};
+    const double a = 2.0;
+    amps[static_cast<std::size_t>(Channel::Bus)] = a;
+    Rng rng(1);
+    const EnvironmentDraw env{0.0, 1.0};
+    const double p = synth.tonePower(amps, Distance::centimeters(10.0),
+                                     env, rng);
+    const double g = synth.profile()
+                         .gain[static_cast<std::size_t>(Channel::Bus)];
+    EXPECT_NEAR(p, 0.5 * (g * a) * (g * a), 1e-9 * p);
+}
+
+TEST_F(Synth, TonePowerScalesWithDistance)
+{
+    ChannelAmplitudes amps{};
+    amps[static_cast<std::size_t>(Channel::Bus)] = 1.0;
+    Rng rng(1);
+    const EnvironmentDraw env{0.0, 1.0};
+    const double p10 = synth.tonePower(
+        amps, Distance::centimeters(10.0), env, rng);
+    const double p50 = synth.tonePower(
+        amps, Distance::centimeters(50.0), env, rng);
+    EXPECT_NEAR(p50 / p10, 0.46 * 0.46, 1e-6);
+}
+
+TEST_F(Synth, BandPowerMatchesTonePower)
+{
+    ToneInput tone;
+    tone.amplitude[static_cast<std::size_t>(Channel::L2)] = 1.5;
+    tone.toneFrequency = Frequency::khz(80.0);
+    Rng rng(3);
+    const auto res = synth.synthesize(tone,
+                                      Distance::centimeters(10.0),
+                                      Frequency::khz(80.0), 2000.0,
+                                      rng);
+    EXPECT_NEAR(res.spectrum.bandPower(79000.0, 81000.0),
+                res.tonePowerW, 1e-6 * res.tonePowerW);
+    EXPECT_NEAR(res.realizedToneHz, 80000.0, 1e-9);
+}
+
+TEST_F(Synth, ResidualPowerAdds)
+{
+    ToneInput tone;
+    tone.toneFrequency = Frequency::khz(80.0);
+    tone.residualPowerW = 1e-13;
+    Rng rng(3);
+    const auto res = synth.synthesize(tone,
+                                      Distance::centimeters(10.0),
+                                      Frequency::khz(80.0), 2000.0,
+                                      rng);
+    // The antenna's power response at 80 kHz applies.
+    const double ant =
+        synth.antenna().powerResponse(Frequency::khz(80.0));
+    EXPECT_NEAR(res.tonePowerW, 1e-13 * ant, 1e-19);
+}
+
+TEST(SynthNoisy, NoiseFloorAndInterferers)
+{
+    EnvironmentConfig env;
+    env.ambientNoiseWPerHz = 1e-18;
+    env.interfererDensityPerKhz = 2.0;
+    ReceivedSignalSynthesizer synth(emissionProfileFor("core2duo"),
+                                    DistanceModel(), LoopAntenna(),
+                                    env);
+    ToneInput tone;
+    tone.toneFrequency = Frequency::khz(80.0);
+    Rng rng(9);
+    const auto res = synth.synthesize(tone,
+                                      Distance::centimeters(10.0),
+                                      Frequency::khz(80.0), 2000.0,
+                                      rng);
+    // Mean PSD should sit near the ambient density.
+    double mean = 0.0;
+    for (double v : res.spectrum.psd)
+        mean += v;
+    mean /= static_cast<double>(res.spectrum.size());
+    EXPECT_GT(mean, 0.5e-18);
+    // Interferers: at least one bin far above the floor.
+    EXPECT_GT(res.spectrum.peakPsd(78000.0, 82000.0), 5e-18);
+}
+
+TEST(SynthNoisy, DispersionSpreadsTone)
+{
+    EnvironmentConfig env;
+    env.ambientNoiseWPerHz = 0.0;
+    env.interfererDensityPerKhz = 0.0;
+    env.freqOffsetSigmaHz = 0.0;
+    env.dispersionSigmaHz = 60.0;
+    env.gainDriftSigma = 0.0;
+    env.phaseJitterSigma = 0.0;
+    ReceivedSignalSynthesizer synth(emissionProfileFor("core2duo"),
+                                    DistanceModel(), LoopAntenna(),
+                                    env);
+    ToneInput tone;
+    tone.toneFrequency = Frequency::khz(80.0);
+    tone.residualPowerW = 1e-13;
+    Rng rng(11);
+    const auto res = synth.synthesize(tone,
+                                      Distance::centimeters(10.0),
+                                      Frequency::khz(80.0), 2000.0,
+                                      rng);
+    // Power is conserved but no longer confined to one bin.
+    EXPECT_NEAR(res.spectrum.bandPower(79000.0, 81000.0), 1e-13,
+                2e-14);
+    std::size_t occupied = 0;
+    for (double v : res.spectrum.psd) {
+        if (v > 0.0)
+            ++occupied;
+    }
+    EXPECT_GT(occupied, 10u);
+}
+
+} // namespace
+} // namespace savat::em

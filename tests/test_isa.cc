@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Unit tests for the ISA model and assembler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hh"
+#include "isa/instruction.hh"
+
+namespace savat::isa {
+namespace {
+
+TEST(RegNames, AllRegistersNamed)
+{
+    EXPECT_STREQ(regName(Reg::Eax), "eax");
+    EXPECT_STREQ(regName(Reg::Esp), "esp");
+    for (std::size_t i = 0; i < kNumRegs; ++i)
+        EXPECT_NE(regName(static_cast<Reg>(i)), nullptr);
+}
+
+TEST(ParseReg, ValidAndInvalid)
+{
+    EXPECT_EQ(parseReg("eax"), Reg::Eax);
+    EXPECT_EQ(parseReg("ESI"), Reg::Esi);
+    EXPECT_FALSE(parseReg("rax").has_value());
+    EXPECT_FALSE(parseReg("").has_value());
+}
+
+TEST(Operand, Rendering)
+{
+    EXPECT_EQ(Operand::regDirect(Reg::Ecx).toString(), "ecx");
+    EXPECT_EQ(Operand::immediate(173).toString(), "173");
+    EXPECT_EQ(Operand::immediate(-5).toString(), "-5");
+    EXPECT_EQ(Operand::immediate(0xFFFFFFFFll).toString(),
+              "0xFFFFFFFF");
+    EXPECT_EQ(Operand::memIndirect(Reg::Esi).toString(), "[esi]");
+    EXPECT_EQ(Operand::none().toString(), "");
+}
+
+TEST(Instruction, Predicates)
+{
+    Instruction load;
+    load.op = Opcode::Mov;
+    load.dst = Operand::regDirect(Reg::Eax);
+    load.src = Operand::memIndirect(Reg::Esi);
+    EXPECT_TRUE(load.isLoad());
+    EXPECT_FALSE(load.isStore());
+    EXPECT_FALSE(load.isBranch());
+
+    Instruction store;
+    store.op = Opcode::Mov;
+    store.dst = Operand::memIndirect(Reg::Esi);
+    store.src = Operand::immediate(1);
+    EXPECT_TRUE(store.isStore());
+
+    Instruction jmp;
+    jmp.op = Opcode::Jmp;
+    jmp.target = 3;
+    EXPECT_TRUE(jmp.isBranch());
+}
+
+TEST(Assembler, SimpleProgram)
+{
+    const auto res = assemble("mov eax,7\nadd eax,173\nhlt\n");
+    ASSERT_TRUE(res.ok) << res.error;
+    ASSERT_EQ(res.program.size(), 3u);
+    EXPECT_EQ(res.program.at(0).op, Opcode::Mov);
+    EXPECT_EQ(res.program.at(1).op, Opcode::Add);
+    EXPECT_EQ(res.program.at(1).src.imm, 173);
+    EXPECT_EQ(res.program.at(2).op, Opcode::Hlt);
+}
+
+TEST(Assembler, CommentsAndBlanks)
+{
+    const auto res = assemble(
+        "; full line comment\n"
+        "\n"
+        "   mov eax,1 ; trailing comment\n"
+        "\t\n"
+        "hlt\n");
+    ASSERT_TRUE(res.ok) << res.error;
+    EXPECT_EQ(res.program.size(), 2u);
+}
+
+TEST(Assembler, MemoryOperands)
+{
+    const auto res = assemble(
+        "mov eax,[esi]\n"
+        "mov [edi],0xFFFFFFFF\n"
+        "mov [esi],ebx\n");
+    ASSERT_TRUE(res.ok) << res.error;
+    EXPECT_TRUE(res.program.at(0).isLoad());
+    EXPECT_TRUE(res.program.at(1).isStore());
+    EXPECT_EQ(res.program.at(1).src.imm, 0xFFFFFFFFll);
+    EXPECT_TRUE(res.program.at(2).isStore());
+    EXPECT_EQ(res.program.at(2).src.reg, Reg::Ebx);
+}
+
+TEST(Assembler, LabelsAndBranches)
+{
+    const auto res = assemble(
+        "top:\n"
+        "    dec ecx\n"
+        "    jne top\n"
+        "    jmp done\n"
+        "    nop\n"
+        "done: hlt\n");
+    ASSERT_TRUE(res.ok) << res.error;
+    EXPECT_EQ(res.program.at(1).target, 0);
+    EXPECT_EQ(res.program.at(2).target, 4); // forward reference
+    EXPECT_EQ(res.program.labelIndex("top"), 0);
+    EXPECT_EQ(res.program.labelIndex("done"), 4);
+    EXPECT_EQ(res.program.labelIndex("missing"), -1);
+}
+
+TEST(Assembler, LabelOnSameLineAsInstruction)
+{
+    const auto res = assemble("loop: add eax,1\njne loop\n");
+    ASSERT_TRUE(res.ok) << res.error;
+    EXPECT_EQ(res.program.at(1).target, 0);
+}
+
+TEST(Assembler, SingleOperandForms)
+{
+    const auto res = assemble(
+        "idiv eax\n"
+        "inc ecx\n"
+        "dec edx\n"
+        "cdq\n"
+        "nop\n"
+        "mark 2\n");
+    ASSERT_TRUE(res.ok) << res.error;
+    EXPECT_EQ(res.program.at(0).op, Opcode::Idiv);
+    EXPECT_EQ(res.program.at(5).op, Opcode::Mark);
+    EXPECT_EQ(res.program.at(5).dst.imm, 2);
+}
+
+TEST(Assembler, HexImmediates)
+{
+    const auto res = assemble("and esi,0xFF000000\n");
+    ASSERT_TRUE(res.ok) << res.error;
+    EXPECT_EQ(res.program.at(0).src.imm, 0xFF000000ll);
+}
+
+struct BadSource
+{
+    const char *source;
+    const char *why;
+};
+
+class AssemblerErrors : public ::testing::TestWithParam<BadSource>
+{
+};
+
+TEST_P(AssemblerErrors, Rejected)
+{
+    const auto res = assemble(GetParam().source);
+    EXPECT_FALSE(res.ok) << GetParam().why;
+    EXPECT_FALSE(res.error.empty());
+    EXPECT_GT(res.errorLine, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, AssemblerErrors,
+    ::testing::Values(
+        BadSource{"bogus eax,1\n", "unknown mnemonic"},
+        BadSource{"mov eax\n", "missing operand"},
+        BadSource{"mov eax,ebx,ecx\n", "too many operands"},
+        BadSource{"mov [esi],[edi]\n", "memory-to-memory"},
+        BadSource{"mov 5,eax\n", "immediate destination"},
+        BadSource{"add eax,[esi]\n", "memory on non-mov"},
+        BadSource{"jne\n", "branch without target"},
+        BadSource{"jne nowhere\n", "undefined label"},
+        BadSource{"x: nop\nx: nop\n", "duplicate label"},
+        BadSource{"idiv 5\n", "idiv immediate"},
+        BadSource{"cdq eax\n", "cdq with operand"},
+        BadSource{"mark eax\n", "mark with register"},
+        BadSource{"mov eax,[zzz]\n", "bad base register"},
+        BadSource{"mov eax,[esi\n", "unterminated memory operand"},
+        BadSource{"bad label: nop\n", "label with space"}));
+
+TEST(Assembler, ErrorLineNumber)
+{
+    const auto res = assemble("nop\nnop\nbogus x\n");
+    EXPECT_FALSE(res.ok);
+    EXPECT_EQ(res.errorLine, 3u);
+}
+
+TEST(Program, Disassemble)
+{
+    const auto res = assemble(
+        "start: mov eax,7\n"
+        "imul eax,173\n"
+        "jne start\n"
+        "hlt\n");
+    ASSERT_TRUE(res.ok);
+    const auto text = res.program.disassemble();
+    EXPECT_NE(text.find("start:"), std::string::npos);
+    EXPECT_NE(text.find("mov eax,7"), std::string::npos);
+    EXPECT_NE(text.find("imul eax,173"), std::string::npos);
+    EXPECT_NE(text.find("@0"), std::string::npos);
+}
+
+TEST(Program, AppendAndAccess)
+{
+    Program p("test");
+    Instruction nop;
+    nop.op = Opcode::Nop;
+    EXPECT_EQ(p.append(nop), 0u);
+    EXPECT_EQ(p.append(nop), 1u);
+    EXPECT_EQ(p.size(), 2u);
+    EXPECT_EQ(p.name(), "test");
+    EXPECT_FALSE(p.empty());
+}
+
+TEST(Assembler, RoundTripThroughDisassembly)
+{
+    // Every instruction's toString must itself be parseable (modulo
+    // branch targets, which render as @index).
+    const auto res = assemble(
+        "mov eax,7\n"
+        "add eax,173\n"
+        "sub ebx,5\n"
+        "and esi,0xFF\n"
+        "or edi,ebx\n"
+        "xor ecx,ecx\n"
+        "imul eax,173\n"
+        "idiv eax\n"
+        "cdq\n"
+        "inc ecx\n"
+        "dec ecx\n"
+        "cmp ecx,1\n"
+        "test eax,eax\n"
+        "nop\n"
+        "hlt\n");
+    ASSERT_TRUE(res.ok) << res.error;
+    for (const auto &inst : res.program.instructions()) {
+        const auto again = assemble(inst.toString());
+        ASSERT_TRUE(again.ok)
+            << inst.toString() << ": " << again.error;
+        ASSERT_EQ(again.program.size(), 1u);
+        EXPECT_EQ(again.program.at(0), inst);
+    }
+}
+
+} // namespace
+} // namespace savat::isa

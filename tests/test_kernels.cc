@@ -1,0 +1,308 @@
+/**
+ * @file
+ * Unit and property tests for the event catalogue and the
+ * alternation-kernel generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+
+#include "isa/assembler.hh"
+#include "kernels/events.hh"
+#include "kernels/generator.hh"
+#include "uarch/cpu.hh"
+
+namespace savat::kernels {
+namespace {
+
+using uarch::core2duo;
+using uarch::machineById;
+
+TEST(Events, CatalogueComplete)
+{
+    const auto all = allEvents();
+    ASSERT_EQ(all.size(), 11u); // Figure 5: eleven events
+    EXPECT_EQ(all.front(), EventKind::LDM);
+    EXPECT_EQ(all.back(), EventKind::DIV);
+}
+
+TEST(Events, NamesRoundTrip)
+{
+    for (auto e : allEvents())
+        EXPECT_EQ(eventByName(eventName(e)), e);
+    EXPECT_EXIT(eventByName("FROB"), ::testing::ExitedWithCode(1),
+                "unknown event");
+}
+
+TEST(Events, Predicates)
+{
+    EXPECT_TRUE(isLoadEvent(EventKind::LDM));
+    EXPECT_TRUE(isLoadEvent(EventKind::LDL1));
+    EXPECT_TRUE(isStoreEvent(EventKind::STL2));
+    EXPECT_FALSE(isLoadEvent(EventKind::STM));
+    EXPECT_TRUE(isMemoryEvent(EventKind::STM));
+    EXPECT_FALSE(isMemoryEvent(EventKind::DIV));
+    EXPECT_FALSE(isMemoryEvent(EventKind::NOI));
+}
+
+TEST(Events, Figure5Assembly)
+{
+    // The exact instructions of the paper's Figure 5.
+    EXPECT_EQ(eventAsm(EventKind::LDM, "esi"), "mov eax,[esi]");
+    EXPECT_EQ(eventAsm(EventKind::STM, "esi"),
+              "mov [esi],0xFFFFFFFF");
+    EXPECT_EQ(eventAsm(EventKind::ADD, "esi"), "add eax,173");
+    EXPECT_EQ(eventAsm(EventKind::SUB, "esi"), "sub eax,173");
+    EXPECT_EQ(eventAsm(EventKind::MUL, "esi"), "imul eax,173");
+    EXPECT_EQ(eventAsm(EventKind::DIV, "esi"), "idiv eax");
+    EXPECT_EQ(eventAsm(EventKind::NOI, "esi"), "");
+}
+
+TEST(Events, FootprintOrdering)
+{
+    const auto m = core2duo();
+    const auto l1 = footprintBytes(EventKind::LDL1, m);
+    const auto l2 = footprintBytes(EventKind::LDL2, m);
+    const auto mem = footprintBytes(EventKind::LDM, m);
+    EXPECT_LT(l1, m.l1.sizeBytes);          // fits in L1
+    EXPECT_GT(l2, m.l1.sizeBytes);          // misses L1 ...
+    EXPECT_LT(l2, m.l2.sizeBytes);          // ... fits in L2
+    EXPECT_GT(mem, m.l2.sizeBytes);         // misses L2
+    EXPECT_EQ(footprintBytes(EventKind::ADD, m), l1);
+}
+
+class FootprintsOnAllMachines
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(FootprintsOnAllMachines, CreateIntendedBehaviour)
+{
+    const auto m = machineById(GetParam());
+    for (auto e : allEvents()) {
+        const auto fp = footprintBytes(e, m);
+        EXPECT_GT(fp, 0u);
+        // Power of two so mask arithmetic works.
+        EXPECT_EQ(fp & (fp - 1), 0u) << eventName(e);
+        EXPECT_GE(fp, m.l1.lineBytes * 4u);
+    }
+    EXPECT_GT(footprintBytes(EventKind::STL2, m), m.l1.sizeBytes);
+    EXPECT_LE(footprintBytes(EventKind::STL2, m),
+              m.l2.sizeBytes / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Machines, FootprintsOnAllMachines,
+                         ::testing::Values("core2duo", "pentium3m",
+                                           "turionx2"));
+
+TEST(Generator, KernelStructure)
+{
+    const auto m = core2duo();
+    const auto k =
+        buildAlternationKernel(m, EventKind::ADD, EventKind::LDM,
+                               100, 50);
+    EXPECT_EQ(k.countA, 100u);
+    EXPECT_EQ(k.countB, 50u);
+    EXPECT_FALSE(k.program.empty());
+    EXPECT_GE(k.program.labelIndex("top"), 0);
+    EXPECT_GE(k.program.labelIndex("a_loop"), 0);
+    EXPECT_GE(k.program.labelIndex("b_loop"), 0);
+    // Source must round-trip through the assembler.
+    const auto re = isa::assemble(k.source);
+    EXPECT_TRUE(re.ok) << re.error;
+}
+
+TEST(Generator, BodiesIdenticalExceptTestInstruction)
+{
+    // The paper's key requirement: surrounding code identical.
+    const auto m = core2duo();
+    const auto ka =
+        buildAlternationKernel(m, EventKind::ADD, EventKind::ADD, 10,
+                               10);
+    const auto kb =
+        buildAlternationKernel(m, EventKind::SUB, EventKind::SUB, 10,
+                               10);
+    ASSERT_EQ(ka.program.size(), kb.program.size());
+    std::size_t diff = 0;
+    for (std::size_t i = 0; i < ka.program.size(); ++i) {
+        if (!(ka.program.at(i) == kb.program.at(i)))
+            ++diff;
+    }
+    EXPECT_EQ(diff, 2u); // one test instruction per half
+}
+
+TEST(Generator, PointerUpdatePresentForNonMemoryEvents)
+{
+    const auto m = core2duo();
+    const auto k =
+        buildAlternationKernel(m, EventKind::NOI, EventKind::NOI, 10,
+                               10);
+    // The masked pointer update (and/or on esi/edi) must be there
+    // even though no memory instruction follows.
+    EXPECT_NE(k.source.find("and esi"), std::string::npos);
+    EXPECT_NE(k.source.find("or edi"), std::string::npos);
+}
+
+TEST(Generator, MasksMatchFootprints)
+{
+    const auto m = core2duo();
+    const auto k =
+        buildAlternationKernel(m, EventKind::LDL1, EventKind::LDM, 10,
+                               10);
+    EXPECT_EQ(k.maskA + 1, footprintBytes(EventKind::LDL1, m));
+    EXPECT_EQ(k.maskB + 1, footprintBytes(EventKind::LDM, m));
+    EXPECT_EQ(k.baseA & k.maskA, 0u); // base aligned to footprint
+    EXPECT_EQ(k.baseB & k.maskB, 0u);
+}
+
+TEST(Generator, KernelSweepsArray)
+{
+    // Run a small kernel and verify the pointer actually walks the
+    // whole footprint, line by line.
+    const auto m = core2duo();
+    const auto k =
+        buildAlternationKernel(m, EventKind::LDL1, EventKind::NOI,
+                               1024, 1024);
+    uarch::NullActivitySink sink;
+    uarch::SimpleCpu cpu(m, sink);
+    prefillEventArray(cpu, m, EventKind::LDL1, k.baseA);
+
+    int periods = 0;
+    cpu.setMarkCallback([&](std::int64_t id, std::uint64_t,
+                            std::uint64_t) {
+        if (id == Marks::kPeriodStart)
+            ++periods;
+        return periods < 3;
+    });
+    cpu.run(k.program);
+    // 2 periods x 1024 L1 loads: footprint is 16 KiB = 256 lines, so
+    // every line is touched; reads = hits + misses covers them all.
+    EXPECT_GE(cpu.l1Stats().reads(), 2000u);
+    EXPECT_LE(cpu.l1Stats().readMisses, 512u); // only cold misses
+}
+
+TEST(Generator, DivKernelRunsSafely)
+{
+    // idiv eax paired with eax-clobbering halves must never fault.
+    const auto m = core2duo();
+    for (auto other : {EventKind::LDM, EventKind::SUB, EventKind::MUL,
+                       EventKind::STM}) {
+        const auto k = buildAlternationKernel(m, other,
+                                              EventKind::DIV, 50, 50);
+        uarch::NullActivitySink sink;
+        uarch::SimpleCpu cpu(m, sink);
+        prefillEventArray(cpu, m, other, k.baseA);
+        int periods = 0;
+        cpu.setMarkCallback([&](std::int64_t id, std::uint64_t,
+                                std::uint64_t) {
+            if (id == Marks::kPeriodStart)
+                ++periods;
+            return periods < 10;
+        });
+        const auto res = cpu.run(k.program);
+        EXPECT_TRUE(res.stoppedByMark) << eventName(other);
+    }
+}
+
+TEST(Generator, CalibrationKernelHaltsWithMarks)
+{
+    const auto m = core2duo();
+    const auto prog =
+        buildCalibrationKernel(m, EventKind::ADD, 100, 200);
+    uarch::NullActivitySink sink;
+    uarch::SimpleCpu cpu(m, sink);
+    std::uint64_t begin = 0, end = 0;
+    cpu.setMarkCallback([&](std::int64_t id, std::uint64_t c,
+                            std::uint64_t) {
+        if (id == Marks::kCalibBegin)
+            begin = c;
+        if (id == Marks::kCalibEnd)
+            end = c;
+        return true;
+    });
+    const auto res = cpu.run(prog);
+    EXPECT_TRUE(res.halted);
+    EXPECT_GT(end, begin);
+}
+
+TEST(Generator, PrefillOnlyLoads)
+{
+    const auto m = core2duo();
+    uarch::NullActivitySink sink;
+    uarch::SimpleCpu cpu(m, sink);
+    prefillEventArray(cpu, m, EventKind::STM, kBaseA);
+    EXPECT_EQ(cpu.memory().pageCount(), 0u);
+    prefillEventArray(cpu, m, EventKind::LDL1, kBaseA);
+    EXPECT_GT(cpu.memory().pageCount(), 0u);
+    EXPECT_EQ(cpu.memory().readWord(kBaseA), 0x07070707u);
+}
+
+class IterationTiming : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(IterationTiming, OrderingMatchesMemoryHierarchy)
+{
+    const auto m = machineById(GetParam());
+    const double add = measureIterationCycles(m, EventKind::ADD);
+    const double noi = measureIterationCycles(m, EventKind::NOI);
+    const double ldl1 = measureIterationCycles(m, EventKind::LDL1);
+    const double ldl2 = measureIterationCycles(m, EventKind::LDL2);
+    const double ldm = measureIterationCycles(m, EventKind::LDM);
+    const double div = measureIterationCycles(m, EventKind::DIV);
+    const double stm = measureIterationCycles(m, EventKind::STM);
+
+    // Pipelined core: L1 hits are as cheap as arithmetic.
+    EXPECT_NEAR(ldl1, add, 0.5);
+    EXPECT_LT(noi, add);
+    EXPECT_GT(ldl2, add + m.l2.hitLatency / 2.0);
+    EXPECT_GT(ldm, ldl2 + 5.0);
+    EXPECT_GT(div, add + m.lat.idiv / 2.0);
+    // Stores to memory stall on write-back pressure.
+    EXPECT_GT(stm, ldm);
+}
+
+INSTANTIATE_TEST_SUITE_P(Machines, IterationTiming,
+                         ::testing::Values("core2duo", "pentium3m",
+                                           "turionx2"));
+
+TEST(SolveCounts, EqualDuration)
+{
+    const auto m = core2duo();
+    const auto s = solveCounts(m, 10.0, 100.0, Frequency::khz(80.0),
+                               PairingMode::EqualDuration);
+    // 30000-cycle period: 15000 cycles per half.
+    EXPECT_EQ(s.countA, 1500u);
+    EXPECT_EQ(s.countB, 150u);
+    EXPECT_NEAR(s.periodCycles(), 30000.0, 1.0);
+}
+
+TEST(SolveCounts, EqualCounts)
+{
+    const auto m = core2duo();
+    const auto s = solveCounts(m, 10.0, 110.0, Frequency::khz(80.0),
+                               PairingMode::EqualCounts);
+    EXPECT_EQ(s.countA, s.countB);
+    EXPECT_EQ(s.countA, 250u);
+}
+
+TEST(SolveCounts, FrequencyTooHighDies)
+{
+    const auto m = core2duo();
+    EXPECT_EXIT(solveCounts(m, 20000.0, 20000.0,
+                            Frequency::khz(80.0),
+                            PairingMode::EqualDuration),
+                ::testing::KilledBySignal(SIGABRT), "too high");
+}
+
+TEST(SolveCounts, MinimumOneIteration)
+{
+    const auto m = core2duo();
+    const auto s = solveCounts(m, 14000.0, 1.0, Frequency::khz(80.0),
+                               PairingMode::EqualDuration);
+    EXPECT_GE(s.countA, 1u);
+}
+
+} // namespace
+} // namespace savat::kernels

@@ -1,0 +1,299 @@
+/**
+ * @file
+ * Randomized property tests: the cache against a reference model,
+ * the FFT against a direct DFT, the assembler against hostile
+ * input, and end-to-end invariants of the measurement pipeline.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <map>
+#include <set>
+
+#include "core/meter.hh"
+#include "dsp/fft.hh"
+#include "isa/assembler.hh"
+#include "support/rng.hh"
+#include "support/stats.hh"
+#include "uarch/cache.hh"
+
+namespace savat {
+namespace {
+
+// ------------------------------------------------------ cache vs model
+
+/**
+ * Reference cache model: a plain map from set index to an LRU-ordered
+ * list of (tag, dirty) entries. Slow and obviously correct.
+ */
+class ReferenceCache
+{
+  public:
+    ReferenceCache(std::uint32_t sets, std::uint32_t ways,
+                   std::uint32_t line)
+        : _sets(sets), _ways(ways), _line(line)
+    {
+    }
+
+    struct Entry
+    {
+        std::uint64_t tag;
+        bool dirty;
+        std::uint64_t lastUse;
+    };
+
+    bool
+    access(std::uint64_t addr, bool write, std::uint64_t time,
+           bool &evicted_dirty)
+    {
+        evicted_dirty = false;
+        const std::uint64_t line_addr = addr / _line;
+        const std::uint64_t set = line_addr % _sets;
+        const std::uint64_t tag = line_addr / _sets;
+        auto &entries = _state[set];
+        for (auto &e : entries) {
+            if (e.tag == tag) {
+                e.lastUse = time;
+                e.dirty = e.dirty || write;
+                return true; // hit
+            }
+        }
+        if (entries.size() >= _ways) {
+            // Evict true-LRU.
+            std::size_t victim = 0;
+            for (std::size_t i = 1; i < entries.size(); ++i) {
+                if (entries[i].lastUse < entries[victim].lastUse)
+                    victim = i;
+            }
+            evicted_dirty = entries[victim].dirty;
+            entries.erase(entries.begin() +
+                          static_cast<std::ptrdiff_t>(victim));
+        }
+        entries.push_back({tag, write, time});
+        return false; // miss
+    }
+
+  private:
+    std::uint32_t _sets, _ways, _line;
+    std::map<std::uint64_t, std::vector<Entry>> _state;
+};
+
+struct CacheShape
+{
+    std::uint32_t size, ways, line;
+};
+
+class CacheAgainstModel : public ::testing::TestWithParam<CacheShape>
+{
+};
+
+TEST_P(CacheAgainstModel, RandomAccessSequenceMatches)
+{
+    const auto shape = GetParam();
+    uarch::NullActivitySink sink;
+    uarch::MainMemory mem(50, 8, sink);
+    uarch::Cache cache("L1", {shape.size, shape.ways, shape.line, 3},
+                       {uarch::MicroEvent::L1Read,
+                        uarch::MicroEvent::L1Write,
+                        uarch::MicroEvent::L1Fill,
+                        uarch::MicroEvent::L1Evict},
+                       mem, sink);
+    ReferenceCache model(shape.size / shape.line / shape.ways,
+                         shape.ways, shape.line);
+
+    Rng rng(shape.size ^ shape.ways);
+    std::uint64_t hits = 0, model_hits = 0;
+    for (std::uint64_t t = 1; t <= 20000; ++t) {
+        // Addresses clustered enough to hit sometimes.
+        const std::uint64_t addr =
+            rng.uniformInt(8 * shape.size) & ~3ull;
+        const bool write = rng.uniform() < 0.3;
+        bool evicted_dirty = false;
+        const bool model_hit =
+            model.access(addr, write, t, evicted_dirty);
+        const auto before_rh = cache.stats().readHits;
+        const auto before_wh = cache.stats().writeHits;
+        if (write)
+            cache.write(addr, t);
+        else
+            cache.read(addr, t);
+        const bool cache_hit =
+            cache.stats().readHits + cache.stats().writeHits >
+            before_rh + before_wh;
+        ASSERT_EQ(cache_hit, model_hit)
+            << "divergence at access " << t << " addr " << addr;
+        hits += cache_hit;
+        model_hits += model_hit;
+    }
+    EXPECT_EQ(hits, model_hits);
+    EXPECT_GT(hits, 100u); // the sequence actually exercised hits
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CacheAgainstModel,
+    ::testing::Values(CacheShape{1024, 2, 64},
+                      CacheShape{4096, 4, 64},
+                      CacheShape{4096, 1, 32},   // direct-mapped
+                      CacheShape{8192, 8, 128},
+                      CacheShape{512, 8, 64}));  // fully assoc. sets
+
+// ------------------------------------------------------- fft vs direct
+
+TEST(FftProperty, MatchesDirectDft)
+{
+    Rng rng(42);
+    for (int trial = 0; trial < 10; ++trial) {
+        const std::size_t n = 64;
+        std::vector<dsp::Complex> x(n);
+        for (auto &v : x)
+            v = dsp::Complex(rng.gaussian(), rng.gaussian());
+        auto fast = x;
+        dsp::fft(fast);
+        for (std::size_t k = 0; k < n; k += 7) {
+            dsp::Complex direct(0, 0);
+            for (std::size_t i = 0; i < n; ++i) {
+                const double ang = -2.0 * M_PI *
+                                   static_cast<double>(k * i) /
+                                   static_cast<double>(n);
+                direct += x[i] * dsp::Complex(std::cos(ang),
+                                              std::sin(ang));
+            }
+            EXPECT_NEAR(std::abs(fast[k] - direct), 0.0, 1e-9);
+        }
+    }
+}
+
+TEST(FftProperty, SingleBinMatchesFftOnGridFrequencies)
+{
+    Rng rng(43);
+    const std::size_t n = 256;
+    std::vector<double> x(n);
+    for (auto &v : x)
+        v = rng.gaussian();
+    std::vector<dsp::Complex> cx(n);
+    for (std::size_t i = 0; i < n; ++i)
+        cx[i] = dsp::Complex(x[i], 0.0);
+    dsp::fft(cx);
+    for (std::size_t k : {1u, 5u, 31u, 100u}) {
+        const auto direct = dsp::singleBinDft(
+            x, static_cast<double>(k) / static_cast<double>(n));
+        EXPECT_NEAR(std::abs(direct - cx[k] /
+                                          static_cast<double>(n)),
+                    0.0, 1e-9);
+    }
+}
+
+// --------------------------------------------------------- rng streams
+
+TEST(RngProperty, ForksAreUncorrelated)
+{
+    Rng parent(7);
+    auto a = parent.fork();
+    auto b = parent.fork();
+    std::vector<double> xs, ys;
+    for (int i = 0; i < 20000; ++i) {
+        xs.push_back(a.uniform());
+        ys.push_back(b.uniform());
+    }
+    EXPECT_LT(std::abs(pearson(xs, ys)), 0.03);
+}
+
+// ---------------------------------------------------- assembler fuzzing
+
+TEST(AssemblerFuzz, HostileInputNeverCrashes)
+{
+    Rng rng(1234);
+    const char *fragments[] = {
+        "mov",  "eax",  ",",     "[",     "]",    "173",
+        "0x",   "jne",  "label", ":",     ";",    "idiv",
+        "cdq",  "\t",   "  ",    "@",     "-",    "99999999999",
+        "esi",  "mark", "hlt",   "bogus", "test", "0xFFFFFFFFF",
+    };
+    for (int trial = 0; trial < 2000; ++trial) {
+        std::string src;
+        const int lines = 1 + static_cast<int>(rng.uniformInt(5));
+        for (int l = 0; l < lines; ++l) {
+            const int tokens =
+                1 + static_cast<int>(rng.uniformInt(6));
+            for (int t = 0; t < tokens; ++t) {
+                src += fragments[rng.uniformInt(
+                    sizeof(fragments) / sizeof(fragments[0]))];
+                if (rng.uniform() < 0.5)
+                    src += " ";
+            }
+            src += "\n";
+        }
+        const auto res = isa::assemble(src);
+        if (!res.ok) {
+            EXPECT_FALSE(res.error.empty());
+            EXPECT_GT(res.errorLine, 0u);
+        }
+    }
+}
+
+// -------------------------------------------- measurement invariants
+
+TEST(PipelineInvariants, SavatIsSymmetricEnough)
+{
+    // A/B and B/A use different program layouts; the paper uses
+    // their agreement as a placement-error bound. Check a couple of
+    // pairs end to end.
+    auto meter = core::SavatMeter::forMachine("core2duo");
+    auto mean = [&meter](kernels::EventKind a, kernels::EventKind b) {
+        const auto &sim = meter.simulatePair(a, b);
+        Rng rng(31);
+        RunningStats s;
+        for (int i = 0; i < 8; ++i) {
+            auto rep = rng.fork();
+            s.add(meter.measure(sim, rep).savat.inZepto());
+        }
+        return s.mean();
+    };
+    using kernels::EventKind;
+    const double ab = mean(EventKind::ADD, EventKind::LDL2);
+    const double ba = mean(EventKind::LDL2, EventKind::ADD);
+    EXPECT_NEAR(ab, ba, 0.35 * std::max(ab, ba));
+}
+
+TEST(PipelineInvariants, MoreRepetitionsTightenTheMean)
+{
+    auto meter = core::SavatMeter::forMachine("core2duo");
+    const auto &sim = meter.simulatePair(kernels::EventKind::ADD,
+                                         kernels::EventKind::LDM);
+    // Standard error of the mean shrinks ~1/sqrt(n): estimate the
+    // spread of 4-rep means vs 16-rep means.
+    auto spread_of_means = [&](int reps) {
+        RunningStats means;
+        Rng rng(17);
+        for (int trial = 0; trial < 12; ++trial) {
+            RunningStats s;
+            for (int i = 0; i < reps; ++i) {
+                auto rep = rng.fork();
+                s.add(meter.measure(sim, rep).savat.inZepto());
+            }
+            means.add(s.mean());
+        }
+        return means.stddev();
+    };
+    EXPECT_LT(spread_of_means(16), spread_of_means(2));
+}
+
+TEST(PipelineInvariants, BandPowerDominatedByTone)
+{
+    // For a strong pair, at least half the measured band power must
+    // come from the alternation tone (not noise or interferers).
+    auto meter = core::SavatMeter::forMachine("core2duo");
+    const auto &sim = meter.simulatePair(kernels::EventKind::ADD,
+                                         kernels::EventKind::LDM);
+    Rng rng(3);
+    const auto m = meter.measure(sim, rng);
+    const double out_of_band =
+        m.trace.bandPower(78000.0, 79000.0) +
+        m.trace.bandPower(81000.0, 82000.0);
+    EXPECT_GT(m.bandPowerW, 5.0 * out_of_band);
+}
+
+} // namespace
+} // namespace savat

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Unit tests for the spectrum-analyzer model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "spectrum/analyzer.hh"
+
+namespace savat::spectrum {
+namespace {
+
+em::NarrowbandSpectrum
+flatIncident(double psd, double start = 78000.0, std::size_t n = 4001)
+{
+    em::NarrowbandSpectrum s;
+    s.startHz = start;
+    s.binHz = 1.0;
+    s.psd.assign(n, psd);
+    return s;
+}
+
+SweepConfig
+defaultSweep()
+{
+    SweepConfig cfg;
+    cfg.center = Frequency::khz(80.0);
+    cfg.spanHz = 4000.0;
+    cfg.rbwHz = 1.0;
+    cfg.noiseFloorWPerHz = 5e-18;
+    return cfg;
+}
+
+TEST(Trace, BandPowerIntegration)
+{
+    Trace t;
+    t.startHz = 0.0;
+    t.binHz = 2.0;
+    t.psd.assign(50, 3.0);
+    EXPECT_NEAR(t.bandPower(10.0, 20.0), 30.0, 1e-9);
+}
+
+TEST(Trace, PeakSearch)
+{
+    Trace t;
+    t.startHz = 100.0;
+    t.binHz = 1.0;
+    t.psd.assign(100, 1.0);
+    t.psd[40] = 9.0;
+    EXPECT_DOUBLE_EQ(t.peakFrequency(100.0, 199.0), 140.0);
+    EXPECT_DOUBLE_EQ(t.peakPsd(100.0, 199.0), 9.0);
+    EXPECT_DOUBLE_EQ(t.peakPsd(150.0, 199.0), 1.0);
+}
+
+TEST(Analyzer, ConfigValidation)
+{
+    SweepConfig bad = defaultSweep();
+    bad.rbwHz = 0.0;
+    EXPECT_EXIT(SpectrumAnalyzer{bad},
+                ::testing::KilledBySignal(SIGABRT), "RBW");
+}
+
+TEST(Analyzer, FlatPsdPreserved)
+{
+    SpectrumAnalyzer analyzer(defaultSweep());
+    const auto incident = flatIncident(1e-15);
+    Rng rng(1);
+    const auto trace = analyzer.measure(incident, rng);
+    // Mean displayed level should track the incident level (noise
+    // floor is 1000x below).
+    double mean = 0.0;
+    for (double v : trace.psd)
+        mean += v;
+    mean /= static_cast<double>(trace.size());
+    EXPECT_NEAR(mean, 1e-15, 0.05e-15);
+}
+
+TEST(Analyzer, NoiseFloorLevel)
+{
+    SpectrumAnalyzer analyzer(defaultSweep());
+    const auto incident = flatIncident(0.0);
+    Rng rng(2);
+    const auto trace = analyzer.measure(incident, rng);
+    double mean = 0.0;
+    for (double v : trace.psd)
+        mean += v;
+    mean /= static_cast<double>(trace.size());
+    // Exponential noise around the configured DANL.
+    EXPECT_NEAR(mean, 5e-18, 1e-18);
+}
+
+TEST(Analyzer, TonePowerConservedThroughRbw)
+{
+    SpectrumAnalyzer analyzer(defaultSweep());
+    auto incident = flatIncident(0.0);
+    incident.psd[incident.binFor(80000.0)] = 2e-13; // 2e-13 W tone
+    Rng rng(3);
+    const auto trace = analyzer.measure(incident, rng);
+    const double band = trace.bandPower(79900.0, 80100.0);
+    EXPECT_NEAR(band, 2e-13, 0.1e-13);
+}
+
+TEST(Analyzer, WideRbwSpreadsTone)
+{
+    auto cfg = defaultSweep();
+    cfg.rbwHz = 30.0;
+    SpectrumAnalyzer analyzer(cfg);
+    auto incident = flatIncident(0.0);
+    incident.psd[incident.binFor(80000.0)] = 1e-13;
+    Rng rng(4);
+    const auto trace = analyzer.measure(incident, rng);
+    // The displayed peak is lower and wider than with 1 Hz RBW but
+    // the integrated power stays put.
+    const double band = trace.bandPower(79500.0, 80500.0);
+    EXPECT_NEAR(band, 1e-13, 0.15e-13);
+    const auto peak = trace.peakPsd(79900.0, 80100.0);
+    EXPECT_LT(peak, 1e-13);
+    EXPECT_GT(trace.peakPsd(80010.0, 80040.0), 1e-16);
+}
+
+TEST(Analyzer, TraceCoversSpan)
+{
+    SpectrumAnalyzer analyzer(defaultSweep());
+    const auto incident = flatIncident(1e-17);
+    Rng rng(5);
+    const auto trace = analyzer.measure(incident, rng);
+    EXPECT_NEAR(trace.startHz, 78000.0, 1e-9);
+    EXPECT_NEAR(trace.frequency(trace.size() - 1), 82000.0, 1.0);
+}
+
+} // namespace
+} // namespace savat::spectrum

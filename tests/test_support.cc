@@ -1,0 +1,397 @@
+/**
+ * @file
+ * Unit tests for the support module: units, RNG, statistics, strings
+ * and table rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "support/rng.hh"
+#include "support/stats.hh"
+#include "support/strings.hh"
+#include "support/table.hh"
+#include "support/units.hh"
+
+namespace savat {
+namespace {
+
+// --------------------------------------------------------------- units
+
+TEST(Units, FrequencyConversions)
+{
+    const auto f = Frequency::khz(80.0);
+    EXPECT_DOUBLE_EQ(f.inHz(), 80000.0);
+    EXPECT_DOUBLE_EQ(f.inKhz(), 80.0);
+    EXPECT_DOUBLE_EQ(f.inMhz(), 0.08);
+    EXPECT_DOUBLE_EQ(Frequency::ghz(2.4).inHz(), 2.4e9);
+    EXPECT_DOUBLE_EQ(f.periodSeconds(), 1.0 / 80000.0);
+}
+
+TEST(Units, DurationConversions)
+{
+    EXPECT_DOUBLE_EQ(Duration::millis(2.0).inSeconds(), 0.002);
+    EXPECT_DOUBLE_EQ(Duration::micros(5.0).inNanos(), 5000.0);
+    EXPECT_DOUBLE_EQ(Duration::nanos(1.0).inSeconds(), 1e-9);
+}
+
+TEST(Units, PowerDbm)
+{
+    EXPECT_NEAR(Power::milliwatts(1.0).inDbm(), 0.0, 1e-12);
+    EXPECT_NEAR(Power::fromDbm(30.0).inWatts(), 1.0, 1e-12);
+    EXPECT_NEAR(Power::fromDbm(-30.0).inWatts(), 1e-6, 1e-18);
+}
+
+TEST(Units, EnergyZepto)
+{
+    const auto e = Energy::zepto(4.2);
+    EXPECT_NEAR(e.inJoules(), 4.2e-21, 1e-30);
+    EXPECT_NEAR(e.inZepto(), 4.2, 1e-12);
+    EXPECT_NEAR(Energy::femto(1.0).inZepto(), 1e6, 1e-3);
+}
+
+TEST(Units, ArithmeticAndComparison)
+{
+    const auto a = Frequency::khz(10.0);
+    const auto b = Frequency::khz(30.0);
+    EXPECT_DOUBLE_EQ((a + b).inKhz(), 40.0);
+    EXPECT_DOUBLE_EQ((b - a).inKhz(), 20.0);
+    EXPECT_DOUBLE_EQ((a * 3.0).inKhz(), 30.0);
+    EXPECT_DOUBLE_EQ((b / 3.0).inKhz(), 10.0);
+    EXPECT_DOUBLE_EQ(b / a, 3.0);
+    EXPECT_LT(a, b);
+    EXPECT_EQ(a, Frequency::hz(10000.0));
+}
+
+TEST(Units, PowerTimesDurationIsEnergy)
+{
+    const Energy e = Power::watts(2.0) * Duration::seconds(3.0);
+    EXPECT_DOUBLE_EQ(e.inJoules(), 6.0);
+    const Power p = Energy::joules(6.0) / Duration::seconds(3.0);
+    EXPECT_DOUBLE_EQ(p.inWatts(), 2.0);
+}
+
+TEST(Units, WavelengthAndDb)
+{
+    EXPECT_NEAR(wavelength(Frequency::mhz(300.0)).inMeters(), 1.0,
+                1e-3);
+    EXPECT_NEAR(toDb(100.0), 20.0, 1e-12);
+    EXPECT_NEAR(fromDb(-3.0), 0.501187, 1e-5);
+}
+
+// ----------------------------------------------------------------- rng
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMoments)
+{
+    Rng rng(99);
+    RunningStats s;
+    for (int i = 0; i < 100000; ++i)
+        s.add(rng.uniform());
+    EXPECT_NEAR(s.mean(), 0.5, 0.01);
+    EXPECT_NEAR(s.variance(), 1.0 / 12.0, 0.005);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(123);
+    RunningStats s;
+    for (int i = 0; i < 100000; ++i)
+        s.add(rng.gaussian());
+    EXPECT_NEAR(s.mean(), 0.0, 0.02);
+    EXPECT_NEAR(s.stddev(), 1.0, 0.02);
+}
+
+TEST(Rng, GaussianScaled)
+{
+    Rng rng(5);
+    RunningStats s;
+    for (int i = 0; i < 50000; ++i)
+        s.add(rng.gaussian(10.0, 2.0));
+    EXPECT_NEAR(s.mean(), 10.0, 0.05);
+    EXPECT_NEAR(s.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, UniformIntBounds)
+{
+    Rng rng(11);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = rng.uniformInt(7);
+        EXPECT_LT(v, 7u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, ForkIndependence)
+{
+    Rng parent(42);
+    Rng child = parent.fork();
+    // Child stream should not simply mirror the parent's.
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (parent.next() == child.next())
+            ++same;
+    }
+    EXPECT_EQ(same, 0);
+}
+
+// --------------------------------------------------------------- stats
+
+TEST(Stats, RunningBasic)
+{
+    RunningStats s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Stats, RunningEmptyAndSingle)
+{
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    s.add(3.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Stats, CoefficientOfVariation)
+{
+    RunningStats s;
+    s.add(10.0);
+    s.add(10.0);
+    EXPECT_DOUBLE_EQ(s.coefficientOfVariation(), 0.0);
+    s.add(13.0);
+    EXPECT_GT(s.coefficientOfVariation(), 0.0);
+}
+
+TEST(Stats, Median)
+{
+    EXPECT_DOUBLE_EQ(median({}), 0.0);
+    EXPECT_DOUBLE_EQ(median({5.0}), 5.0);
+    EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+    EXPECT_DOUBLE_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);
+}
+
+TEST(Stats, Summarize)
+{
+    const auto s = summarize({1.0, 2.0, 3.0, 4.0});
+    EXPECT_EQ(s.count, 4u);
+    EXPECT_DOUBLE_EQ(s.mean, 2.5);
+    EXPECT_DOUBLE_EQ(s.median, 2.5);
+    EXPECT_DOUBLE_EQ(s.min, 1.0);
+    EXPECT_DOUBLE_EQ(s.max, 4.0);
+}
+
+TEST(Stats, PearsonPerfect)
+{
+    EXPECT_NEAR(pearson({1, 2, 3, 4}, {2, 4, 6, 8}), 1.0, 1e-12);
+    EXPECT_NEAR(pearson({1, 2, 3, 4}, {8, 6, 4, 2}), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonUncorrelated)
+{
+    Rng rng(3);
+    std::vector<double> a, b;
+    for (int i = 0; i < 10000; ++i) {
+        a.push_back(rng.gaussian());
+        b.push_back(rng.gaussian());
+    }
+    EXPECT_NEAR(pearson(a, b), 0.0, 0.05);
+}
+
+TEST(Stats, PearsonDegenerate)
+{
+    EXPECT_DOUBLE_EQ(pearson({1, 1, 1}, {2, 3, 4}), 0.0);
+    EXPECT_DOUBLE_EQ(pearson({1}, {2}), 0.0);
+}
+
+TEST(Stats, RanksWithTies)
+{
+    const auto r = ranks({10.0, 20.0, 20.0, 30.0});
+    ASSERT_EQ(r.size(), 4u);
+    EXPECT_DOUBLE_EQ(r[0], 1.0);
+    EXPECT_DOUBLE_EQ(r[1], 2.5);
+    EXPECT_DOUBLE_EQ(r[2], 2.5);
+    EXPECT_DOUBLE_EQ(r[3], 4.0);
+}
+
+TEST(Stats, SpearmanMonotonic)
+{
+    // Any monotonic transform gives rank correlation 1.
+    std::vector<double> a{1, 2, 3, 4, 5};
+    std::vector<double> b{1, 4, 9, 16, 25};
+    EXPECT_NEAR(spearman(a, b), 1.0, 1e-12);
+    std::vector<double> c{25, 16, 9, 4, 1};
+    EXPECT_NEAR(spearman(a, c), -1.0, 1e-12);
+}
+
+// ------------------------------------------------------------- strings
+
+TEST(Strings, Trim)
+{
+    EXPECT_EQ(trim("  abc  "), "abc");
+    EXPECT_EQ(trim("abc"), "abc");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("\t a b \n"), "a b");
+}
+
+TEST(Strings, ToLower)
+{
+    EXPECT_EQ(toLower("MoV EAX"), "mov eax");
+}
+
+TEST(Strings, Split)
+{
+    const auto parts = split("a,b,,c", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[2], "");
+    EXPECT_EQ(split("", ',').size(), 1u);
+}
+
+TEST(Strings, SplitWhitespace)
+{
+    const auto parts = splitWhitespace("  mov   eax,\t[esi]  ");
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "mov");
+    EXPECT_EQ(parts[1], "eax,");
+    EXPECT_EQ(parts[2], "[esi]");
+    EXPECT_TRUE(splitWhitespace("   ").empty());
+}
+
+TEST(Strings, StartsEndsWith)
+{
+    EXPECT_TRUE(startsWith("mov eax", "mov"));
+    EXPECT_FALSE(startsWith("mov", "move"));
+    EXPECT_TRUE(endsWith("a_loop", "loop"));
+    EXPECT_FALSE(endsWith("x", "loop"));
+}
+
+TEST(Strings, ParseInt)
+{
+    long long v = 0;
+    EXPECT_TRUE(parseInt("173", v));
+    EXPECT_EQ(v, 173);
+    EXPECT_TRUE(parseInt("-5", v));
+    EXPECT_EQ(v, -5);
+    EXPECT_TRUE(parseInt("0xFF", v));
+    EXPECT_EQ(v, 255);
+    EXPECT_TRUE(parseInt("0xFFFFFFFF", v));
+    EXPECT_EQ(v, 4294967295ll);
+    EXPECT_TRUE(parseInt("  42 ", v));
+    EXPECT_EQ(v, 42);
+    EXPECT_FALSE(parseInt("abc", v));
+    EXPECT_FALSE(parseInt("", v));
+    EXPECT_FALSE(parseInt("12x", v));
+}
+
+TEST(Strings, Format)
+{
+    EXPECT_EQ(format("%d-%s", 7, "x"), "7-x");
+    EXPECT_EQ(format("%.2f", 1.239), "1.24");
+}
+
+// --------------------------------------------------------------- table
+
+TEST(Table, RenderAligned)
+{
+    TextTable t;
+    t.setHeader({"name", "value"});
+    t.startRow();
+    t.addCell("alpha");
+    t.addCell(1.5, 1);
+    t.startRow();
+    t.addCell("b");
+    t.addCell(12.26, 1);
+    std::ostringstream oss;
+    t.render(oss);
+    const auto out = oss.str();
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("12.3"), std::string::npos);
+    EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(Table, CsvEscaping)
+{
+    TextTable t;
+    t.setHeader({"a", "b"});
+    t.startRow();
+    t.addCell("has,comma");
+    t.addCell("has\"quote");
+    std::ostringstream oss;
+    t.renderCsv(oss);
+    const auto out = oss.str();
+    EXPECT_NE(out.find("\"has,comma\""), std::string::npos);
+    EXPECT_NE(out.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, Heatmap)
+{
+    const auto map = asciiHeatmap({"A", "B"}, {{0.0, 1.0}, {2.0, 3.0}});
+    EXPECT_NE(map.find('A'), std::string::npos);
+    EXPECT_NE(map.find('@'), std::string::npos); // darkest shade
+    EXPECT_NE(map.find(' '), std::string::npos); // lightest shade
+}
+
+TEST(Table, HeatmapConstantMatrix)
+{
+    // A constant matrix must not divide by zero.
+    const auto map = asciiHeatmap({"A"}, {{5.0}});
+    EXPECT_FALSE(map.empty());
+}
+
+TEST(Table, BarChart)
+{
+    const auto chart =
+        asciiBarChart({"x/y", "z/w"}, {1.0, 2.0}, 10);
+    EXPECT_NE(chart.find("##########"), std::string::npos);
+    EXPECT_NE(chart.find("#####"), std::string::npos);
+    EXPECT_NE(chart.find("x/y"), std::string::npos);
+}
+
+TEST(Table, BarChartAllZero)
+{
+    const auto chart = asciiBarChart({"a"}, {0.0});
+    EXPECT_NE(chart.find("0.00"), std::string::npos);
+}
+
+} // namespace
+} // namespace savat

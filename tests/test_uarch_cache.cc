@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Unit tests for the cache timing model: placement, LRU, write-back,
+ * write-allocate, dirty-eviction penalties and the two-level stack.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "uarch/cache.hh"
+
+namespace savat::uarch {
+namespace {
+
+constexpr CacheLevelEvents kL1Events = {
+    MicroEvent::L1Read, MicroEvent::L1Write, MicroEvent::L1Fill,
+    MicroEvent::L1Evict};
+constexpr CacheLevelEvents kL2Events = {
+    MicroEvent::L2Read, MicroEvent::L2Write, MicroEvent::L2Fill,
+    MicroEvent::L2Evict};
+
+/** Small single-level fixture over main memory. */
+class SmallCache : public ::testing::Test
+{
+  protected:
+    // 4 sets x 2 ways x 64 B lines = 512 B.
+    SmallCache()
+        : mem(50, 8, trace),
+          cache("L1", {512, 2, 64, 3, 7}, kL1Events, mem, trace)
+    {
+    }
+
+    ActivityTrace trace;
+    MainMemory mem;
+    Cache cache;
+};
+
+TEST(CacheGeometry, Validation)
+{
+    EXPECT_TRUE((CacheGeometry{512, 2, 64, 1}).valid());
+    EXPECT_TRUE((CacheGeometry{32 * 1024, 8, 64, 3}).valid());
+    EXPECT_FALSE((CacheGeometry{0, 2, 64, 1}).valid());
+    EXPECT_FALSE((CacheGeometry{512, 0, 64, 1}).valid());
+    EXPECT_FALSE((CacheGeometry{512, 2, 48, 1}).valid()); // line !pow2
+    EXPECT_FALSE((CacheGeometry{500, 2, 64, 1}).valid()); // not divisible
+    // 3 sets: not a power of two.
+    EXPECT_FALSE((CacheGeometry{3 * 2 * 64, 2, 64, 1}).valid());
+}
+
+TEST(CacheGeometry, DerivedCounts)
+{
+    const CacheGeometry g{32 * 1024, 8, 64, 3};
+    EXPECT_EQ(g.numLines(), 512u);
+    EXPECT_EQ(g.numSets(), 64u);
+}
+
+TEST_F(SmallCache, ColdMissThenHit)
+{
+    const auto miss_lat = cache.read(0x1000, 0);
+    EXPECT_EQ(miss_lat, 3u + 50u);
+    EXPECT_EQ(cache.stats().readMisses, 1u);
+    const auto hit_lat = cache.read(0x1000, 100);
+    EXPECT_EQ(hit_lat, 3u);
+    EXPECT_EQ(cache.stats().readHits, 1u);
+    EXPECT_TRUE(cache.contains(0x1000));
+}
+
+TEST_F(SmallCache, SameLineDifferentWord)
+{
+    cache.read(0x1000, 0);
+    EXPECT_EQ(cache.read(0x103C, 100), 3u); // same 64 B line
+}
+
+TEST_F(SmallCache, LruEviction)
+{
+    // Three lines mapping to the same set (set stride = 4 lines).
+    const std::uint64_t a = 0 * 64;
+    const std::uint64_t b = 4 * 64;
+    const std::uint64_t c = 8 * 64;
+    cache.read(a, 0);
+    cache.read(b, 10);
+    cache.read(a, 20); // refresh a
+    cache.read(c, 30); // evicts b (LRU)
+    EXPECT_TRUE(cache.contains(a));
+    EXPECT_FALSE(cache.contains(b));
+    EXPECT_TRUE(cache.contains(c));
+}
+
+TEST_F(SmallCache, WriteAllocateAndDirty)
+{
+    EXPECT_EQ(cache.write(0x2000, 0), 3u + 50u);
+    EXPECT_EQ(cache.stats().writeMisses, 1u);
+    EXPECT_TRUE(cache.isDirty(0x2000));
+    EXPECT_EQ(cache.write(0x2000, 100), 3u);
+    EXPECT_EQ(cache.stats().writeHits, 1u);
+}
+
+TEST_F(SmallCache, DirtyEvictionWritesBack)
+{
+    const std::uint64_t a = 0 * 64;
+    const std::uint64_t b = 4 * 64;
+    const std::uint64_t c = 8 * 64;
+    cache.write(a, 0);
+    cache.read(b, 10);
+    cache.read(c, 20); // evicts dirty a
+    EXPECT_EQ(cache.stats().writebacksOut, 1u);
+    EXPECT_EQ(mem.stats().writes, 1u);
+    EXPECT_FALSE(cache.contains(a));
+}
+
+TEST_F(SmallCache, DirtyEvictPenaltyCharged)
+{
+    const std::uint64_t a = 0 * 64;
+    const std::uint64_t b = 4 * 64;
+    const std::uint64_t c = 8 * 64;
+    cache.write(a, 0);
+    cache.write(b, 10);
+    // Miss evicting dirty a: penalty 7 on top of probe + memory.
+    const auto lat = cache.read(c, 20);
+    EXPECT_EQ(lat, 3u + 50u + 7u);
+}
+
+TEST_F(SmallCache, CleanEvictionNoWriteback)
+{
+    cache.read(0 * 64, 0);
+    cache.read(4 * 64, 10);
+    cache.read(8 * 64, 20); // evicts clean line
+    EXPECT_EQ(cache.stats().writebacksOut, 0u);
+    EXPECT_EQ(mem.stats().writes, 0u);
+}
+
+TEST_F(SmallCache, FlushAll)
+{
+    cache.write(0x1000, 0);
+    cache.flushAll();
+    EXPECT_FALSE(cache.contains(0x1000));
+    EXPECT_FALSE(cache.isDirty(0x1000));
+}
+
+TEST_F(SmallCache, StatsAccumulateAndClear)
+{
+    cache.read(0, 0);
+    cache.read(0, 10);
+    cache.write(64, 20);
+    EXPECT_EQ(cache.stats().reads(), 2u);
+    EXPECT_EQ(cache.stats().writes(), 1u);
+    EXPECT_NEAR(cache.stats().missRate(), 2.0 / 3.0, 1e-12);
+    cache.clearStats();
+    EXPECT_EQ(cache.stats().reads(), 0u);
+}
+
+TEST_F(SmallCache, ActivityEventsEmitted)
+{
+    cache.read(0x1000, 0);  // miss -> fill
+    cache.read(0x1000, 10); // hit -> read
+    const auto counts = trace.eventCounts();
+    EXPECT_EQ(counts[static_cast<std::size_t>(MicroEvent::L1Fill)], 1u);
+    EXPECT_EQ(counts[static_cast<std::size_t>(MicroEvent::L1Read)], 1u);
+}
+
+/** Two-level fixture. */
+class TwoLevel : public ::testing::Test
+{
+  protected:
+    // L1: 2 sets x 2 ways (256 B); L2: 8 sets x 2 ways (1 KiB).
+    TwoLevel()
+        : mem(50, 8, trace),
+          l2("L2", {1024, 2, 64, 5, 9}, kL2Events, mem, trace),
+          l1("L1", {256, 2, 64, 2, 3}, kL1Events, l2, trace)
+    {
+    }
+
+    ActivityTrace trace;
+    MainMemory mem;
+    Cache l2;
+    Cache l1;
+};
+
+TEST_F(TwoLevel, MissFillsBothLevels)
+{
+    const auto lat = l1.read(0x4000, 0);
+    EXPECT_EQ(lat, 2u + 5u + 50u);
+    EXPECT_TRUE(l1.contains(0x4000));
+    EXPECT_TRUE(l2.contains(0x4000));
+}
+
+TEST_F(TwoLevel, L2HitServicesL1Miss)
+{
+    l1.read(0x4000, 0);
+    // Evict from tiny L1 without touching L2's set.
+    l1.read(0x4000 + 2 * 64, 100);
+    l1.read(0x4000 + 4 * 64, 200);
+    EXPECT_FALSE(l1.contains(0x4000));
+    EXPECT_TRUE(l2.contains(0x4000));
+    const auto lat = l1.read(0x4000, 300);
+    EXPECT_EQ(lat, 2u + 5u);
+    EXPECT_EQ(mem.stats().reads, 3u); // no new memory read
+}
+
+TEST_F(TwoLevel, WritebackFromL1HitsL2)
+{
+    l1.write(0x4000, 0);
+    // Force the dirty line out of L1.
+    l1.read(0x4000 + 2 * 64, 100);
+    l1.read(0x4000 + 4 * 64, 200);
+    EXPECT_EQ(l2.stats().writebacksIn, 1u);
+    EXPECT_TRUE(l2.isDirty(0x4000));
+    // Nothing reached memory yet.
+    EXPECT_EQ(mem.stats().writes, 0u);
+}
+
+TEST_F(TwoLevel, WritebackMissAllocatesInL2)
+{
+    // An L2 write-back for a line L2 no longer holds must allocate
+    // without a memory fetch.
+    l2.writeback(0x8000, 0);
+    EXPECT_TRUE(l2.contains(0x8000));
+    EXPECT_TRUE(l2.isDirty(0x8000));
+    EXPECT_EQ(mem.stats().reads, 0u);
+}
+
+TEST_F(TwoLevel, DirtyChainReachesMemory)
+{
+    // Write enough distinct lines to push dirty data through both
+    // levels into memory.
+    for (int i = 0; i < 64; ++i)
+        l1.write(0x10000ull + static_cast<std::uint64_t>(i) * 64, i * 10);
+    EXPECT_GT(l2.stats().writebacksIn, 0u);
+    EXPECT_GT(mem.stats().writes, 0u);
+}
+
+/** Parameterized sweep: footprint vs hit behaviour. */
+struct SweepCase
+{
+    std::uint32_t footprintLines;
+    bool expectL1Resident;
+};
+
+class SweepResidency : public ::testing::TestWithParam<SweepCase>
+{
+};
+
+TEST_P(SweepResidency, SteadyStateHitRate)
+{
+    NullActivitySink sink;
+    MainMemory mem(50, 8, sink);
+    // L1: 64 sets x 8 ways x 64 B = 32 KiB (Core 2 Duo shape).
+    Cache l1("L1", {32 * 1024, 8, 64, 3}, kL1Events, mem, sink);
+
+    const auto lines = GetParam().footprintLines;
+    // Two warm sweeps, then measure one. Access times must be
+    // monotonic across sweeps (LRU compares them).
+    std::uint64_t t = 0;
+    for (int sweep = 0; sweep < 2; ++sweep)
+        for (std::uint32_t i = 0; i < lines; ++i)
+            l1.read(static_cast<std::uint64_t>(i) * 64, t += 4);
+    l1.clearStats();
+    for (std::uint32_t i = 0; i < lines; ++i)
+        l1.read(static_cast<std::uint64_t>(i) * 64, t += 4);
+
+    if (GetParam().expectL1Resident) {
+        EXPECT_EQ(l1.stats().readMisses, 0u);
+    } else {
+        EXPECT_EQ(l1.stats().readHits, 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Footprints, SweepResidency,
+    ::testing::Values(SweepCase{64, true},    // 4 KiB fits
+                      SweepCase{256, true},   // 16 KiB fits
+                      SweepCase{512, true},   // exactly 32 KiB fits
+                      SweepCase{1024, false}, // 64 KiB thrashes (LRU)
+                      SweepCase{4096, false}));
+
+} // namespace
+} // namespace savat::uarch

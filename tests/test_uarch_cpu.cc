@@ -1,0 +1,366 @@
+/**
+ * @file
+ * Unit tests for the timing CPU: instruction semantics, flags,
+ * memory access, timing models, marks and run limits.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hh"
+#include "uarch/cpu.hh"
+
+namespace savat::uarch {
+namespace {
+
+using isa::Reg;
+
+/** Fixture with a Core 2 Duo shaped CPU and a recording trace. */
+class CpuTest : public ::testing::Test
+{
+  protected:
+    CpuTest() : cpu(core2duo(), trace) {}
+
+    RunResult
+    runAsm(const std::string &src)
+    {
+        program = isa::assembleOrDie(src, "test");
+        return cpu.run(program);
+    }
+
+    ActivityTrace trace;
+    SimpleCpu cpu;
+    isa::Program program;
+};
+
+TEST_F(CpuTest, MovRegImmAndRegReg)
+{
+    runAsm("mov eax,42\nmov ebx,eax\nhlt\n");
+    EXPECT_EQ(cpu.reg(Reg::Eax), 42u);
+    EXPECT_EQ(cpu.reg(Reg::Ebx), 42u);
+}
+
+TEST_F(CpuTest, Arithmetic)
+{
+    runAsm("mov eax,10\n"
+           "add eax,5\n"
+           "sub eax,3\n"
+           "imul eax,4\n"
+           "hlt\n");
+    EXPECT_EQ(cpu.reg(Reg::Eax), 48u);
+}
+
+TEST_F(CpuTest, ArithmeticWraps)
+{
+    runAsm("mov eax,0xFFFFFFFF\nadd eax,2\nhlt\n");
+    EXPECT_EQ(cpu.reg(Reg::Eax), 1u);
+}
+
+TEST_F(CpuTest, Logic)
+{
+    runAsm("mov eax,0xF0F0\n"
+           "and eax,0xFF00\n"
+           "or eax,0x000F\n"
+           "xor eax,0x0001\n"
+           "hlt\n");
+    EXPECT_EQ(cpu.reg(Reg::Eax), 0xF00Eu);
+}
+
+TEST_F(CpuTest, SignedMultiply)
+{
+    runAsm("mov eax,0xFFFFFFFF\nimul eax,173\nhlt\n"); // -1 * 173
+    EXPECT_EQ(static_cast<std::int32_t>(cpu.reg(Reg::Eax)), -173);
+}
+
+TEST_F(CpuTest, DivideSelfIsStable)
+{
+    // idiv eax computes eax/eax = 1 rem 0 (the DIV kernel's pattern).
+    runAsm("mov eax,7\nmov edx,0\nidiv eax\nhlt\n");
+    EXPECT_EQ(cpu.reg(Reg::Eax), 1u);
+    EXPECT_EQ(cpu.reg(Reg::Edx), 0u);
+}
+
+TEST_F(CpuTest, DivideWithRemainder)
+{
+    runAsm("mov eax,17\nmov edx,0\nmov ebx,5\nidiv ebx\nhlt\n");
+    EXPECT_EQ(cpu.reg(Reg::Eax), 3u);
+    EXPECT_EQ(cpu.reg(Reg::Edx), 2u);
+}
+
+TEST_F(CpuTest, CdqSignExtends)
+{
+    runAsm("mov eax,0x80000000\ncdq\nhlt\n");
+    EXPECT_EQ(cpu.reg(Reg::Edx), 0xFFFFFFFFu);
+    cpu.reset();
+    runAsm("mov eax,5\nmov edx,0xFFFFFFFF\ncdq\nhlt\n");
+    EXPECT_EQ(cpu.reg(Reg::Edx), 0u);
+}
+
+TEST_F(CpuTest, NegativeDivideAfterCdq)
+{
+    // -17 / 5 truncates toward zero: -3 rem -2.
+    runAsm("mov eax,0xFFFFFFEF\ncdq\nmov ebx,5\nidiv ebx\nhlt\n");
+    EXPECT_EQ(static_cast<std::int32_t>(cpu.reg(Reg::Eax)), -3);
+    EXPECT_EQ(static_cast<std::int32_t>(cpu.reg(Reg::Edx)), -2);
+}
+
+TEST_F(CpuTest, IncDecAndZeroFlag)
+{
+    runAsm("mov ecx,2\ndec ecx\nhlt\n");
+    EXPECT_FALSE(cpu.zeroFlag());
+    cpu.reset();
+    runAsm("mov ecx,1\ndec ecx\nhlt\n");
+    EXPECT_TRUE(cpu.zeroFlag());
+}
+
+TEST_F(CpuTest, CmpAndConditionalBranch)
+{
+    runAsm("mov ecx,3\n"
+           "mov eax,0\n"
+           "loop: add eax,10\n"
+           "dec ecx\n"
+           "jne loop\n"
+           "hlt\n");
+    EXPECT_EQ(cpu.reg(Reg::Eax), 30u);
+}
+
+TEST_F(CpuTest, JeBranch)
+{
+    runAsm("mov eax,5\n"
+           "cmp eax,5\n"
+           "je equal\n"
+           "mov ebx,1\n"
+           "hlt\n"
+           "equal: mov ebx,2\n"
+           "hlt\n");
+    EXPECT_EQ(cpu.reg(Reg::Ebx), 2u);
+}
+
+TEST_F(CpuTest, TestSetsFlag)
+{
+    runAsm("mov eax,0xF0\ntest eax,0x0F\nhlt\n");
+    EXPECT_TRUE(cpu.zeroFlag());
+}
+
+TEST_F(CpuTest, LoadStore)
+{
+    runAsm("mov esi,0x1000\n"
+           "mov [esi],0xDEADBEEF\n"
+           "mov eax,[esi]\n"
+           "hlt\n");
+    EXPECT_EQ(cpu.reg(Reg::Eax), 0xDEADBEEFu);
+    EXPECT_EQ(cpu.memory().readWord(0x1000), 0xDEADBEEFu);
+}
+
+TEST_F(CpuTest, StoreRegisterOperand)
+{
+    runAsm("mov esi,0x2000\nmov ebx,77\nmov [esi],ebx\nhlt\n");
+    EXPECT_EQ(cpu.memory().readWord(0x2000), 77u);
+}
+
+TEST_F(CpuTest, FallOffEndHalts)
+{
+    const auto res = runAsm("mov eax,1\n");
+    EXPECT_TRUE(res.halted);
+    EXPECT_EQ(res.instructions, 1u);
+}
+
+TEST_F(CpuTest, MaxInstructionLimit)
+{
+    program = isa::assembleOrDie("top: add eax,1\njmp top\n", "spin");
+    RunLimits limits;
+    limits.maxInstructions = 100;
+    const auto res = cpu.run(program, limits);
+    EXPECT_FALSE(res.halted);
+    EXPECT_EQ(res.instructions, 100u);
+}
+
+TEST_F(CpuTest, MaxCycleLimit)
+{
+    program = isa::assembleOrDie("top: add eax,1\njmp top\n", "spin");
+    RunLimits limits;
+    limits.maxCycles = 50;
+    const auto res = cpu.run(program, limits);
+    EXPECT_FALSE(res.halted);
+    EXPECT_GE(res.cycles, 50u);
+    EXPECT_LT(res.cycles, 60u);
+}
+
+TEST_F(CpuTest, MarksReportCycleAndCanStop)
+{
+    std::vector<std::int64_t> ids;
+    cpu.setMarkCallback([&](std::int64_t id, std::uint64_t,
+                            std::uint64_t) {
+        ids.push_back(id);
+        return id != 3;
+    });
+    const auto res = runAsm(
+        "mark 1\nadd eax,1\nmark 2\nmark 3\nadd eax,1\nhlt\n");
+    EXPECT_TRUE(res.stoppedByMark);
+    EXPECT_FALSE(res.halted);
+    ASSERT_EQ(ids.size(), 3u);
+    EXPECT_EQ(cpu.reg(Reg::Eax), 1u); // second add never ran
+}
+
+TEST_F(CpuTest, MarksAreFree)
+{
+    const auto res1 = runAsm("mark 1\nmark 2\nadd eax,1\nhlt\n");
+    cpu.reset();
+    const auto res2 = runAsm("add eax,1\nhlt\n");
+    EXPECT_EQ(res1.cycles, res2.cycles);
+}
+
+TEST_F(CpuTest, PipelinedHidesAluLatency)
+{
+    // 5 ALU ops = 5 cycles on the pipelined model.
+    const auto res = runAsm(
+        "add eax,1\nadd eax,1\nadd eax,1\nadd eax,1\nadd eax,1\n"
+        "hlt\n");
+    EXPECT_EQ(res.cycles, 6u); // 5 + hlt
+}
+
+TEST_F(CpuTest, PipelinedL1HitIsSingleCycle)
+{
+    // Warm the line first.
+    runAsm("mov esi,0x1000\nmov eax,[esi]\nhlt\n");
+    const auto before = cpu.cycle();
+    cpu.run(isa::assembleOrDie("mov eax,[esi]\nhlt\n", "hit"));
+    EXPECT_EQ(cpu.cycle() - before, 2u); // load (1) + hlt (1)
+}
+
+TEST_F(CpuTest, DividerBlocksFully)
+{
+    const auto cfg = core2duo();
+    runAsm("mov eax,7\nidiv eax\nhlt\n");
+    // mov (1) + idiv (full latency) + hlt (1).
+    EXPECT_EQ(cpu.cycle(), 2u + cfg.lat.idiv);
+}
+
+TEST_F(CpuTest, ResetClearsState)
+{
+    runAsm("mov eax,5\nmov esi,0x1000\nmov [esi],eax\nhlt\n");
+    cpu.reset();
+    EXPECT_EQ(cpu.reg(Reg::Eax), 0u);
+    EXPECT_EQ(cpu.cycle(), 0u);
+    EXPECT_EQ(cpu.l1Stats().writes(), 0u);
+    // Functional memory intentionally survives reset.
+    EXPECT_EQ(cpu.memory().readWord(0x1000), 5u);
+}
+
+TEST_F(CpuTest, ActivityEventsPerInstruction)
+{
+    runAsm("add eax,1\nhlt\n");
+    const auto counts = trace.eventCounts();
+    EXPECT_EQ(counts[static_cast<std::size_t>(MicroEvent::AluOp)], 1u);
+    EXPECT_EQ(counts[static_cast<std::size_t>(MicroEvent::IFetch)],
+              2u); // add + hlt
+}
+
+TEST_F(CpuTest, DivideByZeroDies)
+{
+    EXPECT_EXIT(
+        runAsm("mov eax,1\nmov ebx,0\nmov edx,0\nidiv ebx\nhlt\n"),
+        ::testing::ExitedWithCode(1), "idiv by zero");
+}
+
+TEST_F(CpuTest, DivideOverflowDies)
+{
+    // 2^32 / 1 does not fit in 32 bits.
+    EXPECT_EXIT(
+        runAsm("mov eax,0\nmov edx,1\nmov ebx,1\nidiv ebx\nhlt\n"),
+        ::testing::ExitedWithCode(1), "idiv overflow");
+}
+
+TEST(CpuScalar, ScalarChargesFullLatency)
+{
+    auto cfg = core2duo();
+    cfg.timing = TimingModel::Scalar;
+    NullActivitySink sink;
+    SimpleCpu cpu(cfg, sink);
+    const auto prog = isa::assembleOrDie(
+        "mov eax,7\nimul eax,3\nhlt\n", "scalar");
+    cpu.run(prog);
+    EXPECT_EQ(cpu.cycle(), cfg.lat.mov + cfg.lat.imul + 1u);
+}
+
+TEST(CpuScalar, ScalarSlowerThanPipelined)
+{
+    const auto prog = isa::assembleOrDie(
+        "mov ecx,100\n"
+        "loop: imul eax,3\ndec ecx\njne loop\nhlt\n",
+        "loop");
+    NullActivitySink sink;
+
+    auto pipe_cfg = core2duo();
+    SimpleCpu pipe(pipe_cfg, sink);
+    pipe.run(prog);
+
+    auto scalar_cfg = core2duo();
+    scalar_cfg.timing = TimingModel::Scalar;
+    SimpleCpu scalar(scalar_cfg, sink);
+    scalar.run(prog);
+
+    EXPECT_GT(scalar.cycle(), pipe.cycle());
+}
+
+TEST(MachineConfigs, CaseStudyShapes)
+{
+    // Figure 6 of the paper.
+    const auto c2d = core2duo();
+    EXPECT_EQ(c2d.l1.sizeBytes, 32u * 1024);
+    EXPECT_EQ(c2d.l1.assoc, 8u);
+    EXPECT_EQ(c2d.l2.sizeBytes, 4096u * 1024);
+    EXPECT_EQ(c2d.l2.assoc, 16u);
+
+    const auto p3m = pentium3m();
+    EXPECT_EQ(p3m.l1.sizeBytes, 16u * 1024);
+    EXPECT_EQ(p3m.l1.assoc, 4u);
+    EXPECT_EQ(p3m.l2.sizeBytes, 512u * 1024);
+    EXPECT_EQ(p3m.l2.assoc, 8u);
+
+    const auto tx2 = turionx2();
+    EXPECT_EQ(tx2.l1.sizeBytes, 64u * 1024);
+    EXPECT_EQ(tx2.l1.assoc, 2u);
+    EXPECT_EQ(tx2.l2.sizeBytes, 1024u * 1024);
+    EXPECT_EQ(tx2.l2.assoc, 16u);
+}
+
+TEST(MachineConfigs, LookupById)
+{
+    EXPECT_EQ(machineById("core2duo").name, "Intel Core 2 Duo");
+    EXPECT_EQ(caseStudyMachines().size(), 3u);
+    EXPECT_EXIT(machineById("vax"), ::testing::ExitedWithCode(1),
+                "unknown machine");
+}
+
+TEST(MachineConfigs, CyclesPerPeriod)
+{
+    const auto m = core2duo();
+    EXPECT_NEAR(m.cyclesPerPeriod(Frequency::khz(80.0)), 30000.0, 1.0);
+}
+
+class AllMachines : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(AllMachines, GeometriesValid)
+{
+    const auto m = machineById(GetParam());
+    EXPECT_TRUE(m.l1.valid());
+    EXPECT_TRUE(m.l2.valid());
+    EXPECT_GT(m.clock.inGhz(), 0.5);
+    EXPECT_GT(m.lat.idiv, m.lat.imul);
+}
+
+TEST_P(AllMachines, DivLatencyDominatesIteration)
+{
+    // The divider must be the slowest on-chip operation modeled.
+    const auto m = machineById(GetParam());
+    EXPECT_GT(m.lat.idiv, 20u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Machines, AllMachines,
+                         ::testing::Values("core2duo", "pentium3m",
+                                           "turionx2"));
+
+} // namespace
+} // namespace savat::uarch

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Unit tests for the sparse functional memory and the main-memory
+ * timing model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "uarch/memory.hh"
+
+namespace savat::uarch {
+namespace {
+
+TEST(SparseMemory, DefaultZero)
+{
+    SparseMemory mem;
+    EXPECT_EQ(mem.readByte(0x12345), 0);
+    EXPECT_EQ(mem.readWord(0xFFFFFFF0ull), 0u);
+}
+
+TEST(SparseMemory, ByteRoundTrip)
+{
+    SparseMemory mem;
+    mem.writeByte(100, 0xAB);
+    EXPECT_EQ(mem.readByte(100), 0xAB);
+    EXPECT_EQ(mem.readByte(101), 0);
+}
+
+TEST(SparseMemory, WordLittleEndian)
+{
+    SparseMemory mem;
+    mem.writeWord(0x1000, 0x11223344u);
+    EXPECT_EQ(mem.readByte(0x1000), 0x44);
+    EXPECT_EQ(mem.readByte(0x1001), 0x33);
+    EXPECT_EQ(mem.readByte(0x1002), 0x22);
+    EXPECT_EQ(mem.readByte(0x1003), 0x11);
+    EXPECT_EQ(mem.readWord(0x1000), 0x11223344u);
+}
+
+TEST(SparseMemory, WordAcrossPageBoundary)
+{
+    SparseMemory mem;
+    const std::uint64_t addr = SparseMemory::kPageBytes - 2;
+    mem.writeWord(addr, 0xDEADBEEFu);
+    EXPECT_EQ(mem.readWord(addr), 0xDEADBEEFu);
+    EXPECT_GE(mem.pageCount(), 2u);
+}
+
+TEST(SparseMemory, PagesOnDemand)
+{
+    SparseMemory mem;
+    EXPECT_EQ(mem.pageCount(), 0u);
+    mem.writeByte(0, 1);
+    EXPECT_EQ(mem.pageCount(), 1u);
+    mem.writeByte(10 * SparseMemory::kPageBytes, 1);
+    EXPECT_EQ(mem.pageCount(), 2u);
+}
+
+TEST(MainMemory, ReadLatencyAndEvents)
+{
+    ActivityTrace trace;
+    MainMemory mem(60, 16, trace);
+    EXPECT_EQ(mem.read(0x1000, 100), 60u);
+    EXPECT_EQ(mem.stats().reads, 1u);
+    const auto counts = trace.eventCounts();
+    EXPECT_EQ(counts[static_cast<std::size_t>(MicroEvent::DramRead)],
+              1u);
+    EXPECT_EQ(counts[static_cast<std::size_t>(MicroEvent::BusRead)],
+              1u);
+}
+
+TEST(MainMemory, BurstTiming)
+{
+    ActivityTrace trace;
+    MainMemory mem(60, 16, trace);
+    mem.read(0, 100);
+    // The bus burst ends when the data arrives (cycle 160).
+    bool found = false;
+    for (const auto &e : trace.events()) {
+        if (e.ev == MicroEvent::BusRead) {
+            EXPECT_EQ(e.start, 144u);
+            EXPECT_EQ(e.duration, 16u);
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(MainMemory, WritebackNonBlocking)
+{
+    ActivityTrace trace;
+    MainMemory mem(60, 16, trace);
+    mem.writeback(0x2000, 50);
+    EXPECT_EQ(mem.stats().writes, 1u);
+    const auto counts = trace.eventCounts();
+    EXPECT_EQ(counts[static_cast<std::size_t>(MicroEvent::BusWrite)],
+              1u);
+    EXPECT_EQ(counts[static_cast<std::size_t>(MicroEvent::DramWrite)],
+              1u);
+}
+
+TEST(MainMemory, ClearStats)
+{
+    NullActivitySink sink;
+    MainMemory mem(10, 4, sink);
+    mem.read(0, 0);
+    mem.clearStats();
+    EXPECT_EQ(mem.stats().reads, 0u);
+}
+
+} // namespace
+} // namespace savat::uarch
