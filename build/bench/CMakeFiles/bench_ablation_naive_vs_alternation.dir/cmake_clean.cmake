@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_naive_vs_alternation.dir/ablation_naive_vs_alternation.cc.o"
+  "CMakeFiles/bench_ablation_naive_vs_alternation.dir/ablation_naive_vs_alternation.cc.o.d"
+  "bench_ablation_naive_vs_alternation"
+  "bench_ablation_naive_vs_alternation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_naive_vs_alternation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

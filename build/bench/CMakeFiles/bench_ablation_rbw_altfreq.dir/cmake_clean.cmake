@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_rbw_altfreq.dir/ablation_rbw_altfreq.cc.o"
+  "CMakeFiles/bench_ablation_rbw_altfreq.dir/ablation_rbw_altfreq.cc.o.d"
+  "bench_ablation_rbw_altfreq"
+  "bench_ablation_rbw_altfreq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rbw_altfreq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_calibration_report.dir/calibration_report.cc.o"
+  "CMakeFiles/bench_calibration_report.dir/calibration_report.cc.o.d"
+  "bench_calibration_report"
+  "bench_calibration_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_calibration_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_clustering_groups.dir/clustering_groups.cc.o"
+  "CMakeFiles/bench_clustering_groups.dir/clustering_groups.cc.o.d"
+  "bench_clustering_groups"
+  "bench_clustering_groups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_clustering_groups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_branch_power.dir/ext_branch_power.cc.o"
+  "CMakeFiles/bench_ext_branch_power.dir/ext_branch_power.cc.o.d"
+  "bench_ext_branch_power"
+  "bench_ext_branch_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_branch_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_sequences.dir/ext_sequences.cc.o"
+  "CMakeFiles/bench_ext_sequences.dir/ext_sequences.cc.o.d"
+  "bench_ext_sequences"
+  "bench_ext_sequences.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_sequences.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

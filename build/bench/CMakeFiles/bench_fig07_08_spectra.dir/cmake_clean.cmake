@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_08_spectra.dir/fig07_08_spectra.cc.o"
+  "CMakeFiles/bench_fig07_08_spectra.dir/fig07_08_spectra.cc.o.d"
+  "bench_fig07_08_spectra"
+  "bench_fig07_08_spectra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_08_spectra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

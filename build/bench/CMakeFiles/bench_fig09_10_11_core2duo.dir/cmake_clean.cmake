@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_10_11_core2duo.dir/fig09_10_11_core2duo.cc.o"
+  "CMakeFiles/bench_fig09_10_11_core2duo.dir/fig09_10_11_core2duo.cc.o.d"
+  "bench_fig09_10_11_core2duo"
+  "bench_fig09_10_11_core2duo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_10_11_core2duo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

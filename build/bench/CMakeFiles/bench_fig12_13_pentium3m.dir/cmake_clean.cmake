@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_13_pentium3m.dir/fig12_13_pentium3m.cc.o"
+  "CMakeFiles/bench_fig12_13_pentium3m.dir/fig12_13_pentium3m.cc.o.d"
+  "bench_fig12_13_pentium3m"
+  "bench_fig12_13_pentium3m.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_13_pentium3m.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_17_18_distance.dir/fig16_17_18_distance.cc.o"
+  "CMakeFiles/bench_fig16_17_18_distance.dir/fig16_17_18_distance.cc.o.d"
+  "bench_fig16_17_18_distance"
+  "bench_fig16_17_18_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_17_18_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

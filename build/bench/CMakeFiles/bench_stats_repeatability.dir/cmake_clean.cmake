@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stats_repeatability.dir/stats_repeatability.cc.o"
+  "CMakeFiles/bench_stats_repeatability.dir/stats_repeatability.cc.o.d"
+  "bench_stats_repeatability"
+  "bench_stats_repeatability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stats_repeatability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_svf_baseline.dir/svf_baseline.cc.o"
+  "CMakeFiles/bench_svf_baseline.dir/svf_baseline.cc.o.d"
+  "bench_svf_baseline"
+  "bench_svf_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_svf_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/savat_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/savat_bench_util.dir/bench_util.cc.o.d"
+  "libsavat_bench_util.a"
+  "libsavat_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/savat_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

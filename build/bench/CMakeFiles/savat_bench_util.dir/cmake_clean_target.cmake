@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsavat_bench_util.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distance_study.dir/distance_study.cpp.o"
+  "CMakeFiles/distance_study.dir/distance_study.cpp.o.d"
+  "distance_study"
+  "distance_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distance_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsa_leakage.dir/rsa_leakage.cpp.o"
+  "CMakeFiles/rsa_leakage.dir/rsa_leakage.cpp.o.d"
+  "rsa_leakage"
+  "rsa_leakage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsa_leakage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

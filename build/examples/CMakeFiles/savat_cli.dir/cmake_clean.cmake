@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/savat_cli.dir/savat_cli.cpp.o"
+  "CMakeFiles/savat_cli.dir/savat_cli.cpp.o.d"
+  "savat_cli"
+  "savat_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/savat_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/assessment.cc" "src/core/CMakeFiles/savat_core.dir/assessment.cc.o" "gcc" "src/core/CMakeFiles/savat_core.dir/assessment.cc.o.d"
+  "/root/repo/src/core/campaign.cc" "src/core/CMakeFiles/savat_core.dir/campaign.cc.o" "gcc" "src/core/CMakeFiles/savat_core.dir/campaign.cc.o.d"
+  "/root/repo/src/core/clustering.cc" "src/core/CMakeFiles/savat_core.dir/clustering.cc.o" "gcc" "src/core/CMakeFiles/savat_core.dir/clustering.cc.o.d"
+  "/root/repo/src/core/detection.cc" "src/core/CMakeFiles/savat_core.dir/detection.cc.o" "gcc" "src/core/CMakeFiles/savat_core.dir/detection.cc.o.d"
+  "/root/repo/src/core/matrix.cc" "src/core/CMakeFiles/savat_core.dir/matrix.cc.o" "gcc" "src/core/CMakeFiles/savat_core.dir/matrix.cc.o.d"
+  "/root/repo/src/core/meter.cc" "src/core/CMakeFiles/savat_core.dir/meter.cc.o" "gcc" "src/core/CMakeFiles/savat_core.dir/meter.cc.o.d"
+  "/root/repo/src/core/naive.cc" "src/core/CMakeFiles/savat_core.dir/naive.cc.o" "gcc" "src/core/CMakeFiles/savat_core.dir/naive.cc.o.d"
+  "/root/repo/src/core/reference.cc" "src/core/CMakeFiles/savat_core.dir/reference.cc.o" "gcc" "src/core/CMakeFiles/savat_core.dir/reference.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/core/CMakeFiles/savat_core.dir/report.cc.o" "gcc" "src/core/CMakeFiles/savat_core.dir/report.cc.o.d"
+  "/root/repo/src/core/svf.cc" "src/core/CMakeFiles/savat_core.dir/svf.cc.o" "gcc" "src/core/CMakeFiles/savat_core.dir/svf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernels/CMakeFiles/savat_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/spectrum/CMakeFiles/savat_spectrum.dir/DependInfo.cmake"
+  "/root/repo/build/src/em/CMakeFiles/savat_em.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/savat_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/savat_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/savat_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/savat_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/savat_core.dir/assessment.cc.o"
+  "CMakeFiles/savat_core.dir/assessment.cc.o.d"
+  "CMakeFiles/savat_core.dir/campaign.cc.o"
+  "CMakeFiles/savat_core.dir/campaign.cc.o.d"
+  "CMakeFiles/savat_core.dir/clustering.cc.o"
+  "CMakeFiles/savat_core.dir/clustering.cc.o.d"
+  "CMakeFiles/savat_core.dir/detection.cc.o"
+  "CMakeFiles/savat_core.dir/detection.cc.o.d"
+  "CMakeFiles/savat_core.dir/matrix.cc.o"
+  "CMakeFiles/savat_core.dir/matrix.cc.o.d"
+  "CMakeFiles/savat_core.dir/meter.cc.o"
+  "CMakeFiles/savat_core.dir/meter.cc.o.d"
+  "CMakeFiles/savat_core.dir/naive.cc.o"
+  "CMakeFiles/savat_core.dir/naive.cc.o.d"
+  "CMakeFiles/savat_core.dir/reference.cc.o"
+  "CMakeFiles/savat_core.dir/reference.cc.o.d"
+  "CMakeFiles/savat_core.dir/report.cc.o"
+  "CMakeFiles/savat_core.dir/report.cc.o.d"
+  "CMakeFiles/savat_core.dir/svf.cc.o"
+  "CMakeFiles/savat_core.dir/svf.cc.o.d"
+  "libsavat_core.a"
+  "libsavat_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/savat_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

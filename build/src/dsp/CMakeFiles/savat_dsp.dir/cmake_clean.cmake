@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/savat_dsp.dir/fft.cc.o"
+  "CMakeFiles/savat_dsp.dir/fft.cc.o.d"
+  "CMakeFiles/savat_dsp.dir/psd.cc.o"
+  "CMakeFiles/savat_dsp.dir/psd.cc.o.d"
+  "CMakeFiles/savat_dsp.dir/window.cc.o"
+  "CMakeFiles/savat_dsp.dir/window.cc.o.d"
+  "libsavat_dsp.a"
+  "libsavat_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/savat_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

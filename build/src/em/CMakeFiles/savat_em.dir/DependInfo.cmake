@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/em/antenna.cc" "src/em/CMakeFiles/savat_em.dir/antenna.cc.o" "gcc" "src/em/CMakeFiles/savat_em.dir/antenna.cc.o.d"
+  "/root/repo/src/em/channels.cc" "src/em/CMakeFiles/savat_em.dir/channels.cc.o" "gcc" "src/em/CMakeFiles/savat_em.dir/channels.cc.o.d"
+  "/root/repo/src/em/emission.cc" "src/em/CMakeFiles/savat_em.dir/emission.cc.o" "gcc" "src/em/CMakeFiles/savat_em.dir/emission.cc.o.d"
+  "/root/repo/src/em/environment.cc" "src/em/CMakeFiles/savat_em.dir/environment.cc.o" "gcc" "src/em/CMakeFiles/savat_em.dir/environment.cc.o.d"
+  "/root/repo/src/em/narrowband.cc" "src/em/CMakeFiles/savat_em.dir/narrowband.cc.o" "gcc" "src/em/CMakeFiles/savat_em.dir/narrowband.cc.o.d"
+  "/root/repo/src/em/propagation.cc" "src/em/CMakeFiles/savat_em.dir/propagation.cc.o" "gcc" "src/em/CMakeFiles/savat_em.dir/propagation.cc.o.d"
+  "/root/repo/src/em/synth.cc" "src/em/CMakeFiles/savat_em.dir/synth.cc.o" "gcc" "src/em/CMakeFiles/savat_em.dir/synth.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/uarch/CMakeFiles/savat_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/savat_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/savat_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

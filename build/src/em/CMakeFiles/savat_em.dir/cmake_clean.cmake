@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/savat_em.dir/antenna.cc.o"
+  "CMakeFiles/savat_em.dir/antenna.cc.o.d"
+  "CMakeFiles/savat_em.dir/channels.cc.o"
+  "CMakeFiles/savat_em.dir/channels.cc.o.d"
+  "CMakeFiles/savat_em.dir/emission.cc.o"
+  "CMakeFiles/savat_em.dir/emission.cc.o.d"
+  "CMakeFiles/savat_em.dir/environment.cc.o"
+  "CMakeFiles/savat_em.dir/environment.cc.o.d"
+  "CMakeFiles/savat_em.dir/narrowband.cc.o"
+  "CMakeFiles/savat_em.dir/narrowband.cc.o.d"
+  "CMakeFiles/savat_em.dir/propagation.cc.o"
+  "CMakeFiles/savat_em.dir/propagation.cc.o.d"
+  "CMakeFiles/savat_em.dir/synth.cc.o"
+  "CMakeFiles/savat_em.dir/synth.cc.o.d"
+  "libsavat_em.a"
+  "libsavat_em.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/savat_em.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/savat_isa.dir/assembler.cc.o"
+  "CMakeFiles/savat_isa.dir/assembler.cc.o.d"
+  "CMakeFiles/savat_isa.dir/instruction.cc.o"
+  "CMakeFiles/savat_isa.dir/instruction.cc.o.d"
+  "libsavat_isa.a"
+  "libsavat_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/savat_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/events.cc" "src/kernels/CMakeFiles/savat_kernels.dir/events.cc.o" "gcc" "src/kernels/CMakeFiles/savat_kernels.dir/events.cc.o.d"
+  "/root/repo/src/kernels/generator.cc" "src/kernels/CMakeFiles/savat_kernels.dir/generator.cc.o" "gcc" "src/kernels/CMakeFiles/savat_kernels.dir/generator.cc.o.d"
+  "/root/repo/src/kernels/sequence.cc" "src/kernels/CMakeFiles/savat_kernels.dir/sequence.cc.o" "gcc" "src/kernels/CMakeFiles/savat_kernels.dir/sequence.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/uarch/CMakeFiles/savat_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/savat_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/savat_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

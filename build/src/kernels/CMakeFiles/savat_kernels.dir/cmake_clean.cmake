@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/savat_kernels.dir/events.cc.o"
+  "CMakeFiles/savat_kernels.dir/events.cc.o.d"
+  "CMakeFiles/savat_kernels.dir/generator.cc.o"
+  "CMakeFiles/savat_kernels.dir/generator.cc.o.d"
+  "CMakeFiles/savat_kernels.dir/sequence.cc.o"
+  "CMakeFiles/savat_kernels.dir/sequence.cc.o.d"
+  "libsavat_kernels.a"
+  "libsavat_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/savat_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

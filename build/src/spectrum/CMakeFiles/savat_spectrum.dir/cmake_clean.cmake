@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/savat_spectrum.dir/analyzer.cc.o"
+  "CMakeFiles/savat_spectrum.dir/analyzer.cc.o.d"
+  "libsavat_spectrum.a"
+  "libsavat_spectrum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/savat_spectrum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

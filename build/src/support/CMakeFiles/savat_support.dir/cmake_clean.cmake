@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/savat_support.dir/logging.cc.o"
+  "CMakeFiles/savat_support.dir/logging.cc.o.d"
+  "CMakeFiles/savat_support.dir/rng.cc.o"
+  "CMakeFiles/savat_support.dir/rng.cc.o.d"
+  "CMakeFiles/savat_support.dir/stats.cc.o"
+  "CMakeFiles/savat_support.dir/stats.cc.o.d"
+  "CMakeFiles/savat_support.dir/strings.cc.o"
+  "CMakeFiles/savat_support.dir/strings.cc.o.d"
+  "CMakeFiles/savat_support.dir/table.cc.o"
+  "CMakeFiles/savat_support.dir/table.cc.o.d"
+  "libsavat_support.a"
+  "libsavat_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/savat_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

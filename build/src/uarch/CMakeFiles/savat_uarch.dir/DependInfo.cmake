@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/uarch/activity.cc" "src/uarch/CMakeFiles/savat_uarch.dir/activity.cc.o" "gcc" "src/uarch/CMakeFiles/savat_uarch.dir/activity.cc.o.d"
+  "/root/repo/src/uarch/cache.cc" "src/uarch/CMakeFiles/savat_uarch.dir/cache.cc.o" "gcc" "src/uarch/CMakeFiles/savat_uarch.dir/cache.cc.o.d"
+  "/root/repo/src/uarch/cpu.cc" "src/uarch/CMakeFiles/savat_uarch.dir/cpu.cc.o" "gcc" "src/uarch/CMakeFiles/savat_uarch.dir/cpu.cc.o.d"
+  "/root/repo/src/uarch/machine.cc" "src/uarch/CMakeFiles/savat_uarch.dir/machine.cc.o" "gcc" "src/uarch/CMakeFiles/savat_uarch.dir/machine.cc.o.d"
+  "/root/repo/src/uarch/memory.cc" "src/uarch/CMakeFiles/savat_uarch.dir/memory.cc.o" "gcc" "src/uarch/CMakeFiles/savat_uarch.dir/memory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/savat_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/savat_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/savat_uarch.dir/activity.cc.o"
+  "CMakeFiles/savat_uarch.dir/activity.cc.o.d"
+  "CMakeFiles/savat_uarch.dir/cache.cc.o"
+  "CMakeFiles/savat_uarch.dir/cache.cc.o.d"
+  "CMakeFiles/savat_uarch.dir/cpu.cc.o"
+  "CMakeFiles/savat_uarch.dir/cpu.cc.o.d"
+  "CMakeFiles/savat_uarch.dir/machine.cc.o"
+  "CMakeFiles/savat_uarch.dir/machine.cc.o.d"
+  "CMakeFiles/savat_uarch.dir/memory.cc.o"
+  "CMakeFiles/savat_uarch.dir/memory.cc.o.d"
+  "libsavat_uarch.a"
+  "libsavat_uarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/savat_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

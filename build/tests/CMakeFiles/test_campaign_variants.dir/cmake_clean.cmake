@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_campaign_variants.dir/test_campaign_variants.cc.o"
+  "CMakeFiles/test_campaign_variants.dir/test_campaign_variants.cc.o.d"
+  "test_campaign_variants"
+  "test_campaign_variants.pdb"
+  "test_campaign_variants[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_campaign_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

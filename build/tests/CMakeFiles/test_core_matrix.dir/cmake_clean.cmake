@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_matrix.dir/test_core_matrix.cc.o"
+  "CMakeFiles/test_core_matrix.dir/test_core_matrix.cc.o.d"
+  "test_core_matrix"
+  "test_core_matrix.pdb"
+  "test_core_matrix[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_meter.dir/test_core_meter.cc.o"
+  "CMakeFiles/test_core_meter.dir/test_core_meter.cc.o.d"
+  "test_core_meter"
+  "test_core_meter.pdb"
+  "test_core_meter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_meter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_naive.dir/test_core_naive.cc.o"
+  "CMakeFiles/test_core_naive.dir/test_core_naive.cc.o.d"
+  "test_core_naive"
+  "test_core_naive.pdb"
+  "test_core_naive[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_naive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

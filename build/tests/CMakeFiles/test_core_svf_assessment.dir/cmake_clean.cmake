@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_svf_assessment.dir/test_core_svf_assessment.cc.o"
+  "CMakeFiles/test_core_svf_assessment.dir/test_core_svf_assessment.cc.o.d"
+  "test_core_svf_assessment"
+  "test_core_svf_assessment.pdb"
+  "test_core_svf_assessment[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_svf_assessment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernel_codegen.dir/test_kernel_codegen.cc.o"
+  "CMakeFiles/test_kernel_codegen.dir/test_kernel_codegen.cc.o.d"
+  "test_kernel_codegen"
+  "test_kernel_codegen.pdb"
+  "test_kernel_codegen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernel_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

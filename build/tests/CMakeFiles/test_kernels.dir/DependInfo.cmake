@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_kernels.cc" "tests/CMakeFiles/test_kernels.dir/test_kernels.cc.o" "gcc" "tests/CMakeFiles/test_kernels.dir/test_kernels.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/savat_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/savat_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/spectrum/CMakeFiles/savat_spectrum.dir/DependInfo.cmake"
+  "/root/repo/build/src/em/CMakeFiles/savat_em.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/savat_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/savat_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/savat_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/savat_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_uarch_cache.dir/test_uarch_cache.cc.o"
+  "CMakeFiles/test_uarch_cache.dir/test_uarch_cache.cc.o.d"
+  "test_uarch_cache"
+  "test_uarch_cache.pdb"
+  "test_uarch_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_uarch_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_uarch_memory.dir/test_uarch_memory.cc.o"
+  "CMakeFiles/test_uarch_memory.dir/test_uarch_memory.cc.o.d"
+  "test_uarch_memory"
+  "test_uarch_memory.pdb"
+  "test_uarch_memory[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_uarch_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

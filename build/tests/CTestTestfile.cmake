@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_support[1]_include.cmake")
+include("/root/repo/build/tests/test_isa[1]_include.cmake")
+include("/root/repo/build/tests/test_uarch_memory[1]_include.cmake")
+include("/root/repo/build/tests/test_uarch_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_uarch_cpu[1]_include.cmake")
+include("/root/repo/build/tests/test_dsp[1]_include.cmake")
+include("/root/repo/build/tests/test_em[1]_include.cmake")
+include("/root/repo/build/tests/test_spectrum[1]_include.cmake")
+include("/root/repo/build/tests/test_kernels[1]_include.cmake")
+include("/root/repo/build/tests/test_core_matrix[1]_include.cmake")
+include("/root/repo/build/tests/test_core_meter[1]_include.cmake")
+include("/root/repo/build/tests/test_core_naive[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_core_svf_assessment[1]_include.cmake")
+include("/root/repo/build/tests/test_campaign_variants[1]_include.cmake")
+include("/root/repo/build/tests/test_kernel_codegen[1]_include.cmake")
+include("/root/repo/build/tests/test_detection[1]_include.cmake")
