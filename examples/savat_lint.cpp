@@ -1,0 +1,101 @@
+/**
+ * @file
+ * savat-lint — static validation of campaign spec files.
+ *
+ *   savat_lint [options] <spec>...
+ *
+ * Runs analysis::Checker over each spec and prints its diagnostics
+ * in file:line form. Exit status: 0 when every spec is clean of
+ * errors, 1 when any error-level diagnostic fires (or --werror and
+ * any warning fires), 2 on usage/parse failures.
+ *
+ * Options:
+ *   --werror   treat warnings as errors
+ *   --quiet    suppress notes
+ *   --summary  print a per-spec finding count
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/checker.hh"
+#include "analysis/spec.hh"
+
+using namespace savat;
+
+namespace {
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: savat_lint [--werror] [--quiet] [--summary] "
+                 "<spec>...\n");
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool werror = false, quiet = false, summary = false;
+    std::vector<std::string> paths;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--werror") == 0)
+            werror = true;
+        else if (std::strcmp(argv[i], "--quiet") == 0)
+            quiet = true;
+        else if (std::strcmp(argv[i], "--summary") == 0)
+            summary = true;
+        else if (argv[i][0] == '-')
+            usage();
+        else
+            paths.emplace_back(argv[i]);
+    }
+    if (paths.empty())
+        usage();
+
+    const analysis::Checker checker;
+    bool parse_failed = false;
+    bool failed = false;
+    for (const auto &path : paths) {
+        const auto parsed = analysis::parseCampaignSpecFile(path);
+        if (!parsed.ok) {
+            if (parsed.errorLine > 0) {
+                std::fprintf(stderr, "%s:%zu: error: %s\n",
+                             path.c_str(), parsed.errorLine,
+                             parsed.error.c_str());
+            } else {
+                std::fprintf(stderr, "error: %s\n",
+                             parsed.error.c_str());
+            }
+            parse_failed = true;
+            continue;
+        }
+        const auto report = checker.check(parsed.spec);
+        std::size_t shown = 0;
+        for (const auto &d : report.diagnostics()) {
+            if (quiet && d.severity == analysis::Severity::Note)
+                continue;
+            std::printf("%s\n", d.toString().c_str());
+            ++shown;
+        }
+        if (summary || shown > 0) {
+            std::printf(
+                "%s: %zu error(s), %zu warning(s), %zu note(s)\n",
+                path.c_str(),
+                report.count(analysis::Severity::Error),
+                report.count(analysis::Severity::Warning),
+                report.count(analysis::Severity::Note));
+        }
+        if (report.hasErrors() ||
+            (werror && report.count(analysis::Severity::Warning) > 0))
+            failed = true;
+    }
+    if (parse_failed)
+        return 2;
+    return failed ? 1 : 0;
+}

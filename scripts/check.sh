@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Single local/CI entry point: tier-1 build+test, the ASan+UBSan
+# build+test, savat-lint over every example campaign spec, and (when
+# installed) clang-tidy over the library sources.
+#
+#   scripts/check.sh            # everything
+#   scripts/check.sh --fast     # tier-1 only
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
+
+step() { printf '\n== %s ==\n' "$*"; }
+
+step "tier-1: configure + build + ctest"
+cmake -B build -S . -DSAVAT_WERROR=ON >/dev/null
+cmake --build build -j
+(cd build && ctest --output-on-failure -j "$(nproc)")
+
+step "savat-lint: example campaign specs"
+./build/examples/savat_lint --summary examples/specs/*.spec
+
+if [[ "$FAST" == 1 ]]; then
+    echo "--fast: skipping sanitizers and clang-tidy"
+    exit 0
+fi
+
+step "sanitizers: ASan+UBSan build + ctest"
+cmake -B build-asan -S . -DSAVAT_SANITIZE=ON -DSAVAT_WERROR=ON \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+cmake --build build-asan -j
+(cd build-asan && ctest --output-on-failure -j "$(nproc)")
+
+if command -v clang-tidy >/dev/null 2>&1; then
+    step "clang-tidy: library sources"
+    cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+    find src -name '*.cc' -print0 |
+        xargs -0 clang-tidy -p build --quiet
+else
+    echo "clang-tidy not installed; skipping"
+fi
+
+echo
+echo "all checks passed"

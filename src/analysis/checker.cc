@@ -1,0 +1,124 @@
+#include "analysis/checker.hh"
+
+#include <set>
+#include <utility>
+
+#include "kernels/events.hh"
+#include "support/strings.hh"
+
+namespace savat::analysis {
+
+using kernels::EventKind;
+
+Checker::Checker(CheckerOptions options) : _options(options) {}
+
+Report
+Checker::check(const CampaignSpec &spec) const
+{
+    Report out;
+    checkUnits(spec, _options, out);
+
+    if (!spec.machineKnown()) {
+        std::string known;
+        for (const auto &m : uarch::caseStudyMachines())
+            known += (known.empty() ? "" : ", ") + m.id;
+        out.add(DiagId::UnknownMachine, "machine",
+                "'" + spec.machineId +
+                    "' is not a registered machine",
+                "known machines: " + known);
+    } else {
+        const auto m = spec.machine();
+        checkMachine(m, out);
+        checkSpectral(m, spec.settings, _options, out);
+
+        // Geometry errors make every footprint/burst statement
+        // about cache levels meaningless; stop at the root cause.
+        if (!out.has(DiagId::InvalidGeometry)) {
+            const auto events = spec.effectiveEvents();
+            std::set<EventKind> used(events.begin(), events.end());
+            for (const auto &[a, b] : spec.pairs) {
+                used.insert(a);
+                used.insert(b);
+            }
+            for (auto e : used)
+                checkEventFootprint(m, e, out);
+
+            // Distinct unordered combinations cover the full matrix
+            // without repeating each finding twice.
+            std::set<std::pair<EventKind, EventKind>> combos;
+            if (spec.pairs.empty()) {
+                for (auto a : events)
+                    for (auto b : events)
+                        combos.insert(std::minmax(a, b));
+            } else {
+                for (const auto &[a, b] : spec.pairs)
+                    combos.insert(std::minmax(a, b));
+            }
+            for (const auto &[a, b] : combos) {
+                checkPairBursts(m, a, b, spec.settings, _options,
+                                out);
+            }
+            if (_options.lintKernels) {
+                for (const auto &[a, b] : combos) {
+                    // Burst lengths do not change the kernel shape;
+                    // tiny bursts keep the lint build cheap.
+                    lintKernel(kernels::buildAlternationKernel(
+                                   m, a, b, 2, 2),
+                               out);
+                }
+            }
+        }
+
+        for (const auto &[a, b] : spec.pairs) {
+            if (a == b) {
+                out.add(DiagId::DegeneratePair, "pair",
+                        format("%s/%s measures the same event "
+                               "against itself: the measurement "
+                               "floor, not an attacker-visible "
+                               "difference",
+                               kernels::eventName(a),
+                               kernels::eventName(b)),
+                        "diagonal cells quantify the floor; make "
+                        "sure that is the intent");
+            }
+        }
+    }
+
+    // Attach the spec's source locations.
+    Report annotated;
+    for (auto d : out.diagnostics()) {
+        d.file = spec.file;
+        if (d.line == 0)
+            d.line = spec.lineOf(d.field);
+        annotated.add(std::move(d));
+    }
+    return annotated;
+}
+
+Report
+Checker::checkMeasurement(const uarch::MachineConfig &m,
+                          const MeasurementSettings &s) const
+{
+    CampaignSpec value_view;
+    value_view.settings = s;
+
+    Report out;
+    checkUnits(value_view, _options, out);
+    checkMachine(m, out);
+    checkSpectral(m, s, _options, out);
+    return out;
+}
+
+Report
+Checker::checkPair(const uarch::MachineConfig &m, EventKind a,
+                   EventKind b, const MeasurementSettings &s) const
+{
+    Report out;
+    checkEventFootprint(m, a, out);
+    if (b != a)
+        checkEventFootprint(m, b, out);
+    checkPairBursts(m, a, b, s, _options, out);
+    return out;
+}
+
+} // namespace savat::analysis

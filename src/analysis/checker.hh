@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The campaign checker: static validation of a whole campaign
+ * specification before any simulation runs.
+ *
+ * `Checker::check` walks a CampaignSpec through every analysis pass
+ * — unit audit, machine geometry, spectral configuration, per-pair
+ * burst solvability, generated-kernel lint — and returns a Report
+ * whose diagnostics carry the spec's source locations. Campaign and
+ * Meter call the same passes from their entry points and refuse to
+ * run when any error-level diagnostic fires; `savat-lint` exposes
+ * the checker on the command line.
+ */
+
+#ifndef SAVAT_ANALYSIS_CHECKER_HH
+#define SAVAT_ANALYSIS_CHECKER_HH
+
+#include "analysis/checks.hh"
+#include "analysis/diagnostic.hh"
+#include "analysis/spec.hh"
+
+namespace savat::analysis {
+
+/** The static checker. */
+class Checker
+{
+  public:
+    explicit Checker(CheckerOptions options = {});
+
+    /**
+     * Run every pass over the spec. Diagnostics are annotated with
+     * the spec's file and field source lines when it was parsed
+     * from text.
+     */
+    Report check(const CampaignSpec &spec) const;
+
+    /**
+     * The meter-level subset (no event set required): machine
+     * geometry, measurement values, spectral configuration. Used by
+     * SavatMeter's constructor.
+     */
+    Report checkMeasurement(const uarch::MachineConfig &m,
+                            const MeasurementSettings &s) const;
+
+    /**
+     * The pair-level subset: burst solvability and footprint
+     * consistency for one (a, b) pair. Used by simulatePair.
+     */
+    Report checkPair(const uarch::MachineConfig &m,
+                     kernels::EventKind a, kernels::EventKind b,
+                     const MeasurementSettings &s) const;
+
+    const CheckerOptions &options() const { return _options; }
+
+  private:
+    CheckerOptions _options;
+};
+
+} // namespace savat::analysis
+
+#endif // SAVAT_ANALYSIS_CHECKER_HH

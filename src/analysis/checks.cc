@@ -1,0 +1,549 @@
+#include "analysis/checks.hh"
+
+#include <cmath>
+
+#include "kernels/events.hh"
+#include "support/strings.hh"
+
+namespace savat::analysis {
+
+using kernels::EventKind;
+
+namespace {
+
+/** Instructions in the test slot of an event (Figure 5). */
+std::size_t
+slotInstructions(EventKind e)
+{
+    if (e == EventKind::NOI)
+        return 0;
+    if (kernels::isBranchEvent(e))
+        return 3; // test + jne + nop
+    return 1;
+}
+
+std::string
+kib(std::uint64_t bytes)
+{
+    return format("%.1f KiB", static_cast<double>(bytes) / 1024.0);
+}
+
+} // namespace
+
+double
+estimateIterationCycles(const uarch::MachineConfig &m, EventKind e)
+{
+    // The generated half-loop body (kernels/generator.cc): five
+    // pointer-update instructions, cdq, the test slot, dec and a
+    // taken jne.
+    const std::size_t body = 8 + slotInstructions(e);
+    const auto &lat = m.lat;
+
+    double cycles;
+    if (m.timing == uarch::TimingModel::Pipelined) {
+        // Issue-limited: one cycle per instruction, plus the stalls
+        // the pipeline cannot hide.
+        cycles = static_cast<double>(body);
+    } else {
+        // Non-pipelined: every instruction pays its full latency.
+        cycles = static_cast<double>(
+            lat.mov + 4 * lat.alu               // pointer update
+            + lat.alu                           // cdq
+            + lat.alu + lat.branchTaken);       // dec + jne
+        if (kernels::isMemoryEvent(e))
+            cycles += lat.agu + m.l1.hitLatency;
+        else if (e == EventKind::ADD || e == EventKind::SUB)
+            cycles += lat.alu;
+        else if (kernels::isBranchEvent(e))
+            cycles += 2 * lat.alu + lat.nop + lat.branch;
+    }
+
+    // Stalls charged in both models: the sweep advances one cache
+    // line per iteration, so every access of an L2/memory event
+    // misses the levels above its home level.
+    switch (e) {
+      case EventKind::LDL2:
+      case EventKind::STL2:
+        cycles += m.l2.hitLatency;
+        break;
+      case EventKind::LDM:
+      case EventKind::STM:
+        cycles += m.memLatency;
+        break;
+      case EventKind::MUL:
+        if (m.timing == uarch::TimingModel::Scalar)
+            cycles += lat.imul;
+        break;
+      case EventKind::DIV:
+        // The iterative divider blocks in both timing models.
+        cycles += lat.idiv - (m.timing == uarch::TimingModel::Pipelined
+                                  ? 1.0
+                                  : 0.0);
+        break;
+      case EventKind::BRM:
+        // The alternating taken pattern defeats the bimodal
+        // predictor about half the time.
+        if (m.timing == uarch::TimingModel::Pipelined)
+            cycles += 0.5 * lat.branchMispredict;
+        break;
+      default:
+        break;
+    }
+    return cycles;
+}
+
+void
+checkUnits(const CampaignSpec &spec, const CheckerOptions &,
+           Report &out)
+{
+    for (const auto &audit : spec.unitAudits) {
+        Diagnostic d;
+        d.id = audit.missing ? DiagId::UnitMissing
+                             : DiagId::UnitMismatch;
+        d.severity = diagIdSeverity(d.id);
+        d.field = audit.field;
+        d.line = audit.line;
+        if (audit.missing) {
+            d.message = "'" + audit.text + "' has no unit; expected " +
+                        audit.expected;
+            d.hint = "append the unit (the raw number was read in "
+                     "the field's customary unit)";
+        } else {
+            d.message = "'" + audit.text + "' is not " + audit.expected;
+            d.hint = "give the value in " + audit.expected +
+                     "; the field kept its default";
+        }
+        out.add(std::move(d));
+    }
+
+    const auto &s = spec.settings;
+    auto positive = [&](double v, const char *field,
+                        const char *what) {
+        if (!(v > 0.0)) {
+            out.add(DiagId::NonpositiveQuantity, field,
+                    format("%s must be positive (got %g)", what, v));
+        }
+    };
+    positive(s.alternation.inHz(), "alternation",
+             "the alternation frequency");
+    positive(s.distance.inMeters(), "distance", "the antenna distance");
+    positive(s.bandHz, "band", "the integration band half-width");
+    positive(s.spanHz, "span", "the synthesized span half-width");
+    positive(s.rbwHz, "rbw", "the resolution bandwidth");
+    if (spec.clockOverride)
+        positive(spec.clockOverride->inHz(), "clock", "the core clock");
+
+    if (spec.repetitions == 0) {
+        out.add(DiagId::NonpositiveQuantity, "repetitions",
+                "a campaign needs at least one repetition per pair");
+    }
+    if (s.measurePeriods < 2) {
+        out.add(DiagId::NonpositiveQuantity, "periods",
+                format("the meter needs at least two measured "
+                       "alternation periods (got %zu)",
+                       s.measurePeriods),
+                "the paper captures several periods per measurement; "
+                "8 is the default");
+    }
+}
+
+void
+checkMachine(const uarch::MachineConfig &m, Report &out)
+{
+    if (!(m.clock.inHz() > 0.0)) {
+        out.add(DiagId::NonpositiveQuantity, "clock",
+                format("the core clock must be positive (got %g Hz)",
+                       m.clock.inHz()));
+    }
+    auto check_geom = [&](const uarch::CacheGeometry &g,
+                          const char *name) {
+        if (!g.valid()) {
+            out.add(DiagId::InvalidGeometry, name,
+                    format("%s geometry is unrealizable: size=%s "
+                           "assoc=%u line=%u needs a power-of-two "
+                           "set count",
+                           name, kib(g.sizeBytes).c_str(), g.assoc,
+                           g.lineBytes),
+                    "sizes must be a power-of-two multiple of "
+                    "assoc * lineBytes");
+        }
+    };
+    check_geom(m.l1, "l1");
+    check_geom(m.l2, "l2");
+    if (m.l1.valid() && m.l2.valid() &&
+        m.l2.sizeBytes <= m.l1.sizeBytes) {
+        out.add(DiagId::InvalidGeometry, "l2",
+                format("L2 (%s) is not larger than L1 (%s); the "
+                       "cache-level event classes are undefined on "
+                       "an inverted hierarchy",
+                       kib(m.l2.sizeBytes).c_str(),
+                       kib(m.l1.sizeBytes).c_str()));
+    }
+}
+
+void
+checkSpectral(const uarch::MachineConfig &m,
+              const MeasurementSettings &s, const CheckerOptions &opts,
+              Report &out)
+{
+    const double f0 = s.alternation.inHz();
+    if (!(f0 > 0.0) || !(s.bandHz > 0.0) || !(s.spanHz > 0.0) ||
+        !(s.rbwHz > 0.0)) {
+        return; // SAV-U001 already reported; avoid nonsense below.
+    }
+
+    if (s.bandHz > s.spanHz) {
+        out.add(DiagId::BandExceedsSpan, "band",
+                format("the +/-%.0f Hz integration band falls "
+                       "outside the +/-%.0f Hz synthesized span",
+                       s.bandHz, s.spanHz),
+                "widen span to at least the band half-width");
+    }
+
+    if (s.rbwHz >= s.bandHz) {
+        Diagnostic d;
+        d.id = DiagId::RbwTooCoarse;
+        d.severity = Severity::Error;
+        d.field = "rbw";
+        d.message = format(
+            "RBW (%.1f Hz) is at least the integration half-band "
+            "(%.1f Hz); band power would integrate filter shape, "
+            "not signal",
+            s.rbwHz, s.bandHz);
+        d.hint = "the paper sweeps at 1 Hz RBW against a +/-1 kHz "
+                 "band";
+        out.add(std::move(d));
+    } else if (s.rbwHz * opts.rbwBandRatio > s.bandHz) {
+        out.add(DiagId::RbwTooCoarse, "rbw",
+                format("RBW (%.1f Hz) is coarse for a +/-%.0f Hz "
+                       "band; the tone's ~tens-of-Hz dispersion "
+                       "will not resolve",
+                       s.rbwHz, s.bandHz),
+                "keep RBW below a tenth of the band half-width");
+    }
+
+    // The activity trace is sampled once per core cycle, so the
+    // synthesized window must stay below the cycle-rate Nyquist.
+    const double nyquist = m.clock.inHz() / 2.0;
+    if (m.clock.inHz() > 0.0 && f0 + s.spanHz > nyquist) {
+        out.add(DiagId::ToneAboveNyquist, "alternation",
+                format("the synthesized window reaches %.3f kHz, "
+                       "beyond the %.3f kHz Nyquist limit of the "
+                       "cycle-sampled activity trace",
+                       (f0 + s.spanHz) / 1e3, nyquist / 1e3),
+                "lower the alternation frequency or span, or raise "
+                "the core clock");
+    }
+
+    const double d_m = s.distance.inMeters();
+    if (d_m > 0.0 &&
+        (d_m < opts.distanceMinM || d_m > opts.distanceMaxM)) {
+        out.add(DiagId::DistanceOutsideModel, "distance",
+                format("%.0f cm is outside the propagation model's "
+                       "anchored 10-100 cm range; amplitudes are "
+                       "extrapolated",
+                       s.distance.inCentimeters()),
+                "anchor the distance model with measurements at "
+                "this range before trusting absolute values");
+    }
+
+    if (!s.powerRail) {
+        if (f0 < s.antennaCorner.inHz()) {
+            out.add(DiagId::ToneBelowAntennaBand, "alternation",
+                    format("the %.1f kHz tone sits below the loop "
+                           "antenna's %.1f kHz corner and rolls "
+                           "off ~20 dB/decade",
+                           f0 / 1e3, s.antennaCorner.inKhz()),
+                    "raise the alternation frequency into the "
+                    "antenna's rated band");
+        } else if (f0 > s.antennaMax.inHz()) {
+            out.add(DiagId::ToneBelowAntennaBand, "alternation",
+                    format("the %.3f MHz tone exceeds the antenna's "
+                           "%.0f MHz rated band",
+                           f0 / 1e6, s.antennaMax.inMhz()),
+                    "lower the alternation frequency into the "
+                    "antenna's rated band");
+        }
+    }
+}
+
+void
+checkPairBursts(const uarch::MachineConfig &m, EventKind a,
+                EventKind b, const MeasurementSettings &s,
+                const CheckerOptions &opts, Report &out)
+{
+    if (!(s.alternation.inHz() > 0.0) || !(m.clock.inHz() > 0.0))
+        return; // reported by the unit/machine checks
+    const double cpi_a = estimateIterationCycles(m, a);
+    const double cpi_b = estimateIterationCycles(m, b);
+    const double period = m.cyclesPerPeriod(s.alternation);
+    const std::string pair_name = std::string(kernels::eventName(a)) +
+                                  "/" + kernels::eventName(b);
+
+    if (period <= cpi_a + cpi_b) {
+        out.add(DiagId::BurstUnsolvable, "alternation",
+                format("%s: one %.3f kHz alternation period is %.1f "
+                       "cycles, but a single A+B iteration needs "
+                       "~%.1f; no burst lengths can reach the "
+                       "intended frequency",
+                       pair_name.c_str(), s.alternation.inKhz(),
+                       period, cpi_a + cpi_b),
+                "lower the alternation frequency (the paper uses "
+                "80 kHz) or pick a faster machine");
+        return;
+    }
+
+    // Replicate solveCounts' rounding to predict the realized
+    // frequency the integer burst lengths produce.
+    double count_a, count_b;
+    if (s.pairing == kernels::PairingMode::EqualDuration) {
+        count_a = std::max(1.0, std::round(period / 2.0 / cpi_a));
+        count_b = std::max(1.0, std::round(period / 2.0 / cpi_b));
+    } else {
+        count_a = count_b =
+            std::max(1.0, std::round(period / (cpi_a + cpi_b)));
+    }
+    const double realized = count_a * cpi_a + count_b * cpi_b;
+    const double err = std::abs(realized - period) / period;
+    if (err > opts.frequencyTolerance) {
+        out.add(DiagId::BurstQuantized, "alternation",
+                format("%s: integer burst lengths (%.0f/%.0f) land "
+                       "%.1f %% off the intended %.3f kHz; the "
+                       "tone will miss the measurement band center",
+                       pair_name.c_str(), count_a, count_b,
+                       err * 100.0, s.alternation.inKhz()),
+                "choose an alternation frequency with more cycles "
+                "per period relative to the slower event's "
+                "iteration time");
+    }
+
+    if (s.pairing == kernels::PairingMode::EqualCounts) {
+        const double duty = cpi_a / (cpi_a + cpi_b);
+        if (duty < opts.dutyMin || duty > opts.dutyMax) {
+            out.add(DiagId::DutySkewed, "pairing",
+                    format("%s: equal-counts pairing yields a "
+                           "~%.0f %% duty cycle; the alternation "
+                           "fundamental weakens as the duty leaves "
+                           "50 %%",
+                           pair_name.c_str(), duty * 100.0),
+                    "use equal-duration pairing for events with "
+                    "very different iteration times");
+        }
+    }
+}
+
+void
+checkEventFootprint(const uarch::MachineConfig &m, EventKind e,
+                    Report &out)
+{
+    if (!kernels::isMemoryEvent(e))
+        return;
+    const std::uint64_t fp = kernels::footprintBytes(e, m);
+    const std::string name = kernels::eventName(e);
+
+    if (fp == 0 || (fp & (fp - 1)) != 0) {
+        out.add(DiagId::FootprintMismatch, name,
+                format("%s sweep footprint (%s) is not a power of "
+                       "two; the pointer-update mask cannot "
+                       "express it",
+                       name.c_str(), kib(fp).c_str()));
+        return;
+    }
+
+    switch (e) {
+      case EventKind::LDL1:
+      case EventKind::STL1:
+        if (fp > m.l1.sizeBytes) {
+            out.add(DiagId::FootprintMismatch, name,
+                    format("%s claims L1 hits but its %s sweep "
+                           "spills past the %s L1",
+                           name.c_str(), kib(fp).c_str(),
+                           kib(m.l1.sizeBytes).c_str()),
+                    "shrink the sweep below the L1 capacity");
+        }
+        break;
+      case EventKind::LDL2:
+      case EventKind::STL2:
+        if (fp <= m.l1.sizeBytes) {
+            out.add(DiagId::FootprintMismatch, name,
+                    format("%s claims L2 hits but its %s sweep fits "
+                           "in the %s L1; it would measure L1 hits",
+                           name.c_str(), kib(fp).c_str(),
+                           kib(m.l1.sizeBytes).c_str()),
+                    "grow the sweep past the L1 capacity");
+        } else if (fp > m.l2.sizeBytes) {
+            out.add(DiagId::FootprintMismatch, name,
+                    format("%s claims L2 hits but its %s sweep "
+                           "spills past the %s L2",
+                           name.c_str(), kib(fp).c_str(),
+                           kib(m.l2.sizeBytes).c_str()),
+                    "shrink the sweep below the L2 capacity");
+        }
+        break;
+      case EventKind::LDM:
+      case EventKind::STM:
+        if (fp <= m.l2.sizeBytes) {
+            out.add(DiagId::FootprintMismatch, name,
+                    format("%s claims main-memory accesses but its "
+                           "%s sweep fits in the %s L2",
+                           name.c_str(), kib(fp).c_str(),
+                           kib(m.l2.sizeBytes).c_str()),
+                    "grow the sweep to several times the L2 "
+                    "capacity");
+        }
+        break;
+      default:
+        break;
+    }
+}
+
+namespace {
+
+/** One operand-shape rule violation. */
+void
+badOperand(Report &out, const std::string &what, std::size_t index,
+           const isa::Instruction &inst, const char *why)
+{
+    out.add(DiagId::InvalidOperand, what,
+            format("instruction %zu '%s': %s", index,
+                   inst.toString().c_str(), why));
+}
+
+} // namespace
+
+void
+lintProgram(const isa::Program &program, const std::string &what,
+            Report &out)
+{
+    using isa::Opcode;
+    using OK = isa::Operand::Kind;
+    const auto size = static_cast<std::int64_t>(program.size());
+    for (std::size_t i = 0; i < program.size(); ++i) {
+        const auto &inst = program.at(i);
+        const OK dst = inst.dst.kind;
+        const OK src = inst.src.kind;
+        switch (inst.op) {
+          case Opcode::Mov:
+            if (dst == OK::Mem && src == OK::Mem)
+                badOperand(out, what, i, inst,
+                           "memory-to-memory moves are not in the "
+                           "modeled subset");
+            else if (dst != OK::Reg && dst != OK::Mem)
+                badOperand(out, what, i, inst,
+                           "mov destination must be a register or "
+                           "[reg]");
+            else if (src == OK::None)
+                badOperand(out, what, i, inst, "mov needs a source");
+            break;
+          case Opcode::Add:
+          case Opcode::Sub:
+          case Opcode::And:
+          case Opcode::Or:
+          case Opcode::Xor:
+          case Opcode::Imul:
+          case Opcode::Cmp:
+          case Opcode::Test:
+            if (dst != OK::Reg)
+                badOperand(out, what, i, inst,
+                           "arithmetic destination must be a "
+                           "register");
+            else if (src != OK::Reg && src != OK::Imm)
+                badOperand(out, what, i, inst,
+                           "arithmetic source must be a register or "
+                           "immediate");
+            break;
+          case Opcode::Idiv:
+            if (dst != OK::Reg || src != OK::None)
+                badOperand(out, what, i, inst,
+                           "idiv takes exactly one register "
+                           "operand");
+            break;
+          case Opcode::Inc:
+          case Opcode::Dec:
+            if (dst != OK::Reg || src != OK::None)
+                badOperand(out, what, i, inst,
+                           "inc/dec take exactly one register "
+                           "operand");
+            break;
+          case Opcode::Cdq:
+          case Opcode::Nop:
+          case Opcode::Hlt:
+            if (dst != OK::None || src != OK::None)
+                badOperand(out, what, i, inst,
+                           "instruction takes no operands");
+            break;
+          case Opcode::Mark:
+            if (dst != OK::Imm)
+                badOperand(out, what, i, inst,
+                           "mark takes an immediate identifier");
+            break;
+          case Opcode::Jmp:
+          case Opcode::Je:
+          case Opcode::Jne:
+            if (inst.target < 0 || inst.target >= size)
+                badOperand(out, what, i, inst,
+                           "branch target is outside the program");
+            break;
+          default:
+            badOperand(out, what, i, inst,
+                       "opcode is not in the modeled x86 subset");
+            break;
+        }
+    }
+}
+
+void
+lintKernel(const kernels::AlternationKernel &kernel, Report &out)
+{
+    const std::string what = kernel.program.name().empty()
+                                 ? "alternation kernel"
+                                 : kernel.program.name();
+    lintProgram(kernel.program, what, out);
+
+    if (kernel.countA == 0 || kernel.countB == 0) {
+        out.add(DiagId::KernelStructure, what,
+                format("burst lengths must be positive (countA=%llu "
+                       "countB=%llu)",
+                       static_cast<unsigned long long>(kernel.countA),
+                       static_cast<unsigned long long>(
+                           kernel.countB)));
+    }
+
+    bool period_mark = false, half_mark = false, backward = false,
+         halts = false;
+    const auto &insts = kernel.program.instructions();
+    for (std::size_t i = 0; i < insts.size(); ++i) {
+        const auto &inst = insts[i];
+        if (inst.op == isa::Opcode::Mark && inst.dst.isImm()) {
+            period_mark |= inst.dst.imm == kernels::Marks::kPeriodStart;
+            half_mark |= inst.dst.imm == kernels::Marks::kHalfBoundary;
+        }
+        if (inst.isBranch() && inst.target >= 0 &&
+            static_cast<std::size_t>(inst.target) <= i) {
+            backward = true;
+        }
+        halts |= inst.op == isa::Opcode::Hlt;
+    }
+    if (!period_mark) {
+        out.add(DiagId::KernelStructure, what,
+                "no period-start mark; the meter cannot delimit "
+                "alternation periods");
+    }
+    if (!half_mark) {
+        out.add(DiagId::KernelStructure, what,
+                "no half-boundary mark; the meter cannot separate "
+                "the A and B bursts");
+    }
+    if (!backward) {
+        out.add(DiagId::KernelStructure, what,
+                "no backward branch; the alternation must loop "
+                "until the meter stops it");
+    }
+    if (halts) {
+        out.add(DiagId::KernelStructure, what,
+                "an alternation kernel must not halt; hlt belongs "
+                "to calibration kernels only");
+    }
+}
+
+} // namespace savat::analysis

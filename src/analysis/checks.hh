@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The individual static checks behind savat::analysis::Checker.
+ *
+ * Each function inspects one aspect of a campaign — measurement
+ * settings, machine geometry, burst solvability, generated kernels —
+ * without running any simulation, and appends its findings to a
+ * Report. Checker composes them; core calls the focused ones from
+ * the Meter/Campaign entry points.
+ */
+
+#ifndef SAVAT_ANALYSIS_CHECKS_HH
+#define SAVAT_ANALYSIS_CHECKS_HH
+
+#include "analysis/diagnostic.hh"
+#include "analysis/spec.hh"
+#include "isa/instruction.hh"
+#include "kernels/generator.hh"
+#include "uarch/machine.hh"
+
+namespace savat::analysis {
+
+/** Tunable thresholds of the checker. */
+struct CheckerOptions
+{
+    /** SAV-B002: allowed realized-frequency error from integer
+     * burst-length rounding (fraction of the intended frequency). */
+    double frequencyTolerance = 0.005;
+
+    /** SAV-B003: acceptable duty-cycle range under EqualCounts. */
+    double dutyMin = 0.2;
+    double dutyMax = 0.8;
+
+    /** SAV-S004: distances outside [min, max] are flagged as
+     * extrapolated beyond the propagation model's anchors. */
+    double distanceMinM = 0.05;
+    double distanceMaxM = 2.0;
+
+    /** SAV-S002: warn when rbw exceeds band/rbwBandRatio. */
+    double rbwBandRatio = 10.0;
+
+    /** Build and lint the generated kernels (slightly costlier). */
+    bool lintKernels = true;
+};
+
+/**
+ * Static estimate of the steady-state cycles per iteration of an
+ * event's half-loop: the loop body priced with the machine's latency
+ * table and the cache behaviour the event's footprint implies. A
+ * cost model, not a simulation — accurate to a few percent for the
+ * pipelined machines, which is enough for solvability checks.
+ */
+double estimateIterationCycles(const uarch::MachineConfig &m,
+                               kernels::EventKind e);
+
+/**
+ * SAV-U001/U002/U003: value sanity and the spec's unit audit trail.
+ */
+void checkUnits(const CampaignSpec &spec, const CheckerOptions &opts,
+                Report &out);
+
+/**
+ * SAV-K005 (+U001 for the clock): cache geometry realizable on the
+ * simulated machine.
+ */
+void checkMachine(const uarch::MachineConfig &m, Report &out);
+
+/**
+ * SAV-S001..S005: band/span/RBW consistency, Nyquist of the
+ * cycle-sampled activity trace, antenna band, propagation-model
+ * validity.
+ */
+void checkSpectral(const uarch::MachineConfig &m,
+                   const MeasurementSettings &s,
+                   const CheckerOptions &opts, Report &out);
+
+/**
+ * SAV-B001..B003 for one pair: burst lengths hitting the intended
+ * alternation frequency must exist (the paper's Section III
+ * precondition), survive integer rounding within tolerance, and —
+ * under EqualCounts — keep a usable duty cycle.
+ */
+void checkPairBursts(const uarch::MachineConfig &m,
+                     kernels::EventKind a, kernels::EventKind b,
+                     const MeasurementSettings &s,
+                     const CheckerOptions &opts, Report &out);
+
+/**
+ * SAV-K003: the event's sweep footprint must create the cache
+ * behaviour its name claims on this machine (an LDL1 sweep must fit
+ * in L1, an LDL2 sweep must overflow L1 but stay in L2, an LDM sweep
+ * must overflow L2).
+ */
+void checkEventFootprint(const uarch::MachineConfig &m,
+                         kernels::EventKind e, Report &out);
+
+/**
+ * SAV-K001: every instruction's operand shapes must be legal for the
+ * modeled x86 subset, and branch targets must stay inside the
+ * program. `what` names the program in messages.
+ */
+void lintProgram(const isa::Program &program, const std::string &what,
+                 Report &out);
+
+/**
+ * SAV-K001/K002: full kernel lint — the operand pass plus the
+ * alternation-kernel structure invariants (period and half-boundary
+ * marks present, endless A/B loop, non-empty bursts).
+ */
+void lintKernel(const kernels::AlternationKernel &kernel, Report &out);
+
+} // namespace savat::analysis
+
+#endif // SAVAT_ANALYSIS_CHECKS_HH

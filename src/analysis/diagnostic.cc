@@ -1,0 +1,192 @@
+#include "analysis/diagnostic.hh"
+
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace savat::analysis {
+
+const char *
+severityName(Severity s)
+{
+    switch (s) {
+      case Severity::Note: return "note";
+      case Severity::Warning: return "warning";
+      case Severity::Error: return "error";
+      default: SAVAT_PANIC("bad severity");
+    }
+}
+
+const char *
+diagIdName(DiagId id)
+{
+    switch (id) {
+      case DiagId::BurstUnsolvable: return "SAV-B001";
+      case DiagId::BurstQuantized: return "SAV-B002";
+      case DiagId::DutySkewed: return "SAV-B003";
+      case DiagId::InvalidOperand: return "SAV-K001";
+      case DiagId::KernelStructure: return "SAV-K002";
+      case DiagId::FootprintMismatch: return "SAV-K003";
+      case DiagId::DegeneratePair: return "SAV-K004";
+      case DiagId::InvalidGeometry: return "SAV-K005";
+      case DiagId::BandExceedsSpan: return "SAV-S001";
+      case DiagId::RbwTooCoarse: return "SAV-S002";
+      case DiagId::ToneAboveNyquist: return "SAV-S003";
+      case DiagId::DistanceOutsideModel: return "SAV-S004";
+      case DiagId::ToneBelowAntennaBand: return "SAV-S005";
+      case DiagId::NonpositiveQuantity: return "SAV-U001";
+      case DiagId::UnitMismatch: return "SAV-U002";
+      case DiagId::UnitMissing: return "SAV-U003";
+      case DiagId::UnknownMachine: return "SAV-C001";
+      default: SAVAT_PANIC("bad diagnostic id");
+    }
+}
+
+const char *
+diagIdSlug(DiagId id)
+{
+    switch (id) {
+      case DiagId::BurstUnsolvable: return "burst-unsolvable";
+      case DiagId::BurstQuantized: return "burst-quantized";
+      case DiagId::DutySkewed: return "duty-skewed";
+      case DiagId::InvalidOperand: return "invalid-operand";
+      case DiagId::KernelStructure: return "kernel-structure";
+      case DiagId::FootprintMismatch: return "footprint-mismatch";
+      case DiagId::DegeneratePair: return "degenerate-pair";
+      case DiagId::InvalidGeometry: return "invalid-geometry";
+      case DiagId::BandExceedsSpan: return "band-exceeds-span";
+      case DiagId::RbwTooCoarse: return "rbw-too-coarse";
+      case DiagId::ToneAboveNyquist: return "tone-above-nyquist";
+      case DiagId::DistanceOutsideModel: return "distance-outside-model";
+      case DiagId::ToneBelowAntennaBand: return "tone-below-antenna-band";
+      case DiagId::NonpositiveQuantity: return "nonpositive-quantity";
+      case DiagId::UnitMismatch: return "unit-mismatch";
+      case DiagId::UnitMissing: return "unit-missing";
+      case DiagId::UnknownMachine: return "unknown-machine";
+      default: SAVAT_PANIC("bad diagnostic id");
+    }
+}
+
+Severity
+diagIdSeverity(DiagId id)
+{
+    switch (id) {
+      case DiagId::BurstUnsolvable:
+      case DiagId::InvalidOperand:
+      case DiagId::KernelStructure:
+      case DiagId::FootprintMismatch:
+      case DiagId::InvalidGeometry:
+      case DiagId::BandExceedsSpan:
+      case DiagId::ToneAboveNyquist:
+      case DiagId::NonpositiveQuantity:
+      case DiagId::UnitMismatch:
+      case DiagId::UnknownMachine:
+        return Severity::Error;
+      case DiagId::BurstQuantized:
+      case DiagId::DutySkewed:
+      case DiagId::RbwTooCoarse:
+      case DiagId::DistanceOutsideModel:
+      case DiagId::ToneBelowAntennaBand:
+      case DiagId::UnitMissing:
+        return Severity::Warning;
+      case DiagId::DegeneratePair:
+        return Severity::Note;
+      default:
+        SAVAT_PANIC("bad diagnostic id");
+    }
+}
+
+std::string
+Diagnostic::toString() const
+{
+    std::ostringstream oss;
+    if (!file.empty())
+        oss << file << ":";
+    if (line > 0)
+        oss << line << ":";
+    if (!file.empty() || line > 0)
+        oss << " ";
+    oss << severityName(severity) << "[" << diagIdName(id) << "] "
+        << diagIdSlug(id) << ": " << message;
+    if (!field.empty())
+        oss << " (field: " << field << ")";
+    if (!hint.empty())
+        oss << "\n  hint: " << hint;
+    return oss.str();
+}
+
+void
+Report::add(DiagId id, std::string field, std::string message,
+            std::string hint)
+{
+    Diagnostic d;
+    d.id = id;
+    d.severity = diagIdSeverity(id);
+    d.field = std::move(field);
+    d.message = std::move(message);
+    d.hint = std::move(hint);
+    _diags.push_back(std::move(d));
+}
+
+void
+Report::add(Diagnostic d)
+{
+    _diags.push_back(std::move(d));
+}
+
+void
+Report::merge(const Report &other)
+{
+    _diags.insert(_diags.end(), other._diags.begin(),
+                  other._diags.end());
+}
+
+std::size_t
+Report::count(Severity s) const
+{
+    std::size_t n = 0;
+    for (const auto &d : _diags) {
+        if (d.severity == s)
+            ++n;
+    }
+    return n;
+}
+
+std::size_t
+Report::count(DiagId id) const
+{
+    std::size_t n = 0;
+    for (const auto &d : _diags) {
+        if (d.id == id)
+            ++n;
+    }
+    return n;
+}
+
+void
+Report::render(std::ostream &os) const
+{
+    for (const auto &d : _diags)
+        os << d.toString() << "\n";
+}
+
+std::string
+Report::toString() const
+{
+    std::ostringstream oss;
+    render(oss);
+    return oss.str();
+}
+
+std::string
+Report::errorSummary() const
+{
+    std::ostringstream oss;
+    for (const auto &d : _diags) {
+        if (d.severity == Severity::Error)
+            oss << d.toString() << "\n";
+    }
+    return oss.str();
+}
+
+} // namespace savat::analysis

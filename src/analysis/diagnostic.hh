@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Structured diagnostics for the static-analysis layer.
+ *
+ * Every problem the checker finds is reported as a Diagnostic: a
+ * stable identifier (the `SAV-xxxx` namespace documented in
+ * DESIGN.md), a severity, a human-readable message, the spec field
+ * (and, for parsed spec files, the line) it refers to, and a fix-it
+ * hint. Diagnostics accumulate in a Report, which Campaign/Meter
+ * consult to refuse invalid work before any simulation runs.
+ */
+
+#ifndef SAVAT_ANALYSIS_DIAGNOSTIC_HH
+#define SAVAT_ANALYSIS_DIAGNOSTIC_HH
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace savat::analysis {
+
+/** How bad a finding is. Errors block execution. */
+enum class Severity : std::uint8_t {
+    Note,    //!< methodological observation, never blocks
+    Warning, //!< suspicious but runnable configuration
+    Error    //!< the measurement cannot produce a meaningful SAVAT
+};
+
+/** Display name ("note", "warning", "error"). */
+const char *severityName(Severity s);
+
+/**
+ * Stable diagnostic identifiers. The letter groups follow the
+ * checker's four concerns: Burst solvability, Kernel lint, Spectral
+ * configuration, Unit/value audits, plus Campaign-level checks.
+ */
+enum class DiagId : std::uint8_t {
+    BurstUnsolvable,      //!< SAV-B001: no burst lengths reach f_alt
+    BurstQuantized,       //!< SAV-B002: integer counts miss f_alt
+    DutySkewed,           //!< SAV-B003: EqualCounts duty far from 50 %
+    InvalidOperand,       //!< SAV-K001: operand shape outside the ISA
+    KernelStructure,      //!< SAV-K002: marks/loop structure broken
+    FootprintMismatch,    //!< SAV-K003: working set contradicts level
+    DegeneratePair,       //!< SAV-K004: explicit A == B pair
+    InvalidGeometry,      //!< SAV-K005: cache geometry unrealizable
+    BandExceedsSpan,      //!< SAV-S001: band outside synthesized span
+    RbwTooCoarse,         //!< SAV-S002: RBW/band mismatch
+    ToneAboveNyquist,     //!< SAV-S003: tone past cycle-rate Nyquist
+    DistanceOutsideModel, //!< SAV-S004: distance beyond anchors
+    ToneBelowAntennaBand, //!< SAV-S005: tone under antenna corner
+    NonpositiveQuantity,  //!< SAV-U001: physical quantity <= 0
+    UnitMismatch,         //!< SAV-U002: wrong dimension in spec
+    UnitMissing,          //!< SAV-U003: bare number in spec
+    UnknownMachine,       //!< SAV-C001: machine id not registered
+    NumIds
+};
+
+/** Number of distinct diagnostic identifiers. */
+inline constexpr std::size_t kNumDiagIds =
+    static_cast<std::size_t>(DiagId::NumIds);
+
+/** Stable identifier string ("SAV-B001"). */
+const char *diagIdName(DiagId id);
+
+/** Short slug ("burst-unsolvable"). */
+const char *diagIdSlug(DiagId id);
+
+/** Built-in severity of a diagnostic kind. */
+Severity diagIdSeverity(DiagId id);
+
+/** One finding. */
+struct Diagnostic
+{
+    DiagId id = DiagId::NumIds;
+    Severity severity = Severity::Error;
+
+    /** What is wrong, with the offending values spelled out. */
+    std::string message;
+
+    /** Spec field the finding refers to ("alternation", "pair"). */
+    std::string field;
+
+    /** How to fix it; empty when no concrete fix exists. */
+    std::string hint;
+
+    /** Source file of a parsed spec ("" for in-memory specs). */
+    std::string file;
+
+    /** 1-based line in the spec file; 0 when unknown. */
+    std::size_t line = 0;
+
+    /** "spec:12: error[SAV-S001] band-exceeds-span: ..." */
+    std::string toString() const;
+};
+
+/** An ordered collection of diagnostics. */
+class Report
+{
+  public:
+    /** Record a finding with its built-in severity. */
+    void add(DiagId id, std::string field, std::string message,
+             std::string hint = "");
+
+    /** Record a fully populated finding. */
+    void add(Diagnostic d);
+
+    /** Append every finding of another report. */
+    void merge(const Report &other);
+
+    const std::vector<Diagnostic> &diagnostics() const { return _diags; }
+
+    std::size_t size() const { return _diags.size(); }
+    bool empty() const { return _diags.empty(); }
+
+    /** Findings at the given severity. */
+    std::size_t count(Severity s) const;
+
+    /** Findings with the given identifier. */
+    std::size_t count(DiagId id) const;
+
+    bool has(DiagId id) const { return count(id) > 0; }
+    bool hasErrors() const { return count(Severity::Error) > 0; }
+
+    /** Render every finding, one per line (hints indented below). */
+    void render(std::ostream &os) const;
+    std::string toString() const;
+
+    /** Render only the error-severity findings. */
+    std::string errorSummary() const;
+
+  private:
+    std::vector<Diagnostic> _diags;
+};
+
+} // namespace savat::analysis
+
+#endif // SAVAT_ANALYSIS_DIAGNOSTIC_HH

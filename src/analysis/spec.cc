@@ -1,0 +1,338 @@
+#include "analysis/spec.hh"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "support/strings.hh"
+
+namespace savat::analysis {
+
+namespace {
+
+/** Dimensions a spec quantity can have. */
+enum class Dim { Frequency, Length, Size };
+
+const char *
+dimName(Dim d)
+{
+    switch (d) {
+      case Dim::Frequency: return "a frequency (Hz/kHz/MHz/GHz)";
+      case Dim::Length: return "a length (mm/cm/m)";
+      case Dim::Size: return "a size (B/KiB/MiB)";
+    }
+    return "?";
+}
+
+/** Scale to SI for a unit suffix; nullopt when not of this dim. */
+std::optional<double>
+unitScale(Dim d, const std::string &unit)
+{
+    const std::string u = toLower(unit);
+    switch (d) {
+      case Dim::Frequency:
+        if (u == "hz") return 1.0;
+        if (u == "khz") return 1e3;
+        if (u == "mhz") return 1e6;
+        if (u == "ghz") return 1e9;
+        return std::nullopt;
+      case Dim::Length:
+        if (u == "mm") return 1e-3;
+        if (u == "cm") return 1e-2;
+        if (u == "m") return 1.0;
+        return std::nullopt;
+      case Dim::Size:
+        if (u == "b") return 1.0;
+        if (u == "kib" || u == "kb") return 1024.0;
+        if (u == "mib" || u == "mb") return 1024.0 * 1024.0;
+        return std::nullopt;
+    }
+    return std::nullopt;
+}
+
+/** True when the suffix is a unit of any known dimension. */
+bool
+isAnyUnit(const std::string &unit)
+{
+    for (Dim d : {Dim::Frequency, Dim::Length, Dim::Size}) {
+        if (unitScale(d, unit))
+            return true;
+    }
+    return false;
+}
+
+bool
+parseDouble(const std::string &s, double &out)
+{
+    char *end = nullptr;
+    out = std::strtod(s.c_str(), &end);
+    return end != nullptr && *end == '\0' && !s.empty();
+}
+
+/** Non-fatal event lookup (kernels::eventByName exits on failure). */
+std::optional<kernels::EventKind>
+findEvent(const std::string &name)
+{
+    for (auto e : kernels::extendedEvents()) {
+        if (name == kernels::eventName(e))
+            return e;
+    }
+    return std::nullopt;
+}
+
+struct Parser
+{
+    CampaignSpec spec;
+    std::string error;
+    std::size_t errorLine = 0;
+
+    bool
+    fail(std::size_t line, std::string msg)
+    {
+        if (error.empty()) {
+            error = std::move(msg);
+            errorLine = line;
+        }
+        return false;
+    }
+
+    /**
+     * Parse "<number> [unit]" with the field's expected dimension;
+     * returns the value in SI units. A bare number is interpreted in
+     * `fallback` (the unit the paper and examples use) and audited;
+     * a suffix of the wrong dimension keeps the field's previous
+     * value and is audited.
+     */
+    std::optional<double>
+    quantity(const std::string &field, Dim dim, double fallbackScale,
+             const std::vector<std::string> &args, std::size_t line)
+    {
+        if (args.empty() || args.size() > 2) {
+            fail(line, field + " expects '<number> [unit]'");
+            return std::nullopt;
+        }
+        double v = 0.0;
+        if (!parseDouble(args[0], v)) {
+            fail(line, "malformed number '" + args[0] + "'");
+            return std::nullopt;
+        }
+        if (args.size() == 1) {
+            spec.unitAudits.push_back(
+                {field, args[0], dimName(dim), line, true});
+            return v * fallbackScale;
+        }
+        if (auto scale = unitScale(dim, args[1]))
+            return v * *scale;
+        if (isAnyUnit(args[1])) {
+            // Wrong dimension: keep the default value, audit it.
+            spec.unitAudits.push_back(
+                {field, args[0] + " " + args[1], dimName(dim), line,
+                 false});
+            return std::nullopt;
+        }
+        fail(line, "unknown unit '" + args[1] + "' for " + field);
+        return std::nullopt;
+    }
+
+    bool
+    integer(const std::string &field,
+            const std::vector<std::string> &args, std::size_t line,
+            std::size_t &out)
+    {
+        long long v = 0;
+        if (args.size() != 1 || !parseInt(args[0], v) || v < 0)
+            return fail(line, field + " expects a non-negative integer");
+        out = static_cast<std::size_t>(v);
+        return true;
+    }
+
+    bool
+    handle(const std::string &key,
+           const std::vector<std::string> &args, std::size_t line)
+    {
+        auto &s = spec;
+        s.fieldLines[key] = line;
+        if (key == "campaign") {
+            if (args.empty())
+                return fail(line, "campaign expects a name");
+            s.name = args[0];
+            return true;
+        }
+        if (key == "machine") {
+            if (args.size() != 1)
+                return fail(line, "machine expects one identifier");
+            s.machineId = args[0];
+            return true;
+        }
+        if (key == "events") {
+            for (const auto &name : args) {
+                const auto e = findEvent(name);
+                if (!e)
+                    return fail(line, "unknown event '" + name + "'");
+                s.events.push_back(*e);
+            }
+            return true;
+        }
+        if (key == "pair") {
+            if (args.size() != 2)
+                return fail(line, "pair expects two event names");
+            const auto a = findEvent(args[0]);
+            const auto b = findEvent(args[1]);
+            if (!a || !b)
+                return fail(line, "unknown event in pair");
+            s.pairs.emplace_back(*a, *b);
+            return true;
+        }
+        if (key == "repetitions")
+            return integer(key, args, line, s.repetitions);
+        if (key == "periods")
+            return integer(key, args, line, s.settings.measurePeriods);
+        if (key == "alternation") {
+            if (auto v = quantity(key, Dim::Frequency, 1e3, args, line))
+                s.settings.alternation = Frequency(*v);
+            return error.empty();
+        }
+        if (key == "distance") {
+            if (auto v = quantity(key, Dim::Length, 1e-2, args, line))
+                s.settings.distance = Distance(*v);
+            return error.empty();
+        }
+        if (key == "band") {
+            if (auto v = quantity(key, Dim::Frequency, 1.0, args, line))
+                s.settings.bandHz = *v;
+            return error.empty();
+        }
+        if (key == "span") {
+            if (auto v = quantity(key, Dim::Frequency, 1.0, args, line))
+                s.settings.spanHz = *v;
+            return error.empty();
+        }
+        if (key == "rbw") {
+            if (auto v = quantity(key, Dim::Frequency, 1.0, args, line))
+                s.settings.rbwHz = *v;
+            return error.empty();
+        }
+        if (key == "clock") {
+            if (auto v = quantity(key, Dim::Frequency, 1e9, args, line))
+                s.clockOverride = Frequency(*v);
+            return error.empty();
+        }
+        if (key == "l1") {
+            if (auto v = quantity(key, Dim::Size, 1024.0, args, line))
+                s.l1SizeBytes = static_cast<std::uint64_t>(*v);
+            return error.empty();
+        }
+        if (key == "l2") {
+            if (auto v = quantity(key, Dim::Size, 1024.0, args, line))
+                s.l2SizeBytes = static_cast<std::uint64_t>(*v);
+            return error.empty();
+        }
+        if (key == "pairing") {
+            if (args.size() == 1 && args[0] == "equal-duration") {
+                s.settings.pairing = kernels::PairingMode::EqualDuration;
+                return true;
+            }
+            if (args.size() == 1 && args[0] == "equal-counts") {
+                s.settings.pairing = kernels::PairingMode::EqualCounts;
+                return true;
+            }
+            return fail(line, "pairing expects equal-duration or "
+                              "equal-counts");
+        }
+        if (key == "channel") {
+            if (args.size() == 1 && args[0] == "em") {
+                s.settings.powerRail = false;
+                return true;
+            }
+            if (args.size() == 1 && args[0] == "power") {
+                s.settings.powerRail = true;
+                return true;
+            }
+            return fail(line, "channel expects em or power");
+        }
+        return fail(line, "unknown key '" + key + "'");
+    }
+};
+
+} // namespace
+
+std::size_t
+CampaignSpec::lineOf(const std::string &field) const
+{
+    const auto it = fieldLines.find(field);
+    return it == fieldLines.end() ? 0 : it->second;
+}
+
+bool
+CampaignSpec::machineKnown() const
+{
+    for (const auto &m : uarch::caseStudyMachines()) {
+        if (m.id == machineId)
+            return true;
+    }
+    return false;
+}
+
+uarch::MachineConfig
+CampaignSpec::machine() const
+{
+    auto m = uarch::machineById(machineId);
+    if (clockOverride)
+        m.clock = *clockOverride;
+    if (l1SizeBytes)
+        m.l1.sizeBytes = static_cast<std::uint32_t>(*l1SizeBytes);
+    if (l2SizeBytes)
+        m.l2.sizeBytes = static_cast<std::uint32_t>(*l2SizeBytes);
+    return m;
+}
+
+std::vector<kernels::EventKind>
+CampaignSpec::effectiveEvents() const
+{
+    return events.empty() ? kernels::allEvents() : events;
+}
+
+SpecParseResult
+parseCampaignSpec(std::istream &in, const std::string &filename)
+{
+    Parser p;
+    p.spec.file = filename;
+
+    std::string raw;
+    std::size_t lineno = 0;
+    while (std::getline(in, raw)) {
+        ++lineno;
+        const auto hash = raw.find('#');
+        if (hash != std::string::npos)
+            raw.erase(hash);
+        const std::string line = trim(raw);
+        if (line.empty())
+            continue;
+        auto tokens = splitWhitespace(line);
+        const std::string key = tokens.front();
+        tokens.erase(tokens.begin());
+        if (!p.handle(key, tokens, lineno))
+            break;
+    }
+
+    SpecParseResult result;
+    result.spec = std::move(p.spec);
+    result.ok = p.error.empty();
+    result.error = std::move(p.error);
+    result.errorLine = p.errorLine;
+    return result;
+}
+
+SpecParseResult
+parseCampaignSpecFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        SpecParseResult result;
+        result.error = "cannot open " + path;
+        return result;
+    }
+    return parseCampaignSpec(in, path);
+}
+
+} // namespace savat::analysis

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Declarative campaign specifications.
+ *
+ * A CampaignSpec is the static description of a measurement campaign
+ * — everything Campaign/Meter need, but as checkable data instead of
+ * live objects: the target machine (optionally with geometry
+ * overrides for what-if analysis), the event set or explicit pair
+ * list, and the measurement settings. Specs are either built in
+ * code (core converts its configs into one before running) or parsed
+ * from the `savat-lint` text format:
+ *
+ *     # sample campaign spec
+ *     campaign core2duo-baseline
+ *     machine core2duo
+ *     events ADD SUB LDM
+ *     pair ADD LDM
+ *     repetitions 10
+ *     alternation 80 kHz
+ *     distance 10 cm
+ *     band 1 kHz
+ *     span 2 kHz
+ *     rbw 1 Hz
+ *     periods 8
+ *     pairing equal-duration
+ *     channel em
+ *     clock 2.4 GHz        # machine override
+ *     l1 32 KiB            # machine override
+ *     l2 4096 KiB          # machine override
+ *
+ * The parser records the source line of every field and keeps a unit
+ * audit trail (bare numbers, wrong dimensions) that the checker
+ * turns into SAV-U002/SAV-U003 diagnostics.
+ */
+
+#ifndef SAVAT_ANALYSIS_SPEC_HH
+#define SAVAT_ANALYSIS_SPEC_HH
+
+#include <istream>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "kernels/events.hh"
+#include "kernels/generator.hh"
+#include "support/units.hh"
+#include "uarch/machine.hh"
+
+namespace savat::analysis {
+
+/**
+ * Measurement settings mirror of core::MeterConfig, restated here so
+ * the analysis layer stays below core in the link order. core
+ * converts between the two; the fields match one to one, plus the
+ * receiving antenna's rated band (used by the spectral checks).
+ */
+struct MeasurementSettings
+{
+    Frequency alternation = Frequency::khz(80.0);
+    Distance distance = Distance::centimeters(10.0);
+    kernels::PairingMode pairing = kernels::PairingMode::EqualDuration;
+    std::size_t measurePeriods = 8;
+    double bandHz = 1000.0;
+    double spanHz = 2000.0;
+    double rbwHz = 1.0;
+
+    /** Measure the power rail instead of the EM antenna. */
+    bool powerRail = false;
+
+    /** Rated band of the loop antenna (EM channel only). */
+    Frequency antennaCorner = Frequency::khz(10.0);
+    Frequency antennaMax = Frequency::mhz(500.0);
+};
+
+/** One suspicious unit usage recorded during parsing. */
+struct UnitAudit
+{
+    std::string field;     //!< spec key ("distance")
+    std::string text;      //!< offending token(s) ("10 s")
+    std::string expected;  //!< expected dimension ("a length")
+    std::size_t line = 0;  //!< 1-based source line
+    bool missing = false;  //!< bare number (else: wrong dimension)
+};
+
+/** A checkable campaign description. */
+struct CampaignSpec
+{
+    std::string name;     //!< optional display name
+    std::string file;     //!< source path ("" for in-memory specs)
+
+    std::string machineId = "core2duo";
+
+    /** Events to pair; empty means the paper's eleven. */
+    std::vector<kernels::EventKind> events;
+
+    /** Explicit pairs; empty means the full pairwise matrix. */
+    std::vector<std::pair<kernels::EventKind, kernels::EventKind>>
+        pairs;
+
+    std::size_t repetitions = 10;
+
+    MeasurementSettings settings;
+
+    /** Geometry overrides applied on top of the registered machine. */
+    std::optional<Frequency> clockOverride;
+    std::optional<std::uint64_t> l1SizeBytes;
+    std::optional<std::uint64_t> l2SizeBytes;
+
+    /** Source line of each parsed field (absent for built specs). */
+    std::map<std::string, std::size_t> fieldLines;
+
+    /** Unit problems found while parsing. */
+    std::vector<UnitAudit> unitAudits;
+
+    /** Source line of a field; 0 when unknown. */
+    std::size_t lineOf(const std::string &field) const;
+
+    /** True when machineId names a registered case-study machine. */
+    bool machineKnown() const;
+
+    /**
+     * The machine under test: the registered configuration with the
+     * spec's overrides applied. Requires machineKnown().
+     */
+    uarch::MachineConfig machine() const;
+
+    /** The effective event list (defaults to the paper's eleven). */
+    std::vector<kernels::EventKind> effectiveEvents() const;
+};
+
+/** Outcome of parsing a spec. */
+struct SpecParseResult
+{
+    CampaignSpec spec;
+    bool ok = false;
+    std::string error;       //!< first hard syntax error
+    std::size_t errorLine = 0;
+};
+
+/**
+ * Parse the text format described above. Unknown keys, unparsable
+ * numbers and unknown event names are hard errors; unit problems are
+ * recorded in the spec's audit trail for the checker.
+ */
+SpecParseResult parseCampaignSpec(std::istream &in,
+                                  const std::string &filename = "");
+
+/** Convenience: open and parse a spec file. */
+SpecParseResult parseCampaignSpecFile(const std::string &path);
+
+} // namespace savat::analysis
+
+#endif // SAVAT_ANALYSIS_SPEC_HH

@@ -1,5 +1,6 @@
 #include "core/campaign.hh"
 
+#include "analysis/checker.hh"
 #include "support/logging.hh"
 
 namespace savat::core {
@@ -44,6 +45,22 @@ runCampaignPairs(
     const ProgressFn &progress)
 {
     const auto events = effectiveEvents(config);
+
+    // Static validation of the whole campaign before any simulation
+    // burns time; every error-level diagnostic is fatal here.
+    analysis::CampaignSpec spec;
+    spec.name = "campaign(" + config.machineId + ")";
+    spec.machineId = config.machineId;
+    spec.events = events;
+    spec.pairs = pairs;
+    spec.repetitions = config.repetitions;
+    spec.settings = toAnalysisSettings(config.meter, em::LoopAntenna());
+    const auto report = analysis::Checker().check(spec);
+    if (report.hasErrors()) {
+        SAVAT_FATAL("invalid campaign configuration:\n",
+                    report.errorSummary());
+    }
+
     CampaignResult result{config, SavatMatrix(events), {}};
     result.config.events = events;
     result.simulations.resize(events.size() * events.size());

@@ -30,6 +30,24 @@ class GatedTrace : public uarch::ActivitySink
 
 } // namespace
 
+analysis::MeasurementSettings
+toAnalysisSettings(const MeterConfig &config,
+                   const em::LoopAntenna &antenna)
+{
+    analysis::MeasurementSettings s;
+    s.alternation = config.alternation;
+    s.distance = config.distance;
+    s.pairing = config.pairing;
+    s.measurePeriods = config.measurePeriods;
+    s.bandHz = config.bandHz;
+    s.spanHz = config.spanHz;
+    s.rbwHz = config.rbwHz;
+    s.powerRail = config.sideChannel == SideChannel::Power;
+    s.antennaCorner = antenna.corner();
+    s.antennaMax = antenna.maxFrequency();
+    return s;
+}
+
 SavatMeter::SavatMeter(uarch::MachineConfig machine,
                        em::ReceivedSignalSynthesizer synth,
                        MeterConfig config)
@@ -37,6 +55,18 @@ SavatMeter::SavatMeter(uarch::MachineConfig machine,
       _synth(std::move(synth)),
       _config(config)
 {
+    const auto report = validate();
+    if (report.hasErrors()) {
+        SAVAT_FATAL("invalid measurement configuration:\n",
+                    report.errorSummary());
+    }
+}
+
+analysis::Report
+SavatMeter::validate() const
+{
+    return analysis::Checker().checkMeasurement(
+        _machine, toAnalysisSettings(_config, _synth.antenna()));
 }
 
 SavatMeter
@@ -67,6 +97,14 @@ SavatMeter::simulatePair(EventKind a, EventKind b)
     auto it = _pairCache.find(key);
     if (it != _pairCache.end())
         return it->second;
+    const auto report = analysis::Checker().checkPair(
+        _machine, a, b,
+        toAnalysisSettings(_config, _synth.antenna()));
+    if (report.hasErrors()) {
+        SAVAT_FATAL("refusing to measure ", kernels::eventName(a),
+                    "/", kernels::eventName(b), ":\n",
+                    report.errorSummary());
+    }
     auto sim = runPairSimulation(a, b);
     return _pairCache.emplace(key, std::move(sim)).first->second;
 }

@@ -29,6 +29,7 @@
 #include <functional>
 #include <map>
 
+#include "analysis/checker.hh"
 #include "em/synth.hh"
 #include "kernels/generator.hh"
 #include "kernels/sequence.hh"
@@ -77,6 +78,16 @@ struct MeterConfig
     /** Noise floor of the power-measurement front end [W/Hz]. */
     double powerNoiseFloorWPerHz = 2.0e-16;
 };
+
+/**
+ * The analysis-layer view of a meter configuration (the static
+ * checker lives below core, so it defines its own mirror struct).
+ * The antenna supplies the rated-band limits the spectral checks
+ * need.
+ */
+analysis::MeasurementSettings
+toAnalysisSettings(const MeterConfig &config,
+                   const em::LoopAntenna &antenna);
 
 /** Deterministic per-pair simulation products (environment-free). */
 struct PairSimulation
@@ -133,9 +144,20 @@ class SavatMeter
      * @param synth   Emission/propagation/antenna/environment chain
      *                (must match the machine).
      * @param config  Measurement parameters.
+     *
+     * The configuration is statically validated on construction;
+     * error-level diagnostics (see analysis::Checker) are fatal.
      */
     SavatMeter(uarch::MachineConfig machine,
                em::ReceivedSignalSynthesizer synth, MeterConfig config);
+
+    /**
+     * Static validation of this meter's configuration: the
+     * machine-geometry and spectral passes of analysis::Checker.
+     * Construction already refuses error-level findings; this
+     * exposes the full report (warnings and notes included).
+     */
+    analysis::Report validate() const;
 
     /** Convenience: build the full chain for a case-study machine. */
     static SavatMeter forMachine(const std::string &machineId,

@@ -1,0 +1,571 @@
+/**
+ * @file
+ * Tests for the savat::analysis static checker: every diagnostic ID
+ * fires on a deliberately broken spec, the seed configurations stay
+ * diagnostic-free, and Campaign/Meter refuse error-level specs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "analysis/checker.hh"
+#include "core/campaign.hh"
+#include "core/meter.hh"
+#include "kernels/generator.hh"
+#include "uarch/machine.hh"
+
+using namespace savat;
+using namespace savat::analysis;
+using kernels::EventKind;
+
+namespace {
+
+CampaignSpec
+parseOrDie(const std::string &text)
+{
+    std::istringstream in(text);
+    const auto res = parseCampaignSpec(in, "test.spec");
+    EXPECT_TRUE(res.ok) << "line " << res.errorLine << ": "
+                        << res.error;
+    return res.spec;
+}
+
+Report
+checkText(const std::string &text)
+{
+    return Checker{}.check(parseOrDie(text));
+}
+
+/** A spec equivalent to the paper's Section V setup; must be clean. */
+const char *const kValidSpec = R"(# unit-test baseline
+campaign unit-test
+machine core2duo
+events ADD LDM
+repetitions 10
+alternation 80 kHz
+distance 10 cm
+band 1000 Hz
+span 2000 Hz
+rbw 1 Hz
+)";
+
+} // namespace
+
+// ---------------------------------------------------------------
+// Diagnostic / Report plumbing
+// ---------------------------------------------------------------
+
+TEST(Diagnostics, IdNamesAreUniqueAndStable)
+{
+    std::set<std::string> names, slugs;
+    for (std::size_t i = 0; i < kNumDiagIds; ++i) {
+        const auto id = static_cast<DiagId>(i);
+        names.insert(diagIdName(id));
+        slugs.insert(diagIdSlug(id));
+    }
+    EXPECT_EQ(names.size(), kNumDiagIds);
+    EXPECT_EQ(slugs.size(), kNumDiagIds);
+    EXPECT_STREQ(diagIdName(DiagId::BurstUnsolvable), "SAV-B001");
+    EXPECT_STREQ(diagIdName(DiagId::UnknownMachine), "SAV-C001");
+    EXPECT_STREQ(diagIdSlug(DiagId::BandExceedsSpan),
+                 "band-exceeds-span");
+}
+
+TEST(Diagnostics, BuiltInSeverities)
+{
+    EXPECT_EQ(diagIdSeverity(DiagId::BurstUnsolvable), Severity::Error);
+    EXPECT_EQ(diagIdSeverity(DiagId::BurstQuantized), Severity::Warning);
+    EXPECT_EQ(diagIdSeverity(DiagId::DegeneratePair), Severity::Note);
+    EXPECT_EQ(diagIdSeverity(DiagId::UnitMissing), Severity::Warning);
+    EXPECT_EQ(diagIdSeverity(DiagId::UnitMismatch), Severity::Error);
+}
+
+TEST(Diagnostics, ReportAccounting)
+{
+    Report r;
+    EXPECT_TRUE(r.empty());
+    EXPECT_FALSE(r.hasErrors());
+    r.add(DiagId::BandExceedsSpan, "band", "band outside span",
+          "widen the span");
+    r.add(DiagId::UnitMissing, "distance", "bare number");
+
+    EXPECT_EQ(r.size(), 2u);
+    EXPECT_EQ(r.count(Severity::Error), 1u);
+    EXPECT_EQ(r.count(Severity::Warning), 1u);
+    EXPECT_TRUE(r.has(DiagId::BandExceedsSpan));
+    EXPECT_FALSE(r.has(DiagId::BurstUnsolvable));
+    EXPECT_TRUE(r.hasErrors());
+
+    Report other;
+    other.add(DiagId::DegeneratePair, "pair", "A == A");
+    r.merge(other);
+    EXPECT_EQ(r.size(), 3u);
+    EXPECT_EQ(r.count(Severity::Note), 1u);
+
+    const std::string text = r.toString();
+    EXPECT_NE(text.find("SAV-S001"), std::string::npos);
+    EXPECT_NE(text.find("band-exceeds-span"), std::string::npos);
+    EXPECT_NE(text.find("widen the span"), std::string::npos);
+
+    const std::string errors = r.errorSummary();
+    EXPECT_NE(errors.find("SAV-S001"), std::string::npos);
+    EXPECT_EQ(errors.find("SAV-K004"), std::string::npos);
+}
+
+TEST(Diagnostics, ToStringCarriesLocation)
+{
+    Diagnostic d;
+    d.id = DiagId::RbwTooCoarse;
+    d.severity = Severity::Warning;
+    d.message = "RBW too coarse";
+    d.field = "rbw";
+    d.hint = "use 1 Hz";
+    d.file = "campaign.spec";
+    d.line = 7;
+    const std::string s = d.toString();
+    EXPECT_NE(s.find("campaign.spec:7"), std::string::npos);
+    EXPECT_NE(s.find("warning"), std::string::npos);
+    EXPECT_NE(s.find("SAV-S002"), std::string::npos);
+    EXPECT_NE(s.find("rbw"), std::string::npos);
+}
+
+// ---------------------------------------------------------------
+// Spec parser
+// ---------------------------------------------------------------
+
+TEST(SpecParser, ParsesEveryField)
+{
+    const auto spec = parseOrDie(R"(campaign full
+machine pentium3m
+events ADD SUB
+pair MUL DIV
+repetitions 7
+periods 16
+alternation 40 kHz
+distance 50 cm
+band 500 Hz
+span 1 kHz
+rbw 10 Hz
+pairing equal-counts
+channel power
+clock 1.0 GHz
+l1 16 KiB
+l2 1024 KiB
+)");
+    EXPECT_EQ(spec.name, "full");
+    EXPECT_EQ(spec.machineId, "pentium3m");
+    ASSERT_EQ(spec.events.size(), 2u);
+    EXPECT_EQ(spec.events[0], EventKind::ADD);
+    ASSERT_EQ(spec.pairs.size(), 1u);
+    EXPECT_EQ(spec.pairs[0].first, EventKind::MUL);
+    EXPECT_EQ(spec.pairs[0].second, EventKind::DIV);
+    EXPECT_EQ(spec.repetitions, 7u);
+    EXPECT_EQ(spec.settings.measurePeriods, 16u);
+    EXPECT_DOUBLE_EQ(spec.settings.alternation.inHz(), 40e3);
+    EXPECT_DOUBLE_EQ(spec.settings.distance.inMeters(), 0.5);
+    EXPECT_DOUBLE_EQ(spec.settings.bandHz, 500.0);
+    EXPECT_DOUBLE_EQ(spec.settings.spanHz, 1000.0);
+    EXPECT_DOUBLE_EQ(spec.settings.rbwHz, 10.0);
+    EXPECT_EQ(spec.settings.pairing, kernels::PairingMode::EqualCounts);
+    EXPECT_TRUE(spec.settings.powerRail);
+    ASSERT_TRUE(spec.clockOverride.has_value());
+    EXPECT_DOUBLE_EQ(spec.clockOverride->inHz(), 1e9);
+    ASSERT_TRUE(spec.l1SizeBytes.has_value());
+    EXPECT_EQ(*spec.l1SizeBytes, 16u * 1024u);
+    ASSERT_TRUE(spec.l2SizeBytes.has_value());
+    EXPECT_EQ(*spec.l2SizeBytes, 1024u * 1024u);
+    EXPECT_TRUE(spec.unitAudits.empty());
+    EXPECT_EQ(spec.lineOf("alternation"), 7u);
+    EXPECT_EQ(spec.lineOf("nonexistent"), 0u);
+}
+
+TEST(SpecParser, CommentsAndBlanksIgnored)
+{
+    const auto spec = parseOrDie("\n# full-line comment\n"
+                                 "machine turionx2   # trailing\n\n");
+    EXPECT_EQ(spec.machineId, "turionx2");
+}
+
+TEST(SpecParser, UnknownKeyIsHardError)
+{
+    std::istringstream in("machine core2duo\nfrequency 80 kHz\n");
+    const auto res = parseCampaignSpec(in);
+    EXPECT_FALSE(res.ok);
+    EXPECT_EQ(res.errorLine, 2u);
+    EXPECT_NE(res.error.find("unknown key"), std::string::npos);
+}
+
+TEST(SpecParser, UnknownEventIsHardError)
+{
+    std::istringstream in("events ADD FROB\n");
+    const auto res = parseCampaignSpec(in);
+    EXPECT_FALSE(res.ok);
+    EXPECT_NE(res.error.find("FROB"), std::string::npos);
+}
+
+TEST(SpecParser, MalformedNumberIsHardError)
+{
+    std::istringstream in("alternation eighty kHz\n");
+    EXPECT_FALSE(parseCampaignSpec(in).ok);
+}
+
+TEST(SpecParser, BareNumberAuditedAndReadInCustomaryUnit)
+{
+    const auto spec = parseOrDie("distance 10\n");
+    ASSERT_EQ(spec.unitAudits.size(), 1u);
+    EXPECT_TRUE(spec.unitAudits[0].missing);
+    EXPECT_EQ(spec.unitAudits[0].field, "distance");
+    // Bare distances are read in the paper's centimeters.
+    EXPECT_DOUBLE_EQ(spec.settings.distance.inMeters(), 0.1);
+}
+
+TEST(SpecParser, WrongDimensionAuditedKeepsDefault)
+{
+    const auto spec = parseOrDie("alternation 10 cm\n");
+    ASSERT_EQ(spec.unitAudits.size(), 1u);
+    EXPECT_FALSE(spec.unitAudits[0].missing);
+    // The default survives so later checks stay meaningful.
+    EXPECT_DOUBLE_EQ(spec.settings.alternation.inHz(), 80e3);
+}
+
+TEST(SpecParser, MachineOverridesApplied)
+{
+    const auto spec = parseOrDie("machine core2duo\nl2 2048 KiB\n");
+    ASSERT_TRUE(spec.machineKnown());
+    EXPECT_EQ(spec.machine().l2.sizeBytes, 2048u * 1024u);
+}
+
+// ---------------------------------------------------------------
+// Clean configurations stay clean
+// ---------------------------------------------------------------
+
+TEST(CheckerClean, BaselineSpecHasNoFindings)
+{
+    const auto report = checkText(kValidSpec);
+    EXPECT_TRUE(report.empty()) << report.toString();
+}
+
+TEST(CheckerClean, DefaultsCleanOnAllCaseStudyMachines)
+{
+    for (const auto &m : uarch::caseStudyMachines()) {
+        CampaignSpec spec;
+        spec.machineId = m.id;
+        const auto report = Checker{}.check(spec);
+        EXPECT_TRUE(report.empty())
+            << m.id << ":\n" << report.toString();
+    }
+}
+
+TEST(CheckerClean, ExampleSpecsLintClean)
+{
+    const std::string dir =
+        std::string(SAVAT_SOURCE_DIR) + "/examples/specs/";
+    for (const char *name :
+         {"core2duo_80khz.spec", "distance_study.spec",
+          "power_rail.spec"}) {
+        const auto res = parseCampaignSpecFile(dir + name);
+        ASSERT_TRUE(res.ok) << name << ": " << res.error;
+        const auto report = Checker{}.check(res.spec);
+        EXPECT_TRUE(report.empty())
+            << name << ":\n" << report.toString();
+    }
+}
+
+TEST(CheckerClean, GeneratedKernelsPassTheLint)
+{
+    const auto m = uarch::machineById("core2duo");
+    for (auto a : kernels::allEvents()) {
+        Report r;
+        lintKernel(kernels::buildAlternationKernel(
+                       m, a, EventKind::NOI, 4, 4),
+                   r);
+        EXPECT_TRUE(r.empty())
+            << kernels::eventName(a) << ":\n" << r.toString();
+    }
+}
+
+TEST(CheckerClean, CostModelTracksSimulatedCpi)
+{
+    const auto m = uarch::machineById("core2duo");
+    for (auto e : {EventKind::ADD, EventKind::DIV, EventKind::LDL2}) {
+        const double est = estimateIterationCycles(m, e);
+        const double meas = kernels::measureIterationCycles(m, e);
+        EXPECT_GT(est, 0.5 * meas) << kernels::eventName(e);
+        EXPECT_LT(est, 2.0 * meas) << kernels::eventName(e);
+    }
+}
+
+// ---------------------------------------------------------------
+// One broken spec per diagnostic ID
+// ---------------------------------------------------------------
+
+TEST(CheckerFindings, B001_BurstUnsolvable)
+{
+    const auto r = checkText("machine core2duo\nevents ADD LDM\n"
+                             "alternation 200 MHz\n");
+    EXPECT_TRUE(r.has(DiagId::BurstUnsolvable)) << r.toString();
+    EXPECT_TRUE(r.hasErrors());
+}
+
+TEST(CheckerFindings, B002_BurstQuantized)
+{
+    // 20 MHz on a 2.4 GHz clock leaves 60 cycles per half-period;
+    // rounding the 21-cycle LDM burst to an integer count lands ~5 %
+    // off the intended frequency.
+    const auto r = checkText("machine core2duo\nevents ADD LDM\n"
+                             "alternation 20 MHz\n");
+    EXPECT_TRUE(r.has(DiagId::BurstQuantized)) << r.toString();
+    EXPECT_FALSE(r.has(DiagId::BurstUnsolvable));
+}
+
+TEST(CheckerFindings, B003_DutySkewed)
+{
+    // Equal counts of ADD (~9 cycles) and the P3M's ~47-cycle DIV
+    // leave the fast event a sliver of the period.
+    const auto r = checkText("machine pentium3m\nevents ADD DIV\n"
+                             "pairing equal-counts\n");
+    EXPECT_TRUE(r.has(DiagId::DutySkewed)) << r.toString();
+    EXPECT_FALSE(r.hasErrors()) << r.toString();
+}
+
+TEST(CheckerFindings, K001_InvalidOperand)
+{
+    isa::Program p("bad");
+    isa::Instruction mem2mem;
+    mem2mem.op = isa::Opcode::Mov;
+    mem2mem.dst = isa::Operand::memIndirect(isa::Reg::Esi);
+    mem2mem.src = isa::Operand::memIndirect(isa::Reg::Edi);
+    p.append(mem2mem);
+
+    isa::Instruction idivImm;
+    idivImm.op = isa::Opcode::Idiv;
+    idivImm.dst = isa::Operand::immediate(5);
+    p.append(idivImm);
+
+    isa::Instruction wildJump;
+    wildJump.op = isa::Opcode::Jmp;
+    wildJump.target = 99;
+    p.append(wildJump);
+
+    Report r;
+    lintProgram(p, "bad", r);
+    EXPECT_EQ(r.count(DiagId::InvalidOperand), 3u) << r.toString();
+    EXPECT_TRUE(r.hasErrors());
+}
+
+TEST(CheckerFindings, K002_KernelStructure)
+{
+    // A calibration kernel is not an alternation kernel: it halts
+    // and carries no period/half marks.
+    const auto m = uarch::machineById("core2duo");
+    kernels::AlternationKernel k;
+    k.a = EventKind::ADD;
+    k.b = EventKind::SUB;
+    k.countA = 0;
+    k.countB = 4;
+    k.program = kernels::buildCalibrationKernel(m, EventKind::ADD, 2, 2);
+
+    Report r;
+    lintKernel(k, r);
+    EXPECT_GE(r.count(DiagId::KernelStructure), 3u) << r.toString();
+    EXPECT_TRUE(r.hasErrors());
+}
+
+TEST(CheckerFindings, K003_FootprintMismatch)
+{
+    // Shrinking L2 to 64 KiB keeps the geometry valid but makes the
+    // LDL2 sweep (capped at L2/4 = 16 KiB) fit inside the 32 KiB L1.
+    const auto r = checkText("machine core2duo\nevents LDL2 ADD\n"
+                             "l2 64 KiB\n");
+    EXPECT_TRUE(r.has(DiagId::FootprintMismatch)) << r.toString();
+    EXPECT_TRUE(r.hasErrors());
+}
+
+TEST(CheckerFindings, K004_DegeneratePair)
+{
+    const auto r = checkText("machine core2duo\npair ADD ADD\n");
+    EXPECT_TRUE(r.has(DiagId::DegeneratePair)) << r.toString();
+    EXPECT_EQ(r.count(Severity::Note), 1u);
+    EXPECT_FALSE(r.hasErrors()) << r.toString();
+}
+
+TEST(CheckerFindings, K005_InvalidGeometry)
+{
+    // 48 KiB with 8-way 64 B lines needs 96 sets: not a power of two.
+    const auto r = checkText("machine core2duo\nl1 48 KiB\n");
+    EXPECT_TRUE(r.has(DiagId::InvalidGeometry)) << r.toString();
+    EXPECT_TRUE(r.hasErrors());
+    // Geometry errors suppress the footprint/burst cascade.
+    EXPECT_FALSE(r.has(DiagId::FootprintMismatch));
+}
+
+TEST(CheckerFindings, K005_InvertedHierarchy)
+{
+    const auto r = checkText("machine core2duo\nl2 16 KiB\n");
+    EXPECT_TRUE(r.has(DiagId::InvalidGeometry)) << r.toString();
+}
+
+TEST(CheckerFindings, S001_BandExceedsSpan)
+{
+    const auto r = checkText("machine core2duo\nband 5 kHz\n");
+    EXPECT_TRUE(r.has(DiagId::BandExceedsSpan)) << r.toString();
+    EXPECT_TRUE(r.hasErrors());
+}
+
+TEST(CheckerFindings, S002_RbwWarningAndError)
+{
+    const auto warn = checkText("machine core2duo\nrbw 500 Hz\n");
+    EXPECT_TRUE(warn.has(DiagId::RbwTooCoarse)) << warn.toString();
+    EXPECT_FALSE(warn.hasErrors()) << warn.toString();
+
+    // RBW at (or past) the band half-width escalates to an error.
+    const auto err = checkText("machine core2duo\nrbw 1 kHz\n");
+    EXPECT_TRUE(err.has(DiagId::RbwTooCoarse)) << err.toString();
+    EXPECT_TRUE(err.hasErrors());
+}
+
+TEST(CheckerFindings, S003_ToneAboveNyquist)
+{
+    // A 100 kHz "clock" puts Nyquist at 50 kHz, below the 80 kHz
+    // tone plus its span.
+    const auto r = checkText("machine core2duo\nclock 100 kHz\n");
+    EXPECT_TRUE(r.has(DiagId::ToneAboveNyquist)) << r.toString();
+    EXPECT_TRUE(r.hasErrors());
+}
+
+TEST(CheckerFindings, S004_DistanceOutsideModel)
+{
+    const auto r = checkText("machine core2duo\ndistance 4 m\n");
+    EXPECT_TRUE(r.has(DiagId::DistanceOutsideModel)) << r.toString();
+    EXPECT_FALSE(r.hasErrors()) << r.toString();
+}
+
+TEST(CheckerFindings, S005_ToneBelowAntennaBand)
+{
+    const auto r = checkText("machine core2duo\nevents ADD SUB\n"
+                             "alternation 5 kHz\n");
+    EXPECT_TRUE(r.has(DiagId::ToneBelowAntennaBand)) << r.toString();
+    EXPECT_FALSE(r.hasErrors()) << r.toString();
+
+    // The power rail has no antenna; the same tone is fine there.
+    const auto power = checkText("machine core2duo\nevents ADD SUB\n"
+                                 "alternation 5 kHz\nchannel power\n");
+    EXPECT_FALSE(power.has(DiagId::ToneBelowAntennaBand))
+        << power.toString();
+}
+
+TEST(CheckerFindings, U001_NonpositiveQuantity)
+{
+    const auto r = checkText("machine core2duo\nrbw 0 Hz\n"
+                             "repetitions 0\n");
+    EXPECT_GE(r.count(DiagId::NonpositiveQuantity), 2u)
+        << r.toString();
+    EXPECT_TRUE(r.hasErrors());
+}
+
+TEST(CheckerFindings, U002_UnitMismatch)
+{
+    const auto r = checkText("machine core2duo\nalternation 10 cm\n");
+    EXPECT_TRUE(r.has(DiagId::UnitMismatch)) << r.toString();
+    EXPECT_TRUE(r.hasErrors());
+}
+
+TEST(CheckerFindings, U003_UnitMissing)
+{
+    const auto r = checkText("machine core2duo\nevents ADD SUB\n"
+                             "distance 10\n");
+    EXPECT_TRUE(r.has(DiagId::UnitMissing)) << r.toString();
+    EXPECT_FALSE(r.hasErrors()) << r.toString();
+}
+
+TEST(CheckerFindings, C001_UnknownMachine)
+{
+    const auto r = checkText("machine pdp11\n");
+    EXPECT_TRUE(r.has(DiagId::UnknownMachine)) << r.toString();
+    EXPECT_TRUE(r.hasErrors());
+}
+
+TEST(CheckerFindings, FindingsCarrySpecLocation)
+{
+    const auto r = checkText("machine core2duo\nband 5 kHz\n");
+    ASSERT_TRUE(r.has(DiagId::BandExceedsSpan));
+    for (const auto &d : r.diagnostics()) {
+        if (d.id != DiagId::BandExceedsSpan)
+            continue;
+        EXPECT_EQ(d.file, "test.spec");
+        EXPECT_EQ(d.line, 2u);
+        EXPECT_EQ(d.field, "band");
+        EXPECT_FALSE(d.hint.empty());
+    }
+}
+
+// ---------------------------------------------------------------
+// Focused Checker entry points
+// ---------------------------------------------------------------
+
+TEST(CheckerApi, CheckMeasurementFlagsSettingsOnly)
+{
+    const auto m = uarch::machineById("core2duo");
+    Checker checker;
+    EXPECT_TRUE(checker.checkMeasurement(m, {}).empty());
+
+    MeasurementSettings bad;
+    bad.bandHz = 5000.0;
+    const auto r = checker.checkMeasurement(m, bad);
+    EXPECT_TRUE(r.has(DiagId::BandExceedsSpan));
+}
+
+TEST(CheckerApi, CheckPairFlagsPairOnly)
+{
+    const auto m = uarch::machineById("core2duo");
+    Checker checker;
+    EXPECT_TRUE(
+        checker.checkPair(m, EventKind::ADD, EventKind::LDM, {})
+            .empty());
+
+    MeasurementSettings fast;
+    fast.alternation = Frequency::mhz(200.0);
+    const auto r =
+        checker.checkPair(m, EventKind::ADD, EventKind::ADD, fast);
+    EXPECT_TRUE(r.has(DiagId::BurstUnsolvable));
+}
+
+// ---------------------------------------------------------------
+// Core integration: Meter and Campaign refuse error-level specs
+// ---------------------------------------------------------------
+
+TEST(CoreIntegration, MeterValidateCleanByDefault)
+{
+    const auto meter = core::SavatMeter::forMachine("core2duo");
+    EXPECT_TRUE(meter.validate().empty());
+}
+
+TEST(CoreIntegration, MeterRefusesBandOutsideSpan)
+{
+    core::MeterConfig cfg;
+    cfg.bandHz = 5000.0;
+    EXPECT_EXIT((void)core::SavatMeter::forMachine("core2duo", cfg),
+                ::testing::ExitedWithCode(1), "SAV-S001");
+}
+
+TEST(CoreIntegration, MeterRefusesUnsolvablePair)
+{
+    core::MeterConfig cfg;
+    cfg.alternation = Frequency::mhz(200.0);
+    auto meter = core::SavatMeter::forMachine("core2duo", cfg);
+    EXPECT_EXIT(
+        (void)meter.simulatePair(EventKind::ADD, EventKind::ADD),
+        ::testing::ExitedWithCode(1), "SAV-B001");
+}
+
+TEST(CoreIntegration, CampaignRefusesZeroRepetitions)
+{
+    core::CampaignConfig cfg;
+    cfg.repetitions = 0;
+    cfg.events = {EventKind::ADD, EventKind::SUB};
+    EXPECT_EXIT((void)core::runCampaign(cfg),
+                ::testing::ExitedWithCode(1), "SAV-U001");
+}
