@@ -55,20 +55,25 @@ progressBar()
 
 core::CampaignResult
 runFullCampaign(const std::string &machineId, double distanceCm,
-                std::size_t repetitions, std::uint64_t seed)
+                std::size_t repetitions, std::uint64_t seed,
+                std::size_t jobs, bool quiet)
 {
-    return core::runCampaign(
-        makeConfig(machineId, distanceCm, repetitions, seed),
-        progressBar());
+    auto cfg = makeConfig(machineId, distanceCm, repetitions, seed);
+    cfg.jobs = jobs;
+    return core::runCampaign(cfg, quiet ? core::ProgressFn()
+                                        : progressBar());
 }
 
 core::CampaignResult
 runSelectedPairs(const std::string &machineId, double distanceCm,
-                 std::size_t repetitions, std::uint64_t seed)
+                 std::size_t repetitions, std::uint64_t seed,
+                 std::size_t jobs, bool quiet)
 {
-    return core::runCampaignPairs(
-        makeConfig(machineId, distanceCm, repetitions, seed),
-        core::selectedBarPairs(), progressBar());
+    auto cfg = makeConfig(machineId, distanceCm, repetitions, seed);
+    cfg.jobs = jobs;
+    return core::runCampaignPairs(cfg, core::selectedBarPairs(),
+                                  quiet ? core::ProgressFn()
+                                        : progressBar());
 }
 
 void

@@ -18,20 +18,32 @@ namespace savat::bench {
 /** Print a section heading. */
 void heading(const std::string &title);
 
-/** Run a full 11x11 campaign with a progress spinner on stderr. */
+/**
+ * Run a full 11x11 campaign with a progress spinner on stderr.
+ *
+ * `jobs` is forwarded to CampaignConfig::jobs (0 = auto); the
+ * matrix is identical for every value. `quiet` suppresses the
+ * progress spinner -- required when several campaigns run
+ * concurrently, which would interleave on stderr.
+ */
 core::CampaignResult runFullCampaign(const std::string &machineId,
                                      double distanceCm,
                                      std::size_t repetitions = 10,
-                                     std::uint64_t seed = 0x5AFA7);
+                                     std::uint64_t seed = 0x5AFA7,
+                                     std::size_t jobs = 0,
+                                     bool quiet = false);
 
 /**
  * Run only the paper's selected bar-chart pairings (Figures
- * 11/13/15/16) -- much faster than the full matrix.
+ * 11/13/15/16) -- much faster than the full matrix. `jobs` and
+ * `quiet` as in runFullCampaign().
  */
 core::CampaignResult runSelectedPairs(const std::string &machineId,
                                       double distanceCm,
                                       std::size_t repetitions = 10,
-                                      std::uint64_t seed = 0x5AFA7);
+                                      std::uint64_t seed = 0x5AFA7,
+                                      std::size_t jobs = 0,
+                                      bool quiet = false);
 
 /**
  * Print matrix + heatmap + validation statistics, and when a

@@ -9,6 +9,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "core/campaign.hh"
 #include "core/meter.hh"
 #include "dsp/fft.hh"
 #include "isa/assembler.hh"
@@ -110,6 +111,53 @@ BM_MeasureRepetition(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_MeasureRepetition)->Unit(benchmark::kMillisecond);
+
+/** One campaign cell end to end: simulate + a few repetitions. */
+void
+BM_CampaignPair(benchmark::State &state)
+{
+    core::CampaignConfig cfg;
+    cfg.machineId = "core2duo";
+    cfg.repetitions = 3;
+    cfg.jobs = 1;
+    const std::vector<std::pair<kernels::EventKind, kernels::EventKind>>
+        pairs = {{kernels::EventKind::ADD, kernels::EventKind::LDM}};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(core::runCampaignPairs(cfg, pairs));
+}
+BENCHMARK(BM_CampaignPair)->Unit(benchmark::kMillisecond);
+
+/**
+ * A small all-pairs campaign at jobs = 1/2/4. Wall-clock (real
+ * time), since the work spreads over the worker team; the speedup
+ * between Arg(1) and Arg(4) is the tentpole acceptance number.
+ */
+void
+BM_CampaignParallel(benchmark::State &state)
+{
+    core::CampaignConfig cfg;
+    cfg.machineId = "core2duo";
+    cfg.repetitions = 3;
+    cfg.jobs = static_cast<std::size_t>(state.range(0));
+    cfg.events = {
+        kernels::EventKind::ADD,
+        kernels::EventKind::LDL2,
+        kernels::EventKind::LDM,
+        kernels::EventKind::DIV,
+    };
+    for (auto _ : state)
+        benchmark::DoNotOptimize(core::runCampaign(cfg));
+    state.SetItemsProcessed(
+        state.iterations() *
+        static_cast<std::int64_t>(cfg.events.size() *
+                                  cfg.events.size()));
+}
+BENCHMARK(BM_CampaignParallel)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 } // namespace
 

@@ -17,6 +17,10 @@
  *   --reps <n>                              (default 10)
  *   --power                                 (power rail instead of EM)
  *   --csv <path>                            (campaign only)
+ *   --jobs <n>                              (campaign/svf worker
+ *                                            threads; default: all
+ *                                            hardware threads; results
+ *                                            are identical for any n)
  */
 
 #include <cstdio>
@@ -46,6 +50,7 @@ struct Options
     double distanceCm = 10.0;
     double freqKhz = 80.0;
     int reps = 10;
+    int jobs = 0;
     bool power = false;
     double uses = 100.0;
     std::string csv;
@@ -60,7 +65,7 @@ usage()
         "usage: savat_cli <events|measure|spectrum|campaign|assess|"
         "detect|svf> [args] [options]\n"
         "options: --machine M --distance CM --freq KHZ --reps N "
-        "--power --uses N --csv PATH\n");
+        "--jobs N --power --uses N --csv PATH\n");
     std::exit(2);
 }
 
@@ -86,6 +91,8 @@ parseArgs(int argc, char **argv)
             opt.freqKhz = std::atof(value().c_str());
         else if (arg == "--reps")
             opt.reps = std::atoi(value().c_str());
+        else if (arg == "--jobs")
+            opt.jobs = std::atoi(value().c_str());
         else if (arg == "--uses")
             opt.uses = std::atof(value().c_str());
         else if (arg == "--csv")
@@ -179,6 +186,7 @@ cmdCampaign(const Options &opt)
     core::CampaignConfig cfg;
     cfg.machineId = opt.machine;
     cfg.repetitions = static_cast<std::size_t>(opt.reps);
+    cfg.jobs = static_cast<std::size_t>(std::max(0, opt.jobs));
     cfg.meter = meterConfig(opt);
     for (const auto &name : opt.positional)
         cfg.events.push_back(kernels::eventByName(name));
@@ -271,6 +279,7 @@ cmdSvf(const Options &opt)
     core::SvfConfig cfg;
     cfg.distance = Distance::centimeters(opt.distanceCm);
     cfg.windows = 48;
+    cfg.jobs = static_cast<std::size_t>(std::max(0, opt.jobs));
     const auto res = core::computeSvf(machine, profile,
                                       em::DistanceModel(), workload,
                                       cfg);

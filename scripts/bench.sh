@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Campaign-throughput benchmark runner: builds the tree and records
+# the campaign microbenchmarks (single-cell cost plus the jobs=1/2/4
+# scaling curve) as google-benchmark JSON.
+#
+#   scripts/bench.sh [output.json]    # default: BENCH_campaign.json
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_campaign.json}"
+
+cmake -B build -S . >/dev/null
+cmake --build build -j --target bench_perf_substrate
+
+./build/bench/bench_perf_substrate \
+    --benchmark_filter='BM_Campaign' \
+    --benchmark_out="$OUT" \
+    --benchmark_out_format=json \
+    --benchmark_format=console
+
+echo
+echo "wrote $OUT"

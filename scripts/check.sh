@@ -32,6 +32,14 @@ cmake -B build-asan -S . -DSAVAT_SANITIZE=ON -DSAVAT_WERROR=ON \
 cmake --build build-asan -j
 (cd build-asan && ctest --output-on-failure -j "$(nproc)")
 
+step "sanitizers: TSan build + parallel/campaign tests"
+cmake -B build-tsan -S . -DSAVAT_TSAN=ON -DSAVAT_WERROR=ON \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+cmake --build build-tsan -j
+(cd build-tsan &&
+     ctest --output-on-failure -j "$(nproc)" \
+           -R 'Parallel|CampaignVariants|MachineCampaign')
+
 if command -v clang-tidy >/dev/null 2>&1; then
     step "clang-tidy: library sources"
     cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null

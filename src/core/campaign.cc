@@ -1,7 +1,11 @@
 #include "core/campaign.hh"
 
+#include <atomic>
+#include <mutex>
+
 #include "analysis/checker.hh"
 #include "support/logging.hh"
+#include "support/parallel.hh"
 
 namespace savat::core {
 
@@ -22,6 +26,65 @@ cellRng(const CampaignConfig &config, std::size_t a, std::size_t b)
     const std::uint64_t mix =
         config.seed ^ (0x9E3779B97F4A7C15ull * (a * 131 + b + 1));
     return Rng(mix);
+}
+
+/**
+ * Everything one worker produces for one pair. Outcomes are merged
+ * into the result serially, in request order, so the assembled
+ * matrix is byte-for-byte the serial loop's output regardless of
+ * which worker measured which pair.
+ */
+struct PairOutcome
+{
+    std::int64_t ia = -1;
+    std::int64_t ib = -1;
+    PairSimulation sim;
+    std::vector<double> samples;
+    std::vector<spectrum::Trace> traces;
+};
+
+/**
+ * Measure one cell on this worker's meter: the cached deterministic
+ * simulation once, then `repetitions` measurement draws. Repetition
+ * streams are forked from the cell stream up front, in repetition
+ * order -- exactly what the serial loop does -- so spreading the
+ * draws over `innerJobs` workers cannot perturb any stream.
+ */
+void
+measureCell(SavatMeter &meter, const CampaignConfig &config,
+            PairOutcome &slot, EventKind a, EventKind b,
+            std::size_t innerJobs, spectrum::Trace &scratch)
+{
+    const auto &sim = meter.simulatePair(a, b);
+    slot.sim = sim;
+
+    const std::size_t reps = config.repetitions;
+    slot.samples.resize(reps);
+    if (config.keepTraces)
+        slot.traces.resize(reps);
+
+    Rng rng = cellRng(config, static_cast<std::size_t>(slot.ia),
+                      static_cast<std::size_t>(slot.ib));
+    std::vector<Rng> repRngs;
+    repRngs.reserve(reps);
+    for (std::size_t rep = 0; rep < reps; ++rep)
+        repRngs.push_back(rng.fork());
+
+    std::atomic<std::size_t> nextRep{0};
+    support::runWorkers(
+        std::min<std::size_t>(innerJobs, reps ? reps : 1),
+        [&](std::size_t worker) {
+            spectrum::Trace local;
+            spectrum::Trace &buf = worker == 0 ? scratch : local;
+            for (std::size_t rep = nextRep.fetch_add(1); rep < reps;
+                 rep = nextRep.fetch_add(1)) {
+                Rng rep_rng = repRngs[rep];
+                const auto m = meter.measureValue(sim, rep_rng, buf);
+                slot.samples[rep] = m.savat.inZepto();
+                if (config.keepTraces)
+                    slot.traces[rep] = buf;
+            }
+        });
 }
 
 } // namespace
@@ -61,28 +124,79 @@ runCampaignPairs(
                     report.errorSummary());
     }
 
-    CampaignResult result{config, SavatMatrix(events), {}};
+    CampaignResult result{config, SavatMatrix(events), {}, {}};
     result.config.events = events;
     result.simulations.resize(events.size() * events.size());
 
-    auto meter = SavatMeter::forMachine(config.machineId, config.meter);
+    const std::size_t npairs = pairs.size();
+    if (npairs == 0)
+        return result;
 
-    std::size_t done = 0;
-    for (const auto &[a, b] : pairs) {
-        const std::size_t ia = result.matrix.indexOf(a);
-        const std::size_t ib = result.matrix.indexOf(b);
-        const auto &sim = meter.simulatePair(a, b);
-        result.simulations[ia * events.size() + ib] = sim;
+    // Shard pairs across workers; when the pair list is shorter
+    // than the worker budget (bar-chart subsets on a big machine),
+    // spend the leftover inside each cell's repetition loop.
+    const std::size_t requested = support::resolveJobs(config.jobs);
+    const std::size_t outerJobs =
+        std::max<std::size_t>(1, std::min(requested, npairs));
+    const std::size_t innerJobs =
+        std::max<std::size_t>(1, requested / outerJobs);
 
-        Rng rng = cellRng(config, ia, ib);
-        for (std::size_t rep = 0; rep < config.repetitions; ++rep) {
-            auto rep_rng = rng.fork();
-            const auto m = meter.measure(sim, rep_rng);
-            result.matrix.addSample(ia, ib, m.savat.inZepto());
+    std::vector<PairOutcome> outcomes(npairs);
+    std::atomic<std::size_t> nextPair{0};
+    std::mutex progressMutex;
+    std::size_t completed = 0;
+
+    // One prototype meter calibrates each event's steady-state CPI
+    // up front (a deterministic per-event simulation); workers copy
+    // the warmed cache instead of recalibrating it once per worker.
+    auto prototype =
+        SavatMeter::forMachine(config.machineId, config.meter);
+    for (auto e : events)
+        prototype.iterationCycles(e);
+
+    support::runWorkers(outerJobs, [&](std::size_t) {
+        // Worker-owned meter: the pair caches stay thread-local so
+        // the hot path takes no locks. The caches hold deterministic
+        // values, so per-worker ownership does not affect output.
+        auto meter = prototype;
+        spectrum::Trace scratch;
+        for (std::size_t p = nextPair.fetch_add(1); p < npairs;
+             p = nextPair.fetch_add(1)) {
+            auto &slot = outcomes[p];
+            const auto &[a, b] = pairs[p];
+            slot.ia = result.matrix.tryIndexOf(a);
+            slot.ib = result.matrix.tryIndexOf(b);
+            if (slot.ia < 0 || slot.ib < 0) {
+                SAVAT_WARN("skipping pair ", kernels::eventName(a),
+                           "/", kernels::eventName(b),
+                           ": event not in the campaign matrix");
+            } else {
+                measureCell(meter, config, slot, a, b, innerJobs,
+                            scratch);
+            }
+            if (progress) {
+                const std::lock_guard<std::mutex> lock(progressMutex);
+                progress(++completed, npairs);
+            }
         }
-        ++done;
-        if (progress)
-            progress(done, pairs.size());
+    });
+
+    // Serial merge in request order: samples land in each cell in
+    // exactly the order the serial loop would have appended them.
+    if (config.keepTraces)
+        result.traces.resize(npairs);
+    for (std::size_t p = 0; p < npairs; ++p) {
+        auto &slot = outcomes[p];
+        if (slot.ia < 0 || slot.ib < 0)
+            continue;
+        const auto ia = static_cast<std::size_t>(slot.ia);
+        const auto ib = static_cast<std::size_t>(slot.ib);
+        for (double zj : slot.samples)
+            result.matrix.addSample(ia, ib, zj);
+        result.simulations[ia * events.size() + ib] =
+            std::move(slot.sim);
+        if (config.keepTraces)
+            result.traces[p] = std::move(slot.traces);
     }
     return result;
 }

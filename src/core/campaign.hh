@@ -2,6 +2,15 @@
  * @file
  * Measurement campaigns: the paper's 11-by-11, ten-repetition
  * pairwise SAVAT sweeps.
+ *
+ * Campaigns execute in parallel: pairs are sharded across a bounded
+ * worker team (support::parallel), each worker owning its own
+ * SavatMeter so the per-pair simulation caches stay thread-local.
+ * Every matrix cell draws from its own deterministically seeded RNG
+ * stream and repetition streams are forked per cell exactly as in
+ * the serial loop, so the resulting SavatMatrix is bit-identical
+ * for every jobs value -- the same property the paper's Section V
+ * repeatability analysis relies on.
  */
 
 #ifndef SAVAT_CORE_CAMPAIGN_HH
@@ -13,6 +22,7 @@
 
 #include "core/matrix.hh"
 #include "core/meter.hh"
+#include "support/logging.hh"
 
 namespace savat::core {
 
@@ -32,9 +42,30 @@ struct CampaignConfig
 
     /** Base seed; each repetition forks its own stream. */
     std::uint64_t seed = 0x5AFA7u;
+
+    /**
+     * Worker threads for pair-level parallelism. 0 means auto: the
+     * SAVAT_JOBS environment variable when set, otherwise the
+     * hardware thread count. When fewer pairs than workers are
+     * requested, leftover workers parallelize the repetition loops
+     * inside each cell. Results are bit-identical for every value.
+     */
+    std::size_t jobs = 0;
+
+    /**
+     * Retain each repetition's spectrum-analyzer display in
+     * CampaignResult::traces. Off by default: campaigns consume
+     * only the aggregates, and a full 11x11 run would otherwise
+     * hold pairs x repetitions multi-thousand-bin sweeps.
+     */
+    bool keepTraces = false;
 };
 
-/** Progress callback: (pairs done, pairs total). */
+/**
+ * Progress callback: (pairs done, pairs total). Under parallel
+ * execution it is invoked from worker threads, serialized by a
+ * mutex, with a monotonically increasing done count.
+ */
 using ProgressFn = std::function<void(std::size_t, std::size_t)>;
 
 /** Campaign outputs. */
@@ -43,12 +74,31 @@ struct CampaignResult
     CampaignConfig config;
     SavatMatrix matrix;
 
-    /** Per-pair deterministic simulation info (row-major). */
+    /**
+     * Per-pair deterministic simulation info. Indexing contract:
+     * always sized matrix.size()^2 and laid out row-major over the
+     * campaign's event set -- slot a * matrix.size() + b holds the
+     * pair (events[a], events[b]). Pairs never measured (campaigns
+     * over a pair subset) leave their slot default-constructed;
+     * pairs whose events are not in the event set are skipped with
+     * a warning rather than written out of contract.
+     */
     std::vector<PairSimulation> simulations;
+
+    /**
+     * CampaignConfig::keepTraces only: traces[p][r] is repetition
+     * r's analyzer display for the p-th requested pair, in request
+     * order. Empty when keepTraces is off.
+     */
+    std::vector<std::vector<spectrum::Trace>> traces;
 
     const PairSimulation &
     simulation(std::size_t a, std::size_t b) const
     {
+        SAVAT_ASSERT(a < matrix.size() && b < matrix.size(),
+                     "simulation(", a, ", ", b,
+                     ") outside the ", matrix.size(), "x",
+                     matrix.size(), " campaign matrix");
         return simulations[a * matrix.size() + b];
     }
 };
@@ -62,7 +112,8 @@ CampaignResult runCampaign(const CampaignConfig &config,
 
 /**
  * Run only the selected pairs (used by the bar-chart figures);
- * other cells stay empty.
+ * other cells stay empty. Pairs whose events are missing from the
+ * campaign's event set are skipped with a warning.
  */
 CampaignResult runCampaignPairs(
     const CampaignConfig &config,

@@ -403,6 +403,18 @@ cellHash(const std::string &machine, EventKind a, EventKind b,
 Measurement
 SavatMeter::measure(const PairSimulation &sim, Rng &rng) const
 {
+    Measurement m;
+    const auto sample = measureValue(sim, rng, m.trace);
+    m.savat = sample.savat;
+    m.bandPowerW = sample.bandPowerW;
+    m.toneHz = sample.toneHz;
+    return m;
+}
+
+SavatSample
+SavatMeter::measureValue(const PairSimulation &sim, Rng &rng,
+                         spectrum::Trace &scratch) const
+{
     const auto &profile = _synth.profile();
 
     // Residual mismatch of the two structurally identical halves:
@@ -458,11 +470,11 @@ SavatMeter::measure(const PairSimulation &sim, Rng &rng) const
                                  : _config.noiseFloorWPerHz;
     spectrum::SpectrumAnalyzer analyzer(sweep);
 
-    Measurement m;
-    m.trace = analyzer.measure(synth_res.spectrum, rng);
+    SavatSample m;
+    analyzer.measureInto(synth_res.spectrum, rng, scratch);
     const double f0 = _config.alternation.inHz();
     m.bandPowerW =
-        m.trace.bandPower(f0 - _config.bandHz, f0 + _config.bandHz);
+        scratch.bandPower(f0 - _config.bandHz, f0 + _config.bandHz);
     m.toneHz = synth_res.realizedToneHz;
     m.savat = Energy(m.bandPowerW / sim.pairsPerSecond);
     return m;

@@ -135,6 +135,14 @@ struct Measurement
     spectrum::Trace trace;     //!< the analyzer display
 };
 
+/** The aggregate outputs of one repetition (no trace retained). */
+struct SavatSample
+{
+    Energy savat;
+    double bandPowerW = 0.0;
+    double toneHz = 0.0;
+};
+
 /** The meter. */
 class SavatMeter
 {
@@ -185,6 +193,20 @@ class SavatMeter
      * with fresh environmental randomness and integrate the band.
      */
     Measurement measure(const PairSimulation &sim, Rng &rng) const;
+
+    /**
+     * The same repetition without retaining the analyzer display:
+     * the sweep is written into the caller-owned scratch trace
+     * (reused across calls, so a campaign repetition allocates
+     * nothing). Draws the identical random sequence as measure(),
+     * so both paths produce bit-identical SAVAT values.
+     *
+     * Thread-safe for concurrent calls on one meter as long as each
+     * caller passes its own rng and scratch (the per-pair caches
+     * are only touched by the non-const simulate* members).
+     */
+    SavatSample measureValue(const PairSimulation &sim, Rng &rng,
+                             spectrum::Trace &scratch) const;
 
     /** Convenience: simulate (cached) + one repetition. */
     Measurement measurePair(kernels::EventKind a, kernels::EventKind b,

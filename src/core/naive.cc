@@ -7,6 +7,7 @@
 #include "isa/assembler.hh"
 #include "kernels/generator.hh"
 #include "support/logging.hh"
+#include "support/parallel.hh"
 #include "uarch/cpu.hh"
 
 namespace savat::core {
@@ -144,24 +145,38 @@ runNaiveComparison(const uarch::MachineConfig &machine,
         hi = std::max(hi, std::abs(v));
     const double sigma = config.noiseFraction * hi;
 
-    std::vector<double> estimates;
-    estimates.reserve(trials);
+    // Each trial owns a stream forked from the caller's rng in
+    // trial order, so the trial loop parallelizes with results
+    // identical to the serial run at any jobs value.
+    std::vector<Rng> trial_rngs;
+    trial_rngs.reserve(trials);
+    for (std::size_t t = 0; t < trials; ++t)
+        trial_rngs.push_back(rng.fork());
+
+    std::vector<double> estimates(trials, 0.0);
+    support::parallelFor(
+        trials,
+        [&](std::size_t t) {
+            Rng trial_rng = trial_rngs[t];
+            std::vector<double> na = sig_a;
+            std::vector<double> nb = sig_b;
+            for (auto &v : na)
+                v += trial_rng.gaussian(0.0, sigma);
+            for (auto &v : nb)
+                v += trial_rng.gaussian(0.0, sigma);
+            const int jitter_range =
+                2 * config.alignmentJitterSamples + 1;
+            const std::ptrdiff_t shift =
+                static_cast<std::ptrdiff_t>(trial_rng.uniformInt(
+                    static_cast<std::uint64_t>(jitter_range))) -
+                config.alignmentJitterSamples;
+            estimates[t] = areaBetween(na, nb, dt, shift);
+        },
+        config.jobs);
+
     double err_total = 0.0;
-    for (std::size_t t = 0; t < trials; ++t) {
-        std::vector<double> na = sig_a;
-        std::vector<double> nb = sig_b;
-        for (auto &v : na)
-            v += rng.gaussian(0.0, sigma);
-        for (auto &v : nb)
-            v += rng.gaussian(0.0, sigma);
-        const int jitter_range = 2 * config.alignmentJitterSamples + 1;
-        const std::ptrdiff_t shift =
-            static_cast<std::ptrdiff_t>(rng.uniformInt(
-                static_cast<std::uint64_t>(jitter_range))) -
-            config.alignmentJitterSamples;
-        const double est = areaBetween(na, nb, dt, shift);
-        estimates.push_back(est);
-        if (result.trueDifference > 0.0) {
+    if (result.trueDifference > 0.0) {
+        for (double est : estimates) {
             err_total += std::abs(est - result.trueDifference) /
                          result.trueDifference;
         }

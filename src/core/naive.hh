@@ -51,6 +51,14 @@ struct NaiveConfig
      * hopeless for small differences.
      */
     double backgroundAmplitude = 40.0;
+
+    /**
+     * Worker threads for the trial loop (0 = auto, see
+     * support::resolveJobs). Each trial draws from its own stream
+     * forked in trial order, so results are identical for every
+     * jobs value.
+     */
+    std::size_t jobs = 0;
 };
 
 /** Outcome of a naive-methodology experiment. */

@@ -5,6 +5,7 @@
 
 #include "isa/assembler.hh"
 #include "support/logging.hh"
+#include "support/parallel.hh"
 #include "support/stats.hh"
 #include "support/strings.hh"
 #include "uarch/cpu.hh"
@@ -107,26 +108,39 @@ computeSvf(const uarch::MachineConfig &machine,
         ref_power += v * v;
     ref_power /= static_cast<double>(ref_wave.size());
 
+    // Census and signal power are deterministic per window, so the
+    // window loop shards freely across workers.
+    res.oracle.resize(usable);
+    res.observed.resize(usable);
+    support::parallelFor(
+        usable,
+        [&](std::size_t w) {
+            const std::uint64_t begin = w * config.windowCycles;
+            const std::uint64_t end = begin + config.windowCycles;
+
+            // Oracle: the window's micro-event census.
+            std::vector<double> census(uarch::kNumMicroEvents, 0.0);
+            for (std::size_t ev = 0; ev < uarch::kNumMicroEvents;
+                 ++ev) {
+                census[ev] = trace.meanRate(
+                    static_cast<uarch::MicroEvent>(ev), begin, end);
+            }
+            res.oracle[w] = std::move(census);
+
+            // Attacker: window signal power (noise added below).
+            double power = 0.0;
+            for (std::uint64_t c = begin; c < end; ++c)
+                power += full_wave[c] * full_wave[c];
+            res.observed[w] =
+                power / static_cast<double>(config.windowCycles);
+        },
+        config.jobs);
+
+    // Measurement noise, drawn serially in window order so the SVF
+    // does not depend on the jobs value.
     for (std::size_t w = 0; w < usable; ++w) {
-        const std::uint64_t begin = w * config.windowCycles;
-        const std::uint64_t end = begin + config.windowCycles;
-
-        // Oracle: the window's micro-event census.
-        std::vector<double> census(uarch::kNumMicroEvents, 0.0);
-        for (std::size_t ev = 0; ev < uarch::kNumMicroEvents; ++ev) {
-            census[ev] = trace.meanRate(
-                static_cast<uarch::MicroEvent>(ev), begin, end);
-        }
-        res.oracle.push_back(std::move(census));
-
-        // Attacker: window signal power + measurement noise.
-        double power = 0.0;
-        for (std::uint64_t c = begin; c < end; ++c)
-            power += full_wave[c] * full_wave[c];
-        power /= static_cast<double>(config.windowCycles);
-        power +=
+        res.observed[w] +=
             rng.gaussian(0.0, config.observationNoise * ref_power);
-        res.observed.push_back(power);
     }
 
     res.svf = similarityCorrelation(res.oracle, res.observed);

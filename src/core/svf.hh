@@ -55,6 +55,14 @@ struct SvfConfig
 
     /** Randomness seed for the observation noise. */
     std::uint64_t seed = 0xC0FFEE;
+
+    /**
+     * Worker threads for the per-window census/power pass (0 =
+     * auto, see support::resolveJobs). The observation noise is
+     * drawn serially in window order afterwards, so the SVF is
+     * identical for every jobs value.
+     */
+    std::size_t jobs = 0;
 };
 
 /** SVF computation outputs. */

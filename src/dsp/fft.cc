@@ -1,10 +1,70 @@
 #include "dsp/fft.hh"
 
 #include <cmath>
+#include <map>
+#include <memory>
+#include <mutex>
 
 #include "support/logging.hh"
 
 namespace savat::dsp {
+
+namespace {
+
+/**
+ * Precomputed per-size FFT tables: the bit-reversal permutation and
+ * every stage's twiddle factors. The twiddles are generated with the
+ * exact recurrence the transform previously evaluated inline
+ * (w *= wlen starting from 1), so caching changes no output bit.
+ */
+struct FftPlan
+{
+    std::vector<std::size_t> bitrev;
+    /** Stage twiddles, concatenated: len = 2, 4, ..., n each
+     * contribute len/2 factors (n - 1 in total). */
+    std::vector<Complex> twiddles;
+};
+
+const FftPlan &
+planFor(std::size_t n, bool inverse)
+{
+    // Shared across threads: campaigns run FFT-based analyses from
+    // many workers at once. Entries are never evicted, so returned
+    // references stay valid.
+    static std::mutex mutex;
+    static std::map<std::pair<std::size_t, bool>,
+                    std::unique_ptr<FftPlan>>
+        cache;
+
+    const std::lock_guard<std::mutex> lock(mutex);
+    auto &slot = cache[{n, inverse}];
+    if (!slot) {
+        auto plan = std::make_unique<FftPlan>();
+        plan->bitrev.resize(n);
+        for (std::size_t i = 1, j = 0; i < n; ++i) {
+            std::size_t bit = n >> 1;
+            for (; j & bit; bit >>= 1)
+                j ^= bit;
+            j ^= bit;
+            plan->bitrev[i] = j;
+        }
+        plan->twiddles.reserve(n - 1);
+        for (std::size_t len = 2; len <= n; len <<= 1) {
+            const double ang = (inverse ? 2.0 : -2.0) * M_PI /
+                               static_cast<double>(len);
+            const Complex wlen(std::cos(ang), std::sin(ang));
+            Complex w(1.0, 0.0);
+            for (std::size_t k = 0; k < len / 2; ++k) {
+                plan->twiddles.push_back(w);
+                w *= wlen;
+            }
+        }
+        slot = std::move(plan);
+    }
+    return *slot;
+}
+
+} // namespace
 
 void
 fft(std::vector<Complex> &data, bool inverse)
@@ -13,28 +73,25 @@ fft(std::vector<Complex> &data, bool inverse)
     SAVAT_ASSERT(n > 0 && (n & (n - 1)) == 0,
                  "fft size must be a power of two, got ", n);
 
+    const FftPlan &plan = planFor(n, inverse);
+
     // Bit-reversal permutation.
-    for (std::size_t i = 1, j = 0; i < n; ++i) {
-        std::size_t bit = n >> 1;
-        for (; j & bit; bit >>= 1)
-            j ^= bit;
-        j ^= bit;
+    for (std::size_t i = 1; i < n; ++i) {
+        const std::size_t j = plan.bitrev[i];
         if (i < j)
             std::swap(data[i], data[j]);
     }
 
+    std::size_t stage = 0;
     for (std::size_t len = 2; len <= n; len <<= 1) {
-        const double ang =
-            (inverse ? 2.0 : -2.0) * M_PI / static_cast<double>(len);
-        const Complex wlen(std::cos(ang), std::sin(ang));
+        const Complex *w = plan.twiddles.data() + stage;
+        stage += len / 2;
         for (std::size_t i = 0; i < n; i += len) {
-            Complex w(1.0, 0.0);
             for (std::size_t k = 0; k < len / 2; ++k) {
                 const Complex u = data[i + k];
-                const Complex v = data[i + k + len / 2] * w;
+                const Complex v = data[i + k + len / 2] * w[k];
                 data[i + k] = u + v;
                 data[i + k + len / 2] = u - v;
-                w *= wlen;
             }
         }
     }

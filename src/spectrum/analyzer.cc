@@ -66,6 +66,14 @@ SpectrumAnalyzer::measure(const em::NarrowbandSpectrum &incident,
                           Rng &rng) const
 {
     Trace out;
+    measureInto(incident, rng, out);
+    return out;
+}
+
+void
+SpectrumAnalyzer::measureInto(const em::NarrowbandSpectrum &incident,
+                              Rng &rng, Trace &out) const
+{
     out.binHz = incident.binHz;
     out.startHz = _config.center.inHz() - _config.spanHz / 2.0;
     const std::size_t nbins = static_cast<std::size_t>(
@@ -115,7 +123,6 @@ SpectrumAnalyzer::measure(const em::NarrowbandSpectrum &incident,
         } while (u <= 0.0);
         out.psd[i] += _config.noiseFloorWPerHz * -std::log(u);
     }
-    return out;
 }
 
 } // namespace savat::spectrum

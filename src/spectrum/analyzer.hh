@@ -70,6 +70,14 @@ class SpectrumAnalyzer
      */
     Trace measure(const em::NarrowbandSpectrum &incident, Rng &rng) const;
 
+    /**
+     * Same measurement written into a caller-owned trace, reusing
+     * its bin storage. Campaign repetition loops call this with a
+     * per-worker scratch trace so a sweep costs no allocation.
+     */
+    void measureInto(const em::NarrowbandSpectrum &incident, Rng &rng,
+                     Trace &out) const;
+
     const SweepConfig &config() const { return _config; }
 
   private:

@@ -1,0 +1,104 @@
+#include "support/parallel.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "support/logging.hh"
+#include "support/strings.hh"
+
+namespace savat::support {
+
+std::size_t
+hardwareJobs()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+std::size_t
+resolveJobs(std::size_t jobs)
+{
+    if (jobs > 0)
+        return jobs;
+    if (const char *env = std::getenv("SAVAT_JOBS")) {
+        long long v = 0;
+        if (parseInt(env, v) && v >= 1)
+            return static_cast<std::size_t>(v);
+        SAVAT_WARN("ignoring SAVAT_JOBS='", env,
+                   "' (want a positive integer)");
+    }
+    return hardwareJobs();
+}
+
+void
+runWorkers(std::size_t workers,
+           const std::function<void(std::size_t)> &worker)
+{
+    if (workers <= 1) {
+        worker(0);
+        return;
+    }
+
+    std::mutex mutex;
+    std::exception_ptr first;
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+        threads.emplace_back([&, w] {
+            try {
+                worker(w);
+            } catch (...) {
+                const std::lock_guard<std::mutex> lock(mutex);
+                if (!first)
+                    first = std::current_exception();
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    if (first)
+        std::rethrow_exception(first);
+}
+
+void
+parallelFor(std::size_t n,
+            const std::function<void(std::size_t)> &body,
+            std::size_t jobs)
+{
+    if (n == 0)
+        return;
+    const std::size_t workers = std::min(resolveJobs(jobs), n);
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            body(i);
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> cancelled{false};
+    runWorkers(workers, [&](std::size_t) {
+        for (std::size_t i = next.fetch_add(1);
+             i < n && !cancelled.load(std::memory_order_relaxed);
+             i = next.fetch_add(1)) {
+            try {
+                body(i);
+            } catch (...) {
+                cancelled.store(true, std::memory_order_relaxed);
+                throw;
+            }
+        }
+    });
+}
+
+void
+parallelInvoke(const std::vector<std::function<void()>> &tasks,
+               std::size_t jobs)
+{
+    parallelFor(
+        tasks.size(), [&](std::size_t i) { tasks[i](); }, jobs);
+}
+
+} // namespace savat::support

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Deterministic data parallelism for the measurement campaigns.
+ *
+ * A campaign is embarrassingly parallel: every matrix cell owns an
+ * independent, deterministically seeded RNG stream, so the work can
+ * be sharded across threads with bit-identical results. This module
+ * supplies the minimal machinery for that: a bounded team of
+ * transient worker threads (no shared global pool, so nested use
+ * can never deadlock), an index-sharded parallel-for with exception
+ * propagation, and the job-count policy (explicit knob, SAVAT_JOBS
+ * environment override, hardware concurrency fallback).
+ *
+ * jobs == 1 always short-circuits to the plain serial loop on the
+ * calling thread; callers rely on that for the serial reference
+ * path parallel runs are validated against.
+ */
+
+#ifndef SAVAT_SUPPORT_PARALLEL_HH
+#define SAVAT_SUPPORT_PARALLEL_HH
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace savat::support {
+
+/** Hardware thread count (>= 1 even when unknown). */
+std::size_t hardwareJobs();
+
+/**
+ * Resolve a jobs knob: a positive value wins verbatim; 0 means
+ * "auto" -- the SAVAT_JOBS environment variable when set to a
+ * positive integer, otherwise hardwareJobs().
+ */
+std::size_t resolveJobs(std::size_t jobs);
+
+/**
+ * Run `worker(workerIndex)` on `workers` threads and join them all.
+ *
+ * workers <= 1 calls worker(0) inline on the calling thread. When a
+ * worker throws, every thread is still joined and the first
+ * exception (in completion order) is rethrown to the caller.
+ * Workers own their thread-local state (each campaign worker owns
+ * its meter); sharding is the caller's business.
+ */
+void runWorkers(std::size_t workers,
+                const std::function<void(std::size_t)> &worker);
+
+/**
+ * Execute body(i) for every i in [0, n), sharded over
+ * min(resolveJobs(jobs), n) workers pulling indices from a shared
+ * atomic counter.
+ *
+ * An exception in any body cancels the remaining un-started
+ * iterations and is rethrown to the caller after all workers have
+ * joined. With one worker the loop runs serially in index order on
+ * the calling thread. Safe to nest: every invocation uses its own
+ * transient worker team.
+ */
+void parallelFor(std::size_t n,
+                 const std::function<void(std::size_t)> &body,
+                 std::size_t jobs = 0);
+
+/** Run independent tasks concurrently (parallelFor over the list). */
+void parallelInvoke(const std::vector<std::function<void()>> &tasks,
+                    std::size_t jobs = 0);
+
+} // namespace savat::support
+
+#endif // SAVAT_SUPPORT_PARALLEL_HH

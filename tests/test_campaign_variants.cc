@@ -147,6 +147,111 @@ TEST(CampaignVariants, IntermediateDistanceInterpolates)
     EXPECT_GT(mid_v, far_v);
 }
 
+TEST(CampaignVariants, ParallelMatrixIsBitIdenticalToSerial)
+{
+    // The tentpole guarantee: the jobs knob changes wall-clock only.
+    auto serial_cfg = base("core2duo");
+    serial_cfg.jobs = 1;
+    auto parallel_cfg = base("core2duo");
+    parallel_cfg.jobs = 4;
+    const auto serial = runCampaign(serial_cfg);
+    const auto parallel = runCampaign(parallel_cfg);
+
+    ASSERT_EQ(serial.matrix.size(), parallel.matrix.size());
+    for (std::size_t a = 0; a < serial.matrix.size(); ++a) {
+        for (std::size_t b = 0; b < serial.matrix.size(); ++b) {
+            const auto &sc = serial.matrix.samples(a, b);
+            const auto &pc = parallel.matrix.samples(a, b);
+            ASSERT_EQ(sc.size(), pc.size());
+            for (std::size_t r = 0; r < sc.size(); ++r) {
+                // Bit-exact, not approximately equal.
+                EXPECT_EQ(sc[r], pc[r])
+                    << "cell " << a << "," << b << " rep " << r;
+            }
+            const auto &ss = serial.simulation(a, b);
+            const auto &ps = parallel.simulation(a, b);
+            EXPECT_EQ(ss.counts.countA, ps.counts.countA);
+            EXPECT_EQ(ss.counts.countB, ps.counts.countB);
+            EXPECT_EQ(ss.actualFrequency.inHz(),
+                      ps.actualFrequency.inHz());
+        }
+    }
+}
+
+TEST(CampaignVariants, OversubscribedJobsUseRepetitionParallelism)
+{
+    // Two pairs, eight workers: the leftover budget parallelizes
+    // each cell's repetition loop. Values must still match jobs=1.
+    auto cfg = base("core2duo");
+    cfg.repetitions = 6;
+    const std::vector<std::pair<EventKind, EventKind>> pairs = {
+        {EventKind::ADD, EventKind::LDM},
+        {EventKind::ADD, EventKind::DIV},
+    };
+    auto serial_cfg = cfg;
+    serial_cfg.jobs = 1;
+    cfg.jobs = 8;
+    const auto serial = runCampaignPairs(serial_cfg, pairs);
+    const auto wide = runCampaignPairs(cfg, pairs);
+    for (const auto &[a, b] : pairs) {
+        const auto ia = serial.matrix.indexOf(a);
+        const auto ib = serial.matrix.indexOf(b);
+        const auto &sc = serial.matrix.samples(ia, ib);
+        const auto &pc = wide.matrix.samples(ia, ib);
+        ASSERT_EQ(sc.size(), pc.size());
+        for (std::size_t r = 0; r < sc.size(); ++r)
+            EXPECT_EQ(sc[r], pc[r]);
+    }
+}
+
+TEST(CampaignVariants, ProgressCountsMonotonically)
+{
+    auto cfg = base("core2duo");
+    cfg.jobs = 4;
+    std::vector<std::size_t> seen;
+    runCampaign(cfg, [&](std::size_t done, std::size_t total) {
+        EXPECT_EQ(total, cfg.events.size() * cfg.events.size());
+        seen.push_back(done);
+    });
+    ASSERT_EQ(seen.size(), cfg.events.size() * cfg.events.size());
+    for (std::size_t i = 0; i < seen.size(); ++i)
+        EXPECT_EQ(seen[i], i + 1);
+}
+
+TEST(CampaignVariants, PairsOutsideMatrixAreSkippedNotFatal)
+{
+    auto cfg = base("core2duo");
+    cfg.events = {EventKind::ADD, EventKind::LDM};
+    const std::vector<std::pair<EventKind, EventKind>> pairs = {
+        {EventKind::ADD, EventKind::LDM},
+        {EventKind::ADD, EventKind::LDL2}, // LDL2 not in the matrix
+    };
+    const auto res = runCampaignPairs(cfg, pairs);
+    const auto ia = res.matrix.indexOf(EventKind::ADD);
+    const auto ib = res.matrix.indexOf(EventKind::LDM);
+    EXPECT_EQ(res.matrix.samples(ia, ib).size(), cfg.repetitions);
+    // The skipped pair left no samples anywhere else.
+    EXPECT_TRUE(res.matrix.samples(ia, ia).empty());
+}
+
+TEST(CampaignVariants, TracesKeptOnlyOnRequest)
+{
+    auto cfg = base("core2duo");
+    cfg.events = {EventKind::ADD, EventKind::LDM};
+    cfg.repetitions = 2;
+    const auto lean = runCampaign(cfg);
+    EXPECT_TRUE(lean.traces.empty());
+
+    cfg.keepTraces = true;
+    const auto kept = runCampaign(cfg);
+    ASSERT_EQ(kept.traces.size(), 4u); // 2x2 pairs, request order
+    for (const auto &reps : kept.traces) {
+        ASSERT_EQ(reps.size(), cfg.repetitions);
+        for (const auto &trace : reps)
+            EXPECT_FALSE(trace.psd.empty());
+    }
+}
+
 TEST(CampaignVariants, ScalarTimingModelStillMeasures)
 {
     // The substrate ablation path: a scalar core changes values but

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Tests for savat::support::parallel -- the bounded worker-team
+ * primitives under the campaign engine. These check the scheduling
+ * contract (every index exactly once, serial order at jobs=1),
+ * exception propagation, nested use and jobs resolution; the
+ * campaign-level determinism guarantees are covered in
+ * test_campaign_variants.cc.
+ */
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "support/parallel.hh"
+
+using namespace savat;
+
+namespace {
+
+TEST(Parallel, CoversEveryIndexExactlyOnce)
+{
+    constexpr std::size_t n = 1000;
+    std::vector<std::atomic<int>> hits(n);
+    support::parallelFor(
+        n, [&](std::size_t i) { hits[i].fetch_add(1); }, 4);
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(Parallel, JobsOneRunsSerialInOrder)
+{
+    std::vector<std::size_t> order;
+    support::parallelFor(
+        16, [&](std::size_t i) { order.push_back(i); }, 1);
+    ASSERT_EQ(order.size(), 16u);
+    for (std::size_t i = 0; i < order.size(); ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(Parallel, ZeroItemsIsANoop)
+{
+    bool called = false;
+    support::parallelFor(
+        0, [&](std::size_t) { called = true; }, 4);
+    EXPECT_FALSE(called);
+}
+
+TEST(Parallel, PropagatesBodyException)
+{
+    EXPECT_THROW(
+        support::parallelFor(
+            64,
+            [&](std::size_t i) {
+                if (i == 13)
+                    throw std::runtime_error("boom");
+            },
+            4),
+        std::runtime_error);
+}
+
+TEST(Parallel, ExceptionCancelsRemainingWork)
+{
+    // After the throw, the cancellation flag must stop the team well
+    // short of the full range.
+    std::atomic<std::size_t> ran{0};
+    try {
+        support::parallelFor(
+            1u << 20,
+            [&](std::size_t i) {
+                ran.fetch_add(1);
+                if (i == 0)
+                    throw std::runtime_error("early");
+            },
+            4);
+        FAIL() << "expected the body exception to propagate";
+    } catch (const std::runtime_error &) {
+    }
+    EXPECT_LT(ran.load(), (1u << 20));
+}
+
+TEST(Parallel, SerialPathPropagatesException)
+{
+    EXPECT_THROW(support::parallelFor(
+                     4,
+                     [&](std::size_t i) {
+                         if (i == 2)
+                             throw std::logic_error("serial boom");
+                     },
+                     1),
+                 std::logic_error);
+}
+
+TEST(Parallel, NestedUseIsSafe)
+{
+    // Teams are transient (spawned per call), so an inner
+    // parallelFor inside a worker cannot deadlock on a shared pool.
+    constexpr std::size_t outer = 8;
+    constexpr std::size_t inner = 32;
+    std::vector<std::atomic<int>> hits(outer * inner);
+    support::parallelFor(
+        outer,
+        [&](std::size_t o) {
+            support::parallelFor(
+                inner,
+                [&](std::size_t i) {
+                    hits[o * inner + i].fetch_add(1);
+                },
+                2);
+        },
+        4);
+    for (auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Parallel, ParallelInvokeRunsEveryTask)
+{
+    std::atomic<int> sum{0};
+    support::parallelInvoke(
+        {
+            [&] { sum.fetch_add(1); },
+            [&] { sum.fetch_add(10); },
+            [&] { sum.fetch_add(100); },
+        },
+        2);
+    EXPECT_EQ(sum.load(), 111);
+}
+
+TEST(Parallel, RunWorkersSingleRunsInline)
+{
+    const auto caller = std::this_thread::get_id();
+    std::thread::id seen;
+    support::runWorkers(1, [&](std::size_t worker) {
+        EXPECT_EQ(worker, 0u);
+        seen = std::this_thread::get_id();
+    });
+    EXPECT_EQ(seen, caller);
+}
+
+TEST(Parallel, RunWorkersNumbersWorkers)
+{
+    std::mutex mu;
+    std::set<std::size_t> ids;
+    support::runWorkers(4, [&](std::size_t worker) {
+        const std::lock_guard<std::mutex> lock(mu);
+        ids.insert(worker);
+    });
+    EXPECT_EQ(ids, (std::set<std::size_t>{0, 1, 2, 3}));
+}
+
+TEST(Parallel, ResolveJobsExplicitWins)
+{
+    ::setenv("SAVAT_JOBS", "7", 1);
+    EXPECT_EQ(support::resolveJobs(3), 3u);
+    ::unsetenv("SAVAT_JOBS");
+}
+
+TEST(Parallel, ResolveJobsReadsEnvironment)
+{
+    ::setenv("SAVAT_JOBS", "5", 1);
+    EXPECT_EQ(support::resolveJobs(0), 5u);
+    ::unsetenv("SAVAT_JOBS");
+}
+
+TEST(Parallel, ResolveJobsIgnoresInvalidEnvironment)
+{
+    ::setenv("SAVAT_JOBS", "banana", 1);
+    EXPECT_EQ(support::resolveJobs(0), support::hardwareJobs());
+    ::setenv("SAVAT_JOBS", "0", 1);
+    EXPECT_EQ(support::resolveJobs(0), support::hardwareJobs());
+    ::unsetenv("SAVAT_JOBS");
+}
+
+TEST(Parallel, ResolveJobsDefaultsToHardware)
+{
+    ::unsetenv("SAVAT_JOBS");
+    EXPECT_EQ(support::resolveJobs(0), support::hardwareJobs());
+    EXPECT_GE(support::hardwareJobs(), 1u);
+}
+
+} // namespace
