@@ -21,8 +21,17 @@
  *                                            threads; default: all
  *                                            hardware threads; results
  *                                            are identical for any n)
+ *   --metrics <path|->                      (dump obs metrics at exit;
+ *                                            "-" = stdout, ".txt" =
+ *                                            text table, else JSON)
+ *   --trace <path>                          (dump Chrome trace JSON
+ *                                            at exit)
+ *
+ * The SAVAT_METRICS / SAVAT_TRACE environment variables set the same
+ * paths; the flags override them.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -37,6 +46,8 @@
 #include "core/detection.hh"
 #include "core/report.hh"
 #include "core/svf.hh"
+#include "support/obs.hh"
+#include "support/progress.hh"
 #include "support/stats.hh"
 
 using namespace savat;
@@ -54,6 +65,8 @@ struct Options
     bool power = false;
     double uses = 100.0;
     std::string csv;
+    std::string metrics;
+    std::string trace;
     std::vector<std::string> positional;
 };
 
@@ -65,7 +78,9 @@ usage()
         "usage: savat_cli <events|measure|spectrum|campaign|assess|"
         "detect|svf> [args] [options]\n"
         "options: --machine M --distance CM --freq KHZ --reps N "
-        "--jobs N --power --uses N --csv PATH\n");
+        "--jobs N --power --uses N --csv PATH\n"
+        "         --metrics PATH|- --trace PATH  (telemetry export; "
+        "also SAVAT_METRICS / SAVAT_TRACE)\n");
     std::exit(2);
 }
 
@@ -97,6 +112,10 @@ parseArgs(int argc, char **argv)
             opt.uses = std::atof(value().c_str());
         else if (arg == "--csv")
             opt.csv = value();
+        else if (arg == "--metrics")
+            opt.metrics = value();
+        else if (arg == "--trace")
+            opt.trace = value();
         else if (arg == "--power")
             opt.power = true;
         else if (arg.rfind("--", 0) == 0) {
@@ -190,18 +209,16 @@ cmdCampaign(const Options &opt)
     cfg.meter = meterConfig(opt);
     for (const auto &name : opt.positional)
         cfg.events.push_back(kernels::eventByName(name));
-    const auto res = core::runCampaign(
-        cfg, [](std::size_t done, std::size_t total) {
-            std::fprintf(stderr, "\r%zu/%zu ...", done, total);
-            if (done == total)
-                std::fprintf(stderr, "\n");
-        });
+    obs::ProgressMeter meter("campaign");
+    const auto res = core::runCampaign(cfg, meter.callback());
     core::printMatrixTable(std::cout, res.matrix);
     std::cout << "\n";
     core::printMatrixHeatmap(std::cout, res.matrix);
-    std::cout << "\nclusters(k=4): "
+    const std::size_t k = std::min<std::size_t>(
+        4, res.matrix.size());
+    std::cout << "\nclusters(k=" << k << "): "
               << core::describeClusters(
-                     core::clusterEvents(res.matrix, 4))
+                     core::clusterEvents(res.matrix, k))
               << "\n";
     if (!opt.csv.empty()) {
         std::ofstream out(opt.csv);
@@ -280,9 +297,10 @@ cmdSvf(const Options &opt)
     cfg.distance = Distance::centimeters(opt.distanceCm);
     cfg.windows = 48;
     cfg.jobs = static_cast<std::size_t>(std::max(0, opt.jobs));
+    obs::ProgressMeter meter("svf");
     const auto res = core::computeSvf(machine, profile,
                                       em::DistanceModel(), workload,
-                                      cfg);
+                                      cfg, meter.callback());
     std::printf("SVF(%s, %.0f cm) = %.3f over %zu windows\n",
                 opt.machine.c_str(), opt.distanceCm, res.svf,
                 res.windows);
@@ -298,6 +316,15 @@ main(int argc, char **argv)
         usage();
     const std::string cmd = argv[1];
     const Options opt = parseArgs(argc, argv);
+    obs::configureFromEnvironment();
+    if (!opt.metrics.empty()) {
+        obs::setMetricsEnabled(true);
+        obs::requestMetricsDump(opt.metrics);
+    }
+    if (!opt.trace.empty()) {
+        obs::setTraceEnabled(true);
+        obs::requestTraceDump(opt.trace);
+    }
     if (cmd == "events")
         return cmdEvents();
     if (cmd == "measure")

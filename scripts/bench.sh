@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Campaign-throughput benchmark runner: builds the tree and records
 # the campaign microbenchmarks (single-cell cost plus the jobs=1/2/4
-# scaling curve) as google-benchmark JSON.
+# scaling curve) as google-benchmark JSON, plus the obs metrics of a
+# small reference campaign alongside it.
 #
 #   scripts/bench.sh [output.json]    # default: BENCH_campaign.json
 set -euo pipefail
@@ -10,7 +11,7 @@ cd "$(dirname "$0")/.."
 OUT="${1:-BENCH_campaign.json}"
 
 cmake -B build -S . >/dev/null
-cmake --build build -j --target bench_perf_substrate
+cmake --build build -j --target bench_perf_substrate savat_cli
 
 ./build/bench/bench_perf_substrate \
     --benchmark_filter='BM_Campaign' \
@@ -18,5 +19,11 @@ cmake --build build -j --target bench_perf_substrate
     --benchmark_out_format=json \
     --benchmark_format=console
 
+# Pipeline-internal counters for the same workload class: cache hit
+# rates, FFT volume, per-cell timing distributions.
+METRICS="${OUT%.json}_metrics.json"
+./build/examples/savat_cli campaign ADD SUB LDM --reps 3 --jobs 2 \
+    --metrics "$METRICS" >/dev/null
+
 echo
-echo "wrote $OUT"
+echo "wrote $OUT and $METRICS"

@@ -21,6 +21,15 @@ cmake --build build -j
 step "savat-lint: example campaign specs"
 ./build/examples/savat_lint --summary examples/specs/*.spec
 
+step "obs smoke: campaign telemetry export parses as JSON"
+mkdir -p build/obs-smoke
+./build/examples/savat_cli campaign ADD LDM --reps 2 --jobs 4 \
+    --metrics build/obs-smoke/metrics.json \
+    --trace build/obs-smoke/trace.json >/dev/null
+python3 -m json.tool build/obs-smoke/metrics.json >/dev/null
+python3 -m json.tool build/obs-smoke/trace.json >/dev/null
+echo "metrics + trace JSON OK"
+
 if [[ "$FAST" == 1 ]]; then
     echo "--fast: skipping sanitizers and clang-tidy"
     exit 0
@@ -38,7 +47,7 @@ cmake -B build-tsan -S . -DSAVAT_TSAN=ON -DSAVAT_WERROR=ON \
 cmake --build build-tsan -j
 (cd build-tsan &&
      ctest --output-on-failure -j "$(nproc)" \
-           -R 'Parallel|CampaignVariants|MachineCampaign')
+           -R 'Parallel|CampaignVariants|MachineCampaign|Obs')
 
 if command -v clang-tidy >/dev/null 2>&1; then
     step "clang-tidy: library sources"

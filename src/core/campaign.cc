@@ -5,6 +5,7 @@
 
 #include "analysis/checker.hh"
 #include "support/logging.hh"
+#include "support/obs.hh"
 #include "support/parallel.hh"
 
 namespace savat::core {
@@ -109,6 +110,12 @@ runCampaignPairs(
 {
     const auto events = effectiveEvents(config);
 
+    SAVAT_TRACE_SPAN("campaign.run",
+                     {{"machine", config.machineId},
+                      {"pairs", pairs.size()},
+                      {"reps", config.repetitions}});
+    SAVAT_METRIC_TIMER("campaign.run_seconds");
+
     // Static validation of the whole campaign before any simulation
     // burns time; every error-level diagnostic is fatal here.
     analysis::CampaignSpec spec;
@@ -146,13 +153,23 @@ runCampaignPairs(
     std::mutex progressMutex;
     std::size_t completed = 0;
 
+    SAVAT_METRIC_GAUGE("campaign.jobs",
+                       static_cast<double>(requested));
+    SAVAT_METRIC_GAUGE("campaign.inner_jobs",
+                       static_cast<double>(innerJobs));
+
     // One prototype meter calibrates each event's steady-state CPI
     // up front (a deterministic per-event simulation); workers copy
     // the warmed cache instead of recalibrating it once per worker.
     auto prototype =
         SavatMeter::forMachine(config.machineId, config.meter);
-    for (auto e : events)
-        prototype.iterationCycles(e);
+    {
+        SAVAT_TRACE_SPAN("campaign.calibrate",
+                         {{"events", events.size()}});
+        SAVAT_METRIC_TIMER("campaign.calibrate_seconds");
+        for (auto e : events)
+            prototype.iterationCycles(e);
+    }
 
     support::runWorkers(outerJobs, [&](std::size_t) {
         // Worker-owned meter: the pair caches stay thread-local so
@@ -167,12 +184,21 @@ runCampaignPairs(
             slot.ia = result.matrix.tryIndexOf(a);
             slot.ib = result.matrix.tryIndexOf(b);
             if (slot.ia < 0 || slot.ib < 0) {
+                SAVAT_METRIC_COUNT("campaign.pairs_skipped");
                 SAVAT_WARN("skipping pair ", kernels::eventName(a),
                            "/", kernels::eventName(b),
                            ": event not in the campaign matrix");
             } else {
+                SAVAT_TRACE_SPAN("campaign.cell",
+                                 {{"a", kernels::eventName(a)},
+                                  {"b", kernels::eventName(b)},
+                                  {"reps", config.repetitions}});
+                SAVAT_METRIC_TIMER("campaign.cell_seconds");
                 measureCell(meter, config, slot, a, b, innerJobs,
                             scratch);
+                SAVAT_METRIC_COUNT("campaign.cells");
+                SAVAT_METRIC_ADD("campaign.reps",
+                                 config.repetitions);
             }
             if (progress) {
                 const std::lock_guard<std::mutex> lock(progressMutex);
@@ -183,6 +209,7 @@ runCampaignPairs(
 
     // Serial merge in request order: samples land in each cell in
     // exactly the order the serial loop would have appended them.
+    SAVAT_TRACE_SPAN("campaign.merge", {{"pairs", npairs}});
     if (config.keepTraces)
         result.traces.resize(npairs);
     for (std::size_t p = 0; p < npairs; ++p) {

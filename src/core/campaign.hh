@@ -23,6 +23,7 @@
 #include "core/matrix.hh"
 #include "core/meter.hh"
 #include "support/logging.hh"
+#include "support/progress.hh"
 
 namespace savat::core {
 
@@ -64,9 +65,11 @@ struct CampaignConfig
 /**
  * Progress callback: (pairs done, pairs total). Under parallel
  * execution it is invoked from worker threads, serialized by a
- * mutex, with a monotonically increasing done count.
+ * mutex, with a monotonically increasing done count. Shared with the
+ * other long-running passes (see support/progress.hh;
+ * obs::ProgressMeter is a ready-made rate-limited printer).
  */
-using ProgressFn = std::function<void(std::size_t, std::size_t)>;
+using ProgressFn = obs::ProgressFn;
 
 /** Campaign outputs. */
 struct CampaignResult

@@ -4,6 +4,7 @@
 
 #include "dsp/fft.hh"
 #include "support/logging.hh"
+#include "support/obs.hh"
 
 namespace savat::core {
 
@@ -83,8 +84,14 @@ double
 SavatMeter::iterationCycles(EventKind e)
 {
     auto it = _cpiCache.find(e);
-    if (it != _cpiCache.end())
+    if (it != _cpiCache.end()) {
+        SAVAT_METRIC_COUNT("meter.cpi_cache_hits");
         return it->second;
+    }
+    SAVAT_TRACE_SPAN("meter.calibrate_cpi",
+                     {{"event", kernels::eventName(e)}});
+    SAVAT_METRIC_TIMER("meter.cpi_calibration_seconds");
+    SAVAT_METRIC_COUNT("meter.cpi_calibrations");
     const double cpi = kernels::measureIterationCycles(_machine, e);
     _cpiCache.emplace(e, cpi);
     return cpi;
@@ -95,8 +102,15 @@ SavatMeter::simulatePair(EventKind a, EventKind b)
 {
     const auto key = std::make_pair(a, b);
     auto it = _pairCache.find(key);
-    if (it != _pairCache.end())
+    if (it != _pairCache.end()) {
+        SAVAT_METRIC_COUNT("meter.pair_cache_hits");
         return it->second;
+    }
+    SAVAT_TRACE_SPAN("meter.simulate_pair",
+                     {{"a", kernels::eventName(a)},
+                      {"b", kernels::eventName(b)}});
+    SAVAT_METRIC_TIMER("meter.simulate_seconds");
+    SAVAT_METRIC_COUNT("meter.pair_simulations");
     const auto report = analysis::Checker().checkPair(
         _machine, a, b,
         toAnalysisSettings(_config, _synth.antenna()));
@@ -472,6 +486,8 @@ SavatMeter::measureValue(const PairSimulation &sim, Rng &rng,
 
     SavatSample m;
     analyzer.measureInto(synth_res.spectrum, rng, scratch);
+    SAVAT_METRIC_COUNT("meter.measurements");
+    SAVAT_METRIC_ADD("meter.sweep_bins", scratch.psd.size());
     const double f0 = _config.alternation.inHz();
     m.bandPowerW =
         scratch.bandPower(f0 - _config.bandHz, f0 + _config.bandHz);

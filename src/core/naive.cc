@@ -7,6 +7,7 @@
 #include "isa/assembler.hh"
 #include "kernels/generator.hh"
 #include "support/logging.hh"
+#include "support/obs.hh"
 #include "support/parallel.hh"
 #include "uarch/cpu.hh"
 
@@ -126,6 +127,13 @@ runNaiveComparison(const uarch::MachineConfig &machine,
                    std::size_t trials, Rng &rng)
 {
     SAVAT_ASSERT(trials >= 1, "need at least one trial");
+
+    SAVAT_TRACE_SPAN("naive.compare",
+                     {{"a", kernels::eventName(a)},
+                      {"b", kernels::eventName(b)},
+                      {"trials", trials}});
+    SAVAT_METRIC_TIMER("naive.compare_seconds");
+    SAVAT_METRIC_ADD("naive.trials", trials);
 
     const auto sig_a = captureSignal(machine, profile, a, config);
     const auto sig_b = captureSignal(machine, profile, b, config);

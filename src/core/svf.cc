@@ -1,10 +1,12 @@
 #include "core/svf.hh"
 
 #include <cmath>
+#include <mutex>
 #include <sstream>
 
 #include "isa/assembler.hh"
 #include "support/logging.hh"
+#include "support/obs.hh"
 #include "support/parallel.hh"
 #include "support/stats.hh"
 #include "support/strings.hh"
@@ -56,10 +58,16 @@ SvfResult
 computeSvf(const uarch::MachineConfig &machine,
            const em::EmissionProfile &profile,
            const em::DistanceModel &distances,
-           const isa::Program &program, const SvfConfig &config)
+           const isa::Program &program, const SvfConfig &config,
+           const obs::ProgressFn &progress)
 {
     SAVAT_ASSERT(config.windows >= 4, "need at least four windows");
     SAVAT_ASSERT(config.windowCycles >= 16, "windows too short");
+
+    SAVAT_TRACE_SPAN("svf.compute",
+                     {{"windows", config.windows},
+                      {"window_cycles", config.windowCycles}});
+    SAVAT_METRIC_TIMER("svf.compute_seconds");
 
     // Run the program long enough to cover the requested windows.
     uarch::ActivityTrace trace;
@@ -108,33 +116,52 @@ computeSvf(const uarch::MachineConfig &machine,
         ref_power += v * v;
     ref_power /= static_cast<double>(ref_wave.size());
 
+    SAVAT_METRIC_ADD("svf.windows", usable);
+
     // Census and signal power are deterministic per window, so the
-    // window loop shards freely across workers.
+    // window loop shards freely across workers. Progress is counted
+    // monotonically under a mutex, like the campaign's.
     res.oracle.resize(usable);
     res.observed.resize(usable);
-    support::parallelFor(
-        usable,
-        [&](std::size_t w) {
-            const std::uint64_t begin = w * config.windowCycles;
-            const std::uint64_t end = begin + config.windowCycles;
+    std::mutex progress_mutex;
+    std::size_t completed = 0;
+    {
+        SAVAT_TRACE_SPAN("svf.windows", {{"usable", usable}});
+        SAVAT_METRIC_TIMER("svf.window_pass_seconds");
+        support::parallelFor(
+            usable,
+            [&](std::size_t w) {
+                const std::uint64_t begin = w * config.windowCycles;
+                const std::uint64_t end =
+                    begin + config.windowCycles;
 
-            // Oracle: the window's micro-event census.
-            std::vector<double> census(uarch::kNumMicroEvents, 0.0);
-            for (std::size_t ev = 0; ev < uarch::kNumMicroEvents;
-                 ++ev) {
-                census[ev] = trace.meanRate(
-                    static_cast<uarch::MicroEvent>(ev), begin, end);
-            }
-            res.oracle[w] = std::move(census);
+                // Oracle: the window's micro-event census.
+                std::vector<double> census(uarch::kNumMicroEvents,
+                                           0.0);
+                for (std::size_t ev = 0;
+                     ev < uarch::kNumMicroEvents; ++ev) {
+                    census[ev] = trace.meanRate(
+                        static_cast<uarch::MicroEvent>(ev), begin,
+                        end);
+                }
+                res.oracle[w] = std::move(census);
 
-            // Attacker: window signal power (noise added below).
-            double power = 0.0;
-            for (std::uint64_t c = begin; c < end; ++c)
-                power += full_wave[c] * full_wave[c];
-            res.observed[w] =
-                power / static_cast<double>(config.windowCycles);
-        },
-        config.jobs);
+                // Attacker: window signal power (noise added
+                // below).
+                double power = 0.0;
+                for (std::uint64_t c = begin; c < end; ++c)
+                    power += full_wave[c] * full_wave[c];
+                res.observed[w] =
+                    power / static_cast<double>(config.windowCycles);
+
+                if (progress) {
+                    const std::lock_guard<std::mutex> lock(
+                        progress_mutex);
+                    progress(++completed, usable);
+                }
+            },
+            config.jobs);
+    }
 
     // Measurement noise, drawn serially in window order so the SVF
     // does not depend on the jobs value.

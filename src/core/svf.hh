@@ -27,6 +27,7 @@
 
 #include "em/synth.hh"
 #include "isa/instruction.hh"
+#include "support/progress.hh"
 #include "support/rng.hh"
 #include "support/units.hh"
 #include "uarch/machine.hh"
@@ -89,12 +90,17 @@ struct SvfResult
  * the processor actually did); the attacker's observation is the
  * emission-weighted, distance-attenuated signal power in the window
  * plus measurement noise.
+ *
+ * The optional progress callback reports (windows done, windows
+ * total) under a mutex with a monotonic done count, exactly like
+ * the campaign's.
  */
 SvfResult computeSvf(const uarch::MachineConfig &machine,
                      const em::EmissionProfile &profile,
                      const em::DistanceModel &distances,
                      const isa::Program &program,
-                     const SvfConfig &config);
+                     const SvfConfig &config,
+                     const obs::ProgressFn &progress = {});
 
 /**
  * A phased demo workload for SVF studies: loops that cycle through

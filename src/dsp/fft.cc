@@ -6,6 +6,7 @@
 #include <mutex>
 
 #include "support/logging.hh"
+#include "support/obs.hh"
 
 namespace savat::dsp {
 
@@ -38,7 +39,10 @@ planFor(std::size_t n, bool inverse)
 
     const std::lock_guard<std::mutex> lock(mutex);
     auto &slot = cache[{n, inverse}];
-    if (!slot) {
+    if (slot) {
+        SAVAT_METRIC_COUNT("fft.plan_cache_hits");
+    } else {
+        SAVAT_METRIC_COUNT("fft.plan_cache_misses");
         auto plan = std::make_unique<FftPlan>();
         plan->bitrev.resize(n);
         for (std::size_t i = 1, j = 0; i < n; ++i) {
@@ -72,6 +76,9 @@ fft(std::vector<Complex> &data, bool inverse)
     const std::size_t n = data.size();
     SAVAT_ASSERT(n > 0 && (n & (n - 1)) == 0,
                  "fft size must be a power of two, got ", n);
+
+    SAVAT_METRIC_COUNT("fft.transforms");
+    SAVAT_METRIC_RECORD("fft.size", static_cast<double>(n));
 
     const FftPlan &plan = planFor(n, inverse);
 
@@ -132,6 +139,8 @@ singleBinDft(const std::vector<double> &data, double freq)
 {
     const std::size_t n = data.size();
     SAVAT_ASSERT(n > 0, "singleBinDft on empty data");
+    SAVAT_METRIC_COUNT("fft.single_bin_dfts");
+    SAVAT_METRIC_ADD("fft.single_bin_samples", n);
     // Direct evaluation with a recurrence for the rotating phasor.
     const double ang = -2.0 * M_PI * freq;
     const Complex step(std::cos(ang), std::sin(ang));

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "support/logging.hh"
+#include "support/obs.hh"
 
 namespace savat::spectrum {
 
@@ -11,6 +12,7 @@ double
 Trace::bandPower(double lo_hz, double hi_hz) const
 {
     SAVAT_ASSERT(hi_hz >= lo_hz, "inverted band");
+    SAVAT_METRIC_COUNT("spectrum.band_integrations");
     double power = 0.0;
     for (std::size_t i = 0; i < psd.size(); ++i) {
         const double lo = frequency(i) - 0.5 * binHz;
@@ -79,6 +81,9 @@ SpectrumAnalyzer::measureInto(const em::NarrowbandSpectrum &incident,
     const std::size_t nbins = static_cast<std::size_t>(
         std::lround(_config.spanHz / out.binHz)) + 1;
     out.psd.assign(nbins, 0.0);
+
+    SAVAT_METRIC_COUNT("spectrum.sweeps");
+    SAVAT_METRIC_ADD("spectrum.bins_swept", nbins);
 
     // Gaussian RBW filter: each displayed bin integrates the
     // incident PSD weighted by the RBW shape centered on the bin.

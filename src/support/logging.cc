@@ -2,11 +2,41 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
+
+#include "support/obs.hh"
+#include "support/parallel.hh"
 
 namespace savat {
 
 namespace {
+
 LogLevel global_level = LogLevel::Warn;
+
+/** Serializes stderr output so parallel workers cannot interleave
+ * partial lines. */
+std::mutex io_mutex;
+
+/**
+ * Compose the whole line up front (worker-tagged inside parallel
+ * regions) and emit it with a single guarded write.
+ */
+void
+writeLine(const char *prefix, const std::string &msg)
+{
+    std::string line(prefix);
+    const int worker = support::currentWorker();
+    if (worker >= 0) {
+        line += "[w";
+        line += std::to_string(worker);
+        line += "] ";
+    }
+    line += msg;
+    line += '\n';
+    const std::lock_guard<std::mutex> lock(io_mutex);
+    std::fputs(line.c_str(), stderr);
+}
+
 } // namespace
 
 void
@@ -26,29 +56,33 @@ namespace detail {
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    writeLine("panic: ",
+              msg + " (" + file + ":" + std::to_string(line) + ")");
     std::abort();
 }
 
 void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    writeLine("fatal: ",
+              msg + " (" + file + ":" + std::to_string(line) + ")");
     std::exit(1);
 }
 
 void
 warnImpl(const std::string &msg)
 {
+    SAVAT_METRIC_COUNT("log.warnings");
     if (global_level >= LogLevel::Warn)
-        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+        writeLine("warn: ", msg);
 }
 
 void
 informImpl(const std::string &msg)
 {
+    SAVAT_METRIC_COUNT("log.informs");
     if (global_level >= LogLevel::Info)
-        std::fprintf(stderr, "info: %s\n", msg.c_str());
+        writeLine("info: ", msg);
 }
 
 } // namespace detail

@@ -1,0 +1,623 @@
+#include "support/obs.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <ostream>
+
+#include "support/logging.hh"
+#include "support/strings.hh"
+
+namespace savat::obs {
+
+namespace detail {
+
+std::atomic<bool> g_metrics_enabled{false};
+std::atomic<bool> g_trace_enabled{false};
+
+std::size_t
+shardIndex()
+{
+    static std::atomic<std::size_t> next{0};
+    thread_local const std::size_t idx =
+        next.fetch_add(1, std::memory_order_relaxed) % kShards;
+    return idx;
+}
+
+std::uint64_t
+nowNs()
+{
+    static const auto epoch = std::chrono::steady_clock::now();
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch)
+            .count());
+}
+
+} // namespace detail
+
+void
+setMetricsEnabled(bool on)
+{
+    detail::g_metrics_enabled.store(on, std::memory_order_relaxed);
+}
+
+void
+setTraceEnabled(bool on)
+{
+    detail::g_trace_enabled.store(on, std::memory_order_relaxed);
+}
+
+namespace {
+
+void
+atomicAdd(std::atomic<double> &a, double v)
+{
+    double cur = a.load(std::memory_order_relaxed);
+    while (!a.compare_exchange_weak(cur, cur + v,
+                                    std::memory_order_relaxed)) {
+    }
+}
+
+void
+atomicMin(std::atomic<double> &a, double v)
+{
+    double cur = a.load(std::memory_order_relaxed);
+    while (v < cur && !a.compare_exchange_weak(
+                          cur, v, std::memory_order_relaxed)) {
+    }
+}
+
+void
+atomicMax(std::atomic<double> &a, double v)
+{
+    double cur = a.load(std::memory_order_relaxed);
+    while (v > cur && !a.compare_exchange_weak(
+                          cur, v, std::memory_order_relaxed)) {
+    }
+}
+
+/**
+ * Log2 bucket index: bucket 0 holds v <= 0 (and NaN); buckets 1..63
+ * cover 2^-33 .. 2^30 with one power of two each, clamped at both
+ * ends. Fine enough for nanosecond-to-kilosecond timers and for the
+ * integer size distributions the pipeline records.
+ */
+std::size_t
+bucketFor(double v)
+{
+    if (!(v > 0.0))
+        return 0;
+    const int idx = std::ilogb(v) + 34;
+    return static_cast<std::size_t>(std::clamp(
+        idx, 1, static_cast<int>(kHistogramBuckets) - 1));
+}
+
+/** Geometric midpoint of a bucket (inverse of bucketFor). */
+double
+bucketValue(std::size_t idx)
+{
+    return std::ldexp(1.5, static_cast<int>(idx) - 34);
+}
+
+} // namespace
+
+std::uint64_t
+Counter::value() const
+{
+    std::uint64_t total = 0;
+    for (const auto &s : _shards)
+        total += s.v.load(std::memory_order_relaxed);
+    return total;
+}
+
+void
+Counter::reset()
+{
+    for (auto &s : _shards)
+        s.v.store(0, std::memory_order_relaxed);
+}
+
+void
+Histogram::record(double v)
+{
+    if (!metricsEnabled())
+        return;
+    Shard &s = _shards[detail::shardIndex()];
+    s.count.fetch_add(1, std::memory_order_relaxed);
+    atomicAdd(s.sum, v);
+    atomicMin(s.minv, v);
+    atomicMax(s.maxv, v);
+    s.buckets[bucketFor(v)].fetch_add(1, std::memory_order_relaxed);
+}
+
+HistogramSnapshot
+Histogram::snapshot() const
+{
+    HistogramSnapshot out;
+    std::array<std::uint64_t, kHistogramBuckets> buckets{};
+    double mn = std::numeric_limits<double>::infinity();
+    double mx = -std::numeric_limits<double>::infinity();
+    for (const auto &s : _shards) {
+        out.count += s.count.load(std::memory_order_relaxed);
+        out.sum += s.sum.load(std::memory_order_relaxed);
+        mn = std::min(mn, s.minv.load(std::memory_order_relaxed));
+        mx = std::max(mx, s.maxv.load(std::memory_order_relaxed));
+        for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+            buckets[b] +=
+                s.buckets[b].load(std::memory_order_relaxed);
+        }
+    }
+    if (out.count == 0)
+        return out;
+    out.min = mn;
+    out.max = mx;
+    out.mean = out.sum / static_cast<double>(out.count);
+
+    auto quantile = [&](double q) {
+        const auto target = static_cast<std::uint64_t>(std::max(
+            1.0,
+            std::ceil(q * static_cast<double>(out.count))));
+        std::uint64_t cum = 0;
+        for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+            cum += buckets[b];
+            if (cum >= target) {
+                const double v = b == 0 ? mn : bucketValue(b);
+                return std::clamp(v, mn, mx);
+            }
+        }
+        return mx;
+    };
+    out.p50 = quantile(0.50);
+    out.p95 = quantile(0.95);
+    return out;
+}
+
+void
+Histogram::reset()
+{
+    for (auto &s : _shards) {
+        s.count.store(0, std::memory_order_relaxed);
+        s.sum.store(0.0, std::memory_order_relaxed);
+        s.minv.store(std::numeric_limits<double>::infinity(),
+                     std::memory_order_relaxed);
+        s.maxv.store(-std::numeric_limits<double>::infinity(),
+                     std::memory_order_relaxed);
+        for (auto &b : s.buckets)
+            b.store(0, std::memory_order_relaxed);
+    }
+}
+
+Registry &
+Registry::instance()
+{
+    // Leaked on purpose: metrics may be recorded and dumped from
+    // atexit handlers, after function-local statics are destroyed.
+    static Registry *reg = new Registry();
+    return *reg;
+}
+
+Counter &
+Registry::counter(const std::string &name)
+{
+    const std::lock_guard<std::mutex> lock(_mu);
+    auto &slot = _counters[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+Registry::gauge(const std::string &name)
+{
+    const std::lock_guard<std::mutex> lock(_mu);
+    auto &slot = _gauges[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram &
+Registry::histogram(const std::string &name)
+{
+    const std::lock_guard<std::mutex> lock(_mu);
+    auto &slot = _histograms[name];
+    if (!slot)
+        slot = std::make_unique<Histogram>();
+    return *slot;
+}
+
+void
+Registry::reset()
+{
+    const std::lock_guard<std::mutex> lock(_mu);
+    for (auto &[name, c] : _counters)
+        c->reset();
+    for (auto &[name, g] : _gauges)
+        g->reset();
+    for (auto &[name, h] : _histograms)
+        h->reset();
+}
+
+namespace {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += format("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+/** JSON-safe double: finite values via %.9g, the rest as 0. */
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "0";
+    return format("%.9g", v);
+}
+
+} // namespace
+
+void
+Registry::writeJson(std::ostream &os) const
+{
+    const std::lock_guard<std::mutex> lock(_mu);
+    os << "{\n  \"schema\": \"savat.metrics.v1\",\n";
+    os << "  \"counters\": {";
+    const char *sep = "";
+    for (const auto &[name, c] : _counters) {
+        os << sep << "\n    \"" << jsonEscape(name)
+           << "\": " << c->value();
+        sep = ",";
+    }
+    os << (*sep ? "\n  " : "") << "},\n";
+
+    os << "  \"gauges\": {";
+    sep = "";
+    for (const auto &[name, g] : _gauges) {
+        os << sep << "\n    \"" << jsonEscape(name)
+           << "\": " << jsonNumber(g->value());
+        sep = ",";
+    }
+    os << (*sep ? "\n  " : "") << "},\n";
+
+    os << "  \"histograms\": {";
+    sep = "";
+    for (const auto &[name, h] : _histograms) {
+        const auto s = h->snapshot();
+        os << sep << "\n    \"" << jsonEscape(name) << "\": {"
+           << "\"count\": " << s.count
+           << ", \"sum\": " << jsonNumber(s.sum)
+           << ", \"min\": " << jsonNumber(s.min)
+           << ", \"mean\": " << jsonNumber(s.mean)
+           << ", \"p50\": " << jsonNumber(s.p50)
+           << ", \"p95\": " << jsonNumber(s.p95)
+           << ", \"max\": " << jsonNumber(s.max) << "}";
+        sep = ",";
+    }
+    os << (*sep ? "\n  " : "") << "}\n}\n";
+}
+
+void
+Registry::writeTable(std::ostream &os) const
+{
+    const std::lock_guard<std::mutex> lock(_mu);
+    if (!_counters.empty()) {
+        os << "counters\n";
+        for (const auto &[name, c] : _counters) {
+            os << format("  %-36s %14llu\n", name.c_str(),
+                         static_cast<unsigned long long>(c->value()));
+        }
+    }
+    if (!_gauges.empty()) {
+        os << "gauges\n";
+        for (const auto &[name, g] : _gauges) {
+            os << format("  %-36s %14.6g\n", name.c_str(),
+                         g->value());
+        }
+    }
+    if (!_histograms.empty()) {
+        os << format("%-38s %10s %11s %11s %11s %11s %11s\n",
+                     "histograms", "count", "min", "mean", "p50",
+                     "p95", "max");
+        for (const auto &[name, h] : _histograms) {
+            const auto s = h->snapshot();
+            os << format(
+                "  %-36s %10llu %11.4g %11.4g %11.4g %11.4g %11.4g\n",
+                name.c_str(),
+                static_cast<unsigned long long>(s.count), s.min,
+                s.mean, s.p50, s.p95, s.max);
+        }
+    }
+}
+
+TraceValue::TraceValue(double v)
+{
+    if (std::isfinite(v)) {
+        text = format("%.9g", v);
+        quoted = false;
+    } else {
+        // "inf"/"nan" are not valid JSON numbers; quote them.
+        text = format("%g", v);
+        quoted = true;
+    }
+}
+
+namespace {
+
+struct TraceEvent
+{
+    std::string name;
+    TraceArgs args;
+    std::uint64_t startNs = 0;
+    std::uint64_t durNs = 0;
+    std::uint32_t tid = 0;
+};
+
+/**
+ * Per-thread span buffer. The owning thread appends under the
+ * buffer's own mutex (uncontended on the hot path); the exporter
+ * takes the same mutex to drain. Buffers outlive their thread via
+ * shared ownership with the global list.
+ */
+struct TraceBuffer
+{
+    std::mutex mu;
+    std::uint32_t tid = 0;
+    std::vector<TraceEvent> events;
+};
+
+struct TraceState
+{
+    std::mutex mu;
+    std::vector<std::shared_ptr<TraceBuffer>> buffers;
+    std::atomic<std::uint32_t> nextTid{1};
+};
+
+TraceState &
+traceState()
+{
+    // Leaked for the same atexit-ordering reason as the Registry.
+    static TraceState *state = new TraceState();
+    return *state;
+}
+
+TraceBuffer &
+threadBuffer()
+{
+    thread_local const std::shared_ptr<TraceBuffer> buf = [] {
+        auto b = std::make_shared<TraceBuffer>();
+        auto &st = traceState();
+        b->tid = st.nextTid.fetch_add(1, std::memory_order_relaxed);
+        const std::lock_guard<std::mutex> lock(st.mu);
+        st.buffers.push_back(b);
+        return b;
+    }();
+    return *buf;
+}
+
+} // namespace
+
+void
+TraceSpan::open(std::string name, TraceArgs args)
+{
+    if (!traceEnabled() || _open)
+        return;
+    _name = std::move(name);
+    _args = std::move(args);
+    _startNs = detail::nowNs();
+    _open = true;
+}
+
+void
+TraceSpan::close()
+{
+    if (!_open)
+        return;
+    _open = false;
+    const std::uint64_t end = detail::nowNs();
+    TraceBuffer &buf = threadBuffer();
+    TraceEvent ev;
+    ev.name = std::move(_name);
+    ev.args = std::move(_args);
+    ev.startNs = _startNs;
+    ev.durNs = end - _startNs;
+    ev.tid = buf.tid;
+    const std::lock_guard<std::mutex> lock(buf.mu);
+    buf.events.push_back(std::move(ev));
+}
+
+namespace {
+
+std::vector<TraceEvent>
+collectTraceEvents(bool drain)
+{
+    std::vector<std::shared_ptr<TraceBuffer>> buffers;
+    {
+        auto &st = traceState();
+        const std::lock_guard<std::mutex> lock(st.mu);
+        buffers = st.buffers;
+    }
+    std::vector<TraceEvent> all;
+    for (const auto &buf : buffers) {
+        const std::lock_guard<std::mutex> lock(buf->mu);
+        all.insert(all.end(), buf->events.begin(),
+                   buf->events.end());
+        if (drain)
+            buf->events.clear();
+    }
+    std::sort(all.begin(), all.end(),
+              [](const TraceEvent &a, const TraceEvent &b) {
+                  return a.startNs != b.startNs
+                             ? a.startNs < b.startNs
+                             : a.tid < b.tid;
+              });
+    return all;
+}
+
+} // namespace
+
+void
+writeTraceJson(std::ostream &os)
+{
+    const auto events = collectTraceEvents(false);
+    os << "{\"traceEvents\": [";
+    const char *sep = "";
+    for (const auto &ev : events) {
+        os << sep << "\n  {\"name\": \"" << jsonEscape(ev.name)
+           << "\", \"cat\": \"savat\", \"ph\": \"X\""
+           << format(", \"ts\": %.3f, \"dur\": %.3f",
+                     static_cast<double>(ev.startNs) / 1000.0,
+                     static_cast<double>(ev.durNs) / 1000.0)
+           << ", \"pid\": 1, \"tid\": " << ev.tid;
+        if (!ev.args.empty()) {
+            os << ", \"args\": {";
+            const char *asep = "";
+            for (const auto &[key, value] : ev.args) {
+                os << asep << "\"" << jsonEscape(key) << "\": ";
+                if (value.quoted)
+                    os << "\"" << jsonEscape(value.text) << "\"";
+                else
+                    os << value.text;
+                asep = ", ";
+            }
+            os << "}";
+        }
+        os << "}";
+        sep = ",";
+    }
+    os << (*sep ? "\n" : "")
+       << "], \"displayTimeUnit\": \"ms\"}\n";
+}
+
+void
+clearTrace()
+{
+    collectTraceEvents(true);
+}
+
+std::size_t
+traceEventCount()
+{
+    return collectTraceEvents(false).size();
+}
+
+namespace {
+
+std::mutex g_dump_mu;
+std::string g_metrics_path;
+std::string g_trace_path;
+bool g_atexit_registered = false;
+
+void
+dumpAtExit()
+{
+    std::string metrics, trace;
+    {
+        const std::lock_guard<std::mutex> lock(g_dump_mu);
+        metrics = g_metrics_path;
+        trace = g_trace_path;
+    }
+    if (!metrics.empty())
+        dumpMetricsNow(metrics);
+    if (!trace.empty())
+        dumpTraceNow(trace);
+}
+
+/** Caller must hold g_dump_mu. */
+void
+ensureAtExitLocked()
+{
+    if (!g_atexit_registered) {
+        g_atexit_registered = true;
+        std::atexit(dumpAtExit);
+    }
+}
+
+} // namespace
+
+bool
+dumpMetricsNow(const std::string &path)
+{
+    if (path == "-") {
+        Registry::instance().writeJson(std::cout);
+        return true;
+    }
+    std::ofstream out(path);
+    if (!out) {
+        SAVAT_WARN("cannot write metrics to ", path);
+        return false;
+    }
+    if (endsWith(path, ".txt"))
+        Registry::instance().writeTable(out);
+    else
+        Registry::instance().writeJson(out);
+    return static_cast<bool>(out);
+}
+
+bool
+dumpTraceNow(const std::string &path)
+{
+    if (path == "-") {
+        writeTraceJson(std::cout);
+        return true;
+    }
+    std::ofstream out(path);
+    if (!out) {
+        SAVAT_WARN("cannot write trace to ", path);
+        return false;
+    }
+    writeTraceJson(out);
+    return static_cast<bool>(out);
+}
+
+void
+requestMetricsDump(const std::string &path)
+{
+    const std::lock_guard<std::mutex> lock(g_dump_mu);
+    g_metrics_path = path;
+    if (!path.empty())
+        ensureAtExitLocked();
+}
+
+void
+requestTraceDump(const std::string &path)
+{
+    const std::lock_guard<std::mutex> lock(g_dump_mu);
+    g_trace_path = path;
+    if (!path.empty())
+        ensureAtExitLocked();
+}
+
+void
+configureFromEnvironment()
+{
+    if (const char *m = std::getenv("SAVAT_METRICS"); m && *m) {
+        setMetricsEnabled(true);
+        requestMetricsDump(m);
+    }
+    if (const char *t = std::getenv("SAVAT_TRACE"); t && *t) {
+        setTraceEnabled(true);
+        requestTraceDump(t);
+    }
+}
+
+} // namespace savat::obs

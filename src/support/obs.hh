@@ -1,0 +1,432 @@
+/**
+ * @file
+ * savat::obs — low-overhead observability for the measurement
+ * pipeline: a metrics registry, scoped tracing spans and a
+ * structured export layer.
+ *
+ * The paper's methodology is itself a measurement instrument, so the
+ * pipeline that simulates it gets one too. Three pieces:
+ *
+ *  - **Metrics registry.** Named monotonic counters, gauges and
+ *    histogram/timer statistics (count/sum/min/mean/p50/p95/max).
+ *    Every metric is sharded across a fixed set of cache-line-padded
+ *    atomic slots indexed by a per-thread shard id, so the campaign
+ *    hot paths record with one relaxed atomic op and never take a
+ *    lock; shards are merged only when a snapshot is read.
+ *  - **Tracing spans.** `SAVAT_TRACE_SPAN("campaign.cell", ...)`
+ *    opens an RAII span buffered in a per-thread event list and
+ *    exportable as Chrome/Perfetto `trace_event` JSON
+ *    (chrome://tracing or https://ui.perfetto.dev load it directly).
+ *  - **Export layer.** The registry dumps as JSON (machine-readable)
+ *    or a text table (human-readable); dumps can run on demand or be
+ *    scheduled for process exit (`SAVAT_METRICS`/`SAVAT_TRACE`
+ *    environment variables, the CLI's `--metrics`/`--trace`).
+ *
+ * Telemetry is opt-in and off by default. When disabled, every
+ * record path reduces to one relaxed atomic-bool load (the macros
+ * below also skip argument evaluation), no allocation happens, and
+ * nothing is buffered. Enabled or not, telemetry never touches an
+ * RNG stream, so campaign outputs stay bit-identical — the
+ * determinism guarantee of DESIGN.md §5c extends to traced runs
+ * (proved by tests/test_obs.cc).
+ *
+ * Defining SAVAT_OBS_DISABLE compiles the recording macros out
+ * entirely for builds that must not carry the guard loads.
+ */
+
+#ifndef SAVAT_SUPPORT_OBS_HH
+#define SAVAT_SUPPORT_OBS_HH
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace savat::obs {
+
+/** Shards per metric; per-thread shard ids round-robin over these. */
+constexpr std::size_t kShards = 16;
+
+/** Log2-spaced histogram buckets (bucket 0 holds v <= 0). */
+constexpr std::size_t kHistogramBuckets = 64;
+
+namespace detail {
+
+extern std::atomic<bool> g_metrics_enabled;
+extern std::atomic<bool> g_trace_enabled;
+
+/** Stable per-thread shard slot in [0, kShards). */
+std::size_t shardIndex();
+
+/** Nanoseconds since the process-wide trace epoch (steady clock). */
+std::uint64_t nowNs();
+
+} // namespace detail
+
+/** Whether metric recording is on (one relaxed load). */
+inline bool
+metricsEnabled()
+{
+    return detail::g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+/** Whether span tracing is on (one relaxed load). */
+inline bool
+traceEnabled()
+{
+    return detail::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+void setMetricsEnabled(bool on);
+void setTraceEnabled(bool on);
+
+/**
+ * Monotonic counter, sharded for lock-free concurrent increments.
+ * add() is a no-op while metrics are disabled.
+ */
+class Counter
+{
+  public:
+    Counter() = default;
+    Counter(const Counter &) = delete;
+    Counter &operator=(const Counter &) = delete;
+
+    void
+    add(std::uint64_t n = 1)
+    {
+        if (!metricsEnabled())
+            return;
+        _shards[detail::shardIndex()].v.fetch_add(
+            n, std::memory_order_relaxed);
+    }
+
+    /** Merged total over all shards. */
+    std::uint64_t value() const;
+
+    void reset();
+
+  private:
+    struct alignas(64) Shard
+    {
+        std::atomic<std::uint64_t> v{0};
+    };
+    std::array<Shard, kShards> _shards{};
+};
+
+/** Last-write-wins instantaneous value. */
+class Gauge
+{
+  public:
+    Gauge() = default;
+    Gauge(const Gauge &) = delete;
+    Gauge &operator=(const Gauge &) = delete;
+
+    void
+    set(double v)
+    {
+        if (!metricsEnabled())
+            return;
+        _v.store(v, std::memory_order_relaxed);
+    }
+
+    double
+    value() const
+    {
+        return _v.load(std::memory_order_relaxed);
+    }
+
+    void reset() { _v.store(0.0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<double> _v{0.0};
+};
+
+/** Merged histogram statistics at snapshot time. */
+struct HistogramSnapshot
+{
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double mean = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double p50 = 0.0; //!< bucket-resolution estimate (log2 buckets)
+    double p95 = 0.0; //!< bucket-resolution estimate (log2 buckets)
+};
+
+/**
+ * Value-distribution metric: exact count/sum/min/max/mean plus
+ * bucket-resolution p50/p95 from log2-spaced buckets. record() is
+ * lock-free (relaxed atomic adds and CAS min/max on this thread's
+ * shard) and a no-op while metrics are disabled. Timer histograms
+ * record seconds by convention (name them *_seconds).
+ */
+class Histogram
+{
+  public:
+    Histogram() = default;
+    Histogram(const Histogram &) = delete;
+    Histogram &operator=(const Histogram &) = delete;
+
+    void record(double v);
+    HistogramSnapshot snapshot() const;
+    void reset();
+
+  private:
+    struct alignas(64) Shard
+    {
+        std::atomic<std::uint64_t> count{0};
+        std::atomic<double> sum{0.0};
+        std::atomic<double> minv{
+            std::numeric_limits<double>::infinity()};
+        std::atomic<double> maxv{
+            -std::numeric_limits<double>::infinity()};
+        std::array<std::atomic<std::uint64_t>, kHistogramBuckets>
+            buckets{};
+    };
+    std::array<Shard, kShards> _shards{};
+};
+
+/**
+ * RAII wall-clock timer feeding a histogram in seconds. Captures the
+ * start time only when metrics are enabled at construction.
+ */
+class ScopedTimer
+{
+  public:
+    explicit ScopedTimer(Histogram &h)
+    {
+        if (metricsEnabled()) {
+            _h = &h;
+            _start = std::chrono::steady_clock::now();
+        }
+    }
+
+    ~ScopedTimer()
+    {
+        if (_h) {
+            const std::chrono::duration<double> dt =
+                std::chrono::steady_clock::now() - _start;
+            _h->record(dt.count());
+        }
+    }
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+  private:
+    Histogram *_h = nullptr;
+    std::chrono::steady_clock::time_point _start;
+};
+
+/**
+ * The process-wide metric registry. Lookup by name takes a mutex
+ * (call sites cache the returned reference — see the macros below);
+ * the returned references stay valid for the process lifetime.
+ * reset() zeroes values but never invalidates handles.
+ */
+class Registry
+{
+  public:
+    static Registry &instance();
+
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    Histogram &histogram(const std::string &name);
+
+    /** Merged snapshot as JSON ({counters, gauges, histograms}). */
+    void writeJson(std::ostream &os) const;
+
+    /** Merged snapshot as an aligned, human-readable table. */
+    void writeTable(std::ostream &os) const;
+
+    /** Zero every metric (handles stay valid). */
+    void reset();
+
+  private:
+    Registry() = default;
+
+    mutable std::mutex _mu;
+    std::map<std::string, std::unique_ptr<Counter>> _counters;
+    std::map<std::string, std::unique_ptr<Gauge>> _gauges;
+    std::map<std::string, std::unique_ptr<Histogram>> _histograms;
+};
+
+/** One trace-span argument value; numbers export unquoted. */
+struct TraceValue
+{
+    std::string text;
+    bool quoted = true;
+
+    TraceValue(const char *s) : text(s) {}
+    TraceValue(std::string s) : text(std::move(s)) {}
+    TraceValue(bool b) : text(b ? "true" : "false"), quoted(false) {}
+    TraceValue(double v);
+
+    template <typename T,
+              std::enable_if_t<std::is_integral_v<T> &&
+                                   !std::is_same_v<T, bool>,
+                               int> = 0>
+    TraceValue(T v) : text(std::to_string(v)), quoted(false)
+    {
+    }
+};
+
+using TraceArg = std::pair<std::string, TraceValue>;
+using TraceArgs = std::vector<TraceArg>;
+
+/**
+ * A scoped trace span. Default-constructed spans are inert; open()
+ * stamps the start time and the destructor (or close()) appends one
+ * complete event to the calling thread's buffer. Spans must close on
+ * the thread that opened them. Prefer the SAVAT_TRACE_SPAN macro,
+ * which skips argument construction while tracing is off.
+ */
+class TraceSpan
+{
+  public:
+    TraceSpan() = default;
+    ~TraceSpan() { close(); }
+
+    TraceSpan(const TraceSpan &) = delete;
+    TraceSpan &operator=(const TraceSpan &) = delete;
+
+    void open(std::string name, TraceArgs args = {});
+    void close();
+
+  private:
+    bool _open = false;
+    std::string _name;
+    TraceArgs _args;
+    std::uint64_t _startNs = 0;
+};
+
+/**
+ * Drain every thread's buffered span into a Chrome/Perfetto
+ * trace_event JSON document ({"traceEvents": [...]}). Threads still
+ * inside an open span contribute it on their next close; call this
+ * after joining workers for a complete picture.
+ */
+void writeTraceJson(std::ostream &os);
+
+/** Drop all buffered trace events. */
+void clearTrace();
+
+/** Buffered (closed) trace events so far, over all threads. */
+std::size_t traceEventCount();
+
+/**
+ * Write the registry to `path` now: "-" streams JSON to stdout, a
+ * path ending in ".txt" gets the text table, anything else gets
+ * JSON. Returns false (with a warning) when the file cannot be
+ * written.
+ */
+bool dumpMetricsNow(const std::string &path);
+
+/** Write the buffered trace to `path` ("-" = stdout) now. */
+bool dumpTraceNow(const std::string &path);
+
+/**
+ * Schedule a metrics dump to `path` at process exit (repeated calls
+ * replace the path; empty cancels). Registers one atexit handler.
+ */
+void requestMetricsDump(const std::string &path);
+
+/** Schedule a trace dump to `path` at process exit. */
+void requestTraceDump(const std::string &path);
+
+/**
+ * Honor SAVAT_METRICS=<path|-> and SAVAT_TRACE=<path>: each enables
+ * its subsystem and schedules the exit dump. Call once at startup.
+ */
+void configureFromEnvironment();
+
+} // namespace savat::obs
+
+#define SAVAT_OBS_CONCAT_2(a, b) a##b
+#define SAVAT_OBS_CONCAT(a, b) SAVAT_OBS_CONCAT_2(a, b)
+
+#ifndef SAVAT_OBS_DISABLE
+
+/**
+ * Add `n` to the named counter. The registry lookup runs once per
+ * call site; while metrics are off the cost is one relaxed load and
+ * `n` is not evaluated.
+ */
+#define SAVAT_METRIC_ADD(name, n)                                         \
+    do {                                                                  \
+        if (::savat::obs::metricsEnabled()) {                             \
+            static ::savat::obs::Counter &SAVAT_OBS_CONCAT(               \
+                savat_obs_c_, __LINE__) =                                 \
+                ::savat::obs::Registry::instance().counter(name);         \
+            SAVAT_OBS_CONCAT(savat_obs_c_, __LINE__).add(n);              \
+        }                                                                 \
+    } while (0)
+
+/** Increment the named counter by one. */
+#define SAVAT_METRIC_COUNT(name) SAVAT_METRIC_ADD(name, 1)
+
+/** Record `v` into the named histogram. */
+#define SAVAT_METRIC_RECORD(name, v)                                      \
+    do {                                                                  \
+        if (::savat::obs::metricsEnabled()) {                             \
+            static ::savat::obs::Histogram &SAVAT_OBS_CONCAT(             \
+                savat_obs_h_, __LINE__) =                                 \
+                ::savat::obs::Registry::instance().histogram(name);       \
+            SAVAT_OBS_CONCAT(savat_obs_h_, __LINE__).record(v);           \
+        }                                                                 \
+    } while (0)
+
+/** Set the named gauge to `v`. */
+#define SAVAT_METRIC_GAUGE(name, v)                                       \
+    do {                                                                  \
+        if (::savat::obs::metricsEnabled()) {                             \
+            static ::savat::obs::Gauge &SAVAT_OBS_CONCAT(                 \
+                savat_obs_g_, __LINE__) =                                 \
+                ::savat::obs::Registry::instance().gauge(name);           \
+            SAVAT_OBS_CONCAT(savat_obs_g_, __LINE__).set(v);              \
+        }                                                                 \
+    } while (0)
+
+/**
+ * Time the enclosing scope into the named histogram (seconds).
+ * Declares a local; one use per line.
+ */
+#define SAVAT_METRIC_TIMER(name)                                          \
+    static ::savat::obs::Histogram &SAVAT_OBS_CONCAT(savat_obs_th_,       \
+                                                     __LINE__) =          \
+        ::savat::obs::Registry::instance().histogram(name);               \
+    ::savat::obs::ScopedTimer SAVAT_OBS_CONCAT(savat_obs_t_, __LINE__)(   \
+        SAVAT_OBS_CONCAT(savat_obs_th_, __LINE__))
+
+/**
+ * Open a trace span covering the rest of the enclosing scope:
+ * SAVAT_TRACE_SPAN("campaign.cell", {{"a", nameA}, {"b", nameB}}).
+ * Argument expressions are only evaluated while tracing is on.
+ * Expands to two statements — use inside a braced scope.
+ */
+#define SAVAT_TRACE_SPAN(...)                                             \
+    ::savat::obs::TraceSpan SAVAT_OBS_CONCAT(savat_obs_span_, __LINE__);  \
+    if (::savat::obs::traceEnabled())                                     \
+    SAVAT_OBS_CONCAT(savat_obs_span_, __LINE__).open(__VA_ARGS__)
+
+#else // SAVAT_OBS_DISABLE
+
+#define SAVAT_METRIC_ADD(name, n) ((void)0)
+#define SAVAT_METRIC_COUNT(name) ((void)0)
+#define SAVAT_METRIC_RECORD(name, v) ((void)0)
+#define SAVAT_METRIC_GAUGE(name, v) ((void)0)
+#define SAVAT_METRIC_TIMER(name) ((void)0)
+#define SAVAT_TRACE_SPAN(...) ((void)0)
+
+#endif // SAVAT_OBS_DISABLE
+
+#endif // SAVAT_SUPPORT_OBS_HH

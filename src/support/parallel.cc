@@ -1,5 +1,6 @@
 #include "support/parallel.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <exception>
@@ -7,15 +8,26 @@
 #include <thread>
 
 #include "support/logging.hh"
+#include "support/obs.hh"
 #include "support/strings.hh"
 
 namespace savat::support {
+
+namespace {
+thread_local int tl_worker = -1;
+} // namespace
 
 std::size_t
 hardwareJobs()
 {
     const unsigned hw = std::thread::hardware_concurrency();
     return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+int
+currentWorker()
+{
+    return tl_worker;
 }
 
 std::size_t
@@ -42,12 +54,18 @@ runWorkers(std::size_t workers,
         return;
     }
 
+    SAVAT_METRIC_COUNT("parallel.teams");
+    SAVAT_METRIC_RECORD("parallel.team_size",
+                        static_cast<double>(workers));
+
     std::mutex mutex;
     std::exception_ptr first;
     std::vector<std::thread> threads;
     threads.reserve(workers);
     for (std::size_t w = 0; w < workers; ++w) {
         threads.emplace_back([&, w] {
+            tl_worker = static_cast<int>(w);
+            SAVAT_METRIC_TIMER("parallel.worker_busy_seconds");
             try {
                 worker(w);
             } catch (...) {
@@ -74,12 +92,15 @@ parallelFor(std::size_t n,
     if (workers <= 1) {
         for (std::size_t i = 0; i < n; ++i)
             body(i);
+        SAVAT_METRIC_ADD("parallel.tasks", n);
         return;
     }
 
     std::atomic<std::size_t> next{0};
     std::atomic<bool> cancelled{false};
-    runWorkers(workers, [&](std::size_t) {
+    std::vector<std::size_t> perWorker(workers, 0);
+    runWorkers(workers, [&](std::size_t w) {
+        std::size_t mine = 0;
         for (std::size_t i = next.fetch_add(1);
              i < n && !cancelled.load(std::memory_order_relaxed);
              i = next.fetch_add(1)) {
@@ -87,10 +108,24 @@ parallelFor(std::size_t n,
                 body(i);
             } catch (...) {
                 cancelled.store(true, std::memory_order_relaxed);
+                perWorker[w] = mine;
                 throw;
             }
+            ++mine;
         }
+        perWorker[w] = mine;
+        SAVAT_METRIC_ADD("parallel.tasks", mine);
+        SAVAT_METRIC_RECORD("parallel.tasks_per_worker",
+                            static_cast<double>(mine));
     });
+    // Queue imbalance of this invocation: how unevenly the shared
+    // counter handed indices to the team.
+    if (obs::metricsEnabled()) {
+        const auto [mn, mx] =
+            std::minmax_element(perWorker.begin(), perWorker.end());
+        SAVAT_METRIC_RECORD("parallel.imbalance_tasks",
+                            static_cast<double>(*mx - *mn));
+    }
 }
 
 void

@@ -29,6 +29,15 @@ namespace savat::support {
 std::size_t hardwareJobs();
 
 /**
+ * Worker index of the calling thread inside the runWorkers team it
+ * was spawned for, or -1 on threads that are not spawned team
+ * members (the main thread, including when it runs a single-worker
+ * team inline). The logging layer uses this to tag messages emitted
+ * from parallel regions.
+ */
+int currentWorker();
+
+/**
  * Resolve a jobs knob: a positive value wins verbatim; 0 means
  * "auto" -- the SAVAT_JOBS environment variable when set to a
  * positive integer, otherwise hardwareJobs().

@@ -1,0 +1,83 @@
+#include "support/progress.hh"
+
+#include <cstdio>
+#include <ostream>
+
+#include "support/strings.hh"
+
+namespace savat::obs {
+
+ProgressMeter::ProgressMeter(std::string label,
+                             double maxUpdatesPerSecond,
+                             std::ostream *sink)
+    : _label(std::move(label)), _sink(sink)
+{
+    if (maxUpdatesPerSecond > 0.0) {
+        _minInterval =
+            std::chrono::duration_cast<
+                std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(
+                    1.0 / maxUpdatesPerSecond));
+    } else {
+        _minInterval = std::chrono::steady_clock::duration::zero();
+    }
+}
+
+void
+ProgressMeter::update(std::size_t done, std::size_t total)
+{
+    const auto now = std::chrono::steady_clock::now();
+    const std::lock_guard<std::mutex> lock(_mu);
+    if (_finished)
+        return;
+    const bool first = !_started;
+    if (first) {
+        _started = true;
+        _start = now;
+    }
+    const bool final = total > 0 && done >= total;
+    if (!first && !final && now - _last < _minInterval)
+        return;
+    _last = now;
+
+    const double elapsed =
+        std::chrono::duration<double>(now - _start).count();
+    const double pct =
+        total > 0 ? 100.0 * static_cast<double>(done) /
+                        static_cast<double>(total)
+                  : 0.0;
+    std::string line = format("\r%s %zu/%zu (%.1f%%)",
+                              _label.c_str(), done, total, pct);
+    if (final) {
+        line += format(" in %.1fs\n", elapsed);
+        _finished = true;
+    } else if (done > 0 && elapsed > 0.0) {
+        const double eta = elapsed *
+                           static_cast<double>(total - done) /
+                           static_cast<double>(done);
+        line += format(" ETA %.1fs", eta);
+    }
+    emit(line);
+}
+
+ProgressFn
+ProgressMeter::callback()
+{
+    return [this](std::size_t done, std::size_t total) {
+        update(done, total);
+    };
+}
+
+void
+ProgressMeter::emit(const std::string &line)
+{
+    if (_sink) {
+        *_sink << line;
+        _sink->flush();
+    } else {
+        std::fputs(line.c_str(), stderr);
+        std::fflush(stderr);
+    }
+}
+
+} // namespace savat::obs

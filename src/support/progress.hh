@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Rate-limited progress reporting for long-running passes.
+ *
+ * Campaigns invoke their progress callback once per finished cell;
+ * with parallel workers that floods stderr with one line per cell.
+ * ProgressMeter wraps the (done, total) callback contract with a
+ * wall-clock rate limit (~10 updates/sec by default), a percentage
+ * and an ETA estimate, always printing the first and final updates.
+ */
+
+#ifndef SAVAT_SUPPORT_PROGRESS_HH
+#define SAVAT_SUPPORT_PROGRESS_HH
+
+#include <chrono>
+#include <cstddef>
+#include <functional>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+
+namespace savat::obs {
+
+/**
+ * (done, total) progress callback shared by campaign, SVF and other
+ * long-running passes. Under parallel execution it is invoked from
+ * worker threads, serialized by the caller, with a monotonically
+ * increasing done count.
+ */
+using ProgressFn = std::function<void(std::size_t, std::size_t)>;
+
+/**
+ * Throttled progress printer. Thread-safe: update() may be called
+ * from any thread (campaign progress callbacks already serialize,
+ * but the meter does not rely on it).
+ */
+class ProgressMeter
+{
+  public:
+    /**
+     * @param label   Prefix for every line (e.g. "campaign").
+     * @param maxUpdatesPerSecond  Print rate cap; <= 0 disables
+     *                throttling. First and final updates always
+     *                print.
+     * @param sink    Output stream; nullptr means stderr.
+     */
+    explicit ProgressMeter(std::string label,
+                           double maxUpdatesPerSecond = 10.0,
+                           std::ostream *sink = nullptr);
+
+    /** Report progress; prints when the rate limit allows. */
+    void update(std::size_t done, std::size_t total);
+
+    /** Adapter: a ProgressFn bound to this meter (which must
+     * outlive the returned callback). */
+    ProgressFn callback();
+
+  private:
+    void emit(const std::string &line);
+
+    std::string _label;
+    std::chrono::steady_clock::duration _minInterval;
+    std::ostream *_sink;
+
+    std::mutex _mu;
+    std::chrono::steady_clock::time_point _start;
+    std::chrono::steady_clock::time_point _last;
+    bool _started = false;
+    bool _finished = false;
+};
+
+} // namespace savat::obs
+
+#endif // SAVAT_SUPPORT_PROGRESS_HH

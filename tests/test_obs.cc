@@ -1,0 +1,545 @@
+/**
+ * @file
+ * Tests for savat::obs — metric correctness, shard merging under
+ * real parallel load, trace export well-formedness, zero-cost
+ * disabled paths, and the headline guarantee: telemetry does not
+ * perturb the campaign's bit-exact determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/campaign.hh"
+#include "support/obs.hh"
+#include "support/parallel.hh"
+#include "support/progress.hh"
+
+namespace savat::obs {
+namespace {
+
+/**
+ * Minimal JSON validity checker (objects, arrays, strings with
+ * escapes, numbers, literals). Good enough to reject anything a
+ * strict parser would choke on in our exports.
+ */
+class JsonChecker
+{
+  public:
+    explicit JsonChecker(const std::string &text) : _s(text) {}
+
+    bool
+    valid()
+    {
+        skipWs();
+        if (!value())
+            return false;
+        skipWs();
+        return _pos == _s.size();
+    }
+
+  private:
+    bool
+    value()
+    {
+        if (_pos >= _s.size())
+            return false;
+        switch (_s[_pos]) {
+          case '{': return object();
+          case '[': return array();
+          case '"': return string();
+          case 't': return literal("true");
+          case 'f': return literal("false");
+          case 'n': return literal("null");
+          default: return number();
+        }
+    }
+
+    bool
+    object()
+    {
+        ++_pos; // '{'
+        skipWs();
+        if (peek() == '}') {
+            ++_pos;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (!string())
+                return false;
+            skipWs();
+            if (peek() != ':')
+                return false;
+            ++_pos;
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (peek() == ',') {
+                ++_pos;
+                continue;
+            }
+            if (peek() == '}') {
+                ++_pos;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    array()
+    {
+        ++_pos; // '['
+        skipWs();
+        if (peek() == ']') {
+            ++_pos;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (peek() == ',') {
+                ++_pos;
+                continue;
+            }
+            if (peek() == ']') {
+                ++_pos;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    string()
+    {
+        if (peek() != '"')
+            return false;
+        ++_pos;
+        while (_pos < _s.size() && _s[_pos] != '"') {
+            if (_s[_pos] == '\\') {
+                ++_pos;
+                if (_pos >= _s.size())
+                    return false;
+            }
+            ++_pos;
+        }
+        if (_pos >= _s.size())
+            return false;
+        ++_pos; // closing quote
+        return true;
+    }
+
+    bool
+    number()
+    {
+        const std::size_t start = _pos;
+        if (peek() == '-')
+            ++_pos;
+        while (_pos < _s.size() &&
+               (std::isdigit(static_cast<unsigned char>(_s[_pos])) ||
+                _s[_pos] == '.' || _s[_pos] == 'e' ||
+                _s[_pos] == 'E' || _s[_pos] == '+' ||
+                _s[_pos] == '-')) {
+            ++_pos;
+        }
+        return _pos > start;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        const std::size_t len = std::string(word).size();
+        if (_s.compare(_pos, len, word) != 0)
+            return false;
+        _pos += len;
+        return true;
+    }
+
+    char
+    peek() const
+    {
+        return _pos < _s.size() ? _s[_pos] : '\0';
+    }
+
+    void
+    skipWs()
+    {
+        while (_pos < _s.size() &&
+               (_s[_pos] == ' ' || _s[_pos] == '\n' ||
+                _s[_pos] == '\t' || _s[_pos] == '\r')) {
+            ++_pos;
+        }
+    }
+
+    const std::string &_s;
+    std::size_t _pos = 0;
+};
+
+/** Every test starts and ends with telemetry off and empty. */
+class ObsTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        setMetricsEnabled(false);
+        setTraceEnabled(false);
+        Registry::instance().reset();
+        clearTrace();
+    }
+
+    void
+    TearDown() override
+    {
+        setMetricsEnabled(false);
+        setTraceEnabled(false);
+        Registry::instance().reset();
+        clearTrace();
+    }
+};
+
+TEST_F(ObsTest, CounterAddsAndResets)
+{
+    setMetricsEnabled(true);
+    auto &c = Registry::instance().counter("test.counter");
+    EXPECT_EQ(c.value(), 0u);
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST_F(ObsTest, DisabledRecordingIsANoOp)
+{
+    auto &c = Registry::instance().counter("test.disabled");
+    auto &h = Registry::instance().histogram("test.disabled_h");
+    auto &g = Registry::instance().gauge("test.disabled_g");
+    ASSERT_FALSE(metricsEnabled());
+    c.add(7);
+    h.record(1.5);
+    g.set(3.0);
+    SAVAT_METRIC_COUNT("test.disabled_macro");
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_EQ(h.snapshot().count, 0u);
+    EXPECT_EQ(g.value(), 0.0);
+    setMetricsEnabled(true);
+    EXPECT_EQ(
+        Registry::instance().counter("test.disabled_macro").value(),
+        0u);
+}
+
+TEST_F(ObsTest, MacroArgumentsNotEvaluatedWhileDisabled)
+{
+    int evaluations = 0;
+    auto probe = [&]() {
+        ++evaluations;
+        return std::uint64_t{1};
+    };
+    SAVAT_METRIC_ADD("test.macro_args", probe());
+    EXPECT_EQ(evaluations, 0);
+    setMetricsEnabled(true);
+    SAVAT_METRIC_ADD("test.macro_args", probe());
+    EXPECT_EQ(evaluations, 1);
+    EXPECT_EQ(
+        Registry::instance().counter("test.macro_args").value(), 1u);
+}
+
+TEST_F(ObsTest, HistogramExactStatistics)
+{
+    setMetricsEnabled(true);
+    auto &h = Registry::instance().histogram("test.hist");
+    for (double v : {2.0, 4.0, 6.0, 8.0})
+        h.record(v);
+    const auto s = h.snapshot();
+    EXPECT_EQ(s.count, 4u);
+    EXPECT_DOUBLE_EQ(s.sum, 20.0);
+    EXPECT_DOUBLE_EQ(s.mean, 5.0);
+    EXPECT_DOUBLE_EQ(s.min, 2.0);
+    EXPECT_DOUBLE_EQ(s.max, 8.0);
+    // Quantiles come from log2 buckets but are clamped to the exact
+    // observed range.
+    EXPECT_GE(s.p50, s.min);
+    EXPECT_LE(s.p50, s.max);
+    EXPECT_GE(s.p95, s.p50);
+    EXPECT_LE(s.p95, s.max);
+}
+
+TEST_F(ObsTest, HistogramSingleValueQuantilesCollapse)
+{
+    setMetricsEnabled(true);
+    auto &h = Registry::instance().histogram("test.hist_single");
+    for (int i = 0; i < 100; ++i)
+        h.record(3.25);
+    const auto s = h.snapshot();
+    EXPECT_DOUBLE_EQ(s.p50, 3.25);
+    EXPECT_DOUBLE_EQ(s.p95, 3.25);
+}
+
+TEST_F(ObsTest, HistogramQuantilesAreOrderOfMagnitudeAccurate)
+{
+    setMetricsEnabled(true);
+    auto &h = Registry::instance().histogram("test.hist_quant");
+    for (int i = 1; i <= 1000; ++i)
+        h.record(static_cast<double>(i));
+    const auto s = h.snapshot();
+    // Exact p50 = 500, p95 = 950; log2 buckets give the right
+    // power of two.
+    EXPECT_GE(s.p50, 250.0);
+    EXPECT_LE(s.p50, 1000.0);
+    EXPECT_GE(s.p95, 500.0);
+    EXPECT_LE(s.p95, 1000.0);
+    EXPECT_LE(s.p50, s.p95);
+}
+
+TEST_F(ObsTest, ShardsMergeExactlyUnderParallelLoad)
+{
+    setMetricsEnabled(true);
+    auto &c = Registry::instance().counter("test.parallel_counter");
+    auto &h = Registry::instance().histogram("test.parallel_hist");
+    constexpr std::size_t kN = 10000;
+    support::parallelFor(
+        kN,
+        [&](std::size_t i) {
+            c.add();
+            h.record(static_cast<double>(i % 17) + 1.0);
+        },
+        8);
+    EXPECT_EQ(c.value(), kN);
+    const auto s = h.snapshot();
+    EXPECT_EQ(s.count, kN);
+    EXPECT_DOUBLE_EQ(s.min, 1.0);
+    EXPECT_DOUBLE_EQ(s.max, 17.0);
+}
+
+TEST_F(ObsTest, GaugeStoresLastValue)
+{
+    setMetricsEnabled(true);
+    auto &g = Registry::instance().gauge("test.gauge");
+    g.set(4.0);
+    g.set(2.5);
+    EXPECT_DOUBLE_EQ(g.value(), 2.5);
+}
+
+TEST_F(ObsTest, ScopedTimerRecordsSeconds)
+{
+    setMetricsEnabled(true);
+    auto &h = Registry::instance().histogram("test.timer");
+    {
+        ScopedTimer t(h);
+    }
+    const auto s = h.snapshot();
+    EXPECT_EQ(s.count, 1u);
+    EXPECT_GE(s.min, 0.0);
+    EXPECT_LT(s.max, 60.0); // sanity: not wildly wrong
+}
+
+TEST_F(ObsTest, RegistryJsonIsWellFormed)
+{
+    setMetricsEnabled(true);
+    Registry::instance().counter("json.counter").add(3);
+    Registry::instance().gauge("json.gauge").set(1.25);
+    Registry::instance().histogram("json.hist").record(0.5);
+    std::ostringstream os;
+    Registry::instance().writeJson(os);
+    const std::string text = os.str();
+    EXPECT_TRUE(JsonChecker(text).valid()) << text;
+    EXPECT_NE(text.find("\"savat.metrics.v1\""), std::string::npos);
+    EXPECT_NE(text.find("\"json.counter\": 3"), std::string::npos);
+}
+
+TEST_F(ObsTest, EmptyRegistryJsonIsWellFormed)
+{
+    std::ostringstream os;
+    Registry::instance().writeJson(os);
+    EXPECT_TRUE(JsonChecker(os.str()).valid()) << os.str();
+}
+
+TEST_F(ObsTest, TableOutputMentionsEveryMetric)
+{
+    setMetricsEnabled(true);
+    Registry::instance().counter("tbl.counter").add(3);
+    Registry::instance().histogram("tbl.hist").record(2.0);
+    std::ostringstream os;
+    Registry::instance().writeTable(os);
+    EXPECT_NE(os.str().find("tbl.counter"), std::string::npos);
+    EXPECT_NE(os.str().find("tbl.hist"), std::string::npos);
+}
+
+TEST_F(ObsTest, TraceSpansExportAsChromeJson)
+{
+    setTraceEnabled(true);
+    {
+        SAVAT_TRACE_SPAN("test.outer",
+                         {{"label", "abc"},
+                          {"n", 42},
+                          {"x", 1.5},
+                          {"flag", true}});
+        SAVAT_TRACE_SPAN("test.inner", {});
+    }
+    EXPECT_EQ(traceEventCount(), 2u);
+    std::ostringstream os;
+    writeTraceJson(os);
+    const std::string text = os.str();
+    EXPECT_TRUE(JsonChecker(text).valid()) << text;
+    EXPECT_NE(text.find("\"test.outer\""), std::string::npos);
+    EXPECT_NE(text.find("\"test.inner\""), std::string::npos);
+    EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(text.find("\"n\": 42"), std::string::npos);
+    EXPECT_NE(text.find("\"label\": \"abc\""), std::string::npos);
+    EXPECT_NE(text.find("\"flag\": true"), std::string::npos);
+
+    clearTrace();
+    EXPECT_EQ(traceEventCount(), 0u);
+}
+
+TEST_F(ObsTest, EmptyTraceJsonIsWellFormed)
+{
+    std::ostringstream os;
+    writeTraceJson(os);
+    EXPECT_TRUE(JsonChecker(os.str()).valid()) << os.str();
+}
+
+TEST_F(ObsTest, DisabledSpansRecordNothing)
+{
+    ASSERT_FALSE(traceEnabled());
+    {
+        SAVAT_TRACE_SPAN("test.disabled_span", {{"k", 1}});
+    }
+    EXPECT_EQ(traceEventCount(), 0u);
+}
+
+TEST_F(ObsTest, SpansFromWorkerThreadsAllExport)
+{
+    setTraceEnabled(true);
+    support::parallelFor(
+        32,
+        [&](std::size_t i) {
+            SAVAT_TRACE_SPAN("test.worker_span", {{"i", i}});
+        },
+        4);
+    EXPECT_EQ(traceEventCount(), 32u);
+    std::ostringstream os;
+    writeTraceJson(os);
+    EXPECT_TRUE(JsonChecker(os.str()).valid());
+}
+
+TEST_F(ObsTest, DumpMetricsNowWritesParseableFile)
+{
+    setMetricsEnabled(true);
+    Registry::instance().counter("dump.counter").add(5);
+    const std::string path =
+        ::testing::TempDir() + "savat_obs_metrics.json";
+    ASSERT_TRUE(dumpMetricsNow(path));
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream ss;
+    ss << in.rdbuf();
+    EXPECT_TRUE(JsonChecker(ss.str()).valid()) << ss.str();
+    EXPECT_NE(ss.str().find("dump.counter"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST_F(ObsTest, CurrentWorkerTagsOnlyTeamThreads)
+{
+    EXPECT_EQ(support::currentWorker(), -1);
+    std::atomic<int> bad{0};
+    support::runWorkers(3, [&](std::size_t w) {
+        const int id = support::currentWorker();
+        if (id != static_cast<int>(w))
+            bad.fetch_add(1);
+    });
+    EXPECT_EQ(bad.load(), 0);
+    // Single-worker teams run inline and stay untagged.
+    support::runWorkers(1, [&](std::size_t) {
+        EXPECT_EQ(support::currentWorker(), -1);
+    });
+    EXPECT_EQ(support::currentWorker(), -1);
+}
+
+TEST_F(ObsTest, ProgressMeterRateLimitsUpdates)
+{
+    std::ostringstream sink;
+    ProgressMeter meter("test", 10.0, &sink);
+    constexpr std::size_t kTotal = 5000;
+    for (std::size_t i = 1; i <= kTotal; ++i)
+        meter.update(i, kTotal);
+    const std::string out = sink.str();
+    std::size_t lines = 0;
+    for (char ch : out) {
+        if (ch == '\r')
+            ++lines;
+    }
+    // A tight loop finishes in well under a second: the first and
+    // final updates print, the flood in between is throttled away.
+    EXPECT_GE(lines, 2u);
+    EXPECT_LE(lines, 20u);
+    EXPECT_NE(out.find("test 5000/5000 (100.0%)"),
+              std::string::npos);
+    EXPECT_NE(out.find(" in "), std::string::npos);
+}
+
+TEST_F(ObsTest, ProgressMeterUnthrottledPrintsEverything)
+{
+    std::ostringstream sink;
+    ProgressMeter meter("all", 0.0, &sink);
+    for (std::size_t i = 1; i <= 7; ++i)
+        meter.update(i, 7);
+    std::size_t lines = 0;
+    for (char ch : sink.str()) {
+        if (ch == '\r')
+            ++lines;
+    }
+    EXPECT_EQ(lines, 7u);
+}
+
+TEST_F(ObsTest, CampaignStaysBitExactWithTelemetryOn)
+{
+    using kernels::EventKind;
+    core::CampaignConfig cfg;
+    cfg.machineId = "core2duo";
+    cfg.events = {EventKind::ADD, EventKind::LDM};
+    cfg.repetitions = 2;
+    cfg.seed = 99;
+    cfg.jobs = 4;
+
+    ASSERT_FALSE(metricsEnabled());
+    ASSERT_FALSE(traceEnabled());
+    const auto quiet = core::runCampaign(cfg);
+
+    setMetricsEnabled(true);
+    setTraceEnabled(true);
+    const auto traced = core::runCampaign(cfg);
+
+    // Telemetry recorded real work...
+    EXPECT_GT(
+        Registry::instance().counter("campaign.cells").value(), 0u);
+    EXPECT_GT(traceEventCount(), 0u);
+
+    // ...and changed not a single bit of the output.
+    ASSERT_EQ(quiet.matrix.size(), traced.matrix.size());
+    for (std::size_t a = 0; a < quiet.matrix.size(); ++a) {
+        for (std::size_t b = 0; b < quiet.matrix.size(); ++b) {
+            const auto &qs = quiet.matrix.samples(a, b);
+            const auto &ts = traced.matrix.samples(a, b);
+            ASSERT_EQ(qs.size(), ts.size());
+            for (std::size_t r = 0; r < qs.size(); ++r) {
+                EXPECT_EQ(qs[r], ts[r])
+                    << "cell " << a << "," << b << " rep " << r;
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace savat::obs
