@@ -65,7 +65,7 @@ main()
 
     bench::heading("Power side channel vs EM (Core 2 Duo)");
     core::MeterConfig power_cfg;
-    power_cfg.sideChannel = core::SideChannel::Power;
+    power_cfg.channel = core::SideChannel::Power;
     auto power = core::SavatMeter::forMachine("core2duo", power_cfg);
     auto em = core::SavatMeter::forMachine("core2duo");
 

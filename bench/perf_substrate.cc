@@ -14,11 +14,34 @@
 #include "dsp/fft.hh"
 #include "isa/assembler.hh"
 #include "kernels/generator.hh"
+#include "pipeline/chain.hh"
+#include "pipeline/stages.hh"
 #include "uarch/cpu.hh"
 
 using namespace savat;
 
 namespace {
+
+/** The meter's KernelSpec for an (a, b) pair, for stage benches. */
+pipeline::KernelSpec
+pipelineSpec(core::SavatMeter &meter, kernels::EventKind a,
+             kernels::EventKind b)
+{
+    const auto &machine = meter.machine();
+    pipeline::KernelSpec spec;
+    spec.build = [&machine, a, b](std::uint64_t ca, std::uint64_t cb) {
+        return kernels::buildAlternationKernel(machine, a, b, ca, cb);
+    };
+    spec.cpiA = meter.iterationCycles(a);
+    spec.cpiB = meter.iterationCycles(b);
+    spec.footprintA = kernels::footprintBytes(a, machine);
+    spec.footprintB = kernels::footprintBytes(b, machine);
+    spec.prefillA = kernels::isLoadEvent(a);
+    spec.prefillB = kernels::isLoadEvent(b);
+    spec.labelA = a;
+    spec.labelB = b;
+    return spec;
+}
 
 void
 BM_CpuAluLoop(benchmark::State &state)
@@ -111,6 +134,101 @@ BM_MeasureRepetition(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_MeasureRepetition)->Unit(benchmark::kMillisecond);
+
+/**
+ * Per-stage cost of the measurement pipeline, so a regression in one
+ * stage shows up by name instead of only in the end-to-end campaign
+ * numbers (BM_CampaignPair is the sum of all of these).
+ */
+void
+BM_PipelineStageBurstSolve(benchmark::State &state)
+{
+    auto meter = core::SavatMeter::forMachine("core2duo");
+    const auto spec = pipelineSpec(meter, kernels::EventKind::ADD,
+                                   kernels::EventKind::LDM);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            pipeline::burstSolve(meter.machine(), spec,
+                                 meter.config()));
+    }
+}
+BENCHMARK(BM_PipelineStageBurstSolve);
+
+void
+BM_PipelineStageKernelBuild(benchmark::State &state)
+{
+    auto meter = core::SavatMeter::forMachine("core2duo");
+    const auto spec = pipelineSpec(meter, kernels::EventKind::ADD,
+                                   kernels::EventKind::LDM);
+    const auto counts =
+        pipeline::burstSolve(meter.machine(), spec, meter.config());
+    for (auto _ : state)
+        benchmark::DoNotOptimize(pipeline::kernelBuild(spec, counts));
+}
+BENCHMARK(BM_PipelineStageKernelBuild)->Unit(benchmark::kMillisecond);
+
+void
+BM_PipelineStageSimulate(benchmark::State &state)
+{
+    auto meter = core::SavatMeter::forMachine("core2duo");
+    const auto spec = pipelineSpec(meter, kernels::EventKind::ADD,
+                                   kernels::EventKind::LDM);
+    const auto counts =
+        pipeline::burstSolve(meter.machine(), spec, meter.config());
+    const auto kernel = pipeline::kernelBuild(spec, counts);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            pipeline::simulate(meter.machine(), spec, kernel, counts,
+                               meter.config().measurePeriods));
+    }
+}
+BENCHMARK(BM_PipelineStageSimulate)->Unit(benchmark::kMillisecond);
+
+void
+BM_PipelineStageChannelExtract(benchmark::State &state)
+{
+    auto meter = core::SavatMeter::forMachine("core2duo");
+    const auto spec = pipelineSpec(meter, kernels::EventKind::ADD,
+                                   kernels::EventKind::LDM);
+    const auto counts =
+        pipeline::burstSolve(meter.machine(), spec, meter.config());
+    const auto run = pipeline::simulate(
+        meter.machine(), spec, pipeline::kernelBuild(spec, counts),
+        counts, meter.config().measurePeriods);
+    for (auto _ : state) {
+        pipeline::PairSimulation sim;
+        pipeline::channelExtract(run, meter.synth().profile(),
+                                 meter.config().measurePeriods, sim);
+        benchmark::DoNotOptimize(sim);
+    }
+}
+BENCHMARK(BM_PipelineStageChannelExtract)
+    ->Unit(benchmark::kMillisecond);
+
+/** One chain repetition (Synthesize + Sweep + BandIntegrate). */
+void
+BM_PipelineStageChainMeasure(benchmark::State &state)
+{
+    core::MeterConfig cfg;
+    cfg.channel = state.range(0) == 0 ? pipeline::ChannelKind::Em
+                                      : pipeline::ChannelKind::Power;
+    auto meter = core::SavatMeter::forMachine("core2duo", cfg);
+    const auto &sim = meter.simulatePair(kernels::EventKind::ADD,
+                                         kernels::EventKind::LDM);
+    Rng rng(3);
+    spectrum::Trace scratch;
+    for (auto _ : state) {
+        auto rep = rng.fork();
+        benchmark::DoNotOptimize(
+            meter.measureValue(sim, rep, scratch));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PipelineStageChainMeasure)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("power")
+    ->Unit(benchmark::kMillisecond);
 
 /** One campaign cell end to end: simulate + a few repetitions. */
 void

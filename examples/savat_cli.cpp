@@ -6,6 +6,7 @@
  *   savat_cli measure ADD LDM [options]
  *   savat_cli spectrum ADD LDM [options]
  *   savat_cli campaign [options]
+ *   savat_cli replay <recording-file> [options]
  *   savat_cli assess <profile-file> [options]
  *   savat_cli detect ADD LDM --uses 100 [options]
  *   savat_cli svf [options]
@@ -15,8 +16,12 @@
  *   --distance <cm>                         (default 10)
  *   --freq <kHz>                            (default 80)
  *   --reps <n>                              (default 10)
- *   --power                                 (power rail instead of EM)
- *   --csv <path>                            (campaign only)
+ *   --channel em|power                      (signal chain; default em)
+ *   --power                                 (alias for --channel power)
+ *   --record <path>                         (campaign only: save every
+ *                                            analyzer trace for later
+ *                                            `savat_cli replay`)
+ *   --csv <path>                            (campaign/replay only)
  *   --jobs <n>                              (campaign/svf worker
  *                                            threads; default: all
  *                                            hardware threads; results
@@ -62,8 +67,9 @@ struct Options
     double freqKhz = 80.0;
     int reps = 10;
     int jobs = 0;
-    bool power = false;
+    std::string channel = "em";
     double uses = 100.0;
+    std::string record;
     std::string csv;
     std::string metrics;
     std::string trace;
@@ -75,10 +81,12 @@ usage()
 {
     std::fprintf(
         stderr,
-        "usage: savat_cli <events|measure|spectrum|campaign|assess|"
-        "detect|svf> [args] [options]\n"
+        "usage: savat_cli <events|measure|spectrum|campaign|replay|"
+        "assess|detect|svf> [args] [options]\n"
         "options: --machine M --distance CM --freq KHZ --reps N "
-        "--jobs N --power --uses N --csv PATH\n"
+        "--jobs N --channel em|power --uses N\n"
+        "         --record PATH (campaign: save traces for replay) "
+        "--csv PATH\n"
         "         --metrics PATH|- --trace PATH  (telemetry export; "
         "also SAVAT_METRICS / SAVAT_TRACE)\n");
     std::exit(2);
@@ -112,12 +120,16 @@ parseArgs(int argc, char **argv)
             opt.uses = std::atof(value().c_str());
         else if (arg == "--csv")
             opt.csv = value();
+        else if (arg == "--record")
+            opt.record = value();
         else if (arg == "--metrics")
             opt.metrics = value();
         else if (arg == "--trace")
             opt.trace = value();
+        else if (arg == "--channel")
+            opt.channel = value();
         else if (arg == "--power")
-            opt.power = true;
+            opt.channel = "power";
         else if (arg.rfind("--", 0) == 0) {
             std::fprintf(stderr, "unknown option %s\n", arg.c_str());
             usage();
@@ -127,14 +139,25 @@ parseArgs(int argc, char **argv)
     return opt;
 }
 
+pipeline::ChannelKind
+channelKind(const Options &opt)
+{
+    const auto kind = pipeline::channelByName(opt.channel);
+    if (!kind) {
+        std::fprintf(stderr, "unknown channel '%s' (em|power)\n",
+                     opt.channel.c_str());
+        usage();
+    }
+    return *kind;
+}
+
 core::MeterConfig
 meterConfig(const Options &opt)
 {
     core::MeterConfig cfg;
     cfg.distance = Distance::centimeters(opt.distanceCm);
     cfg.alternation = Frequency::khz(opt.freqKhz);
-    if (opt.power)
-        cfg.sideChannel = core::SideChannel::Power;
+    cfg.channel = channelKind(opt);
     return cfg;
 }
 
@@ -162,7 +185,7 @@ cmdMeasure(const Options &opt)
     const auto &sim = meter.simulatePair(a, b);
     std::printf("machine %s, %.0f cm, %.0f kHz, %s channel\n",
                 opt.machine.c_str(), opt.distanceCm, opt.freqKhz,
-                opt.power ? "power" : "EM");
+                pipeline::channelName(channelKind(opt)));
     std::printf("counts %llu/%llu, realized %.3f kHz, %.3g pairs/s\n",
                 static_cast<unsigned long long>(sim.counts.countA),
                 static_cast<unsigned long long>(sim.counts.countB),
@@ -207,6 +230,7 @@ cmdCampaign(const Options &opt)
     cfg.repetitions = static_cast<std::size_t>(opt.reps);
     cfg.jobs = static_cast<std::size_t>(std::max(0, opt.jobs));
     cfg.meter = meterConfig(opt);
+    cfg.keepTraces = !opt.record.empty();
     for (const auto &name : opt.positional)
         cfg.events.push_back(kernels::eventByName(name));
     obs::ProgressMeter meter("campaign");
@@ -220,9 +244,45 @@ cmdCampaign(const Options &opt)
               << core::describeClusters(
                      core::clusterEvents(res.matrix, k))
               << "\n";
+    if (!opt.record.empty()) {
+        std::ofstream out(opt.record);
+        if (!out) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         opt.record.c_str());
+            return 1;
+        }
+        pipeline::saveRecording(out, core::recordCampaign(res));
+        std::printf("recording written to %s\n", opt.record.c_str());
+    }
     if (!opt.csv.empty()) {
         std::ofstream out(opt.csv);
         core::printMatrixCsv(out, res.matrix);
+        std::printf("CSV written to %s\n", opt.csv.c_str());
+    }
+    return 0;
+}
+
+int
+cmdReplay(const Options &opt)
+{
+    if (opt.positional.size() != 1)
+        usage();
+    const auto parsed =
+        pipeline::loadRecordingFile(opt.positional[0]);
+    if (!parsed.ok) {
+        std::fprintf(stderr, "%s: %s\n", opt.positional[0].c_str(),
+                     parsed.error.c_str());
+        return 1;
+    }
+    const auto &rec = parsed.recording;
+    std::printf("machine %s, %s channel, %.0f kHz, %zu cells\n",
+                rec.machineId.c_str(), rec.channel.c_str(),
+                rec.alternationHz / 1000.0, rec.cells.size());
+    const auto matrix = core::replayMatrix(rec);
+    core::printMatrixTable(std::cout, matrix);
+    if (!opt.csv.empty()) {
+        std::ofstream out(opt.csv);
+        core::printMatrixCsv(out, matrix);
         std::printf("CSV written to %s\n", opt.csv.c_str());
     }
     return 0;
@@ -297,6 +357,7 @@ cmdSvf(const Options &opt)
     cfg.distance = Distance::centimeters(opt.distanceCm);
     cfg.windows = 48;
     cfg.jobs = static_cast<std::size_t>(std::max(0, opt.jobs));
+    cfg.channel = channelKind(opt);
     obs::ProgressMeter meter("svf");
     const auto res = core::computeSvf(machine, profile,
                                       em::DistanceModel(), workload,
@@ -333,6 +394,8 @@ main(int argc, char **argv)
         return cmdSpectrum(opt);
     if (cmd == "campaign")
         return cmdCampaign(opt);
+    if (cmd == "replay")
+        return cmdReplay(opt);
     if (cmd == "assess")
         return cmdAssess(opt);
     if (cmd == "detect")

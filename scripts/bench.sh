@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Campaign-throughput benchmark runner: builds the tree and records
-# the campaign microbenchmarks (single-cell cost plus the jobs=1/2/4
-# scaling curve) as google-benchmark JSON, plus the obs metrics of a
-# small reference campaign alongside it.
+# the campaign microbenchmarks (single-cell cost, the jobs=1/2/4
+# scaling curve and the per-stage pipeline costs) as google-benchmark
+# JSON, plus the obs metrics of a small reference campaign alongside
+# it.
 #
 #   scripts/bench.sh [output.json]    # default: BENCH_campaign.json
 set -euo pipefail
@@ -14,7 +15,7 @@ cmake -B build -S . >/dev/null
 cmake --build build -j --target bench_perf_substrate savat_cli
 
 ./build/bench/bench_perf_substrate \
-    --benchmark_filter='BM_Campaign' \
+    --benchmark_filter='BM_Campaign|BM_PipelineStage' \
     --benchmark_out="$OUT" \
     --benchmark_out_format=json \
     --benchmark_format=console

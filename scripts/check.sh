@@ -31,9 +31,12 @@ python3 -m json.tool build/obs-smoke/trace.json >/dev/null
 echo "metrics + trace JSON OK"
 
 if [[ "$FAST" == 1 ]]; then
-    echo "--fast: skipping sanitizers and clang-tidy"
+    echo "--fast: skipping golden gate, sanitizers and clang-tidy"
     exit 0
 fi
+
+step "golden matrix: EM chain bit-identity vs checked-in fixture"
+./build/tests/test_pipeline --gtest_filter='GoldenMatrix.*'
 
 step "sanitizers: ASan+UBSan build + ctest"
 cmake -B build-asan -S . -DSAVAT_SANITIZE=ON -DSAVAT_WERROR=ON \
@@ -45,9 +48,12 @@ step "sanitizers: TSan build + parallel/campaign tests"
 cmake -B build-tsan -S . -DSAVAT_TSAN=ON -DSAVAT_WERROR=ON \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build build-tsan -j
+# The pipeline suites join the TSan pass except GoldenMatrix (two
+# full 11x11 campaigns -- far too slow under TSan; the plain build's
+# ctest already runs it).
 (cd build-tsan &&
      ctest --output-on-failure -j "$(nproc)" \
-           -R 'Parallel|CampaignVariants|MachineCampaign|Obs')
+           -R 'Parallel|CampaignVariants|MachineCampaign|Obs|PowerChain|Replay\.RecordReplayRoundTrip')
 
 if command -v clang-tidy >/dev/null 2>&1; then
     step "clang-tidy: library sources"

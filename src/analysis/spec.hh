@@ -51,21 +51,45 @@
 namespace savat::analysis {
 
 /**
- * Measurement settings mirror of core::MeterConfig, restated here so
- * the analysis layer stays below core in the link order. core
- * converts between the two; the fields match one to one, plus the
- * receiving antenna's rated band (used by the spectral checks).
+ * The measurement fields shared verbatim between the pipeline's
+ * meter configuration (pipeline::MeasureConfig) and the checker's
+ * settings. Both structs derive from this single source, so a field
+ * added here appears in both automatically and the two views can no
+ * longer drift; pipeline::toAnalysisSettings slice-copies this base.
  */
-struct MeasurementSettings
+struct SharedMeasurementSettings
 {
+    /** Intended alternation frequency (the paper uses 80 kHz). */
     Frequency alternation = Frequency::khz(80.0);
-    Distance distance = Distance::centimeters(10.0);
-    kernels::PairingMode pairing = kernels::PairingMode::EqualDuration;
-    std::size_t measurePeriods = 8;
-    double bandHz = 1000.0;
-    double spanHz = 2000.0;
-    double rbwHz = 1.0;
 
+    /** Antenna distance (the paper uses 10/50/100 cm). */
+    Distance distance = Distance::centimeters(10.0);
+
+    /** Burst-length selection policy. */
+    kernels::PairingMode pairing = kernels::PairingMode::EqualDuration;
+
+    /** Alternation periods captured for spectral analysis. */
+    std::size_t measurePeriods = 8;
+
+    /** Half-width of the measured band around the intended
+     * frequency (the paper integrates +/- 1 kHz). */
+    double bandHz = 1000.0;
+
+    /** Half-width of the synthesized spectral window. */
+    double spanHz = 2000.0;
+
+    /** Spectrum analyzer resolution bandwidth. */
+    double rbwHz = 1.0;
+};
+
+/**
+ * The analysis layer's view of a measurement configuration: the
+ * shared fields plus what the spectral checks need to know about the
+ * capture front end. The analysis layer stays below core/pipeline in
+ * the link order, so the richer configuration is sliced down to this.
+ */
+struct MeasurementSettings : SharedMeasurementSettings
+{
     /** Measure the power rail instead of the EM antenna. */
     bool powerRail = false;
 

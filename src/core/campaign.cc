@@ -80,7 +80,8 @@ measureCell(SavatMeter &meter, const CampaignConfig &config,
             for (std::size_t rep = nextRep.fetch_add(1); rep < reps;
                  rep = nextRep.fetch_add(1)) {
                 Rng rep_rng = repRngs[rep];
-                const auto m = meter.measureValue(sim, rep_rng, buf);
+                const auto m =
+                    meter.measureValue(sim, rep_rng, buf, rep);
                 slot.samples[rep] = m.savat.inZepto();
                 if (config.keepTraces)
                     slot.traces[rep] = buf;
@@ -131,9 +132,10 @@ runCampaignPairs(
                     report.errorSummary());
     }
 
-    CampaignResult result{config, SavatMatrix(events), {}, {}};
+    CampaignResult result{config, SavatMatrix(events), {}, {}, {}};
     result.config.events = events;
     result.simulations.resize(events.size() * events.size());
+    result.pairs = pairs;
 
     const std::size_t npairs = pairs.size();
     if (npairs == 0)
@@ -226,6 +228,53 @@ runCampaignPairs(
             result.traces[p] = std::move(slot.traces);
     }
     return result;
+}
+
+pipeline::TraceRecording
+recordCampaign(const CampaignResult &result)
+{
+    SAVAT_ASSERT(result.config.keepTraces,
+                 "recordCampaign needs a keepTraces campaign");
+    SAVAT_ASSERT(result.traces.size() == result.pairs.size(),
+                 "trace/pair bookkeeping mismatch");
+
+    pipeline::TraceRecording rec;
+    rec.machineId = result.config.machineId;
+    rec.events = result.matrix.events();
+    rec.alternationHz = result.config.meter.alternation.inHz();
+    rec.bandHz = result.config.meter.bandHz;
+    rec.channel = pipeline::channelName(result.config.meter.channel);
+
+    for (std::size_t p = 0; p < result.pairs.size(); ++p) {
+        const auto &[a, b] = result.pairs[p];
+        const auto ia = result.matrix.tryIndexOf(a);
+        const auto ib = result.matrix.tryIndexOf(b);
+        if (ia < 0 || ib < 0)
+            continue; // skipped with a warning during the run
+        pipeline::TraceRecording::Cell cell;
+        cell.a = a;
+        cell.b = b;
+        cell.pairsPerSecond =
+            result.simulation(static_cast<std::size_t>(ia),
+                              static_cast<std::size_t>(ib))
+                .pairsPerSecond;
+        cell.traces = result.traces[p];
+        rec.cells.push_back(std::move(cell));
+    }
+    return rec;
+}
+
+SavatMatrix
+replayMatrix(const pipeline::TraceRecording &recording)
+{
+    SavatMatrix matrix(recording.events);
+    for (const auto &cell : pipeline::replayAll(recording)) {
+        const auto ia = matrix.indexOf(cell.a);
+        const auto ib = matrix.indexOf(cell.b);
+        for (const auto &s : cell.samples)
+            matrix.addSample(ia, ib, s.savat.inZepto());
+    }
+    return matrix;
 }
 
 } // namespace savat::core

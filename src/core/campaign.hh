@@ -22,6 +22,7 @@
 
 #include "core/matrix.hh"
 #include "core/meter.hh"
+#include "pipeline/replay.hh"
 #include "support/logging.hh"
 #include "support/progress.hh"
 
@@ -82,9 +83,10 @@ struct CampaignResult
      * always sized matrix.size()^2 and laid out row-major over the
      * campaign's event set -- slot a * matrix.size() + b holds the
      * pair (events[a], events[b]). Pairs never measured (campaigns
-     * over a pair subset) leave their slot default-constructed;
-     * pairs whose events are not in the event set are skipped with
-     * a warning rather than written out of contract.
+     * over a pair subset) leave their slot with measured == false;
+     * reading one through simulation() is fatal. Pairs whose events
+     * are not in the event set are skipped with a warning rather
+     * than written out of contract.
      */
     std::vector<PairSimulation> simulations;
 
@@ -95,6 +97,10 @@ struct CampaignResult
      */
     std::vector<std::vector<spectrum::Trace>> traces;
 
+    /** The requested pairs, in request order (traces[p] indexing). */
+    std::vector<std::pair<kernels::EventKind, kernels::EventKind>>
+        pairs;
+
     const PairSimulation &
     simulation(std::size_t a, std::size_t b) const
     {
@@ -102,7 +108,10 @@ struct CampaignResult
                      "simulation(", a, ", ", b,
                      ") outside the ", matrix.size(), "x",
                      matrix.size(), " campaign matrix");
-        return simulations[a * matrix.size() + b];
+        const auto &sim = simulations[a * matrix.size() + b];
+        SAVAT_ASSERT(sim.measured, "simulation(", a, ", ", b,
+                     ") was never measured in this campaign");
+        return sim;
     }
 };
 
@@ -123,6 +132,21 @@ CampaignResult runCampaignPairs(
     const std::vector<std::pair<kernels::EventKind,
                                 kernels::EventKind>> &pairs,
     const ProgressFn &progress = {});
+
+/**
+ * Package a keepTraces campaign for offline re-analysis: every
+ * measured cell's recorded analyzer displays plus the pair rate the
+ * replay needs to re-normalize. Fatal when the campaign was run
+ * without keepTraces.
+ */
+pipeline::TraceRecording recordCampaign(const CampaignResult &result);
+
+/**
+ * Re-integrate a recording into a SavatMatrix (the ReplayChain's
+ * BandIntegrate over every recorded cell). A record/replay round
+ * trip of the same campaign reproduces the live matrix bit for bit.
+ */
+SavatMatrix replayMatrix(const pipeline::TraceRecording &recording);
 
 } // namespace savat::core
 

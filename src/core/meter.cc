@@ -1,53 +1,11 @@
 #include "core/meter.hh"
 
-#include <cmath>
-
-#include "dsp/fft.hh"
 #include "support/logging.hh"
 #include "support/obs.hh"
 
 namespace savat::core {
 
 using kernels::EventKind;
-using kernels::Marks;
-
-namespace {
-
-/** ActivitySink that records only while enabled. */
-class GatedTrace : public uarch::ActivitySink
-{
-  public:
-    void
-    record(uarch::MicroEvent ev, std::uint64_t start,
-           std::uint32_t duration) override
-    {
-        if (enabled)
-            trace.record(ev, start, duration);
-    }
-
-    bool enabled = false;
-    uarch::ActivityTrace trace;
-};
-
-} // namespace
-
-analysis::MeasurementSettings
-toAnalysisSettings(const MeterConfig &config,
-                   const em::LoopAntenna &antenna)
-{
-    analysis::MeasurementSettings s;
-    s.alternation = config.alternation;
-    s.distance = config.distance;
-    s.pairing = config.pairing;
-    s.measurePeriods = config.measurePeriods;
-    s.bandHz = config.bandHz;
-    s.spanHz = config.spanHz;
-    s.rbwHz = config.rbwHz;
-    s.powerRail = config.sideChannel == SideChannel::Power;
-    s.antennaCorner = antenna.corner();
-    s.antennaMax = antenna.maxFrequency();
-    return s;
-}
 
 SavatMeter::SavatMeter(uarch::MachineConfig machine,
                        em::ReceivedSignalSynthesizer synth,
@@ -61,6 +19,7 @@ SavatMeter::SavatMeter(uarch::MachineConfig machine,
         SAVAT_FATAL("invalid measurement configuration:\n",
                     report.errorSummary());
     }
+    _chain = pipeline::makeSignalChain(_machine.id, _synth, _config);
 }
 
 analysis::Report
@@ -78,6 +37,13 @@ SavatMeter::forMachine(const std::string &machineId, MeterConfig config)
         em::emissionProfileFor(machineId), em::DistanceModel(),
         em::LoopAntenna(), em::EnvironmentConfig());
     return SavatMeter(std::move(machine), std::move(synth), config);
+}
+
+void
+SavatMeter::setChain(std::shared_ptr<const pipeline::SignalChain> chain)
+{
+    SAVAT_ASSERT(chain != nullptr, "null signal chain");
+    _chain = std::move(chain);
 }
 
 double
@@ -126,7 +92,7 @@ SavatMeter::simulatePair(EventKind a, EventKind b)
 PairSimulation
 SavatMeter::runPairSimulation(EventKind a, EventKind b)
 {
-    AlternationSpec spec;
+    pipeline::KernelSpec spec;
     spec.build = [this, a, b](std::uint64_t ca, std::uint64_t cb) {
         return kernels::buildAlternationKernel(_machine, a, b, ca,
                                                cb);
@@ -139,7 +105,8 @@ SavatMeter::runPairSimulation(EventKind a, EventKind b)
     spec.prefillB = kernels::isLoadEvent(b);
     spec.labelA = a;
     spec.labelB = b;
-    return runAlternation(spec);
+    return pipeline::runAlternation(_machine, _synth.profile(), spec,
+                                    _config);
 }
 
 const PairSimulation &
@@ -149,8 +116,11 @@ SavatMeter::simulateSequencePair(const kernels::EventSequence &a,
     const auto key = std::make_pair(kernels::sequenceName(a),
                                     kernels::sequenceName(b));
     auto it = _sequenceCache.find(key);
-    if (it != _sequenceCache.end())
+    if (it != _sequenceCache.end()) {
+        SAVAT_METRIC_COUNT("meter.sequence_cache_hits");
         return it->second;
+    }
+    SAVAT_METRIC_COUNT("meter.sequence_simulations");
 
     auto any_load = [](const kernels::EventSequence &seq) {
         for (auto e : seq) {
@@ -160,7 +130,7 @@ SavatMeter::simulateSequencePair(const kernels::EventSequence &a,
         return false;
     };
 
-    AlternationSpec spec;
+    pipeline::KernelSpec spec;
     spec.build = [this, a, b](std::uint64_t ca, std::uint64_t cb) {
         return kernels::buildSequenceKernel(_machine, a, b, ca, cb);
     };
@@ -172,253 +142,17 @@ SavatMeter::simulateSequencePair(const kernels::EventSequence &a,
     spec.prefillB = any_load(b);
     spec.labelA = a.empty() ? EventKind::NOI : a.front();
     spec.labelB = b.empty() ? EventKind::NOI : b.front();
-    auto sim = runAlternation(spec);
+    auto sim = pipeline::runAlternation(_machine, _synth.profile(),
+                                        spec, _config);
     return _sequenceCache.emplace(key, std::move(sim)).first->second;
 }
 
-PairSimulation
-SavatMeter::runAlternation(const AlternationSpec &spec)
-{
-    PairSimulation sim;
-    sim.a = spec.labelA;
-    sim.b = spec.labelB;
-
-    // 1. Initial burst lengths from each half's standalone iteration
-    // time. The halves can interact once combined (e.g. an L2-sized
-    // sweep evicts the other half's L1-resident array), so the
-    // realized frequency is re-measured on the full kernel and the
-    // counts retuned until the tone lands on the intended frequency
-    // -- the same centering a bench engineer performs on the
-    // analyzer display.
-    sim.counts = kernels::solveCounts(_machine, spec.cpiA, spec.cpiB,
-                                      _config.alternation,
-                                      _config.pairing);
-
-    const double target_period =
-        _machine.cyclesPerPeriod(_config.alternation);
-    const std::size_t measured = _config.measurePeriods;
-    SAVAT_ASSERT(measured >= 2, "need at least two measured periods");
-
-    GatedTrace sink;
-    std::vector<std::uint64_t> period_starts;
-    std::vector<std::uint64_t> half_marks;
-    uarch::CacheStats l1_stats, l2_stats;
-    uarch::MainMemoryStats mem_stats;
-
-    auto diff_cache = [](const uarch::CacheStats &now,
-                         const uarch::CacheStats &then) {
-        uarch::CacheStats d;
-        d.readHits = now.readHits - then.readHits;
-        d.readMisses = now.readMisses - then.readMisses;
-        d.writeHits = now.writeHits - then.writeHits;
-        d.writeMisses = now.writeMisses - then.writeMisses;
-        d.writebacksIn = now.writebacksIn - then.writebacksIn;
-        d.writebacksOut = now.writebacksOut - then.writebacksOut;
-        return d;
-    };
-
-    // Run the kernel with the current counts; fills the trace and
-    // the mark vectors, returns the realized period in cycles.
-    auto run_once = [&]() {
-        auto kernel = spec.build(sim.counts.countA, sim.counts.countB);
-
-        sink.enabled = false;
-        sink.trace.clear();
-        period_starts.clear();
-        half_marks.clear();
-
-        uarch::SimpleCpu cpu(_machine, sink);
-        auto prefill = [&cpu](std::uint64_t base, std::uint64_t bytes) {
-            for (std::uint64_t off = 0; off < bytes; off += 4)
-                cpu.memory().writeWord(base + off, 0x07070707u);
-        };
-        if (spec.prefillA)
-            prefill(kernel.baseA, spec.footprintA);
-        if (spec.prefillB)
-            prefill(kernel.baseB, spec.footprintB);
-
-        // Warm-up periods: enough to sweep cache-resident footprints
-        // twice; off-chip sweeps need the L2 completely full
-        // (dirty-eviction pressure is part of steady state).
-        auto warm_periods_for = [&](std::uint64_t fp,
-                                    std::uint64_t count) {
-            const std::uint64_t lines =
-                fp > _machine.l2.sizeBytes
-                    ? _machine.l2.sizeBytes * 3 / 5 /
-                          _machine.l1.lineBytes * 2
-                    : fp / _machine.l1.lineBytes;
-            return std::uint64_t{2} + (2 * lines + count - 1) / count;
-        };
-        const std::uint64_t warmup = std::max(
-            warm_periods_for(spec.footprintA, sim.counts.countA),
-            warm_periods_for(spec.footprintB, sim.counts.countB));
-
-        std::uint64_t periods_seen = 0;
-        uarch::CacheStats l1_at_enable, l2_at_enable;
-        uarch::MainMemoryStats mem_at_enable;
-        cpu.setMarkCallback([&](std::int64_t id, std::uint64_t cycle,
-                                std::uint64_t) {
-            if (id == Marks::kPeriodStart) {
-                ++periods_seen;
-                if (periods_seen == warmup + 1) {
-                    sink.enabled = true;
-                    l1_at_enable = cpu.l1Stats();
-                    l2_at_enable = cpu.l2Stats();
-                    mem_at_enable = cpu.memStats();
-                }
-                if (periods_seen > warmup)
-                    period_starts.push_back(cycle);
-                if (periods_seen == warmup + measured + 1) {
-                    sink.enabled = false;
-                    return false; // stop the run
-                }
-            } else if (id == Marks::kHalfBoundary) {
-                if (periods_seen > warmup &&
-                    periods_seen <= warmup + measured) {
-                    half_marks.push_back(cycle);
-                }
-            }
-            return true;
-        });
-
-        const auto res = cpu.run(kernel.program);
-        SAVAT_ASSERT(res.stoppedByMark,
-                     "alternation kernel ended unexpectedly");
-        SAVAT_ASSERT(period_starts.size() == measured + 1 &&
-                         half_marks.size() == measured,
-                     "mark bookkeeping mismatch");
-        // Memory-system statistics over the measured window only
-        // (cold-start warm-up excluded).
-        l1_stats = diff_cache(cpu.l1Stats(), l1_at_enable);
-        l2_stats = diff_cache(cpu.l2Stats(), l2_at_enable);
-        mem_stats.reads = cpu.memStats().reads - mem_at_enable.reads;
-        mem_stats.writes =
-            cpu.memStats().writes - mem_at_enable.writes;
-        return static_cast<double>(period_starts.back() -
-                                   period_starts.front()) /
-               static_cast<double>(measured);
-    };
-
-    double period = run_once();
-    for (int iter = 0; iter < 5; ++iter) {
-        const double error =
-            std::abs(period - target_period) / target_period;
-        if (error < 0.003)
-            break;
-        // Retune from the measured per-half durations.
-        double a_cyc = 0.0, b_cyc = 0.0;
-        for (std::size_t i = 0; i < measured; ++i) {
-            a_cyc += static_cast<double>(half_marks[i] -
-                                         period_starts[i]);
-            b_cyc += static_cast<double>(period_starts[i + 1] -
-                                         half_marks[i]);
-        }
-        const double eff_cpi_a =
-            a_cyc / static_cast<double>(measured * sim.counts.countA);
-        const double eff_cpi_b =
-            b_cyc / static_cast<double>(measured * sim.counts.countB);
-        const auto retuned = kernels::solveCounts(
-            _machine, eff_cpi_a, eff_cpi_b, _config.alternation,
-            _config.pairing);
-        if (retuned.countA == sim.counts.countA &&
-            retuned.countB == sim.counts.countB) {
-            break;
-        }
-        sim.counts.countA = retuned.countA;
-        sim.counts.countB = retuned.countB;
-        sim.counts.cpiA = eff_cpi_a;
-        sim.counts.cpiB = eff_cpi_b;
-        period = run_once();
-    }
-
-    const std::uint64_t begin = period_starts.front();
-    const std::uint64_t end = period_starts.back();
-    sim.periodCycles = period;
-    sim.actualFrequency =
-        Frequency(_machine.clock.inHz() / sim.periodCycles);
-
-    // Duty cycle: fraction of each period spent in the A burst.
-    double a_cycles = 0.0;
-    for (std::size_t i = 0; i < measured; ++i) {
-        a_cycles +=
-            static_cast<double>(half_marks[i] - period_starts[i]);
-    }
-    sim.duty = a_cycles / static_cast<double>(end - begin);
-
-    // 3. Per-channel spectral extraction at the alternation
-    // frequency (normalized: one alternation cycle per period).
-    const double norm_freq = 1.0 / sim.periodCycles;
-    const auto &profile = _synth.profile();
-    for (std::size_t c = 0; c < em::kNumChannels; ++c) {
-        const auto ch = em::channelAt(c);
-        const auto weights = profile.channelWeights(ch);
-        const auto wave =
-            sink.trace.weightedWaveform(weights, begin, end);
-        // Peak amplitude of the fundamental = 2 * |DFT coefficient|.
-        sim.amplitude[c] = 2.0 * dsp::singleBinDft(wave, norm_freq);
-
-        // Per-half mean activity (for the mismatch model).
-        double mean_a = 0.0, mean_b = 0.0, ta = 0.0, tb = 0.0;
-        for (std::size_t i = 0; i < measured; ++i) {
-            const double la = static_cast<double>(half_marks[i] -
-                                                  period_starts[i]);
-            const double lb = static_cast<double>(period_starts[i + 1] -
-                                                  half_marks[i]);
-            mean_a += sink.trace.weightedMeanRate(
-                          weights, period_starts[i], half_marks[i]) *
-                      la;
-            mean_b += sink.trace.weightedMeanRate(
-                          weights, half_marks[i],
-                          period_starts[i + 1]) *
-                      lb;
-            ta += la;
-            tb += lb;
-        }
-        sim.meanA[c] = ta > 0.0 ? mean_a / ta : 0.0;
-        sim.meanB[c] = tb > 0.0 ? mean_b / tb : 0.0;
-    }
-
-    // 4. Pair rate for normalization: realized frequency times the
-    // burst length (the larger burst when the two differ; equal to
-    // the paper's count * f for equal-count kernels).
-    sim.pairsPerSecond =
-        sim.actualFrequency.inHz() *
-        static_cast<double>(
-            std::max(sim.counts.countA, sim.counts.countB));
-
-    sim.l1 = l1_stats;
-    sim.l2 = l2_stats;
-    sim.mem = mem_stats;
-    return sim;
-}
-
-namespace {
-
-/** FNV-1a over strings and integers, for per-cell mismatch seeds. */
-std::uint64_t
-cellHash(const std::string &machine, EventKind a, EventKind b,
-         std::size_t channel)
-{
-    std::uint64_t h = 0xCBF29CE484222325ull;
-    auto mix = [&h](std::uint64_t v) {
-        h ^= v;
-        h *= 0x100000001B3ull;
-    };
-    for (char ch : machine)
-        mix(static_cast<std::uint64_t>(ch));
-    mix(static_cast<std::uint64_t>(a) + 17);
-    mix(static_cast<std::uint64_t>(b) + 31);
-    mix(channel + 101);
-    return h;
-}
-
-} // namespace
-
 Measurement
-SavatMeter::measure(const PairSimulation &sim, Rng &rng) const
+SavatMeter::measure(const PairSimulation &sim, Rng &rng,
+                    std::size_t repetition) const
 {
     Measurement m;
-    const auto sample = measureValue(sim, rng, m.trace);
+    const auto sample = measureValue(sim, rng, m.trace, repetition);
     m.savat = sample.savat;
     m.bandPowerW = sample.bandPowerW;
     m.toneHz = sample.toneHz;
@@ -427,72 +161,13 @@ SavatMeter::measure(const PairSimulation &sim, Rng &rng) const
 
 SavatSample
 SavatMeter::measureValue(const PairSimulation &sim, Rng &rng,
-                         spectrum::Trace &scratch) const
+                         spectrum::Trace &scratch,
+                         std::size_t repetition) const
 {
-    const auto &profile = _synth.profile();
-
-    // Residual mismatch of the two structurally identical halves:
-    // the ptr1 and ptr2 sweeps touch different arrays (different
-    // DRAM rows, cache sets, alignment), so each channel's activity
-    // level differs slightly -- SYSTEMATICALLY, the same way on
-    // every repetition of the same pair. The deterministic per-cell
-    // magnitude/phase below reproduces the paper's repeatable A/A
-    // diagonals; a small per-repetition factor models day-to-day
-    // variation.
-    em::ChannelAmplitudes residual{};
-    const double duty_factor =
-        (2.0 / M_PI) * std::sin(M_PI * sim.duty);
-    for (std::size_t c = 0; c < em::kNumChannels; ++c) {
-        const double frac = profile.mismatchFraction[c];
-        if (frac == 0.0)
-            continue;
-        Rng cell(cellHash(_machine.id, sim.a, sim.b, c));
-        const double u = cell.uniform(0.7, 1.3);
-        const double rep_factor = 1.0 + rng.gaussian(0.0, 0.10);
-        residual[c] = duty_factor * frac * u * rep_factor * 0.5 *
-                      (sim.meanA[c] + sim.meanB[c]);
-    }
-
-    double base_zj = rng.gaussian(profile.baseMismatchEnergyZj,
-                                  profile.baseMismatchSpreadZj);
-    base_zj = std::max(base_zj, 0.05);
-
-    const bool power_rail =
-        _config.sideChannel == SideChannel::Power;
-
-    em::ToneInput tone;
-    tone.amplitude = sim.amplitude;
-    tone.residualAmplitude = residual;
-    tone.powerRail = power_rail;
-    tone.toneFrequency = sim.actualFrequency;
-    // The power rail couples the loop-body residual more strongly
-    // (everything draws from it).
-    tone.residualPowerW = Energy::zepto(base_zj).inJoules() *
-                          sim.pairsPerSecond *
-                          (power_rail ? 8.0 : 1.0);
-
-    const auto synth_res = _synth.synthesize(
-        tone, _config.distance, _config.alternation, _config.spanHz,
-        rng);
-
-    spectrum::SweepConfig sweep;
-    sweep.center = _config.alternation;
-    sweep.spanHz = 2.0 * _config.spanHz;
-    sweep.rbwHz = _config.rbwHz;
-    sweep.noiseFloorWPerHz = power_rail
-                                 ? _config.powerNoiseFloorWPerHz
-                                 : _config.noiseFloorWPerHz;
-    spectrum::SpectrumAnalyzer analyzer(sweep);
-
-    SavatSample m;
-    analyzer.measureInto(synth_res.spectrum, rng, scratch);
+    SAVAT_ASSERT(sim.measured, "unmeasured pair simulation");
+    const auto m = _chain->measure(sim, repetition, rng, scratch);
     SAVAT_METRIC_COUNT("meter.measurements");
     SAVAT_METRIC_ADD("meter.sweep_bins", scratch.psd.size());
-    const double f0 = _config.alternation.inHz();
-    m.bandPowerW =
-        scratch.bandPower(f0 - _config.bandHz, f0 + _config.bandHz);
-    m.toneHz = synth_res.realizedToneHz;
-    m.savat = Energy(m.bandPowerW / sim.pairsPerSecond);
     return m;
 }
 

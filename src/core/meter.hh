@@ -2,38 +2,38 @@
  * @file
  * The SAVAT meter: the paper's measurement methodology, end to end.
  *
- * For a pair of instruction/events (A, B) the meter
- *  1. measures each event's steady-state iteration time and solves
- *     for the burst lengths that hit the intended alternation
- *     frequency (Section III),
- *  2. builds and runs the A/B alternation kernel on the simulated
- *     machine, capturing the micro-architectural activity trace over
- *     several alternation periods after a cache warm-up,
- *  3. extracts each emission channel's complex amplitude at the
- *     alternation frequency,
- *  4. synthesizes the received spectrum at the antenna (distance,
- *     environment, instrument) and integrates the power in the
- *     +/- 1 kHz band around the intended alternation frequency,
- *  5. divides by the number of A/B pairs executed per second,
- *     yielding the per-pair signal energy: the SAVAT value.
+ * The meter is a facade over the staged measurement pipeline
+ * (pipeline/stages.hh): for a pair of instruction/events (A, B) it
+ *  1. runs the deterministic front half — BurstSolve, KernelBuild,
+ *     Simulate (with the retune loop) and ChannelExtract — caching
+ *     the resulting PairSimulation per pair,
+ *  2. hands each measurement repetition to the configured
+ *     SignalChain (pipeline/chain.hh): Synthesize, Sweep and
+ *     BandIntegrate with fresh environmental randomness, matching
+ *     the paper's ten-repetition campaigns.
  *
- * Steps 1-3 are deterministic per pair and cached; step 4-5 are
- * repeated per measurement repetition with fresh environmental
- * randomness, matching the paper's ten-repetition campaigns.
+ * The chain is selected by MeterConfig::channel: the EM antenna
+ * chain (the paper's case study) or the supply-current chain
+ * (Section VII). Recorded campaigns can also be re-integrated
+ * offline through pipeline::ReplayChain via setChain().
  */
 
 #ifndef SAVAT_CORE_METER_HH
 #define SAVAT_CORE_METER_HH
 
-#include <array>
-#include <functional>
-#include <map>
+#include <memory>
+#include <unordered_map>
+#include <utility>
 
 #include "analysis/checker.hh"
 #include "em/synth.hh"
 #include "kernels/generator.hh"
 #include "kernels/sequence.hh"
+#include "pipeline/chain.hh"
+#include "pipeline/config.hh"
+#include "pipeline/stages.hh"
 #include "spectrum/analyzer.hh"
+#include "support/hash.hh"
 #include "support/rng.hh"
 #include "support/units.hh"
 #include "uarch/cpu.hh"
@@ -41,107 +41,22 @@
 namespace savat::core {
 
 /** Which physical side channel the meter measures. */
-enum class SideChannel {
-    Em,   //!< EM emanations via the loop antenna (the paper's case)
-    Power //!< supply-current measurement (Section VII future work)
-};
+using SideChannel = pipeline::ChannelKind;
 
 /** Measurement parameters shared by a campaign. */
-struct MeterConfig
-{
-    /** Intended alternation frequency (the paper uses 80 kHz). */
-    Frequency alternation = Frequency::khz(80.0);
+using MeterConfig = pipeline::MeasureConfig;
 
-    /** Antenna distance (the paper uses 10/50/100 cm). */
-    Distance distance = Distance::centimeters(10.0);
-
-    /** Burst-length selection policy. */
-    kernels::PairingMode pairing = kernels::PairingMode::EqualDuration;
-
-    /** Alternation periods captured for spectral analysis. */
-    std::size_t measurePeriods = 8;
-
-    /** Half-width of the measured band around the intended
-     * frequency (the paper integrates +/- 1 kHz). */
-    double bandHz = 1000.0;
-
-    /** Half-width of the synthesized spectral window. */
-    double spanHz = 2000.0;
-
-    /** Spectrum analyzer sweep settings. */
-    double rbwHz = 1.0;
-    double noiseFloorWPerHz = 5.0e-18;
-
-    /** Side channel under measurement. */
-    SideChannel sideChannel = SideChannel::Em;
-
-    /** Noise floor of the power-measurement front end [W/Hz]. */
-    double powerNoiseFloorWPerHz = 2.0e-16;
-};
-
-/**
- * The analysis-layer view of a meter configuration (the static
- * checker lives below core, so it defines its own mirror struct).
- * The antenna supplies the rated-band limits the spectral checks
- * need.
- */
-analysis::MeasurementSettings
-toAnalysisSettings(const MeterConfig &config,
-                   const em::LoopAntenna &antenna);
+/** The analysis-layer view of a meter configuration. */
+using pipeline::toAnalysisSettings;
 
 /** Deterministic per-pair simulation products (environment-free). */
-struct PairSimulation
-{
-    kernels::EventKind a = kernels::EventKind::NOI;
-    kernels::EventKind b = kernels::EventKind::NOI;
-
-    kernels::CountSolution counts;
-
-    /** Realized alternation frequency of the generated kernel. */
-    Frequency actualFrequency;
-
-    /** Fraction of the period spent in the A burst. */
-    double duty = 0.5;
-
-    /** Average period length in cycles. */
-    double periodCycles = 0.0;
-
-    /**
-     * A/B pairs per second: the intended alternation frequency times
-     * the burst length (the larger one when the two bursts differ).
-     * SAVAT divides measured band power by this rate.
-     */
-    double pairsPerSecond = 0.0;
-
-    /** Per-channel complex amplitude at the alternation frequency. */
-    em::ChannelAmplitudes amplitude{};
-
-    /** Per-channel mean activity of each half (au/cycle). */
-    std::array<double, em::kNumChannels> meanA{};
-    std::array<double, em::kNumChannels> meanB{};
-
-    /** Memory-system statistics over the measured window. */
-    uarch::CacheStats l1;
-    uarch::CacheStats l2;
-    uarch::MainMemoryStats mem;
-};
+using PairSimulation = pipeline::PairSimulation;
 
 /** One measurement repetition's outputs. */
-struct Measurement
-{
-    Energy savat;              //!< the SAVAT value
-    double bandPowerW = 0.0;   //!< integrated band power
-    double toneHz = 0.0;       //!< realized tone frequency
-    spectrum::Trace trace;     //!< the analyzer display
-};
+using Measurement = pipeline::Measurement;
 
 /** The aggregate outputs of one repetition (no trace retained). */
-struct SavatSample
-{
-    Energy savat;
-    double bandPowerW = 0.0;
-    double toneHz = 0.0;
-};
+using SavatSample = pipeline::SavatSample;
 
 /** The meter. */
 class SavatMeter
@@ -192,7 +107,8 @@ class SavatMeter
      * One measurement repetition: synthesize the received spectrum
      * with fresh environmental randomness and integrate the band.
      */
-    Measurement measure(const PairSimulation &sim, Rng &rng) const;
+    Measurement measure(const PairSimulation &sim, Rng &rng,
+                        std::size_t repetition = 0) const;
 
     /**
      * The same repetition without retaining the analyzer display:
@@ -201,12 +117,17 @@ class SavatMeter
      * nothing). Draws the identical random sequence as measure(),
      * so both paths produce bit-identical SAVAT values.
      *
+     * The repetition index is forwarded to the signal chain;
+     * physical chains ignore it (their randomness comes from rng),
+     * the replay chain uses it to select the recorded trace.
+     *
      * Thread-safe for concurrent calls on one meter as long as each
      * caller passes its own rng and scratch (the per-pair caches
      * are only touched by the non-const simulate* members).
      */
     SavatSample measureValue(const PairSimulation &sim, Rng &rng,
-                             spectrum::Trace &scratch) const;
+                             spectrum::Trace &scratch,
+                             std::size_t repetition = 0) const;
 
     /** Convenience: simulate (cached) + one repetition. */
     Measurement measurePair(kernels::EventKind a, kernels::EventKind b,
@@ -219,35 +140,31 @@ class SavatMeter
     const MeterConfig &config() const { return _config; }
     const em::ReceivedSignalSynthesizer &synth() const { return _synth; }
 
+    /** The signal chain measurements run through. */
+    const pipeline::SignalChain &chain() const { return *_chain; }
+
+    /**
+     * Swap the signal chain (e.g. for a pipeline::ReplayChain). The
+     * chain must be non-null; it is shared, so meter copies remain
+     * cheap.
+     */
+    void setChain(std::shared_ptr<const pipeline::SignalChain> chain);
+
   private:
     uarch::MachineConfig _machine;
     em::ReceivedSignalSynthesizer _synth;
     MeterConfig _config;
+    std::shared_ptr<const pipeline::SignalChain> _chain;
 
-    std::map<kernels::EventKind, double> _cpiCache;
-    std::map<std::pair<kernels::EventKind, kernels::EventKind>,
-             PairSimulation>
+    std::unordered_map<kernels::EventKind, double> _cpiCache;
+    std::unordered_map<
+        std::pair<kernels::EventKind, kernels::EventKind>,
+        PairSimulation, support::PairHash>
         _pairCache;
-    std::map<std::pair<std::string, std::string>, PairSimulation>
+    std::unordered_map<std::pair<std::string, std::string>,
+                       PairSimulation, support::PairHash>
         _sequenceCache;
 
-    /** Everything runAlternation needs to know about one kernel. */
-    struct AlternationSpec
-    {
-        std::function<kernels::AlternationKernel(
-            std::uint64_t countA, std::uint64_t countB)>
-            build;
-        double cpiA = 0.0;
-        double cpiB = 0.0;
-        std::uint64_t footprintA = 0;
-        std::uint64_t footprintB = 0;
-        bool prefillA = false; //!< half A loads data
-        bool prefillB = false;
-        kernels::EventKind labelA = kernels::EventKind::NOI;
-        kernels::EventKind labelB = kernels::EventKind::NOI;
-    };
-
-    PairSimulation runAlternation(const AlternationSpec &spec);
     PairSimulation runPairSimulation(kernels::EventKind a,
                                      kernels::EventKind b);
 };

@@ -69,14 +69,11 @@ captureSignal(const uarch::MachineConfig &machine,
     const auto res = cpu.run(program);
     SAVAT_ASSERT(res.halted, "single-shot program did not halt");
 
-    // Total scope-visible signal: all channels weighted by coupling
-    // gain (close-range probe, no distance attenuation).
-    std::array<double, uarch::kNumMicroEvents> weights{};
-    for (std::size_t ev = 0; ev < uarch::kNumMicroEvents; ++ev) {
-        const auto ch =
-            static_cast<std::size_t>(profile.eventChannel[ev]);
-        weights[ev] = profile.eventWeight[ev] * profile.gain[ch] * 1e6;
-    }
+    // Total scope-visible signal: all channels weighted by the
+    // configured side channel's coupling (close-range probe, no
+    // distance attenuation).
+    const auto weights =
+        pipeline::observationWeights(config.channel, profile, 1e6);
     auto wave = trace.weightedWaveform(weights, 0, cpu.cycle());
     for (auto &v : wave)
         v += config.backgroundAmplitude;

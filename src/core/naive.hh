@@ -18,6 +18,7 @@
 
 #include "em/emission.hh"
 #include "kernels/events.hh"
+#include "pipeline/frontend.hh"
 #include "support/rng.hh"
 #include "support/stats.hh"
 #include "uarch/machine.hh"
@@ -59,6 +60,13 @@ struct NaiveConfig
      * jobs value.
      */
     std::size_t jobs = 0;
+
+    /**
+     * Side channel the scope probes: the per-channel coupling comes
+     * from the same front-end definition the signal chains use (see
+     * pipeline::channelCoupling).
+     */
+    pipeline::ChannelKind channel = pipeline::ChannelKind::Em;
 };
 
 /** Outcome of a naive-methodology experiment. */

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 #include "core/reference.hh"
 #include "support/logging.hh"
@@ -76,6 +77,32 @@ printMatrixCsv(std::ostream &os, const SavatMatrix &matrix)
         }
     }
     table.renderCsv(os);
+}
+
+void
+printMatrixFixture(std::ostream &os, const SavatMatrix &m)
+{
+    os << "savat-matrix-fixture v1\n";
+    os << "events";
+    for (auto e : m.events())
+        os << ' ' << kernels::eventName(e);
+    os << '\n';
+    char buf[64];
+    const auto &events = m.events();
+    for (std::size_t a = 0; a < m.size(); ++a) {
+        for (std::size_t b = 0; b < m.size(); ++b) {
+            const auto &s = m.samples(a, b);
+            if (s.empty())
+                continue;
+            os << "cell " << kernels::eventName(events[a]) << ' '
+               << kernels::eventName(events[b]);
+            for (double v : s) {
+                std::snprintf(buf, sizeof buf, " %a", v);
+                os << buf;
+            }
+            os << '\n';
+        }
+    }
 }
 
 void

@@ -28,6 +28,14 @@ void printSelectedBars(std::ostream &os, const SavatMatrix &matrix);
 void printMatrixCsv(std::ostream &os, const SavatMatrix &matrix);
 
 /**
+ * Regression-fixture dump: every cell's raw samples as C99 hexfloats
+ * (%a), so bit-identical campaigns produce byte-identical output.
+ * The golden-matrix test and check.sh compare against a checked-in
+ * fixture in this format.
+ */
+void printMatrixFixture(std::ostream &os, const SavatMatrix &matrix);
+
+/**
  * Campaign summary: validation statistics (diagonal-minimum count,
  * repeatability, symmetry) plus per-pair timing diagnostics.
  */

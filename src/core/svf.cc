@@ -82,22 +82,29 @@ computeSvf(const uarch::MachineConfig &machine,
         static_cast<std::size_t>(total / config.windowCycles));
     SAVAT_ASSERT(usable >= 4, "program too short for SVF windows");
 
-    // Attacker-visible per-cycle signal: emission weights x channel
-    // gain x distance attenuation, summed over channels. A second
-    // weight set at the 10 cm reference fixes the (absolute)
-    // measurement-noise scale.
+    // Attacker-visible per-cycle signal: emission weights x the
+    // observed channel's coupling x (EM only) distance attenuation,
+    // summed over channels. A second weight set at the 10 cm
+    // reference fixes the (absolute) measurement-noise scale; the
+    // power channel is distance-free, so both sets coincide there.
+    const auto base =
+        pipeline::observationWeights(config.channel, profile, 1.0);
+    const bool em_channel =
+        config.channel == pipeline::ChannelKind::Em;
     std::array<double, uarch::kNumMicroEvents> weights{};
     std::array<double, uarch::kNumMicroEvents> ref_weights{};
     const auto ref_distance = Distance::centimeters(10.0);
     for (std::size_t ev = 0; ev < uarch::kNumMicroEvents; ++ev) {
         const auto ch = profile.eventChannel[ev];
-        const double base =
-            profile.eventWeight[ev] *
-            profile.gain[static_cast<std::size_t>(ch)];
         weights[ev] =
-            base * distances.amplitudeFactor(ch, config.distance);
+            em_channel
+                ? base[ev] *
+                      distances.amplitudeFactor(ch, config.distance)
+                : base[ev];
         ref_weights[ev] =
-            base * distances.amplitudeFactor(ch, ref_distance);
+            em_channel
+                ? base[ev] * distances.amplitudeFactor(ch, ref_distance)
+                : base[ev];
     }
 
     SvfResult res;

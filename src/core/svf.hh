@@ -27,6 +27,7 @@
 
 #include "em/synth.hh"
 #include "isa/instruction.hh"
+#include "pipeline/frontend.hh"
 #include "support/progress.hh"
 #include "support/rng.hh"
 #include "support/units.hh"
@@ -64,6 +65,13 @@ struct SvfConfig
      * identical for every jobs value.
      */
     std::size_t jobs = 0;
+
+    /**
+     * Side channel the attacker observes through. The EM channel
+     * applies the distance model; the power channel is distance-free
+     * (see pipeline::channelCoupling).
+     */
+    pipeline::ChannelKind channel = pipeline::ChannelKind::Em;
 };
 
 /** SVF computation outputs. */

@@ -61,11 +61,30 @@ ReceivedSignalSynthesizer::synthesize(const ToneInput &input, Distance d,
                                       Frequency windowCenter, double spanHz,
                                       Rng &rng) const
 {
+    const EnvironmentDraw env = drawEnvironment(_environment, rng);
+
+    // Coherent per-channel summation at the antenna; the residual
+    // mismatch adds as incoherent power.
+    const double signal =
+        tonePower(input.amplitude, d, env, rng) +
+        tonePower(input.residualAmplitude, d, env, rng);
+    return synthesizeTone(signal + input.residualPowerW *
+                                       env.gainFactor *
+                                       env.gainFactor,
+                          input.toneFrequency,
+                          _antenna.powerResponse(windowCenter),
+                          windowCenter, spanHz, env, rng);
+}
+
+SynthesisResult
+ReceivedSignalSynthesizer::synthesizeTone(
+    double tonePowerW, Frequency toneFrequency,
+    double frontEndResponse, Frequency windowCenter, double spanHz,
+    const EnvironmentDraw &env, Rng &rng) const
+{
     SAVAT_ASSERT(spanHz > 0.0, "non-positive span");
     const double f0 = windowCenter.inHz();
     SAVAT_ASSERT(f0 > spanHz, "window extends below DC");
-
-    const EnvironmentDraw env = drawEnvironment(_environment, rng);
 
     SynthesisResult res;
     res.spectrum.startHz = f0 - spanHz;
@@ -74,27 +93,18 @@ ReceivedSignalSynthesizer::synthesize(const ToneInput &input, Distance d,
         static_cast<std::size_t>(std::lround(2.0 * spanHz)) + 1;
     res.spectrum.psd.assign(nbins, 0.0);
 
-    // Antenna response at the tone (the power rail bypasses it).
-    const double ant =
-        input.powerRail ? 1.0 : _antenna.powerResponse(windowCenter);
+    // Front-end response at the tone (antenna band shape for EM;
+    // the power rail passes 1).
+    const double ant = frontEndResponse;
 
-    const double signal =
-        input.powerRail
-            ? powerRailTonePower(input.amplitude, env) +
-                  powerRailTonePower(input.residualAmplitude, env)
-            : tonePower(input.amplitude, d, env, rng) +
-                  tonePower(input.residualAmplitude, d, env, rng);
-    const double p_tone =
-        (signal +
-         input.residualPowerW * env.gainFactor * env.gainFactor) *
-        ant;
+    const double p_tone = tonePowerW * ant;
     res.tonePowerW = p_tone;
 
     // Spread the tone with a bounded random walk of the
     // instantaneous frequency (clock wander / OS jitter), exactly
     // the dispersion visible in the paper's Figure 7.
     const double tone_center =
-        input.toneFrequency.inHz() + env.freqOffsetHz;
+        toneFrequency.inHz() + env.freqOffsetHz;
     res.realizedToneHz = tone_center;
 
     const std::size_t steps =

@@ -52,12 +52,6 @@ struct ToneInput
      */
     ChannelAmplitudes residualAmplitude{};
 
-    /**
-     * Measure on the power rail instead of the EM antenna: coherent
-     * current summation, no propagation loss.
-     */
-    bool powerRail = false;
-
     /** Actual alternation frequency achieved by the software. */
     Frequency toneFrequency;
 
@@ -106,8 +100,12 @@ class ReceivedSignalSynthesizer
                               const EnvironmentDraw &env) const;
 
     /**
-     * Synthesize the incident spectrum in a window of +/- spanHz
-     * around the intended tone frequency.
+     * Synthesize the incident spectrum at the EM antenna in a window
+     * of +/- spanHz around the intended tone frequency: draws the
+     * environment, sums the channels coherently at the given
+     * distance and spreads the tone via synthesizeTone(). The power
+     * chain composes its own front end from powerRailTonePower() and
+     * synthesizeTone() instead (see pipeline::PowerChain).
      *
      * @param input      Tone description from the simulation.
      * @param d          Antenna distance.
@@ -119,6 +117,33 @@ class ReceivedSignalSynthesizer
     SynthesisResult synthesize(const ToneInput &input, Distance d,
                                Frequency windowCenter, double spanHz,
                                Rng &rng) const;
+
+    /**
+     * Chain-agnostic back half of the synthesis: place a tone of the
+     * given received power into a +/- spanHz window, dispersed by
+     * the environment's frequency random walk, plus ambient noise
+     * and narrowband interferers.
+     *
+     * @param tonePowerW        Tone power before the front-end
+     *                          response is applied (watts).
+     * @param toneFrequency     Realized alternation frequency.
+     * @param frontEndResponse  Power response of the capture front
+     *                          end at the window center (antenna
+     *                          band shape for EM, 1 for the power
+     *                          rail). Applied to the tone and to the
+     *                          ambient noise.
+     * @param windowCenter      Window center frequency.
+     * @param spanHz            Half-width of the window.
+     * @param env               This measurement's environment draw.
+     * @param rng               Randomness source.
+     */
+    SynthesisResult synthesizeTone(double tonePowerW,
+                                   Frequency toneFrequency,
+                                   double frontEndResponse,
+                                   Frequency windowCenter,
+                                   double spanHz,
+                                   const EnvironmentDraw &env,
+                                   Rng &rng) const;
 
     const EmissionProfile &profile() const { return _profile; }
     const DistanceModel &distances() const { return _distances; }

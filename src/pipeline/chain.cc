@@ -1,0 +1,181 @@
+#include "pipeline/chain.hh"
+
+#include <cmath>
+
+#include "em/environment.hh"
+#include "support/logging.hh"
+#include "support/obs.hh"
+
+namespace savat::pipeline {
+
+using kernels::EventKind;
+
+namespace {
+
+/** FNV-1a over strings and integers, for per-cell mismatch seeds. */
+std::uint64_t
+cellHash(const std::string &machine, EventKind a, EventKind b,
+         std::size_t channel)
+{
+    std::uint64_t h = 0xCBF29CE484222325ull;
+    auto mix = [&h](std::uint64_t v) {
+        h ^= v;
+        h *= 0x100000001B3ull;
+    };
+    for (char ch : machine)
+        mix(static_cast<std::uint64_t>(ch));
+    mix(static_cast<std::uint64_t>(a) + 17);
+    mix(static_cast<std::uint64_t>(b) + 31);
+    mix(channel + 101);
+    return h;
+}
+
+/** Per-repetition residual mismatch of the two kernel halves. */
+struct ResidualDraw
+{
+    em::ChannelAmplitudes amplitude{};
+    double baseEnergyZj = 0.0;
+};
+
+/**
+ * Residual mismatch of the two structurally identical halves: the
+ * ptr1 and ptr2 sweeps touch different arrays (different DRAM rows,
+ * cache sets, alignment), so each channel's activity level differs
+ * slightly -- SYSTEMATICALLY, the same way on every repetition of
+ * the same pair. The deterministic per-cell magnitude/phase
+ * reproduces the paper's repeatable A/A diagonals; a small
+ * per-repetition factor models day-to-day variation.
+ *
+ * Both physical chains draw this identically (and first), so their
+ * random streams stay aligned with the historical serial order.
+ */
+ResidualDraw
+drawResidual(const em::EmissionProfile &profile,
+             const std::string &machineId, const PairSimulation &sim,
+             Rng &rng)
+{
+    ResidualDraw res;
+    const double duty_factor =
+        (2.0 / M_PI) * std::sin(M_PI * sim.duty);
+    for (std::size_t c = 0; c < em::kNumChannels; ++c) {
+        const double frac = profile.mismatchFraction[c];
+        if (frac == 0.0)
+            continue;
+        Rng cell(cellHash(machineId, sim.a, sim.b, c));
+        const double u = cell.uniform(0.7, 1.3);
+        const double rep_factor = 1.0 + rng.gaussian(0.0, 0.10);
+        res.amplitude[c] = duty_factor * frac * u * rep_factor * 0.5 *
+                           (sim.meanA[c] + sim.meanB[c]);
+    }
+
+    double base_zj = rng.gaussian(profile.baseMismatchEnergyZj,
+                                  profile.baseMismatchSpreadZj);
+    res.baseEnergyZj = std::max(base_zj, 0.05);
+    return res;
+}
+
+} // namespace
+
+EmChain::EmChain(std::string machineId,
+                 em::ReceivedSignalSynthesizer synth,
+                 MeasureConfig config)
+    : _machineId(std::move(machineId)),
+      _synth(std::move(synth)),
+      _config(config)
+{
+}
+
+SavatSample
+EmChain::measure(const PairSimulation &sim, std::size_t /*repetition*/,
+                 Rng &rng, spectrum::Trace &scratch) const
+{
+    SAVAT_METRIC_COUNT("pipeline.em_measurements");
+    const auto &profile = _synth.profile();
+    const auto residual = drawResidual(profile, _machineId, sim, rng);
+
+    em::ToneInput tone;
+    tone.amplitude = sim.amplitude;
+    tone.residualAmplitude = residual.amplitude;
+    tone.toneFrequency = sim.actualFrequency;
+    tone.residualPowerW =
+        Energy::zepto(residual.baseEnergyZj).inJoules() *
+        sim.pairsPerSecond;
+
+    em::SynthesisResult synth_res;
+    {
+        SAVAT_METRIC_TIMER("pipeline.synthesize_seconds");
+        synth_res =
+            _synth.synthesize(tone, _config.distance,
+                              _config.alternation, _config.spanHz,
+                              rng);
+    }
+
+    sweep(_config, _config.noiseFloorWPerHz, synth_res.spectrum, rng,
+          scratch);
+    return bandIntegrate(scratch, _config.alternation.inHz(),
+                         _config.bandHz, sim.pairsPerSecond,
+                         synth_res.realizedToneHz);
+}
+
+PowerChain::PowerChain(std::string machineId,
+                       em::ReceivedSignalSynthesizer synth,
+                       MeasureConfig config)
+    : _machineId(std::move(machineId)),
+      _synth(std::move(synth)),
+      _config(config)
+{
+}
+
+SavatSample
+PowerChain::measure(const PairSimulation &sim,
+                    std::size_t /*repetition*/, Rng &rng,
+                    spectrum::Trace &scratch) const
+{
+    SAVAT_METRIC_COUNT("pipeline.power_measurements");
+    const auto &profile = _synth.profile();
+    const auto residual = drawResidual(profile, _machineId, sim, rng);
+
+    // The power rail couples the loop-body residual more strongly
+    // (everything draws from it).
+    const double residual_w =
+        Energy::zepto(residual.baseEnergyZj).inJoules() *
+        sim.pairsPerSecond * _config.power.residualCoupling;
+
+    em::SynthesisResult synth_res;
+    {
+        SAVAT_METRIC_TIMER("pipeline.synthesize_seconds");
+        const auto env =
+            em::drawEnvironment(_synth.environment(), rng);
+        // Coherent current summation on the shared rail; no antenna,
+        // no distance attenuation (front-end response 1).
+        const double signal =
+            _synth.powerRailTonePower(sim.amplitude, env) +
+            _synth.powerRailTonePower(residual.amplitude, env);
+        synth_res = _synth.synthesizeTone(
+            signal + residual_w * env.gainFactor * env.gainFactor,
+            sim.actualFrequency, 1.0, _config.alternation,
+            _config.spanHz, env, rng);
+    }
+
+    sweep(_config, _config.power.noiseFloorWPerHz, synth_res.spectrum,
+          rng, scratch);
+    return bandIntegrate(scratch, _config.alternation.inHz(),
+                         _config.bandHz, sim.pairsPerSecond,
+                         synth_res.realizedToneHz);
+}
+
+std::shared_ptr<const SignalChain>
+makeSignalChain(const std::string &machineId,
+                const em::ReceivedSignalSynthesizer &synth,
+                const MeasureConfig &config)
+{
+    switch (config.channel) {
+      case ChannelKind::Em:
+        return std::make_shared<EmChain>(machineId, synth, config);
+      case ChannelKind::Power:
+        return std::make_shared<PowerChain>(machineId, synth, config);
+    }
+    SAVAT_FATAL("unknown channel kind");
+}
+
+} // namespace savat::pipeline

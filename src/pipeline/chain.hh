@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Pluggable signal chains: everything downstream of ChannelExtract.
+ *
+ * A SignalChain turns one deterministic pair simulation into one
+ * measurement repetition (Synthesize -> Sweep -> BandIntegrate) with
+ * fresh per-repetition randomness. Three implementations exist:
+ *
+ *   EmChain     the paper's case study — loop antenna at a distance,
+ *               spectrum-analyzer RF front end,
+ *   PowerChain  Section VII's supply-current measurement — coherent
+ *               current summation on the shared rail, no propagation
+ *               loss, its own front-end noise floor,
+ *   ReplayChain (pipeline/replay.hh) re-integrates recorded analyzer
+ *               traces for offline re-analysis.
+ *
+ * Contract: measure() must draw all per-repetition randomness from
+ * the passed rng only, in a fixed order independent of thread, call
+ * site and repetition index, so campaigns stay bit-identical for
+ * every jobs value. The scratch trace is caller-owned storage for
+ * the analyzer display (reused across calls — no allocation on the
+ * repetition path).
+ */
+
+#ifndef SAVAT_PIPELINE_CHAIN_HH
+#define SAVAT_PIPELINE_CHAIN_HH
+
+#include <memory>
+#include <string>
+
+#include "em/synth.hh"
+#include "pipeline/config.hh"
+#include "pipeline/stages.hh"
+
+namespace savat::pipeline {
+
+/** One physical (or replayed) measurement chain. */
+class SignalChain
+{
+  public:
+    virtual ~SignalChain() = default;
+
+    /** Short chain name ("em" | "power" | "replay"). */
+    virtual const char *name() const = 0;
+
+    /**
+     * One measurement repetition for the given pair simulation.
+     *
+     * @param sim        Deterministic pair products (ChannelExtract
+     *                   output). Must be measured.
+     * @param repetition Repetition index within the cell; physical
+     *                   chains ignore it (their randomness comes
+     *                   from rng), the replay chain uses it to
+     *                   select the recorded trace.
+     * @param rng        Per-repetition randomness stream.
+     * @param scratch    Caller-owned analyzer-display storage.
+     */
+    virtual SavatSample measure(const PairSimulation &sim,
+                                std::size_t repetition, Rng &rng,
+                                spectrum::Trace &scratch) const = 0;
+};
+
+/** The paper's EM chain: emission -> propagation -> antenna -> SA. */
+class EmChain final : public SignalChain
+{
+  public:
+    EmChain(std::string machineId, em::ReceivedSignalSynthesizer synth,
+            MeasureConfig config);
+
+    const char *name() const override { return "em"; }
+    SavatSample measure(const PairSimulation &sim,
+                        std::size_t repetition, Rng &rng,
+                        spectrum::Trace &scratch) const override;
+
+    const em::ReceivedSignalSynthesizer &synth() const
+    {
+        return _synth;
+    }
+
+  private:
+    std::string _machineId;
+    em::ReceivedSignalSynthesizer _synth;
+    MeasureConfig _config;
+};
+
+/** Section VII's supply-current chain. */
+class PowerChain final : public SignalChain
+{
+  public:
+    PowerChain(std::string machineId,
+               em::ReceivedSignalSynthesizer synth,
+               MeasureConfig config);
+
+    const char *name() const override { return "power"; }
+    SavatSample measure(const PairSimulation &sim,
+                        std::size_t repetition, Rng &rng,
+                        spectrum::Trace &scratch) const override;
+
+    const em::ReceivedSignalSynthesizer &synth() const
+    {
+        return _synth;
+    }
+
+  private:
+    std::string _machineId;
+    em::ReceivedSignalSynthesizer _synth;
+    MeasureConfig _config;
+};
+
+/**
+ * The chain selected by config.channel. Shared (immutable) so
+ * campaign workers can copy their meter cheaply.
+ */
+std::shared_ptr<const SignalChain>
+makeSignalChain(const std::string &machineId,
+                const em::ReceivedSignalSynthesizer &synth,
+                const MeasureConfig &config);
+
+} // namespace savat::pipeline
+
+#endif // SAVAT_PIPELINE_CHAIN_HH

@@ -1,0 +1,37 @@
+#include "pipeline/config.hh"
+
+namespace savat::pipeline {
+
+const char *
+channelName(ChannelKind kind)
+{
+    switch (kind) {
+      case ChannelKind::Em: return "em";
+      case ChannelKind::Power: return "power";
+    }
+    return "?";
+}
+
+std::optional<ChannelKind>
+channelByName(const std::string &name)
+{
+    if (name == "em")
+        return ChannelKind::Em;
+    if (name == "power")
+        return ChannelKind::Power;
+    return std::nullopt;
+}
+
+analysis::MeasurementSettings
+toAnalysisSettings(const MeasureConfig &config,
+                   const em::LoopAntenna &antenna)
+{
+    analysis::MeasurementSettings s;
+    static_cast<analysis::SharedMeasurementSettings &>(s) = config;
+    s.powerRail = config.channel == ChannelKind::Power;
+    s.antennaCorner = antenna.corner();
+    s.antennaMax = antenna.maxFrequency();
+    return s;
+}
+
+} // namespace savat::pipeline

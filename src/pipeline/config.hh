@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Measurement-pipeline configuration.
+ *
+ * MeasureConfig is the single source of truth for the measurement
+ * parameters: it derives from analysis::SharedMeasurementSettings
+ * (the fields the static checker consumes verbatim) and adds what
+ * only the live pipeline needs — the channel selection and each
+ * front end's noise model. toAnalysisSettings() produces the checker
+ * view by slicing the shared base, so the two layers cannot drift.
+ */
+
+#ifndef SAVAT_PIPELINE_CONFIG_HH
+#define SAVAT_PIPELINE_CONFIG_HH
+
+#include <optional>
+#include <string>
+
+#include "analysis/spec.hh"
+#include "em/antenna.hh"
+
+namespace savat::pipeline {
+
+/** Which physical side channel a signal chain measures. */
+enum class ChannelKind {
+    Em,   //!< EM emanations via the loop antenna (the paper's case)
+    Power //!< supply-current measurement (Section VII)
+};
+
+/** Lower-case channel name ("em" | "power"). */
+const char *channelName(ChannelKind kind);
+
+/** Parse a channel name; empty when unknown. */
+std::optional<ChannelKind> channelByName(const std::string &name);
+
+/**
+ * Front-end model of the power side channel: the shunt/amplifier
+ * chain replacing the antenna + spectrum-analyzer RF front end.
+ */
+struct PowerFrontEnd
+{
+    /** Noise floor of the current-measurement front end [W/Hz]. */
+    double noiseFloorWPerHz = 2.0e-16;
+
+    /**
+     * How much more strongly the loop-body residual mismatch couples
+     * into the supply rail than into the antenna (everything on the
+     * die draws from the rail).
+     */
+    double residualCoupling = 8.0;
+};
+
+/** Measurement parameters shared by a campaign. */
+struct MeasureConfig : analysis::SharedMeasurementSettings
+{
+    /** Spectrum-analyzer noise floor of the EM chain [W/Hz]. */
+    double noiseFloorWPerHz = 5.0e-18;
+
+    /** Side channel under measurement. */
+    ChannelKind channel = ChannelKind::Em;
+
+    /** Power-chain front end (used when channel == Power). */
+    PowerFrontEnd power;
+};
+
+/**
+ * The analysis-layer view of a measurement configuration: the shared
+ * base sliced out, plus the capture-front-end facts the spectral
+ * checks need (power rail or not, the antenna's rated band).
+ */
+analysis::MeasurementSettings
+toAnalysisSettings(const MeasureConfig &config,
+                   const em::LoopAntenna &antenna);
+
+} // namespace savat::pipeline
+
+#endif // SAVAT_PIPELINE_CONFIG_HH

@@ -1,0 +1,30 @@
+#include "pipeline/frontend.hh"
+
+namespace savat::pipeline {
+
+double
+channelCoupling(ChannelKind kind, const em::EmissionProfile &profile,
+                em::Channel channel)
+{
+    const auto c = static_cast<std::size_t>(channel);
+    switch (kind) {
+      case ChannelKind::Em: return profile.gain[c];
+      case ChannelKind::Power: return profile.currentWeight[c];
+    }
+    return 0.0;
+}
+
+std::array<double, uarch::kNumMicroEvents>
+observationWeights(ChannelKind kind, const em::EmissionProfile &profile,
+                   double scale)
+{
+    std::array<double, uarch::kNumMicroEvents> weights{};
+    for (std::size_t ev = 0; ev < uarch::kNumMicroEvents; ++ev) {
+        const auto ch = profile.eventChannel[ev];
+        weights[ev] = profile.eventWeight[ev] *
+                      channelCoupling(kind, profile, ch) * scale;
+    }
+    return weights;
+}
+
+} // namespace savat::pipeline

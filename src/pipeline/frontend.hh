@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Time-domain observer front ends.
+ *
+ * The naive baseline (oscilloscope probe) and SVF (attacker's
+ * window-power observations) watch the raw activity waveform rather
+ * than the alternation tone, but they observe through the same
+ * physical channels the pipeline's signal chains model. These
+ * helpers give them the per-channel coupling of a ChannelKind so
+ * both methodologies share one front-end definition.
+ */
+
+#ifndef SAVAT_PIPELINE_FRONTEND_HH
+#define SAVAT_PIPELINE_FRONTEND_HH
+
+#include <array>
+
+#include "em/emission.hh"
+#include "pipeline/config.hh"
+#include "uarch/activity.hh"
+
+namespace savat::pipeline {
+
+/**
+ * Coupling amplitude of one emitter channel as seen by a time-domain
+ * observer: the EM chain's per-channel coupling gain (at the 10 cm
+ * reference — apply a DistanceModel factor separately if the
+ * observer stands back), or the power chain's supply-current weight
+ * (distance-free: everything shares the rail).
+ */
+double channelCoupling(ChannelKind kind,
+                       const em::EmissionProfile &profile,
+                       em::Channel channel);
+
+/**
+ * MicroEvent -> observed-signal weights for
+ * uarch::ActivityTrace::weightedWaveform: each event's activity
+ * weight times its channel's coupling, times `scale`.
+ */
+std::array<double, uarch::kNumMicroEvents>
+observationWeights(ChannelKind kind, const em::EmissionProfile &profile,
+                   double scale);
+
+} // namespace savat::pipeline
+
+#endif // SAVAT_PIPELINE_FRONTEND_HH

@@ -1,0 +1,249 @@
+#include "pipeline/replay.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "support/logging.hh"
+#include "support/obs.hh"
+
+namespace savat::pipeline {
+
+using kernels::EventKind;
+
+namespace {
+
+constexpr const char *kMagic = "savat-trace-recording";
+constexpr const char *kVersion = "v1";
+
+void
+printHex(std::ostream &os, double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%a", v);
+    os << buf;
+}
+
+/**
+ * Hexfloat-aware numeric read: istream's operator>> does not accept
+ * C99 "%a" hexfloats, strtod does.
+ */
+bool
+readHex(std::istream &in, double &out)
+{
+    std::string tok;
+    if (!(in >> tok))
+        return false;
+    char *end = nullptr;
+    out = std::strtod(tok.c_str(), &end);
+    return end != tok.c_str() && *end == '\0';
+}
+
+/** Non-fatal event-name lookup (the parser reports, never aborts). */
+bool
+eventNamed(const std::string &name, EventKind &out)
+{
+    for (auto e : kernels::extendedEvents()) {
+        if (name == kernels::eventName(e)) {
+            out = e;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+void
+saveRecording(std::ostream &os, const TraceRecording &rec)
+{
+    os << kMagic << ' ' << kVersion << '\n';
+    os << "machine " << rec.machineId << '\n';
+    os << "channel " << rec.channel << '\n';
+    os << "alternation ";
+    printHex(os, rec.alternationHz);
+    os << "\nband ";
+    printHex(os, rec.bandHz);
+    os << "\nevents";
+    for (auto e : rec.events)
+        os << ' ' << kernels::eventName(e);
+    os << '\n';
+    for (const auto &cell : rec.cells) {
+        os << "cell " << kernels::eventName(cell.a) << ' '
+           << kernels::eventName(cell.b) << ' ';
+        printHex(os, cell.pairsPerSecond);
+        os << ' ' << cell.traces.size() << '\n';
+        for (const auto &trace : cell.traces) {
+            os << "trace ";
+            printHex(os, trace.startHz);
+            os << ' ';
+            printHex(os, trace.binHz);
+            os << ' ' << trace.psd.size();
+            for (double v : trace.psd) {
+                os << ' ';
+                printHex(os, v);
+            }
+            os << '\n';
+        }
+    }
+    os << "end\n";
+}
+
+RecordingParseResult
+loadRecording(std::istream &in)
+{
+    RecordingParseResult res;
+    auto fail = [&res](const std::string &msg) {
+        res.ok = false;
+        res.error = msg;
+        return res;
+    };
+
+    std::string magic, version;
+    if (!(in >> magic >> version) || magic != kMagic)
+        return fail("not a savat trace recording");
+    if (version != kVersion)
+        return fail("unsupported recording version " + version);
+
+    auto &rec = res.recording;
+    std::string key;
+    bool saw_end = false;
+    while (in >> key) {
+        if (key == "machine") {
+            if (!(in >> rec.machineId))
+                return fail("machine: missing id");
+        } else if (key == "channel") {
+            if (!(in >> rec.channel))
+                return fail("channel: missing name");
+        } else if (key == "alternation") {
+            if (!readHex(in, rec.alternationHz))
+                return fail("alternation: bad value");
+        } else if (key == "band") {
+            if (!readHex(in, rec.bandHz))
+                return fail("band: bad value");
+        } else if (key == "events") {
+            std::string line;
+            std::getline(in, line);
+            std::istringstream toks(line);
+            std::string name;
+            while (toks >> name) {
+                EventKind e;
+                if (!eventNamed(name, e))
+                    return fail("events: unknown event " + name);
+                rec.events.push_back(e);
+            }
+        } else if (key == "cell") {
+            TraceRecording::Cell cell;
+            std::string na, nb;
+            std::size_t reps = 0;
+            if (!(in >> na >> nb) ||
+                !readHex(in, cell.pairsPerSecond) || !(in >> reps))
+                return fail("cell: malformed header");
+            if (!eventNamed(na, cell.a) || !eventNamed(nb, cell.b))
+                return fail("cell: unknown event " + na + "/" + nb);
+            cell.traces.reserve(reps);
+            for (std::size_t r = 0; r < reps; ++r) {
+                std::string tkey;
+                spectrum::Trace trace;
+                std::size_t bins = 0;
+                if (!(in >> tkey) || tkey != "trace")
+                    return fail("cell: expected trace record");
+                if (!readHex(in, trace.startHz) ||
+                    !readHex(in, trace.binHz) || !(in >> bins))
+                    return fail("trace: malformed header");
+                trace.psd.resize(bins);
+                for (std::size_t i = 0; i < bins; ++i) {
+                    if (!readHex(in, trace.psd[i]))
+                        return fail("trace: truncated PSD");
+                }
+                cell.traces.push_back(std::move(trace));
+            }
+            rec.cells.push_back(std::move(cell));
+        } else if (key == "end") {
+            saw_end = true;
+            break;
+        } else {
+            return fail("unknown record '" + key + "'");
+        }
+    }
+    if (!saw_end)
+        return fail("truncated recording (missing end marker)");
+    res.ok = true;
+    return res;
+}
+
+RecordingParseResult
+loadRecordingFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        RecordingParseResult res;
+        res.error = "cannot open " + path;
+        return res;
+    }
+    return loadRecording(in);
+}
+
+ReplayChain::ReplayChain(TraceRecording recording)
+    : _recording(std::move(recording))
+{
+    for (std::size_t i = 0; i < _recording.cells.size(); ++i) {
+        const auto &cell = _recording.cells[i];
+        _index.emplace(std::make_pair(cell.a, cell.b), i);
+    }
+}
+
+SavatSample
+ReplayChain::measure(const PairSimulation &sim,
+                     std::size_t repetition, Rng & /*rng*/,
+                     spectrum::Trace &scratch) const
+{
+    SAVAT_METRIC_COUNT("pipeline.replay_measurements");
+    const auto it = _index.find(std::make_pair(sim.a, sim.b));
+    SAVAT_ASSERT(it != _index.end(), "pair ",
+                 kernels::eventName(sim.a), "/",
+                 kernels::eventName(sim.b), " was not recorded");
+    const auto &cell = _recording.cells[it->second];
+    SAVAT_ASSERT(repetition < cell.traces.size(), "repetition ",
+                 repetition, " of ", kernels::eventName(sim.a), "/",
+                 kernels::eventName(sim.b), " was not recorded (",
+                 cell.traces.size(), " available)");
+    scratch = cell.traces[repetition];
+    const double f0 = _recording.alternationHz;
+    return bandIntegrate(
+        scratch, f0, _recording.bandHz, cell.pairsPerSecond,
+        scratch.peakFrequency(f0 - _recording.bandHz,
+                              f0 + _recording.bandHz));
+}
+
+std::vector<ReplayCell>
+replayAll(const TraceRecording &recording)
+{
+    SAVAT_TRACE_SPAN("pipeline.replay",
+                     {{"cells", recording.cells.size()}});
+    SAVAT_METRIC_TIMER("pipeline.replay_seconds");
+
+    const ReplayChain chain(recording);
+    std::vector<ReplayCell> out;
+    out.reserve(recording.cells.size());
+    Rng unused(0);
+    spectrum::Trace scratch;
+    for (const auto &cell : recording.cells) {
+        ReplayCell rc;
+        rc.a = cell.a;
+        rc.b = cell.b;
+        rc.samples.reserve(cell.traces.size());
+        PairSimulation sim;
+        sim.a = cell.a;
+        sim.b = cell.b;
+        sim.measured = true;
+        for (std::size_t r = 0; r < cell.traces.size(); ++r)
+            rc.samples.push_back(
+                chain.measure(sim, r, unused, scratch));
+        out.push_back(std::move(rc));
+    }
+    return out;
+}
+
+} // namespace savat::pipeline

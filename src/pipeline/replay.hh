@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Offline re-analysis of recorded campaigns.
+ *
+ * A TraceRecording stores every repetition's spectrum-analyzer
+ * display (plus the per-cell pair rate) from a live campaign. The
+ * ReplayChain is a SignalChain whose Synthesize/Sweep stages are the
+ * recording itself: measure() copies the recorded trace and runs
+ * only BandIntegrate, so replaying a recording reproduces the
+ * original SAVAT values bit for bit — and lets the band, or the
+ * integration itself, be re-examined long after the bench time was
+ * spent.
+ *
+ * The serialization uses C99 hexfloats (%a), so a save/load round
+ * trip is byte-exact.
+ */
+
+#ifndef SAVAT_PIPELINE_REPLAY_HH
+#define SAVAT_PIPELINE_REPLAY_HH
+
+#include <istream>
+#include <ostream>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "pipeline/chain.hh"
+#include "support/hash.hh"
+
+namespace savat::pipeline {
+
+/** Everything a campaign leaves behind for offline re-analysis. */
+struct TraceRecording
+{
+    std::string machineId;
+    std::vector<kernels::EventKind> events;
+
+    /** Intended alternation frequency (band center) [Hz]. */
+    double alternationHz = 0.0;
+
+    /** Half-width of the integrated band [Hz]. */
+    double bandHz = 0.0;
+
+    /** Chain that produced the recording ("em" | "power"). */
+    std::string channel = "em";
+
+    struct Cell
+    {
+        kernels::EventKind a = kernels::EventKind::NOI;
+        kernels::EventKind b = kernels::EventKind::NOI;
+        double pairsPerSecond = 0.0;
+        std::vector<spectrum::Trace> traces; //!< one per repetition
+    };
+    std::vector<Cell> cells;
+};
+
+/** Serialize (hexfloat, byte-exact round trip). */
+void saveRecording(std::ostream &os, const TraceRecording &rec);
+
+/** Outcome of parsing a recording. */
+struct RecordingParseResult
+{
+    TraceRecording recording;
+    bool ok = false;
+    std::string error;
+};
+
+RecordingParseResult loadRecording(std::istream &in);
+RecordingParseResult loadRecordingFile(const std::string &path);
+
+/** The replay chain: BandIntegrate over recorded traces. */
+class ReplayChain final : public SignalChain
+{
+  public:
+    explicit ReplayChain(TraceRecording recording);
+
+    const char *name() const override { return "replay"; }
+
+    /**
+     * Re-integrate repetition `repetition` of the recorded
+     * (sim.a, sim.b) cell. Only sim's event labels are consulted;
+     * rng is unused (a recording has no fresh randomness). Fatal
+     * when the cell or repetition was not recorded.
+     */
+    SavatSample measure(const PairSimulation &sim,
+                        std::size_t repetition, Rng &rng,
+                        spectrum::Trace &scratch) const override;
+
+    const TraceRecording &recording() const { return _recording; }
+
+  private:
+    TraceRecording _recording;
+    std::unordered_map<std::pair<kernels::EventKind,
+                                 kernels::EventKind>,
+                       std::size_t, support::PairHash>
+        _index;
+};
+
+/** One replayed cell's outputs. */
+struct ReplayCell
+{
+    kernels::EventKind a = kernels::EventKind::NOI;
+    kernels::EventKind b = kernels::EventKind::NOI;
+    std::vector<SavatSample> samples; //!< one per recorded repetition
+};
+
+/** Replay every recorded cell, in recording order. */
+std::vector<ReplayCell> replayAll(const TraceRecording &recording);
+
+} // namespace savat::pipeline
+
+#endif // SAVAT_PIPELINE_REPLAY_HH

@@ -1,0 +1,323 @@
+#include "pipeline/stages.hh"
+
+#include <cmath>
+
+#include "dsp/fft.hh"
+#include "support/logging.hh"
+#include "support/obs.hh"
+
+namespace savat::pipeline {
+
+using kernels::Marks;
+
+namespace {
+
+/** ActivitySink that records only while enabled. */
+class GatedTrace : public uarch::ActivitySink
+{
+  public:
+    void
+    record(uarch::MicroEvent ev, std::uint64_t start,
+           std::uint32_t duration) override
+    {
+        if (enabled)
+            trace.record(ev, start, duration);
+    }
+
+    bool enabled = false;
+    uarch::ActivityTrace trace;
+};
+
+uarch::CacheStats
+diffCache(const uarch::CacheStats &now, const uarch::CacheStats &then)
+{
+    uarch::CacheStats d;
+    d.readHits = now.readHits - then.readHits;
+    d.readMisses = now.readMisses - then.readMisses;
+    d.writeHits = now.writeHits - then.writeHits;
+    d.writeMisses = now.writeMisses - then.writeMisses;
+    d.writebacksIn = now.writebacksIn - then.writebacksIn;
+    d.writebacksOut = now.writebacksOut - then.writebacksOut;
+    return d;
+}
+
+} // namespace
+
+kernels::CountSolution
+burstSolve(const uarch::MachineConfig &machine, const KernelSpec &spec,
+           const MeasureConfig &config)
+{
+    SAVAT_METRIC_TIMER("pipeline.burst_solve_seconds");
+    SAVAT_METRIC_COUNT("pipeline.burst_solves");
+    return kernels::solveCounts(machine, spec.cpiA, spec.cpiB,
+                                config.alternation, config.pairing);
+}
+
+kernels::AlternationKernel
+kernelBuild(const KernelSpec &spec, const kernels::CountSolution &counts)
+{
+    SAVAT_METRIC_TIMER("pipeline.kernel_build_seconds");
+    SAVAT_METRIC_COUNT("pipeline.kernel_builds");
+    return spec.build(counts.countA, counts.countB);
+}
+
+SimulationRun
+simulate(const uarch::MachineConfig &machine, const KernelSpec &spec,
+         const kernels::AlternationKernel &kernel,
+         const kernels::CountSolution &counts,
+         std::size_t measuredPeriods)
+{
+    SAVAT_METRIC_TIMER("pipeline.simulate_seconds");
+    SAVAT_METRIC_COUNT("pipeline.simulations");
+
+    const std::size_t measured = measuredPeriods;
+    SAVAT_ASSERT(measured >= 2, "need at least two measured periods");
+
+    SimulationRun run;
+    GatedTrace sink;
+    uarch::SimpleCpu cpu(machine, sink);
+    auto prefill = [&cpu](std::uint64_t base, std::uint64_t bytes) {
+        for (std::uint64_t off = 0; off < bytes; off += 4)
+            cpu.memory().writeWord(base + off, 0x07070707u);
+    };
+    if (spec.prefillA)
+        prefill(kernel.baseA, spec.footprintA);
+    if (spec.prefillB)
+        prefill(kernel.baseB, spec.footprintB);
+
+    // Warm-up periods: enough to sweep cache-resident footprints
+    // twice; off-chip sweeps need the L2 completely full
+    // (dirty-eviction pressure is part of steady state).
+    auto warm_periods_for = [&](std::uint64_t fp, std::uint64_t count) {
+        const std::uint64_t lines =
+            fp > machine.l2.sizeBytes
+                ? machine.l2.sizeBytes * 3 / 5 /
+                      machine.l1.lineBytes * 2
+                : fp / machine.l1.lineBytes;
+        return std::uint64_t{2} + (2 * lines + count - 1) / count;
+    };
+    const std::uint64_t warmup =
+        std::max(warm_periods_for(spec.footprintA, counts.countA),
+                 warm_periods_for(spec.footprintB, counts.countB));
+
+    std::uint64_t periods_seen = 0;
+    uarch::CacheStats l1_at_enable, l2_at_enable;
+    uarch::MainMemoryStats mem_at_enable;
+    cpu.setMarkCallback([&](std::int64_t id, std::uint64_t cycle,
+                            std::uint64_t) {
+        if (id == Marks::kPeriodStart) {
+            ++periods_seen;
+            if (periods_seen == warmup + 1) {
+                sink.enabled = true;
+                l1_at_enable = cpu.l1Stats();
+                l2_at_enable = cpu.l2Stats();
+                mem_at_enable = cpu.memStats();
+            }
+            if (periods_seen > warmup)
+                run.periodStarts.push_back(cycle);
+            if (periods_seen == warmup + measured + 1) {
+                sink.enabled = false;
+                return false; // stop the run
+            }
+        } else if (id == Marks::kHalfBoundary) {
+            if (periods_seen > warmup &&
+                periods_seen <= warmup + measured) {
+                run.halfMarks.push_back(cycle);
+            }
+        }
+        return true;
+    });
+
+    const auto res = cpu.run(kernel.program);
+    SAVAT_ASSERT(res.stoppedByMark,
+                 "alternation kernel ended unexpectedly");
+    SAVAT_ASSERT(run.periodStarts.size() == measured + 1 &&
+                     run.halfMarks.size() == measured,
+                 "mark bookkeeping mismatch");
+    // Memory-system statistics over the measured window only
+    // (cold-start warm-up excluded).
+    run.l1 = diffCache(cpu.l1Stats(), l1_at_enable);
+    run.l2 = diffCache(cpu.l2Stats(), l2_at_enable);
+    run.mem.reads = cpu.memStats().reads - mem_at_enable.reads;
+    run.mem.writes = cpu.memStats().writes - mem_at_enable.writes;
+    run.periodCycles = static_cast<double>(run.periodStarts.back() -
+                                           run.periodStarts.front()) /
+                       static_cast<double>(measured);
+    run.trace = std::move(sink.trace);
+    return run;
+}
+
+EffectiveCpis
+effectiveCpis(const SimulationRun &run,
+              const kernels::CountSolution &counts)
+{
+    const std::size_t measured = run.halfMarks.size();
+    double a_cyc = 0.0, b_cyc = 0.0;
+    for (std::size_t i = 0; i < measured; ++i) {
+        a_cyc += static_cast<double>(run.halfMarks[i] -
+                                     run.periodStarts[i]);
+        b_cyc += static_cast<double>(run.periodStarts[i + 1] -
+                                     run.halfMarks[i]);
+    }
+    EffectiveCpis eff;
+    eff.cpiA = a_cyc / static_cast<double>(measured * counts.countA);
+    eff.cpiB = b_cyc / static_cast<double>(measured * counts.countB);
+    return eff;
+}
+
+void
+channelExtract(const SimulationRun &run,
+               const em::EmissionProfile &profile,
+               std::size_t measuredPeriods, PairSimulation &sim)
+{
+    SAVAT_METRIC_TIMER("pipeline.channel_extract_seconds");
+    SAVAT_METRIC_COUNT("pipeline.channel_extracts");
+
+    const std::size_t measured = measuredPeriods;
+    const std::uint64_t begin = run.periodStarts.front();
+    const std::uint64_t end = run.periodStarts.back();
+
+    // Spectral extraction at the alternation frequency (normalized:
+    // one alternation cycle per period).
+    const double norm_freq = 1.0 / run.periodCycles;
+    for (std::size_t c = 0; c < em::kNumChannels; ++c) {
+        const auto ch = em::channelAt(c);
+        const auto weights = profile.channelWeights(ch);
+        const auto wave =
+            run.trace.weightedWaveform(weights, begin, end);
+        // Peak amplitude of the fundamental = 2 * |DFT coefficient|.
+        sim.amplitude[c] = 2.0 * dsp::singleBinDft(wave, norm_freq);
+
+        // Per-half mean activity (for the mismatch model).
+        double mean_a = 0.0, mean_b = 0.0, ta = 0.0, tb = 0.0;
+        for (std::size_t i = 0; i < measured; ++i) {
+            const double la = static_cast<double>(run.halfMarks[i] -
+                                                  run.periodStarts[i]);
+            const double lb = static_cast<double>(
+                run.periodStarts[i + 1] - run.halfMarks[i]);
+            mean_a += run.trace.weightedMeanRate(weights,
+                                                 run.periodStarts[i],
+                                                 run.halfMarks[i]) *
+                      la;
+            mean_b += run.trace.weightedMeanRate(
+                          weights, run.halfMarks[i],
+                          run.periodStarts[i + 1]) *
+                      lb;
+            ta += la;
+            tb += lb;
+        }
+        sim.meanA[c] = ta > 0.0 ? mean_a / ta : 0.0;
+        sim.meanB[c] = tb > 0.0 ? mean_b / tb : 0.0;
+    }
+}
+
+PairSimulation
+runAlternation(const uarch::MachineConfig &machine,
+               const em::EmissionProfile &profile,
+               const KernelSpec &spec, const MeasureConfig &config)
+{
+    PairSimulation sim;
+    sim.a = spec.labelA;
+    sim.b = spec.labelB;
+
+    // 1. BurstSolve from each half's standalone iteration time. The
+    // halves can interact once combined (e.g. an L2-sized sweep
+    // evicts the other half's L1-resident array), so the realized
+    // frequency is re-measured on the full kernel and the counts
+    // retuned until the tone lands on the intended frequency -- the
+    // same centering a bench engineer performs on the analyzer
+    // display.
+    sim.counts = burstSolve(machine, spec, config);
+
+    const double target_period =
+        machine.cyclesPerPeriod(config.alternation);
+    const std::size_t measured = config.measurePeriods;
+
+    // 2. KernelBuild + Simulate, retuning from the measured per-half
+    // durations until the realized period is centered.
+    SimulationRun run = simulate(machine, spec,
+                                 kernelBuild(spec, sim.counts),
+                                 sim.counts, measured);
+    for (int iter = 0; iter < 5; ++iter) {
+        const double error =
+            std::abs(run.periodCycles - target_period) / target_period;
+        if (error < 0.003)
+            break;
+        const auto eff = effectiveCpis(run, sim.counts);
+        const auto retuned =
+            kernels::solveCounts(machine, eff.cpiA, eff.cpiB,
+                                 config.alternation, config.pairing);
+        if (retuned.countA == sim.counts.countA &&
+            retuned.countB == sim.counts.countB) {
+            break;
+        }
+        SAVAT_METRIC_COUNT("pipeline.retunes");
+        sim.counts.countA = retuned.countA;
+        sim.counts.countB = retuned.countB;
+        sim.counts.cpiA = eff.cpiA;
+        sim.counts.cpiB = eff.cpiB;
+        run = simulate(machine, spec, kernelBuild(spec, sim.counts),
+                       sim.counts, measured);
+    }
+
+    const std::uint64_t begin = run.periodStarts.front();
+    const std::uint64_t end = run.periodStarts.back();
+    sim.periodCycles = run.periodCycles;
+    sim.actualFrequency =
+        Frequency(machine.clock.inHz() / sim.periodCycles);
+
+    // Duty cycle: fraction of each period spent in the A burst.
+    double a_cycles = 0.0;
+    for (std::size_t i = 0; i < measured; ++i) {
+        a_cycles += static_cast<double>(run.halfMarks[i] -
+                                        run.periodStarts[i]);
+    }
+    sim.duty = a_cycles / static_cast<double>(end - begin);
+
+    // 3. ChannelExtract.
+    channelExtract(run, profile, measured, sim);
+
+    // 4. Pair rate for normalization: realized frequency times the
+    // burst length (the larger burst when the two differ; equal to
+    // the paper's count * f for equal-count kernels).
+    sim.pairsPerSecond =
+        sim.actualFrequency.inHz() *
+        static_cast<double>(
+            std::max(sim.counts.countA, sim.counts.countB));
+
+    sim.l1 = run.l1;
+    sim.l2 = run.l2;
+    sim.mem = run.mem;
+    sim.measured = true;
+    return sim;
+}
+
+void
+sweep(const MeasureConfig &config, double noiseFloorWPerHz,
+      const em::NarrowbandSpectrum &incident, Rng &rng,
+      spectrum::Trace &out)
+{
+    SAVAT_METRIC_TIMER("pipeline.sweep_seconds");
+    spectrum::SweepConfig sweep_cfg;
+    sweep_cfg.center = config.alternation;
+    sweep_cfg.spanHz = 2.0 * config.spanHz;
+    sweep_cfg.rbwHz = config.rbwHz;
+    sweep_cfg.noiseFloorWPerHz = noiseFloorWPerHz;
+    spectrum::SpectrumAnalyzer analyzer(sweep_cfg);
+    analyzer.measureInto(incident, rng, out);
+}
+
+SavatSample
+bandIntegrate(const spectrum::Trace &trace, double centerHz,
+              double bandHz, double pairsPerSecond, double toneHz)
+{
+    SAVAT_METRIC_TIMER("pipeline.band_integrate_seconds");
+    SavatSample m;
+    m.bandPowerW =
+        trace.bandPower(centerHz - bandHz, centerHz + bandHz);
+    m.toneHz = toneHz;
+    m.savat = Energy(m.bandPowerW / pairsPerSecond);
+    return m;
+}
+
+} // namespace savat::pipeline

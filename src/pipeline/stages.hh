@@ -1,0 +1,209 @@
+/**
+ * @file
+ * The measurement pipeline, decomposed into named stages.
+ *
+ * The paper's methodology is a fixed sequence of steps; this header
+ * names each one so they are individually testable and so signal
+ * chains (see pipeline/chain.hh) can recombine the back half:
+ *
+ *   BurstSolve     solve burst lengths for the intended frequency
+ *   KernelBuild    generate + assemble the A/B alternation kernel
+ *   Simulate       run it on the simulated machine, capture activity
+ *   ChannelExtract per-channel amplitude at the alternation tone
+ *   --- everything below is owned by a SignalChain ---
+ *   Synthesize     received spectrum at the front end (EM / power)
+ *   Sweep          spectrum-analyzer RBW sweep of the window
+ *   BandIntegrate  band power / pairs-per-second = the SAVAT value
+ *
+ * runAlternation() drives BurstSolve..ChannelExtract including the
+ * retune loop (re-measure the realized frequency on the combined
+ * kernel and re-solve the counts until the tone is centered).
+ */
+
+#ifndef SAVAT_PIPELINE_STAGES_HH
+#define SAVAT_PIPELINE_STAGES_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "em/emission.hh"
+#include "em/synth.hh"
+#include "kernels/generator.hh"
+#include "pipeline/config.hh"
+#include "spectrum/analyzer.hh"
+#include "support/rng.hh"
+#include "support/units.hh"
+#include "uarch/cpu.hh"
+
+namespace savat::pipeline {
+
+/** Deterministic per-pair simulation products (environment-free). */
+struct PairSimulation
+{
+    kernels::EventKind a = kernels::EventKind::NOI;
+    kernels::EventKind b = kernels::EventKind::NOI;
+
+    /**
+     * True once the pipeline has filled this record. Campaigns size
+     * their simulation table for the full matrix, so cells of pairs
+     * that were never requested stay unmeasured — reading one is a
+     * bug, caught by CampaignResult::simulation().
+     */
+    bool measured = false;
+
+    kernels::CountSolution counts;
+
+    /** Realized alternation frequency of the generated kernel. */
+    Frequency actualFrequency;
+
+    /** Fraction of the period spent in the A burst. */
+    double duty = 0.5;
+
+    /** Average period length in cycles. */
+    double periodCycles = 0.0;
+
+    /**
+     * A/B pairs per second: the intended alternation frequency times
+     * the burst length (the larger one when the two bursts differ).
+     * SAVAT divides measured band power by this rate.
+     */
+    double pairsPerSecond = 0.0;
+
+    /** Per-channel complex amplitude at the alternation frequency. */
+    em::ChannelAmplitudes amplitude{};
+
+    /** Per-channel mean activity of each half (au/cycle). */
+    std::array<double, em::kNumChannels> meanA{};
+    std::array<double, em::kNumChannels> meanB{};
+
+    /** Memory-system statistics over the measured window. */
+    uarch::CacheStats l1;
+    uarch::CacheStats l2;
+    uarch::MainMemoryStats mem;
+};
+
+/** One measurement repetition's outputs. */
+struct Measurement
+{
+    Energy savat;              //!< the SAVAT value
+    double bandPowerW = 0.0;   //!< integrated band power
+    double toneHz = 0.0;       //!< realized tone frequency
+    spectrum::Trace trace;     //!< the analyzer display
+};
+
+/** The aggregate outputs of one repetition (no trace retained). */
+struct SavatSample
+{
+    Energy savat;
+    double bandPowerW = 0.0;
+    double toneHz = 0.0;
+};
+
+/** Everything the front half of the pipeline needs about a kernel. */
+struct KernelSpec
+{
+    std::function<kernels::AlternationKernel(std::uint64_t countA,
+                                             std::uint64_t countB)>
+        build;
+    double cpiA = 0.0;
+    double cpiB = 0.0;
+    std::uint64_t footprintA = 0;
+    std::uint64_t footprintB = 0;
+    bool prefillA = false; //!< half A loads data
+    bool prefillB = false;
+    kernels::EventKind labelA = kernels::EventKind::NOI;
+    kernels::EventKind labelB = kernels::EventKind::NOI;
+};
+
+/** Raw products of one Simulate run. */
+struct SimulationRun
+{
+    uarch::ActivityTrace trace;               //!< measured window only
+    std::vector<std::uint64_t> periodStarts;  //!< measured + 1 marks
+    std::vector<std::uint64_t> halfMarks;     //!< measured marks
+    double periodCycles = 0.0;  //!< realized mean period
+
+    /** Memory-system statistics over the measured window. */
+    uarch::CacheStats l1;
+    uarch::CacheStats l2;
+    uarch::MainMemoryStats mem;
+};
+
+/**
+ * BurstSolve: initial burst lengths from each half's standalone
+ * iteration time (Section III).
+ */
+kernels::CountSolution burstSolve(const uarch::MachineConfig &machine,
+                                  const KernelSpec &spec,
+                                  const MeasureConfig &config);
+
+/** KernelBuild: generate + assemble with the given burst lengths. */
+kernels::AlternationKernel
+kernelBuild(const KernelSpec &spec,
+            const kernels::CountSolution &counts);
+
+/**
+ * Simulate: run the kernel, capturing the activity trace and the
+ * period/half marks over `measuredPeriods` periods after a cache
+ * warm-up sized to the halves' footprints.
+ */
+SimulationRun simulate(const uarch::MachineConfig &machine,
+                       const KernelSpec &spec,
+                       const kernels::AlternationKernel &kernel,
+                       const kernels::CountSolution &counts,
+                       std::size_t measuredPeriods);
+
+/**
+ * Effective per-half cycles/iteration measured on the combined
+ * kernel (the halves can interact once combined), used to retune the
+ * burst counts.
+ */
+struct EffectiveCpis
+{
+    double cpiA = 0.0;
+    double cpiB = 0.0;
+};
+EffectiveCpis effectiveCpis(const SimulationRun &run,
+                            const kernels::CountSolution &counts);
+
+/**
+ * ChannelExtract: each emission channel's complex amplitude at the
+ * alternation frequency plus its per-half mean activity (for the
+ * mismatch model). Fills sim.amplitude / sim.meanA / sim.meanB.
+ */
+void channelExtract(const SimulationRun &run,
+                    const em::EmissionProfile &profile,
+                    std::size_t measuredPeriods, PairSimulation &sim);
+
+/**
+ * The deterministic front half of the pipeline:
+ * BurstSolve -> (KernelBuild -> Simulate -> retune)* ->
+ * ChannelExtract, exactly the bench procedure of Section IV.
+ */
+PairSimulation runAlternation(const uarch::MachineConfig &machine,
+                              const em::EmissionProfile &profile,
+                              const KernelSpec &spec,
+                              const MeasureConfig &config);
+
+/**
+ * Sweep: spectrum-analyzer RBW sweep of the synthesized window with
+ * the given front-end noise floor, written into the caller-owned
+ * scratch trace.
+ */
+void sweep(const MeasureConfig &config, double noiseFloorWPerHz,
+           const em::NarrowbandSpectrum &incident, Rng &rng,
+           spectrum::Trace &out);
+
+/**
+ * BandIntegrate: integrate the +/- bandHz band around centerHz and
+ * normalize by the pair rate — the SAVAT value (step 5).
+ */
+SavatSample bandIntegrate(const spectrum::Trace &trace,
+                          double centerHz, double bandHz,
+                          double pairsPerSecond, double toneHz);
+
+} // namespace savat::pipeline
+
+#endif // SAVAT_PIPELINE_STAGES_HH

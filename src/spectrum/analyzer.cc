@@ -76,7 +76,17 @@ void
 SpectrumAnalyzer::measureInto(const em::NarrowbandSpectrum &incident,
                               Rng &rng, Trace &out) const
 {
-    out.binHz = incident.binHz;
+    sweepInto(incident.startHz, incident.binHz, incident.psd.data(),
+              incident.size(), rng, out);
+}
+
+void
+SpectrumAnalyzer::sweepInto(double startHz, double binHz,
+                            const double *psd, std::size_t bins,
+                            Rng &rng, Trace &out) const
+{
+    SAVAT_ASSERT(binHz > 0.0, "non-positive incident bin width");
+    out.binHz = binHz;
     out.startHz = _config.center.inHz() - _config.spanHz / 2.0;
     const std::size_t nbins = static_cast<std::size_t>(
         std::lround(_config.spanHz / out.binHz)) + 1;
@@ -85,40 +95,45 @@ SpectrumAnalyzer::measureInto(const em::NarrowbandSpectrum &incident,
     SAVAT_METRIC_COUNT("spectrum.sweeps");
     SAVAT_METRIC_ADD("spectrum.bins_swept", nbins);
 
+    const double end_hz =
+        bins == 0 ? startHz
+                  : startHz + static_cast<double>(bins - 1) * binHz;
+
     // Gaussian RBW filter: each displayed bin integrates the
     // incident PSD weighted by the RBW shape centered on the bin.
     // sigma chosen so the -3 dB width equals the RBW.
     const double sigma = _config.rbwHz / 2.3548;
     const int reach = std::max(
-        1, static_cast<int>(std::ceil(3.0 * sigma / incident.binHz)));
+        1, static_cast<int>(std::ceil(3.0 * sigma / binHz)));
 
     for (std::size_t i = 0; i < nbins; ++i) {
         const double f = out.frequency(i);
-        if (incident.size() > 0 && f >= incident.startHz - 1.0 &&
-            f <= incident.endHz() + 1.0) {
+        if (bins > 0 && f >= startHz - 1.0 && f <= end_hz + 1.0) {
+            const double idx = (f - startHz) / binHz;
+            const double clamped = std::clamp(
+                idx, 0.0, static_cast<double>(bins - 1));
             const std::ptrdiff_t center =
-                static_cast<std::ptrdiff_t>(incident.binFor(f));
+                static_cast<std::ptrdiff_t>(std::lround(clamped));
             double acc = 0.0;
             double wsum = 0.0;
             for (int k = -reach; k <= reach; ++k) {
                 const std::ptrdiff_t j = center + k;
                 if (j < 0 ||
-                    j >= static_cast<std::ptrdiff_t>(incident.size())) {
+                    j >= static_cast<std::ptrdiff_t>(bins)) {
                     continue;
                 }
-                const double df = incident.frequency(
-                                      static_cast<std::size_t>(j)) -
-                                  f;
+                const double df =
+                    startHz + static_cast<double>(j) * binHz - f;
                 const double w =
                     std::exp(-0.5 * (df / sigma) * (df / sigma));
-                acc += w * incident.psd[static_cast<std::size_t>(j)];
+                acc += w * psd[static_cast<std::size_t>(j)];
                 wsum += w;
             }
             if (wsum > 0.0)
                 out.psd[i] = acc / wsum *
-                    (_config.rbwHz >= incident.binHz
+                    (_config.rbwHz >= binHz
                          ? 1.0
-                         : _config.rbwHz / incident.binHz);
+                         : _config.rbwHz / binHz);
         }
         // Instrument noise: exponentially distributed around the
         // configured displayed-average-noise-level.

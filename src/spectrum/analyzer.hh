@@ -78,6 +78,20 @@ class SpectrumAnalyzer
     void measureInto(const em::NarrowbandSpectrum &incident, Rng &rng,
                      Trace &out) const;
 
+    /**
+     * Chain-agnostic sweep entry point: identical to measureInto()
+     * but over a raw PSD array, so signal chains that do not build a
+     * NarrowbandSpectrum (e.g. replayed captures) can drive the same
+     * RBW filter and instrument-floor model.
+     *
+     * @param startHz Frequency of incident bin 0.
+     * @param binHz   Incident bin width (> 0).
+     * @param psd     Incident PSD [W/Hz], one value per bin.
+     * @param bins    Number of incident bins.
+     */
+    void sweepInto(double startHz, double binHz, const double *psd,
+                   std::size_t bins, Rng &rng, Trace &out) const;
+
     const SweepConfig &config() const { return _config; }
 
   private:

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Hash helpers for the unordered containers on the hot paths.
+ */
+
+#ifndef SAVAT_SUPPORT_HASH_HH
+#define SAVAT_SUPPORT_HASH_HH
+
+#include <cstddef>
+#include <functional>
+#include <type_traits>
+#include <utility>
+
+namespace savat::support {
+
+/** Boost-style combiner: mixes v into seed. */
+inline std::size_t
+hashCombine(std::size_t seed, std::size_t v)
+{
+    return seed ^ (v + 0x9E3779B97F4A7C15ull + (seed << 6) +
+                   (seed >> 2));
+}
+
+/**
+ * Hash for std::pair keys (the standard library provides none), so
+ * pair-keyed caches can use std::unordered_map instead of the
+ * log-time std::map. Enums hash through their underlying integer.
+ */
+struct PairHash
+{
+    template <class A, class B>
+    std::size_t
+    operator()(const std::pair<A, B> &p) const
+    {
+        return hashCombine(hashOne(p.first), hashOne(p.second));
+    }
+
+  private:
+    template <class T>
+    static std::size_t
+    hashOne(const T &v)
+    {
+        if constexpr (std::is_enum_v<T>) {
+            using U = std::underlying_type_t<T>;
+            return std::hash<U>()(static_cast<U>(v));
+        } else {
+            return std::hash<T>()(v);
+        }
+    }
+};
+
+} // namespace savat::support
+
+#endif // SAVAT_SUPPORT_HASH_HH

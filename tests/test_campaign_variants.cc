@@ -101,7 +101,7 @@ TEST(CampaignVariants, EqualCountsPolicy)
 TEST(CampaignVariants, PowerSideChannelCampaign)
 {
     auto cfg = base("core2duo");
-    cfg.meter.sideChannel = SideChannel::Power;
+    cfg.meter.channel = SideChannel::Power;
     const auto res = runCampaign(cfg);
     // The rail hands over more raw energy than the 10 cm antenna.
     auto em_cfg = base("core2duo");

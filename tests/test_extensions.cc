@@ -313,7 +313,7 @@ TEST(PowerChannel, CoherentSummation)
 TEST(PowerChannel, MeterMeasuresPowerSideChannel)
 {
     core::MeterConfig cfg;
-    cfg.sideChannel = core::SideChannel::Power;
+    cfg.channel = core::SideChannel::Power;
     auto meter = core::SavatMeter::forMachine("core2duo", cfg);
     auto mean = [&meter](EventKind a, EventKind b) {
         const auto &sim = meter.simulatePair(a, b);
@@ -336,7 +336,7 @@ TEST(PowerChannel, PowerBeatsEmInRawSignal)
     // 10 cm antenna (which is why the paper calls power attacks
     // easy to mount but easy to detect).
     core::MeterConfig power_cfg;
-    power_cfg.sideChannel = core::SideChannel::Power;
+    power_cfg.channel = core::SideChannel::Power;
     auto power = core::SavatMeter::forMachine("core2duo", power_cfg);
     auto em_meter = core::SavatMeter::forMachine("core2duo");
 
@@ -366,7 +366,7 @@ TEST(PowerChannel, RailSeesCurrentNotFields)
     //      by the stalled core, even though their EM field is one of
     //      the loudest signals at the antenna.
     core::MeterConfig power_cfg;
-    power_cfg.sideChannel = core::SideChannel::Power;
+    power_cfg.channel = core::SideChannel::Power;
     auto power = core::SavatMeter::forMachine("core2duo", power_cfg);
     auto em_meter = core::SavatMeter::forMachine("core2duo");
     auto mean = [](core::SavatMeter &m, EventKind a, EventKind b) {

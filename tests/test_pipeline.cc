@@ -1,0 +1,346 @@
+/**
+ * @file
+ * Tests for the staged measurement pipeline and its signal chains:
+ * stage units, the EM chain's golden-matrix bit-identity, the power
+ * chain's jobs-independence and the record/replay round trip.
+ */
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/campaign.hh"
+#include "core/meter.hh"
+#include "core/report.hh"
+#include "pipeline/chain.hh"
+#include "pipeline/config.hh"
+#include "pipeline/replay.hh"
+#include "pipeline/stages.hh"
+#include "spectrum/analyzer.hh"
+#include "support/obs.hh"
+
+namespace savat {
+namespace {
+
+using kernels::EventKind;
+
+TEST(ChannelNames, RoundTrip)
+{
+    EXPECT_STREQ(pipeline::channelName(pipeline::ChannelKind::Em),
+                 "em");
+    EXPECT_STREQ(pipeline::channelName(pipeline::ChannelKind::Power),
+                 "power");
+    EXPECT_EQ(pipeline::channelByName("em"),
+              pipeline::ChannelKind::Em);
+    EXPECT_EQ(pipeline::channelByName("power"),
+              pipeline::ChannelKind::Power);
+    EXPECT_FALSE(pipeline::channelByName("acoustic").has_value());
+    EXPECT_FALSE(pipeline::channelByName("").has_value());
+}
+
+TEST(MeasureConfig, ToAnalysisSettingsSlicesSharedBase)
+{
+    pipeline::MeasureConfig cfg;
+    cfg.alternation = Frequency::khz(120.0);
+    cfg.distance = Distance::centimeters(30.0);
+    cfg.measurePeriods = 12;
+    cfg.bandHz = 1500.0;
+    cfg.spanHz = 3000.0;
+    cfg.rbwHz = 2.0;
+
+    const em::LoopAntenna antenna(2.0, Frequency::khz(20.0),
+                                  Frequency::mhz(100.0));
+    const auto s = pipeline::toAnalysisSettings(cfg, antenna);
+
+    // Every shared field mirrors the pipeline configuration -- the
+    // two layers share one struct, so they cannot drift.
+    EXPECT_DOUBLE_EQ(s.alternation.inHz(), cfg.alternation.inHz());
+    EXPECT_DOUBLE_EQ(s.distance.inMeters(), cfg.distance.inMeters());
+    EXPECT_EQ(s.pairing, cfg.pairing);
+    EXPECT_EQ(s.measurePeriods, cfg.measurePeriods);
+    EXPECT_DOUBLE_EQ(s.bandHz, cfg.bandHz);
+    EXPECT_DOUBLE_EQ(s.spanHz, cfg.spanHz);
+    EXPECT_DOUBLE_EQ(s.rbwHz, cfg.rbwHz);
+
+    // Capture-front-end facts come from the channel selection and
+    // the antenna.
+    EXPECT_FALSE(s.powerRail);
+    EXPECT_DOUBLE_EQ(s.antennaCorner.inHz(),
+                     antenna.corner().inHz());
+    EXPECT_DOUBLE_EQ(s.antennaMax.inHz(),
+                     antenna.maxFrequency().inHz());
+
+    cfg.channel = pipeline::ChannelKind::Power;
+    EXPECT_TRUE(pipeline::toAnalysisSettings(cfg, antenna).powerRail);
+}
+
+TEST(Stages, BurstSolveMatchesSolveCounts)
+{
+    const auto meter = core::SavatMeter::forMachine("core2duo");
+    pipeline::KernelSpec spec;
+    spec.cpiA = 1.5;
+    spec.cpiB = 9.0;
+    const auto counts =
+        pipeline::burstSolve(meter.machine(), spec, meter.config());
+    const auto expected = kernels::solveCounts(
+        meter.machine(), spec.cpiA, spec.cpiB,
+        meter.config().alternation, meter.config().pairing);
+    EXPECT_EQ(counts.countA, expected.countA);
+    EXPECT_EQ(counts.countB, expected.countB);
+    EXPECT_DOUBLE_EQ(counts.cpiA, expected.cpiA);
+    EXPECT_DOUBLE_EQ(counts.cpiB, expected.cpiB);
+}
+
+TEST(Stages, RunAlternationProducesMeasuredSimulation)
+{
+    auto meter = core::SavatMeter::forMachine("core2duo");
+    const auto &sim =
+        meter.simulatePair(EventKind::ADD, EventKind::LDM);
+    EXPECT_TRUE(sim.measured);
+    EXPECT_EQ(sim.a, EventKind::ADD);
+    EXPECT_EQ(sim.b, EventKind::LDM);
+    EXPECT_NEAR(sim.actualFrequency.inKhz(), 80.0, 0.4);
+    EXPECT_GT(sim.pairsPerSecond, 0.0);
+    EXPECT_GT(sim.periodCycles, 0.0);
+}
+
+TEST(Stages, BandIntegrateNormalizesByPairRate)
+{
+    spectrum::Trace t;
+    t.startHz = 79000.0;
+    t.binHz = 1.0;
+    t.psd.assign(2001, 1e-18);
+    t.psd[1000] = 1e-12; // the tone bin, at 80 kHz
+
+    const double pps = 2.5e6;
+    const auto s =
+        pipeline::bandIntegrate(t, 80000.0, 1000.0, pps, 80000.0);
+    EXPECT_DOUBLE_EQ(s.toneHz, 80000.0);
+    EXPECT_DOUBLE_EQ(s.bandPowerW,
+                     t.bandPower(79000.0, 81000.0));
+    EXPECT_DOUBLE_EQ(s.savat.inJoules(), s.bandPowerW / pps);
+}
+
+TEST(Sweep, SweepIntoMatchesMeasureInto)
+{
+    spectrum::SweepConfig cfg;
+    cfg.center = Frequency::khz(80.0);
+    cfg.spanHz = 4000.0;
+    cfg.rbwHz = 1.0;
+    cfg.noiseFloorWPerHz = 5e-18;
+    const spectrum::SpectrumAnalyzer analyzer(cfg);
+
+    em::NarrowbandSpectrum incident;
+    incident.startHz = 78000.0;
+    incident.binHz = 1.0;
+    incident.psd.assign(4001, 1e-16);
+    incident.psd[2000] = 3e-13;
+
+    Rng r1(7), r2(7);
+    spectrum::Trace via_spectrum, via_raw;
+    analyzer.measureInto(incident, r1, via_spectrum);
+    analyzer.sweepInto(incident.startHz, incident.binHz,
+                       incident.psd.data(), incident.size(), r2,
+                       via_raw);
+
+    // The chain-agnostic raw-array entry point is the same sweep.
+    ASSERT_EQ(via_raw.size(), via_spectrum.size());
+    EXPECT_DOUBLE_EQ(via_raw.startHz, via_spectrum.startHz);
+    EXPECT_DOUBLE_EQ(via_raw.binHz, via_spectrum.binHz);
+    for (std::size_t i = 0; i < via_raw.size(); ++i)
+        ASSERT_EQ(via_raw.psd[i], via_spectrum.psd[i]) << "bin " << i;
+}
+
+TEST(MeterCounters, PairCacheHitsAreCounted)
+{
+    auto meter = core::SavatMeter::forMachine("core2duo");
+    obs::Registry::instance().reset();
+    obs::setMetricsEnabled(true);
+    meter.simulatePair(EventKind::ADD, EventKind::SUB);
+    meter.simulatePair(EventKind::ADD, EventKind::SUB);
+    meter.simulatePair(EventKind::ADD, EventKind::SUB);
+    obs::setMetricsEnabled(false);
+
+    auto &reg = obs::Registry::instance();
+    EXPECT_EQ(reg.counter("meter.pair_simulations").value(), 1u);
+    EXPECT_EQ(reg.counter("meter.pair_cache_hits").value(), 2u);
+    reg.reset();
+}
+
+/** The configured chain drives the meter's measurements. */
+TEST(PowerChain, SelectedByConfigAndDiffersFromEm)
+{
+    core::MeterConfig power_cfg;
+    power_cfg.channel = pipeline::ChannelKind::Power;
+    auto power_meter =
+        core::SavatMeter::forMachine("core2duo", power_cfg);
+    auto em_meter = core::SavatMeter::forMachine("core2duo");
+    EXPECT_STREQ(power_meter.chain().name(), "power");
+    EXPECT_STREQ(em_meter.chain().name(), "em");
+
+    const auto &power_sim =
+        power_meter.simulatePair(EventKind::ADD, EventKind::LDM);
+    const auto &em_sim =
+        em_meter.simulatePair(EventKind::ADD, EventKind::LDM);
+
+    Rng r1(21), r2(21);
+    const auto pm = power_meter.measure(power_sim, r1);
+    const auto em = em_meter.measure(em_sim, r2);
+    EXPECT_GT(pm.savat.inZepto(), 0.0);
+    EXPECT_GT(em.savat.inZepto(), 0.0);
+    // Same physics in, different front ends out.
+    EXPECT_NE(pm.savat.inZepto(), em.savat.inZepto());
+}
+
+TEST(PowerChain, CampaignBitIdenticalAcrossJobs)
+{
+    core::CampaignConfig cfg;
+    cfg.events = {EventKind::ADD, EventKind::LDM, EventKind::DIV};
+    cfg.repetitions = 2;
+    cfg.meter.channel = pipeline::ChannelKind::Power;
+
+    cfg.jobs = 1;
+    const auto serial = core::runCampaign(cfg);
+    cfg.jobs = 4;
+    const auto parallel = core::runCampaign(cfg);
+
+    ASSERT_EQ(serial.matrix.size(), parallel.matrix.size());
+    for (std::size_t a = 0; a < serial.matrix.size(); ++a) {
+        for (std::size_t b = 0; b < serial.matrix.size(); ++b) {
+            const auto &s = serial.matrix.samples(a, b);
+            const auto &p = parallel.matrix.samples(a, b);
+            ASSERT_EQ(s.size(), p.size());
+            for (std::size_t i = 0; i < s.size(); ++i) {
+                ASSERT_EQ(s[i], p[i])
+                    << "cell (" << a << ", " << b << ") rep " << i;
+                EXPECT_GT(s[i], 0.0);
+            }
+        }
+    }
+}
+
+TEST(Replay, RecordReplayRoundTrip)
+{
+    core::CampaignConfig cfg;
+    cfg.events = {EventKind::ADD, EventKind::LDM};
+    cfg.repetitions = 2;
+    cfg.jobs = 1;
+    cfg.keepTraces = true;
+    const auto live = core::runCampaign(cfg);
+
+    // Record, serialize, parse back: hexfloats make the round trip
+    // byte-exact.
+    const auto recording = core::recordCampaign(live);
+    EXPECT_EQ(recording.channel, "em");
+    EXPECT_EQ(recording.cells.size(), 4u);
+
+    std::stringstream ss;
+    pipeline::saveRecording(ss, recording);
+    const auto parsed = pipeline::loadRecording(ss);
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    EXPECT_EQ(parsed.recording.machineId, recording.machineId);
+    EXPECT_EQ(parsed.recording.events, recording.events);
+
+    // Replaying reproduces the live matrix bit for bit.
+    const auto replayed = core::replayMatrix(parsed.recording);
+    ASSERT_EQ(replayed.size(), live.matrix.size());
+    for (std::size_t a = 0; a < live.matrix.size(); ++a) {
+        for (std::size_t b = 0; b < live.matrix.size(); ++b) {
+            const auto &l = live.matrix.samples(a, b);
+            const auto &r = replayed.samples(a, b);
+            ASSERT_EQ(l.size(), r.size());
+            for (std::size_t i = 0; i < l.size(); ++i) {
+                ASSERT_EQ(l[i], r[i])
+                    << "cell (" << a << ", " << b << ") rep " << i;
+            }
+        }
+    }
+}
+
+TEST(ReplayDeathTest, UnrecordedPairIsFatal)
+{
+    core::CampaignConfig cfg;
+    cfg.events = {EventKind::ADD, EventKind::SUB};
+    cfg.repetitions = 1;
+    cfg.jobs = 1;
+    cfg.keepTraces = true;
+    const auto live = core::runCampaign(cfg);
+    const pipeline::ReplayChain chain(core::recordCampaign(live));
+
+    pipeline::PairSimulation sim;
+    sim.a = EventKind::DIV; // never recorded
+    sim.b = EventKind::ADD;
+    sim.measured = true;
+    Rng rng(1);
+    spectrum::Trace scratch;
+    EXPECT_EXIT(chain.measure(sim, 0, rng, scratch),
+                ::testing::KilledBySignal(SIGABRT),
+                "was not recorded");
+}
+
+TEST(CampaignDeathTest, UnmeasuredSimulationIsFatal)
+{
+    core::CampaignConfig cfg;
+    cfg.events = {EventKind::ADD, EventKind::SUB, EventKind::LDM};
+    cfg.repetitions = 1;
+    cfg.jobs = 1;
+    const auto res = core::runCampaignPairs(
+        cfg, {{EventKind::ADD, EventKind::LDM}});
+
+    // The requested pair's slot is filled...
+    EXPECT_TRUE(res.simulation(0, 2).measured);
+    // ...reading a skipped cell is a bug, caught loudly.
+    EXPECT_EXIT(res.simulation(0, 1),
+                ::testing::KilledBySignal(SIGABRT), "never measured");
+}
+
+/**
+ * The headline invariant of the pipeline refactor: the EM chain
+ * produces a SavatMatrix byte-identical to the pre-refactor
+ * measurement path, for every jobs value. The fixture was generated
+ * before the pipeline split and is never regenerated.
+ */
+class GoldenMatrix : public ::testing::Test
+{
+  protected:
+    static std::string
+    golden()
+    {
+        std::ifstream in(SAVAT_SOURCE_DIR
+                         "/tests/data/golden_em_core2duo.fixture",
+                         std::ios::binary);
+        EXPECT_TRUE(in.good());
+        std::ostringstream oss;
+        oss << in.rdbuf();
+        return oss.str();
+    }
+
+    static std::string
+    fixtureFor(std::size_t jobs)
+    {
+        core::CampaignConfig cfg;
+        cfg.repetitions = 2;
+        cfg.jobs = jobs;
+        const auto res = core::runCampaign(cfg);
+        std::ostringstream oss;
+        core::printMatrixFixture(oss, res.matrix);
+        return oss.str();
+    }
+};
+
+TEST_F(GoldenMatrix, EmChainBitIdenticalSerial)
+{
+    EXPECT_EQ(fixtureFor(1), golden());
+}
+
+TEST_F(GoldenMatrix, EmChainBitIdenticalParallel)
+{
+    EXPECT_EQ(fixtureFor(4), golden());
+}
+
+} // namespace
+} // namespace savat
