@@ -22,6 +22,25 @@
  *                                            analyzer trace for later
  *                                            `savat_cli replay`)
  *   --csv <path>                            (campaign/replay only)
+ *   --fixture <path>                        (campaign only: write the
+ *                                            matrix in the golden
+ *                                            fixture format)
+ *   --checkpoint <path>                     (campaign only: write a
+ *                                            resumable checkpoint as
+ *                                            cells complete)
+ *   --checkpoint-every <n>                  (cells between periodic
+ *                                            checkpoint writes;
+ *                                            default 10)
+ *   --resume <path>                         (campaign only: restore
+ *                                            finished cells from a
+ *                                            checkpoint, then keep
+ *                                            checkpointing to it
+ *                                            unless --checkpoint
+ *                                            names another file)
+ *   --fault-plan <plan>                     (campaign only: inject
+ *                                            deterministic faults,
+ *                                            e.g. nan@every:5 —
+ *                                            also SAVAT_FAULT_PLAN)
  *   --jobs <n>                              (campaign/svf worker
  *                                            threads; default: all
  *                                            hardware threads; results
@@ -42,6 +61,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -51,6 +71,7 @@
 #include "core/detection.hh"
 #include "core/report.hh"
 #include "core/svf.hh"
+#include "support/io.hh"
 #include "support/obs.hh"
 #include "support/progress.hh"
 #include "support/stats.hh"
@@ -71,6 +92,11 @@ struct Options
     double uses = 100.0;
     std::string record;
     std::string csv;
+    std::string fixture;
+    std::string checkpoint;
+    std::string resume;
+    std::string faultPlan;
+    int checkpointEvery = 10;
     std::string metrics;
     std::string trace;
     std::vector<std::string> positional;
@@ -86,7 +112,11 @@ usage()
         "options: --machine M --distance CM --freq KHZ --reps N "
         "--jobs N --channel em|power --uses N\n"
         "         --record PATH (campaign: save traces for replay) "
-        "--csv PATH\n"
+        "--csv PATH --fixture PATH\n"
+        "         --checkpoint PATH --checkpoint-every N "
+        "--resume PATH  (campaign crash recovery)\n"
+        "         --fault-plan PLAN  (campaign fault injection, e.g. "
+        "nan@every:5; also SAVAT_FAULT_PLAN)\n"
         "         --metrics PATH|- --trace PATH  (telemetry export; "
         "also SAVAT_METRICS / SAVAT_TRACE)\n");
     std::exit(2);
@@ -122,6 +152,16 @@ parseArgs(int argc, char **argv)
             opt.csv = value();
         else if (arg == "--record")
             opt.record = value();
+        else if (arg == "--fixture")
+            opt.fixture = value();
+        else if (arg == "--checkpoint")
+            opt.checkpoint = value();
+        else if (arg == "--checkpoint-every")
+            opt.checkpointEvery = std::atoi(value().c_str());
+        else if (arg == "--resume")
+            opt.resume = value();
+        else if (arg == "--fault-plan")
+            opt.faultPlan = value();
         else if (arg == "--metrics")
             opt.metrics = value();
         else if (arg == "--trace")
@@ -222,6 +262,23 @@ cmdSpectrum(const Options &opt)
     return 0;
 }
 
+/** Render through `print` into a string, then write atomically. */
+template <typename PrintFn>
+bool
+writeReport(const std::string &path, const char *what, PrintFn print)
+{
+    std::ostringstream body;
+    print(body);
+    std::string error;
+    if (!support::writeFileAtomically(path, body.str(), &error)) {
+        std::fprintf(stderr, "cannot write %s: %s\n", path.c_str(),
+                     error.c_str());
+        return false;
+    }
+    std::printf("%s written to %s\n", what, path.c_str());
+    return true;
+}
+
 int
 cmdCampaign(const Options &opt)
 {
@@ -231,6 +288,15 @@ cmdCampaign(const Options &opt)
     cfg.jobs = static_cast<std::size_t>(std::max(0, opt.jobs));
     cfg.meter = meterConfig(opt);
     cfg.keepTraces = !opt.record.empty();
+    cfg.checkpointPath = opt.checkpoint;
+    cfg.resumePath = opt.resume;
+    // Resuming keeps checkpointing to the same file unless
+    // --checkpoint picked a different one.
+    if (cfg.checkpointPath.empty())
+        cfg.checkpointPath = opt.resume;
+    cfg.checkpointEvery =
+        static_cast<std::size_t>(std::max(1, opt.checkpointEvery));
+    cfg.faultPlan = opt.faultPlan;
     for (const auto &name : opt.positional)
         cfg.events.push_back(kernels::eventByName(name));
     obs::ProgressMeter meter("campaign");
@@ -244,22 +310,33 @@ cmdCampaign(const Options &opt)
               << core::describeClusters(
                      core::clusterEvents(res.matrix, k))
               << "\n";
+    if (res.restoredCells() > 0 || res.retriedCells() > 0 ||
+        res.degradedCells() > 0)
+        std::printf("resilience: %zu restored, %zu retried, "
+                    "%zu degraded of %zu pairs\n",
+                    res.restoredCells(), res.retriedCells(),
+                    res.degradedCells(), res.pairs.size());
     if (!opt.record.empty()) {
-        std::ofstream out(opt.record);
-        if (!out) {
-            std::fprintf(stderr, "cannot write %s\n",
-                         opt.record.c_str());
+        std::string error;
+        if (!pipeline::saveRecordingFile(
+                opt.record, core::recordCampaign(res), &error)) {
+            std::fprintf(stderr, "cannot write %s: %s\n",
+                         opt.record.c_str(), error.c_str());
             return 1;
         }
-        pipeline::saveRecording(out, core::recordCampaign(res));
         std::printf("recording written to %s\n", opt.record.c_str());
     }
-    if (!opt.csv.empty()) {
-        std::ofstream out(opt.csv);
-        core::printMatrixCsv(out, res.matrix);
-        std::printf("CSV written to %s\n", opt.csv.c_str());
-    }
-    return 0;
+    if (!opt.csv.empty() &&
+        !writeReport(opt.csv, "CSV", [&](std::ostream &os) {
+            core::printMatrixCsv(os, res.matrix);
+        }))
+        return 1;
+    if (!opt.fixture.empty() &&
+        !writeReport(opt.fixture, "fixture", [&](std::ostream &os) {
+            core::printMatrixFixture(os, res.matrix);
+        }))
+        return 1;
+    return res.degradedCells() > 0 ? 3 : 0;
 }
 
 int
@@ -280,11 +357,11 @@ cmdReplay(const Options &opt)
                 rec.alternationHz / 1000.0, rec.cells.size());
     const auto matrix = core::replayMatrix(rec);
     core::printMatrixTable(std::cout, matrix);
-    if (!opt.csv.empty()) {
-        std::ofstream out(opt.csv);
-        core::printMatrixCsv(out, matrix);
-        std::printf("CSV written to %s\n", opt.csv.c_str());
-    }
+    if (!opt.csv.empty() &&
+        !writeReport(opt.csv, "CSV", [&](std::ostream &os) {
+            core::printMatrixCsv(os, matrix);
+        }))
+        return 1;
     return 0;
 }
 

@@ -22,6 +22,8 @@
 
 #include "analysis/checker.hh"
 #include "analysis/spec.hh"
+#include "resilience/fault.hh"
+#include "resilience/retry.hh"
 
 using namespace savat;
 
@@ -34,6 +36,50 @@ usage()
                  "usage: savat_lint [--werror] [--quiet] [--summary] "
                  "<spec>...\n");
     std::exit(2);
+}
+
+/**
+ * The SAV-18xx resilience passes: the spec's retry policy and fault
+ * plan, annotated with the spec file/line so findings print in the
+ * same file:line form as the checker's.
+ */
+void
+lintResilience(const analysis::CampaignSpec &spec,
+               analysis::Report &report)
+{
+    analysis::Report found;
+    // Only a spec that configures its retry policy opts into the
+    // SAV-1801/1802 passes; the library default is always usable.
+    if (spec.retryAttempts || spec.retryBackoffSeconds) {
+        resilience::RetryPolicy policy;
+        if (spec.retryAttempts)
+            policy.maxAttempts = *spec.retryAttempts;
+        if (spec.retryBackoffSeconds)
+            policy.backoffSeconds = *spec.retryBackoffSeconds;
+
+        const double alternationHz =
+            spec.settings.alternation.inHz();
+        const double budgetSeconds =
+            alternationHz > 0.0
+                ? static_cast<double>(spec.repetitions) *
+                      static_cast<double>(
+                          spec.settings.measurePeriods) /
+                      alternationHz
+                : 0.0;
+        resilience::lintRetryPolicy(policy, budgetSeconds, found);
+    }
+    if (!spec.faultPlan.empty()) {
+        const auto events = spec.effectiveEvents();
+        const std::size_t pairCount =
+            spec.pairs.empty() ? events.size() * events.size()
+                               : spec.pairs.size();
+        resilience::lintFaultPlan(spec.faultPlan, pairCount, found);
+    }
+    for (auto d : found.diagnostics()) {
+        d.file = spec.file;
+        d.line = spec.lineOf(d.field);
+        report.add(std::move(d));
+    }
 }
 
 } // namespace
@@ -75,7 +121,8 @@ main(int argc, char **argv)
             parse_failed = true;
             continue;
         }
-        const auto report = checker.check(parsed.spec);
+        auto report = checker.check(parsed.spec);
+        lintResilience(parsed.spec, report);
         std::size_t shown = 0;
         for (const auto &d : report.diagnostics()) {
             if (quiet && d.severity == analysis::Severity::Note)

@@ -38,22 +38,50 @@ fi
 step "golden matrix: EM chain bit-identity vs checked-in fixture"
 ./build/tests/test_pipeline --gtest_filter='GoldenMatrix.*'
 
+step "crash-resume: kill -9 mid-campaign, resume, diff vs golden"
+RESUME_DIR=build/resume-gate
+rm -rf "$RESUME_DIR" && mkdir -p "$RESUME_DIR"
+# die@40 checkpoints and then _Exit(137)s after the 41st pair -- the
+# faithful analog of kill -9. The resumed run must land byte-for-byte
+# on the checked-in golden fixture.
+set +e
+./build/examples/savat_cli campaign --reps 2 --jobs 4 \
+    --checkpoint "$RESUME_DIR/campaign.ckpt" --checkpoint-every 5 \
+    --fault-plan die@40 >/dev/null 2>&1
+DIE_STATUS=$?
+set -e
+[[ "$DIE_STATUS" == 137 ]] ||
+    { echo "expected the injected kill to exit 137, got $DIE_STATUS"; exit 1; }
+./build/examples/savat_cli campaign --reps 2 --jobs 4 \
+    --resume "$RESUME_DIR/campaign.ckpt" \
+    --fixture "$RESUME_DIR/resumed.fixture" >/dev/null
+cmp tests/data/golden_em_core2duo.fixture "$RESUME_DIR/resumed.fixture"
+echo "resumed campaign is byte-identical to the golden fixture"
+
 step "sanitizers: ASan+UBSan build + ctest"
 cmake -B build-asan -S . -DSAVAT_SANITIZE=ON -DSAVAT_WERROR=ON \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build build-asan -j
 (cd build-asan && ctest --output-on-failure -j "$(nproc)")
 
+step "fault-injection smoke under ASan: nan@every:5 completes clean"
+# Injected NaNs must be contained and retried away: the campaign
+# completes the full matrix (exit 0, no degraded cells) with the
+# sanitizers watching the containment path.
+./build-asan/examples/savat_cli campaign --reps 2 --jobs 4 \
+    --fault-plan nan@every:5 >/dev/null
+echo "fault-injection smoke OK"
+
 step "sanitizers: TSan build + parallel/campaign tests"
 cmake -B build-tsan -S . -DSAVAT_TSAN=ON -DSAVAT_WERROR=ON \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build build-tsan -j
-# The pipeline suites join the TSan pass except GoldenMatrix (two
-# full 11x11 campaigns -- far too slow under TSan; the plain build's
-# ctest already runs it).
+# The pipeline and resilience suites join the TSan pass except
+# GoldenMatrix / CheckpointResumeGolden (full 11x11 campaigns -- far
+# too slow under TSan; the plain build's ctest already runs them).
 (cd build-tsan &&
      ctest --output-on-failure -j "$(nproc)" \
-           -R 'Parallel|CampaignVariants|MachineCampaign|Obs|PowerChain|Replay\.RecordReplayRoundTrip')
+           -R 'Parallel|CampaignVariants|MachineCampaign|Obs|PowerChain|Replay\.RecordReplayRoundTrip|Resilience')
 
 if command -v clang-tidy >/dev/null 2>&1; then
     step "clang-tidy: library sources"

@@ -38,6 +38,10 @@ diagIdName(DiagId id)
       case DiagId::UnitMismatch: return "SAV-U002";
       case DiagId::UnitMissing: return "SAV-U003";
       case DiagId::UnknownMachine: return "SAV-C001";
+      case DiagId::RetryPolicyInvalid: return "SAV-1801";
+      case DiagId::RetryBackoffExcessive: return "SAV-1802";
+      case DiagId::FaultPlanInvalid: return "SAV-1803";
+      case DiagId::FaultPlanUnreachable: return "SAV-1804";
       default: SAVAT_PANIC("bad diagnostic id");
     }
 }
@@ -63,6 +67,12 @@ diagIdSlug(DiagId id)
       case DiagId::UnitMismatch: return "unit-mismatch";
       case DiagId::UnitMissing: return "unit-missing";
       case DiagId::UnknownMachine: return "unknown-machine";
+      case DiagId::RetryPolicyInvalid: return "retry-policy-invalid";
+      case DiagId::RetryBackoffExcessive:
+        return "retry-backoff-excessive";
+      case DiagId::FaultPlanInvalid: return "fault-plan-invalid";
+      case DiagId::FaultPlanUnreachable:
+        return "fault-plan-unreachable";
       default: SAVAT_PANIC("bad diagnostic id");
     }
 }
@@ -81,6 +91,8 @@ diagIdSeverity(DiagId id)
       case DiagId::NonpositiveQuantity:
       case DiagId::UnitMismatch:
       case DiagId::UnknownMachine:
+      case DiagId::RetryPolicyInvalid:
+      case DiagId::FaultPlanInvalid:
         return Severity::Error;
       case DiagId::BurstQuantized:
       case DiagId::DutySkewed:
@@ -88,6 +100,8 @@ diagIdSeverity(DiagId id)
       case DiagId::DistanceOutsideModel:
       case DiagId::ToneBelowAntennaBand:
       case DiagId::UnitMissing:
+      case DiagId::RetryBackoffExcessive:
+      case DiagId::FaultPlanUnreachable:
         return Severity::Warning;
       case DiagId::DegeneratePair:
         return Severity::Note;

@@ -53,6 +53,10 @@ enum class DiagId : std::uint8_t {
     UnitMismatch,         //!< SAV-U002: wrong dimension in spec
     UnitMissing,          //!< SAV-U003: bare number in spec
     UnknownMachine,       //!< SAV-C001: machine id not registered
+    RetryPolicyInvalid,   //!< SAV-1801: unusable retry policy
+    RetryBackoffExcessive,//!< SAV-1802: backoff dwarfs measurement
+    FaultPlanInvalid,     //!< SAV-1803: unparseable fault plan
+    FaultPlanUnreachable, //!< SAV-1804: rule targets no pair
     NumIds
 };
 

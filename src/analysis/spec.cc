@@ -11,7 +11,7 @@ namespace savat::analysis {
 namespace {
 
 /** Dimensions a spec quantity can have. */
-enum class Dim { Frequency, Length, Size };
+enum class Dim { Frequency, Length, Size, Time };
 
 const char *
 dimName(Dim d)
@@ -20,6 +20,7 @@ dimName(Dim d)
       case Dim::Frequency: return "a frequency (Hz/kHz/MHz/GHz)";
       case Dim::Length: return "a length (mm/cm/m)";
       case Dim::Size: return "a size (B/KiB/MiB)";
+      case Dim::Time: return "a duration (us/ms/s)";
     }
     return "?";
 }
@@ -46,6 +47,11 @@ unitScale(Dim d, const std::string &unit)
         if (u == "kib" || u == "kb") return 1024.0;
         if (u == "mib" || u == "mb") return 1024.0 * 1024.0;
         return std::nullopt;
+      case Dim::Time:
+        if (u == "us") return 1e-6;
+        if (u == "ms") return 1e-3;
+        if (u == "s") return 1.0;
+        return std::nullopt;
     }
     return std::nullopt;
 }
@@ -54,7 +60,8 @@ unitScale(Dim d, const std::string &unit)
 bool
 isAnyUnit(const std::string &unit)
 {
-    for (Dim d : {Dim::Frequency, Dim::Length, Dim::Size}) {
+    for (Dim d : {Dim::Frequency, Dim::Length, Dim::Size,
+                  Dim::Time}) {
         if (unitScale(d, unit))
             return true;
     }
@@ -238,6 +245,31 @@ struct Parser
             }
             return fail(line, "pairing expects equal-duration or "
                               "equal-counts");
+        }
+        if (key == "retry-attempts") {
+            std::size_t attempts = 0;
+            if (!integer(key, args, line, attempts))
+                return false;
+            s.retryAttempts = attempts;
+            return true;
+        }
+        if (key == "retry-backoff") {
+            if (auto v = quantity(key, Dim::Time, 1e-3, args, line))
+                s.retryBackoffSeconds = *v;
+            return error.empty();
+        }
+        if (key == "fault-plan") {
+            if (args.empty())
+                return fail(line, "fault-plan expects a "
+                                  "<kind>@<target>[,...] spec");
+            std::string plan;
+            for (const auto &arg : args) {
+                if (!plan.empty())
+                    plan += ',';
+                plan += arg;
+            }
+            s.faultPlan = plan;
+            return true;
         }
         if (key == "channel") {
             if (args.size() == 1 && args[0] == "em") {

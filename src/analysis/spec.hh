@@ -132,6 +132,17 @@ struct CampaignSpec
     std::optional<std::uint64_t> l1SizeBytes;
     std::optional<std::uint64_t> l2SizeBytes;
 
+    /**
+     * Resilience fields (`retry-attempts`, `retry-backoff`,
+     * `fault-plan`). Kept as plain data here: the analysis layer
+     * stays below resilience in the link order, so savat-lint's
+     * SAV-18xx passes (resilience::lintRetryPolicy/lintFaultPlan)
+     * interpret them.
+     */
+    std::optional<std::size_t> retryAttempts;
+    std::optional<double> retryBackoffSeconds;
+    std::string faultPlan;
+
     /** Source line of each parsed field (absent for built specs). */
     std::map<std::string, std::size_t> fieldLines;
 

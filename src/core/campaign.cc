@@ -1,10 +1,18 @@
 #include "core/campaign.hh"
 
 #include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
 #include <mutex>
+#include <unordered_map>
 
 #include "analysis/checker.hh"
+#include "resilience/checkpoint.hh"
+#include "resilience/fault.hh"
+#include "support/hash.hh"
 #include "support/logging.hh"
+#include "support/strings.hh"
 #include "support/obs.hh"
 #include "support/parallel.hh"
 
@@ -117,8 +125,17 @@ runCampaignPairs(
                       {"reps", config.repetitions}});
     SAVAT_METRIC_TIMER("campaign.run_seconds");
 
+    const std::string faultPlanText = [&config]() -> std::string {
+        if (!config.faultPlan.empty())
+            return config.faultPlan;
+        const char *env = std::getenv("SAVAT_FAULT_PLAN");
+        return env ? env : "";
+    }();
+
     // Static validation of the whole campaign before any simulation
-    // burns time; every error-level diagnostic is fatal here.
+    // burns time; every error-level diagnostic is fatal here. The
+    // resilience lint (retry policy, fault plan) rides the same
+    // fail-fast gate.
     analysis::CampaignSpec spec;
     spec.name = "campaign(" + config.machineId + ")";
     spec.machineId = config.machineId;
@@ -126,16 +143,37 @@ runCampaignPairs(
     spec.pairs = pairs;
     spec.repetitions = config.repetitions;
     spec.settings = toAnalysisSettings(config.meter, em::LoopAntenna());
-    const auto report = analysis::Checker().check(spec);
+    auto report = analysis::Checker().check(spec);
+    const double pairBudgetSeconds =
+        config.meter.alternation.inHz() > 0.0
+            ? static_cast<double>(config.repetitions) *
+                  static_cast<double>(config.meter.measurePeriods) /
+                  config.meter.alternation.inHz()
+            : 0.0;
+    resilience::lintRetryPolicy(config.retry, pairBudgetSeconds,
+                                report);
+    if (!faultPlanText.empty())
+        resilience::lintFaultPlan(faultPlanText, pairs.size(),
+                                  report);
     if (report.hasErrors()) {
         SAVAT_FATAL("invalid campaign configuration:\n",
                     report.errorSummary());
     }
 
-    CampaignResult result{config, SavatMatrix(events), {}, {}, {}};
+    resilience::FaultPlan faultPlan;
+    resilience::parseFaultPlan(faultPlanText,
+                               faultPlan); // lint vetted the text
+    const resilience::FaultInjector injector(faultPlan, config.seed);
+    if (injector.enabled())
+        SAVAT_WARN("fault injection enabled: ", faultPlanText);
+
+    CampaignResult result{config, SavatMatrix(events),
+                          {},     {},
+                          {},     {}};
     result.config.events = events;
     result.simulations.resize(events.size() * events.size());
     result.pairs = pairs;
+    result.health.resize(pairs.size());
 
     const std::size_t npairs = pairs.size();
     if (npairs == 0)
@@ -151,14 +189,130 @@ runCampaignPairs(
         std::max<std::size_t>(1, requested / outerJobs);
 
     std::vector<PairOutcome> outcomes(npairs);
+    std::vector<char> done(npairs, 0);
     std::atomic<std::size_t> nextPair{0};
     std::mutex progressMutex;
     std::size_t completed = 0;
+    std::size_t checkpointWrites = 0;
 
     SAVAT_METRIC_GAUGE("campaign.jobs",
                        static_cast<double>(requested));
     SAVAT_METRIC_GAUGE("campaign.inner_jobs",
                        static_cast<double>(innerJobs));
+
+    const std::string identity =
+        resilience::hashCampaignIdentity(result.config);
+
+    /**
+     * Serialize every finished cell to the checkpoint file. Caller
+     * holds progressMutex (done[] and the health slots of finished
+     * pairs are written under the same mutex), so the snapshot is
+     * consistent even while other workers measure.
+     */
+    const auto writeCheckpointLocked = [&]() {
+        if (config.checkpointPath.empty())
+            return;
+        resilience::CampaignCheckpoint cp;
+        cp.identity = identity;
+        cp.machineId = config.machineId;
+        cp.events = events;
+        cp.repetitions = config.repetitions;
+        cp.keepTraces = config.keepTraces;
+        for (std::size_t p = 0; p < npairs; ++p) {
+            const auto &slot = outcomes[p];
+            if (!done[p] || slot.ia < 0 || slot.ib < 0)
+                continue;
+            resilience::CampaignCheckpoint::Cell cell;
+            cell.a = pairs[p].first;
+            cell.b = pairs[p].second;
+            cell.sim = slot.sim;
+            cell.samples = slot.samples;
+            cell.traces = slot.traces;
+            const auto &h = result.health[p];
+            cell.attempts = h.attempts;
+            cell.backoffSeconds = h.backoffSeconds;
+            cell.lastError = h.lastError;
+            cp.cells.push_back(std::move(cell));
+        }
+        const bool truncate =
+            injector.truncateCheckpointWrite(checkpointWrites);
+        ++checkpointWrites;
+        std::string error;
+        if (!resilience::writeCheckpointFile(
+                config.checkpointPath, cp, truncate, &error)) {
+            SAVAT_WARN("checkpoint write failed: ", error);
+            return;
+        }
+        SAVAT_METRIC_COUNT("resilience.checkpoint_writes");
+        if (truncate)
+            SAVAT_WARN("fault injection truncated checkpoint "
+                       "write ",
+                       checkpointWrites - 1);
+    };
+
+    // Warm start: restore completed cells from the resume
+    // checkpoint. Cells are matched by (A, B) event names, so a
+    // checkpoint taken over any pair subset of this campaign is a
+    // valid prefix; degraded or partially written cells are simply
+    // re-measured.
+    if (!config.resumePath.empty()) {
+        const auto parsed =
+            resilience::loadCheckpointFile(config.resumePath);
+        if (!parsed.ok)
+            SAVAT_FATAL("cannot resume from ", config.resumePath,
+                        ": ", parsed.error);
+        const auto &cp = parsed.checkpoint;
+        if (cp.identity != identity)
+            SAVAT_FATAL(
+                "checkpoint ", config.resumePath, " (identity ",
+                cp.identity, ", machine ", cp.machineId,
+                ") does not match this campaign (identity ",
+                identity, ", machine ", config.machineId,
+                "): machine, channel, meter settings, events, "
+                "repetitions and seed must all be identical to "
+                "resume");
+        std::unordered_map<
+            std::pair<EventKind, EventKind>,
+            const resilience::CampaignCheckpoint::Cell *,
+            support::PairHash>
+            index;
+        for (const auto &cell : cp.cells)
+            index.emplace(std::make_pair(cell.a, cell.b), &cell);
+        std::size_t restored = 0;
+        for (std::size_t p = 0; p < npairs; ++p) {
+            const auto it = index.find(pairs[p]);
+            if (it == index.end())
+                continue;
+            const auto &cell = *it->second;
+            if (!cell.sim.measured() ||
+                cell.samples.size() != config.repetitions)
+                continue;
+            if (config.keepTraces &&
+                cell.traces.size() != config.repetitions)
+                continue; // keepTraces needs every display
+            auto &slot = outcomes[p];
+            slot.ia = result.matrix.tryIndexOf(cell.a);
+            slot.ib = result.matrix.tryIndexOf(cell.b);
+            if (slot.ia < 0 || slot.ib < 0)
+                continue;
+            slot.sim = cell.sim;
+            slot.samples = cell.samples;
+            if (config.keepTraces)
+                slot.traces = cell.traces;
+            auto &h = result.health[p];
+            h.state = pipeline::CellState::Measured;
+            h.attempts = cell.attempts;
+            h.backoffSeconds = cell.backoffSeconds;
+            h.restored = true;
+            h.lastError = cell.lastError;
+            done[p] = 1;
+            ++restored;
+        }
+        completed = restored;
+        SAVAT_METRIC_ADD("resilience.cells_restored", restored);
+        SAVAT_INFORM("resumed ", restored, " of ", npairs,
+                     " pairs from ", config.resumePath);
+    }
 
     // One prototype meter calibrates each event's steady-state CPI
     // up front (a deterministic per-event simulation); workers copy
@@ -182,9 +336,12 @@ runCampaignPairs(
         for (std::size_t p = nextPair.fetch_add(1); p < npairs;
              p = nextPair.fetch_add(1)) {
             auto &slot = outcomes[p];
+            if (done[p])
+                continue; // restored from the resume checkpoint
             const auto &[a, b] = pairs[p];
             slot.ia = result.matrix.tryIndexOf(a);
             slot.ib = result.matrix.tryIndexOf(b);
+            auto &health = result.health[p];
             if (slot.ia < 0 || slot.ib < 0) {
                 SAVAT_METRIC_COUNT("campaign.pairs_skipped");
                 SAVAT_WARN("skipping pair ", kernels::eventName(a),
@@ -196,21 +353,109 @@ runCampaignPairs(
                                   {"b", kernels::eventName(b)},
                                   {"reps", config.repetitions}});
                 SAVAT_METRIC_TIMER("campaign.cell_seconds");
-                measureCell(meter, config, slot, a, b, innerJobs,
-                            scratch);
+                // Containment: exceptions and non-finite outputs
+                // degrade this cell after bounded retries instead
+                // of aborting the campaign. measureCell re-forks
+                // its repetition streams from the cell stream on
+                // every attempt, so a retry that succeeds produces
+                // exactly the samples an undisturbed run would.
+                const auto outcome = resilience::guardPair(
+                    config.retry, p,
+                    [&](std::size_t attempt, std::string &error) {
+                        const auto *fault =
+                            injector.measurementFault(p, attempt);
+                        if (fault &&
+                            fault->kind ==
+                                resilience::FaultKind::Throw) {
+                            SAVAT_METRIC_COUNT(
+                                "resilience.faults_injected");
+                            throw resilience::InjectedFault(format(
+                                "injected fault: throw at pair "
+                                "%zu attempt %zu",
+                                p, attempt));
+                        }
+                        measureCell(meter, config, slot, a, b,
+                                    innerJobs, scratch);
+                        if (fault && !slot.samples.empty()) {
+                            SAVAT_METRIC_COUNT(
+                                "resilience.faults_injected");
+                            slot.samples[0] =
+                                fault->kind ==
+                                        resilience::FaultKind::Nan
+                                    ? std::numeric_limits<
+                                          double>::quiet_NaN()
+                                    : std::numeric_limits<
+                                          double>::infinity();
+                        }
+                        if (!resilience::allFinite(slot.sim)) {
+                            error = "non-finite simulation "
+                                    "products";
+                            return false;
+                        }
+                        for (std::size_t r = 0;
+                             r < slot.samples.size(); ++r) {
+                            if (!std::isfinite(slot.samples[r])) {
+                                error = format(
+                                    "non-finite SAVAT sample in "
+                                    "repetition %zu",
+                                    r);
+                                return false;
+                            }
+                        }
+                        return true;
+                    });
+                health.state = outcome.state;
+                health.attempts = outcome.attempts;
+                health.backoffSeconds = outcome.backoffSeconds;
+                health.lastError = outcome.lastError;
+                if (outcome.state ==
+                    pipeline::CellState::Degraded) {
+                    // Keep the labels honest even when the failure
+                    // struck before the simulation filled the slot.
+                    slot.sim.a = a;
+                    slot.sim.b = b;
+                    slot.sim.state = pipeline::CellState::Degraded;
+                }
                 SAVAT_METRIC_COUNT("campaign.cells");
                 SAVAT_METRIC_ADD("campaign.reps",
                                  config.repetitions);
             }
-            if (progress) {
-                const std::lock_guard<std::mutex> lock(progressMutex);
-                progress(++completed, npairs);
+            {
+                const std::lock_guard<std::mutex> lock(
+                    progressMutex);
+                done[p] = 1;
+                ++completed;
+                if (progress)
+                    progress(completed, npairs);
+                if (!config.checkpointPath.empty() &&
+                    config.checkpointEvery > 0 &&
+                    completed % config.checkpointEvery == 0)
+                    writeCheckpointLocked();
+                if (injector.dieAfterPair(p)) {
+                    // Flush first so the next run can resume, then
+                    // die without unwinding -- the faithful analog
+                    // of a kill -9 mid-campaign.
+                    writeCheckpointLocked();
+                    SAVAT_WARN("injected fault: dying after pair ",
+                               p);
+                    std::_Exit(137);
+                }
             }
         }
     });
 
+    // Final checkpoint: a finished campaign's file restores every
+    // cell, so resuming it is a no-op re-merge. Written before the
+    // merge below moves the outcomes out.
+    if (!config.checkpointPath.empty()) {
+        const std::lock_guard<std::mutex> lock(progressMutex);
+        writeCheckpointLocked();
+    }
+
     // Serial merge in request order: samples land in each cell in
     // exactly the order the serial loop would have appended them.
+    // Degraded cells keep their failure record in simulations[] and
+    // health[] but contribute nothing to the matrix.
     SAVAT_TRACE_SPAN("campaign.merge", {{"pairs", npairs}});
     if (config.keepTraces)
         result.traces.resize(npairs);
@@ -220,6 +465,11 @@ runCampaignPairs(
             continue;
         const auto ia = static_cast<std::size_t>(slot.ia);
         const auto ib = static_cast<std::size_t>(slot.ib);
+        if (!slot.sim.measured()) {
+            result.simulations[ia * events.size() + ib] =
+                std::move(slot.sim);
+            continue;
+        }
         for (double zj : slot.samples)
             result.matrix.addSample(ia, ib, zj);
         result.simulations[ia * events.size() + ib] =
@@ -251,13 +501,21 @@ recordCampaign(const CampaignResult &result)
         const auto ib = result.matrix.tryIndexOf(b);
         if (ia < 0 || ib < 0)
             continue; // skipped with a warning during the run
+        const auto &sim = result.simulations
+            [static_cast<std::size_t>(ia) * result.matrix.size() +
+             static_cast<std::size_t>(ib)];
+        if (!sim.measured()) {
+            // A degraded cell has no trustworthy displays; the
+            // recording simply omits it, mirroring the matrix.
+            SAVAT_WARN("recording omits ", cellStateName(sim.state),
+                       " pair ", kernels::eventName(a), "/",
+                       kernels::eventName(b));
+            continue;
+        }
         pipeline::TraceRecording::Cell cell;
         cell.a = a;
         cell.b = b;
-        cell.pairsPerSecond =
-            result.simulation(static_cast<std::size_t>(ia),
-                              static_cast<std::size_t>(ib))
-                .pairsPerSecond;
+        cell.pairsPerSecond = sim.pairsPerSecond;
         cell.traces = result.traces[p];
         rec.cells.push_back(std::move(cell));
     }

@@ -23,6 +23,7 @@
 #include "core/matrix.hh"
 #include "core/meter.hh"
 #include "pipeline/replay.hh"
+#include "resilience/retry.hh"
 #include "support/logging.hh"
 #include "support/progress.hh"
 
@@ -61,6 +62,38 @@ struct CampaignConfig
      * hold pairs x repetitions multi-thousand-bin sweeps.
      */
     bool keepTraces = false;
+
+    /**
+     * Per-pair containment (see resilience/retry.hh): failed or
+     * non-finite cells are retried up to retry.maxAttempts times
+     * and then marked Degraded instead of aborting the campaign.
+     */
+    resilience::RetryPolicy retry;
+
+    /**
+     * Deterministic fault-injection plan (resilience/fault.hh
+     * grammar). Empty means the SAVAT_FAULT_PLAN environment
+     * variable, and failing that, no injection.
+     */
+    std::string faultPlan;
+
+    /**
+     * When non-empty, periodically write a resumable checkpoint of
+     * every completed cell here (atomic temp-file + rename; see
+     * resilience/checkpoint.hh).
+     */
+    std::string checkpointPath;
+
+    /** Completed pairs between checkpoint writes. */
+    std::size_t checkpointEvery = 10;
+
+    /**
+     * When non-empty, warm-start from this checkpoint: cells it
+     * carries are restored instead of re-measured. The checkpoint's
+     * campaign identity (machine, meter, events, seed...) must
+     * match; a mismatch is fatal.
+     */
+    std::string resumePath;
 };
 
 /**
@@ -83,10 +116,11 @@ struct CampaignResult
      * always sized matrix.size()^2 and laid out row-major over the
      * campaign's event set -- slot a * matrix.size() + b holds the
      * pair (events[a], events[b]). Pairs never measured (campaigns
-     * over a pair subset) leave their slot with measured == false;
-     * reading one through simulation() is fatal. Pairs whose events
-     * are not in the event set are skipped with a warning rather
-     * than written out of contract.
+     * over a pair subset) leave their slot CellState::Skipped, and
+     * pairs whose containment retries all failed are left
+     * CellState::Degraded; reading either through simulation() is
+     * fatal. Pairs whose events are not in the event set are skipped
+     * with a warning rather than written out of contract.
      */
     std::vector<PairSimulation> simulations;
 
@@ -101,6 +135,57 @@ struct CampaignResult
     std::vector<std::pair<kernels::EventKind, kernels::EventKind>>
         pairs;
 
+    /** Containment outcome of one requested pair. */
+    struct CellHealth
+    {
+        pipeline::CellState state = pipeline::CellState::Skipped;
+
+        /** Measurement attempts consumed (0 = restored/skipped). */
+        std::size_t attempts = 0;
+
+        /** Accumulated virtual retry backoff [s]. */
+        double backoffSeconds = 0.0;
+
+        /** Warm-started from a checkpoint, not measured here. */
+        bool restored = false;
+
+        /** Last failure description; empty for clean cells. */
+        std::string lastError;
+    };
+
+    /** health[p] describes the p-th requested pair. */
+    std::vector<CellHealth> health;
+
+    /** Requested pairs whose every containment attempt failed. */
+    std::size_t
+    degradedCells() const
+    {
+        std::size_t n = 0;
+        for (const auto &h : health)
+            n += h.state == pipeline::CellState::Degraded;
+        return n;
+    }
+
+    /** Requested pairs that needed more than one attempt. */
+    std::size_t
+    retriedCells() const
+    {
+        std::size_t n = 0;
+        for (const auto &h : health)
+            n += h.attempts > 1;
+        return n;
+    }
+
+    /** Requested pairs restored from a resume checkpoint. */
+    std::size_t
+    restoredCells() const
+    {
+        std::size_t n = 0;
+        for (const auto &h : health)
+            n += h.restored;
+        return n;
+    }
+
     const PairSimulation &
     simulation(std::size_t a, std::size_t b) const
     {
@@ -109,7 +194,11 @@ struct CampaignResult
                      ") outside the ", matrix.size(), "x",
                      matrix.size(), " campaign matrix");
         const auto &sim = simulations[a * matrix.size() + b];
-        SAVAT_ASSERT(sim.measured, "simulation(", a, ", ", b,
+        SAVAT_ASSERT(sim.state != pipeline::CellState::Degraded,
+                     "simulation(", a, ", ", b,
+                     ") is degraded: every measurement attempt "
+                     "failed; its products are unreliable");
+        SAVAT_ASSERT(sim.measured(), "simulation(", a, ", ", b,
                      ") was never measured in this campaign");
         return sim;
     }

@@ -164,7 +164,7 @@ SavatMeter::measureValue(const PairSimulation &sim, Rng &rng,
                          spectrum::Trace &scratch,
                          std::size_t repetition) const
 {
-    SAVAT_ASSERT(sim.measured, "unmeasured pair simulation");
+    SAVAT_ASSERT(sim.measured(), "unmeasured pair simulation");
     const auto m = _chain->measure(sim, repetition, rng, scratch);
     SAVAT_METRIC_COUNT("meter.measurements");
     SAVAT_METRIC_ADD("meter.sweep_bins", scratch.psd.size());

@@ -124,6 +124,24 @@ printCampaignSummary(std::ostream &os, const CampaignResult &result)
     os << format("A/B vs B/A mean asymmetry: %.3f\n",
                  matrix.symmetryError());
 
+    // Containment/resume health: silent only when nothing happened,
+    // so a clean campaign's report is unchanged.
+    if (result.restoredCells() > 0 || result.retriedCells() > 0 ||
+        result.degradedCells() > 0)
+        os << format("resilience: %zu restored, %zu retried, "
+                     "%zu degraded of %zu pairs\n",
+                     result.restoredCells(), result.retriedCells(),
+                     result.degradedCells(), result.pairs.size());
+    for (std::size_t p = 0; p < result.health.size(); ++p) {
+        const auto &h = result.health[p];
+        if (h.state != pipeline::CellState::Degraded)
+            continue;
+        const auto &[a, b] = result.pairs[p];
+        os << format("degraded %s/%s after %zu attempts: %s\n",
+                     kernels::eventName(a), kernels::eventName(b),
+                     h.attempts, h.lastError.c_str());
+    }
+
     TextTable table;
     table.setHeader({"pair", "cpiA", "cpiB", "countA", "countB",
                      "f_alt[kHz]", "pairs/s", "SAVAT[zJ]"});

@@ -1,44 +1,27 @@
 #include "pipeline/replay.hh"
 
 #include <cstdio>
-#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
+#include "support/crc32.hh"
+#include "support/hexfloat.hh"
+#include "support/io.hh"
 #include "support/logging.hh"
 #include "support/obs.hh"
+#include "support/strings.hh"
 
 namespace savat::pipeline {
 
 using kernels::EventKind;
+using support::printHexFloat;
+using support::readHexFloat;
 
 namespace {
 
 constexpr const char *kMagic = "savat-trace-recording";
-constexpr const char *kVersion = "v1";
-
-void
-printHex(std::ostream &os, double v)
-{
-    char buf[64];
-    std::snprintf(buf, sizeof buf, "%a", v);
-    os << buf;
-}
-
-/**
- * Hexfloat-aware numeric read: istream's operator>> does not accept
- * C99 "%a" hexfloats, strtod does.
- */
-bool
-readHex(std::istream &in, double &out)
-{
-    std::string tok;
-    if (!(in >> tok))
-        return false;
-    char *end = nullptr;
-    out = std::strtod(tok.c_str(), &end);
-    return end != tok.c_str() && *end == '\0';
-}
+constexpr const char *kVersion = "v2";
+constexpr const char *kLegacyVersion = "v1";
 
 /** Non-fatal event-name lookup (the parser reports, never aborts). */
 bool
@@ -53,18 +36,17 @@ eventNamed(const std::string &name, EventKind &out)
     return false;
 }
 
-} // namespace
-
+/** Body of the recording (everything the v2 CRC footer covers). */
 void
-saveRecording(std::ostream &os, const TraceRecording &rec)
+printBody(std::ostream &os, const TraceRecording &rec)
 {
     os << kMagic << ' ' << kVersion << '\n';
     os << "machine " << rec.machineId << '\n';
     os << "channel " << rec.channel << '\n';
     os << "alternation ";
-    printHex(os, rec.alternationHz);
+    printHexFloat(os, rec.alternationHz);
     os << "\nband ";
-    printHex(os, rec.bandHz);
+    printHexFloat(os, rec.bandHz);
     os << "\nevents";
     for (auto e : rec.events)
         os << ' ' << kernels::eventName(e);
@@ -72,17 +54,17 @@ saveRecording(std::ostream &os, const TraceRecording &rec)
     for (const auto &cell : rec.cells) {
         os << "cell " << kernels::eventName(cell.a) << ' '
            << kernels::eventName(cell.b) << ' ';
-        printHex(os, cell.pairsPerSecond);
+        printHexFloat(os, cell.pairsPerSecond);
         os << ' ' << cell.traces.size() << '\n';
         for (const auto &trace : cell.traces) {
             os << "trace ";
-            printHex(os, trace.startHz);
+            printHexFloat(os, trace.startHz);
             os << ' ';
-            printHex(os, trace.binHz);
+            printHexFloat(os, trace.binHz);
             os << ' ' << trace.psd.size();
             for (double v : trace.psd) {
                 os << ' ';
-                printHex(os, v);
+                printHexFloat(os, v);
             }
             os << '\n';
         }
@@ -90,21 +72,85 @@ saveRecording(std::ostream &os, const TraceRecording &rec)
     os << "end\n";
 }
 
+} // namespace
+
+void
+saveRecording(std::ostream &os, const TraceRecording &rec)
+{
+    std::ostringstream body;
+    printBody(body, rec);
+    const std::string text = body.str();
+    os << text
+       << format("crc32 %08x\n", support::crc32(text));
+}
+
+bool
+saveRecordingFile(const std::string &path, const TraceRecording &rec,
+                  std::string *error)
+{
+    return support::writeFileAtomically(
+        path, [&](std::ostream &os) { saveRecording(os, rec); },
+        error);
+}
+
 RecordingParseResult
-loadRecording(std::istream &in)
+loadRecording(std::istream &stream)
 {
     RecordingParseResult res;
-    auto fail = [&res](const std::string &msg) {
+
+    // Slurp: the v2 CRC footer covers the raw bytes of the body, so
+    // the whole recording is read before any token parsing.
+    std::string content;
+    {
+        std::ostringstream oss;
+        oss << stream.rdbuf();
+        content = oss.str();
+    }
+
+    std::istringstream in(content);
+    auto fail = [&res, &in](const std::string &msg) {
         res.ok = false;
-        res.error = msg;
+        const auto pos = in.tellg();
+        res.error =
+            pos < 0 ? msg
+                    : msg + format(" (near byte %lld of %zu)",
+                                   static_cast<long long>(pos),
+                                   res.bytes);
         return res;
     };
+    res.bytes = content.size();
 
     std::string magic, version;
     if (!(in >> magic >> version) || magic != kMagic)
         return fail("not a savat trace recording");
-    if (version != kVersion)
+    const bool legacy = version == kLegacyVersion;
+    if (!legacy && version != kVersion)
         return fail("unsupported recording version " + version);
+
+    if (!legacy) {
+        // The footer is the final "crc32 XXXXXXXX\n" line; the
+        // checksum covers every byte before it.
+        const std::size_t footer = content.rfind("crc32 ");
+        if (footer == std::string::npos ||
+            content.find('\n', footer) != content.size() - 1)
+            return fail("missing crc32 footer (file truncated?)");
+        unsigned long stored = 0;
+        if (std::sscanf(content.c_str() + footer, "crc32 %8lx",
+                        &stored) != 1)
+            return fail(format("malformed crc32 footer at byte %zu",
+                               footer));
+        const std::uint32_t actual =
+            support::crc32(content.data(), footer);
+        if (actual != static_cast<std::uint32_t>(stored))
+            return fail(format("crc32 mismatch over bytes 0..%zu: "
+                               "stored %08lx, computed %08x "
+                               "(file corrupted or truncated)",
+                               footer, stored, actual));
+        content.resize(footer);
+        in.str(content);
+        in.clear();
+        in >> magic >> version; // re-skip the header line
+    }
 
     auto &rec = res.recording;
     std::string key;
@@ -117,10 +163,10 @@ loadRecording(std::istream &in)
             if (!(in >> rec.channel))
                 return fail("channel: missing name");
         } else if (key == "alternation") {
-            if (!readHex(in, rec.alternationHz))
+            if (!readHexFloat(in,rec.alternationHz))
                 return fail("alternation: bad value");
         } else if (key == "band") {
-            if (!readHex(in, rec.bandHz))
+            if (!readHexFloat(in,rec.bandHz))
                 return fail("band: bad value");
         } else if (key == "events") {
             std::string line;
@@ -138,7 +184,7 @@ loadRecording(std::istream &in)
             std::string na, nb;
             std::size_t reps = 0;
             if (!(in >> na >> nb) ||
-                !readHex(in, cell.pairsPerSecond) || !(in >> reps))
+                !readHexFloat(in,cell.pairsPerSecond) || !(in >> reps))
                 return fail("cell: malformed header");
             if (!eventNamed(na, cell.a) || !eventNamed(nb, cell.b))
                 return fail("cell: unknown event " + na + "/" + nb);
@@ -149,12 +195,12 @@ loadRecording(std::istream &in)
                 std::size_t bins = 0;
                 if (!(in >> tkey) || tkey != "trace")
                     return fail("cell: expected trace record");
-                if (!readHex(in, trace.startHz) ||
-                    !readHex(in, trace.binHz) || !(in >> bins))
+                if (!readHexFloat(in,trace.startHz) ||
+                    !readHexFloat(in,trace.binHz) || !(in >> bins))
                     return fail("trace: malformed header");
                 trace.psd.resize(bins);
                 for (std::size_t i = 0; i < bins; ++i) {
-                    if (!readHex(in, trace.psd[i]))
+                    if (!readHexFloat(in,trace.psd[i]))
                         return fail("trace: truncated PSD");
                 }
                 cell.traces.push_back(std::move(trace));
@@ -237,7 +283,7 @@ replayAll(const TraceRecording &recording)
         PairSimulation sim;
         sim.a = cell.a;
         sim.b = cell.b;
-        sim.measured = true;
+        sim.state = CellState::Measured;
         for (std::size_t r = 0; r < cell.traces.size(); ++r)
             rc.samples.push_back(
                 chain.measure(sim, r, unused, scratch));

@@ -12,7 +12,10 @@
  * spent.
  *
  * The serialization uses C99 hexfloats (%a), so a save/load round
- * trip is byte-exact.
+ * trip is byte-exact. Format v2 appends a CRC-32 footer over the
+ * whole body, so bit rot and truncation are reported with a byte
+ * offset instead of silently replaying damaged spectra; v1 files
+ * (no footer) are still accepted.
  */
 
 #ifndef SAVAT_PIPELINE_REPLAY_HH
@@ -54,15 +57,28 @@ struct TraceRecording
     std::vector<Cell> cells;
 };
 
-/** Serialize (hexfloat, byte-exact round trip). */
+/** Serialize (hexfloat + CRC-32 footer, byte-exact round trip). */
 void saveRecording(std::ostream &os, const TraceRecording &rec);
 
-/** Outcome of parsing a recording. */
+/**
+ * Serialize to a file via an atomic temp-file + rename write, so a
+ * crash mid-save never leaves a torn recording behind. Returns false
+ * (with `error` filled when non-null) on I/O failure.
+ */
+bool saveRecordingFile(const std::string &path,
+                       const TraceRecording &rec,
+                       std::string *error = nullptr);
+
+/**
+ * Outcome of parsing a recording. On failure `error` names the
+ * offending record and the byte offset where parsing stopped.
+ */
 struct RecordingParseResult
 {
     TraceRecording recording;
     bool ok = false;
     std::string error;
+    std::size_t bytes = 0; //!< total size of the parsed input
 };
 
 RecordingParseResult loadRecording(std::istream &in);

@@ -43,6 +43,35 @@ diffCache(const uarch::CacheStats &now, const uarch::CacheStats &then)
 
 } // namespace
 
+const char *
+cellStateName(CellState state)
+{
+    switch (state) {
+      case CellState::Skipped:
+        return "skipped";
+      case CellState::Measured:
+        return "measured";
+      case CellState::Degraded:
+        return "degraded";
+    }
+    SAVAT_PANIC("unknown CellState ",
+                static_cast<unsigned>(state));
+}
+
+bool
+cellStateByName(const std::string &name, CellState &out)
+{
+    if (name == "skipped")
+        out = CellState::Skipped;
+    else if (name == "measured")
+        out = CellState::Measured;
+    else if (name == "degraded")
+        out = CellState::Degraded;
+    else
+        return false;
+    return true;
+}
+
 kernels::CountSolution
 burstSolve(const uarch::MachineConfig &machine, const KernelSpec &spec,
            const MeasureConfig &config)
@@ -288,7 +317,7 @@ runAlternation(const uarch::MachineConfig &machine,
     sim.l1 = run.l1;
     sim.l2 = run.l2;
     sim.mem = run.mem;
-    sim.measured = true;
+    sim.state = CellState::Measured;
     return sim;
 }
 

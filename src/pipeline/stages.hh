@@ -26,6 +26,7 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "em/emission.hh"
@@ -39,19 +40,39 @@
 
 namespace savat::pipeline {
 
+/**
+ * Lifecycle of one campaign matrix cell. Campaigns size their
+ * simulation table for the full matrix, so cells of pairs that were
+ * never requested stay Skipped — reading one is a bug, caught by
+ * CampaignResult::simulation(). Degraded cells were requested but
+ * every containment retry failed (see savat::resilience); they carry
+ * whatever partial products the last attempt produced and must not
+ * be interpreted as clean measurements.
+ */
+enum class CellState : std::uint8_t
+{
+    Skipped = 0,  //!< never requested / not yet measured
+    Measured,     //!< pipeline completed, products are valid
+    Degraded,     //!< all attempts failed; products unreliable
+};
+
+/** Stable lower-case name ("skipped"/"measured"/"degraded"). */
+const char *cellStateName(CellState state);
+
+/** Inverse of cellStateName(); returns false on an unknown name. */
+bool cellStateByName(const std::string &name, CellState &out);
+
 /** Deterministic per-pair simulation products (environment-free). */
 struct PairSimulation
 {
     kernels::EventKind a = kernels::EventKind::NOI;
     kernels::EventKind b = kernels::EventKind::NOI;
 
-    /**
-     * True once the pipeline has filled this record. Campaigns size
-     * their simulation table for the full matrix, so cells of pairs
-     * that were never requested stay unmeasured — reading one is a
-     * bug, caught by CampaignResult::simulation().
-     */
-    bool measured = false;
+    /** Lifecycle state of this cell (see CellState). */
+    CellState state = CellState::Skipped;
+
+    /** True once the pipeline has filled this record cleanly. */
+    bool measured() const { return state == CellState::Measured; }
 
     kernels::CountSolution counts;
 

@@ -1,0 +1,393 @@
+#include "resilience/checkpoint.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/campaign.hh"
+#include "pipeline/config.hh"
+#include "support/crc32.hh"
+#include "support/hexfloat.hh"
+#include "support/io.hh"
+#include "support/strings.hh"
+
+namespace savat::resilience {
+
+using kernels::EventKind;
+using support::printHexFloat;
+using support::readHexFloat;
+
+namespace {
+
+constexpr const char *kMagic = "savat-campaign-checkpoint";
+constexpr const char *kVersion = "v1";
+
+/** Non-fatal event-name lookup (the parser reports, never aborts). */
+bool
+eventNamed(const std::string &name, EventKind &out)
+{
+    for (auto e : kernels::extendedEvents()) {
+        if (name == kernels::eventName(e)) {
+            out = e;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+printDoubles(std::ostream &os, const char *key,
+             std::initializer_list<double> values)
+{
+    os << key;
+    for (double v : values) {
+        os << ' ';
+        printHexFloat(os, v);
+    }
+    os << '\n';
+}
+
+void
+printCellBody(std::ostream &os, const CampaignCheckpoint::Cell &cell)
+{
+    const auto &sim = cell.sim;
+    os << "sim " << sim.counts.countA << ' ' << sim.counts.countB;
+    for (double v :
+         {sim.counts.cpiA, sim.counts.cpiB,
+          sim.actualFrequency.inHz(), sim.duty, sim.periodCycles,
+          sim.pairsPerSecond}) {
+        os << ' ';
+        printHexFloat(os, v);
+    }
+    os << '\n';
+    os << "amp";
+    for (const auto &c : sim.amplitude) {
+        os << ' ';
+        printHexFloat(os, c.real());
+        os << ' ';
+        printHexFloat(os, c.imag());
+    }
+    os << '\n';
+    printDoubles(os, "meana",
+                 {sim.meanA[0], sim.meanA[1], sim.meanA[2],
+                  sim.meanA[3], sim.meanA[4], sim.meanA[5],
+                  sim.meanA[6], sim.meanA[7]});
+    printDoubles(os, "meanb",
+                 {sim.meanB[0], sim.meanB[1], sim.meanB[2],
+                  sim.meanB[3], sim.meanB[4], sim.meanB[5],
+                  sim.meanB[6], sim.meanB[7]});
+    const std::pair<const char *, const uarch::CacheStats *>
+        caches[] = {{"l1", &sim.l1}, {"l2", &sim.l2}};
+    for (const auto &[name, cache] : caches) {
+        os << name << ' ' << cache->readHits << ' '
+           << cache->readMisses << ' ' << cache->writeHits << ' '
+           << cache->writeMisses << ' ' << cache->writebacksIn << ' '
+           << cache->writebacksOut << '\n';
+    }
+    os << "mem " << sim.mem.reads << ' ' << sim.mem.writes << '\n';
+    os << "samples";
+    for (double v : cell.samples) {
+        os << ' ';
+        printHexFloat(os, v);
+    }
+    os << '\n';
+    for (const auto &trace : cell.traces) {
+        os << "trace ";
+        printHexFloat(os, trace.startHz);
+        os << ' ';
+        printHexFloat(os, trace.binHz);
+        os << ' ' << trace.psd.size();
+        for (double v : trace.psd) {
+            os << ' ';
+            printHexFloat(os, v);
+        }
+        os << '\n';
+    }
+}
+
+void
+printBody(std::ostream &os, const CampaignCheckpoint &cp)
+{
+    os << kMagic << ' ' << kVersion << '\n';
+    os << "identity " << cp.identity << '\n';
+    os << "machine " << cp.machineId << '\n';
+    os << "reps " << cp.repetitions << '\n';
+    os << "keeptraces " << (cp.keepTraces ? 1 : 0) << '\n';
+    os << "events";
+    for (auto e : cp.events)
+        os << ' ' << kernels::eventName(e);
+    os << '\n';
+    for (const auto &cell : cp.cells) {
+        os << "cell " << kernels::eventName(cell.a) << ' '
+           << kernels::eventName(cell.b) << ' '
+           << pipeline::cellStateName(cell.sim.state) << ' '
+           << cell.attempts << ' ';
+        printHexFloat(os, cell.backoffSeconds);
+        os << ' ' << cell.samples.size() << ' '
+           << cell.traces.size() << '\n';
+        if (!cell.lastError.empty())
+            os << "error " << cell.lastError << '\n';
+        printCellBody(os, cell);
+    }
+    os << "end\n";
+}
+
+} // namespace
+
+std::string
+hashCampaignIdentity(const core::CampaignConfig &config)
+{
+    std::ostringstream canon;
+    const auto &m = config.meter;
+    canon << config.machineId << '|'
+          << pipeline::channelName(m.channel) << '|';
+    for (double v :
+         {m.alternation.inHz(), m.distance.inMeters(), m.bandHz,
+          m.spanHz, m.rbwHz, m.noiseFloorWPerHz,
+          m.power.noiseFloorWPerHz, m.power.residualCoupling}) {
+        printHexFloat(canon, v);
+        canon << '|';
+    }
+    canon << static_cast<int>(m.pairing) << '|' << m.measurePeriods
+          << '|';
+    for (auto e : config.events)
+        canon << kernels::eventName(e) << ',';
+    canon << '|' << config.repetitions << '|' << config.seed << '|'
+          << (config.keepTraces ? 1 : 0);
+
+    const std::string s = canon.str();
+    // Two independent CRC passes give a 64-bit identity; collisions
+    // across *differing* configs of the same repo are what matters,
+    // not cryptographic strength.
+    return format("%08x%08x", support::crc32(s),
+                  support::crc32(s, 0x5AFA7u));
+}
+
+void
+saveCheckpoint(std::ostream &os, const CampaignCheckpoint &cp)
+{
+    std::ostringstream body;
+    printBody(body, cp);
+    const std::string text = body.str();
+    os << text << format("crc32 %08x\n", support::crc32(text));
+}
+
+CheckpointParseResult
+loadCheckpoint(std::istream &stream)
+{
+    CheckpointParseResult res;
+
+    std::string content;
+    {
+        std::ostringstream oss;
+        oss << stream.rdbuf();
+        content = oss.str();
+    }
+    res.bytes = content.size();
+
+    std::istringstream in(content);
+    auto fail = [&res, &in](const std::string &msg) {
+        res.ok = false;
+        const auto pos = in.tellg();
+        res.error =
+            pos < 0 ? msg
+                    : msg + format(" (near byte %lld of %zu)",
+                                   static_cast<long long>(pos),
+                                   res.bytes);
+        return res;
+    };
+
+    std::string magic, version;
+    if (!(in >> magic >> version) || magic != kMagic)
+        return fail("not a savat campaign checkpoint");
+    if (version != kVersion)
+        return fail("unsupported checkpoint version " + version);
+
+    // CRC first: a checkpoint is rewritten many times per campaign,
+    // so truncation/corruption must be caught before any record is
+    // trusted.
+    const std::size_t footer = content.rfind("crc32 ");
+    if (footer == std::string::npos ||
+        content.find('\n', footer) != content.size() - 1)
+        return fail("missing crc32 footer (file truncated?)");
+    unsigned long stored = 0;
+    if (std::sscanf(content.c_str() + footer, "crc32 %8lx",
+                    &stored) != 1)
+        return fail(
+            format("malformed crc32 footer at byte %zu", footer));
+    const std::uint32_t actual =
+        support::crc32(content.data(), footer);
+    if (actual != static_cast<std::uint32_t>(stored))
+        return fail(format("crc32 mismatch over bytes 0..%zu: "
+                           "stored %08lx, computed %08x "
+                           "(file corrupted or truncated)",
+                           footer, stored, actual));
+    content.resize(footer);
+    in.str(content);
+    in.clear();
+    in >> magic >> version; // re-skip the header line
+
+    auto &cp = res.checkpoint;
+    std::string key;
+    bool saw_end = false;
+    while (in >> key) {
+        if (key == "identity") {
+            if (!(in >> cp.identity))
+                return fail("identity: missing hash");
+        } else if (key == "machine") {
+            if (!(in >> cp.machineId))
+                return fail("machine: missing id");
+        } else if (key == "reps") {
+            if (!(in >> cp.repetitions))
+                return fail("reps: missing count");
+        } else if (key == "keeptraces") {
+            int flag = 0;
+            if (!(in >> flag))
+                return fail("keeptraces: missing flag");
+            cp.keepTraces = flag != 0;
+        } else if (key == "events") {
+            std::string line;
+            std::getline(in, line);
+            std::istringstream toks(line);
+            std::string name;
+            while (toks >> name) {
+                EventKind e;
+                if (!eventNamed(name, e))
+                    return fail("events: unknown event " + name);
+                cp.events.push_back(e);
+            }
+        } else if (key == "cell") {
+            CampaignCheckpoint::Cell cell;
+            std::string na, nb, state;
+            std::size_t nsamples = 0, ntraces = 0;
+            if (!(in >> na >> nb >> state >> cell.attempts) ||
+                !readHexFloat(in, cell.backoffSeconds) ||
+                !(in >> nsamples >> ntraces))
+                return fail("cell: malformed header");
+            if (!eventNamed(na, cell.a) || !eventNamed(nb, cell.b))
+                return fail("cell: unknown event " + na + "/" + nb);
+            if (!pipeline::cellStateByName(state, cell.sim.state))
+                return fail("cell: unknown state " + state);
+            cell.sim.a = cell.a;
+            cell.sim.b = cell.b;
+
+            std::string sub;
+            if (!(in >> sub))
+                return fail("cell: truncated record");
+            if (sub == "error") {
+                std::string line;
+                std::getline(in, line);
+                cell.lastError = trim(line);
+                if (!(in >> sub))
+                    return fail("cell: truncated record");
+            }
+
+            auto &sim = cell.sim;
+            double freqHz = 0.0;
+            if (sub != "sim" ||
+                !(in >> sim.counts.countA >> sim.counts.countB) ||
+                !readHexFloat(in, sim.counts.cpiA) ||
+                !readHexFloat(in, sim.counts.cpiB) ||
+                !readHexFloat(in, freqHz) ||
+                !readHexFloat(in, sim.duty) ||
+                !readHexFloat(in, sim.periodCycles) ||
+                !readHexFloat(in, sim.pairsPerSecond))
+                return fail("cell: malformed sim record");
+            sim.actualFrequency = Frequency::hz(freqHz);
+
+            if (!(in >> sub) || sub != "amp")
+                return fail("cell: expected amp record");
+            for (auto &c : sim.amplitude) {
+                double re = 0.0, im = 0.0;
+                if (!readHexFloat(in, re) || !readHexFloat(in, im))
+                    return fail("cell: malformed amp record");
+                c = {re, im};
+            }
+            const std::pair<const char *, std::array<double, 8> *>
+                means[] = {{"meana", &sim.meanA},
+                           {"meanb", &sim.meanB}};
+            for (const auto &[name, mean] : means) {
+                if (!(in >> sub) || sub != name)
+                    return fail(std::string("cell: expected ") +
+                                name + " record");
+                for (double &v : *mean)
+                    if (!readHexFloat(in, v))
+                        return fail(std::string("cell: malformed ") +
+                                    name + " record");
+            }
+            const std::pair<const char *, uarch::CacheStats *>
+                caches[] = {{"l1", &sim.l1}, {"l2", &sim.l2}};
+            for (const auto &[name, cache] : caches) {
+                if (!(in >> sub) || sub != name ||
+                    !(in >> cache->readHits >> cache->readMisses >>
+                      cache->writeHits >> cache->writeMisses >>
+                      cache->writebacksIn >> cache->writebacksOut))
+                    return fail(std::string("cell: malformed ") +
+                                name + " record");
+            }
+            if (!(in >> sub) || sub != "mem" ||
+                !(in >> sim.mem.reads >> sim.mem.writes))
+                return fail("cell: malformed mem record");
+
+            if (!(in >> sub) || sub != "samples")
+                return fail("cell: expected samples record");
+            cell.samples.resize(nsamples);
+            for (double &v : cell.samples)
+                if (!readHexFloat(in, v))
+                    return fail("cell: truncated samples");
+
+            cell.traces.reserve(ntraces);
+            for (std::size_t t = 0; t < ntraces; ++t) {
+                spectrum::Trace trace;
+                std::size_t bins = 0;
+                if (!(in >> sub) || sub != "trace")
+                    return fail("cell: expected trace record");
+                if (!readHexFloat(in, trace.startHz) ||
+                    !readHexFloat(in, trace.binHz) || !(in >> bins))
+                    return fail("trace: malformed header");
+                trace.psd.resize(bins);
+                for (double &v : trace.psd)
+                    if (!readHexFloat(in, v))
+                        return fail("trace: truncated PSD");
+                cell.traces.push_back(std::move(trace));
+            }
+            cp.cells.push_back(std::move(cell));
+        } else if (key == "end") {
+            saw_end = true;
+            break;
+        } else {
+            return fail("unknown record '" + key + "'");
+        }
+    }
+    if (!saw_end)
+        return fail("truncated checkpoint (missing end marker)");
+    res.ok = true;
+    return res;
+}
+
+CheckpointParseResult
+loadCheckpointFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        CheckpointParseResult res;
+        res.error = "cannot open " + path;
+        return res;
+    }
+    return loadCheckpoint(in);
+}
+
+bool
+writeCheckpointFile(const std::string &path,
+                    const CampaignCheckpoint &cp, bool truncate,
+                    std::string *error)
+{
+    std::ostringstream oss;
+    saveCheckpoint(oss, cp);
+    std::string text = oss.str();
+    if (truncate)
+        text.resize(text.size() / 2);
+    return support::writeFileAtomically(path, text, error);
+}
+
+} // namespace savat::resilience

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Campaign checkpoint/resume.
+ *
+ * A full pairwise campaign is hours of bench time; losing it to a
+ * crash at pair 117 of 121 is the failure mode the paper's authors
+ * scheduled their measurement days around. CampaignRunner
+ * periodically serializes every completed cell — the deterministic
+ * PairSimulation, the per-repetition SAVAT samples, and (for
+ * keepTraces campaigns) the analyzer displays — to a versioned,
+ * CRC-32-guarded, hexfloat checkpoint written with an atomic
+ * temp-file + rename, so the file on disk is always a valid prefix
+ * of the campaign.
+ *
+ * Cells are keyed by their (A, B) event names, not by request
+ * index, and the identity hash deliberately excludes the pair list:
+ * a checkpoint taken while measuring any subset of a campaign's
+ * pairs is a valid warm start for any other subset of the same
+ * campaign. Restored cells are not re-measured; the remainder draws
+ * from the same per-cell RNG streams it always had, so a resumed
+ * matrix is byte-identical to an uninterrupted run.
+ */
+
+#ifndef SAVAT_RESILIENCE_CHECKPOINT_HH
+#define SAVAT_RESILIENCE_CHECKPOINT_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "pipeline/stages.hh"
+#include "spectrum/analyzer.hh"
+
+namespace savat::core {
+struct CampaignConfig;
+}
+
+namespace savat::resilience {
+
+/** Everything a campaign needs to warm-start one cell. */
+struct CampaignCheckpoint
+{
+    /** Identity hash of the producing campaign's configuration. */
+    std::string identity;
+
+    std::string machineId;
+    std::vector<kernels::EventKind> events;
+    std::size_t repetitions = 0;
+    bool keepTraces = false;
+
+    struct Cell
+    {
+        kernels::EventKind a = kernels::EventKind::NOI;
+        kernels::EventKind b = kernels::EventKind::NOI;
+
+        pipeline::PairSimulation sim;
+
+        /** Per-repetition SAVAT samples [zJ], in repetition order. */
+        std::vector<double> samples;
+
+        /** keepTraces campaigns only: one display per repetition. */
+        std::vector<spectrum::Trace> traces;
+
+        /** Containment bookkeeping (see resilience/retry.hh). */
+        std::size_t attempts = 1;
+        double backoffSeconds = 0.0;
+        std::string lastError;
+    };
+    std::vector<Cell> cells;
+};
+
+/**
+ * Identity of a campaign for resume compatibility: machine, channel,
+ * meter settings, event set, repetitions, seed and keepTraces — but
+ * NOT the pair list, so checkpoints transfer between subsets of the
+ * same campaign. Stable 16-hex-digit string.
+ */
+std::string
+hashCampaignIdentity(const core::CampaignConfig &config);
+
+/** Serialize (hexfloat + CRC-32 footer, byte-exact round trip). */
+void saveCheckpoint(std::ostream &os, const CampaignCheckpoint &cp);
+
+/** Outcome of parsing a checkpoint. */
+struct CheckpointParseResult
+{
+    CampaignCheckpoint checkpoint;
+    bool ok = false;
+    std::string error;
+    std::size_t bytes = 0; //!< total size of the parsed input
+};
+
+/**
+ * Parse a checkpoint, verifying the CRC-32 footer first; failures
+ * carry the byte offset where the damage was detected.
+ */
+CheckpointParseResult loadCheckpoint(std::istream &in);
+CheckpointParseResult loadCheckpointFile(const std::string &path);
+
+/**
+ * Write the checkpoint to `path` atomically (temp file + rename).
+ * `truncate` is the fault-injection hook: when set, only the first
+ * half of the serialized bytes is written — still through the
+ * atomic path, so the corruption the loader must catch is a torn
+ * payload, not a torn rename. Returns false on I/O failure.
+ */
+bool writeCheckpointFile(const std::string &path,
+                         const CampaignCheckpoint &cp,
+                         bool truncate = false,
+                         std::string *error = nullptr);
+
+} // namespace savat::resilience
+
+#endif // SAVAT_RESILIENCE_CHECKPOINT_HH

@@ -1,0 +1,247 @@
+#include "resilience/fault.hh"
+
+#include <cstdlib>
+
+#include "support/strings.hh"
+
+namespace savat::resilience {
+
+namespace {
+
+/** splitmix64 finalizer: one well-mixed word per (seed, ordinal). */
+std::uint64_t
+mix(std::uint64_t x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+}
+
+bool
+faultKindByName(const std::string &name, FaultKind &out)
+{
+    if (name == "nan")
+        out = FaultKind::Nan;
+    else if (name == "inf")
+        out = FaultKind::Inf;
+    else if (name == "throw")
+        out = FaultKind::Throw;
+    else if (name == "trunc")
+        out = FaultKind::TruncateCheckpoint;
+    else if (name == "die")
+        out = FaultKind::Die;
+    else
+        return false;
+    return true;
+}
+
+/** Strict non-negative integer parse ("" and trailing junk fail). */
+bool
+parseIndex(const std::string &tok, std::size_t &out)
+{
+    // strtoull silently wraps negatives, so gate on a leading digit.
+    if (tok.empty() || tok[0] < '0' || tok[0] > '9')
+        return false;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(tok.c_str(), &end, 10);
+    if (end == tok.c_str() || *end != '\0')
+        return false;
+    out = static_cast<std::size_t>(v);
+    return true;
+}
+
+bool
+parseRule(const std::string &text, FaultRule &rule,
+          std::string &error)
+{
+    const std::size_t at = text.find('@');
+    if (at == std::string::npos) {
+        error = "rule '" + text + "' is missing '@<target>'";
+        return false;
+    }
+    if (!faultKindByName(text.substr(0, at), rule.kind)) {
+        error = "unknown fault kind '" + text.substr(0, at) +
+                "' (expected nan|inf|throw|trunc|die)";
+        return false;
+    }
+
+    std::string target = text.substr(at + 1);
+    const std::size_t alwaysAt = target.rfind(":always");
+    if (alwaysAt != std::string::npos &&
+        alwaysAt + 7 == target.size()) {
+        rule.always = true;
+        target.resize(alwaysAt);
+    }
+
+    if (target.rfind("every:", 0) == 0) {
+        rule.target = FaultRule::Target::Every;
+        if (!parseIndex(target.substr(6), rule.period) ||
+            rule.period == 0) {
+            error = "bad period in '" + text +
+                    "' (expected every:<K> with K >= 1)";
+            return false;
+        }
+    } else if (target.rfind("rate:", 0) == 0) {
+        rule.target = FaultRule::Target::Rate;
+        char *end = nullptr;
+        const std::string frac = target.substr(5);
+        rule.rate = std::strtod(frac.c_str(), &end);
+        if (frac.empty() || end == frac.c_str() || *end != '\0' ||
+            !(rule.rate >= 0.0 && rule.rate <= 1.0)) {
+            error = "bad rate in '" + text +
+                    "' (expected rate:<P> with P in [0, 1])";
+            return false;
+        }
+    } else {
+        rule.target = FaultRule::Target::Index;
+        if (!parseIndex(target, rule.index)) {
+            error = "bad target in '" + text +
+                    "' (expected an index, every:<K>, or rate:<P>)";
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::Nan: return "nan";
+      case FaultKind::Inf: return "inf";
+      case FaultKind::Throw: return "throw";
+      case FaultKind::TruncateCheckpoint: return "trunc";
+      case FaultKind::Die: return "die";
+    }
+    return "unknown";
+}
+
+bool
+FaultRule::matches(std::size_t i, std::uint64_t seed) const
+{
+    switch (target) {
+      case Target::Index:
+        return i == index;
+      case Target::Every:
+        return i % period == 0;
+      case Target::Rate: {
+        // Seeded hash of the ordinal: the same (plan, seed,
+        // ordinal) fires identically at any jobs value.
+        const double u =
+            static_cast<double>(mix(seed ^ (i + 1)) >> 11) *
+            0x1.0p-53;
+        return u < rate;
+      }
+    }
+    return false;
+}
+
+bool
+parseFaultPlan(const std::string &spec, FaultPlan &out,
+               std::string *error)
+{
+    out = FaultPlan{};
+    out.text = spec;
+    std::size_t start = 0;
+    while (start <= spec.size()) {
+        std::size_t comma = spec.find(',', start);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        const std::string tok =
+            trim(spec.substr(start, comma - start));
+        start = comma + 1;
+        if (tok.empty())
+            continue;
+        FaultRule rule;
+        std::string ruleError;
+        if (!parseRule(tok, rule, ruleError)) {
+            if (error)
+                *error = ruleError;
+            out = FaultPlan{};
+            return false;
+        }
+        out.rules.push_back(rule);
+    }
+    return true;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t seed)
+    : _plan(std::move(plan)), _seed(seed)
+{
+}
+
+const FaultRule *
+FaultInjector::measurementFault(std::size_t pair,
+                                std::size_t attempt) const
+{
+    for (const auto &rule : _plan.rules) {
+        if (rule.kind != FaultKind::Nan &&
+            rule.kind != FaultKind::Inf &&
+            rule.kind != FaultKind::Throw)
+            continue;
+        if (attempt > 0 && !rule.always)
+            continue;
+        if (rule.matches(pair, _seed))
+            return &rule;
+    }
+    return nullptr;
+}
+
+bool
+FaultInjector::dieAfterPair(std::size_t pair) const
+{
+    for (const auto &rule : _plan.rules)
+        if (rule.kind == FaultKind::Die && rule.matches(pair, _seed))
+            return true;
+    return false;
+}
+
+bool
+FaultInjector::truncateCheckpointWrite(std::size_t ordinal) const
+{
+    for (const auto &rule : _plan.rules)
+        if (rule.kind == FaultKind::TruncateCheckpoint &&
+            rule.matches(ordinal, _seed))
+            return true;
+    return false;
+}
+
+void
+lintFaultPlan(const std::string &spec, std::size_t pairCount,
+              analysis::Report &report)
+{
+    using analysis::DiagId;
+
+    FaultPlan plan;
+    std::string error;
+    if (!parseFaultPlan(spec, plan, &error)) {
+        report.add(DiagId::FaultPlanInvalid, "fault-plan", error,
+                   "see the <kind>@<target>[:always] grammar in "
+                   "resilience/fault.hh");
+        return;
+    }
+    for (const auto &rule : plan.rules) {
+        if (rule.target == FaultRule::Target::Index &&
+            rule.kind != FaultKind::TruncateCheckpoint &&
+            pairCount > 0 && rule.index >= pairCount)
+            report.add(
+                DiagId::FaultPlanUnreachable, "fault-plan",
+                format("rule %s@%zu targets a pair beyond the "
+                       "campaign's %zu pairs and will never fire",
+                       faultKindName(rule.kind), rule.index,
+                       pairCount),
+                "target an index inside the campaign or drop the "
+                "rule");
+        if (rule.target == FaultRule::Target::Rate &&
+            rule.rate == 0.0)
+            report.add(DiagId::FaultPlanUnreachable, "fault-plan",
+                       format("rule %s@rate:0 can never fire",
+                              faultKindName(rule.kind)),
+                       "use a positive rate or drop the rule");
+    }
+}
+
+} // namespace savat::resilience

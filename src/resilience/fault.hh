@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Deterministic fault injection for exercising the containment and
+ * checkpoint machinery.
+ *
+ * A fault plan is a comma-separated list of rules:
+ *
+ *   <kind>@<target>[:always]
+ *
+ *   kind    nan | inf | throw | trunc | die
+ *   target  a pair index `7`, `every:K` (each K-th pair),
+ *           or `rate:P` (seeded pseudo-random fraction P of pairs)
+ *
+ * nan/inf poison the cell's first SAVAT sample; throw raises an
+ * InjectedFault from the measurement; trunc truncates the next
+ * checkpoint write (target counts checkpoint writes, not pairs);
+ * die exits the process with status 137 after the target pair
+ * completes, simulating `kill -9` mid-campaign. nan/inf/throw fire
+ * on the first attempt only, so containment retries recover a clean
+ * cell — append `:always` to fail every attempt and force the cell
+ * Degraded.
+ *
+ * Rule matching is a pure function of (plan, seed, indices): a plan
+ * replayed against the same campaign injects the same faults
+ * regardless of jobs or thread schedule.
+ */
+
+#ifndef SAVAT_RESILIENCE_FAULT_HH
+#define SAVAT_RESILIENCE_FAULT_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.hh"
+
+namespace savat::resilience {
+
+/** What a fault rule does when it fires. */
+enum class FaultKind : std::uint8_t
+{
+    Nan,                //!< poison a SAVAT sample with quiet NaN
+    Inf,                //!< poison a SAVAT sample with +infinity
+    Throw,              //!< throw InjectedFault from the measurement
+    TruncateCheckpoint, //!< cut the targeted checkpoint write short
+    Die,                //!< _Exit(137) after the targeted pair
+};
+
+/** Stable lower-case name ("nan", "inf", ...). */
+const char *faultKindName(FaultKind kind);
+
+/** Where a rule fires. */
+struct FaultRule
+{
+    FaultKind kind = FaultKind::Nan;
+
+    enum class Target : std::uint8_t
+    {
+        Index, //!< exactly pair/write ordinal `index`
+        Every, //!< every `period`-th ordinal (0, period, 2*period..)
+        Rate,  //!< seeded pseudo-random fraction `rate` of ordinals
+    };
+    Target target = Target::Index;
+
+    std::size_t index = 0;
+    std::size_t period = 1;
+    double rate = 0.0;
+
+    /** Fire on every containment attempt, not just the first. */
+    bool always = false;
+
+    /** True when this rule fires at ordinal `i` under `seed`. */
+    bool matches(std::size_t i, std::uint64_t seed) const;
+};
+
+/** A parsed fault plan. */
+struct FaultPlan
+{
+    std::vector<FaultRule> rules;
+    std::string text; //!< the spec the plan was parsed from
+
+    bool empty() const { return rules.empty(); }
+};
+
+/**
+ * Parse the `<kind>@<target>[:always],...` grammar. Returns false
+ * (with `error` describing the offending rule) on malformed input;
+ * an empty spec parses to an empty plan.
+ */
+bool parseFaultPlan(const std::string &spec, FaultPlan &out,
+                    std::string *error = nullptr);
+
+/** Thrown by injected `throw` faults. */
+struct InjectedFault : std::runtime_error
+{
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * Evaluates a FaultPlan during a campaign. Stateless with respect
+ * to pair queries (safe from any worker thread); checkpoint-write
+ * ordinals are counted by the caller.
+ */
+class FaultInjector
+{
+  public:
+    FaultInjector() = default;
+    FaultInjector(FaultPlan plan, std::uint64_t seed);
+
+    bool enabled() const { return !_plan.empty(); }
+
+    /**
+     * The measurement fault (Nan/Inf/Throw) to inject into attempt
+     * `attempt` of pair `pair`, or nullptr when none fires. First
+     * match wins; rules without `:always` fire only on attempt 0.
+     */
+    const FaultRule *measurementFault(std::size_t pair,
+                                      std::size_t attempt) const;
+
+    /** True when a `die` rule targets pair `pair`. */
+    bool dieAfterPair(std::size_t pair) const;
+
+    /** True when checkpoint write number `ordinal` is truncated. */
+    bool truncateCheckpointWrite(std::size_t ordinal) const;
+
+  private:
+    FaultPlan _plan;
+    std::uint64_t _seed = 0;
+};
+
+/**
+ * SAV-1803/SAV-1804: reject plans that do not parse and warn about
+ * rules that cannot fire on a campaign of `pairCount` pairs.
+ */
+void lintFaultPlan(const std::string &spec, std::size_t pairCount,
+                   analysis::Report &report);
+
+} // namespace savat::resilience
+
+#endif // SAVAT_RESILIENCE_FAULT_HH

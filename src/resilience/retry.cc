@@ -1,0 +1,150 @@
+#include "resilience/retry.hh"
+
+#include <cmath>
+#include <exception>
+
+#include "support/logging.hh"
+#include "support/obs.hh"
+#include "support/rng.hh"
+#include "support/strings.hh"
+
+namespace savat::resilience {
+
+double
+retryBackoffSeconds(const RetryPolicy &policy, std::size_t pair,
+                    std::size_t attempt)
+{
+    if (attempt == 0)
+        return 0.0;
+    double base = policy.backoffSeconds;
+    for (std::size_t i = 1; i < attempt; ++i)
+        base *= policy.multiplier;
+    // The jitter stream is keyed on (pair, attempt) alone, so the
+    // schedule is identical whichever worker thread runs the retry.
+    Rng rng(policy.seed ^
+            (0x9E3779B97F4A7C15ull * (pair * 131 + attempt + 1)));
+    const double jitter =
+        rng.uniform(-policy.jitterFraction, policy.jitterFraction);
+    return base * (1.0 + jitter);
+}
+
+double
+worstCaseBackoffSeconds(const RetryPolicy &policy)
+{
+    double total = 0.0;
+    double base = policy.backoffSeconds;
+    for (std::size_t a = 1; a + 1 <= policy.maxAttempts; ++a) {
+        total += base * (1.0 + policy.jitterFraction);
+        base *= policy.multiplier;
+    }
+    return total;
+}
+
+bool
+allFinite(const pipeline::PairSimulation &sim)
+{
+    if (!std::isfinite(sim.actualFrequency.inHz()) ||
+        !std::isfinite(sim.duty) ||
+        !std::isfinite(sim.periodCycles) ||
+        !std::isfinite(sim.pairsPerSecond))
+        return false;
+    for (std::size_t c = 0; c < em::kNumChannels; ++c) {
+        if (!std::isfinite(sim.amplitude[c].real()) ||
+            !std::isfinite(sim.amplitude[c].imag()) ||
+            !std::isfinite(sim.meanA[c]) ||
+            !std::isfinite(sim.meanB[c]))
+            return false;
+    }
+    return true;
+}
+
+GuardOutcome
+guardPair(const RetryPolicy &policy, std::size_t pair,
+          const AttemptFn &attempt)
+{
+    GuardOutcome out;
+    const std::size_t attempts =
+        policy.maxAttempts > 0 ? policy.maxAttempts : 1;
+    for (std::size_t a = 0; a < attempts; ++a) {
+        out.backoffSeconds += retryBackoffSeconds(policy, pair, a);
+        out.attempts = a + 1;
+        std::string error;
+        bool clean = false;
+        try {
+            clean = attempt(a, error);
+        } catch (const std::exception &e) {
+            error = e.what();
+        } catch (...) {
+            error = "unknown exception";
+        }
+        if (clean) {
+            out.state = pipeline::CellState::Measured;
+            out.lastError.clear();
+            if (a > 0)
+                SAVAT_INFORM("pair ", pair, " recovered on attempt ",
+                             a + 1, " after ",
+                             format("%.3f", out.backoffSeconds),
+                             " s virtual backoff");
+            return out;
+        }
+        out.lastError =
+            error.empty() ? "attempt failed" : std::move(error);
+        SAVAT_METRIC_COUNT("resilience.retries");
+        SAVAT_WARN("pair ", pair, " attempt ", a + 1, "/", attempts,
+                   " failed: ", out.lastError);
+    }
+    out.state = pipeline::CellState::Degraded;
+    SAVAT_METRIC_COUNT("resilience.degraded_cells");
+    SAVAT_WARN("pair ", pair, " degraded after ", attempts,
+               " attempts: ", out.lastError);
+    return out;
+}
+
+void
+lintRetryPolicy(const RetryPolicy &policy,
+                double pairMeasurementBudgetSeconds,
+                analysis::Report &report)
+{
+    using analysis::DiagId;
+
+    if (policy.maxAttempts == 0)
+        report.add(DiagId::RetryPolicyInvalid, "retry-attempts",
+                   "retry policy allows zero attempts; no cell "
+                   "could ever be measured",
+                   "set retry-attempts to at least 1");
+    if (!(policy.backoffSeconds >= 0.0) ||
+        !std::isfinite(policy.backoffSeconds))
+        report.add(DiagId::RetryPolicyInvalid, "retry-backoff",
+                   format("retry backoff %g s is not a finite "
+                          "non-negative duration",
+                          policy.backoffSeconds),
+                   "use a small positive backoff such as 50 ms");
+    if (!(policy.multiplier >= 1.0) ||
+        !std::isfinite(policy.multiplier))
+        report.add(DiagId::RetryPolicyInvalid, "retry-backoff",
+                   format("backoff multiplier %g must be a finite "
+                          "value >= 1",
+                          policy.multiplier),
+                   "use an exponential multiplier such as 2");
+    if (!(policy.jitterFraction >= 0.0 &&
+          policy.jitterFraction <= 1.0))
+        report.add(DiagId::RetryPolicyInvalid, "retry-backoff",
+                   format("jitter fraction %g outside [0, 1]",
+                          policy.jitterFraction),
+                   "use a fraction such as 0.1");
+
+    if (report.has(DiagId::RetryPolicyInvalid))
+        return;
+
+    const double worst = worstCaseBackoffSeconds(policy);
+    if (pairMeasurementBudgetSeconds > 0.0 &&
+        worst > 10.0 * pairMeasurementBudgetSeconds)
+        report.add(DiagId::RetryBackoffExcessive, "retry-backoff",
+                   format("worst-case backoff %.3f s is more than "
+                          "10x the %.3f s pair measurement budget",
+                          worst, pairMeasurementBudgetSeconds),
+                   "lower retry-backoff or retry-attempts so waits "
+                   "stay comparable to the measurement itself");
+}
+
+} // namespace savat::resilience

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Per-pair fault containment for long campaigns.
+ *
+ * An 11x11 campaign spends many core-hours; one pair whose signal
+ * chain throws or emits a non-finite SAVAT value must not abort the
+ * other 120 cells. PairGuard wraps the measurement of one cell: it
+ * catches exceptions and NaN/Inf outputs, retries under a
+ * deterministic RetryPolicy, and on exhaustion reports the cell as
+ * CellState::Degraded so the campaign completes with the failure
+ * recorded instead of the matrix lost.
+ *
+ * Backoff is *virtual time*: the simulated bench has no transient
+ * bench noise to wait out, so the guard never sleeps. It computes
+ * the seeded, jittered backoff schedule a real bench would follow
+ * and reports the accumulated virtual seconds through savat::obs —
+ * deterministic per (pair, attempt) and independent of how worker
+ * threads are scheduled.
+ */
+
+#ifndef SAVAT_RESILIENCE_RETRY_HH
+#define SAVAT_RESILIENCE_RETRY_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "analysis/diagnostic.hh"
+#include "pipeline/stages.hh"
+
+namespace savat::resilience {
+
+/** Deterministic bounded-retry schedule for one campaign. */
+struct RetryPolicy
+{
+    /** Total tries per cell (first attempt included). */
+    std::size_t maxAttempts = 3;
+
+    /** Virtual backoff before the second attempt [s]. */
+    double backoffSeconds = 0.05;
+
+    /** Growth factor per subsequent attempt. */
+    double multiplier = 2.0;
+
+    /** +/- fractional jitter applied to each backoff. */
+    double jitterFraction = 0.1;
+
+    /** Seed of the jitter stream (independent of measurement RNG). */
+    std::uint64_t seed = 0x5AFA7u;
+};
+
+/**
+ * The virtual backoff before attempt `attempt` (1-based; attempt 0
+ * is the initial try and has no backoff) of pair `pair`, jittered
+ * deterministically from the policy seed.
+ */
+double retryBackoffSeconds(const RetryPolicy &policy,
+                           std::size_t pair, std::size_t attempt);
+
+/** Total virtual backoff if every retry of one cell is consumed. */
+double worstCaseBackoffSeconds(const RetryPolicy &policy);
+
+/** True when every element of `sim` and `samples` is finite. */
+bool allFinite(const pipeline::PairSimulation &sim);
+
+/** Outcome of guarding one cell. */
+struct GuardOutcome
+{
+    pipeline::CellState state = pipeline::CellState::Skipped;
+
+    /** Attempts actually consumed (1 = clean first try). */
+    std::size_t attempts = 0;
+
+    /** Accumulated virtual backoff [s]. */
+    double backoffSeconds = 0.0;
+
+    /** Last failure description; empty when the cell came up clean. */
+    std::string lastError;
+};
+
+/**
+ * One measurement attempt. `attempt` is 0-based. Returns true when
+ * the attempt produced a clean (finite, exception-free) cell; on
+ * false, `error` describes what went wrong. Throwing is equivalent
+ * to returning false with the exception text as the error.
+ */
+using AttemptFn =
+    std::function<bool(std::size_t attempt, std::string &error)>;
+
+/**
+ * Run `attempt` under the policy: retry failed attempts with
+ * virtual-time backoff until one succeeds or maxAttempts is
+ * exhausted, then report Measured or Degraded. Emits
+ * resilience.retries / resilience.degraded_cells metrics.
+ */
+GuardOutcome guardPair(const RetryPolicy &policy, std::size_t pair,
+                       const AttemptFn &attempt);
+
+/**
+ * SAV-1801/SAV-1802: reject unusable retry policies (zero attempts,
+ * negative or non-finite backoff parameters, jitter outside [0, 1])
+ * and flag schedules whose worst-case backoff dwarfs the pair
+ * measurement budget.
+ */
+void lintRetryPolicy(const RetryPolicy &policy,
+                     double pairMeasurementBudgetSeconds,
+                     analysis::Report &report);
+
+} // namespace savat::resilience
+
+#endif // SAVAT_RESILIENCE_RETRY_HH

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+ *
+ * Used as the integrity footer of every on-disk artifact the
+ * resilience layer must be able to trust after a crash: campaign
+ * checkpoints and trace recordings carry a trailing CRC over their
+ * payload bytes so truncated or bit-flipped files are rejected with
+ * a diagnostic instead of being silently mis-parsed.
+ */
+
+#ifndef SAVAT_SUPPORT_CRC32_HH
+#define SAVAT_SUPPORT_CRC32_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace savat::support {
+
+/**
+ * CRC-32 of a byte range. `seed` is the running value of a previous
+ * call (0 to start), so long payloads can be folded incrementally.
+ */
+std::uint32_t crc32(const void *data, std::size_t size,
+                    std::uint32_t seed = 0);
+
+/** Convenience overload for in-memory payloads. */
+inline std::uint32_t
+crc32(std::string_view s, std::uint32_t seed = 0)
+{
+    return crc32(s.data(), s.size(), seed);
+}
+
+} // namespace savat::support
+
+#endif // SAVAT_SUPPORT_CRC32_HH

@@ -1,0 +1,35 @@
+#include "support/hexfloat.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace savat::support {
+
+void
+printHexFloat(std::ostream &os, double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%a", v);
+    os << buf;
+}
+
+std::string
+hexFloat(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%a", v);
+    return buf;
+}
+
+bool
+readHexFloat(std::istream &in, double &out)
+{
+    std::string tok;
+    if (!(in >> tok))
+        return false;
+    char *end = nullptr;
+    out = std::strtod(tok.c_str(), &end);
+    return end != tok.c_str() && *end == '\0';
+}
+
+} // namespace savat::support

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * C99 hexfloat ("%a") serialization helpers.
+ *
+ * Every artifact that must round-trip bit-exactly — trace
+ * recordings, campaign checkpoints, matrix fixtures — stores its
+ * doubles as hexfloats. istream's operator>> does not accept the
+ * "%a" form, so the readers here tokenize and strtod instead.
+ */
+
+#ifndef SAVAT_SUPPORT_HEXFLOAT_HH
+#define SAVAT_SUPPORT_HEXFLOAT_HH
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+namespace savat::support {
+
+/** Print one double as a C99 "%a" hexfloat token. */
+void printHexFloat(std::ostream &os, double v);
+
+/** The "%a" rendering as a string. */
+std::string hexFloat(double v);
+
+/**
+ * Read one whitespace-delimited numeric token, accepting hexfloats
+ * as well as plain decimals. Returns false at end of stream or on a
+ * malformed token.
+ */
+bool readHexFloat(std::istream &in, double &out);
+
+} // namespace savat::support
+
+#endif // SAVAT_SUPPORT_HEXFLOAT_HH

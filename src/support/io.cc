@@ -1,0 +1,94 @@
+#include "support/io.hh"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "support/strings.hh"
+
+namespace savat::support {
+
+namespace {
+
+/**
+ * Temporary sibling of `path`, unique per process so concurrent
+ * writers of different targets never collide. Same directory as the
+ * target, so the rename stays within one filesystem.
+ */
+std::string
+tempPathFor(const std::string &path)
+{
+    static const int pid = []() {
+        return static_cast<int>(::getpid());
+    }();
+    return path + format(".tmp.%d", pid);
+}
+
+} // namespace
+
+bool
+writeFileAtomically(const std::string &path,
+                    const std::function<void(std::ostream &)> &writer,
+                    std::string *error)
+{
+    const std::string tmp = tempPathFor(path);
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out) {
+            if (error)
+                *error = "cannot open " + tmp + " for writing";
+            return false;
+        }
+        writer(out);
+        out.flush();
+        if (!out) {
+            if (error)
+                *error = "write to " + tmp + " failed";
+            std::remove(tmp.c_str());
+            return false;
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        if (error)
+            *error = "cannot rename " + tmp + " to " + path;
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+bool
+writeFileAtomically(const std::string &path, const std::string &content,
+                    std::string *error)
+{
+    return writeFileAtomically(
+        path, [&](std::ostream &os) { os.write(content.data(),
+                                               static_cast<std::streamsize>(
+                                                   content.size())); },
+        error);
+}
+
+bool
+readFileToString(const std::string &path, std::string &out,
+                 std::string *error)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        if (error)
+            *error = "cannot open " + path;
+        return false;
+    }
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    if (in.bad()) {
+        if (error)
+            *error = "read from " + path + " failed";
+        return false;
+    }
+    out = oss.str();
+    return true;
+}
+
+} // namespace savat::support

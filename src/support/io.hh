@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Crash-safe file output.
+ *
+ * Long campaigns write artifacts a crash must never corrupt:
+ * checkpoints, trace recordings, CSV/fixture dumps, telemetry
+ * exports. writeFileAtomically() routes them all through the same
+ * temp-file + rename idiom — the content is streamed into a
+ * sibling temporary file and atomically renamed over the target, so
+ * a reader (or a resumed campaign) only ever sees either the old
+ * complete file or the new complete file, never a torn write.
+ */
+
+#ifndef SAVAT_SUPPORT_IO_HH
+#define SAVAT_SUPPORT_IO_HH
+
+#include <functional>
+#include <ostream>
+#include <string>
+
+namespace savat::support {
+
+/**
+ * Write `content` to `path` via a temporary file in the same
+ * directory plus an atomic rename. On failure the temporary file is
+ * removed, the target is left untouched, and (when `error` is
+ * non-null) a description is stored.
+ */
+bool writeFileAtomically(const std::string &path,
+                         const std::string &content,
+                         std::string *error = nullptr);
+
+/**
+ * Streaming variant: `writer` produces the content into an ostream
+ * backed by the temporary file.
+ */
+bool writeFileAtomically(
+    const std::string &path,
+    const std::function<void(std::ostream &)> &writer,
+    std::string *error = nullptr);
+
+/**
+ * Slurp a file into a string. Returns false (with `error` filled)
+ * when the file cannot be opened or read.
+ */
+bool readFileToString(const std::string &path, std::string &out,
+                      std::string *error = nullptr);
+
+} // namespace savat::support
+
+#endif // SAVAT_SUPPORT_IO_HH

@@ -7,6 +7,7 @@
 #include <iostream>
 #include <ostream>
 
+#include "support/io.hh"
 #include "support/logging.hh"
 #include "support/strings.hh"
 
@@ -561,16 +562,19 @@ dumpMetricsNow(const std::string &path)
         Registry::instance().writeJson(std::cout);
         return true;
     }
-    std::ofstream out(path);
-    if (!out) {
-        SAVAT_WARN("cannot write metrics to ", path);
-        return false;
-    }
-    if (endsWith(path, ".txt"))
-        Registry::instance().writeTable(out);
-    else
-        Registry::instance().writeJson(out);
-    return static_cast<bool>(out);
+    std::string error;
+    const bool ok = support::writeFileAtomically(
+        path,
+        [&](std::ostream &out) {
+            if (endsWith(path, ".txt"))
+                Registry::instance().writeTable(out);
+            else
+                Registry::instance().writeJson(out);
+        },
+        &error);
+    if (!ok)
+        SAVAT_WARN("cannot write metrics to ", path, ": ", error);
+    return ok;
 }
 
 bool
@@ -580,13 +584,12 @@ dumpTraceNow(const std::string &path)
         writeTraceJson(std::cout);
         return true;
     }
-    std::ofstream out(path);
-    if (!out) {
-        SAVAT_WARN("cannot write trace to ", path);
-        return false;
-    }
-    writeTraceJson(out);
-    return static_cast<bool>(out);
+    std::string error;
+    const bool ok = support::writeFileAtomically(
+        path, [](std::ostream &out) { writeTraceJson(out); }, &error);
+    if (!ok)
+        SAVAT_WARN("cannot write trace to ", path, ": ", error);
+    return ok;
 }
 
 void

@@ -100,7 +100,7 @@ TEST(Stages, RunAlternationProducesMeasuredSimulation)
     auto meter = core::SavatMeter::forMachine("core2duo");
     const auto &sim =
         meter.simulatePair(EventKind::ADD, EventKind::LDM);
-    EXPECT_TRUE(sim.measured);
+    EXPECT_TRUE(sim.measured());
     EXPECT_EQ(sim.a, EventKind::ADD);
     EXPECT_EQ(sim.b, EventKind::LDM);
     EXPECT_NEAR(sim.actualFrequency.inKhz(), 80.0, 0.4);
@@ -274,7 +274,7 @@ TEST(ReplayDeathTest, UnrecordedPairIsFatal)
     pipeline::PairSimulation sim;
     sim.a = EventKind::DIV; // never recorded
     sim.b = EventKind::ADD;
-    sim.measured = true;
+    sim.state = pipeline::CellState::Measured;
     Rng rng(1);
     spectrum::Trace scratch;
     EXPECT_EXIT(chain.measure(sim, 0, rng, scratch),
@@ -292,7 +292,7 @@ TEST(CampaignDeathTest, UnmeasuredSimulationIsFatal)
         cfg, {{EventKind::ADD, EventKind::LDM}});
 
     // The requested pair's slot is filled...
-    EXPECT_TRUE(res.simulation(0, 2).measured);
+    EXPECT_TRUE(res.simulation(0, 2).measured());
     // ...reading a skipped cell is a bug, caught loudly.
     EXPECT_EXIT(res.simulation(0, 1),
                 ::testing::KilledBySignal(SIGABRT), "never measured");

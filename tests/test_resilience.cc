@@ -1,0 +1,628 @@
+/**
+ * @file
+ * Tests for savat::resilience and its campaign integration: CRC-32
+ * and hexfloat primitives, atomic file writes, deterministic retry
+ * backoff and per-pair containment, the fault-plan grammar and its
+ * seeded matching, checkpoint serialization and damage detection,
+ * the recording CRC footer, and — the headline property — that a
+ * campaign killed mid-matrix and resumed from its checkpoint
+ * produces a byte-identical golden fixture at jobs 1 and 4.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cmath>
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.hh"
+#include "core/campaign.hh"
+#include "core/report.hh"
+#include "pipeline/replay.hh"
+#include "resilience/checkpoint.hh"
+#include "resilience/fault.hh"
+#include "resilience/retry.hh"
+#include "support/crc32.hh"
+#include "support/hexfloat.hh"
+#include "support/io.hh"
+
+namespace savat {
+namespace {
+
+using kernels::EventKind;
+
+std::string
+tempPath(const std::string &name)
+{
+    return ::testing::TempDir() + name;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << path;
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    return oss.str();
+}
+
+// ---------------------------------------------------------------
+// Support primitives.
+
+TEST(ResilienceCrc32, KnownVectorAndChaining)
+{
+    // The CRC-32/IEEE check value.
+    EXPECT_EQ(support::crc32("123456789"), 0xCBF43926u);
+    EXPECT_EQ(support::crc32(""), 0x00000000u);
+
+    // Seed-chaining: CRC of a whole equals CRC of the tail seeded
+    // with the CRC of the head (how the checkpoint identity mixes).
+    const std::string text = "the quick brown fox";
+    const auto whole = support::crc32(text);
+    const auto head = support::crc32(text.substr(0, 7));
+    EXPECT_EQ(support::crc32(text.substr(7), head), whole);
+
+    // One-bit damage changes the sum.
+    std::string bad = text;
+    bad[3] ^= 0x40;
+    EXPECT_NE(support::crc32(bad), whole);
+}
+
+TEST(ResilienceHexFloat, ExactRoundTrip)
+{
+    const double values[] = {0.0,     -0.0,   1.0 / 3.0, 6.02e23,
+                             -1.5e-9, 1e-310, 42.0};
+    for (double v : values) {
+        std::istringstream in(support::hexFloat(v));
+        double back = 0.0;
+        ASSERT_TRUE(support::readHexFloat(in, back))
+            << support::hexFloat(v);
+        EXPECT_EQ(std::signbit(back), std::signbit(v));
+        EXPECT_EQ(back, v);
+    }
+}
+
+TEST(ResilienceAtomicWrite, WritesReplacesAndLeavesNoTemp)
+{
+    const auto path = tempPath("atomic_write.txt");
+    std::string error;
+    ASSERT_TRUE(support::writeFileAtomically(path, "first\n", &error))
+        << error;
+    EXPECT_EQ(slurp(path), "first\n");
+    ASSERT_TRUE(
+        support::writeFileAtomically(path, "second\n", &error))
+        << error;
+    EXPECT_EQ(slurp(path), "second\n");
+
+    // The temp file must not survive a successful rename.
+    std::ifstream tmp(path + ".tmp." +
+                      std::to_string(::getpid()));
+    EXPECT_FALSE(tmp.good());
+
+    // An unwritable directory reports instead of crashing.
+    EXPECT_FALSE(support::writeFileAtomically(
+        "/nonexistent-dir/x.txt", "y", &error));
+    EXPECT_FALSE(error.empty());
+    std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------
+// Retry policy and containment.
+
+TEST(ResilienceRetry, BackoffDeterministicJitteredAndBounded)
+{
+    resilience::RetryPolicy policy;
+    policy.backoffSeconds = 0.1;
+    policy.multiplier = 2.0;
+    policy.jitterFraction = 0.1;
+
+    // Deterministic per (pair, attempt)...
+    const double b11 = resilience::retryBackoffSeconds(policy, 1, 1);
+    EXPECT_EQ(resilience::retryBackoffSeconds(policy, 1, 1), b11);
+    // ...but distinct streams for other pairs/attempts.
+    EXPECT_NE(resilience::retryBackoffSeconds(policy, 2, 1), b11);
+
+    // Within the jitter envelope around base * multiplier^(n-1).
+    for (std::size_t attempt = 1; attempt <= 3; ++attempt) {
+        const double base =
+            0.1 * std::pow(2.0, static_cast<double>(attempt - 1));
+        const double b =
+            resilience::retryBackoffSeconds(policy, 7, attempt);
+        EXPECT_GE(b, base * 0.9);
+        EXPECT_LE(b, base * 1.1);
+    }
+
+    // Worst case covers every retry of one cell.
+    policy.jitterFraction = 0.0;
+    EXPECT_NEAR(resilience::worstCaseBackoffSeconds(policy),
+                0.1 + 0.2, 1e-12);
+}
+
+TEST(ResilienceRetry, GuardRetriesUntilSuccess)
+{
+    resilience::RetryPolicy policy;
+    policy.maxAttempts = 5;
+    std::size_t calls = 0;
+    const auto outcome = resilience::guardPair(
+        policy, 3, [&](std::size_t attempt, std::string &error) {
+            ++calls;
+            if (attempt < 2) {
+                error = "transient";
+                return false;
+            }
+            return true;
+        });
+    EXPECT_EQ(outcome.state, pipeline::CellState::Measured);
+    EXPECT_EQ(outcome.attempts, 3u);
+    EXPECT_EQ(calls, 3u);
+    EXPECT_GT(outcome.backoffSeconds, 0.0);
+    EXPECT_TRUE(outcome.lastError.empty());
+}
+
+TEST(ResilienceRetry, GuardExhaustionDegradesAndKeepsLastError)
+{
+    resilience::RetryPolicy policy;
+    policy.maxAttempts = 3;
+    const auto outcome = resilience::guardPair(
+        policy, 0, [&](std::size_t attempt, std::string &error) {
+            error = "attempt " + std::to_string(attempt) + " failed";
+            return false;
+        });
+    EXPECT_EQ(outcome.state, pipeline::CellState::Degraded);
+    EXPECT_EQ(outcome.attempts, 3u);
+    EXPECT_EQ(outcome.lastError, "attempt 2 failed");
+
+    // Exceptions are contained exactly like explicit failures.
+    const auto thrown = resilience::guardPair(
+        policy, 1, [&](std::size_t, std::string &) -> bool {
+            throw resilience::InjectedFault("boom");
+        });
+    EXPECT_EQ(thrown.state, pipeline::CellState::Degraded);
+    EXPECT_EQ(thrown.lastError, "boom");
+}
+
+TEST(ResilienceRetry, LintRejectsUnusablePolicies)
+{
+    analysis::Report report;
+    resilience::RetryPolicy policy;
+    policy.maxAttempts = 0;
+    resilience::lintRetryPolicy(policy, 1.0, report);
+    ASSERT_TRUE(report.hasErrors());
+    EXPECT_EQ(report.diagnostics().front().id,
+              analysis::DiagId::RetryPolicyInvalid);
+
+    // A sane policy against a generous budget is clean.
+    analysis::Report clean;
+    resilience::lintRetryPolicy(resilience::RetryPolicy{}, 10.0,
+                                clean);
+    EXPECT_TRUE(clean.diagnostics().empty());
+
+    // A backoff schedule dwarfing the measurement is flagged.
+    analysis::Report slow;
+    resilience::RetryPolicy heavy;
+    heavy.backoffSeconds = 30.0;
+    resilience::lintRetryPolicy(heavy, 0.001, slow);
+    ASSERT_EQ(slow.count(analysis::Severity::Warning), 1u);
+    EXPECT_EQ(slow.diagnostics().front().id,
+              analysis::DiagId::RetryBackoffExcessive);
+}
+
+// ---------------------------------------------------------------
+// Fault plans.
+
+TEST(ResilienceFault, ParsesTheFullGrammar)
+{
+    resilience::FaultPlan plan;
+    std::string error;
+    ASSERT_TRUE(resilience::parseFaultPlan(
+        "nan@5,inf@every:3,throw@rate:0.25:always,trunc@0,die@7",
+        plan, &error))
+        << error;
+    ASSERT_EQ(plan.rules.size(), 5u);
+    EXPECT_EQ(plan.rules[0].kind, resilience::FaultKind::Nan);
+    EXPECT_EQ(plan.rules[0].index, 5u);
+    EXPECT_EQ(plan.rules[1].target,
+              resilience::FaultRule::Target::Every);
+    EXPECT_EQ(plan.rules[1].period, 3u);
+    EXPECT_EQ(plan.rules[2].target,
+              resilience::FaultRule::Target::Rate);
+    EXPECT_TRUE(plan.rules[2].always);
+    EXPECT_EQ(plan.rules[3].kind,
+              resilience::FaultKind::TruncateCheckpoint);
+    EXPECT_EQ(plan.rules[4].kind, resilience::FaultKind::Die);
+
+    // An empty spec is a valid empty plan.
+    resilience::FaultPlan empty;
+    EXPECT_TRUE(resilience::parseFaultPlan("", empty, &error));
+    EXPECT_TRUE(empty.empty());
+
+    for (const char *bad :
+         {"bogus@1", "nan", "nan@", "nan@every:0", "nan@rate:1.5",
+          "nan@-3", "nan@1:sometimes"}) {
+        resilience::FaultPlan p;
+        EXPECT_FALSE(resilience::parseFaultPlan(bad, p, &error))
+            << bad;
+        EXPECT_FALSE(error.empty()) << bad;
+    }
+}
+
+TEST(ResilienceFault, MatchingIsDeterministic)
+{
+    resilience::FaultPlan plan;
+    ASSERT_TRUE(
+        resilience::parseFaultPlan("nan@every:2", plan, nullptr));
+    const resilience::FaultInjector injector(plan, 42);
+    for (std::size_t i = 0; i < 10; ++i) {
+        const auto *fault = injector.measurementFault(i, 0);
+        EXPECT_EQ(fault != nullptr, i % 2 == 0) << i;
+        // Without :always the rule fires on the first attempt only,
+        // so containment retries recover a clean cell.
+        EXPECT_EQ(injector.measurementFault(i, 1), nullptr) << i;
+    }
+
+    // rate: matching is a pure function of (seed, index).
+    resilience::FaultPlan rate;
+    ASSERT_TRUE(
+        resilience::parseFaultPlan("nan@rate:0.5", rate, nullptr));
+    const resilience::FaultInjector ia(rate, 7), ib(rate, 7);
+    std::size_t fired = 0;
+    for (std::size_t i = 0; i < 200; ++i) {
+        EXPECT_EQ(ia.measurementFault(i, 0) != nullptr,
+                  ib.measurementFault(i, 0) != nullptr);
+        fired += ia.measurementFault(i, 0) != nullptr;
+    }
+    EXPECT_GT(fired, 60u);
+    EXPECT_LT(fired, 140u);
+}
+
+TEST(ResilienceFault, LintFlagsInvalidAndUnreachablePlans)
+{
+    analysis::Report report;
+    resilience::lintFaultPlan("bogus@1", 121, report);
+    ASSERT_TRUE(report.hasErrors());
+    EXPECT_EQ(report.diagnostics().front().id,
+              analysis::DiagId::FaultPlanInvalid);
+
+    analysis::Report unreachable;
+    resilience::lintFaultPlan("nan@500", 121, unreachable);
+    EXPECT_FALSE(unreachable.hasErrors());
+    ASSERT_EQ(unreachable.count(analysis::Severity::Warning), 1u);
+    EXPECT_EQ(unreachable.diagnostics().front().id,
+              analysis::DiagId::FaultPlanUnreachable);
+
+    analysis::Report clean;
+    resilience::lintFaultPlan("nan@120,die@0", 121, clean);
+    EXPECT_TRUE(clean.diagnostics().empty());
+}
+
+// ---------------------------------------------------------------
+// Checkpoint serialization.
+
+core::CampaignConfig
+smallConfig()
+{
+    core::CampaignConfig cfg;
+    cfg.events = {EventKind::ADD, EventKind::LDM, EventKind::MUL};
+    cfg.repetitions = 2;
+    cfg.jobs = 1;
+    return cfg;
+}
+
+resilience::CampaignCheckpoint
+checkpointOf(const core::CampaignConfig &cfg, const std::string &path)
+{
+    auto withCheckpoint = cfg;
+    withCheckpoint.checkpointPath = path;
+    (void)core::runCampaign(withCheckpoint);
+    auto parsed = resilience::loadCheckpointFile(path);
+    EXPECT_TRUE(parsed.ok) << parsed.error;
+    return parsed.checkpoint;
+}
+
+TEST(ResilienceCheckpoint, SaveLoadByteExactRoundTrip)
+{
+    const auto path = tempPath("roundtrip.ckpt");
+    const auto cfg = smallConfig();
+    (void)checkpointOf(cfg, path);
+    const auto first = slurp(path);
+
+    // load -> save reproduces the file byte for byte.
+    std::istringstream in(first);
+    const auto parsed = resilience::loadCheckpoint(in);
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    const auto &cp = parsed.checkpoint;
+    EXPECT_EQ(cp.machineId, "core2duo");
+    EXPECT_EQ(cp.repetitions, 2u);
+    EXPECT_EQ(cp.events.size(), 3u);
+    EXPECT_EQ(cp.cells.size(), 9u);
+    for (const auto &cell : cp.cells) {
+        EXPECT_EQ(cell.samples.size(), 2u);
+        EXPECT_TRUE(cell.sim.measured());
+    }
+    std::ostringstream out;
+    resilience::saveCheckpoint(out, cp);
+    EXPECT_EQ(out.str(), first);
+    std::remove(path.c_str());
+}
+
+TEST(ResilienceCheckpoint, RejectsDamage)
+{
+    const auto path = tempPath("damage.ckpt");
+    (void)checkpointOf(smallConfig(), path);
+    const auto good = slurp(path);
+    std::remove(path.c_str());
+
+    // One flipped byte in the payload: the CRC footer catches it.
+    auto flipped = good;
+    flipped[good.size() / 2] ^= 0x01;
+    std::istringstream fin(flipped);
+    auto res = resilience::loadCheckpoint(fin);
+    EXPECT_FALSE(res.ok);
+    EXPECT_NE(res.error.find("crc"), std::string::npos)
+        << res.error;
+
+    // A torn write: truncated to half, byte offset reported.
+    std::istringstream tin(good.substr(0, good.size() / 2));
+    res = resilience::loadCheckpoint(tin);
+    EXPECT_FALSE(res.ok);
+    EXPECT_NE(res.error.find("byte"), std::string::npos)
+        << res.error;
+
+    // Not a checkpoint at all.
+    std::istringstream junk("savage-checkpoint v9\n");
+    EXPECT_FALSE(resilience::loadCheckpoint(junk).ok);
+    std::istringstream empty("");
+    EXPECT_FALSE(resilience::loadCheckpoint(empty).ok);
+}
+
+// ---------------------------------------------------------------
+// Campaign integration: containment and fault injection.
+
+std::string
+fixtureOf(const core::CampaignResult &res)
+{
+    std::ostringstream oss;
+    core::printMatrixFixture(oss, res.matrix);
+    return oss.str();
+}
+
+TEST(ResilienceCampaign, RetriesRecoverTheCleanMatrix)
+{
+    const auto clean = core::runCampaign(smallConfig());
+
+    auto cfg = smallConfig();
+    cfg.faultPlan = "nan@every:1";
+    const auto faulted = core::runCampaign(cfg);
+
+    // Every pair took one poisoned attempt and one clean retry; the
+    // retry re-forks the repetition streams, so the matrix is the
+    // one an undisturbed run produces, bit for bit.
+    EXPECT_EQ(fixtureOf(faulted), fixtureOf(clean));
+    EXPECT_EQ(faulted.retriedCells(), faulted.pairs.size());
+    EXPECT_EQ(faulted.degradedCells(), 0u);
+    for (const auto &h : faulted.health)
+        EXPECT_EQ(h.attempts, 2u);
+}
+
+TEST(ResilienceCampaign, ThrowFaultsAreContained)
+{
+    auto cfg = smallConfig();
+    cfg.faultPlan = "throw@1,inf@4";
+    const auto res = core::runCampaign(cfg);
+    EXPECT_EQ(fixtureOf(res), fixtureOf(core::runCampaign(smallConfig())));
+    EXPECT_EQ(res.retriedCells(), 2u);
+    EXPECT_EQ(res.degradedCells(), 0u);
+}
+
+TEST(ResilienceCampaign, ExhaustedRetriesDegradeNotAbort)
+{
+    auto cfg = smallConfig();
+    cfg.faultPlan = "nan@4:always"; // the LDM/LDM diagonal cell
+    const auto res = core::runCampaign(cfg);
+
+    ASSERT_EQ(res.degradedCells(), 1u);
+    const auto &h = res.health[4];
+    EXPECT_EQ(h.state, pipeline::CellState::Degraded);
+    EXPECT_EQ(h.attempts, cfg.retry.maxAttempts);
+    EXPECT_NE(h.lastError.find("non-finite"), std::string::npos)
+        << h.lastError;
+
+    // The degraded cell contributes nothing; every other cell is
+    // exactly the clean campaign's.
+    const auto clean = core::runCampaign(smallConfig());
+    EXPECT_TRUE(res.matrix.samples(1, 1).empty());
+    for (std::size_t a = 0; a < 3; ++a) {
+        for (std::size_t b = 0; b < 3; ++b) {
+            if (a == 1 && b == 1)
+                continue;
+            EXPECT_EQ(res.matrix.samples(a, b),
+                      clean.matrix.samples(a, b));
+        }
+    }
+}
+
+TEST(ResilienceCampaignDeath, ReadingADegradedCellPanics)
+{
+    auto cfg = smallConfig();
+    cfg.faultPlan = "nan@4:always";
+    const auto res = core::runCampaign(cfg);
+    EXPECT_EXIT((void)res.simulation(1, 1),
+                ::testing::KilledBySignal(SIGABRT), "degraded");
+}
+
+TEST(ResilienceCampaignDeath, DieFaultExits137AfterCheckpoint)
+{
+    const auto path = tempPath("die.ckpt");
+    auto cfg = smallConfig();
+    cfg.faultPlan = "die@4";
+    cfg.checkpointPath = path;
+    EXPECT_EXIT((void)core::runCampaign(cfg),
+                ::testing::ExitedWithCode(137), "dying after pair");
+
+    // The flushed checkpoint holds the five finished cells.
+    const auto parsed = resilience::loadCheckpointFile(path);
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    EXPECT_EQ(parsed.checkpoint.cells.size(), 5u);
+    std::remove(path.c_str());
+}
+
+TEST(ResilienceCampaignDeath, MismatchedResumeIsFatal)
+{
+    const auto path = tempPath("mismatch.ckpt");
+    (void)checkpointOf(smallConfig(), path);
+
+    auto other = smallConfig();
+    other.seed ^= 1; // different RNG universe: refuse to mix
+    other.resumePath = path;
+    EXPECT_EXIT((void)core::runCampaign(other),
+                ::testing::ExitedWithCode(1), "does not match");
+    std::remove(path.c_str());
+}
+
+TEST(ResilienceCampaignDeath, CorruptResumeFileIsFatal)
+{
+    const auto path = tempPath("corrupt.ckpt");
+    (void)checkpointOf(smallConfig(), path);
+    auto bytes = slurp(path);
+    bytes[bytes.size() / 3] ^= 0x02;
+    std::ofstream(path, std::ios::binary) << bytes;
+
+    auto cfg = smallConfig();
+    cfg.resumePath = path;
+    EXPECT_EXIT((void)core::runCampaign(cfg),
+                ::testing::ExitedWithCode(1), "cannot resume");
+    std::remove(path.c_str());
+}
+
+TEST(ResilienceCampaign, TruncFaultTearsTheCheckpointAtomically)
+{
+    // trunc@0 cuts the first checkpoint write short. The torn file
+    // still arrives via temp-file + rename, and the CRC gate reports
+    // the damage instead of resuming from half a campaign.
+    const auto path = tempPath("trunc.ckpt");
+    auto cfg = smallConfig();
+    cfg.faultPlan = "trunc@0";
+    cfg.checkpointPath = path;
+    cfg.checkpointEvery = 1000; // only the final write happens
+    (void)core::runCampaign(cfg);
+    const auto parsed = resilience::loadCheckpointFile(path);
+    EXPECT_FALSE(parsed.ok);
+    EXPECT_NE(parsed.error.find("byte"), std::string::npos)
+        << parsed.error;
+    std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------
+// Recording CRC footer (satellite of the same hardening).
+
+TEST(ResilienceRecording, CrcFooterGuardsTheRecording)
+{
+    auto cfg = smallConfig();
+    cfg.keepTraces = true;
+    const auto rec = core::recordCampaign(core::runCampaign(cfg));
+
+    std::ostringstream oss;
+    pipeline::saveRecording(oss, rec);
+    const auto good = oss.str();
+    EXPECT_NE(good.find("\ncrc32 "), std::string::npos);
+
+    std::istringstream gin(good);
+    EXPECT_TRUE(pipeline::loadRecording(gin).ok);
+
+    auto flipped = good;
+    flipped[good.size() / 2] ^= 0x01;
+    std::istringstream fin(flipped);
+    const auto res = pipeline::loadRecording(fin);
+    EXPECT_FALSE(res.ok);
+    EXPECT_NE(res.error.find("crc"), std::string::npos)
+        << res.error;
+
+    // A missing footer on a v2 file reads as truncation.
+    const auto cut = good.substr(0, good.rfind("crc32 "));
+    std::istringstream tin(cut);
+    EXPECT_FALSE(pipeline::loadRecording(tin).ok);
+}
+
+// ---------------------------------------------------------------
+// The headline property: kill the campaign mid-matrix, resume from
+// the checkpoint, and the fixture is byte-identical to the golden
+// uninterrupted run -- serial and parallel.
+
+class CheckpointResumeGolden : public ::testing::Test
+{
+  protected:
+    static std::string
+    golden()
+    {
+        std::ifstream in(SAVAT_SOURCE_DIR
+                         "/tests/data/golden_em_core2duo.fixture",
+                         std::ios::binary);
+        EXPECT_TRUE(in.good());
+        std::ostringstream oss;
+        oss << in.rdbuf();
+        return oss.str();
+    }
+
+    /**
+     * The interrupted first run: the golden campaign's first 40
+     * pairs, checkpointed. (runCampaignPairs stands in for the
+     * SIGKILL: what is on disk afterwards is exactly the file a
+     * die@39 run flushes -- the check.sh gate covers the literal
+     * kill -9 path through the CLI.)
+     */
+    static void
+    partialRun(const std::string &path)
+    {
+        core::CampaignConfig cfg;
+        cfg.repetitions = 2;
+        cfg.jobs = 4;
+        cfg.checkpointPath = path;
+        const auto events = kernels::allEvents();
+        std::vector<std::pair<EventKind, EventKind>> pairs;
+        for (std::size_t p = 0; p < 40; ++p)
+            pairs.emplace_back(events[p / events.size()],
+                               events[p % events.size()]);
+        (void)core::runCampaignPairs(cfg, pairs);
+    }
+
+    static void
+    resumeMatchesGolden(std::size_t jobs)
+    {
+        const auto path = tempPath(
+            "resume_golden_" + std::to_string(jobs) + ".ckpt");
+        partialRun(path);
+
+        core::CampaignConfig cfg;
+        cfg.repetitions = 2;
+        cfg.jobs = jobs;
+        cfg.resumePath = path;
+        const auto res = core::runCampaign(cfg);
+        EXPECT_EQ(res.restoredCells(), 40u);
+        EXPECT_EQ(res.degradedCells(), 0u);
+
+        std::ostringstream oss;
+        core::printMatrixFixture(oss, res.matrix);
+        EXPECT_EQ(oss.str(), golden());
+        std::remove(path.c_str());
+    }
+};
+
+TEST_F(CheckpointResumeGolden, Jobs1)
+{
+    resumeMatchesGolden(1);
+}
+
+TEST_F(CheckpointResumeGolden, Jobs4)
+{
+    resumeMatchesGolden(4);
+}
+
+} // namespace
+} // namespace savat
