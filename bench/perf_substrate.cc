@@ -9,6 +9,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "analysis/ir/analyzer.hh"
 #include "core/campaign.hh"
 #include "core/meter.hh"
 #include "dsp/fft.hh"
@@ -166,6 +167,29 @@ BM_PipelineStageKernelBuild(benchmark::State &state)
         benchmark::DoNotOptimize(pipeline::kernelBuild(spec, counts));
 }
 BENCHMARK(BM_PipelineStageKernelBuild)->Unit(benchmark::kMillisecond);
+
+/**
+ * The savat::analysis::ir gate that runAlternation runs before every
+ * cell's simulation: IR lowering, CFG, liveness, intervals, symmetry
+ * over one kernel pair. Budget: well under a millisecond, so the
+ * gate stays invisible next to the simulation itself.
+ */
+void
+BM_AnalyzeKernel(benchmark::State &state)
+{
+    auto meter = core::SavatMeter::forMachine("core2duo");
+    const auto spec = pipelineSpec(meter, kernels::EventKind::ADD,
+                                   kernels::EventKind::LDM);
+    const auto counts =
+        pipeline::burstSolve(meter.machine(), spec, meter.config());
+    const auto kernel = pipeline::kernelBuild(spec, counts);
+    const auto &machine = meter.machine();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            analysis::ir::analyzeKernel(kernel, &machine));
+    }
+}
+BENCHMARK(BM_AnalyzeKernel)->Unit(benchmark::kMicrosecond);
 
 void
 BM_PipelineStageSimulate(benchmark::State &state)

@@ -4,23 +4,40 @@
  *
  *   savat_lint [options] <spec>...
  *
- * Runs analysis::Checker over each spec and prints its diagnostics
- * in file:line form. Exit status: 0 when every spec is clean of
- * errors, 1 when any error-level diagnostic fires (or --werror and
- * any warning fires), 2 on usage/parse failures.
+ * Runs analysis::Checker (including the savat::analysis::ir dataflow
+ * analyzer over every kernel the spec implies) over each spec and
+ * prints the diagnostics in file:line form, or as one JSON document
+ * under the stable savat-lint-diagnostics-v1 schema.
+ *
+ * Exit status: 0 when every spec is clean of errors, 1 when any
+ * error-level diagnostic fires (or --werror and any warning fires),
+ * 2 on usage/parse failures. --format=json mirrors the exit code in
+ * the document.
  *
  * Options:
- *   --werror   treat warnings as errors
- *   --quiet    suppress notes
- *   --summary  print a per-spec finding count
+ *   --werror          treat warnings as errors
+ *   --quiet           suppress notes (text format only)
+ *   --summary         print a per-spec finding count
+ *   --format=FMT      text (default) or json
+ *   --dump-cfg        print each kernel's control-flow graph
+ *   --dump-liveness   print each kernel's liveness facts
+ *   --dump-footprint  print each kernel's loop/footprint intervals
+ *
+ * The dump options print the analyzer's intermediate results for
+ * every kernel a spec implies; they are text-only and cannot be
+ * combined with --format=json.
  */
 
 #include <cstdio>
 #include <cstring>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/checker.hh"
+#include "analysis/ir/analyzer.hh"
+#include "analysis/jsonout.hh"
 #include "analysis/spec.hh"
 #include "resilience/fault.hh"
 #include "resilience/retry.hh"
@@ -32,9 +49,12 @@ namespace {
 [[noreturn]] void
 usage()
 {
-    std::fprintf(stderr,
-                 "usage: savat_lint [--werror] [--quiet] [--summary] "
-                 "<spec>...\n");
+    std::fprintf(
+        stderr,
+        "usage: savat_lint [--werror] [--quiet] [--summary]\n"
+        "                  [--format=text|json] [--dump-cfg]\n"
+        "                  [--dump-liveness] [--dump-footprint] "
+        "<spec>...\n");
     std::exit(2);
 }
 
@@ -82,12 +102,56 @@ lintResilience(const analysis::CampaignSpec &spec,
     }
 }
 
+/** The distinct kernels a spec implies (unordered combinations). */
+std::set<std::pair<kernels::EventKind, kernels::EventKind>>
+specCombos(const analysis::CampaignSpec &spec)
+{
+    std::set<std::pair<kernels::EventKind, kernels::EventKind>>
+        combos;
+    if (spec.pairs.empty()) {
+        const auto events = spec.effectiveEvents();
+        for (auto a : events)
+            for (auto b : events)
+                combos.insert(std::minmax(a, b));
+    } else {
+        for (const auto &[a, b] : spec.pairs)
+            combos.insert(std::minmax(a, b));
+    }
+    return combos;
+}
+
+/** Print the requested analyzer dumps for every kernel of a spec. */
+void
+dumpKernels(const analysis::CampaignSpec &spec, bool cfg,
+            bool liveness, bool footprint)
+{
+    if (!spec.machineKnown())
+        return;
+    const auto m = spec.machine();
+    for (const auto &[a, b] : specCombos(spec)) {
+        const auto kernel =
+            kernels::buildAlternationKernel(m, a, b, 2, 2);
+        const auto ka = analysis::ir::analyzeKernel(kernel, &m);
+        if (cfg)
+            std::fputs(ka.cfg.dump(ka.ir).c_str(), stdout);
+        if (liveness)
+            std::fputs(ka.liveness.dump(ka.ir, ka.cfg).c_str(),
+                       stdout);
+        if (footprint)
+            std::fputs(ka.intervals.dump(ka.ir, ka.cfg).c_str(),
+                       stdout);
+    }
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     bool werror = false, quiet = false, summary = false;
+    bool json = false;
+    bool dump_cfg = false, dump_liveness = false,
+         dump_footprint = false;
     std::vector<std::string> paths;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--werror") == 0)
@@ -96,6 +160,16 @@ main(int argc, char **argv)
             quiet = true;
         else if (std::strcmp(argv[i], "--summary") == 0)
             summary = true;
+        else if (std::strcmp(argv[i], "--format=text") == 0)
+            json = false;
+        else if (std::strcmp(argv[i], "--format=json") == 0)
+            json = true;
+        else if (std::strcmp(argv[i], "--dump-cfg") == 0)
+            dump_cfg = true;
+        else if (std::strcmp(argv[i], "--dump-liveness") == 0)
+            dump_liveness = true;
+        else if (std::strcmp(argv[i], "--dump-footprint") == 0)
+            dump_footprint = true;
         else if (argv[i][0] == '-')
             usage();
         else
@@ -103,46 +177,71 @@ main(int argc, char **argv)
     }
     if (paths.empty())
         usage();
+    const bool dumping = dump_cfg || dump_liveness || dump_footprint;
+    if (json && dumping)
+        usage(); // dumps are a human-readable debugging aid
 
     const analysis::Checker checker;
+    std::vector<analysis::SpecLintResult> results;
     bool parse_failed = false;
     bool failed = false;
     for (const auto &path : paths) {
+        analysis::SpecLintResult result;
+        result.file = path;
         const auto parsed = analysis::parseCampaignSpecFile(path);
         if (!parsed.ok) {
-            if (parsed.errorLine > 0) {
-                std::fprintf(stderr, "%s:%zu: error: %s\n",
-                             path.c_str(), parsed.errorLine,
-                             parsed.error.c_str());
-            } else {
-                std::fprintf(stderr, "error: %s\n",
-                             parsed.error.c_str());
+            result.parseFailed = true;
+            result.parseError = parsed.error;
+            result.parseErrorLine = parsed.errorLine;
+            if (!json) {
+                if (parsed.errorLine > 0) {
+                    std::fprintf(stderr, "%s:%zu: error: %s\n",
+                                 path.c_str(), parsed.errorLine,
+                                 parsed.error.c_str());
+                } else {
+                    std::fprintf(stderr, "error: %s\n",
+                                 parsed.error.c_str());
+                }
             }
             parse_failed = true;
+            results.push_back(std::move(result));
             continue;
         }
         auto report = checker.check(parsed.spec);
         lintResilience(parsed.spec, report);
-        std::size_t shown = 0;
-        for (const auto &d : report.diagnostics()) {
-            if (quiet && d.severity == analysis::Severity::Note)
-                continue;
-            std::printf("%s\n", d.toString().c_str());
-            ++shown;
+
+        if (!json) {
+            std::size_t shown = 0;
+            for (const auto &d : report.diagnostics()) {
+                if (quiet && d.severity == analysis::Severity::Note)
+                    continue;
+                std::printf("%s\n", d.toString().c_str());
+                ++shown;
+            }
+            if (summary || shown > 0) {
+                std::printf(
+                    "%s: %zu error(s), %zu warning(s), %zu "
+                    "note(s)\n",
+                    path.c_str(),
+                    report.count(analysis::Severity::Error),
+                    report.count(analysis::Severity::Warning),
+                    report.count(analysis::Severity::Note));
+            }
         }
-        if (summary || shown > 0) {
-            std::printf(
-                "%s: %zu error(s), %zu warning(s), %zu note(s)\n",
-                path.c_str(),
-                report.count(analysis::Severity::Error),
-                report.count(analysis::Severity::Warning),
-                report.count(analysis::Severity::Note));
-        }
+        if (dumping)
+            dumpKernels(parsed.spec, dump_cfg, dump_liveness,
+                        dump_footprint);
         if (report.hasErrors() ||
-            (werror && report.count(analysis::Severity::Warning) > 0))
+            (werror &&
+             report.count(analysis::Severity::Warning) > 0))
             failed = true;
+        result.report = std::move(report);
+        results.push_back(std::move(result));
     }
-    if (parse_failed)
-        return 2;
-    return failed ? 1 : 0;
+    const int code = parse_failed ? 2 : failed ? 1 : 0;
+    if (json) {
+        std::fputs(analysis::lintResultsToJson(results, code).c_str(),
+                   stdout);
+    }
+    return code;
 }

@@ -15,7 +15,7 @@ cmake -B build -S . >/dev/null
 cmake --build build -j --target bench_perf_substrate savat_cli
 
 ./build/bench/bench_perf_substrate \
-    --benchmark_filter='BM_Campaign|BM_PipelineStage' \
+    --benchmark_filter='BM_Campaign|BM_PipelineStage|BM_AnalyzeKernel' \
     --benchmark_out="$OUT" \
     --benchmark_out_format=json \
     --benchmark_format=console

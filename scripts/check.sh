@@ -21,6 +21,20 @@ cmake --build build -j
 step "savat-lint: example campaign specs"
 ./build/examples/savat_lint --summary examples/specs/*.spec
 
+step "analyzer gate: no SAV-D/SAV-P finding in any example spec"
+# The dataflow analyzer runs inside savat_lint; the JSON document
+# makes "zero findings of the kernel-analysis namespaces" checkable
+# without parsing the human-readable output.
+./build/examples/savat_lint --werror --format=json \
+    examples/specs/*.spec > build/lint.json
+if grep -Eq '"id": *"SAV-[DP]0' build/lint.json; then
+    echo "analyzer findings in shipped specs:"
+    grep -Eo '"id": *"SAV-[DP]0[0-9]+"' build/lint.json | sort | uniq -c
+    exit 1
+fi
+python3 -m json.tool build/lint.json >/dev/null
+echo "lint JSON OK, no analyzer findings"
+
 step "obs smoke: campaign telemetry export parses as JSON"
 mkdir -p build/obs-smoke
 ./build/examples/savat_cli campaign ADD LDM --reps 2 --jobs 4 \
@@ -81,7 +95,7 @@ cmake --build build-tsan -j
 # too slow under TSan; the plain build's ctest already runs them).
 (cd build-tsan &&
      ctest --output-on-failure -j "$(nproc)" \
-           -R 'Parallel|CampaignVariants|MachineCampaign|Obs|PowerChain|Replay\.RecordReplayRoundTrip|Resilience')
+           -R 'Parallel|CampaignVariants|MachineCampaign|Obs|PowerChain|Replay\.RecordReplayRoundTrip|Resilience|MutationCorpus|IrPasses')
 
 if command -v clang-tidy >/dev/null 2>&1; then
     step "clang-tidy: library sources"

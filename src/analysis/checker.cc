@@ -3,6 +3,7 @@
 #include <set>
 #include <utility>
 
+#include "analysis/ir/analyzer.hh"
 #include "kernels/events.hh"
 #include "support/strings.hh"
 
@@ -62,9 +63,23 @@ Checker::check(const CampaignSpec &spec) const
                 for (const auto &[a, b] : combos) {
                     // Burst lengths do not change the kernel shape;
                     // tiny bursts keep the lint build cheap.
-                    lintKernel(kernels::buildAlternationKernel(
-                                   m, a, b, 2, 2),
-                               out);
+                    const auto kernel =
+                        kernels::buildAlternationKernel(m, a, b, 2,
+                                                        2);
+                    lintKernel(kernel, out);
+                    if (!_options.analyzeKernels)
+                        continue;
+                    const auto ka = ir::analyzeKernel(kernel, &m);
+                    for (auto d : ka.report.diagnostics()) {
+                        // The kernel was chosen by the spec's
+                        // pair/events lines; the message keeps the
+                        // kernel-line provenance.
+                        d.field = spec.pairs.empty() ? "events"
+                                                     : "pair";
+                        d.file.clear();
+                        d.line = 0;
+                        out.add(std::move(d));
+                    }
                 }
             }
         }

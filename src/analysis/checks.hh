@@ -41,6 +41,14 @@ struct CheckerOptions
 
     /** Build and lint the generated kernels (slightly costlier). */
     bool lintKernels = true;
+
+    /**
+     * Run the dataflow analyzer (savat::analysis::ir) over the
+     * generated kernels: SAV-D0xx dataflow findings plus the
+     * SAV-P0xx trip-count/termination/footprint/symmetry proofs.
+     * Requires lintKernels.
+     */
+    bool analyzeKernels = true;
 };
 
 /**

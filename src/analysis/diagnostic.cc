@@ -42,6 +42,14 @@ diagIdName(DiagId id)
       case DiagId::RetryBackoffExcessive: return "SAV-1802";
       case DiagId::FaultPlanInvalid: return "SAV-1803";
       case DiagId::FaultPlanUnreachable: return "SAV-1804";
+      case DiagId::UninitializedRead: return "SAV-D001";
+      case DiagId::DeadStore: return "SAV-D002";
+      case DiagId::UnreachableCode: return "SAV-D003";
+      case DiagId::IrreducibleFlow: return "SAV-D004";
+      case DiagId::TripCountMismatch: return "SAV-P001";
+      case DiagId::NonTerminatingLoop: return "SAV-P002";
+      case DiagId::FootprintProofFailed: return "SAV-P003";
+      case DiagId::AsymmetricHalves: return "SAV-P004";
       default: SAVAT_PANIC("bad diagnostic id");
     }
 }
@@ -73,6 +81,15 @@ diagIdSlug(DiagId id)
       case DiagId::FaultPlanInvalid: return "fault-plan-invalid";
       case DiagId::FaultPlanUnreachable:
         return "fault-plan-unreachable";
+      case DiagId::UninitializedRead: return "uninitialized-read";
+      case DiagId::DeadStore: return "dead-store";
+      case DiagId::UnreachableCode: return "unreachable-code";
+      case DiagId::IrreducibleFlow: return "irreducible-control-flow";
+      case DiagId::TripCountMismatch: return "trip-count-mismatch";
+      case DiagId::NonTerminatingLoop: return "non-terminating-loop";
+      case DiagId::FootprintProofFailed:
+        return "footprint-proof-failed";
+      case DiagId::AsymmetricHalves: return "asymmetric-halves";
       default: SAVAT_PANIC("bad diagnostic id");
     }
 }
@@ -93,6 +110,12 @@ diagIdSeverity(DiagId id)
       case DiagId::UnknownMachine:
       case DiagId::RetryPolicyInvalid:
       case DiagId::FaultPlanInvalid:
+      case DiagId::UninitializedRead:
+      case DiagId::IrreducibleFlow:
+      case DiagId::TripCountMismatch:
+      case DiagId::NonTerminatingLoop:
+      case DiagId::FootprintProofFailed:
+      case DiagId::AsymmetricHalves:
         return Severity::Error;
       case DiagId::BurstQuantized:
       case DiagId::DutySkewed:
@@ -102,6 +125,8 @@ diagIdSeverity(DiagId id)
       case DiagId::UnitMissing:
       case DiagId::RetryBackoffExcessive:
       case DiagId::FaultPlanUnreachable:
+      case DiagId::DeadStore:
+      case DiagId::UnreachableCode:
         return Severity::Warning;
       case DiagId::DegeneratePair:
         return Severity::Note;

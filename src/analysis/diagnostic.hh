@@ -57,6 +57,16 @@ enum class DiagId : std::uint8_t {
     RetryBackoffExcessive,//!< SAV-1802: backoff dwarfs measurement
     FaultPlanInvalid,     //!< SAV-1803: unparseable fault plan
     FaultPlanUnreachable, //!< SAV-1804: rule targets no pair
+    // --- dataflow diagnostics (savat::analysis::ir) ---
+    UninitializedRead,    //!< SAV-D001: read of a never-written reg
+    DeadStore,            //!< SAV-D002: in-loop def never read
+    UnreachableCode,      //!< SAV-D003: block unreachable from entry
+    IrreducibleFlow,      //!< SAV-D004: loop with multiple entries
+    // --- kernel proofs (savat::analysis::ir) ---
+    TripCountMismatch,    //!< SAV-P001: derived trips != burst count
+    NonTerminatingLoop,   //!< SAV-P002: inner loop cannot exit
+    FootprintProofFailed, //!< SAV-P003: proved range vs claim/level
+    AsymmetricHalves,     //!< SAV-P004: A/B differ outside the slot
     NumIds
 };
 

@@ -1,0 +1,343 @@
+#include "analysis/ir/analyzer.hh"
+
+#include <algorithm>
+
+#include "kernels/events.hh"
+#include "support/strings.hh"
+
+namespace savat::analysis::ir {
+
+using kernels::AlternationKernel;
+using kernels::EventKind;
+using kernels::KernelHalf;
+using kernels::KernelRegion;
+
+namespace {
+
+/** Where in the kernel a finding sits, for the message text. */
+std::string
+provenance(const AlternationKernel &k, const IrProgram &ir,
+           std::size_t inst)
+{
+    if (inst >= ir.size())
+        return "kernel";
+    std::string s = kernels::kernelHalfName(k.halfOf(inst));
+    if (k.halfOf(inst) != KernelHalf::Prologue)
+        s += format("/%s", kernels::eventName(k.eventOf(inst)));
+    if (ir.insts[inst].line != 0)
+        s += format(", kernel line %zu", ir.insts[inst].line);
+    return s;
+}
+
+void
+emit(Report &report, DiagId id, const AlternationKernel &k,
+     const IrProgram &ir, std::size_t inst, std::string message,
+     std::string hint)
+{
+    Diagnostic d;
+    d.id = id;
+    d.severity = diagIdSeverity(id);
+    d.message = std::move(message);
+    d.field = "kernel";
+    d.hint = std::move(hint);
+    d.file = ir.name;
+    d.line = inst < ir.size() ? ir.insts[inst].line : 0;
+    report.add(std::move(d));
+    (void)k;
+}
+
+/** True when every instruction of the loop lies inside the region. */
+bool
+loopInside(const NaturalLoop &loop, const Cfg &cfg,
+           const KernelRegion &region)
+{
+    for (const std::size_t b : loop.blocks) {
+        if (!region.contains(cfg.blocks[b].begin) ||
+            (cfg.blocks[b].end > cfg.blocks[b].begin &&
+             !region.contains(cfg.blocks[b].end - 1))) {
+            return false;
+        }
+    }
+    return !loop.blocks.empty();
+}
+
+const char *
+levelName(EventKind e)
+{
+    switch (e) {
+      case EventKind::LDL1:
+      case EventKind::STL1: return "the L1";
+      case EventKind::LDL2:
+      case EventKind::STL2: return "the L2";
+      case EventKind::LDM:
+      case EventKind::STM: return "main memory";
+      default: return nullptr;
+    }
+}
+
+/** The trip-count and termination proofs for one half's burst loop. */
+void
+checkHalfLoop(KernelAnalysis &ka, const AlternationKernel &k,
+              KernelHalf half)
+{
+    const bool isA = half == KernelHalf::A;
+    const KernelRegion &region = isA ? k.halfA : k.halfB;
+    const std::uint64_t expected = isA ? k.countA : k.countB;
+    const char *name = isA ? "A" : "B";
+
+    // The burst loop is the outermost loop fully inside the half.
+    std::size_t burst = Cfg::kNone;
+    for (std::size_t li = 0; li < ka.cfg.loops.size(); ++li) {
+        if (!loopInside(ka.cfg.loops[li], ka.cfg, region))
+            continue;
+        if (burst == Cfg::kNone ||
+            ka.cfg.loops[li].blocks.size() >
+                ka.cfg.loops[burst].blocks.size()) {
+            burst = li;
+        }
+    }
+    if (burst == Cfg::kNone) {
+        emit(ka.report, DiagId::TripCountMismatch, k, ka.ir,
+             region.begin,
+             format("no burst loop found in the %s half, but "
+                    "count%s is %llu",
+                    name, name,
+                    static_cast<unsigned long long>(expected)),
+             "restore the dec/jne burst loop around the event slot");
+        return;
+    }
+
+    for (std::size_t li = 0; li < ka.cfg.loops.size(); ++li) {
+        if (!loopInside(ka.cfg.loops[li], ka.cfg, region))
+            continue;
+        const auto &loop = ka.cfg.loops[li];
+        const auto &lf = ka.intervals.loops[li];
+        const std::size_t anchor = ka.cfg.blocks[loop.header].begin;
+        switch (lf.verdict) {
+          case LoopFacts::Termination::Infinite:
+            emit(ka.report, DiagId::NonTerminatingLoop, k, ka.ir,
+                 anchor,
+                 format("the %s burst loop can never exit: %s (%s)",
+                        name,
+                        loop.exits.empty()
+                            ? "it has no exit edge"
+                        : lf.counted
+                            ? format("its counter steps by %u past "
+                                     "zero and wraps forever",
+                                     lf.step)
+                                  .c_str()
+                            : "no exit condition can ever be true",
+                        provenance(k, ka.ir, anchor).c_str()),
+                 "make the burst loop exit after its dec via jne");
+            break;
+          case LoopFacts::Termination::Terminates:
+            if (li == burst && lf.trips != expected) {
+                emit(ka.report, DiagId::TripCountMismatch, k, ka.ir,
+                     anchor,
+                     format("the %s burst loop provably executes "
+                            "%llu iteration(s) but count%s from the "
+                            "burst solver is %llu (%s)",
+                            name,
+                            static_cast<unsigned long long>(
+                                lf.trips),
+                            name,
+                            static_cast<unsigned long long>(
+                                expected),
+                            provenance(k, ka.ir, anchor).c_str()),
+                     "regenerate the kernel: the alternation "
+                     "frequency solved for this pair assumes the "
+                     "metadata count");
+            }
+            break;
+          case LoopFacts::Termination::Unknown:
+            if (li == burst) {
+                emit(ka.report, DiagId::TripCountMismatch, k, ka.ir,
+                     anchor,
+                     format("cannot derive a trip count for the %s "
+                            "burst loop, so the burst length cannot "
+                            "be cross-checked against count%s=%llu "
+                            "(%s)",
+                            name, name,
+                            static_cast<unsigned long long>(
+                                expected),
+                            provenance(k, ka.ir, anchor).c_str()),
+                     "use the counted idiom: a constant burst count "
+                     "in ecx, one dec per iteration, jne back");
+            }
+            break;
+        }
+    }
+}
+
+/** The footprint byte-range / set-coverage / cache-level proof. */
+void
+checkHalfFootprint(KernelAnalysis &ka, const AlternationKernel &k,
+                   KernelHalf half, const uarch::MachineConfig *m)
+{
+    const bool isA = half == KernelHalf::A;
+    const KernelRegion &region = isA ? k.halfA : k.halfB;
+    const std::uint64_t base = isA ? k.baseA : k.baseB;
+    const std::uint64_t mask = isA ? k.maskA : k.maskB;
+    const EventKind event = isA ? k.a : k.b;
+    const char *name = isA ? "A" : "B";
+
+    Interval addr = Interval::none();
+    std::size_t anchor = Cfg::kNone;
+    for (const auto &mf : ka.intervals.mems) {
+        if (!region.contains(mf.inst) || mf.addr.bottom)
+            continue;
+        addr = hull(addr, mf.addr);
+        if (anchor == Cfg::kNone)
+            anchor = mf.inst;
+    }
+    if (addr.bottom)
+        return; // no memory access in this half
+
+    const std::uint64_t claimed = mask + 1;
+    if (addr.lo != base || addr.hi != base + mask) {
+        emit(ka.report, DiagId::FootprintProofFailed, k, ka.ir,
+             anchor,
+             format("the %s half provably touches addresses "
+                    "[0x%08x, 0x%08x] but its metadata claims "
+                    "[0x%08llx, 0x%08llx] (%llu byte(s)) (%s)",
+                    name, addr.lo, addr.hi,
+                    static_cast<unsigned long long>(base),
+                    static_cast<unsigned long long>(base + mask),
+                    static_cast<unsigned long long>(claimed),
+                    provenance(k, ka.ir, anchor).c_str()),
+             "make the pointer-update masks match the event's "
+             "footprint; the solved burst counts and the cache "
+             "behaviour both depend on it");
+        return;
+    }
+
+    // Cache-level claim: only when the metadata footprint is the
+    // event's own (sequence kernels carry the sequence maximum).
+    if (m == nullptr || kernels::footprintBytes(event, *m) != claimed)
+        return;
+    const char *level = levelName(event);
+    if (level == nullptr)
+        return; // non-memory event with an incidental access
+    const bool okLevel =
+        (event == EventKind::LDL1 || event == EventKind::STL1)
+            ? claimed <= m->l1.sizeBytes
+        : (event == EventKind::LDL2 || event == EventKind::STL2)
+            ? claimed > m->l1.sizeBytes && claimed <= m->l2.sizeBytes
+            : claimed > m->l2.sizeBytes;
+    if (!okLevel) {
+        emit(ka.report, DiagId::FootprintProofFailed, k, ka.ir,
+             anchor,
+             format("the %s half's proved working set of %llu "
+                    "byte(s) cannot be serviced by %s on %s "
+                    "(L1=%llu, L2=%llu bytes) yet event %s claims "
+                    "it (%s)",
+                    name, static_cast<unsigned long long>(claimed),
+                    level, m->id.c_str(),
+                    static_cast<unsigned long long>(m->l1.sizeBytes),
+                    static_cast<unsigned long long>(m->l2.sizeBytes),
+                    kernels::eventName(event),
+                    provenance(k, ka.ir, anchor).c_str()),
+             "size the sweep so the event is serviced by the level "
+             "its name claims");
+    }
+}
+
+} // namespace
+
+KernelAnalysis
+analyzeKernel(const AlternationKernel &kernel,
+              const uarch::MachineConfig *machine)
+{
+    KernelAnalysis ka;
+    ka.ir = lower(kernel.program);
+    ka.cfg = buildCfg(ka.ir);
+
+    // --- SAV-D004: irreducible control flow. ---
+    if (ka.cfg.irreducible) {
+        emit(ka.report, DiagId::IrreducibleFlow, kernel, ka.ir, 0,
+             "control flow is irreducible (a loop body is entered "
+             "other than through its header); no trip-count or "
+             "termination proof is possible",
+             "restructure the kernel so every loop has a single "
+             "entry");
+    }
+
+    // --- SAV-D003: structurally unreachable blocks. ---
+    for (const auto &bb : ka.cfg.blocks) {
+        if (bb.reachable || bb.size() == 0)
+            continue;
+        emit(ka.report, DiagId::UnreachableCode, kernel, ka.ir,
+             bb.begin,
+             format("instructions %zu..%zu can never execute (%s)",
+                    bb.begin, bb.end - 1,
+                    provenance(kernel, ka.ir, bb.begin).c_str()),
+             "delete the unreachable instructions; they distort "
+             "nothing but hide intent");
+    }
+
+    // --- SAV-D001/D002: liveness findings. ---
+    ka.liveness = analyzeLiveness(ka.ir, ka.cfg);
+    for (const auto &ur : ka.liveness.uninitReads) {
+        emit(ka.report, DiagId::UninitializedRead, kernel, ka.ir,
+             ur.inst,
+             format("'%s' reads %s before any path writes it (%s)",
+                    ka.ir.insts[ur.inst].inst.toString().c_str(),
+                    regSetToString(ur.regs).c_str(),
+                    provenance(kernel, ka.ir, ur.inst).c_str()),
+             "initialize the register in the kernel prologue");
+    }
+    for (const std::size_t i : ka.liveness.deadStores) {
+        emit(ka.report, DiagId::DeadStore, kernel, ka.ir, i,
+             format("'%s' computes a value no path ever reads (%s)",
+                    ka.ir.insts[i].inst.toString().c_str(),
+                    provenance(kernel, ka.ir, i).c_str()),
+             "remove the dead instruction from the measured burst "
+             "or use its result");
+    }
+
+    // --- Interval facts: trip counts, termination, footprints. ---
+    ka.intervals = analyzeIntervals(ka.ir, ka.cfg);
+
+    const bool halvesKnown =
+        !kernel.halfA.empty() && !kernel.halfB.empty();
+    if (!halvesKnown) {
+        emit(ka.report, DiagId::AsymmetricHalves, kernel, ka.ir,
+             SymmetryResult::kNoInst,
+             "the kernel lacks its period/half marks, so the A and "
+             "B halves cannot be attributed or compared",
+             "emit mark 1 at the period start and mark 2 at the "
+             "half boundary");
+        return ka;
+    }
+
+    if (!ka.cfg.irreducible && ka.intervals.converged) {
+        checkHalfLoop(ka, kernel, KernelHalf::A);
+        checkHalfLoop(ka, kernel, KernelHalf::B);
+        checkHalfFootprint(ka, kernel, KernelHalf::A, machine);
+        checkHalfFootprint(ka, kernel, KernelHalf::B, machine);
+    }
+
+    // --- SAV-P004: A/B structural symmetry. ---
+    ka.symmetry = checkSymmetry(kernel);
+    for (const auto &mm : ka.symmetry.mismatches) {
+        std::string where;
+        if (mm.instA != SymmetryResult::kNoInst &&
+            mm.instB != SymmetryResult::kNoInst) {
+            where = format(
+                " (kernel lines %zu vs %zu)",
+                ka.ir.insts[mm.instA].line,
+                ka.ir.insts[mm.instB].line);
+        }
+        emit(ka.report, DiagId::AsymmetricHalves, kernel, ka.ir,
+             mm.instA,
+             format("the A and B halves differ outside the event "
+                    "slot: %s%s",
+                    mm.why.c_str(), where.c_str()),
+             "keep the halves identical except for the event under "
+             "test; any other difference shows up in the measured "
+             "spectrum");
+    }
+    return ka;
+}
+
+} // namespace savat::analysis::ir

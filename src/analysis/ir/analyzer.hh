@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The kernel analyzer: orchestrates the IR passes over one
+ * alternation kernel and turns their facts into diagnostics.
+ *
+ * The passes run in dependency order — lower to IR, build the CFG,
+ * liveness/initialization, interval propagation, A/B symmetry — and
+ * their findings are emitted through the standard Diagnostic
+ * machinery in two namespaces:
+ *
+ *   SAV-D0xx  dataflow findings (uninitialized reads, dead stores,
+ *             unreachable code, irreducible control flow)
+ *   SAV-P0xx  kernel proofs (trip counts vs burst counts,
+ *             termination, footprint range vs claim and cache level,
+ *             A/B structural symmetry)
+ *
+ * The proofs are cross-checks of the kernel's own metadata: the
+ * derived burst-loop trip counts must equal countA/countB, the
+ * proved touched byte range must equal maskA/maskB + 1 (and sit in
+ * the cache level the event claims, when a machine is supplied), and
+ * the halves must be identical outside the event slot. Any error
+ * here means the simulation would measure something other than the
+ * intended per-event signal, so callers fail fast before running.
+ */
+
+#ifndef SAVAT_ANALYSIS_IR_ANALYZER_HH
+#define SAVAT_ANALYSIS_IR_ANALYZER_HH
+
+#include "analysis/diagnostic.hh"
+#include "analysis/ir/cfg.hh"
+#include "analysis/ir/interval.hh"
+#include "analysis/ir/ir.hh"
+#include "analysis/ir/liveness.hh"
+#include "analysis/ir/symmetry.hh"
+#include "kernels/generator.hh"
+#include "uarch/machine.hh"
+
+namespace savat::analysis::ir {
+
+/** Everything the analyzer derived about one kernel. */
+struct KernelAnalysis
+{
+    IrProgram ir;
+    Cfg cfg;
+    LivenessResult liveness;
+    IntervalResult intervals;
+    SymmetryResult symmetry;
+
+    /** The SAV-D/SAV-P findings. */
+    Report report;
+
+    bool ok() const { return !report.hasErrors(); }
+};
+
+/**
+ * Analyze one alternation kernel. `machine` enables the cache-level
+ * part of the footprint proof (the byte-range part runs regardless);
+ * pass the machine the kernel was generated for, or nullptr when it
+ * is unknown.
+ */
+KernelAnalysis analyzeKernel(const kernels::AlternationKernel &kernel,
+                             const uarch::MachineConfig *machine);
+
+} // namespace savat::analysis::ir
+
+#endif // SAVAT_ANALYSIS_IR_ANALYZER_HH

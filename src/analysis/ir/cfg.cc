@@ -1,0 +1,298 @@
+#include "analysis/ir/cfg.hh"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "support/strings.hh"
+
+namespace savat::analysis::ir {
+
+using isa::Opcode;
+
+namespace {
+
+/** True when control never falls through to the next instruction. */
+bool
+endsFlow(const IrInst &ii)
+{
+    return ii.inst.op == Opcode::Jmp || ii.inst.op == Opcode::Hlt;
+}
+
+/** Reverse-postorder of the reachable blocks. */
+std::vector<std::size_t>
+reversePostorder(const Cfg &cfg)
+{
+    std::vector<std::size_t> order;
+    std::vector<std::uint8_t> state(cfg.blocks.size(), 0);
+    // Iterative DFS with an explicit stack (child cursor per frame).
+    std::vector<std::pair<std::size_t, std::size_t>> stack;
+    if (!cfg.blocks.empty())
+        stack.emplace_back(0, 0);
+    if (!cfg.blocks.empty())
+        state[0] = 1;
+    while (!stack.empty()) {
+        auto &[b, cursor] = stack.back();
+        if (cursor < cfg.blocks[b].succs.size()) {
+            const std::size_t s = cfg.blocks[b].succs[cursor++];
+            if (state[s] == 0) {
+                state[s] = 1;
+                stack.emplace_back(s, 0);
+            }
+        } else {
+            order.push_back(b);
+            stack.pop_back();
+        }
+    }
+    std::reverse(order.begin(), order.end());
+    return order;
+}
+
+} // namespace
+
+bool
+Cfg::dominates(std::size_t a, std::size_t b) const
+{
+    while (b != kNone) {
+        if (a == b)
+            return true;
+        if (b == 0)
+            return false;
+        b = blocks[b].idom;
+    }
+    return false;
+}
+
+std::size_t
+Cfg::innermostLoopOf(std::size_t block) const
+{
+    std::size_t best = kNone, bestDepth = 0;
+    for (std::size_t i = 0; i < loops.size(); ++i) {
+        const auto &loop = loops[i];
+        if (loop.depth >= bestDepth &&
+            std::binary_search(loop.blocks.begin(), loop.blocks.end(),
+                               block)) {
+            best = i;
+            bestDepth = loop.depth;
+        }
+    }
+    return best;
+}
+
+Cfg
+buildCfg(const IrProgram &prog)
+{
+    Cfg cfg;
+    const std::size_t n = prog.size();
+    cfg.blockOf.assign(n, Cfg::kNone);
+    if (n == 0)
+        return cfg;
+
+    // 1. Leaders: entry, branch targets, fallthroughs of branches.
+    std::set<std::size_t> leaders{0};
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto &ii = prog.insts[i];
+        if (ii.inst.isBranch()) {
+            if (ii.inst.target >= 0 &&
+                static_cast<std::size_t>(ii.inst.target) < n) {
+                leaders.insert(
+                    static_cast<std::size_t>(ii.inst.target));
+            }
+            if (i + 1 < n)
+                leaders.insert(i + 1);
+        } else if (ii.inst.op == Opcode::Hlt && i + 1 < n) {
+            leaders.insert(i + 1);
+        }
+    }
+
+    // 2. Blocks and the instruction->block map.
+    for (auto it = leaders.begin(); it != leaders.end(); ++it) {
+        BasicBlock bb;
+        bb.begin = *it;
+        const auto next = std::next(it);
+        bb.end = next == leaders.end() ? n : *next;
+        cfg.blocks.push_back(bb);
+    }
+    for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+        for (std::size_t i = cfg.blocks[b].begin;
+             i < cfg.blocks[b].end; ++i) {
+            cfg.blockOf[i] = b;
+        }
+    }
+
+    // 3. Edges.
+    for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+        auto &bb = cfg.blocks[b];
+        const auto &last = prog.insts[bb.end - 1];
+        auto link = [&](std::size_t to) {
+            bb.succs.push_back(to);
+            cfg.blocks[to].preds.push_back(b);
+        };
+        if (last.inst.isBranch() && last.inst.target >= 0 &&
+            static_cast<std::size_t>(last.inst.target) < n) {
+            link(cfg.blockOf[static_cast<std::size_t>(
+                last.inst.target)]);
+        }
+        if (!endsFlow(last) && bb.end < n)
+            link(cfg.blockOf[bb.end]);
+    }
+
+    // 4. Reachability + iterative dominators over the RPO.
+    const auto rpo = reversePostorder(cfg);
+    std::vector<std::size_t> rpoIndex(cfg.blocks.size(), Cfg::kNone);
+    for (std::size_t i = 0; i < rpo.size(); ++i) {
+        cfg.blocks[rpo[i]].reachable = true;
+        rpoIndex[rpo[i]] = i;
+    }
+    auto intersect = [&](std::size_t a, std::size_t b) {
+        while (a != b) {
+            while (rpoIndex[a] > rpoIndex[b])
+                a = cfg.blocks[a].idom;
+            while (rpoIndex[b] > rpoIndex[a])
+                b = cfg.blocks[b].idom;
+        }
+        return a;
+    };
+    cfg.blocks[0].idom = 0;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::size_t i = 1; i < rpo.size(); ++i) {
+            const std::size_t b = rpo[i];
+            std::size_t newIdom = Cfg::kNone;
+            for (const std::size_t p : cfg.blocks[b].preds) {
+                if (!cfg.blocks[p].reachable ||
+                    cfg.blocks[p].idom == Cfg::kNone) {
+                    continue;
+                }
+                newIdom = newIdom == Cfg::kNone
+                              ? p
+                              : intersect(newIdom, p);
+            }
+            if (newIdom != Cfg::kNone &&
+                cfg.blocks[b].idom != newIdom) {
+                cfg.blocks[b].idom = newIdom;
+                changed = true;
+            }
+        }
+    }
+    cfg.blocks[0].idom = Cfg::kNone; // entry has no dominator
+
+    // 5. Natural loops from backedges (head dominates tail).
+    struct Backedge
+    {
+        std::size_t tail, head, branchInst;
+    };
+    std::vector<Backedge> backedges;
+    for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+        if (!cfg.blocks[b].reachable)
+            continue;
+        for (const std::size_t s : cfg.blocks[b].succs) {
+            // A retreating edge targets a block that begins at or
+            // before the tail; only dominated heads form natural
+            // loops.
+            if (cfg.blocks[s].begin > cfg.blocks[b].begin)
+                continue;
+            if (cfg.dominates(s, b)) {
+                backedges.push_back({b, s, cfg.blocks[b].end - 1});
+            } else {
+                cfg.irreducible = true;
+            }
+        }
+    }
+
+    // Merge backedges sharing a header into one loop.
+    std::vector<std::size_t> headerLoop(cfg.blocks.size(), Cfg::kNone);
+    for (const auto &be : backedges) {
+        std::size_t li = headerLoop[be.head];
+        if (li == Cfg::kNone) {
+            li = cfg.loops.size();
+            headerLoop[be.head] = li;
+            NaturalLoop loop;
+            loop.header = be.head;
+            cfg.loops.push_back(loop);
+        }
+        auto &loop = cfg.loops[li];
+        loop.backedges.push_back(be.branchInst);
+        // Classic natural-loop body collection: walk preds back from
+        // the tail until the header.
+        std::set<std::size_t> body{be.head, be.tail};
+        std::vector<std::size_t> work{be.tail};
+        while (!work.empty()) {
+            const std::size_t b = work.back();
+            work.pop_back();
+            if (b == be.head)
+                continue;
+            for (const std::size_t p : cfg.blocks[b].preds) {
+                if (cfg.blocks[p].reachable && body.insert(p).second)
+                    work.push_back(p);
+            }
+        }
+        for (const std::size_t b : loop.blocks)
+            body.insert(b);
+        loop.blocks.assign(body.begin(), body.end());
+    }
+
+    // Exits and nesting depth.
+    for (auto &loop : cfg.loops) {
+        for (const std::size_t b : loop.blocks) {
+            for (const std::size_t s : cfg.blocks[b].succs) {
+                if (!std::binary_search(loop.blocks.begin(),
+                                        loop.blocks.end(), s)) {
+                    loop.exits.push_back(b);
+                    break;
+                }
+            }
+        }
+        for (const auto &other : cfg.loops) {
+            if (&other != &loop && other.blocks.size() > loop.blocks.size() &&
+                std::includes(other.blocks.begin(), other.blocks.end(),
+                              loop.blocks.begin(), loop.blocks.end())) {
+                ++loop.depth;
+            }
+        }
+    }
+    std::sort(cfg.loops.begin(), cfg.loops.end(),
+              [](const NaturalLoop &a, const NaturalLoop &b) {
+                  return a.depth != b.depth ? a.depth < b.depth
+                                            : a.header < b.header;
+              });
+    return cfg;
+}
+
+std::string
+Cfg::dump(const IrProgram &prog) const
+{
+    std::ostringstream oss;
+    oss << "cfg of " << prog.name << ": " << blocks.size()
+        << " block(s), " << loops.size() << " loop(s)\n";
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+        const auto &bb = blocks[b];
+        oss << format("  bb%zu [%zu..%zu)", b, bb.begin, bb.end);
+        if (!bb.reachable)
+            oss << " UNREACHABLE";
+        if (bb.idom != kNone)
+            oss << format(" idom=bb%zu", bb.idom);
+        oss << " succs={";
+        for (std::size_t i = 0; i < bb.succs.size(); ++i)
+            oss << (i ? "," : "") << "bb" << bb.succs[i];
+        oss << "}\n";
+        for (std::size_t i = bb.begin; i < bb.end; ++i) {
+            oss << format("    %3zu: %s\n", i,
+                          prog.insts[i].inst.toString().c_str());
+        }
+    }
+    for (std::size_t l = 0; l < loops.size(); ++l) {
+        const auto &loop = loops[l];
+        oss << format("  loop%zu depth=%zu header=bb%zu blocks={", l,
+                      loop.depth, loop.header);
+        for (std::size_t i = 0; i < loop.blocks.size(); ++i)
+            oss << (i ? "," : "") << "bb" << loop.blocks[i];
+        oss << "} exits=" << loop.exits.size() << "\n";
+    }
+    if (irreducible)
+        oss << "  control flow is irreducible\n";
+    return oss.str();
+}
+
+} // namespace savat::analysis::ir

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Control-flow graph over a lowered kernel: basic blocks, immediate
+ * dominators and natural-loop detection.
+ *
+ * Blocks are maximal straight-line runs; edges come from the
+ * branch/fallthrough structure of the modeled x86 subset (hlt has no
+ * successors, everything else falls through unless it is an
+ * unconditional jmp). Dominators are computed with the classic
+ * iterative algorithm; natural loops from backedges tail->head where
+ * head dominates tail. A backedge whose head does NOT dominate its
+ * tail marks irreducible control flow (a multi-entry loop), which
+ * the analyzer reports as SAV-D004 because no trip-count or
+ * termination statement can be made about such a loop.
+ */
+
+#ifndef SAVAT_ANALYSIS_IR_CFG_HH
+#define SAVAT_ANALYSIS_IR_CFG_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/ir/ir.hh"
+
+namespace savat::analysis::ir {
+
+/** One basic block: instructions [begin, end). */
+struct BasicBlock
+{
+    std::size_t begin = 0;
+    std::size_t end = 0;
+
+    std::vector<std::size_t> succs; //!< successor block ids
+    std::vector<std::size_t> preds; //!< predecessor block ids
+
+    /** Immediate dominator block id; kNone for entry/unreachable. */
+    std::size_t idom = SIZE_MAX;
+
+    bool reachable = false;
+
+    std::size_t size() const { return end - begin; }
+};
+
+/** One natural loop. */
+struct NaturalLoop
+{
+    std::size_t header = 0;           //!< header block id
+    std::vector<std::size_t> blocks;  //!< member block ids (sorted)
+    /** Instruction indices of the backedge branches into the header. */
+    std::vector<std::size_t> backedges;
+    /**
+     * Block ids inside the loop with an edge leaving it. Empty means
+     * the loop has no exit at all (structurally infinite).
+     */
+    std::vector<std::size_t> exits;
+    /** Loop nesting depth (1 = outermost). */
+    std::size_t depth = 1;
+};
+
+/** The control-flow graph. */
+struct Cfg
+{
+    static constexpr std::size_t kNone = SIZE_MAX;
+
+    std::vector<BasicBlock> blocks;
+    /** Block id containing each instruction. */
+    std::vector<std::size_t> blockOf;
+    /** Natural loops, outermost first. */
+    std::vector<NaturalLoop> loops;
+    /** True when a retreating edge's head fails to dominate its tail. */
+    bool irreducible = false;
+
+    /** a dominates b (reflexive). */
+    bool dominates(std::size_t a, std::size_t b) const;
+
+    /** Innermost loop containing the block; kNone when outside. */
+    std::size_t innermostLoopOf(std::size_t block) const;
+
+    /** Human-readable dump (for savat_lint --dump-cfg). */
+    std::string dump(const IrProgram &prog) const;
+};
+
+/** Build the CFG for a lowered program. */
+Cfg buildCfg(const IrProgram &prog);
+
+} // namespace savat::analysis::ir
+
+#endif // SAVAT_ANALYSIS_IR_CFG_HH

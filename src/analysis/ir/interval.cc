@@ -1,0 +1,802 @@
+#include "analysis/ir/interval.hh"
+
+#include <algorithm>
+#include <optional>
+#include <sstream>
+
+#include "support/strings.hh"
+
+namespace savat::analysis::ir {
+
+using isa::Opcode;
+using isa::Operand;
+using isa::Reg;
+
+std::string
+Interval::toString() const
+{
+    if (bottom)
+        return "(bottom)";
+    if (isConst())
+        return format("0x%08x", lo);
+    return format("[0x%08x, 0x%08x]", lo, hi);
+}
+
+Interval
+hull(const Interval &a, const Interval &b)
+{
+    if (a.bottom)
+        return b;
+    if (b.bottom)
+        return a;
+    return {std::min(a.lo, b.lo), std::max(a.hi, b.hi), false};
+}
+
+namespace {
+
+constexpr std::uint64_t kWrap = 1ull << 32;
+
+/* Hacker's Delight 4-3: tight unsigned bounds of x|y for
+ * x in [a,b], y in [c,d]. */
+std::uint32_t
+minOr(std::uint32_t a, std::uint32_t b, std::uint32_t c,
+      std::uint32_t d)
+{
+    std::uint32_t m = 0x80000000u;
+    while (m != 0) {
+        if (~a & c & m) {
+            const std::uint32_t t = (a | m) & (0u - m);
+            if (t <= b) {
+                a = t;
+                break;
+            }
+        } else if (a & ~c & m) {
+            const std::uint32_t t = (c | m) & (0u - m);
+            if (t <= d) {
+                c = t;
+                break;
+            }
+        }
+        m >>= 1;
+    }
+    return a | c;
+}
+
+std::uint32_t
+maxOr(std::uint32_t a, std::uint32_t b, std::uint32_t c,
+      std::uint32_t d)
+{
+    std::uint32_t m = 0x80000000u;
+    while (m != 0) {
+        if (b & d & m) {
+            std::uint32_t t = (b - m) | (m - 1);
+            if (t >= a) {
+                b = t;
+                break;
+            }
+            t = (d - m) | (m - 1);
+            if (t >= c) {
+                d = t;
+                break;
+            }
+        }
+        m >>= 1;
+    }
+    return b | d;
+}
+
+} // namespace
+
+Interval
+intervalOr(const Interval &a, const Interval &b)
+{
+    if (a.bottom || b.bottom)
+        return Interval::none();
+    return {minOr(a.lo, a.hi, b.lo, b.hi),
+            maxOr(a.lo, a.hi, b.lo, b.hi), false};
+}
+
+Interval
+intervalAnd(const Interval &a, const Interval &b)
+{
+    if (a.bottom || b.bottom)
+        return Interval::none();
+    // De Morgan on the OR bounds.
+    return {~maxOr(~a.hi, ~a.lo, ~b.hi, ~b.lo),
+            ~minOr(~a.hi, ~a.lo, ~b.hi, ~b.lo), false};
+}
+
+namespace {
+
+Interval
+intervalAdd(const Interval &a, const Interval &b)
+{
+    if (a.bottom || b.bottom)
+        return Interval::none();
+    const std::uint64_t lo = std::uint64_t{a.lo} + b.lo;
+    const std::uint64_t hi = std::uint64_t{a.hi} + b.hi;
+    if (hi < kWrap)
+        return {static_cast<std::uint32_t>(lo),
+                static_cast<std::uint32_t>(hi), false};
+    if (lo >= kWrap) // the whole interval wraps coherently
+        return {static_cast<std::uint32_t>(lo & 0xFFFFFFFFu),
+                static_cast<std::uint32_t>(hi & 0xFFFFFFFFu), false};
+    return Interval::top();
+}
+
+Interval
+intervalSub(const Interval &a, const Interval &b)
+{
+    if (a.bottom || b.bottom)
+        return Interval::none();
+    const std::int64_t lo = std::int64_t{a.lo} - b.hi;
+    const std::int64_t hi = std::int64_t{a.hi} - b.lo;
+    if (lo >= 0)
+        return {static_cast<std::uint32_t>(lo),
+                static_cast<std::uint32_t>(hi), false};
+    if (hi < 0) // the whole interval wraps coherently
+        return {static_cast<std::uint32_t>(lo + kWrap),
+                static_cast<std::uint32_t>(hi + kWrap), false};
+    return Interval::top();
+}
+
+Interval
+intervalXor(const Interval &a, const Interval &b)
+{
+    if (a.bottom || b.bottom)
+        return Interval::none();
+    if (a.isConst() && b.isConst())
+        return Interval::constant(a.lo ^ b.lo);
+    // Sound upper bound: x^y <= x|y.
+    return {0, maxOr(a.lo, a.hi, b.lo, b.hi), false};
+}
+
+/** Three-valued zero flag plus the refinement it licenses. */
+struct FlagState
+{
+    enum class Tri : std::uint8_t { Unknown, Set, Clear };
+    enum class Kind : std::uint8_t {
+        None,
+        RegZero,    //!< ZF <=> reg == 0
+        RegEqConst  //!< ZF <=> reg == imm
+    };
+
+    Tri zf = Tri::Unknown;
+    Kind kind = Kind::None;
+    Reg reg = Reg::Eax;
+    std::uint32_t imm = 0;
+
+    bool operator==(const FlagState &) const = default;
+};
+
+FlagState::Tri
+zfOf(const Interval &result)
+{
+    if (result.bottom)
+        return FlagState::Tri::Unknown;
+    if (result.isConst())
+        return result.lo == 0 ? FlagState::Tri::Set
+                              : FlagState::Tri::Clear;
+    return result.contains(0) ? FlagState::Tri::Unknown
+                              : FlagState::Tri::Clear;
+}
+
+/** Full abstract state at a program point. */
+struct State
+{
+    std::array<Interval, isa::kNumRegs> regs;
+    FlagState flags;
+
+    bool operator==(const State &) const = default;
+
+    Interval &reg(Reg r)
+    {
+        return regs[static_cast<std::size_t>(r)];
+    }
+    const Interval &reg(Reg r) const
+    {
+        return regs[static_cast<std::size_t>(r)];
+    }
+};
+
+Interval
+evalSrc(const State &st, const Operand &op)
+{
+    if (op.isImm())
+        return Interval::constant(
+            static_cast<std::uint32_t>(op.imm & 0xFFFFFFFF));
+    if (op.isReg())
+        return st.reg(op.reg);
+    return Interval::top(); // memory load
+}
+
+/** Apply one instruction to the state. */
+void
+transferInst(const IrInst &ii, State &st)
+{
+    const auto &inst = ii.inst;
+    auto &fs = st.flags;
+
+    // A def of the register the flag refinement talks about (without
+    // new flags) keeps the tri-state but loses the refinement.
+    if (!ii.setsFlags && fs.kind != FlagState::Kind::None &&
+        regIn(ii.defs, fs.reg)) {
+        fs.kind = FlagState::Kind::None;
+    }
+
+    switch (inst.op) {
+      case Opcode::Mov:
+        if (inst.dst.isReg())
+            st.reg(inst.dst.reg) = evalSrc(st, inst.src);
+        break;
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor: {
+        if (!inst.dst.isReg())
+            break;
+        const Reg d = inst.dst.reg;
+        const Interval rhs = evalSrc(st, inst.src);
+        Interval r;
+        switch (inst.op) {
+          case Opcode::Add: r = intervalAdd(st.reg(d), rhs); break;
+          case Opcode::Sub: r = intervalSub(st.reg(d), rhs); break;
+          case Opcode::And: r = intervalAnd(st.reg(d), rhs); break;
+          case Opcode::Or: r = intervalOr(st.reg(d), rhs); break;
+          default: // Xor
+            r = inst.src.isReg() && inst.src.reg == d
+                    ? Interval::constant(0)
+                    : intervalXor(st.reg(d), rhs);
+            break;
+        }
+        st.reg(d) = r;
+        fs = {zfOf(r), FlagState::Kind::RegZero, d, 0};
+        break;
+      }
+      case Opcode::Imul:
+        if (inst.dst.isReg()) {
+            const Interval rhs = evalSrc(st, inst.src);
+            const Interval &lhs = st.reg(inst.dst.reg);
+            st.reg(inst.dst.reg) =
+                lhs.isConst() && rhs.isConst()
+                    ? Interval::constant(static_cast<std::uint32_t>(
+                          (std::uint64_t{lhs.lo} * rhs.lo) &
+                          0xFFFFFFFFu))
+                    : Interval::top();
+        }
+        fs = {}; // flags architecturally undefined after imul
+        break;
+      case Opcode::Idiv:
+        st.reg(Reg::Eax) = Interval::top();
+        st.reg(Reg::Edx) = Interval::top();
+        fs = {}; // flags architecturally undefined after idiv
+        break;
+      case Opcode::Cdq: {
+        const Interval &eax = st.reg(Reg::Eax);
+        if (eax.bottom)
+            st.reg(Reg::Edx) = Interval::none();
+        else if (eax.hi < 0x80000000u)
+            st.reg(Reg::Edx) = Interval::constant(0);
+        else if (eax.lo >= 0x80000000u)
+            st.reg(Reg::Edx) = Interval::constant(0xFFFFFFFFu);
+        else
+            st.reg(Reg::Edx) = Interval::top();
+        break;
+      }
+      case Opcode::Inc:
+      case Opcode::Dec:
+        if (inst.dst.isReg()) {
+            const Reg d = inst.dst.reg;
+            const Interval one = Interval::constant(1);
+            const Interval r = inst.op == Opcode::Inc
+                                   ? intervalAdd(st.reg(d), one)
+                                   : intervalSub(st.reg(d), one);
+            st.reg(d) = r;
+            fs = {zfOf(r), FlagState::Kind::RegZero, d, 0};
+        }
+        break;
+      case Opcode::Cmp: {
+        const Interval lhs = evalSrc(st, inst.dst);
+        const Interval rhs = evalSrc(st, inst.src);
+        FlagState nf;
+        if (inst.dst.isReg() && inst.src.isReg() &&
+            inst.dst.reg == inst.src.reg) {
+            nf.zf = FlagState::Tri::Set;
+        } else if (!lhs.bottom && !rhs.bottom) {
+            if (lhs.isConst() && rhs.isConst()) {
+                nf.zf = lhs.lo == rhs.lo ? FlagState::Tri::Set
+                                         : FlagState::Tri::Clear;
+            } else if (lhs.hi < rhs.lo || rhs.hi < lhs.lo) {
+                nf.zf = FlagState::Tri::Clear;
+            }
+        }
+        if (inst.dst.isReg() && inst.src.isImm()) {
+            nf.kind = FlagState::Kind::RegEqConst;
+            nf.reg = inst.dst.reg;
+            nf.imm =
+                static_cast<std::uint32_t>(inst.src.imm & 0xFFFFFFFF);
+        }
+        fs = nf;
+        break;
+      }
+      case Opcode::Test: {
+        FlagState nf;
+        if (inst.dst.isReg() && inst.src.isReg() &&
+            inst.dst.reg == inst.src.reg) {
+            nf.zf = zfOf(st.reg(inst.dst.reg));
+            nf.kind = FlagState::Kind::RegZero;
+            nf.reg = inst.dst.reg;
+        } else {
+            nf.zf = zfOf(
+                intervalAnd(evalSrc(st, inst.dst),
+                            evalSrc(st, inst.src)));
+        }
+        fs = nf;
+        break;
+      }
+      case Opcode::Je:
+      case Opcode::Jne:
+      case Opcode::Jmp:
+      case Opcode::Nop:
+      case Opcode::Hlt:
+      case Opcode::Mark:
+      default:
+        break;
+    }
+}
+
+/** Refine the interval to == c; nullopt when infeasible. */
+std::optional<Interval>
+refineEq(const Interval &i, std::uint32_t c)
+{
+    if (!i.contains(c))
+        return std::nullopt;
+    return Interval::constant(c);
+}
+
+/** Refine the interval to != c; nullopt when infeasible. */
+std::optional<Interval>
+refineNe(const Interval &i, std::uint32_t c)
+{
+    if (i.bottom)
+        return i;
+    if (i.isConst() && i.lo == c)
+        return std::nullopt;
+    Interval r = i;
+    if (r.lo == c)
+        ++r.lo;
+    else if (r.hi == c)
+        --r.hi;
+    return r;
+}
+
+/**
+ * State flowing along one CFG edge out of a block ending in `last`.
+ * nullopt when the edge is provably infeasible.
+ */
+std::optional<State>
+refineEdge(const State &out, const IrInst &last, bool conditional,
+           bool taken)
+{
+    if (!conditional)
+        return out;
+    // je taken needs ZF set; jne taken needs ZF clear.
+    const bool wantSet = (last.inst.op == Opcode::Je) == taken;
+    const auto &fs = out.flags;
+    if (fs.zf != FlagState::Tri::Unknown &&
+        (fs.zf == FlagState::Tri::Set) != wantSet) {
+        return std::nullopt;
+    }
+    State res = out;
+    if (fs.kind != FlagState::Kind::None) {
+        const std::uint32_t c =
+            fs.kind == FlagState::Kind::RegZero ? 0 : fs.imm;
+        const auto refined = wantSet ? refineEq(res.reg(fs.reg), c)
+                                     : refineNe(res.reg(fs.reg), c);
+        if (!refined)
+            return std::nullopt;
+        res.reg(fs.reg) = *refined;
+    }
+    return res;
+}
+
+/** Threshold set for widening: the program's own constants. */
+std::vector<std::uint32_t>
+collectThresholds(const IrProgram &prog)
+{
+    std::vector<std::uint32_t> imms{0, 0xFFFFFFFFu};
+    auto addImm = [&](const Operand &op) {
+        if (op.isImm())
+            imms.push_back(
+                static_cast<std::uint32_t>(op.imm & 0xFFFFFFFF));
+    };
+    for (const auto &ii : prog.insts) {
+        addImm(ii.inst.dst);
+        addImm(ii.inst.src);
+    }
+    std::sort(imms.begin(), imms.end());
+    imms.erase(std::unique(imms.begin(), imms.end()), imms.end());
+    // Pairwise ORs: the masked-pointer idiom sweeps to base|mask.
+    std::vector<std::uint32_t> th = imms;
+    for (std::size_t i = 0; i < imms.size(); ++i) {
+        for (std::size_t j = i; j < imms.size(); ++j) {
+            th.push_back(imms[i] | imms[j]);
+            th.push_back(imms[i] & imms[j]);
+        }
+    }
+    std::sort(th.begin(), th.end());
+    th.erase(std::unique(th.begin(), th.end()), th.end());
+    return th;
+}
+
+std::uint32_t
+widenDown(const std::vector<std::uint32_t> &th, std::uint32_t v)
+{
+    // Largest threshold <= v (0 is always present).
+    auto it = std::upper_bound(th.begin(), th.end(), v);
+    return *std::prev(it);
+}
+
+std::uint32_t
+widenUp(const std::vector<std::uint32_t> &th, std::uint32_t v)
+{
+    // Smallest threshold >= v (0xFFFFFFFF is always present).
+    return *std::lower_bound(th.begin(), th.end(), v);
+}
+
+/** Join `from` into `into`; returns true when `into` changed. */
+bool
+joinInto(State &into, const State &from)
+{
+    bool changed = false;
+    for (std::size_t r = 0; r < isa::kNumRegs; ++r) {
+        const Interval h = hull(into.regs[r], from.regs[r]);
+        if (!(h == into.regs[r])) {
+            into.regs[r] = h;
+            changed = true;
+        }
+    }
+    if (!(into.flags == from.flags)) {
+        const FlagState unknown;
+        if (!(into.flags == unknown)) {
+            into.flags = unknown;
+            changed = true;
+        }
+    }
+    return changed;
+}
+
+/** 2-adic inverse of an odd 32-bit value (Newton iteration). */
+std::uint32_t
+oddInverse(std::uint32_t s)
+{
+    std::uint32_t inv = s; // correct to 3 bits already
+    for (int i = 0; i < 5; ++i)
+        inv *= 2u - s * inv;
+    return inv;
+}
+
+} // namespace
+
+IntervalResult
+analyzeIntervals(const IrProgram &prog, const Cfg &cfg)
+{
+    IntervalResult res;
+    const std::size_t nb = cfg.blocks.size();
+    res.loops.assign(cfg.loops.size(), {});
+    if (nb == 0)
+        return res;
+
+    const auto thresholds = collectThresholds(prog);
+
+    std::vector<State> in(nb);
+    std::vector<bool> seen(nb, false);
+    std::vector<std::size_t> visits(nb, 0);
+
+    // Entry: everything unknown (liveness reports uninitialized
+    // reads separately; Top is the sound value domain answer).
+    in[0] = State{};
+    seen[0] = true;
+
+    auto succEdges = [&](std::size_t b, const State &out) {
+        // Pairs of (succ block, refined state or nullopt).
+        std::vector<std::pair<std::size_t, std::optional<State>>> es;
+        const auto &bb = cfg.blocks[b];
+        const auto &last = prog.insts[bb.end - 1];
+        const bool conditional = last.inst.op == Opcode::Je ||
+                                 last.inst.op == Opcode::Jne;
+        const bool hasTaken =
+            last.inst.isBranch() && last.inst.target >= 0 &&
+            static_cast<std::size_t>(last.inst.target) < prog.size();
+        for (std::size_t k = 0; k < bb.succs.size(); ++k) {
+            const bool taken = hasTaken && k == 0;
+            es.emplace_back(
+                bb.succs[k],
+                refineEdge(out, last, conditional, taken));
+        }
+        return es;
+    };
+
+    auto transferBlock = [&](std::size_t b, State st) {
+        for (std::size_t i = cfg.blocks[b].begin;
+             i < cfg.blocks[b].end; ++i) {
+            transferInst(prog.insts[i], st);
+        }
+        return st;
+    };
+
+    // Widened worklist fixpoint.
+    constexpr std::size_t kWidenDelay = 4;
+    std::vector<std::size_t> work{0};
+    std::vector<bool> queued(nb, false);
+    queued[0] = true;
+    const std::size_t maxSteps = 256 * nb + 4096;
+    std::size_t steps = 0;
+    while (!work.empty()) {
+        if (++steps > maxSteps) {
+            res.converged = false;
+            break;
+        }
+        const std::size_t b = work.back();
+        work.pop_back();
+        queued[b] = false;
+        ++visits[b];
+        const State out = transferBlock(b, in[b]);
+        for (const auto &[s, refined] : succEdges(b, out)) {
+            if (!refined)
+                continue;
+            bool changed;
+            if (!seen[s]) {
+                in[s] = *refined;
+                seen[s] = true;
+                changed = true;
+            } else {
+                changed = joinInto(in[s], *refined);
+                if (changed && visits[s] > kWidenDelay) {
+                    for (auto &iv : in[s].regs) {
+                        if (iv.bottom)
+                            continue;
+                        iv.lo = widenDown(thresholds, iv.lo);
+                        iv.hi = widenUp(thresholds, iv.hi);
+                    }
+                }
+            }
+            if (changed && !queued[s]) {
+                work.push_back(s);
+                queued[s] = true;
+            }
+        }
+    }
+
+    // RPO for the narrowing sweeps (blocks are laid out in program
+    // order and the CFG is built from a flat program, so index order
+    // is a serviceable iteration order here).
+    if (res.converged) {
+        for (int sweep = 0; sweep < 3; ++sweep) {
+            for (std::size_t b = 0; b < nb; ++b) {
+                if (!seen[b])
+                    continue;
+                State next;
+                bool any = b == 0; // entry keeps its boundary state
+                if (b == 0)
+                    next = State{};
+                for (const std::size_t p : cfg.blocks[b].preds) {
+                    if (!seen[p])
+                        continue;
+                    const State out = transferBlock(p, in[p]);
+                    for (const auto &[s, refined] :
+                         succEdges(p, out)) {
+                        if (s != b || !refined)
+                            continue;
+                        if (!any) {
+                            next = *refined;
+                            any = true;
+                        } else {
+                            joinInto(next, *refined);
+                        }
+                    }
+                }
+                if (any)
+                    in[b] = next;
+            }
+        }
+    }
+
+    // Final collection pass: per-instruction address intervals and
+    // per-edge feasibility.
+    std::vector<std::vector<bool>> edgeFeasible(nb);
+    std::vector<State> outs(nb);
+    for (std::size_t b = 0; b < nb; ++b) {
+        edgeFeasible[b].assign(cfg.blocks[b].succs.size(), false);
+        if (!seen[b])
+            continue;
+        State st = in[b];
+        for (std::size_t i = cfg.blocks[b].begin;
+             i < cfg.blocks[b].end; ++i) {
+            const auto &ii = prog.insts[i];
+            if (ii.mem != MemAccess::None) {
+                res.mems.push_back(
+                    {i, ii.memBase, ii.mem,
+                     res.converged ? st.reg(ii.memBase)
+                                   : Interval::top()});
+            }
+            transferInst(ii, st);
+        }
+        outs[b] = st;
+        std::size_t k = 0;
+        for (const auto &[s, refined] : succEdges(b, st)) {
+            (void)s;
+            edgeFeasible[b][k++] = refined.has_value();
+        }
+    }
+    std::sort(res.mems.begin(), res.mems.end(),
+              [](const MemFact &a, const MemFact &b) {
+                  return a.inst < b.inst;
+              });
+
+    // Loop facts.
+    for (std::size_t li = 0; li < cfg.loops.size(); ++li) {
+        const auto &loop = cfg.loops[li];
+        auto &lf = res.loops[li];
+        if (!seen[loop.header] || !res.converged)
+            continue;
+
+        const auto inLoop = [&](std::size_t b) {
+            return std::binary_search(loop.blocks.begin(),
+                                      loop.blocks.end(), b);
+        };
+
+        if (loop.exits.empty()) {
+            lf.verdict = LoopFacts::Termination::Infinite;
+            continue;
+        }
+        bool anyFeasibleExit = false;
+        for (const std::size_t b : loop.exits) {
+            for (std::size_t k = 0; k < cfg.blocks[b].succs.size();
+                 ++k) {
+                if (!inLoop(cfg.blocks[b].succs[k]) && seen[b] &&
+                    edgeFeasible[b][k]) {
+                    anyFeasibleExit = true;
+                }
+            }
+        }
+        if (!anyFeasibleExit) {
+            lf.verdict = LoopFacts::Termination::Infinite;
+            continue;
+        }
+
+        // Counted idiom: a single jne backedge whose flags come from
+        // the only in-loop step (dec r / sub r,imm) of a counter
+        // that enters the loop as a constant, and no other way out.
+        if (loop.backedges.size() != 1)
+            continue;
+        const std::size_t bi = loop.backedges[0];
+        if (prog.insts[bi].inst.op != Opcode::Jne)
+            continue;
+        const std::size_t tb = cfg.blockOf[bi];
+        if (loop.exits.size() != 1 || loop.exits[0] != tb)
+            continue;
+
+        // Find the flag source within the backedge block.
+        std::size_t si = Cfg::kNone;
+        for (std::size_t i = bi; i-- > cfg.blocks[tb].begin;) {
+            const auto &ii = prog.insts[i];
+            if (ii.setsFlags || ii.inst.op == Opcode::Imul ||
+                ii.inst.op == Opcode::Idiv) {
+                si = i;
+                break;
+            }
+        }
+        if (si == Cfg::kNone)
+            continue;
+        const auto &step = prog.insts[si].inst;
+        std::uint32_t stepBy = 0;
+        if (step.op == Opcode::Dec && step.dst.isReg()) {
+            stepBy = 1;
+        } else if (step.op == Opcode::Sub && step.dst.isReg() &&
+                   step.src.isImm()) {
+            stepBy = static_cast<std::uint32_t>(step.src.imm &
+                                                0xFFFFFFFF);
+        }
+        if (stepBy == 0)
+            continue;
+        const Reg ctr = step.dst.reg;
+
+        // The counter must be stepped exactly once per iteration and
+        // stay untouched between the step and the branch.
+        std::size_t defsInLoop = 0;
+        for (const std::size_t b : loop.blocks) {
+            for (std::size_t i = cfg.blocks[b].begin;
+                 i < cfg.blocks[b].end; ++i) {
+                if (regIn(prog.insts[i].defs, ctr))
+                    ++defsInLoop;
+            }
+        }
+        if (defsInLoop != 1)
+            continue;
+
+        // Entry value: join of the loop-entry edges only.
+        Interval entry = Interval::none();
+        for (const std::size_t p : cfg.blocks[loop.header].preds) {
+            if (inLoop(p) || !seen[p])
+                continue;
+            for (const auto &[s, refined] :
+                 succEdges(p, outs[p])) {
+                if (s == loop.header && refined)
+                    entry = hull(entry, refined->reg(ctr));
+            }
+        }
+        if (!entry.isConst())
+            continue;
+        const std::uint32_t n = entry.lo;
+
+        lf.counted = true;
+        lf.counter = ctr;
+        lf.counterInit = n;
+        lf.step = stepBy;
+
+        // Trips = smallest k >= 1 with k*step == n (mod 2^32).
+        std::uint32_t v = 0;
+        while (((stepBy >> v) & 1u) == 0)
+            ++v;
+        if ((v > 0 && (n & ((1u << v) - 1u)) != 0)) {
+            // The counter steps over zero forever.
+            lf.verdict = LoopFacts::Termination::Infinite;
+            continue;
+        }
+        const std::uint32_t modBits = 32 - v;
+        const std::uint64_t modMask =
+            modBits >= 32 ? 0xFFFFFFFFull : ((1ull << modBits) - 1);
+        const std::uint64_t k =
+            (std::uint64_t{n >> v} * oddInverse(stepBy >> v)) &
+            modMask;
+        lf.trips = k == 0 ? modMask + 1 : k;
+        lf.verdict = LoopFacts::Termination::Terminates;
+    }
+
+    return res;
+}
+
+std::string
+IntervalResult::dump(const IrProgram &prog, const Cfg &cfg) const
+{
+    std::ostringstream oss;
+    oss << "intervals of " << prog.name << ":\n";
+    if (!converged)
+        oss << "  (fixpoint hit its safety cap; facts are "
+               "conservative)\n";
+    for (std::size_t li = 0; li < loops.size(); ++li) {
+        const auto &lf = loops[li];
+        oss << format("  loop%zu header=bb%zu: ", li,
+                      cfg.loops[li].header);
+        switch (lf.verdict) {
+          case LoopFacts::Termination::Terminates:
+            oss << format("terminates after %llu trip(s)",
+                          static_cast<unsigned long long>(lf.trips));
+            break;
+          case LoopFacts::Termination::Infinite:
+            oss << "proved non-terminating";
+            break;
+          case LoopFacts::Termination::Unknown:
+            oss << "termination unknown";
+            break;
+        }
+        if (lf.counted) {
+            oss << format(" (counter %s init=%u step=%u)",
+                          isa::regName(lf.counter), lf.counterInit,
+                          lf.step);
+        }
+        oss << "\n";
+    }
+    for (const auto &mf : mems) {
+        oss << format(
+            "  %3zu: %-5s [%s] addr=%s '%s'\n", mf.inst,
+            mf.access == MemAccess::Load ? "load" : "store",
+            isa::regName(mf.base), mf.addr.toString().c_str(),
+            prog.insts[mf.inst].inst.toString().c_str());
+    }
+    return oss.str();
+}
+
+} // namespace savat::analysis::ir

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Forward constant/interval propagation over the kernel CFG.
+ *
+ * The abstract domain is unsigned 32-bit intervals with *tight*
+ * bitwise transfer functions (the Hacker's Delight minOR/maxOR
+ * bounds, AND via De Morgan), because the kernels' pointer-update
+ * idiom is built from and/or masking:
+ *
+ *     mov ebx,esi / add ebx,64 / and ebx,mask /
+ *     and esi,~mask / or esi,ebx
+ *
+ * With naive interval arithmetic the masked sweep never converges to
+ * anything useful; with tight bitwise bounds plus threshold widening
+ * (thresholds = the program's own immediates and their pairwise ORs)
+ * and a few narrowing sweeps, the pointer provably settles on
+ * exactly [base, base+mask] — which is what the footprint proof
+ * needs.
+ *
+ * On top of the fixpoint the pass derives, per natural loop, a
+ * termination verdict and an exact trip count when the loop follows
+ * the counted idiom (counter initialized to a constant outside the
+ * loop, stepped by dec/sub inside it, exited by the jne on that
+ * step). Wrap-around is modeled: a step that can never hit zero
+ * modulo 2^32 is proved non-terminating, one that hits it late
+ * yields the exact (astronomical) modular trip count.
+ */
+
+#ifndef SAVAT_ANALYSIS_IR_INTERVAL_HH
+#define SAVAT_ANALYSIS_IR_INTERVAL_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/ir/cfg.hh"
+#include "analysis/ir/ir.hh"
+
+namespace savat::analysis::ir {
+
+/** An unsigned 32-bit interval (or bottom). */
+struct Interval
+{
+    std::uint32_t lo = 0;
+    std::uint32_t hi = 0xFFFFFFFFu;
+    bool bottom = false;
+
+    static Interval top() { return {}; }
+    static Interval none() { return {0, 0, true}; }
+    static Interval constant(std::uint32_t c) { return {c, c, false}; }
+
+    bool isConst() const { return !bottom && lo == hi; }
+    bool contains(std::uint32_t v) const
+    {
+        return !bottom && lo <= v && v <= hi;
+    }
+    std::uint64_t width() const
+    {
+        return bottom ? 0
+                      : static_cast<std::uint64_t>(hi) - lo + 1;
+    }
+
+    bool operator==(const Interval &) const = default;
+
+    std::string toString() const;
+};
+
+/** Hull of two intervals. */
+Interval hull(const Interval &a, const Interval &b);
+
+/** Tight unsigned bitwise bounds (Hacker's Delight 4-3). */
+Interval intervalAnd(const Interval &a, const Interval &b);
+Interval intervalOr(const Interval &a, const Interval &b);
+
+/** Per-loop facts derived from the fixpoint. */
+struct LoopFacts
+{
+    enum class Termination : std::uint8_t {
+        Terminates, //!< proved; `trips` holds the exact count
+        Infinite,   //!< proved: no exit, or no exit edge is feasible
+        Unknown     //!< no statement possible
+    };
+
+    Termination verdict = Termination::Unknown;
+
+    /** Exact iteration count (valid when verdict == Terminates). */
+    std::uint64_t trips = 0;
+
+    /** The counted-loop counter register, when the idiom matched. */
+    bool counted = false;
+    isa::Reg counter = isa::Reg::Ecx;
+    std::uint32_t counterInit = 0; //!< constant entry value
+    std::uint32_t step = 1;        //!< decrement per iteration
+};
+
+/** Interval of one memory access's address. */
+struct MemFact
+{
+    std::size_t inst = 0;
+    isa::Reg base = isa::Reg::Eax;
+    MemAccess access = MemAccess::None;
+    Interval addr;
+};
+
+/** Result of the interval pass. */
+struct IntervalResult
+{
+    /** False when the fixpoint hit its safety cap (states are Top). */
+    bool converged = true;
+
+    /** Parallel to Cfg::loops. */
+    std::vector<LoopFacts> loops;
+
+    /** One entry per memory-accessing instruction, program order. */
+    std::vector<MemFact> mems;
+
+    /** Human-readable dump (savat_lint --dump-footprint). */
+    std::string dump(const IrProgram &prog, const Cfg &cfg) const;
+};
+
+/** Run the interval fixpoint and derive loop/memory facts. */
+IntervalResult analyzeIntervals(const IrProgram &prog, const Cfg &cfg);
+
+} // namespace savat::analysis::ir
+
+#endif // SAVAT_ANALYSIS_IR_INTERVAL_HH

@@ -1,0 +1,131 @@
+#include "analysis/ir/ir.hh"
+
+#include <sstream>
+
+namespace savat::analysis::ir {
+
+using isa::Opcode;
+using isa::Operand;
+using isa::Reg;
+
+std::string
+regSetToString(RegSet set)
+{
+    std::ostringstream oss;
+    oss << '{';
+    bool first = true;
+    for (std::size_t i = 0; i < isa::kNumRegs; ++i) {
+        const auto r = static_cast<Reg>(i);
+        if (!regIn(set, r))
+            continue;
+        if (!first)
+            oss << ", ";
+        oss << isa::regName(r);
+        first = false;
+    }
+    oss << '}';
+    return oss.str();
+}
+
+namespace {
+
+/** Registers an operand reads when used as a source. */
+RegSet
+operandUses(const Operand &op)
+{
+    if (op.isReg() || op.isMem())
+        return regBit(op.reg);
+    return 0;
+}
+
+void
+lowerOne(IrInst &out)
+{
+    const auto &inst = out.inst;
+    const auto &dst = inst.dst;
+    const auto &src = inst.src;
+
+    // Memory shape first: only mov touches memory in the subset.
+    if (inst.isLoad()) {
+        out.mem = MemAccess::Load;
+        out.memBase = src.reg;
+    } else if (inst.isStore()) {
+        out.mem = MemAccess::Store;
+        out.memBase = dst.reg;
+    }
+
+    switch (inst.op) {
+      case Opcode::Mov:
+        out.uses = operandUses(src);
+        if (dst.isMem())
+            out.uses |= regBit(dst.reg); // address computation
+        else if (dst.isReg())
+            out.defs = regBit(dst.reg);
+        break;
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Imul:
+        if (dst.isReg()) {
+            out.defs = regBit(dst.reg);
+            out.uses = regBit(dst.reg) | operandUses(src);
+        }
+        out.setsFlags = inst.op != Opcode::Imul;
+        break;
+      case Opcode::Idiv:
+        // edx:eax / dst.reg -> eax, remainder -> edx.
+        out.defs = regBit(Reg::Eax) | regBit(Reg::Edx);
+        out.uses = regBit(Reg::Eax) | regBit(Reg::Edx);
+        if (dst.isReg())
+            out.uses |= regBit(dst.reg);
+        break;
+      case Opcode::Cdq:
+        out.defs = regBit(Reg::Edx);
+        out.uses = regBit(Reg::Eax);
+        break;
+      case Opcode::Inc:
+      case Opcode::Dec:
+        if (dst.isReg()) {
+            out.defs = regBit(dst.reg);
+            out.uses = regBit(dst.reg);
+        }
+        out.setsFlags = true;
+        break;
+      case Opcode::Cmp:
+      case Opcode::Test:
+        out.uses = operandUses(dst) | operandUses(src);
+        out.setsFlags = true;
+        break;
+      case Opcode::Je:
+      case Opcode::Jne:
+        out.readsFlags = true;
+        break;
+      case Opcode::Jmp:
+      case Opcode::Nop:
+      case Opcode::Hlt:
+      case Opcode::Mark:
+        break;
+      default:
+        break;
+    }
+}
+
+} // namespace
+
+IrProgram
+lower(const isa::Program &program)
+{
+    IrProgram out;
+    out.name = program.name();
+    out.insts.resize(program.size());
+    for (std::size_t i = 0; i < program.size(); ++i) {
+        out.insts[i].inst = program.at(i);
+        out.insts[i].line = program.sourceLine(i);
+        lowerOne(out.insts[i]);
+    }
+    return out;
+}
+
+} // namespace savat::analysis::ir

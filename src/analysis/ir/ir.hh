@@ -1,0 +1,96 @@
+/**
+ * @file
+ * IR lowering for the dataflow analyzer.
+ *
+ * The analyzer (analysis/ir/analyzer.hh) reasons about measurement
+ * kernels as dataflow, not as a flat instruction list. This header
+ * lowers an isa::Program into that view: per-instruction register
+ * def/use sets (as bitmasks over the eight architectural registers),
+ * flag effects, and memory-access shape. The lowering is purely
+ * syntactic — it adds no interpretation — so every later pass (CFG,
+ * liveness, interval propagation, symmetry) shares one description
+ * of what each instruction reads and writes.
+ */
+
+#ifndef SAVAT_ANALYSIS_IR_IR_HH
+#define SAVAT_ANALYSIS_IR_IR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hh"
+
+namespace savat::analysis::ir {
+
+/** A set of architectural registers as a bitmask. */
+using RegSet = std::uint8_t;
+
+static_assert(isa::kNumRegs <= 8, "RegSet is an 8-bit mask");
+
+/** Singleton set. */
+constexpr RegSet
+regBit(isa::Reg r)
+{
+    return static_cast<RegSet>(1u << static_cast<unsigned>(r));
+}
+
+/** Membership test. */
+constexpr bool
+regIn(RegSet set, isa::Reg r)
+{
+    return (set & regBit(r)) != 0;
+}
+
+/** Render a register set ("{eax, edx}"). */
+std::string regSetToString(RegSet set);
+
+/** How an instruction touches memory. */
+enum class MemAccess : std::uint8_t {
+    None,
+    Load,  //!< reads through [reg]
+    Store, //!< writes through [reg]
+};
+
+/** One lowered instruction: the isa view plus dataflow facts. */
+struct IrInst
+{
+    /** The original instruction (operands, branch target). */
+    isa::Instruction inst;
+
+    /** 1-based source line in the kernel's assembly text; 0 unknown. */
+    std::size_t line = 0;
+
+    RegSet defs = 0; //!< registers written
+    RegSet uses = 0; //!< registers read
+
+    /** True when the instruction writes the ZF-bearing flags. */
+    bool setsFlags = false;
+
+    /** True when a conditional branch reads the flags. */
+    bool readsFlags = false;
+
+    MemAccess mem = MemAccess::None;
+
+    /** Base register of the [reg] operand (valid when mem != None). */
+    isa::Reg memBase = isa::Reg::Eax;
+
+    /** Bytes accessed per memory operation (the modeled word size). */
+    static constexpr std::uint64_t kAccessBytes = 4;
+};
+
+/** A lowered program. */
+struct IrProgram
+{
+    std::string name;
+    std::vector<IrInst> insts;
+
+    std::size_t size() const { return insts.size(); }
+};
+
+/** Lower a program. The program is not retained. */
+IrProgram lower(const isa::Program &program);
+
+} // namespace savat::analysis::ir
+
+#endif // SAVAT_ANALYSIS_IR_IR_HH

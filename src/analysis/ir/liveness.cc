@@ -1,0 +1,141 @@
+#include "analysis/ir/liveness.hh"
+
+#include <sstream>
+
+#include "support/strings.hh"
+
+namespace savat::analysis::ir {
+
+LivenessResult
+analyzeLiveness(const IrProgram &prog, const Cfg &cfg)
+{
+    LivenessResult res;
+    const std::size_t nb = cfg.blocks.size();
+    res.liveIn.assign(nb, 0);
+    res.liveOut.assign(nb, 0);
+    res.initIn.assign(nb, 0);
+    if (nb == 0)
+        return res;
+
+    // Per-block gen/kill for backward liveness: use-before-def.
+    std::vector<RegSet> gen(nb, 0), kill(nb, 0);
+    // Per-block defs for forward initialization.
+    std::vector<RegSet> defs(nb, 0);
+    for (std::size_t b = 0; b < nb; ++b) {
+        for (std::size_t i = cfg.blocks[b].begin;
+             i < cfg.blocks[b].end; ++i) {
+            const auto &ii = prog.insts[i];
+            gen[b] |= static_cast<RegSet>(ii.uses & ~kill[b]);
+            kill[b] |= ii.defs;
+            defs[b] |= ii.defs;
+        }
+    }
+
+    // Backward liveness to fixpoint.
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::size_t b = nb; b-- > 0;) {
+            RegSet out = 0;
+            for (const std::size_t s : cfg.blocks[b].succs)
+                out |= res.liveIn[s];
+            const auto in = static_cast<RegSet>(
+                gen[b] | (out & ~kill[b]));
+            if (out != res.liveOut[b] || in != res.liveIn[b]) {
+                res.liveOut[b] = out;
+                res.liveIn[b] = in;
+                changed = true;
+            }
+        }
+    }
+
+    // Forward definite-initialization (intersection at joins) over
+    // the reachable blocks. Entry starts with nothing initialized.
+    constexpr RegSet kAll = 0xFF;
+    std::vector<RegSet> initOut(nb, kAll);
+    res.initIn.assign(nb, kAll);
+    res.initIn[0] = 0;
+    initOut[0] = defs[0];
+    changed = true;
+    while (changed) {
+        changed = false;
+        for (std::size_t b = 0; b < nb; ++b) {
+            if (!cfg.blocks[b].reachable)
+                continue;
+            RegSet in = b == 0 ? 0 : kAll;
+            for (const std::size_t p : cfg.blocks[b].preds) {
+                if (cfg.blocks[p].reachable)
+                    in &= initOut[p];
+            }
+            if (cfg.blocks[b].preds.empty() && b != 0)
+                in = 0;
+            const auto out = static_cast<RegSet>(in | defs[b]);
+            if (in != res.initIn[b] || out != initOut[b]) {
+                res.initIn[b] = in;
+                initOut[b] = out;
+                changed = true;
+            }
+        }
+    }
+
+    // Walk each reachable block once more for the per-instruction
+    // findings.
+    for (std::size_t b = 0; b < nb; ++b) {
+        if (!cfg.blocks[b].reachable)
+            continue;
+
+        RegSet inited = res.initIn[b];
+        for (std::size_t i = cfg.blocks[b].begin;
+             i < cfg.blocks[b].end; ++i) {
+            const auto &ii = prog.insts[i];
+            const auto bad = static_cast<RegSet>(ii.uses & ~inited);
+            if (bad != 0)
+                res.uninitReads.push_back({i, bad});
+            inited |= ii.defs;
+        }
+
+        // Dead stores: backward within the block, seeded from
+        // live-out; only flagged inside loops (the measured burst).
+        if (cfg.innermostLoopOf(b) == Cfg::kNone)
+            continue;
+        RegSet live = res.liveOut[b];
+        for (std::size_t i = cfg.blocks[b].end;
+             i-- > cfg.blocks[b].begin;) {
+            const auto &ii = prog.insts[i];
+            if (ii.defs != 0 && (ii.defs & live) == 0 &&
+                ii.mem == MemAccess::None &&
+                ii.inst.op != isa::Opcode::Cdq) {
+                res.deadStores.push_back(i);
+            }
+            live = static_cast<RegSet>((live & ~ii.defs) | ii.uses);
+        }
+    }
+    return res;
+}
+
+std::string
+LivenessResult::dump(const IrProgram &prog, const Cfg &cfg) const
+{
+    std::ostringstream oss;
+    oss << "liveness of " << prog.name << ":\n";
+    for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+        oss << format(
+            "  bb%zu live-in=%s live-out=%s init-in=%s\n", b,
+            regSetToString(liveIn[b]).c_str(),
+            regSetToString(liveOut[b]).c_str(),
+            regSetToString(initIn[b]).c_str());
+    }
+    for (const auto &ur : uninitReads) {
+        oss << format("  uninitialized read at %zu '%s': %s\n",
+                      ur.inst,
+                      prog.insts[ur.inst].inst.toString().c_str(),
+                      regSetToString(ur.regs).c_str());
+    }
+    for (const std::size_t i : deadStores) {
+        oss << format("  dead store at %zu '%s'\n", i,
+                      prog.insts[i].inst.toString().c_str());
+    }
+    return oss.str();
+}
+
+} // namespace savat::analysis::ir

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Register dataflow over the CFG: backward liveness, forward
+ * definite-initialization, and the two derived findings the
+ * analyzer reports — reads of never-written registers (SAV-D001)
+ * and in-loop defs that no path ever reads (SAV-D002).
+ *
+ * Both problems are classic bitvector dataflow; with eight
+ * registers a whole block state is one byte, so the fixpoints are
+ * effectively free compared to building the kernel.
+ */
+
+#ifndef SAVAT_ANALYSIS_IR_LIVENESS_HH
+#define SAVAT_ANALYSIS_IR_LIVENESS_HH
+
+#include <string>
+#include <vector>
+
+#include "analysis/ir/cfg.hh"
+#include "analysis/ir/ir.hh"
+
+namespace savat::analysis::ir {
+
+/** Result of the liveness/initialization passes. */
+struct LivenessResult
+{
+    /** Per-block live registers at entry/exit. */
+    std::vector<RegSet> liveIn;
+    std::vector<RegSet> liveOut;
+
+    /** Per-block definitely-initialized registers at entry. */
+    std::vector<RegSet> initIn;
+
+    /**
+     * Instruction indices reading a register no path has written
+     * (with the registers concerned). First occurrence per
+     * instruction.
+     */
+    struct UninitRead
+    {
+        std::size_t inst = 0;
+        RegSet regs = 0;
+    };
+    std::vector<UninitRead> uninitReads;
+
+    /**
+     * Instruction indices of in-loop register defs that are dead:
+     * overwritten on every path before any read. cdq is exempt (its
+     * edx def is the mandated cross-half dividend sanitizer).
+     */
+    std::vector<std::size_t> deadStores;
+
+    /** Human-readable dump (savat_lint --dump-liveness). */
+    std::string dump(const IrProgram &prog, const Cfg &cfg) const;
+};
+
+/** Run the liveness and initialization fixpoints. */
+LivenessResult analyzeLiveness(const IrProgram &prog, const Cfg &cfg);
+
+} // namespace savat::analysis::ir
+
+#endif // SAVAT_ANALYSIS_IR_LIVENESS_HH

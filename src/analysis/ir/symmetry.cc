@@ -1,0 +1,196 @@
+#include "analysis/ir/symmetry.hh"
+
+#include "support/strings.hh"
+
+namespace savat::analysis::ir {
+
+using isa::Opcode;
+using isa::Operand;
+using isa::Reg;
+using kernels::KernelRegion;
+
+namespace {
+
+/** ptr1<->ptr2 renaming; every other register maps to itself. */
+Reg
+mapReg(Reg r)
+{
+    if (r == Reg::Esi)
+        return Reg::Edi;
+    if (r == Reg::Edi)
+        return Reg::Esi;
+    return r;
+}
+
+/** The skeleton anchors of one half. */
+struct HalfShape
+{
+    bool ok = false;
+    std::size_t afterMark = 0; //!< first instruction after the mark
+    std::size_t cdq = 0;       //!< the dividend sanitizer
+    std::size_t dec = 0;       //!< the loop step after the slot
+    KernelRegion region;
+};
+
+HalfShape
+shapeOf(const isa::Program &prog, const KernelRegion &region)
+{
+    HalfShape s;
+    s.region = region;
+    if (region.empty() ||
+        prog.at(region.begin).op != Opcode::Mark) {
+        return s;
+    }
+    s.afterMark = region.begin + 1;
+    std::size_t i = s.afterMark;
+    while (i < region.end && prog.at(i).op != Opcode::Cdq)
+        ++i;
+    if (i >= region.end)
+        return s;
+    s.cdq = i;
+    while (i < region.end && prog.at(i).op != Opcode::Dec)
+        ++i;
+    if (i >= region.end)
+        return s;
+    s.dec = i;
+    s.ok = true;
+    return s;
+}
+
+/**
+ * True when the immediate of this instruction is a kernel parameter
+ * (burst count or footprint mask) that may legitimately differ
+ * between the halves.
+ */
+bool
+parameterizedImm(const isa::Instruction &inst)
+{
+    if (inst.op == Opcode::And)
+        return true; // footprint masks
+    return inst.op == Opcode::Mov && inst.dst.isReg() &&
+           inst.dst.reg == Reg::Ecx; // burst count
+}
+
+/** Operand equality under the esi<->edi renaming. */
+bool
+operandsMatch(const Operand &a, const Operand &b, bool allowImmDiff)
+{
+    if (a.kind != b.kind)
+        return false;
+    switch (a.kind) {
+      case Operand::Kind::None:
+        return true;
+      case Operand::Kind::Reg:
+      case Operand::Kind::Mem:
+        return mapReg(a.reg) == b.reg;
+      case Operand::Kind::Imm:
+        return allowImmDiff || a.imm == b.imm;
+      default:
+        return false;
+    }
+}
+
+void
+comparePairwise(const isa::Program &prog, std::size_t beginA,
+                std::size_t beginB, std::size_t count,
+                const KernelRegion &regionA,
+                const KernelRegion &regionB, SymmetryResult &res)
+{
+    for (std::size_t k = 0; k < count; ++k) {
+        const std::size_t ia = beginA + k, ib = beginB + k;
+        const auto &a = prog.at(ia);
+        const auto &b = prog.at(ib);
+        if (a.op != b.op) {
+            res.mismatches.push_back(
+                {ia, ib,
+                 format("opcode differs: %s vs %s",
+                        isa::opcodeName(a.op),
+                        isa::opcodeName(b.op))});
+            continue;
+        }
+        const bool allowImm = parameterizedImm(a);
+        if (!operandsMatch(a.dst, b.dst, allowImm) ||
+            !operandsMatch(a.src, b.src, allowImm)) {
+            res.mismatches.push_back(
+                {ia, ib,
+                 format("operands differ under esi<->edi: '%s' vs "
+                        "'%s'",
+                        a.toString().c_str(),
+                        b.toString().c_str())});
+            continue;
+        }
+        if (a.isBranch()) {
+            // Each half's control flow must stay inside that half;
+            // relative targets can differ because slot widths do.
+            const bool aIn =
+                a.target >= 0 &&
+                regionA.contains(static_cast<std::size_t>(a.target));
+            const bool bIn =
+                b.target >= 0 &&
+                regionB.contains(static_cast<std::size_t>(b.target));
+            if (!aIn || !bIn) {
+                res.mismatches.push_back(
+                    {ia, ib,
+                     "branch outside the half it belongs to"});
+            }
+        }
+    }
+}
+
+} // namespace
+
+SymmetryResult
+checkSymmetry(const kernels::AlternationKernel &kernel)
+{
+    SymmetryResult res;
+    const auto &prog = kernel.program;
+
+    const HalfShape a = shapeOf(prog, kernel.halfA);
+    const HalfShape b = shapeOf(prog, kernel.halfB);
+    if (!a.ok || !b.ok) {
+        res.mismatches.push_back(
+            {SymmetryResult::kNoInst, SymmetryResult::kNoInst,
+             format("%s half lacks the mark/cdq/dec skeleton",
+                    !a.ok ? "A" : "B")});
+        return res;
+    }
+    res.comparable = true;
+    res.slotA = {a.cdq + 1, a.dec};
+    res.slotB = {b.cdq + 1, b.dec};
+
+    // Setup + pointer update: after the mark through the cdq.
+    const std::size_t headA = a.cdq + 1 - a.afterMark;
+    const std::size_t headB = b.cdq + 1 - b.afterMark;
+    if (headA != headB) {
+        res.mismatches.push_back(
+            {a.afterMark, b.afterMark,
+             format("setup length differs: %zu vs %zu "
+                    "instruction(s) before cdq",
+                    headA, headB)});
+    } else {
+        comparePairwise(prog, a.afterMark, b.afterMark, headA,
+                        kernel.halfA, kernel.halfB, res);
+    }
+
+    // Loop control tail: the dec onward, minus the B half's closing
+    // jmp back to the top of the alternation.
+    std::size_t endA = a.region.end, endB = b.region.end;
+    while (endA > a.dec && prog.at(endA - 1).op == Opcode::Jmp)
+        --endA;
+    while (endB > b.dec && prog.at(endB - 1).op == Opcode::Jmp)
+        --endB;
+    const std::size_t tailA = endA - a.dec, tailB = endB - b.dec;
+    if (tailA != tailB) {
+        res.mismatches.push_back(
+            {a.dec, b.dec,
+             format("loop-control tail length differs: %zu vs %zu "
+                    "instruction(s)",
+                    tailA, tailB)});
+    } else {
+        comparePairwise(prog, a.dec, b.dec, tailA, kernel.halfA,
+                        kernel.halfB, res);
+    }
+    return res;
+}
+
+} // namespace savat::analysis::ir

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * A/B structural-symmetry diff of an alternation kernel.
+ *
+ * The paper's methodology rests on the two halves of the kernel
+ * being identical *except* for the event-under-test: any other
+ * difference (an extra prologue instruction, a different pointer
+ * update, a different loop shape) shows up in the measured spectrum
+ * and corrupts the per-event signal. This pass compares the A and B
+ * halves instruction-for-instruction outside the event slot — the
+ * window between the `cdq` dividend sanitizer and the `dec` loop
+ * step — under the ptr1<->ptr2 (esi<->edi) renaming. Immediates may
+ * differ only where the kernel is parameterized: the burst count
+ * (`mov ecx,N`) and the footprint masks (`and`), which legitimately
+ * depend on the event.
+ */
+
+#ifndef SAVAT_ANALYSIS_IR_SYMMETRY_HH
+#define SAVAT_ANALYSIS_IR_SYMMETRY_HH
+
+#include <string>
+#include <vector>
+
+#include "kernels/generator.hh"
+
+namespace savat::analysis::ir {
+
+/** Result of the A/B symmetry diff. */
+struct SymmetryResult
+{
+    /**
+     * False when either half lacks the mark / cdq / dec skeleton the
+     * comparison keys on (reported as asymmetric with a structural
+     * reason).
+     */
+    bool comparable = false;
+
+    /** One structural difference outside the event slot. */
+    struct Mismatch
+    {
+        /** Absolute instruction indices; kNoInst when absent. */
+        std::size_t instA = kNoInst;
+        std::size_t instB = kNoInst;
+        std::string why;
+    };
+    static constexpr std::size_t kNoInst = SIZE_MAX;
+
+    std::vector<Mismatch> mismatches;
+
+    /** The excluded event-slot windows (absolute index ranges). */
+    kernels::KernelRegion slotA;
+    kernels::KernelRegion slotB;
+
+    bool symmetric() const { return comparable && mismatches.empty(); }
+};
+
+/** Diff the two halves of an alternation kernel. */
+SymmetryResult checkSymmetry(const kernels::AlternationKernel &kernel);
+
+} // namespace savat::analysis::ir
+
+#endif // SAVAT_ANALYSIS_IR_SYMMETRY_HH

@@ -1,0 +1,460 @@
+#include "analysis/jsonout.hh"
+
+#include <cctype>
+#include <sstream>
+
+#include "support/strings.hh"
+
+namespace savat::analysis {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += format("\\u%04x", c);
+            else
+                out += c;
+            break;
+        }
+    }
+    return out;
+}
+
+namespace {
+
+void
+writeDiagnostic(std::ostringstream &oss, const Diagnostic &d,
+                const char *indent)
+{
+    oss << indent << "{\n";
+    oss << indent << "  \"id\": \"" << diagIdName(d.id) << "\",\n";
+    oss << indent << "  \"slug\": \"" << diagIdSlug(d.id) << "\",\n";
+    oss << indent << "  \"severity\": \"" << severityName(d.severity)
+        << "\",\n";
+    oss << indent << "  \"field\": \"" << jsonEscape(d.field)
+        << "\",\n";
+    oss << indent << "  \"file\": \"" << jsonEscape(d.file)
+        << "\",\n";
+    oss << indent << "  \"line\": " << d.line << ",\n";
+    oss << indent << "  \"message\": \"" << jsonEscape(d.message)
+        << "\",\n";
+    oss << indent << "  \"hint\": \"" << jsonEscape(d.hint) << "\"\n";
+    oss << indent << "}";
+}
+
+} // namespace
+
+std::string
+lintResultsToJson(const std::vector<SpecLintResult> &specs,
+                  int exitCode)
+{
+    std::ostringstream oss;
+    oss << "{\n";
+    oss << "  \"schema\": \"" << kLintJsonSchema << "\",\n";
+    oss << "  \"exitCode\": " << exitCode << ",\n";
+    oss << "  \"specs\": [";
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        const auto &s = specs[i];
+        oss << (i ? ",\n" : "\n") << "    {\n";
+        oss << "      \"file\": \"" << jsonEscape(s.file) << "\",\n";
+        oss << "      \"parseFailed\": "
+            << (s.parseFailed ? "true" : "false") << ",\n";
+        if (s.parseFailed) {
+            oss << "      \"parseError\": \""
+                << jsonEscape(s.parseError) << "\",\n";
+            oss << "      \"parseErrorLine\": " << s.parseErrorLine
+                << ",\n";
+        }
+        oss << "      \"errors\": " << s.report.count(Severity::Error)
+            << ",\n";
+        oss << "      \"warnings\": "
+            << s.report.count(Severity::Warning) << ",\n";
+        oss << "      \"notes\": " << s.report.count(Severity::Note)
+            << ",\n";
+        oss << "      \"diagnostics\": [";
+        const auto &diags = s.report.diagnostics();
+        for (std::size_t j = 0; j < diags.size(); ++j) {
+            oss << (j ? ",\n" : "\n");
+            writeDiagnostic(oss, diags[j], "        ");
+        }
+        oss << (diags.empty() ? "]\n" : "\n      ]\n");
+        oss << "    }";
+    }
+    oss << (specs.empty() ? "]\n" : "\n  ]\n");
+    oss << "}\n";
+    return oss.str();
+}
+
+namespace {
+
+/** Minimal recursive-descent JSON reader for the lint schema. */
+class JsonReader
+{
+  public:
+    explicit JsonReader(const std::string &text) : _s(text) {}
+
+    bool failed() const { return _failed; }
+    const std::string &error() const { return _error; }
+
+    void
+    skipWs()
+    {
+        while (_i < _s.size() &&
+               std::isspace(static_cast<unsigned char>(_s[_i]))) {
+            ++_i;
+        }
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (_i < _s.size() && _s[_i] == c) {
+            ++_i;
+            return true;
+        }
+        return fail(format("expected '%c' at offset %zu", c, _i));
+    }
+
+    bool
+    peek(char c)
+    {
+        skipWs();
+        return _i < _s.size() && _s[_i] == c;
+    }
+
+    bool
+    readString(std::string &out)
+    {
+        if (!consume('"'))
+            return false;
+        out.clear();
+        while (_i < _s.size() && _s[_i] != '"') {
+            char c = _s[_i++];
+            if (c == '\\' && _i < _s.size()) {
+                const char e = _s[_i++];
+                switch (e) {
+                  case 'n': c = '\n'; break;
+                  case 'r': c = '\r'; break;
+                  case 't': c = '\t'; break;
+                  case 'u': {
+                    if (_i + 4 > _s.size())
+                        return fail("truncated \\u escape");
+                    c = static_cast<char>(
+                        std::stoi(_s.substr(_i, 4), nullptr, 16));
+                    _i += 4;
+                    break;
+                  }
+                  default: c = e; break;
+                }
+            }
+            out += c;
+        }
+        if (_i >= _s.size())
+            return fail("unterminated string");
+        ++_i; // closing quote
+        return true;
+    }
+
+    bool
+    readNumber(long long &out)
+    {
+        skipWs();
+        const std::size_t start = _i;
+        if (_i < _s.size() && (_s[_i] == '-' || _s[_i] == '+'))
+            ++_i;
+        while (_i < _s.size() &&
+               std::isdigit(static_cast<unsigned char>(_s[_i]))) {
+            ++_i;
+        }
+        if (_i == start)
+            return fail(format("expected number at offset %zu", _i));
+        out = std::stoll(_s.substr(start, _i - start));
+        return true;
+    }
+
+    bool
+    readBool(bool &out)
+    {
+        skipWs();
+        if (_s.compare(_i, 4, "true") == 0) {
+            out = true;
+            _i += 4;
+            return true;
+        }
+        if (_s.compare(_i, 5, "false") == 0) {
+            out = false;
+            _i += 5;
+            return true;
+        }
+        return fail(format("expected bool at offset %zu", _i));
+    }
+
+    /** Skip any value (for unknown keys: forward compatibility). */
+    bool
+    skipValue()
+    {
+        skipWs();
+        if (_i >= _s.size())
+            return fail("unexpected end of document");
+        const char c = _s[_i];
+        if (c == '"') {
+            std::string tmp;
+            return readString(tmp);
+        }
+        if (c == '{' || c == '[') {
+            const char close = c == '{' ? '}' : ']';
+            ++_i;
+            skipWs();
+            if (peek(close)) {
+                ++_i;
+                return true;
+            }
+            while (true) {
+                if (c == '{') {
+                    std::string key;
+                    if (!readString(key) || !consume(':'))
+                        return false;
+                }
+                if (!skipValue())
+                    return false;
+                skipWs();
+                if (peek(',')) {
+                    ++_i;
+                    continue;
+                }
+                return consume(close);
+            }
+        }
+        if (c == 't' || c == 'f') {
+            bool b;
+            return readBool(b);
+        }
+        long long n;
+        return readNumber(n);
+    }
+
+    /**
+     * Iterate an object: calls fn(key) for each member, with the
+     * cursor positioned at the value. fn must consume the value.
+     */
+    template <typename Fn>
+    bool
+    readObject(Fn &&fn)
+    {
+        if (!consume('{'))
+            return false;
+        if (peek('}')) {
+            ++_i;
+            return true;
+        }
+        while (true) {
+            std::string key;
+            if (!readString(key) || !consume(':'))
+                return false;
+            if (!fn(key))
+                return false;
+            if (peek(',')) {
+                ++_i;
+                continue;
+            }
+            return consume('}');
+        }
+    }
+
+    /** Iterate an array: calls fn() per element; fn consumes it. */
+    template <typename Fn>
+    bool
+    readArray(Fn &&fn)
+    {
+        if (!consume('['))
+            return false;
+        if (peek(']')) {
+            ++_i;
+            return true;
+        }
+        while (true) {
+            if (!fn())
+                return false;
+            if (peek(',')) {
+                ++_i;
+                continue;
+            }
+            return consume(']');
+        }
+    }
+
+    bool
+    fail(std::string why)
+    {
+        if (!_failed) {
+            _failed = true;
+            _error = std::move(why);
+        }
+        return false;
+    }
+
+  private:
+    const std::string &_s;
+    std::size_t _i = 0;
+    bool _failed = false;
+    std::string _error;
+};
+
+DiagId
+diagIdByName(const std::string &name)
+{
+    for (std::size_t i = 0; i < kNumDiagIds; ++i) {
+        const auto id = static_cast<DiagId>(i);
+        if (name == diagIdName(id))
+            return id;
+    }
+    return DiagId::NumIds;
+}
+
+Severity
+severityByName(const std::string &name)
+{
+    if (name == "note")
+        return Severity::Note;
+    if (name == "warning")
+        return Severity::Warning;
+    return Severity::Error;
+}
+
+bool
+readDiagnostic(JsonReader &r, Diagnostic &d)
+{
+    return r.readObject([&](const std::string &key) {
+        if (key == "id") {
+            std::string v;
+            if (!r.readString(v))
+                return false;
+            d.id = diagIdByName(v);
+            return true;
+        }
+        if (key == "severity") {
+            std::string v;
+            if (!r.readString(v))
+                return false;
+            d.severity = severityByName(v);
+            return true;
+        }
+        if (key == "message")
+            return r.readString(d.message);
+        if (key == "field")
+            return r.readString(d.field);
+        if (key == "hint")
+            return r.readString(d.hint);
+        if (key == "file")
+            return r.readString(d.file);
+        if (key == "line") {
+            long long v;
+            if (!r.readNumber(v))
+                return false;
+            d.line = v < 0 ? 0 : static_cast<std::size_t>(v);
+            return true;
+        }
+        return r.skipValue(); // "slug" and future keys
+    });
+}
+
+bool
+readSpec(JsonReader &r, ParsedLintJson::Spec &spec)
+{
+    return r.readObject([&](const std::string &key) {
+        if (key == "file")
+            return r.readString(spec.file);
+        if (key == "parseFailed")
+            return r.readBool(spec.parseFailed);
+        if (key == "parseError")
+            return r.readString(spec.parseError);
+        long long v;
+        if (key == "parseErrorLine") {
+            if (!r.readNumber(v))
+                return false;
+            spec.parseErrorLine = static_cast<std::size_t>(v);
+            return true;
+        }
+        if (key == "errors") {
+            if (!r.readNumber(v))
+                return false;
+            spec.errors = static_cast<std::size_t>(v);
+            return true;
+        }
+        if (key == "warnings") {
+            if (!r.readNumber(v))
+                return false;
+            spec.warnings = static_cast<std::size_t>(v);
+            return true;
+        }
+        if (key == "notes") {
+            if (!r.readNumber(v))
+                return false;
+            spec.notes = static_cast<std::size_t>(v);
+            return true;
+        }
+        if (key == "diagnostics") {
+            return r.readArray([&] {
+                Diagnostic d;
+                if (!readDiagnostic(r, d))
+                    return false;
+                spec.diagnostics.push_back(std::move(d));
+                return true;
+            });
+        }
+        return r.skipValue();
+    });
+}
+
+} // namespace
+
+bool
+parseLintJson(const std::string &text, ParsedLintJson &out,
+              std::string &error)
+{
+    JsonReader r(text);
+    out = {};
+    const bool ok = r.readObject([&](const std::string &key) {
+        if (key == "schema")
+            return r.readString(out.schema);
+        if (key == "exitCode") {
+            long long v;
+            if (!r.readNumber(v))
+                return false;
+            out.exitCode = static_cast<int>(v);
+            return true;
+        }
+        if (key == "specs") {
+            return r.readArray([&] {
+                ParsedLintJson::Spec spec;
+                if (!readSpec(r, spec))
+                    return false;
+                out.specs.push_back(std::move(spec));
+                return true;
+            });
+        }
+        return r.skipValue();
+    });
+    if (!ok) {
+        error = r.error().empty() ? "malformed JSON" : r.error();
+        return false;
+    }
+    if (out.schema != kLintJsonSchema) {
+        error = "unknown schema '" + out.schema + "'";
+        return false;
+    }
+    return true;
+}
+
+} // namespace savat::analysis

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Machine-readable diagnostic output for savat_lint.
+ *
+ * `--format=json` renders one JSON document covering every spec on
+ * the command line under the stable `savat-lint-diagnostics-v1`
+ * schema:
+ *
+ *     {
+ *       "schema": "savat-lint-diagnostics-v1",
+ *       "exitCode": 1,
+ *       "specs": [
+ *         {
+ *           "file": "examples/specs/bad.spec",
+ *           "parseFailed": false,
+ *           "errors": 1, "warnings": 0, "notes": 0,
+ *           "diagnostics": [
+ *             { "id": "SAV-P001", "slug": "trip-count-mismatch",
+ *               "severity": "error", "field": "pair", "line": 7,
+ *               "message": "...", "hint": "..." }
+ *           ]
+ *         }
+ *       ]
+ *     }
+ *
+ * Exit codes (mirrored in the document): 0 all specs clean of
+ * errors, 1 at least one error-level finding (or a warning under
+ * --werror), 2 usage or spec parse failure.
+ *
+ * A minimal JSON reader for exactly this schema lives here too, so
+ * tests (and downstream tooling written against libsavat) can
+ * round-trip the document without an external JSON dependency.
+ */
+
+#ifndef SAVAT_ANALYSIS_JSONOUT_HH
+#define SAVAT_ANALYSIS_JSONOUT_HH
+
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.hh"
+
+namespace savat::analysis {
+
+/** Schema identifier of the lint JSON document. */
+inline constexpr const char *kLintJsonSchema =
+    "savat-lint-diagnostics-v1";
+
+/** One spec's lint outcome, ready for JSON rendering. */
+struct SpecLintResult
+{
+    std::string file;
+    bool parseFailed = false;
+    std::string parseError;       //!< set when parseFailed
+    std::size_t parseErrorLine = 0;
+    Report report;                //!< empty when parseFailed
+};
+
+/** JSON-escape a string (quotes not included). */
+std::string jsonEscape(const std::string &s);
+
+/** Render the whole lint run as one JSON document. */
+std::string lintResultsToJson(const std::vector<SpecLintResult> &specs,
+                              int exitCode);
+
+/** Parsed-back view of the document (for round-trip consumers). */
+struct ParsedLintJson
+{
+    std::string schema;
+    int exitCode = 0;
+
+    struct Spec
+    {
+        std::string file;
+        bool parseFailed = false;
+        std::string parseError;
+        std::size_t parseErrorLine = 0;
+        std::size_t errors = 0, warnings = 0, notes = 0;
+        std::vector<Diagnostic> diagnostics;
+    };
+    std::vector<Spec> specs;
+};
+
+/**
+ * Parse a savat-lint-diagnostics-v1 document. Returns false (with
+ * `error` set) on malformed input or an unknown schema. Diagnostic
+ * ids are mapped back to DiagId (NumIds for unknown ids, so newer
+ * documents degrade gracefully).
+ */
+bool parseLintJson(const std::string &text, ParsedLintJson &out,
+                   std::string &error);
+
+} // namespace savat::analysis
+
+#endif // SAVAT_ANALYSIS_JSONOUT_HH

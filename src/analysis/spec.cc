@@ -292,7 +292,45 @@ std::size_t
 CampaignSpec::lineOf(const std::string &field) const
 {
     const auto it = fieldLines.find(field);
-    return it == fieldLines.end() ? 0 : it->second;
+    if (it != fieldLines.end())
+        return it->second;
+
+    // No spec line carries this field verbatim; attribute the
+    // finding to the nearest line that configured it rather than
+    // reporting line 0.
+    const auto firstOf = [this](
+                             std::initializer_list<const char *>
+                                 keys) -> std::size_t {
+        for (const char *k : keys) {
+            const auto kit = fieldLines.find(k);
+            if (kit != fieldLines.end())
+                return kit->second;
+        }
+        return 0;
+    };
+
+    // Geometry findings on a machine without overrides ride on the
+    // machine line.
+    if (field == "l1" || field == "l2" || field == "clock")
+        return firstOf({"machine", "campaign"});
+
+    // Per-event footprint findings use the event name as the field;
+    // per-kernel findings use the kernel (program) name. Both were
+    // chosen by the pair/events lines.
+    bool eventish = field == "kernel" ||
+                    field == "alternation kernel" ||
+                    field.rfind("savat_", 0) == 0;
+    if (!eventish) {
+        for (const auto e : kernels::extendedEvents()) {
+            if (field == kernels::eventName(e)) {
+                eventish = true;
+                break;
+            }
+        }
+    }
+    if (eventish)
+        return firstOf({"pair", "events", "machine", "campaign"});
+    return 0;
 }
 
 bool

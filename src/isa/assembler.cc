@@ -159,7 +159,7 @@ assemble(std::string_view source, const std::string &name)
             if (operands.empty())
                 return fail(ln + 1, "branch needs a target label");
             fixups.push_back({res.program.size(), operands, ln + 1});
-            res.program.append(inst);
+            res.program.append(inst, ln + 1);
             continue;
         }
 
@@ -216,7 +216,7 @@ assemble(std::string_view source, const std::string &name)
             }
             break;
         }
-        res.program.append(inst);
+        res.program.append(inst, ln + 1);
     }
 
     // Second pass: resolve branch targets.

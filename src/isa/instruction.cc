@@ -83,10 +83,17 @@ Instruction::toString() const
 }
 
 std::size_t
-Program::append(const Instruction &inst)
+Program::append(const Instruction &inst, std::size_t sourceLine)
 {
     _insts.push_back(inst);
+    _srcLines.push_back(sourceLine);
     return _insts.size() - 1;
+}
+
+std::size_t
+Program::sourceLine(std::size_t i) const
+{
+    return i < _srcLines.size() ? _srcLines[i] : 0;
 }
 
 const Instruction &

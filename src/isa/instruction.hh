@@ -137,8 +137,17 @@ class Program
     const std::string &name() const { return _name; }
     void setName(std::string n) { _name = std::move(n); }
 
-    /** Append an instruction; returns its index. */
-    std::size_t append(const Instruction &inst);
+    /**
+     * Append an instruction; returns its index. `sourceLine` is the
+     * 1-based line of the assembly text the instruction came from
+     * (0 when unknown, e.g. for programs built instruction by
+     * instruction in code).
+     */
+    std::size_t append(const Instruction &inst,
+                       std::size_t sourceLine = 0);
+
+    /** 1-based source line of an instruction; 0 when unknown. */
+    std::size_t sourceLine(std::size_t i) const;
 
     std::size_t size() const { return _insts.size(); }
     bool empty() const { return _insts.empty(); }
@@ -160,6 +169,7 @@ class Program
   private:
     std::string _name;
     std::vector<Instruction> _insts;
+    std::vector<std::size_t> _srcLines; //!< parallel to _insts
     std::vector<std::pair<std::string, std::size_t>> _labels;
 };
 

@@ -54,6 +54,60 @@ emitPrologue(std::ostringstream &oss)
 
 } // namespace
 
+const char *
+kernelHalfName(KernelHalf h)
+{
+    switch (h) {
+      case KernelHalf::Prologue: return "prologue";
+      case KernelHalf::A: return "A half";
+      case KernelHalf::B: return "B half";
+      default: SAVAT_PANIC("bad kernel half");
+    }
+}
+
+KernelHalf
+AlternationKernel::halfOf(std::size_t i) const
+{
+    if (halfA.contains(i))
+        return KernelHalf::A;
+    if (halfB.contains(i))
+        return KernelHalf::B;
+    return KernelHalf::Prologue;
+}
+
+EventKind
+AlternationKernel::eventOf(std::size_t i) const
+{
+    return halfOf(i) == KernelHalf::B ? b : a;
+}
+
+bool
+computeKernelRegions(AlternationKernel &kernel)
+{
+    const auto &insts = kernel.program.instructions();
+    std::size_t period = insts.size(), half = insts.size();
+    for (std::size_t i = 0; i < insts.size(); ++i) {
+        const auto &inst = insts[i];
+        if (inst.op != isa::Opcode::Mark || !inst.dst.isImm())
+            continue;
+        if (inst.dst.imm == Marks::kPeriodStart &&
+            period == insts.size()) {
+            period = i;
+        } else if (inst.dst.imm == Marks::kHalfBoundary &&
+                   half == insts.size()) {
+            half = i;
+        }
+    }
+    if (period >= half || half >= insts.size()) {
+        kernel.prologue = kernel.halfA = kernel.halfB = {};
+        return false;
+    }
+    kernel.prologue = {0, period};
+    kernel.halfA = {period, half};
+    kernel.halfB = {half, insts.size()};
+    return true;
+}
+
 AlternationKernel
 buildAlternationKernel(const uarch::MachineConfig &m, EventKind a,
                        EventKind b, std::uint64_t countA,
@@ -88,6 +142,7 @@ buildAlternationKernel(const uarch::MachineConfig &m, EventKind a,
     k.program = isa::assembleOrDie(
         k.source, std::string("savat_") + eventName(a) + "_" +
                       eventName(b));
+    computeKernelRegions(k);
     return k;
 }
 

@@ -53,6 +53,26 @@ struct Marks
     static constexpr std::int64_t kCalibEnd = 11;
 };
 
+/** Half-open instruction-index range of one kernel region. */
+struct KernelRegion
+{
+    std::size_t begin = 0;
+    std::size_t end = 0; //!< one past the last instruction
+
+    bool contains(std::size_t i) const { return i >= begin && i < end; }
+    bool empty() const { return begin >= end; }
+};
+
+/** Which part of a kernel an instruction belongs to. */
+enum class KernelHalf : std::uint8_t {
+    Prologue, //!< register setup before the alternation loop
+    A,        //!< period mark through the end of the A burst
+    B,        //!< half mark through the jmp back to the top
+};
+
+/** Display name ("prologue", "A half", "B half"). */
+const char *kernelHalfName(KernelHalf h);
+
 /** Description of one generated alternation kernel. */
 struct AlternationKernel
 {
@@ -68,7 +88,30 @@ struct AlternationKernel
 
     std::string source;   //!< generated assembly text
     isa::Program program; //!< assembled program
+
+    /**
+     * Provenance regions, so diagnostics can attribute an
+     * instruction to the half (and therefore the event) it came
+     * from. Filled by the generators via computeKernelRegions().
+     */
+    KernelRegion prologue; //!< [0, period mark)
+    KernelRegion halfA;    //!< [period mark, half mark)
+    KernelRegion halfB;    //!< [half mark, jmp top]
+
+    /** The half an instruction index belongs to. */
+    KernelHalf halfOf(std::size_t i) const;
+
+    /** The event-under-test of the half instruction i belongs to. */
+    EventKind eventOf(std::size_t i) const;
 };
+
+/**
+ * Derive the provenance regions of an assembled alternation kernel
+ * from its period/half marks. Returns false (and leaves the regions
+ * empty) when the marks are missing — the structural lint will
+ * report that separately.
+ */
+bool computeKernelRegions(AlternationKernel &kernel);
 
 /** Array base addresses used by generated kernels. */
 inline constexpr std::uint64_t kBaseA = 0x10000000ull;

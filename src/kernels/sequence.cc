@@ -108,6 +108,7 @@ buildSequenceKernel(const uarch::MachineConfig &m,
     k.program = isa::assembleOrDie(
         k.source,
         "seq_" + sequenceName(a) + "_" + sequenceName(b));
+    computeKernelRegions(k);
     return k;
 }
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "analysis/ir/analyzer.hh"
 #include "dsp/fft.hh"
 #include "support/logging.hh"
 #include "support/obs.hh"
@@ -262,10 +263,26 @@ runAlternation(const uarch::MachineConfig &machine,
         machine.cyclesPerPeriod(config.alternation);
     const std::size_t measured = config.measurePeriods;
 
-    // 2. KernelBuild + Simulate, retuning from the measured per-half
-    // durations until the realized period is centered.
-    SimulationRun run = simulate(machine, spec,
-                                 kernelBuild(spec, sim.counts),
+    // 2. KernelBuild, then the analyzer gate: the dataflow proofs
+    // (trip counts vs the solved bursts, termination, footprint
+    // range vs claim, A/B symmetry) must hold before any cycle is
+    // simulated. Retunes change only the burst counts, never the
+    // kernel shape, and each rebuilt kernel carries its own counts
+    // in its metadata — so analyzing the first build covers the
+    // campaign's use of this pair.
+    const auto first_kernel = kernelBuild(spec, sim.counts);
+    {
+        SAVAT_METRIC_TIMER("pipeline.kernel_analyze_seconds");
+        SAVAT_METRIC_COUNT("pipeline.kernel_analyses");
+        const auto ka =
+            analysis::ir::analyzeKernel(first_kernel, &machine);
+        if (!ka.ok()) {
+            SAVAT_FATAL("kernel analysis rejected ",
+                        first_kernel.program.name(), ":\n",
+                        ka.report.errorSummary());
+        }
+    }
+    SimulationRun run = simulate(machine, spec, first_kernel,
                                  sim.counts, measured);
     for (int iter = 0; iter < 5; ++iter) {
         const double error =

@@ -182,6 +182,29 @@ l2 1024 KiB
     EXPECT_EQ(spec.lineOf("nonexistent"), 0u);
 }
 
+TEST(SpecParser, LineOfFallsBackInsteadOfReportingLineZero)
+{
+    // Fields no spec line carries verbatim — geometry of a machine
+    // without overrides, per-event and per-kernel findings — must be
+    // attributed to the line that configured them, never line 0.
+    const auto spec = parseOrDie("campaign t\n"
+                                 "machine core2duo\n"
+                                 "events ADD LDM\n"
+                                 "alternation 80 kHz\n");
+    EXPECT_EQ(spec.lineOf("machine"), 2u);
+    EXPECT_EQ(spec.lineOf("l1"), 2u);    // geometry -> machine line
+    EXPECT_EQ(spec.lineOf("clock"), 2u);
+    EXPECT_EQ(spec.lineOf("LDM"), 3u);   // event -> events line
+    EXPECT_EQ(spec.lineOf("kernel"), 3u);
+    EXPECT_EQ(spec.lineOf("alternation kernel"), 3u);
+    // Pair findings beat events findings when a pair line exists.
+    const auto paired = parseOrDie("machine core2duo\n"
+                                   "pair LDM NOI\n");
+    EXPECT_EQ(paired.lineOf("NOI"), 2u);
+    // Genuinely unknown fields still report "no line".
+    EXPECT_EQ(spec.lineOf("no-such-field"), 0u);
+}
+
 TEST(SpecParser, CommentsAndBlanksIgnored)
 {
     const auto spec = parseOrDie("\n# full-line comment\n"

@@ -1,0 +1,494 @@
+/**
+ * @file
+ * Tests for savat::analysis::ir — the dataflow analyzer over
+ * generated measurement kernels.
+ *
+ * Two pillars:
+ *   1. a mutation corpus: deliberately broken kernels, each asserting
+ *      the specific SAV-D0xx/SAV-P0xx diagnostic it must trigger;
+ *   2. a clean sweep: every generator-emitted kernel (all event pairs
+ *      on every registered machine, plus sequence kernels) must
+ *      analyze with zero findings.
+ * Plus unit checks of the individual passes (CFG, liveness,
+ * intervals, symmetry) and a round-trip of the savat_lint JSON
+ * schema.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/checker.hh"
+#include "analysis/ir/analyzer.hh"
+#include "analysis/jsonout.hh"
+#include "isa/assembler.hh"
+#include "kernels/generator.hh"
+#include "kernels/sequence.hh"
+#include "uarch/machine.hh"
+
+using namespace savat;
+using namespace savat::analysis;
+using namespace savat::analysis::ir;
+using kernels::EventKind;
+
+namespace {
+
+/** The baseline kernel every mutation starts from. */
+kernels::AlternationKernel
+baseKernel(EventKind a = EventKind::LDM, EventKind b = EventKind::NOI)
+{
+    return kernels::buildAlternationKernel(uarch::core2duo(), a, b, 2,
+                                           3);
+}
+
+/**
+ * Re-assemble a kernel whose source had `from` (its nth occurrence,
+ * 0-based) replaced by `to`. Metadata (counts, bases, masks) is kept,
+ * so mutations model a code generator that diverged from what it
+ * claims to have generated.
+ */
+kernels::AlternationKernel
+mutate(kernels::AlternationKernel kernel, const std::string &from,
+       const std::string &to, std::size_t nth = 0)
+{
+    std::size_t pos = 0;
+    for (std::size_t i = 0;; ++i) {
+        pos = kernel.source.find(from, pos);
+        if (pos == std::string::npos) {
+            ADD_FAILURE() << "mutation pattern not found: " << from;
+            return kernel;
+        }
+        if (i == nth)
+            break;
+        pos += from.size();
+    }
+    kernel.source.replace(pos, from.size(), to);
+    kernel.program =
+        isa::assembleOrDie(kernel.source, "mutated kernel");
+    computeKernelRegions(kernel);
+    return kernel;
+}
+
+/** Wrap a hand-written program (no marks, no metadata). */
+kernels::AlternationKernel
+kernelFromSource(const std::string &source)
+{
+    kernels::AlternationKernel k;
+    k.source = source;
+    k.program = isa::assembleOrDie(source, "hand-written");
+    computeKernelRegions(k);
+    return k;
+}
+
+KernelAnalysis
+analyze(const kernels::AlternationKernel &k)
+{
+    const auto m = uarch::core2duo();
+    return analyzeKernel(k, &m);
+}
+
+} // namespace
+
+// ---------------------------------------------------------------
+// Mutation corpus: each broken kernel must trip its specific id
+// ---------------------------------------------------------------
+
+TEST(MutationCorpus, OffByOneTripCountIsP001)
+{
+    // The generator claims countA=2 but emits a 3-trip A loop.
+    const auto ka =
+        analyze(mutate(baseKernel(), "mov ecx,2", "mov ecx,3"));
+    EXPECT_TRUE(ka.report.has(DiagId::TripCountMismatch))
+        << ka.report.errorSummary();
+    EXPECT_FALSE(ka.ok());
+}
+
+TEST(MutationCorpus, L1ClaimedL2SizedFootprintIsP003)
+{
+    // An LDL1 half whose pointer-update masks sweep 1 MiB: the code
+    // touches far more than the 16 KiB the metadata (and the cache
+    // level in the event's name) claims.
+    auto k = baseKernel(EventKind::LDL1, EventKind::NOI);
+    k = mutate(k, "and ebx,0x3FFF", "and ebx,0xFFFFF");
+    k = mutate(k, "and esi,0xFFFFC000", "and esi,0xFFF00000");
+    const auto ka = analyze(k);
+    EXPECT_TRUE(ka.report.has(DiagId::FootprintProofFailed))
+        << ka.report.errorSummary();
+    EXPECT_FALSE(ka.ok());
+}
+
+TEST(MutationCorpus, ShrunkenSweepMaskIsP003)
+{
+    // The inverse direction: an LDM half that only sweeps 1 MiB of
+    // its claimed 16 MiB (would sit in L2, not main memory).
+    auto k = baseKernel();
+    k = mutate(k, "and ebx,0xFFFFFF", "and ebx,0xFFFFF");
+    k = mutate(k, "and esi,0xFF000000", "and esi,0xFFF00000");
+    const auto ka = analyze(k);
+    EXPECT_TRUE(ka.report.has(DiagId::FootprintProofFailed))
+        << ka.report.errorSummary();
+}
+
+TEST(MutationCorpus, AsymmetricPointerUpdateIsP004)
+{
+    // The B half strides by 128 instead of the shared line size: the
+    // halves now differ outside the event-under-test slot, so the
+    // A/B difference no longer isolates the event.
+    const auto ka = analyze(
+        mutate(baseKernel(), "add ebx,64", "add ebx,128", 1));
+    EXPECT_TRUE(ka.report.has(DiagId::AsymmetricHalves))
+        << ka.report.errorSummary();
+    EXPECT_FALSE(ka.ok());
+}
+
+TEST(MutationCorpus, ExtraInstructionInOneHalfIsP004)
+{
+    const auto ka = analyze(mutate(baseKernel(), "    or edi,ebx\n",
+                                   "    or edi,ebx\n"
+                                   "    mov ebx,edi\n"));
+    EXPECT_TRUE(ka.report.has(DiagId::AsymmetricHalves))
+        << ka.report.errorSummary();
+}
+
+TEST(MutationCorpus, DroppedPointerInitIsD001)
+{
+    // Without the prologue's `mov edi,...` the B half reads a
+    // register no path ever wrote.
+    const auto ka = analyze(
+        mutate(baseKernel(), "    mov edi,0x30000000\n", ""));
+    EXPECT_TRUE(ka.report.has(DiagId::UninitializedRead))
+        << ka.report.errorSummary();
+    EXPECT_FALSE(ka.ok());
+}
+
+TEST(MutationCorpus, RemovedLoopDecrementIsP002)
+{
+    // Without `dec ecx` the A loop's flags come from `or esi,ebx`,
+    // whose result is provably non-zero: jne is always taken and the
+    // loop can never exit.
+    const auto ka =
+        analyze(mutate(baseKernel(), "    dec ecx\n", "", 0));
+    EXPECT_TRUE(ka.report.has(DiagId::NonTerminatingLoop))
+        << ka.report.errorSummary();
+    EXPECT_FALSE(ka.ok());
+}
+
+TEST(MutationCorpus, InLoopDeadStoreIsD002)
+{
+    // ebx is rewritten by the next iteration's `mov ebx,esi` before
+    // any read: a silent burst-timing perturbation.
+    const auto ka = analyze(mutate(baseKernel(), "    dec ecx\n",
+                                   "    mov ebx,123\n"
+                                   "    dec ecx\n"));
+    EXPECT_TRUE(ka.report.has(DiagId::DeadStore))
+        << ka.report.errorSummary();
+}
+
+TEST(MutationCorpus, CodeAfterBackJumpIsD003)
+{
+    const auto ka = analyze(mutate(baseKernel(), "    jmp top\n",
+                                   "    jmp top\n"
+                                   "    mov ebx,1\n"
+                                   "    hlt\n"));
+    EXPECT_TRUE(ka.report.has(DiagId::UnreachableCode))
+        << ka.report.errorSummary();
+}
+
+TEST(MutationCorpus, JumpIntoLoopBodyIsD004)
+{
+    // A loop entered both through its header and from outside
+    // through the middle: no natural-loop analysis applies.
+    const auto ka = analyze(kernelFromSource(R"(    mov ecx,4
+    jmp middle
+body:
+    mov eax,1
+middle:
+    dec ecx
+    jne body
+    hlt
+)"));
+    EXPECT_TRUE(ka.report.has(DiagId::IrreducibleFlow))
+        << ka.report.errorSummary();
+    EXPECT_FALSE(ka.ok());
+}
+
+TEST(MutationCorpus, MissingMarksIsP004)
+{
+    // A kernel with no period/half marks cannot be attributed to
+    // halves at all; the symmetry proof reports it, not a crash.
+    const auto ka = analyze(
+        mutate(baseKernel(), "    mark 1\n", "", 0));
+    EXPECT_TRUE(ka.report.has(DiagId::AsymmetricHalves))
+        << ka.report.errorSummary();
+}
+
+// ---------------------------------------------------------------
+// Clean sweep: every shipped kernel must analyze with no findings
+// ---------------------------------------------------------------
+
+TEST(CleanSweep, AllEventPairsOnAllMachines)
+{
+    for (const auto &m : uarch::caseStudyMachines()) {
+        const auto events = kernels::extendedEvents();
+        for (std::size_t i = 0; i < events.size(); ++i) {
+            for (std::size_t j = i; j < events.size(); ++j) {
+                const auto kernel = kernels::buildAlternationKernel(
+                    m, events[i], events[j], 2, 3);
+                const auto ka = analyzeKernel(kernel, &m);
+                EXPECT_TRUE(ka.ok())
+                    << m.id << " "
+                    << kernels::eventName(events[i]) << "/"
+                    << kernels::eventName(events[j]) << ":\n"
+                    << ka.report.errorSummary();
+                EXPECT_EQ(ka.report.count(Severity::Warning), 0u);
+            }
+        }
+    }
+}
+
+TEST(CleanSweep, SequenceKernelsOnAllMachines)
+{
+    const kernels::EventSequence a = {EventKind::ADD, EventKind::LDM,
+                                      EventKind::DIV};
+    const kernels::EventSequence b = {EventKind::NOI};
+    for (const auto &m : uarch::caseStudyMachines()) {
+        const auto kernel =
+            kernels::buildSequenceKernel(m, a, b, 2, 3);
+        const auto ka = analyzeKernel(kernel, &m);
+        EXPECT_TRUE(ka.ok())
+            << m.id << ":\n" << ka.report.errorSummary();
+    }
+}
+
+// ---------------------------------------------------------------
+// Pass-level unit checks on the canonical LDM/NOI kernel
+// ---------------------------------------------------------------
+
+TEST(IrPasses, CfgShapeOfAlternationKernel)
+{
+    const auto ka = analyze(baseKernel());
+    EXPECT_FALSE(ka.cfg.irreducible);
+    // Outer alternation loop plus one burst loop per half.
+    ASSERT_EQ(ka.cfg.loops.size(), 3u);
+    for (const auto &b : ka.cfg.blocks)
+        EXPECT_TRUE(b.reachable);
+    std::size_t outer = 0, inner = 0;
+    for (const auto &l : ka.cfg.loops) {
+        if (l.exits.empty())
+            ++outer;
+        else
+            ++inner;
+        EXPECT_EQ(l.backedges.size(), 1u);
+    }
+    EXPECT_EQ(outer, 1u); // jmp top: endless by design
+    EXPECT_EQ(inner, 2u); // the two counted bursts
+}
+
+TEST(IrPasses, LivenessIsCleanOnGeneratedKernel)
+{
+    const auto ka = analyze(baseKernel());
+    EXPECT_TRUE(ka.liveness.uninitReads.empty());
+    EXPECT_TRUE(ka.liveness.deadStores.empty());
+}
+
+TEST(IrPasses, IntervalsProveTripCountsAndTermination)
+{
+    const auto ka = analyze(baseKernel());
+    ASSERT_TRUE(ka.intervals.converged);
+    ASSERT_EQ(ka.intervals.loops.size(), ka.cfg.loops.size());
+    std::vector<std::uint64_t> trips;
+    std::size_t infinite = 0;
+    for (const auto &lf : ka.intervals.loops) {
+        if (lf.verdict == LoopFacts::Termination::Infinite)
+            ++infinite;
+        else if (lf.verdict == LoopFacts::Termination::Terminates)
+            trips.push_back(lf.trips);
+    }
+    EXPECT_EQ(infinite, 1u);
+    ASSERT_EQ(trips.size(), 2u);
+    EXPECT_EQ(std::min(trips[0], trips[1]), 2u); // countA
+    EXPECT_EQ(std::max(trips[0], trips[1]), 3u); // countB
+}
+
+TEST(IrPasses, IntervalsBoundTheLdmSweepExactly)
+{
+    const auto k = baseKernel(); // A=LDM: base 0x10000000, 16 MiB
+    const auto ka = analyze(k);
+    bool found = false;
+    for (const auto &mf : ka.intervals.mems) {
+        if (mf.access != MemAccess::Load)
+            continue;
+        found = true;
+        EXPECT_EQ(mf.addr.lo, k.baseA);
+        EXPECT_EQ(mf.addr.hi, k.baseA + k.maskA);
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(IrPasses, SymmetryAcceptsGeneratedKernel)
+{
+    const auto ka = analyze(baseKernel(EventKind::DIV, EventKind::STM));
+    EXPECT_TRUE(ka.symmetry.comparable);
+    EXPECT_TRUE(ka.symmetry.symmetric());
+}
+
+TEST(IrPasses, DumpsMentionTheirFacts)
+{
+    const auto ka = analyze(baseKernel());
+    EXPECT_NE(ka.cfg.dump(ka.ir).find("block"), std::string::npos);
+    EXPECT_NE(ka.liveness.dump(ka.ir, ka.cfg).find("live"),
+              std::string::npos);
+    EXPECT_NE(ka.intervals.dump(ka.ir, ka.cfg).find("terminates"),
+              std::string::npos);
+}
+
+TEST(IrPasses, AnalyzerWorksWithoutMachine)
+{
+    // No machine: the byte-range proof still runs, the cache-level
+    // claim is skipped.
+    const auto k = baseKernel();
+    const auto ka = analyzeKernel(k, nullptr);
+    EXPECT_TRUE(ka.ok()) << ka.report.errorSummary();
+}
+
+// ---------------------------------------------------------------
+// savat_lint JSON schema round-trip
+// ---------------------------------------------------------------
+
+TEST(LintJson, RoundTripPreservesEverything)
+{
+    std::vector<SpecLintResult> specs;
+
+    SpecLintResult bad;
+    bad.file = "specs/bad \"quoted\".spec";
+    bad.report.add(DiagId::TripCountMismatch, "pair",
+                   "derived 3 trip(s), expected 2\nsecond line",
+                   "hint with backslash \\ and tab \t");
+    {
+        Diagnostic d;
+        d.id = DiagId::DeadStore;
+        d.severity = Severity::Warning;
+        d.field = "events";
+        d.file = "specs/bad \"quoted\".spec";
+        d.line = 42;
+        d.message = "in-loop def never read";
+        bad.report.add(std::move(d));
+    }
+    specs.push_back(std::move(bad));
+
+    SpecLintResult broken;
+    broken.file = "specs/unparseable.spec";
+    broken.parseFailed = true;
+    broken.parseError = "unknown key 'machne'";
+    broken.parseErrorLine = 7;
+    specs.push_back(std::move(broken));
+
+    const auto json = lintResultsToJson(specs, 2);
+
+    ParsedLintJson parsed;
+    std::string error;
+    ASSERT_TRUE(parseLintJson(json, parsed, error)) << error;
+    EXPECT_EQ(parsed.schema, kLintJsonSchema);
+    EXPECT_EQ(parsed.exitCode, 2);
+    ASSERT_EQ(parsed.specs.size(), 2u);
+
+    const auto &p0 = parsed.specs[0];
+    EXPECT_EQ(p0.file, "specs/bad \"quoted\".spec");
+    EXPECT_FALSE(p0.parseFailed);
+    EXPECT_EQ(p0.errors, 1u);
+    EXPECT_EQ(p0.warnings, 1u);
+    ASSERT_EQ(p0.diagnostics.size(), 2u);
+    EXPECT_EQ(p0.diagnostics[0].id, DiagId::TripCountMismatch);
+    EXPECT_EQ(p0.diagnostics[0].severity, Severity::Error);
+    EXPECT_EQ(p0.diagnostics[0].field, "pair");
+    EXPECT_EQ(p0.diagnostics[0].message,
+              "derived 3 trip(s), expected 2\nsecond line");
+    EXPECT_EQ(p0.diagnostics[0].hint,
+              "hint with backslash \\ and tab \t");
+    EXPECT_EQ(p0.diagnostics[1].id, DiagId::DeadStore);
+    EXPECT_EQ(p0.diagnostics[1].severity, Severity::Warning);
+    EXPECT_EQ(p0.diagnostics[1].line, 42u);
+
+    const auto &p1 = parsed.specs[1];
+    EXPECT_TRUE(p1.parseFailed);
+    EXPECT_EQ(p1.parseError, "unknown key 'machne'");
+    EXPECT_EQ(p1.parseErrorLine, 7u);
+    EXPECT_TRUE(p1.diagnostics.empty());
+}
+
+TEST(LintJson, UnknownSchemaIsRejected)
+{
+    ParsedLintJson parsed;
+    std::string error;
+    EXPECT_FALSE(parseLintJson(
+        R"({"schema":"something-else","exitCode":0,"specs":[]})",
+        parsed, error));
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(LintJson, UnknownDiagnosticIdDegradesGracefully)
+{
+    // A newer producer with ids this build does not know: the
+    // document still parses; the id maps to NumIds.
+    const std::string doc =
+        R"({"schema":"savat-lint-diagnostics-v1","exitCode":1,)"
+        R"("specs":[{"file":"x.spec","parseFailed":false,)"
+        R"("errors":1,"warnings":0,"notes":0,"diagnostics":[)"
+        R"({"id":"SAV-Z999","slug":"future","severity":"error",)"
+        R"("field":"pair","file":"x.spec","line":1,)"
+        R"("message":"from the future","hint":""}]}]})";
+    ParsedLintJson parsed;
+    std::string error;
+    ASSERT_TRUE(parseLintJson(doc, parsed, error)) << error;
+    ASSERT_EQ(parsed.specs.size(), 1u);
+    ASSERT_EQ(parsed.specs[0].diagnostics.size(), 1u);
+    EXPECT_EQ(parsed.specs[0].diagnostics[0].id, DiagId::NumIds);
+    EXPECT_EQ(parsed.specs[0].diagnostics[0].message,
+              "from the future");
+}
+
+// ---------------------------------------------------------------
+// Checker integration: analyzer findings reach spec-level reports
+// ---------------------------------------------------------------
+
+TEST(CheckerIntegration, AnalyzerRunsUnderCheckerByDefault)
+{
+    // The default options analyze kernels; a clean spec must stay
+    // clean through the full Checker pipeline.
+    std::istringstream in(R"(campaign t
+machine core2duo
+events LDM NOI
+repetitions 10
+alternation 80 kHz
+band 1000 Hz
+span 2000 Hz
+rbw 1 Hz
+)");
+    const auto res = parseCampaignSpec(in, "t.spec");
+    ASSERT_TRUE(res.ok) << res.error;
+    const auto report = Checker{}.check(res.spec);
+    EXPECT_FALSE(report.hasErrors()) << report.errorSummary();
+}
+
+TEST(CheckerIntegration, AnalyzeKernelsCanBeDisabled)
+{
+    CheckerOptions opts;
+    opts.analyzeKernels = false;
+    std::istringstream in(R"(campaign t
+machine core2duo
+events ADD NOI
+repetitions 10
+alternation 80 kHz
+band 1000 Hz
+span 2000 Hz
+rbw 1 Hz
+)");
+    const auto res = parseCampaignSpec(in, "t.spec");
+    ASSERT_TRUE(res.ok) << res.error;
+    const auto report = Checker{opts}.check(res.spec);
+    EXPECT_FALSE(report.hasErrors()) << report.errorSummary();
+}
