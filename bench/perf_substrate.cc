@@ -240,7 +240,7 @@ BM_PipelineStageChainMeasure(benchmark::State &state)
     const auto &sim = meter.simulatePair(kernels::EventKind::ADD,
                                          kernels::EventKind::LDM);
     Rng rng(3);
-    spectrum::Trace scratch;
+    pipeline::MeasureScratch scratch;
     for (auto _ : state) {
         auto rep = rng.fork();
         benchmark::DoNotOptimize(

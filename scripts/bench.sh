@@ -1,30 +1,59 @@
 #!/usr/bin/env bash
-# Campaign-throughput benchmark runner: builds the tree and records
-# the campaign microbenchmarks (single-cell cost, the jobs=1/2/4
-# scaling curve and the per-stage pipeline costs) as google-benchmark
-# JSON, plus the obs metrics of a small reference campaign alongside
-# it.
+# Campaign-throughput benchmark runner: records the campaign
+# microbenchmarks (single-cell cost, the jobs=1/2/4 scaling curve and
+# the per-stage pipeline costs) and appends them as one entry to the
+# checked-in trajectory file, so BENCH_campaign.json accumulates a
+# per-PR performance history instead of being overwritten each run.
 #
-#   scripts/bench.sh [output.json]    # default: BENCH_campaign.json
+#   scripts/bench.sh [trajectory.json]   # default: BENCH_campaign.json
+#
+# Environment:
+#   SAVAT_BENCH_BUILD   build directory (default: build-rel)
+#   SAVAT_BENCH_LABEL   entry label (default: short git revision)
+#
+# Timings are only meaningful from an optimized build: the runner
+# configures its own Release build tree and refuses to record numbers
+# from anything other than Release / RelWithDebInfo.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 OUT="${1:-BENCH_campaign.json}"
+BUILD="${SAVAT_BENCH_BUILD:-build-rel}"
 
-cmake -B build -S . >/dev/null
-cmake --build build -j --target bench_perf_substrate savat_cli
+cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 
-./build/bench/bench_perf_substrate \
+BUILD_TYPE="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$BUILD/CMakeCache.txt")"
+case "$BUILD_TYPE" in
+  Release|RelWithDebInfo) ;;
+  *)
+    echo "error: $BUILD is configured as '${BUILD_TYPE:-<unset>}';" >&2
+    echo "benchmark numbers from unoptimized builds are meaningless." >&2
+    echo "Reconfigure with -DCMAKE_BUILD_TYPE=Release (or point" >&2
+    echo "SAVAT_BENCH_BUILD at a Release tree) and re-run." >&2
+    exit 1
+    ;;
+esac
+
+cmake --build "$BUILD" -j --target bench_perf_substrate savat_cli
+
+RAW="$(mktemp --suffix=.json)"
+trap 'rm -f "$RAW"' EXIT
+
+"./$BUILD/bench/bench_perf_substrate" \
     --benchmark_filter='BM_Campaign|BM_PipelineStage|BM_AnalyzeKernel' \
-    --benchmark_out="$OUT" \
+    --benchmark_out="$RAW" \
     --benchmark_out_format=json \
     --benchmark_format=console
 
 # Pipeline-internal counters for the same workload class: cache hit
 # rates, FFT volume, per-cell timing distributions.
 METRICS="${OUT%.json}_metrics.json"
-./build/examples/savat_cli campaign ADD SUB LDM --reps 3 --jobs 2 \
+"./$BUILD/examples/savat_cli" campaign ADD SUB LDM --reps 3 --jobs 2 \
     --metrics "$METRICS" >/dev/null
 
+LABEL="${SAVAT_BENCH_LABEL:-$(git rev-parse --short HEAD 2>/dev/null ||
+                              echo local)}"
+python3 scripts/bench_append.py "$OUT" "$RAW" "$LABEL" "$BUILD_TYPE"
+
 echo
-echo "wrote $OUT and $METRICS"
+echo "appended entry '$LABEL' to $OUT (metrics in $METRICS)"

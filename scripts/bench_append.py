@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Append one google-benchmark run to the benchmark trajectory file.
+
+Usage: bench_append.py TRAJECTORY RAW_JSON LABEL BUILD_TYPE
+
+The trajectory (BENCH_campaign.json) is a list of per-PR entries
+rather than a single snapshot, so per-cell cost regressions show up
+as history, not as a silently replaced number:
+
+    {
+      "schema": "savat-bench-trajectory-v1",
+      "entries": [
+        {"label": ..., "date": ..., "build_type": ...,
+         "context": {host google-benchmark context},
+         "benchmarks": {"BM_CampaignPair": {"real_time_ms": ...,
+                                            "cpu_time_ms": ...}, ...}}
+      ]
+    }
+
+Re-running with an existing label replaces that entry in place (same
+PR, fresher numbers); a new label appends. A legacy single-snapshot
+file (raw google-benchmark output) is migrated by folding it in as
+the entry labelled "legacy-snapshot".
+"""
+
+import json
+import sys
+
+SCHEMA = "savat-bench-trajectory-v1"
+
+UNIT_TO_MS = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}
+
+
+def to_entry(raw, label, build_type):
+    unit_ms = lambda b: UNIT_TO_MS[b.get("time_unit", "ns")]
+    benches = {
+        b["name"]: {
+            "real_time_ms": b["real_time"] * unit_ms(b),
+            "cpu_time_ms": b["cpu_time"] * unit_ms(b),
+        }
+        for b in raw.get("benchmarks", [])
+        if b.get("run_type", "iteration") == "iteration"
+    }
+    ctx = raw.get("context", {})
+    return {
+        "label": label,
+        "date": ctx.get("date", ""),
+        "build_type": build_type,
+        "context": {
+            k: ctx.get(k)
+            for k in ("host_name", "num_cpus", "mhz_per_cpu", "load_avg")
+            if k in ctx
+        },
+        "benchmarks": benches,
+    }
+
+
+def load_trajectory(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (FileNotFoundError, json.JSONDecodeError):
+        return {"schema": SCHEMA, "entries": []}
+    if isinstance(doc, dict) and doc.get("schema") == SCHEMA:
+        return doc
+    # Legacy single-snapshot google-benchmark file: keep its numbers
+    # as the first trajectory entry instead of dropping them.
+    if isinstance(doc, dict) and "benchmarks" in doc:
+        entry = to_entry(doc, "legacy-snapshot", "unknown")
+        return {"schema": SCHEMA, "entries": [entry]}
+    return {"schema": SCHEMA, "entries": []}
+
+
+def main():
+    if len(sys.argv) != 5:
+        sys.exit(__doc__.strip().splitlines()[2])
+    out_path, raw_path, label, build_type = sys.argv[1:]
+
+    with open(raw_path) as f:
+        raw = json.load(f)
+    entry = to_entry(raw, label, build_type)
+
+    doc = load_trajectory(out_path)
+    doc["entries"] = [e for e in doc["entries"] if e["label"] != label]
+    doc["entries"].append(entry)
+
+    with open(out_path, "w") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -52,6 +52,27 @@ fi
 step "golden matrix: EM chain bit-identity vs checked-in fixture"
 ./build/tests/test_pipeline --gtest_filter='GoldenMatrix.*'
 
+step "simd gate: campaign bytes identical across dispatch targets"
+# The fixed-reduction-tree contract (DESIGN.md §5h) says every SIMD
+# dispatch level produces bit-identical campaigns at every job count.
+# Run the reference campaign under each target this host supports, at
+# jobs 1 and 4, and diff the fixture bytes against the golden copy.
+SIMD_DIR=build/simd-gate
+rm -rf "$SIMD_DIR" && mkdir -p "$SIMD_DIR"
+SIMD_LEVELS="scalar"
+grep -qw sse2 /proc/cpuinfo && SIMD_LEVELS="$SIMD_LEVELS sse2"
+grep -qw avx2 /proc/cpuinfo && SIMD_LEVELS="$SIMD_LEVELS avx2"
+for simd in $SIMD_LEVELS; do
+    for jobs in 1 4; do
+        out="$SIMD_DIR/${simd}_j${jobs}.fixture"
+        SAVAT_SIMD="$simd" ./build/examples/savat_cli campaign \
+            --reps 2 --jobs "$jobs" --fixture "$out" >/dev/null
+        cmp tests/data/golden_em_core2duo.fixture "$out" ||
+            { echo "SAVAT_SIMD=$simd --jobs $jobs diverges from golden"; exit 1; }
+    done
+done
+echo "byte-identical across: $SIMD_LEVELS (jobs 1 and 4)"
+
 step "crash-resume: kill -9 mid-campaign, resume, diff vs golden"
 RESUME_DIR=build/resume-gate
 rm -rf "$RESUME_DIR" && mkdir -p "$RESUME_DIR"

@@ -62,7 +62,7 @@ struct PairOutcome
 void
 measureCell(SavatMeter &meter, const CampaignConfig &config,
             PairOutcome &slot, EventKind a, EventKind b,
-            std::size_t innerJobs, spectrum::Trace &scratch)
+            std::size_t innerJobs, pipeline::MeasureScratch &scratch)
 {
     const auto &sim = meter.simulatePair(a, b);
     slot.sim = sim;
@@ -83,8 +83,9 @@ measureCell(SavatMeter &meter, const CampaignConfig &config,
     support::runWorkers(
         std::min<std::size_t>(innerJobs, reps ? reps : 1),
         [&](std::size_t worker) {
-            spectrum::Trace local;
-            spectrum::Trace &buf = worker == 0 ? scratch : local;
+            pipeline::MeasureScratch local;
+            pipeline::MeasureScratch &buf =
+                worker == 0 ? scratch : local;
             for (std::size_t rep = nextRep.fetch_add(1); rep < reps;
                  rep = nextRep.fetch_add(1)) {
                 Rng rep_rng = repRngs[rep];
@@ -92,7 +93,7 @@ measureCell(SavatMeter &meter, const CampaignConfig &config,
                     meter.measureValue(sim, rep_rng, buf, rep);
                 slot.samples[rep] = m.savat.inZepto();
                 if (config.keepTraces)
-                    slot.traces[rep] = buf;
+                    slot.traces[rep] = buf.trace;
             }
         });
 }
@@ -332,7 +333,7 @@ runCampaignPairs(
         // the hot path takes no locks. The caches hold deterministic
         // values, so per-worker ownership does not affect output.
         auto meter = prototype;
-        spectrum::Trace scratch;
+        pipeline::MeasureScratch scratch;
         for (std::size_t p = nextPair.fetch_add(1); p < npairs;
              p = nextPair.fetch_add(1)) {
             auto &slot = outcomes[p];

@@ -152,7 +152,9 @@ SavatMeter::measure(const PairSimulation &sim, Rng &rng,
                     std::size_t repetition) const
 {
     Measurement m;
-    const auto sample = measureValue(sim, rng, m.trace, repetition);
+    pipeline::MeasureScratch scratch;
+    const auto sample = measureValue(sim, rng, scratch, repetition);
+    m.trace = std::move(scratch.trace);
     m.savat = sample.savat;
     m.bandPowerW = sample.bandPowerW;
     m.toneHz = sample.toneHz;
@@ -161,13 +163,13 @@ SavatMeter::measure(const PairSimulation &sim, Rng &rng,
 
 SavatSample
 SavatMeter::measureValue(const PairSimulation &sim, Rng &rng,
-                         spectrum::Trace &scratch,
+                         pipeline::MeasureScratch &scratch,
                          std::size_t repetition) const
 {
     SAVAT_ASSERT(sim.measured(), "unmeasured pair simulation");
     const auto m = _chain->measure(sim, repetition, rng, scratch);
     SAVAT_METRIC_COUNT("meter.measurements");
-    SAVAT_METRIC_ADD("meter.sweep_bins", scratch.psd.size());
+    SAVAT_METRIC_ADD("meter.sweep_bins", scratch.trace.psd.size());
     return m;
 }
 

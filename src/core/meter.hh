@@ -112,10 +112,11 @@ class SavatMeter
 
     /**
      * The same repetition without retaining the analyzer display:
-     * the sweep is written into the caller-owned scratch trace
-     * (reused across calls, so a campaign repetition allocates
-     * nothing). Draws the identical random sequence as measure(),
-     * so both paths produce bit-identical SAVAT values.
+     * the sweep, synthesis and staging buffers live in the
+     * caller-owned scratch (reused across calls, so a steady-state
+     * campaign repetition allocates nothing). Draws the identical
+     * random sequence as measure(), so both paths produce
+     * bit-identical SAVAT values.
      *
      * The repetition index is forwarded to the signal chain;
      * physical chains ignore it (their randomness comes from rng),
@@ -126,7 +127,7 @@ class SavatMeter
      * are only touched by the non-const simulate* members).
      */
     SavatSample measureValue(const PairSimulation &sim, Rng &rng,
-                             spectrum::Trace &scratch,
+                             pipeline::MeasureScratch &scratch,
                              std::size_t repetition = 0) const;
 
     /** Convenience: simulate (cached) + one repetition. */

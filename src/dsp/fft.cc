@@ -5,6 +5,7 @@
 #include <memory>
 #include <mutex>
 
+#include "dsp/simd.hh"
 #include "support/logging.hh"
 #include "support/obs.hh"
 
@@ -71,9 +72,8 @@ planFor(std::size_t n, bool inverse)
 } // namespace
 
 void
-fft(std::vector<Complex> &data, bool inverse)
+fft(Complex *data, std::size_t n, bool inverse)
 {
-    const std::size_t n = data.size();
     SAVAT_ASSERT(n > 0 && (n & (n - 1)) == 0,
                  "fft size must be a power of two, got ", n);
 
@@ -89,19 +89,23 @@ fft(std::vector<Complex> &data, bool inverse)
             std::swap(data[i], data[j]);
     }
 
+    // Butterfly stages run through the dispatched SIMD kernels; the
+    // complex products use the same naive 4-mul formula at every
+    // dispatch level, so the transform is bit-identical no matter
+    // which level executes it.
+    const auto &kern = simd::kernels();
     std::size_t stage = 0;
     for (std::size_t len = 2; len <= n; len <<= 1) {
         const Complex *w = plan.twiddles.data() + stage;
         stage += len / 2;
-        for (std::size_t i = 0; i < n; i += len) {
-            for (std::size_t k = 0; k < len / 2; ++k) {
-                const Complex u = data[i + k];
-                const Complex v = data[i + k + len / 2] * w[k];
-                data[i + k] = u + v;
-                data[i + k + len / 2] = u - v;
-            }
-        }
+        kern.fftStage(data, w, n, len);
     }
+}
+
+void
+fft(std::vector<Complex> &data, bool inverse)
+{
+    fft(data.data(), data.size(), inverse);
 }
 
 std::vector<Complex>
@@ -135,26 +139,23 @@ realFft(const std::vector<double> &data)
 }
 
 Complex
-singleBinDft(const std::vector<double> &data, double freq)
+singleBinDft(const double *data, std::size_t n, double freq)
 {
-    const std::size_t n = data.size();
     SAVAT_ASSERT(n > 0, "singleBinDft on empty data");
     SAVAT_METRIC_COUNT("fft.single_bin_dfts");
     SAVAT_METRIC_ADD("fft.single_bin_samples", n);
-    // Direct evaluation with a recurrence for the rotating phasor.
+    // Lane-strided phasor recurrence (periodically renormalized to
+    // stop |phasor| drift) in the dispatched SIMD kernel.
     const double ang = -2.0 * M_PI * freq;
     const Complex step(std::cos(ang), std::sin(ang));
-    Complex phasor(1.0, 0.0);
-    Complex acc(0.0, 0.0);
-    for (std::size_t i = 0; i < n; ++i) {
-        acc += data[i] * phasor;
-        phasor *= step;
-        // Renormalize occasionally to stop drift of |phasor| over
-        // long windows.
-        if ((i & 0xFFF) == 0xFFF)
-            phasor /= std::abs(phasor);
-    }
+    const Complex acc = simd::kernels().toneDft(data, n, step);
     return acc / static_cast<double>(n);
+}
+
+Complex
+singleBinDft(const std::vector<double> &data, double freq)
+{
+    return singleBinDft(data.data(), data.size(), freq);
 }
 
 double

@@ -23,6 +23,9 @@ using Complex = std::complex<double>;
  */
 void fft(std::vector<Complex> &data, bool inverse = false);
 
+/** In-place FFT over a raw buffer (size must be a power of two). */
+void fft(Complex *data, std::size_t n, bool inverse = false);
+
 /** Out-of-place convenience wrapper around fft(). */
 std::vector<Complex> fftCopy(const std::vector<Complex> &data,
                              bool inverse = false);
@@ -46,6 +49,9 @@ std::size_t nextPowerOfTwo(std::size_t n);
  * magnitude A/2.
  */
 Complex singleBinDft(const std::vector<double> &data, double freq);
+
+/** Raw-buffer overload of singleBinDft(). */
+Complex singleBinDft(const double *data, std::size_t n, double freq);
 
 /**
  * Peak amplitude estimate of the component at normalized frequency

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "dsp/fft.hh"
+#include "dsp/simd.hh"
+#include "support/arena.hh"
 #include "support/logging.hh"
 
 namespace savat::dsp {
@@ -18,14 +20,41 @@ PsdEstimate::nearestBin(double freq_hz) const
     return static_cast<std::size_t>(std::lround(clamped));
 }
 
+namespace {
+
+/**
+ * Bin index range [first, last] whose half-bin-wide cells can
+ * overlap [lo_hz, hi_hz], padded by one bin so boundary rounding
+ * can never drop a contributing bin; the per-bin overlap test stays
+ * the authority.
+ */
+std::pair<std::size_t, std::size_t>
+clampedBinRange(double lo_hz, double hi_hz, double binHz,
+                std::size_t nbins)
+{
+    if (binHz <= 0.0 || nbins == 0)
+        return {0, nbins ? nbins - 1 : 0};
+    const double lo_idx = std::floor(lo_hz / binHz - 0.5) - 1.0;
+    const double hi_idx = std::ceil(hi_hz / binHz + 0.5) + 1.0;
+    const auto first = static_cast<std::size_t>(
+        std::clamp(lo_idx, 0.0, static_cast<double>(nbins - 1)));
+    const auto last = static_cast<std::size_t>(
+        std::clamp(hi_idx, 0.0, static_cast<double>(nbins - 1)));
+    return {first, last};
+}
+
+} // namespace
+
 double
 PsdEstimate::bandPower(double lo_hz, double hi_hz) const
 {
     SAVAT_ASSERT(hi_hz >= lo_hz, "inverted band");
     if (bins.empty())
         return 0.0;
+    const auto [first, last] =
+        clampedBinRange(lo_hz, hi_hz, binHz, bins.size());
     double power = 0.0;
-    for (std::size_t i = 0; i < bins.size(); ++i) {
+    for (std::size_t i = first; i <= last; ++i) {
         const double lo = frequency(i) - 0.5 * binHz;
         const double hi = frequency(i) + 0.5 * binHz;
         const double olo = std::max(lo, lo_hz);
@@ -40,9 +69,11 @@ std::size_t
 PsdEstimate::peakBin(double lo_hz, double hi_hz) const
 {
     SAVAT_ASSERT(!bins.empty(), "empty PSD");
+    const auto [first, last] =
+        clampedBinRange(lo_hz, hi_hz, binHz, bins.size());
     std::size_t best = nearestBin(lo_hz);
     double best_v = -1.0;
-    for (std::size_t i = 0; i < bins.size(); ++i) {
+    for (std::size_t i = first; i <= last; ++i) {
         const double f = frequency(i);
         if (f < lo_hz || f > hi_hz)
             continue;
@@ -60,37 +91,37 @@ namespace {
  * Modified periodogram of one segment into an accumulator.
  * Scaling follows the standard Welch definition: PSD one-sided,
  * P(f) = |X(f)|^2 / (fs * sum w^2), doubled off DC/Nyquist.
+ * `buf` is caller-provided FFT workspace of n complexes.
  */
 void
-accumulateSegment(const std::vector<double> &seg,
-                  const std::vector<double> &window, double sample_rate,
-                  std::vector<double> &acc)
+accumulateSegment(const double *seg, const double *window,
+                  std::size_t n, double sample_rate, double *acc,
+                  Complex *buf)
 {
-    const std::size_t n = window.size();
-    std::vector<Complex> buf(n);
-    for (std::size_t i = 0; i < n; ++i)
-        buf[i] = Complex(seg[i] * window[i], 0.0);
-    fft(buf);
+    const auto &kern = simd::kernels();
+    kern.windowComplex(seg, window, buf, n);
+    fft(buf, n);
 
-    double w2 = 0.0;
-    for (double w : window)
-        w2 += w * w;
+    const double w2 = kern.sumSquares(window, n);
     const double scale = 1.0 / (sample_rate * w2);
+    const double scale2 = scale * 2.0;
 
+    // DC and Nyquist stay single-sided; interior bins fold the
+    // negative frequencies (factor 2, pre-applied to the scale).
     const std::size_t half = n / 2;
-    for (std::size_t i = 0; i <= half; ++i) {
-        double p = std::norm(buf[i]) * scale;
-        if (i != 0 && i != half)
-            p *= 2.0; // fold the negative frequencies
-        acc[i] += p;
-    }
+    kern.accumPsd(buf, scale, acc, 1);
+    if (half > 1)
+        kern.accumPsd(buf + 1, scale2, acc + 1, half - 1);
+    if (half > 0)
+        kern.accumPsd(buf + half, scale, acc + half, 1);
 }
 
 } // namespace
 
 PsdEstimate
 welchPsd(const std::vector<double> &samples, double sampleRate,
-         std::size_t segmentLen, WindowKind kind)
+         std::size_t segmentLen, WindowKind kind,
+         support::Arena &scratch)
 {
     SAVAT_ASSERT(sampleRate > 0.0, "bad sample rate");
     SAVAT_ASSERT(!samples.empty(), "empty signal");
@@ -103,7 +134,9 @@ welchPsd(const std::vector<double> &samples, double sampleRate,
     n = std::min(n, max_n);
     SAVAT_ASSERT(n >= 2, "signal too short for Welch PSD");
 
-    const auto window = makeWindow(kind, n);
+    double *window = scratch.alloc<double>(n);
+    makeWindowInto(kind, window, n);
+    auto *buf = scratch.alloc<Complex>(n);
     const std::size_t hop = n / 2;
     const std::size_t half = n / 2;
 
@@ -112,13 +145,10 @@ welchPsd(const std::vector<double> &samples, double sampleRate,
     est.bins.assign(half + 1, 0.0);
 
     std::size_t segments = 0;
-    std::vector<double> seg(n);
     for (std::size_t start = 0; start + n <= samples.size();
          start += hop) {
-        std::copy(samples.begin() + static_cast<std::ptrdiff_t>(start),
-                  samples.begin() + static_cast<std::ptrdiff_t>(start + n),
-                  seg.begin());
-        accumulateSegment(seg, window, sampleRate, est.bins);
+        accumulateSegment(samples.data() + start, window, n,
+                          sampleRate, est.bins.data(), buf);
         ++segments;
     }
     SAVAT_ASSERT(segments > 0, "no complete Welch segments");
@@ -128,20 +158,40 @@ welchPsd(const std::vector<double> &samples, double sampleRate,
 }
 
 PsdEstimate
+welchPsd(const std::vector<double> &samples, double sampleRate,
+         std::size_t segmentLen, WindowKind kind)
+{
+    support::Arena scratch;
+    return welchPsd(samples, sampleRate, segmentLen, kind, scratch);
+}
+
+PsdEstimate
 periodogram(const std::vector<double> &samples, double sampleRate,
-            WindowKind kind)
+            WindowKind kind, support::Arena &scratch)
 {
     SAVAT_ASSERT(!samples.empty(), "empty signal");
     const std::size_t n = nextPowerOfTwo(samples.size());
-    std::vector<double> padded(samples);
-    padded.resize(n, 0.0);
-    const auto window = makeWindow(kind, n);
+    double *padded = scratch.alloc<double>(n);
+    std::copy(samples.begin(), samples.end(), padded);
+    std::fill(padded + samples.size(), padded + n, 0.0);
+    double *window = scratch.alloc<double>(n);
+    makeWindowInto(kind, window, n);
+    auto *buf = scratch.alloc<Complex>(n);
 
     PsdEstimate est;
     est.binHz = sampleRate / static_cast<double>(n);
     est.bins.assign(n / 2 + 1, 0.0);
-    accumulateSegment(padded, window, sampleRate, est.bins);
+    accumulateSegment(padded, window, n, sampleRate,
+                      est.bins.data(), buf);
     return est;
+}
+
+PsdEstimate
+periodogram(const std::vector<double> &samples, double sampleRate,
+            WindowKind kind)
+{
+    support::Arena scratch;
+    return periodogram(samples, sampleRate, kind, scratch);
 }
 
 } // namespace savat::dsp

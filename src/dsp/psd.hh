@@ -11,6 +11,10 @@
 #include "dsp/window.hh"
 #include "support/units.hh"
 
+namespace savat::support {
+class Arena;
+} // namespace savat::support
+
 namespace savat::dsp {
 
 /**
@@ -58,12 +62,27 @@ PsdEstimate welchPsd(const std::vector<double> &samples, double sampleRate,
                      WindowKind kind = WindowKind::Hann);
 
 /**
+ * welchPsd() with caller-provided scratch: the segment copy, window
+ * and FFT workspace come from the arena instead of fresh heap
+ * allocations. The arena is NOT reset here; the caller owns its
+ * lifecycle (reset once per rep).
+ */
+PsdEstimate welchPsd(const std::vector<double> &samples, double sampleRate,
+                     std::size_t segmentLen, WindowKind kind,
+                     support::Arena &scratch);
+
+/**
  * Single periodogram of the full signal (rectangular window by
  * default); convenience wrapper for short signals.
  */
 PsdEstimate periodogram(const std::vector<double> &samples,
                         double sampleRate,
                         WindowKind kind = WindowKind::Rectangular);
+
+/** periodogram() with caller-provided scratch (see welchPsd()). */
+PsdEstimate periodogram(const std::vector<double> &samples,
+                        double sampleRate, WindowKind kind,
+                        support::Arena &scratch);
 
 } // namespace savat::dsp
 

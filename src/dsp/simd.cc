@@ -1,0 +1,315 @@
+/**
+ * @file
+ * Scalar reference kernels and the runtime dispatch for
+ * savat::dsp::simd. The scalar implementations here DEFINE the
+ * bit-exactness contract: the SSE2/AVX2 translation units replicate
+ * these exact per-lane operation sequences with intrinsics, so every
+ * level produces byte-identical results (see DESIGN.md §5h).
+ */
+
+#include "dsp/simd_detail.hh"
+
+#include "support/logging.hh"
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+
+namespace savat::dsp::simd {
+
+double
+negLog(double u)
+{
+    using namespace detail;
+    std::uint64_t bits;
+    std::memcpy(&bits, &u, sizeof(bits));
+    double e = static_cast<double>((bits >> 52) & 0x7FF) - 1023.0;
+    const std::uint64_t mbits =
+        (bits & 0xFFFFFFFFFFFFFull) | 0x3FF0000000000000ull;
+    double m;
+    std::memcpy(&m, &mbits, sizeof(m));
+    if (m > kSqrt2) {
+        m *= 0.5;
+        e += 1.0;
+    }
+    const double z = (m - 1.0) / (m + 1.0);
+    const double z2 = z * z;
+    double t = kAtanh[0];
+    for (int k = 1; k < 10; ++k)
+        t = t * z2 + kAtanh[k];
+    const double lm = 2.0 * z + z * (z2 * (2.0 * t));
+    return -((lm + kLn2Lo * e) + kLn2Hi * e);
+}
+
+namespace detail {
+namespace {
+
+double
+sumScalar(const double *x, std::size_t n)
+{
+    double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        a0 += x[i];
+        a1 += x[i + 1];
+        a2 += x[i + 2];
+        a3 += x[i + 3];
+    }
+    if (i < n)
+        a0 += x[i++];
+    if (i < n)
+        a1 += x[i++];
+    if (i < n)
+        a2 += x[i++];
+    return (a0 + a1) + (a2 + a3);
+}
+
+double
+sumSquaresScalar(const double *x, std::size_t n)
+{
+    double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        a0 += x[i] * x[i];
+        a1 += x[i + 1] * x[i + 1];
+        a2 += x[i + 2] * x[i + 2];
+        a3 += x[i + 3] * x[i + 3];
+    }
+    if (i < n) {
+        a0 += x[i] * x[i];
+        ++i;
+    }
+    if (i < n) {
+        a1 += x[i] * x[i];
+        ++i;
+    }
+    if (i < n) {
+        a2 += x[i] * x[i];
+        ++i;
+    }
+    return (a0 + a1) + (a2 + a3);
+}
+
+void
+axpyScalar(double a, const double *x, double *y, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        y[i] += a * x[i];
+}
+
+void
+negLogAccumScalar(double a, const double *u, double *y, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        y[i] += a * negLog(u[i]);
+}
+
+void
+windowComplexScalar(const double *seg, const double *win, Complex *out,
+                    std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = Complex(seg[i] * win[i], 0.0);
+}
+
+void
+accumPsdScalar(const Complex *buf, double s, double *acc, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        const double re = buf[i].real();
+        const double im = buf[i].imag();
+        acc[i] += (re * re + im * im) * s;
+    }
+}
+
+void
+fftStageScalar(Complex *data, const Complex *w, std::size_t n,
+               std::size_t len)
+{
+    const std::size_t half = len / 2;
+    for (std::size_t i = 0; i < n; i += len) {
+        Complex *lo = data + i;
+        Complex *hi = lo + half;
+        for (std::size_t k = 0; k < half; ++k) {
+            const double vr = hi[k].real() * w[k].real() -
+                              hi[k].imag() * w[k].imag();
+            const double vi = hi[k].real() * w[k].imag() +
+                              hi[k].imag() * w[k].real();
+            const Complex u = lo[k];
+            lo[k] = Complex(u.real() + vr, u.imag() + vi);
+            hi[k] = Complex(u.real() - vr, u.imag() - vi);
+        }
+    }
+}
+
+Complex
+toneDftScalar(const double *x, std::size_t n, Complex step)
+{
+    // Lane j carries the phasor at sample 4k + j; all lanes advance
+    // by step^4. The lane seeds and step^4 use the naive 4-mul
+    // complex product -- the vector levels compute these seeds with
+    // this identical scalar code.
+    double pr[4], pi[4];
+    pr[0] = 1.0;
+    pi[0] = 0.0;
+    pr[1] = step.real();
+    pi[1] = step.imag();
+    pr[2] = pr[1] * pr[1] - pi[1] * pi[1];
+    pi[2] = pr[1] * pi[1] + pi[1] * pr[1];
+    pr[3] = pr[2] * pr[1] - pi[2] * pi[1];
+    pi[3] = pr[2] * pi[1] + pi[2] * pr[1];
+    const double sr = pr[2] * pr[2] - pi[2] * pi[2];
+    const double si = pr[2] * pi[2] + pi[2] * pr[2];
+
+    double ar[4] = {0.0, 0.0, 0.0, 0.0};
+    double ai[4] = {0.0, 0.0, 0.0, 0.0};
+    std::size_t i = 0;
+    std::size_t block = 0;
+    for (; i + 4 <= n; i += 4) {
+        for (int j = 0; j < 4; ++j) {
+            ar[j] += x[i + j] * pr[j];
+            ai[j] += x[i + j] * pi[j];
+        }
+        for (int j = 0; j < 4; ++j) {
+            const double nr = pr[j] * sr - pi[j] * si;
+            const double ni = pr[j] * si + pi[j] * sr;
+            pr[j] = nr;
+            pi[j] = ni;
+        }
+        if (++block == kDftRenormBlock) {
+            block = 0;
+            for (int j = 0; j < 4; ++j) {
+                const double mag =
+                    std::sqrt(pr[j] * pr[j] + pi[j] * pi[j]);
+                pr[j] /= mag;
+                pi[j] /= mag;
+            }
+        }
+    }
+    for (int j = 0; i < n; ++i, ++j) {
+        ar[j] += x[i] * pr[j];
+        ai[j] += x[i] * pi[j];
+    }
+    return {(ar[0] + ar[1]) + (ar[2] + ar[3]),
+            (ai[0] + ai[1]) + (ai[2] + ai[3])};
+}
+
+} // namespace
+
+const Kernels &
+scalarKernels()
+{
+    static const Kernels table = {
+        sumScalar,        sumSquaresScalar, axpyScalar,
+        negLogAccumScalar, windowComplexScalar, accumPsdScalar,
+        fftStageScalar,   toneDftScalar,
+    };
+    return table;
+}
+
+} // namespace detail
+
+const char *
+levelName(Level level)
+{
+    switch (level) {
+    case Level::Scalar:
+        return "scalar";
+    case Level::Sse2:
+        return "sse2";
+    case Level::Avx2:
+        return "avx2";
+    }
+    return "?";
+}
+
+bool
+supported(Level level)
+{
+    switch (level) {
+    case Level::Scalar:
+        return true;
+#if SAVAT_SIMD_X86
+    case Level::Sse2:
+        return detail::sse2Compiled() &&
+               __builtin_cpu_supports("sse2") != 0;
+    case Level::Avx2:
+        return detail::avx2Compiled() &&
+               __builtin_cpu_supports("avx2") != 0;
+#else
+    case Level::Sse2:
+    case Level::Avx2:
+        return false;
+#endif
+    }
+    return false;
+}
+
+namespace {
+
+std::atomic<int> g_forced{-1};
+
+Level
+resolveLevel()
+{
+    if (const char *env = std::getenv("SAVAT_SIMD");
+        env != nullptr && *env != '\0') {
+        Level want;
+        if (std::strcmp(env, "scalar") == 0)
+            want = Level::Scalar;
+        else if (std::strcmp(env, "sse2") == 0)
+            want = Level::Sse2;
+        else if (std::strcmp(env, "avx2") == 0)
+            want = Level::Avx2;
+        else
+            SAVAT_FATAL("SAVAT_SIMD='", env,
+                        "' is not one of scalar|sse2|avx2");
+        if (!supported(want))
+            SAVAT_FATAL("SAVAT_SIMD=", env,
+                        " requested but this CPU/build does not "
+                        "support it");
+        return want;
+    }
+    if (supported(Level::Avx2))
+        return Level::Avx2;
+    if (supported(Level::Sse2))
+        return Level::Sse2;
+    return Level::Scalar;
+}
+
+} // namespace
+
+Level
+active()
+{
+    static const Level resolved = resolveLevel();
+    const int forced = g_forced.load(std::memory_order_relaxed);
+    return forced >= 0 ? static_cast<Level>(forced) : resolved;
+}
+
+void
+forceLevel(Level level)
+{
+    if (!supported(level))
+        SAVAT_FATAL("forceLevel(", levelName(level),
+                    "): level not supported on this CPU/build");
+    g_forced.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+const Kernels &
+kernels()
+{
+    switch (active()) {
+    case Level::Avx2:
+        return detail::avx2Kernels();
+    case Level::Sse2:
+        return detail::sse2Kernels();
+    case Level::Scalar:
+        break;
+    }
+    return detail::scalarKernels();
+}
+
+} // namespace savat::dsp::simd

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Runtime-dispatched SIMD kernels for the measurement hot path.
+ *
+ * One dispatch level (scalar, SSE2, AVX2) is selected exactly once
+ * at startup from CPUID, overridable with SAVAT_SIMD=scalar|sse2|avx2
+ * (requesting an unsupported level is fatal). Every kernel is
+ * bit-exact across levels: elementwise ops map 1:1 onto vector
+ * lanes, and every reduction uses the same fixed-shape 4-lane
+ * strided tree — lane j accumulates x[4k + j], lanes combine as
+ * (a0 + a1) + (a2 + a3) — in both the scalar and the vector
+ * implementations, so the campaign matrix is byte-identical no
+ * matter which level ran it. The SIMD translation units are built
+ * with -ffp-contract=off and without FMA so no target can fuse an
+ * intermediate rounding away. See DESIGN.md §5h for the contract.
+ */
+
+#ifndef SAVAT_DSP_SIMD_HH
+#define SAVAT_DSP_SIMD_HH
+
+#include <complex>
+#include <cstddef>
+
+namespace savat::dsp::simd {
+
+using Complex = std::complex<double>;
+
+enum class Level { Scalar = 0, Sse2 = 1, Avx2 = 2 };
+
+/** Level in use (resolved once; later calls return the cache). */
+Level active();
+
+/** Human-readable name ("scalar", "sse2", "avx2"). */
+const char *levelName(Level level);
+
+/** Whether this build/CPU can run the given level. */
+bool supported(Level level);
+
+/**
+ * Test hook: force a dispatch level (must be supported). Kernels
+ * fetched after this call use the forced level.
+ */
+void forceLevel(Level level);
+
+/**
+ * The kernel table of the active level. Grab it once per hot loop;
+ * the pointer is stable for the lifetime of the process (modulo
+ * forceLevel in tests).
+ */
+struct Kernels {
+    /** Fixed-shape 4-lane strided sum of x[0..n). */
+    double (*sum)(const double *x, std::size_t n);
+
+    /** 4-lane strided sum of squares of x[0..n). */
+    double (*sumSquares)(const double *x, std::size_t n);
+
+    /** y[i] += a * x[i] (elementwise). */
+    void (*axpy)(double a, const double *x, double *y, std::size_t n);
+
+    /** y[i] += a * negLog(u[i]); u[i] must be a positive normal. */
+    void (*negLogAccum)(double a, const double *u, double *y,
+                        std::size_t n);
+
+    /** out[i] = Complex(seg[i] * win[i], 0). */
+    void (*windowComplex)(const double *seg, const double *win,
+                          Complex *out, std::size_t n);
+
+    /** acc[i] += (re_i^2 + im_i^2) * s over buf[0..n). */
+    void (*accumPsd)(const Complex *buf, double s, double *acc,
+                     std::size_t n);
+
+    /**
+     * One radix-2 DIT FFT stage over the whole array: for each block
+     * of `len` starting at i, and k in [0, len/2):
+     *   u = data[i+k]; v = data[i+k+len/2] * w[k];
+     *   data[i+k] = u + v; data[i+k+len/2] = u - v;
+     * Complex products use the naive 4-mul formula in every level.
+     */
+    void (*fftStage)(Complex *data, const Complex *w, std::size_t n,
+                     std::size_t len);
+
+    /**
+     * Goertzel-style single-bin DFT: sum of x[i] * step^i with the
+     * 4-lane phasor recurrence (lanes advance by step^4, renormalized
+     * every kDftRenormBlock blocks), combined (a0+a1)+(a2+a3).
+     * Caller divides by n.
+     */
+    Complex (*toneDft)(const double *x, std::size_t n, Complex step);
+};
+
+/** Blocks of 4 samples between phasor renormalizations in toneDft. */
+inline constexpr std::size_t kDftRenormBlock = 1024;
+
+const Kernels &kernels();
+
+/**
+ * Portable -log(u) for positive normal doubles built from +,-,*,/
+ * and integer bit manipulation only, so the scalar and per-lane
+ * vector evaluations round identically. Matches std::log to ~1 ulp
+ * but is NOT libm: use it only where cross-level bit-exactness
+ * matters more than the last ulp.
+ */
+double negLog(double u);
+
+} // namespace savat::dsp::simd
+
+#endif // SAVAT_DSP_SIMD_HH

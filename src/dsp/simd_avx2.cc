@@ -1,0 +1,315 @@
+/**
+ * @file
+ * AVX2 (256-bit, 4 doubles) kernels. Each kernel replicates the
+ * scalar reference's per-lane operation sequence exactly -- see
+ * simd.cc and DESIGN.md §5h. This TU is compiled with -mavx2 but
+ * WITHOUT FMA and with -ffp-contract=off: a fused multiply-add
+ * would skip an intermediate rounding and break the cross-level
+ * byte-identity of the campaign matrix.
+ */
+
+#include "dsp/simd_detail.hh"
+
+#if SAVAT_SIMD_X86 && defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <cmath>
+
+namespace savat::dsp::simd::detail {
+namespace {
+
+double
+sumAvx2(const double *x, std::size_t n)
+{
+    __m256d acc = _mm256_setzero_pd();
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4)
+        acc = _mm256_add_pd(acc, _mm256_loadu_pd(x + i));
+    double a[4];
+    _mm256_storeu_pd(a, acc);
+    if (i < n)
+        a[0] += x[i++];
+    if (i < n)
+        a[1] += x[i++];
+    if (i < n)
+        a[2] += x[i++];
+    return (a[0] + a[1]) + (a[2] + a[3]);
+}
+
+double
+sumSquaresAvx2(const double *x, std::size_t n)
+{
+    __m256d acc = _mm256_setzero_pd();
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256d v = _mm256_loadu_pd(x + i);
+        acc = _mm256_add_pd(acc, _mm256_mul_pd(v, v));
+    }
+    double a[4];
+    _mm256_storeu_pd(a, acc);
+    if (i < n) {
+        a[0] += x[i] * x[i];
+        ++i;
+    }
+    if (i < n) {
+        a[1] += x[i] * x[i];
+        ++i;
+    }
+    if (i < n) {
+        a[2] += x[i] * x[i];
+        ++i;
+    }
+    return (a[0] + a[1]) + (a[2] + a[3]);
+}
+
+void
+axpyAvx2(double a, const double *x, double *y, std::size_t n)
+{
+    const __m256d av = _mm256_set1_pd(a);
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256d yv = _mm256_loadu_pd(y + i);
+        const __m256d xv = _mm256_loadu_pd(x + i);
+        _mm256_storeu_pd(y + i,
+                         _mm256_add_pd(yv, _mm256_mul_pd(av, xv)));
+    }
+    for (; i < n; ++i)
+        y[i] += a * x[i];
+}
+
+/** 4-lane negLog; per-lane ops match simd.cc's negLog exactly. */
+__m256d
+negLog4(__m256d u)
+{
+    const __m256i bits = _mm256_castpd_si256(u);
+    const __m256i rawExp = _mm256_and_si256(
+        _mm256_srli_epi64(bits, 52), _mm256_set1_epi64x(0x7FF));
+    // Exact int->double: (2^52 | exp) - 2^52, then - 1023.
+    const __m256d expd = _mm256_sub_pd(
+        _mm256_castsi256_pd(_mm256_or_si256(
+            rawExp, _mm256_set1_epi64x(0x4330000000000000ll))),
+        _mm256_set1_pd(4503599627370496.0));
+    __m256d e = _mm256_sub_pd(expd, _mm256_set1_pd(1023.0));
+    __m256d m = _mm256_castsi256_pd(_mm256_or_si256(
+        _mm256_and_si256(bits, _mm256_set1_epi64x(0xFFFFFFFFFFFFFll)),
+        _mm256_set1_epi64x(0x3FF0000000000000ll)));
+    const __m256d big =
+        _mm256_cmp_pd(m, _mm256_set1_pd(kSqrt2), _CMP_GT_OQ);
+    m = _mm256_blendv_pd(m, _mm256_mul_pd(m, _mm256_set1_pd(0.5)),
+                         big);
+    e = _mm256_add_pd(e, _mm256_and_pd(big, _mm256_set1_pd(1.0)));
+    const __m256d one = _mm256_set1_pd(1.0);
+    const __m256d z =
+        _mm256_div_pd(_mm256_sub_pd(m, one), _mm256_add_pd(m, one));
+    const __m256d z2 = _mm256_mul_pd(z, z);
+    __m256d t = _mm256_set1_pd(kAtanh[0]);
+    for (int k = 1; k < 10; ++k)
+        t = _mm256_add_pd(_mm256_mul_pd(t, z2),
+                          _mm256_set1_pd(kAtanh[k]));
+    const __m256d lm = _mm256_add_pd(
+        _mm256_mul_pd(_mm256_set1_pd(2.0), z),
+        _mm256_mul_pd(
+            z, _mm256_mul_pd(
+                   z2, _mm256_mul_pd(_mm256_set1_pd(2.0), t))));
+    const __m256d res = _mm256_add_pd(
+        _mm256_add_pd(lm, _mm256_mul_pd(_mm256_set1_pd(kLn2Lo), e)),
+        _mm256_mul_pd(_mm256_set1_pd(kLn2Hi), e));
+    return _mm256_xor_pd(res, _mm256_set1_pd(-0.0));
+}
+
+void
+negLogAccumAvx2(double a, const double *u, double *y, std::size_t n)
+{
+    const __m256d av = _mm256_set1_pd(a);
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256d nl = negLog4(_mm256_loadu_pd(u + i));
+        const __m256d yv = _mm256_loadu_pd(y + i);
+        _mm256_storeu_pd(y + i,
+                         _mm256_add_pd(yv, _mm256_mul_pd(av, nl)));
+    }
+    for (; i < n; ++i)
+        y[i] += a * negLog(u[i]);
+}
+
+void
+windowComplexAvx2(const double *seg, const double *win, Complex *out,
+                  std::size_t n)
+{
+    auto *o = reinterpret_cast<double *>(out);
+    const __m256d zero = _mm256_setzero_pd();
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256d p = _mm256_mul_pd(_mm256_loadu_pd(seg + i),
+                                        _mm256_loadu_pd(win + i));
+        const __m256d lo = _mm256_unpacklo_pd(p, zero); // p0 0 p2 0
+        const __m256d hi = _mm256_unpackhi_pd(p, zero); // p1 0 p3 0
+        _mm256_storeu_pd(o + 2 * i,
+                         _mm256_permute2f128_pd(lo, hi, 0x20));
+        _mm256_storeu_pd(o + 2 * i + 4,
+                         _mm256_permute2f128_pd(lo, hi, 0x31));
+    }
+    for (; i < n; ++i)
+        out[i] = Complex(seg[i] * win[i], 0.0);
+}
+
+void
+accumPsdAvx2(const Complex *buf, double s, double *acc, std::size_t n)
+{
+    const auto *b = reinterpret_cast<const double *>(buf);
+    const __m256d sv = _mm256_set1_pd(s);
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256d c01 = _mm256_loadu_pd(b + 2 * i);     // r0 i0 r1 i1
+        const __m256d c23 = _mm256_loadu_pd(b + 2 * i + 4); // r2 i2 r3 i3
+        const __m256d sq01 = _mm256_mul_pd(c01, c01);
+        const __m256d sq23 = _mm256_mul_pd(c23, c23);
+        // hadd -> [n0 n2 n1 n3]; permute back to [n0 n1 n2 n3].
+        const __m256d h = _mm256_hadd_pd(sq01, sq23);
+        const __m256d norm = _mm256_permute4x64_pd(h, 0xD8);
+        const __m256d av = _mm256_loadu_pd(acc + i);
+        _mm256_storeu_pd(
+            acc + i, _mm256_add_pd(av, _mm256_mul_pd(norm, sv)));
+    }
+    for (; i < n; ++i) {
+        const double re = buf[i].real();
+        const double im = buf[i].imag();
+        acc[i] += (re * re + im * im) * s;
+    }
+}
+
+void
+fftStageAvx2(Complex *data, const Complex *w, std::size_t n,
+             std::size_t len)
+{
+    const std::size_t half = len / 2;
+    const auto *wd = reinterpret_cast<const double *>(w);
+    for (std::size_t i = 0; i < n; i += len) {
+        auto *lo = reinterpret_cast<double *>(data + i);
+        auto *hi = lo + 2 * half;
+        std::size_t k = 0;
+        for (; k + 2 <= half; k += 2) {
+            const __m256d wk = _mm256_loadu_pd(wd + 2 * k);
+            const __m256d wr = _mm256_movedup_pd(wk);
+            const __m256d wi = _mm256_permute_pd(wk, 0xF);
+            const __m256d v = _mm256_loadu_pd(hi + 2 * k);
+            const __m256d vswap = _mm256_permute_pd(v, 0x5);
+            // addsub -> [vr*wr - vi*wi, vi*wr + vr*wi] per complex
+            const __m256d prod = _mm256_addsub_pd(
+                _mm256_mul_pd(v, wr), _mm256_mul_pd(vswap, wi));
+            const __m256d u = _mm256_loadu_pd(lo + 2 * k);
+            _mm256_storeu_pd(lo + 2 * k, _mm256_add_pd(u, prod));
+            _mm256_storeu_pd(hi + 2 * k, _mm256_sub_pd(u, prod));
+        }
+        for (; k < half; ++k) {
+            const double hr = hi[2 * k], hii = hi[2 * k + 1];
+            const double wkr = wd[2 * k], wki = wd[2 * k + 1];
+            const double vr = hr * wkr - hii * wki;
+            const double vi = hr * wki + hii * wkr;
+            const double ur = lo[2 * k], ui = lo[2 * k + 1];
+            lo[2 * k] = ur + vr;
+            lo[2 * k + 1] = ui + vi;
+            hi[2 * k] = ur - vr;
+            hi[2 * k + 1] = ui - vi;
+        }
+    }
+}
+
+Complex
+toneDftAvx2(const double *x, std::size_t n, Complex step)
+{
+    // Lane seeds and step^4, computed with the scalar reference code.
+    double pr[4], pi[4];
+    pr[0] = 1.0;
+    pi[0] = 0.0;
+    pr[1] = step.real();
+    pi[1] = step.imag();
+    pr[2] = pr[1] * pr[1] - pi[1] * pi[1];
+    pi[2] = pr[1] * pi[1] + pi[1] * pr[1];
+    pr[3] = pr[2] * pr[1] - pi[2] * pi[1];
+    pi[3] = pr[2] * pi[1] + pi[2] * pr[1];
+    const double sr = pr[2] * pr[2] - pi[2] * pi[2];
+    const double si = pr[2] * pi[2] + pi[2] * pr[2];
+
+    __m256d prv = _mm256_loadu_pd(pr);
+    __m256d piv = _mm256_loadu_pd(pi);
+    const __m256d srv = _mm256_set1_pd(sr);
+    const __m256d siv = _mm256_set1_pd(si);
+    __m256d arv = _mm256_setzero_pd();
+    __m256d aiv = _mm256_setzero_pd();
+
+    std::size_t i = 0;
+    std::size_t block = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256d xv = _mm256_loadu_pd(x + i);
+        arv = _mm256_add_pd(arv, _mm256_mul_pd(xv, prv));
+        aiv = _mm256_add_pd(aiv, _mm256_mul_pd(xv, piv));
+        const __m256d nr = _mm256_sub_pd(_mm256_mul_pd(prv, srv),
+                                         _mm256_mul_pd(piv, siv));
+        const __m256d ni = _mm256_add_pd(_mm256_mul_pd(prv, siv),
+                                         _mm256_mul_pd(piv, srv));
+        prv = nr;
+        piv = ni;
+        if (++block == kDftRenormBlock) {
+            block = 0;
+            const __m256d mag = _mm256_sqrt_pd(
+                _mm256_add_pd(_mm256_mul_pd(prv, prv),
+                              _mm256_mul_pd(piv, piv)));
+            prv = _mm256_div_pd(prv, mag);
+            piv = _mm256_div_pd(piv, mag);
+        }
+    }
+    double ar[4], ai[4];
+    _mm256_storeu_pd(ar, arv);
+    _mm256_storeu_pd(ai, aiv);
+    _mm256_storeu_pd(pr, prv);
+    _mm256_storeu_pd(pi, piv);
+    for (int j = 0; i < n; ++i, ++j) {
+        ar[j] += x[i] * pr[j];
+        ai[j] += x[i] * pi[j];
+    }
+    return {(ar[0] + ar[1]) + (ar[2] + ar[3]),
+            (ai[0] + ai[1]) + (ai[2] + ai[3])};
+}
+
+} // namespace
+
+bool
+avx2Compiled()
+{
+    return true;
+}
+
+const Kernels &
+avx2Kernels()
+{
+    static const Kernels table = {
+        sumAvx2,        sumSquaresAvx2, axpyAvx2,
+        negLogAccumAvx2, windowComplexAvx2, accumPsdAvx2,
+        fftStageAvx2,   toneDftAvx2,
+    };
+    return table;
+}
+
+} // namespace savat::dsp::simd::detail
+
+#else // !SAVAT_SIMD_X86 || !__AVX2__
+
+namespace savat::dsp::simd::detail {
+
+bool
+avx2Compiled()
+{
+    return false;
+}
+
+const Kernels &
+avx2Kernels()
+{
+    return scalarKernels();
+}
+
+} // namespace savat::dsp::simd::detail
+
+#endif

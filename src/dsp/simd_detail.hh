@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Internals shared by the per-level SIMD translation units.
+ *
+ * The constants here define the bit-exactness contract: every level
+ * evaluates negLog() with this exact operation sequence (per lane),
+ * and every reduction uses the 4-lane strided tree combined as
+ * (a0 + a1) + (a2 + a3). Change a constant or a sequence here and
+ * the golden fixture must be regenerated for ALL levels at once.
+ */
+
+#ifndef SAVAT_DSP_SIMD_DETAIL_HH
+#define SAVAT_DSP_SIMD_DETAIL_HH
+
+#include "dsp/simd.hh"
+
+#if defined(__x86_64__) || defined(__i386__)
+#define SAVAT_SIMD_X86 1
+#else
+#define SAVAT_SIMD_X86 0
+#endif
+
+namespace savat::dsp::simd::detail {
+
+/** ln(2) split (fdlibm): kLn2Hi + kLn2Lo == ln 2 to ~107 bits. */
+inline constexpr double kLn2Hi = 6.93147180369123816490e-01;
+inline constexpr double kLn2Lo = 1.90821492927058770002e-10;
+
+/** sqrt(2): mantissas above this are halved (exponent +1). */
+inline constexpr double kSqrt2 = 1.4142135623730951;
+
+/**
+ * atanh Horner coefficients 1/(2k+1), k = 10 .. 1. With the mantissa
+ * reduced to [sqrt(1/2), sqrt(2)), |z| <= 0.1716 and the truncated
+ * z^23 term is ~1e-18 relative.
+ */
+inline constexpr double kAtanh[10] = {
+    1.0 / 21.0, 1.0 / 19.0, 1.0 / 17.0, 1.0 / 15.0, 1.0 / 13.0,
+    1.0 / 11.0, 1.0 / 9.0,  1.0 / 7.0,  1.0 / 5.0,  1.0 / 3.0,
+};
+
+const Kernels &scalarKernels();
+const Kernels &sse2Kernels();
+const Kernels &avx2Kernels();
+
+/** Whether the per-level TU was actually built with its ISA. */
+bool sse2Compiled();
+bool avx2Compiled();
+
+} // namespace savat::dsp::simd::detail
+
+#endif // SAVAT_DSP_SIMD_DETAIL_HH

@@ -1,0 +1,324 @@
+/**
+ * @file
+ * SSE2 (128-bit, 2 doubles/lane-pair) kernels. Each kernel replicates
+ * the scalar reference's per-lane operation sequence exactly -- see
+ * simd.cc and DESIGN.md §5h for the contract. Built without FMA and
+ * with -ffp-contract=off so no intermediate rounding is fused away.
+ */
+
+#include "dsp/simd_detail.hh"
+
+#if SAVAT_SIMD_X86 && defined(__SSE2__)
+
+#include <emmintrin.h>
+
+#include <cmath>
+
+namespace savat::dsp::simd::detail {
+namespace {
+
+double
+sumSse2(const double *x, std::size_t n)
+{
+    __m128d acc01 = _mm_setzero_pd();
+    __m128d acc23 = _mm_setzero_pd();
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        acc01 = _mm_add_pd(acc01, _mm_loadu_pd(x + i));
+        acc23 = _mm_add_pd(acc23, _mm_loadu_pd(x + i + 2));
+    }
+    double a[4];
+    _mm_storeu_pd(a + 0, acc01);
+    _mm_storeu_pd(a + 2, acc23);
+    if (i < n)
+        a[0] += x[i++];
+    if (i < n)
+        a[1] += x[i++];
+    if (i < n)
+        a[2] += x[i++];
+    return (a[0] + a[1]) + (a[2] + a[3]);
+}
+
+double
+sumSquaresSse2(const double *x, std::size_t n)
+{
+    __m128d acc01 = _mm_setzero_pd();
+    __m128d acc23 = _mm_setzero_pd();
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m128d v01 = _mm_loadu_pd(x + i);
+        const __m128d v23 = _mm_loadu_pd(x + i + 2);
+        acc01 = _mm_add_pd(acc01, _mm_mul_pd(v01, v01));
+        acc23 = _mm_add_pd(acc23, _mm_mul_pd(v23, v23));
+    }
+    double a[4];
+    _mm_storeu_pd(a + 0, acc01);
+    _mm_storeu_pd(a + 2, acc23);
+    if (i < n) {
+        a[0] += x[i] * x[i];
+        ++i;
+    }
+    if (i < n) {
+        a[1] += x[i] * x[i];
+        ++i;
+    }
+    if (i < n) {
+        a[2] += x[i] * x[i];
+        ++i;
+    }
+    return (a[0] + a[1]) + (a[2] + a[3]);
+}
+
+void
+axpySse2(double a, const double *x, double *y, std::size_t n)
+{
+    const __m128d av = _mm_set1_pd(a);
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        const __m128d yv = _mm_loadu_pd(y + i);
+        const __m128d xv = _mm_loadu_pd(x + i);
+        _mm_storeu_pd(y + i,
+                      _mm_add_pd(yv, _mm_mul_pd(av, xv)));
+    }
+    for (; i < n; ++i)
+        y[i] += a * x[i];
+}
+
+/** 2-lane negLog; per-lane ops match simd.cc's negLog exactly. */
+__m128d
+negLog2(__m128d u)
+{
+    const __m128i bits = _mm_castpd_si128(u);
+    const __m128i rawExp = _mm_and_si128(
+        _mm_srli_epi64(bits, 52), _mm_set1_epi64x(0x7FF));
+    // Exact int->double: (2^52 | exp) - 2^52, then - 1023.
+    const __m128d expd = _mm_sub_pd(
+        _mm_castsi128_pd(_mm_or_si128(
+            rawExp, _mm_set1_epi64x(0x4330000000000000ll))),
+        _mm_set1_pd(4503599627370496.0));
+    __m128d e = _mm_sub_pd(expd, _mm_set1_pd(1023.0));
+    __m128d m = _mm_castsi128_pd(_mm_or_si128(
+        _mm_and_si128(bits, _mm_set1_epi64x(0xFFFFFFFFFFFFFll)),
+        _mm_set1_epi64x(0x3FF0000000000000ll)));
+    const __m128d big = _mm_cmpgt_pd(m, _mm_set1_pd(kSqrt2));
+    const __m128d mHalf = _mm_mul_pd(m, _mm_set1_pd(0.5));
+    m = _mm_or_pd(_mm_and_pd(big, mHalf), _mm_andnot_pd(big, m));
+    e = _mm_add_pd(e, _mm_and_pd(big, _mm_set1_pd(1.0)));
+    const __m128d one = _mm_set1_pd(1.0);
+    const __m128d z =
+        _mm_div_pd(_mm_sub_pd(m, one), _mm_add_pd(m, one));
+    const __m128d z2 = _mm_mul_pd(z, z);
+    __m128d t = _mm_set1_pd(kAtanh[0]);
+    for (int k = 1; k < 10; ++k)
+        t = _mm_add_pd(_mm_mul_pd(t, z2), _mm_set1_pd(kAtanh[k]));
+    const __m128d lm = _mm_add_pd(
+        _mm_mul_pd(_mm_set1_pd(2.0), z),
+        _mm_mul_pd(z, _mm_mul_pd(z2, _mm_mul_pd(_mm_set1_pd(2.0), t))));
+    const __m128d res = _mm_add_pd(
+        _mm_add_pd(lm, _mm_mul_pd(_mm_set1_pd(kLn2Lo), e)),
+        _mm_mul_pd(_mm_set1_pd(kLn2Hi), e));
+    return _mm_xor_pd(res, _mm_set1_pd(-0.0));
+}
+
+void
+negLogAccumSse2(double a, const double *u, double *y, std::size_t n)
+{
+    const __m128d av = _mm_set1_pd(a);
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        const __m128d nl = negLog2(_mm_loadu_pd(u + i));
+        const __m128d yv = _mm_loadu_pd(y + i);
+        _mm_storeu_pd(y + i, _mm_add_pd(yv, _mm_mul_pd(av, nl)));
+    }
+    for (; i < n; ++i)
+        y[i] += a * negLog(u[i]);
+}
+
+void
+windowComplexSse2(const double *seg, const double *win, Complex *out,
+                  std::size_t n)
+{
+    auto *o = reinterpret_cast<double *>(out);
+    const __m128d zero = _mm_setzero_pd();
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        const __m128d p =
+            _mm_mul_pd(_mm_loadu_pd(seg + i), _mm_loadu_pd(win + i));
+        _mm_storeu_pd(o + 2 * i, _mm_unpacklo_pd(p, zero));
+        _mm_storeu_pd(o + 2 * i + 2, _mm_unpackhi_pd(p, zero));
+    }
+    for (; i < n; ++i)
+        out[i] = Complex(seg[i] * win[i], 0.0);
+}
+
+void
+accumPsdSse2(const Complex *buf, double s, double *acc, std::size_t n)
+{
+    const auto *b = reinterpret_cast<const double *>(buf);
+    const __m128d sv = _mm_set1_pd(s);
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        const __m128d c0 = _mm_loadu_pd(b + 2 * i);     // [r0 i0]
+        const __m128d c1 = _mm_loadu_pd(b + 2 * i + 2); // [r1 i1]
+        const __m128d re = _mm_unpacklo_pd(c0, c1);     // [r0 r1]
+        const __m128d im = _mm_unpackhi_pd(c0, c1);     // [i0 i1]
+        const __m128d norm = _mm_add_pd(_mm_mul_pd(re, re),
+                                        _mm_mul_pd(im, im));
+        const __m128d av = _mm_loadu_pd(acc + i);
+        _mm_storeu_pd(acc + i,
+                      _mm_add_pd(av, _mm_mul_pd(norm, sv)));
+    }
+    for (; i < n; ++i) {
+        const double re = buf[i].real();
+        const double im = buf[i].imag();
+        acc[i] += (re * re + im * im) * s;
+    }
+}
+
+void
+fftStageSse2(Complex *data, const Complex *w, std::size_t n,
+             std::size_t len)
+{
+    const std::size_t half = len / 2;
+    const __m128d flipLo = _mm_set_pd(0.0, -0.0);
+    const auto *wd = reinterpret_cast<const double *>(w);
+    for (std::size_t i = 0; i < n; i += len) {
+        auto *lo = reinterpret_cast<double *>(data + i);
+        auto *hi = lo + 2 * half;
+        for (std::size_t k = 0; k < half; ++k) {
+            const __m128d wk = _mm_loadu_pd(wd + 2 * k);
+            const __m128d wr = _mm_unpacklo_pd(wk, wk);
+            const __m128d wi = _mm_unpackhi_pd(wk, wk);
+            const __m128d v = _mm_loadu_pd(hi + 2 * k);
+            const __m128d vswap =
+                _mm_shuffle_pd(v, v, 1); // [vi vr]
+            // naive product: [vr*wr - vi*wi, vi*wr + vr*wi]
+            const __m128d prod = _mm_add_pd(
+                _mm_mul_pd(v, wr),
+                _mm_xor_pd(_mm_mul_pd(vswap, wi), flipLo));
+            const __m128d u = _mm_loadu_pd(lo + 2 * k);
+            _mm_storeu_pd(lo + 2 * k, _mm_add_pd(u, prod));
+            _mm_storeu_pd(hi + 2 * k, _mm_sub_pd(u, prod));
+        }
+    }
+}
+
+Complex
+toneDftSse2(const double *x, std::size_t n, Complex step)
+{
+    // Lane seeds and step^4, computed with the scalar reference code.
+    double pr[4], pi[4];
+    pr[0] = 1.0;
+    pi[0] = 0.0;
+    pr[1] = step.real();
+    pi[1] = step.imag();
+    pr[2] = pr[1] * pr[1] - pi[1] * pi[1];
+    pi[2] = pr[1] * pi[1] + pi[1] * pr[1];
+    pr[3] = pr[2] * pr[1] - pi[2] * pi[1];
+    pi[3] = pr[2] * pi[1] + pi[2] * pr[1];
+    const double sr = pr[2] * pr[2] - pi[2] * pi[2];
+    const double si = pr[2] * pi[2] + pi[2] * pr[2];
+
+    __m128d pr01 = _mm_loadu_pd(pr + 0);
+    __m128d pr23 = _mm_loadu_pd(pr + 2);
+    __m128d pi01 = _mm_loadu_pd(pi + 0);
+    __m128d pi23 = _mm_loadu_pd(pi + 2);
+    const __m128d srv = _mm_set1_pd(sr);
+    const __m128d siv = _mm_set1_pd(si);
+    __m128d ar01 = _mm_setzero_pd();
+    __m128d ar23 = _mm_setzero_pd();
+    __m128d ai01 = _mm_setzero_pd();
+    __m128d ai23 = _mm_setzero_pd();
+
+    std::size_t i = 0;
+    std::size_t block = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m128d x01 = _mm_loadu_pd(x + i);
+        const __m128d x23 = _mm_loadu_pd(x + i + 2);
+        ar01 = _mm_add_pd(ar01, _mm_mul_pd(x01, pr01));
+        ar23 = _mm_add_pd(ar23, _mm_mul_pd(x23, pr23));
+        ai01 = _mm_add_pd(ai01, _mm_mul_pd(x01, pi01));
+        ai23 = _mm_add_pd(ai23, _mm_mul_pd(x23, pi23));
+        const __m128d nr01 = _mm_sub_pd(_mm_mul_pd(pr01, srv),
+                                        _mm_mul_pd(pi01, siv));
+        const __m128d ni01 = _mm_add_pd(_mm_mul_pd(pr01, siv),
+                                        _mm_mul_pd(pi01, srv));
+        const __m128d nr23 = _mm_sub_pd(_mm_mul_pd(pr23, srv),
+                                        _mm_mul_pd(pi23, siv));
+        const __m128d ni23 = _mm_add_pd(_mm_mul_pd(pr23, siv),
+                                        _mm_mul_pd(pi23, srv));
+        pr01 = nr01;
+        pi01 = ni01;
+        pr23 = nr23;
+        pi23 = ni23;
+        if (++block == kDftRenormBlock) {
+            block = 0;
+            const __m128d m01 =
+                _mm_sqrt_pd(_mm_add_pd(_mm_mul_pd(pr01, pr01),
+                                       _mm_mul_pd(pi01, pi01)));
+            const __m128d m23 =
+                _mm_sqrt_pd(_mm_add_pd(_mm_mul_pd(pr23, pr23),
+                                       _mm_mul_pd(pi23, pi23)));
+            pr01 = _mm_div_pd(pr01, m01);
+            pi01 = _mm_div_pd(pi01, m01);
+            pr23 = _mm_div_pd(pr23, m23);
+            pi23 = _mm_div_pd(pi23, m23);
+        }
+    }
+    double ar[4], ai[4];
+    _mm_storeu_pd(ar + 0, ar01);
+    _mm_storeu_pd(ar + 2, ar23);
+    _mm_storeu_pd(ai + 0, ai01);
+    _mm_storeu_pd(ai + 2, ai23);
+    _mm_storeu_pd(pr + 0, pr01);
+    _mm_storeu_pd(pr + 2, pr23);
+    _mm_storeu_pd(pi + 0, pi01);
+    _mm_storeu_pd(pi + 2, pi23);
+    for (int j = 0; i < n; ++i, ++j) {
+        ar[j] += x[i] * pr[j];
+        ai[j] += x[i] * pi[j];
+    }
+    return {(ar[0] + ar[1]) + (ar[2] + ar[3]),
+            (ai[0] + ai[1]) + (ai[2] + ai[3])};
+}
+
+} // namespace
+
+bool
+sse2Compiled()
+{
+    return true;
+}
+
+const Kernels &
+sse2Kernels()
+{
+    static const Kernels table = {
+        sumSse2,        sumSquaresSse2, axpySse2,
+        negLogAccumSse2, windowComplexSse2, accumPsdSse2,
+        fftStageSse2,   toneDftSse2,
+    };
+    return table;
+}
+
+} // namespace savat::dsp::simd::detail
+
+#else // !SAVAT_SIMD_X86 || !__SSE2__
+
+namespace savat::dsp::simd::detail {
+
+bool
+sse2Compiled()
+{
+    return false;
+}
+
+const Kernels &
+sse2Kernels()
+{
+    return scalarKernels();
+}
+
+} // namespace savat::dsp::simd::detail
+
+#endif

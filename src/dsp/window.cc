@@ -23,13 +23,13 @@ windowName(WindowKind kind)
 namespace {
 
 /** Generalized cosine window from coefficient list. */
-std::vector<double>
-cosineWindow(std::size_t n, const double *a, std::size_t terms)
+void
+cosineWindow(double *w, std::size_t n, const double *a,
+             std::size_t terms)
 {
-    std::vector<double> w(n, 0.0);
     if (n == 1) {
         w[0] = 1.0;
-        return w;
+        return;
     }
     for (std::size_t i = 0; i < n; ++i) {
         const double x =
@@ -43,42 +43,52 @@ cosineWindow(std::size_t n, const double *a, std::size_t terms)
         }
         w[i] = v;
     }
-    return w;
 }
 
 } // namespace
+
+void
+makeWindowInto(WindowKind kind, double *out, std::size_t n)
+{
+    SAVAT_ASSERT(n >= 1, "window length must be >= 1");
+    switch (kind) {
+      case WindowKind::Rectangular:
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = 1.0;
+        return;
+      case WindowKind::Hann: {
+        static const double a[] = {0.5, 0.5};
+        return cosineWindow(out, n, a, 2);
+      }
+      case WindowKind::Hamming: {
+        static const double a[] = {0.54, 0.46};
+        return cosineWindow(out, n, a, 2);
+      }
+      case WindowKind::Blackman: {
+        static const double a[] = {0.42, 0.5, 0.08};
+        return cosineWindow(out, n, a, 3);
+      }
+      case WindowKind::BlackmanHarris: {
+        static const double a[] = {0.35875, 0.48829, 0.14128, 0.01168};
+        return cosineWindow(out, n, a, 4);
+      }
+      case WindowKind::FlatTop: {
+        static const double a[] = {0.21557895, 0.41663158, 0.277263158,
+                                   0.083578947, 0.006947368};
+        return cosineWindow(out, n, a, 5);
+      }
+      default:
+        SAVAT_PANIC("bad window kind");
+    }
+}
 
 std::vector<double>
 makeWindow(WindowKind kind, std::size_t n)
 {
     SAVAT_ASSERT(n >= 1, "window length must be >= 1");
-    switch (kind) {
-      case WindowKind::Rectangular:
-        return std::vector<double>(n, 1.0);
-      case WindowKind::Hann: {
-        static const double a[] = {0.5, 0.5};
-        return cosineWindow(n, a, 2);
-      }
-      case WindowKind::Hamming: {
-        static const double a[] = {0.54, 0.46};
-        return cosineWindow(n, a, 2);
-      }
-      case WindowKind::Blackman: {
-        static const double a[] = {0.42, 0.5, 0.08};
-        return cosineWindow(n, a, 3);
-      }
-      case WindowKind::BlackmanHarris: {
-        static const double a[] = {0.35875, 0.48829, 0.14128, 0.01168};
-        return cosineWindow(n, a, 4);
-      }
-      case WindowKind::FlatTop: {
-        static const double a[] = {0.21557895, 0.41663158, 0.277263158,
-                                   0.083578947, 0.006947368};
-        return cosineWindow(n, a, 5);
-      }
-      default:
-        SAVAT_PANIC("bad window kind");
-    }
+    std::vector<double> w(n);
+    makeWindowInto(kind, w.data(), n);
+    return w;
 }
 
 double

@@ -28,6 +28,12 @@ const char *windowName(WindowKind kind);
 std::vector<double> makeWindow(WindowKind kind, std::size_t n);
 
 /**
+ * Write an n-point symmetric window into caller-provided storage
+ * (e.g. an arena buffer); identical samples to makeWindow().
+ */
+void makeWindowInto(WindowKind kind, double *out, std::size_t n);
+
+/**
  * Coherent gain: mean of the window samples. An amplitude estimate
  * through a window must be divided by this to be unbiased.
  */

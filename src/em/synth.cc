@@ -1,7 +1,10 @@
 #include "em/synth.hh"
 
 #include <cmath>
+#include <vector>
 
+#include "dsp/simd.hh"
+#include "support/arena.hh"
 #include "support/logging.hh"
 
 namespace savat::em {
@@ -61,6 +64,17 @@ ReceivedSignalSynthesizer::synthesize(const ToneInput &input, Distance d,
                                       Frequency windowCenter, double spanHz,
                                       Rng &rng) const
 {
+    SynthesisResult res;
+    synthesizeInto(input, d, windowCenter, spanHz, rng, res);
+    return res;
+}
+
+void
+ReceivedSignalSynthesizer::synthesizeInto(
+    const ToneInput &input, Distance d, Frequency windowCenter,
+    double spanHz, Rng &rng, SynthesisResult &out,
+    support::Arena *arena) const
+{
     const EnvironmentDraw env = drawEnvironment(_environment, rng);
 
     // Coherent per-channel summation at the antenna; the residual
@@ -68,12 +82,11 @@ ReceivedSignalSynthesizer::synthesize(const ToneInput &input, Distance d,
     const double signal =
         tonePower(input.amplitude, d, env, rng) +
         tonePower(input.residualAmplitude, d, env, rng);
-    return synthesizeTone(signal + input.residualPowerW *
-                                       env.gainFactor *
-                                       env.gainFactor,
-                          input.toneFrequency,
-                          _antenna.powerResponse(windowCenter),
-                          windowCenter, spanHz, env, rng);
+    synthesizeToneInto(signal + input.residualPowerW *
+                                    env.gainFactor * env.gainFactor,
+                       input.toneFrequency,
+                       _antenna.powerResponse(windowCenter),
+                       windowCenter, spanHz, env, rng, out, arena);
 }
 
 SynthesisResult
@@ -82,15 +95,29 @@ ReceivedSignalSynthesizer::synthesizeTone(
     double frontEndResponse, Frequency windowCenter, double spanHz,
     const EnvironmentDraw &env, Rng &rng) const
 {
+    SynthesisResult res;
+    synthesizeToneInto(tonePowerW, toneFrequency, frontEndResponse,
+                       windowCenter, spanHz, env, rng, res);
+    return res;
+}
+
+void
+ReceivedSignalSynthesizer::synthesizeToneInto(
+    double tonePowerW, Frequency toneFrequency,
+    double frontEndResponse, Frequency windowCenter, double spanHz,
+    const EnvironmentDraw &env, Rng &rng, SynthesisResult &out,
+    support::Arena *arena) const
+{
     SAVAT_ASSERT(spanHz > 0.0, "non-positive span");
     const double f0 = windowCenter.inHz();
     SAVAT_ASSERT(f0 > spanHz, "window extends below DC");
 
-    SynthesisResult res;
+    SynthesisResult &res = out;
     res.spectrum.startHz = f0 - spanHz;
     res.spectrum.binHz = 1.0;
     const std::size_t nbins =
         static_cast<std::size_t>(std::lround(2.0 * spanHz)) + 1;
+    // assign() reuses the capacity of a recycled result buffer.
     res.spectrum.psd.assign(nbins, 0.0);
 
     // Front-end response at the tone (antenna band shape for EM;
@@ -127,15 +154,28 @@ ReceivedSignalSynthesizer::synthesizeTone(
     }
 
     // Ambient noise: exponentially distributed per 1 Hz bin
-    // (Rayleigh-fading power) around the configured density.
+    // (Rayleigh-fading power) around the configured density. The
+    // uniform draws are staged scalar-sequentially (preserving the
+    // RNG stream order, including the rejection loop), then the
+    // -log transform runs through the vectorized kernel.
     const double ambient = _environment.ambientNoiseWPerHz * ant;
-    for (auto &bin : res.spectrum.psd) {
+    double *ubuf;
+    std::vector<double> fallback;
+    if (arena != nullptr) {
+        ubuf = arena->alloc<double>(nbins);
+    } else {
+        fallback.resize(nbins);
+        ubuf = fallback.data();
+    }
+    for (std::size_t i = 0; i < nbins; ++i) {
         double u;
         do {
             u = rng.uniform();
         } while (u <= 0.0);
-        bin += ambient * -std::log(u);
+        ubuf[i] = u;
     }
+    dsp::simd::kernels().negLogAccum(ambient, ubuf,
+                                     res.spectrum.psd.data(), nbins);
 
     // Narrowband interferers: Poisson count across the window, each
     // a 1-bin carrier with log-normal power (the "weak external
@@ -161,8 +201,6 @@ ReceivedSignalSynthesizer::synthesizeTone(
         res.spectrum.psd[bin] +=
             std::pow(10.0, log_p) / res.spectrum.binHz;
     }
-
-    return res;
 }
 
 } // namespace savat::em

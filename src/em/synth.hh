@@ -32,6 +32,10 @@
 #include "support/rng.hh"
 #include "support/units.hh"
 
+namespace savat::support {
+class Arena;
+} // namespace savat::support
+
 namespace savat::em {
 
 /** Per-channel complex tone amplitude, in activity units (au). */
@@ -119,6 +123,17 @@ class ReceivedSignalSynthesizer
                                Rng &rng) const;
 
     /**
+     * Allocation-free variant of synthesize(): writes into `out`
+     * (whose spectrum buffer is reused across reps) and takes its
+     * noise-staging scratch from `arena` when given. Byte-identical
+     * results to synthesize().
+     */
+    void synthesizeInto(const ToneInput &input, Distance d,
+                        Frequency windowCenter, double spanHz,
+                        Rng &rng, SynthesisResult &out,
+                        support::Arena *arena = nullptr) const;
+
+    /**
      * Chain-agnostic back half of the synthesis: place a tone of the
      * given received power into a +/- spanHz window, dispersed by
      * the environment's frequency random walk, plus ambient noise
@@ -144,6 +159,15 @@ class ReceivedSignalSynthesizer
                                    double spanHz,
                                    const EnvironmentDraw &env,
                                    Rng &rng) const;
+
+    /** Allocation-free variant of synthesizeTone() (see
+     * synthesizeInto()). */
+    void synthesizeToneInto(double tonePowerW, Frequency toneFrequency,
+                            double frontEndResponse,
+                            Frequency windowCenter, double spanHz,
+                            const EnvironmentDraw &env, Rng &rng,
+                            SynthesisResult &out,
+                            support::Arena *arena = nullptr) const;
 
     const EmissionProfile &profile() const { return _profile; }
     const DistanceModel &distances() const { return _distances; }

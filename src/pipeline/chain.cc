@@ -87,9 +87,10 @@ EmChain::EmChain(std::string machineId,
 
 SavatSample
 EmChain::measure(const PairSimulation &sim, std::size_t /*repetition*/,
-                 Rng &rng, spectrum::Trace &scratch) const
+                 Rng &rng, MeasureScratch &scratch) const
 {
     SAVAT_METRIC_COUNT("pipeline.em_measurements");
+    scratch.arena.reset();
     const auto &profile = _synth.profile();
     const auto residual = drawResidual(profile, _machineId, sim, rng);
 
@@ -101,20 +102,18 @@ EmChain::measure(const PairSimulation &sim, std::size_t /*repetition*/,
         Energy::zepto(residual.baseEnergyZj).inJoules() *
         sim.pairsPerSecond;
 
-    em::SynthesisResult synth_res;
     {
         SAVAT_METRIC_TIMER("pipeline.synthesize_seconds");
-        synth_res =
-            _synth.synthesize(tone, _config.distance,
+        _synth.synthesizeInto(tone, _config.distance,
                               _config.alternation, _config.spanHz,
-                              rng);
+                              rng, scratch.synth, &scratch.arena);
     }
 
-    sweep(_config, _config.noiseFloorWPerHz, synth_res.spectrum, rng,
-          scratch);
-    return bandIntegrate(scratch, _config.alternation.inHz(),
+    sweep(_config, _config.noiseFloorWPerHz, scratch.synth.spectrum,
+          rng, scratch.trace, &scratch.arena);
+    return bandIntegrate(scratch.trace, _config.alternation.inHz(),
                          _config.bandHz, sim.pairsPerSecond,
-                         synth_res.realizedToneHz);
+                         scratch.synth.realizedToneHz);
 }
 
 PowerChain::PowerChain(std::string machineId,
@@ -129,9 +128,10 @@ PowerChain::PowerChain(std::string machineId,
 SavatSample
 PowerChain::measure(const PairSimulation &sim,
                     std::size_t /*repetition*/, Rng &rng,
-                    spectrum::Trace &scratch) const
+                    MeasureScratch &scratch) const
 {
     SAVAT_METRIC_COUNT("pipeline.power_measurements");
+    scratch.arena.reset();
     const auto &profile = _synth.profile();
     const auto residual = drawResidual(profile, _machineId, sim, rng);
 
@@ -141,7 +141,6 @@ PowerChain::measure(const PairSimulation &sim,
         Energy::zepto(residual.baseEnergyZj).inJoules() *
         sim.pairsPerSecond * _config.power.residualCoupling;
 
-    em::SynthesisResult synth_res;
     {
         SAVAT_METRIC_TIMER("pipeline.synthesize_seconds");
         const auto env =
@@ -151,17 +150,19 @@ PowerChain::measure(const PairSimulation &sim,
         const double signal =
             _synth.powerRailTonePower(sim.amplitude, env) +
             _synth.powerRailTonePower(residual.amplitude, env);
-        synth_res = _synth.synthesizeTone(
+        _synth.synthesizeToneInto(
             signal + residual_w * env.gainFactor * env.gainFactor,
             sim.actualFrequency, 1.0, _config.alternation,
-            _config.spanHz, env, rng);
+            _config.spanHz, env, rng, scratch.synth,
+            &scratch.arena);
     }
 
-    sweep(_config, _config.power.noiseFloorWPerHz, synth_res.spectrum,
-          rng, scratch);
-    return bandIntegrate(scratch, _config.alternation.inHz(),
+    sweep(_config, _config.power.noiseFloorWPerHz,
+          scratch.synth.spectrum, rng, scratch.trace,
+          &scratch.arena);
+    return bandIntegrate(scratch.trace, _config.alternation.inHz(),
                          _config.bandHz, sim.pairsPerSecond,
-                         synth_res.realizedToneHz);
+                         scratch.synth.realizedToneHz);
 }
 
 std::shared_ptr<const SignalChain>

@@ -17,9 +17,10 @@
  * Contract: measure() must draw all per-repetition randomness from
  * the passed rng only, in a fixed order independent of thread, call
  * site and repetition index, so campaigns stay bit-identical for
- * every jobs value. The scratch trace is caller-owned storage for
- * the analyzer display (reused across calls — no allocation on the
- * repetition path).
+ * every jobs value. The scratch is caller-owned storage for the
+ * analyzer display, synthesis buffers and staging arena (reused
+ * across calls — no steady-state allocation on the repetition
+ * path).
  */
 
 #ifndef SAVAT_PIPELINE_CHAIN_HH
@@ -53,11 +54,12 @@ class SignalChain
      *                   from rng), the replay chain uses it to
      *                   select the recorded trace.
      * @param rng        Per-repetition randomness stream.
-     * @param scratch    Caller-owned analyzer-display storage.
+     * @param scratch    Caller-owned repetition storage (analyzer
+     *                   display, synthesis result, staging arena).
      */
     virtual SavatSample measure(const PairSimulation &sim,
                                 std::size_t repetition, Rng &rng,
-                                spectrum::Trace &scratch) const = 0;
+                                MeasureScratch &scratch) const = 0;
 };
 
 /** The paper's EM chain: emission -> propagation -> antenna -> SA. */
@@ -70,7 +72,7 @@ class EmChain final : public SignalChain
     const char *name() const override { return "em"; }
     SavatSample measure(const PairSimulation &sim,
                         std::size_t repetition, Rng &rng,
-                        spectrum::Trace &scratch) const override;
+                        MeasureScratch &scratch) const override;
 
     const em::ReceivedSignalSynthesizer &synth() const
     {
@@ -94,7 +96,7 @@ class PowerChain final : public SignalChain
     const char *name() const override { return "power"; }
     SavatSample measure(const PairSimulation &sim,
                         std::size_t repetition, Rng &rng,
-                        spectrum::Trace &scratch) const override;
+                        MeasureScratch &scratch) const override;
 
     const em::ReceivedSignalSynthesizer &synth() const
     {

@@ -243,7 +243,7 @@ ReplayChain::ReplayChain(TraceRecording recording)
 SavatSample
 ReplayChain::measure(const PairSimulation &sim,
                      std::size_t repetition, Rng & /*rng*/,
-                     spectrum::Trace &scratch) const
+                     MeasureScratch &scratch) const
 {
     SAVAT_METRIC_COUNT("pipeline.replay_measurements");
     const auto it = _index.find(std::make_pair(sim.a, sim.b));
@@ -255,12 +255,12 @@ ReplayChain::measure(const PairSimulation &sim,
                  repetition, " of ", kernels::eventName(sim.a), "/",
                  kernels::eventName(sim.b), " was not recorded (",
                  cell.traces.size(), " available)");
-    scratch = cell.traces[repetition];
+    scratch.trace = cell.traces[repetition];
     const double f0 = _recording.alternationHz;
     return bandIntegrate(
-        scratch, f0, _recording.bandHz, cell.pairsPerSecond,
-        scratch.peakFrequency(f0 - _recording.bandHz,
-                              f0 + _recording.bandHz));
+        scratch.trace, f0, _recording.bandHz, cell.pairsPerSecond,
+        scratch.trace.peakFrequency(f0 - _recording.bandHz,
+                                    f0 + _recording.bandHz));
 }
 
 std::vector<ReplayCell>
@@ -274,7 +274,7 @@ replayAll(const TraceRecording &recording)
     std::vector<ReplayCell> out;
     out.reserve(recording.cells.size());
     Rng unused(0);
-    spectrum::Trace scratch;
+    MeasureScratch scratch;
     for (const auto &cell : recording.cells) {
         ReplayCell rc;
         rc.a = cell.a;

@@ -100,7 +100,7 @@ class ReplayChain final : public SignalChain
      */
     SavatSample measure(const PairSimulation &sim,
                         std::size_t repetition, Rng &rng,
-                        spectrum::Trace &scratch) const override;
+                        MeasureScratch &scratch) const override;
 
     const TraceRecording &recording() const { return _recording; }
 

@@ -4,6 +4,7 @@
 
 #include "analysis/ir/analyzer.hh"
 #include "dsp/fft.hh"
+#include "dsp/simd.hh"
 #include "support/logging.hh"
 #include "support/obs.hh"
 
@@ -12,22 +13,6 @@ namespace savat::pipeline {
 using kernels::Marks;
 
 namespace {
-
-/** ActivitySink that records only while enabled. */
-class GatedTrace : public uarch::ActivitySink
-{
-  public:
-    void
-    record(uarch::MicroEvent ev, std::uint64_t start,
-           std::uint32_t duration) override
-    {
-        if (enabled)
-            trace.record(ev, start, duration);
-    }
-
-    bool enabled = false;
-    uarch::ActivityTrace trace;
-};
 
 uarch::CacheStats
 diffCache(const uarch::CacheStats &now, const uarch::CacheStats &then)
@@ -104,11 +89,12 @@ simulate(const uarch::MachineConfig &machine, const KernelSpec &spec,
     SAVAT_ASSERT(measured >= 2, "need at least two measured periods");
 
     SimulationRun run;
-    GatedTrace sink;
-    uarch::SimpleCpu cpu(machine, sink);
+    // The trace doubles as the (gated) sink: disabled through the
+    // cache warm-up, enabled only over the measured window.
+    run.trace.setEnabled(false);
+    uarch::SimpleCpu cpu(machine, run.trace);
     auto prefill = [&cpu](std::uint64_t base, std::uint64_t bytes) {
-        for (std::uint64_t off = 0; off < bytes; off += 4)
-            cpu.memory().writeWord(base + off, 0x07070707u);
+        cpu.memory().fillWords(base, 0x07070707u, (bytes + 3) / 4);
     };
     if (spec.prefillA)
         prefill(kernel.baseA, spec.footprintA);
@@ -138,7 +124,7 @@ simulate(const uarch::MachineConfig &machine, const KernelSpec &spec,
         if (id == Marks::kPeriodStart) {
             ++periods_seen;
             if (periods_seen == warmup + 1) {
-                sink.enabled = true;
+                run.trace.setEnabled(true);
                 l1_at_enable = cpu.l1Stats();
                 l2_at_enable = cpu.l2Stats();
                 mem_at_enable = cpu.memStats();
@@ -146,7 +132,7 @@ simulate(const uarch::MachineConfig &machine, const KernelSpec &spec,
             if (periods_seen > warmup)
                 run.periodStarts.push_back(cycle);
             if (periods_seen == warmup + measured + 1) {
-                sink.enabled = false;
+                run.trace.setEnabled(false);
                 return false; // stop the run
             }
         } else if (id == Marks::kHalfBoundary) {
@@ -173,7 +159,6 @@ simulate(const uarch::MachineConfig &machine, const KernelSpec &spec,
     run.periodCycles = static_cast<double>(run.periodStarts.back() -
                                            run.periodStarts.front()) /
                        static_cast<double>(measured);
-    run.trace = std::move(sink.trace);
     return run;
 }
 
@@ -210,29 +195,36 @@ channelExtract(const SimulationRun &run,
     // Spectral extraction at the alternation frequency (normalized:
     // one alternation cycle per period).
     const double norm_freq = 1.0 / run.periodCycles;
+    const auto &kern = dsp::simd::kernels();
+    std::vector<double> wave;
     for (std::size_t c = 0; c < em::kNumChannels; ++c) {
         const auto ch = em::channelAt(c);
         const auto weights = profile.channelWeights(ch);
-        const auto wave =
-            run.trace.weightedWaveform(weights, begin, end);
+        run.trace.weightedWaveformInto(weights, begin, end, wave);
         // Peak amplitude of the fundamental = 2 * |DFT coefficient|.
-        sim.amplitude[c] = 2.0 * dsp::singleBinDft(wave, norm_freq);
+        sim.amplitude[c] =
+            2.0 *
+            dsp::singleBinDft(wave.data(), wave.size(), norm_freq);
 
-        // Per-half mean activity (for the mismatch model).
+        // Per-half mean activity (for the mismatch model). Every
+        // recorded event lies inside [begin, end), so the total
+        // activity of a half window equals the sum of its waveform
+        // slice; the lane-strided kernel keeps the sums bit-exact
+        // across dispatch levels.
         double mean_a = 0.0, mean_b = 0.0, ta = 0.0, tb = 0.0;
         for (std::size_t i = 0; i < measured; ++i) {
             const double la = static_cast<double>(run.halfMarks[i] -
                                                   run.periodStarts[i]);
             const double lb = static_cast<double>(
                 run.periodStarts[i + 1] - run.halfMarks[i]);
-            mean_a += run.trace.weightedMeanRate(weights,
-                                                 run.periodStarts[i],
-                                                 run.halfMarks[i]) *
-                      la;
-            mean_b += run.trace.weightedMeanRate(
-                          weights, run.halfMarks[i],
-                          run.periodStarts[i + 1]) *
-                      lb;
+            mean_a += kern.sum(
+                wave.data() + (run.periodStarts[i] - begin),
+                static_cast<std::size_t>(run.halfMarks[i] -
+                                         run.periodStarts[i]));
+            mean_b += kern.sum(
+                wave.data() + (run.halfMarks[i] - begin),
+                static_cast<std::size_t>(run.periodStarts[i + 1] -
+                                         run.halfMarks[i]));
             ta += la;
             tb += lb;
         }
@@ -341,7 +333,7 @@ runAlternation(const uarch::MachineConfig &machine,
 void
 sweep(const MeasureConfig &config, double noiseFloorWPerHz,
       const em::NarrowbandSpectrum &incident, Rng &rng,
-      spectrum::Trace &out)
+      spectrum::Trace &out, support::Arena *arena)
 {
     SAVAT_METRIC_TIMER("pipeline.sweep_seconds");
     spectrum::SweepConfig sweep_cfg;
@@ -350,7 +342,7 @@ sweep(const MeasureConfig &config, double noiseFloorWPerHz,
     sweep_cfg.rbwHz = config.rbwHz;
     sweep_cfg.noiseFloorWPerHz = noiseFloorWPerHz;
     spectrum::SpectrumAnalyzer analyzer(sweep_cfg);
-    analyzer.measureInto(incident, rng, out);
+    analyzer.measureInto(incident, rng, out, arena);
 }
 
 SavatSample

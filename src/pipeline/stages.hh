@@ -34,6 +34,7 @@
 #include "kernels/generator.hh"
 #include "pipeline/config.hh"
 #include "spectrum/analyzer.hh"
+#include "support/arena.hh"
 #include "support/rng.hh"
 #include "support/units.hh"
 #include "uarch/cpu.hh"
@@ -120,6 +121,22 @@ struct SavatSample
     Energy savat;
     double bandPowerW = 0.0;
     double toneHz = 0.0;
+};
+
+/**
+ * Caller-owned reusable storage for one measurement repetition: the
+ * analyzer display, the synthesized incident spectrum, and a
+ * monotonic arena for the kernels' staging buffers. One scratch is
+ * reused across every repetition a worker runs, so after the first
+ * few repetitions size the buffers, the steady-state repetition loop
+ * allocates nothing. Not copyable (the arena pages are not); workers
+ * each own one.
+ */
+struct MeasureScratch
+{
+    spectrum::Trace trace;     //!< analyzer display
+    em::SynthesisResult synth; //!< synthesized incident spectrum
+    support::Arena arena;      //!< per-repetition staging buffers
 };
 
 /** Everything the front half of the pipeline needs about a kernel. */
@@ -215,7 +232,7 @@ PairSimulation runAlternation(const uarch::MachineConfig &machine,
  */
 void sweep(const MeasureConfig &config, double noiseFloorWPerHz,
            const em::NarrowbandSpectrum &incident, Rng &rng,
-           spectrum::Trace &out);
+           spectrum::Trace &out, support::Arena *arena = nullptr);
 
 /**
  * BandIntegrate: integrate the +/- bandHz band around centerHz and

@@ -3,18 +3,77 @@
 #include <algorithm>
 #include <cmath>
 
+#include "dsp/simd.hh"
+#include "support/arena.hh"
 #include "support/logging.hh"
 #include "support/obs.hh"
 
 namespace savat::spectrum {
+
+namespace {
+
+/**
+ * Bin index range [first, last] that can overlap [lo_hz, hi_hz],
+ * padded by one bin so boundary rounding can never drop a
+ * contributing bin; the per-bin overlap test stays the authority.
+ */
+std::pair<std::size_t, std::size_t>
+clampedBinRange(double startHz, double binHz, std::size_t nbins,
+                double lo_hz, double hi_hz)
+{
+    if (binHz <= 0.0 || nbins == 0)
+        return {0, nbins ? nbins - 1 : 0};
+    const double lo_idx =
+        std::floor((lo_hz - startHz) / binHz - 0.5) - 1.0;
+    const double hi_idx =
+        std::ceil((hi_hz - startHz) / binHz + 0.5) + 1.0;
+    const auto first = static_cast<std::size_t>(
+        std::clamp(lo_idx, 0.0, static_cast<double>(nbins - 1)));
+    const auto last = static_cast<std::size_t>(
+        std::clamp(hi_idx, 0.0, static_cast<double>(nbins - 1)));
+    return {first, last};
+}
+
+} // namespace
 
 double
 Trace::bandPower(double lo_hz, double hi_hz) const
 {
     SAVAT_ASSERT(hi_hz >= lo_hz, "inverted band");
     SAVAT_METRIC_COUNT("spectrum.band_integrations");
+    if (psd.empty())
+        return 0.0;
+    const auto [first, last] =
+        clampedBinRange(startHz, binHz, psd.size(), lo_hz, hi_hz);
+
+    // Partial edge bins integrate their exact overlap; the interior
+    // run of fully-covered bins goes through the lane-strided sum
+    // kernel (bit-exact across dispatch levels) times the bin width.
     double power = 0.0;
-    for (std::size_t i = 0; i < psd.size(); ++i) {
+    std::size_t i = first;
+    for (; i <= last; ++i) {
+        const double lo = frequency(i) - 0.5 * binHz;
+        const double hi = frequency(i) + 0.5 * binHz;
+        if (lo >= lo_hz && hi <= hi_hz)
+            break; // start of the fully-covered run
+        const double olo = std::max(lo, lo_hz);
+        const double ohi = std::min(hi, hi_hz);
+        if (ohi > olo)
+            power += psd[i] * (ohi - olo);
+    }
+    std::size_t fullEnd = i;
+    while (fullEnd <= last) {
+        const double lo = frequency(fullEnd) - 0.5 * binHz;
+        const double hi = frequency(fullEnd) + 0.5 * binHz;
+        if (!(lo >= lo_hz && hi <= hi_hz))
+            break;
+        ++fullEnd;
+    }
+    if (fullEnd > i)
+        power += dsp::simd::kernels().sum(psd.data() + i,
+                                          fullEnd - i) *
+                 binHz;
+    for (i = fullEnd; i <= last && i < psd.size(); ++i) {
         const double lo = frequency(i) - 0.5 * binHz;
         const double hi = frequency(i) + 0.5 * binHz;
         const double olo = std::max(lo, lo_hz);
@@ -30,7 +89,11 @@ Trace::peakFrequency(double lo_hz, double hi_hz) const
 {
     double best_f = lo_hz;
     double best_v = -1.0;
-    for (std::size_t i = 0; i < psd.size(); ++i) {
+    if (psd.empty())
+        return best_f;
+    const auto [first, last] =
+        clampedBinRange(startHz, binHz, psd.size(), lo_hz, hi_hz);
+    for (std::size_t i = first; i <= last; ++i) {
         const double f = frequency(i);
         if (f < lo_hz || f > hi_hz)
             continue;
@@ -46,7 +109,11 @@ double
 Trace::peakPsd(double lo_hz, double hi_hz) const
 {
     double best_v = 0.0;
-    for (std::size_t i = 0; i < psd.size(); ++i) {
+    if (psd.empty())
+        return best_v;
+    const auto [first, last] =
+        clampedBinRange(startHz, binHz, psd.size(), lo_hz, hi_hz);
+    for (std::size_t i = first; i <= last; ++i) {
         const double f = frequency(i);
         if (f >= lo_hz && f <= hi_hz)
             best_v = std::max(best_v, psd[i]);
@@ -74,16 +141,18 @@ SpectrumAnalyzer::measure(const em::NarrowbandSpectrum &incident,
 
 void
 SpectrumAnalyzer::measureInto(const em::NarrowbandSpectrum &incident,
-                              Rng &rng, Trace &out) const
+                              Rng &rng, Trace &out,
+                              support::Arena *arena) const
 {
     sweepInto(incident.startHz, incident.binHz, incident.psd.data(),
-              incident.size(), rng, out);
+              incident.size(), rng, out, arena);
 }
 
 void
 SpectrumAnalyzer::sweepInto(double startHz, double binHz,
                             const double *psd, std::size_t bins,
-                            Rng &rng, Trace &out) const
+                            Rng &rng, Trace &out,
+                            support::Arena *arena) const
 {
     SAVAT_ASSERT(binHz > 0.0, "non-positive incident bin width");
     out.binHz = binHz;
@@ -95,16 +164,107 @@ SpectrumAnalyzer::sweepInto(double startHz, double binHz,
     SAVAT_METRIC_COUNT("spectrum.sweeps");
     SAVAT_METRIC_ADD("spectrum.bins_swept", nbins);
 
-    const double end_hz =
-        bins == 0 ? startHz
-                  : startHz + static_cast<double>(bins - 1) * binHz;
-
     // Gaussian RBW filter: each displayed bin integrates the
     // incident PSD weighted by the RBW shape centered on the bin.
     // sigma chosen so the -3 dB width equals the RBW.
     const double sigma = _config.rbwHz / 2.3548;
     const int reach = std::max(
         1, static_cast<int>(std::ceil(3.0 * sigma / binHz)));
+    const double rbwFactor =
+        _config.rbwHz >= binHz ? 1.0 : _config.rbwHz / binHz;
+
+    // Aligned-grid fast path: when display and incident grids are
+    // the same grid (the campaign default: both start at f0 - span/2
+    // with 1 Hz bins), the filter collapses to 2*reach + 1 fixed
+    // taps applied as one axpy pass per tap -- vectorized across
+    // bins, bit-exact across dispatch levels, and identical for any
+    // --jobs value since the alignment decision depends only on the
+    // sweep geometry.
+    const bool aligned =
+        bins == nbins && out.startHz == startHz && out.binHz == binHz;
+    if (aligned) {
+        const auto &kern = dsp::simd::kernels();
+        const std::size_t r = static_cast<std::size_t>(reach);
+        double tapsLocal[33];
+        std::vector<double> tapsBig;
+        double *taps = tapsLocal;
+        if (2 * r + 1 > 33) {
+            tapsBig.resize(2 * r + 1);
+            taps = tapsBig.data();
+        }
+        double wsumFull = 0.0;
+        for (int k = -reach; k <= reach; ++k) {
+            const double df = static_cast<double>(k) * binHz;
+            taps[k + reach] =
+                std::exp(-0.5 * (df / sigma) * (df / sigma));
+            wsumFull += taps[k + reach];
+        }
+
+        // Edge bins: partial tap windows, scalar, in tap order.
+        auto edgeBin = [&](std::size_t i) {
+            double acc = 0.0;
+            double wsum = 0.0;
+            for (int k = -reach; k <= reach; ++k) {
+                const std::ptrdiff_t j =
+                    static_cast<std::ptrdiff_t>(i) + k;
+                if (j < 0 || j >= static_cast<std::ptrdiff_t>(bins))
+                    continue;
+                acc += taps[k + reach] *
+                       psd[static_cast<std::size_t>(j)];
+                wsum += taps[k + reach];
+            }
+            if (wsum > 0.0)
+                out.psd[i] = acc / wsum * rbwFactor;
+        };
+        const std::size_t lastEdge = std::min(nbins, r);
+        for (std::size_t i = 0; i < lastEdge; ++i)
+            edgeBin(i);
+        if (nbins > 2 * r) {
+            // Interior: one axpy pass per tap, in tap order, so the
+            // per-bin accumulation order matches the scalar filter.
+            const std::size_t len = nbins - 2 * r;
+            for (int k = -reach; k <= reach; ++k)
+                kern.axpy(taps[k + reach],
+                          psd + static_cast<std::size_t>(
+                                    static_cast<std::ptrdiff_t>(r) + k),
+                          out.psd.data() + r, len);
+            for (std::size_t i = r; i < nbins - r; ++i)
+                out.psd[i] = out.psd[i] / wsumFull * rbwFactor;
+            for (std::size_t i = nbins - r; i < nbins; ++i)
+                edgeBin(i);
+        } else {
+            for (std::size_t i = lastEdge; i < nbins; ++i)
+                edgeBin(i);
+        }
+
+        // Instrument noise: the uniforms are staged in bin order
+        // (preserving the RNG stream), then transformed through the
+        // vectorized -log kernel.
+        double *ubuf;
+        std::vector<double> fallback;
+        if (arena != nullptr) {
+            ubuf = arena->alloc<double>(nbins);
+        } else {
+            fallback.resize(nbins);
+            ubuf = fallback.data();
+        }
+        for (std::size_t i = 0; i < nbins; ++i) {
+            double u;
+            do {
+                u = rng.uniform();
+            } while (u <= 0.0);
+            ubuf[i] = u;
+        }
+        kern.negLogAccum(_config.noiseFloorWPerHz, ubuf,
+                         out.psd.data(), nbins);
+        return;
+    }
+
+    // Legacy path for arbitrary incident grids: per-bin Gaussian
+    // window around the nearest incident bin.
+    const double end_hz =
+        bins == 0 ? startHz
+                  : startHz + static_cast<double>(bins - 1) * binHz;
 
     for (std::size_t i = 0; i < nbins; ++i) {
         const double f = out.frequency(i);
@@ -130,10 +290,7 @@ SpectrumAnalyzer::sweepInto(double startHz, double binHz,
                 wsum += w;
             }
             if (wsum > 0.0)
-                out.psd[i] = acc / wsum *
-                    (_config.rbwHz >= binHz
-                         ? 1.0
-                         : _config.rbwHz / binHz);
+                out.psd[i] = acc / wsum * rbwFactor;
         }
         // Instrument noise: exponentially distributed around the
         // configured displayed-average-noise-level.

@@ -20,6 +20,10 @@
 #include "support/rng.hh"
 #include "support/units.hh"
 
+namespace savat::support {
+class Arena;
+} // namespace savat::support
+
 namespace savat::spectrum {
 
 /** Sweep configuration. */
@@ -73,10 +77,13 @@ class SpectrumAnalyzer
     /**
      * Same measurement written into a caller-owned trace, reusing
      * its bin storage. Campaign repetition loops call this with a
-     * per-worker scratch trace so a sweep costs no allocation.
+     * per-worker scratch trace so a sweep costs no allocation. The
+     * optional arena provides the noise-staging scratch buffer; when
+     * absent a local buffer is allocated.
      */
     void measureInto(const em::NarrowbandSpectrum &incident, Rng &rng,
-                     Trace &out) const;
+                     Trace &out,
+                     support::Arena *arena = nullptr) const;
 
     /**
      * Chain-agnostic sweep entry point: identical to measureInto()
@@ -90,7 +97,8 @@ class SpectrumAnalyzer
      * @param bins    Number of incident bins.
      */
     void sweepInto(double startHz, double binHz, const double *psd,
-                   std::size_t bins, Rng &rng, Trace &out) const;
+                   std::size_t bins, Rng &rng, Trace &out,
+                   support::Arena *arena = nullptr) const;
 
     const SweepConfig &config() const { return _config; }
 

@@ -1,0 +1,101 @@
+#include "support/arena.hh"
+
+#include <cstdlib>
+#include <new>
+
+namespace savat::support {
+
+namespace {
+
+constexpr std::size_t
+alignUp(std::size_t v, std::size_t align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+} // namespace
+
+Arena::Arena(std::size_t firstPageBytes)
+    : _firstPageBytes(firstPageBytes ? firstPageBytes
+                                     : kDefaultPageBytes)
+{
+}
+
+Arena::~Arena()
+{
+    Page *p = _head;
+    while (p != nullptr) {
+        Page *next = p->next;
+        ::operator delete(p);
+        p = next;
+    }
+}
+
+Arena::Page *
+Arena::newPage(std::size_t payloadBytes)
+{
+    const std::size_t header = alignUp(sizeof(Page), alignof(std::max_align_t));
+    auto *raw = static_cast<std::uint8_t *>(
+        ::operator new(header + payloadBytes));
+    auto *page = new (raw) Page{nullptr, payloadBytes};
+    _capacity += payloadBytes;
+    _cursor = raw + header;
+    _limit = _cursor + payloadBytes;
+    return page;
+}
+
+void *
+Arena::allocate(std::size_t bytes, std::size_t align)
+{
+    if (bytes == 0)
+        bytes = 1;
+    auto addr = reinterpret_cast<std::uintptr_t>(_cursor);
+    const std::size_t pad =
+        _head ? alignUp(addr, align) - addr : 0;
+    if (_head == nullptr || _cursor + pad + bytes > _limit) {
+        // Grow geometrically so a rep that outgrows the initial page
+        // settles after O(log) page allocations; reset() then fuses
+        // the pages so the steady state is a single page.
+        std::size_t want = _capacity ? _capacity : _firstPageBytes;
+        if (want < bytes + align)
+            want = bytes + align;
+        Page *page = newPage(want);
+        page->next = _head;
+        _head = page;
+        addr = reinterpret_cast<std::uintptr_t>(_cursor);
+        _cursor += alignUp(addr, align) - addr;
+    } else {
+        _cursor += pad;
+    }
+    void *out = _cursor;
+    _cursor += bytes;
+    _used += bytes;
+    return out;
+}
+
+void
+Arena::reset()
+{
+    _used = 0;
+    if (_head == nullptr)
+        return;
+    if (_head->next != nullptr) {
+        // Coalesce: replace the page chain with one page covering
+        // the whole high-water footprint.
+        const std::size_t total = _capacity;
+        Page *p = _head;
+        while (p != nullptr) {
+            Page *next = p->next;
+            ::operator delete(p);
+            p = next;
+        }
+        _capacity = 0;
+        _head = newPage(total);
+        return;
+    }
+    const std::size_t header = alignUp(sizeof(Page), alignof(std::max_align_t));
+    _cursor = reinterpret_cast<std::uint8_t *>(_head) + header;
+    _limit = _cursor + _head->size;
+}
+
+} // namespace savat::support

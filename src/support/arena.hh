@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Monotonic bump arena with a reusable high-water-mark pool.
+ *
+ * The measurement rep loop allocates the same set of scratch buffers
+ * (synthesis bins, staged RNG draws, FFT workspaces) thousands of
+ * times per campaign cell. A per-rep Arena turns all of those into
+ * pointer bumps: allocation is monotonic within a rep, and reset()
+ * between reps recycles the arena's pages instead of returning them
+ * to the heap. After the first rep has established the high-water
+ * mark the arena never touches the global allocator again, which is
+ * what lets tests/test_alloc.cc pin the steady-state rep loop at
+ * zero heap allocations.
+ *
+ * Only trivially-destructible payloads are supported (the arena
+ * never runs destructors); alloc<T>() enforces this at compile time.
+ */
+
+#ifndef SAVAT_SUPPORT_ARENA_HH
+#define SAVAT_SUPPORT_ARENA_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+
+namespace savat::support {
+
+class Arena
+{
+  public:
+    /** Default size of the first page (grows geometrically). */
+    static constexpr std::size_t kDefaultPageBytes = 64 * 1024;
+
+    explicit Arena(std::size_t firstPageBytes = kDefaultPageBytes);
+    ~Arena();
+
+    Arena(const Arena &) = delete;
+    Arena &operator=(const Arena &) = delete;
+
+    /** Raw bump allocation; align must be a power of two. */
+    void *allocate(std::size_t bytes, std::size_t align);
+
+    /** Typed allocation of n default-initialized (raw) elements. */
+    template <typename T>
+    T *
+    alloc(std::size_t n)
+    {
+        static_assert(std::is_trivially_destructible_v<T>,
+                      "Arena never runs destructors");
+        return static_cast<T *>(allocate(n * sizeof(T), alignof(T)));
+    }
+
+    /**
+     * Recycle every page for the next rep. Pages are kept, so once
+     * the arena has grown to the rep's high-water mark subsequent
+     * reps allocate nothing from the heap. When the rep needed more
+     * than one page the pages are coalesced into a single page of
+     * the combined size, so the steady state is one page and one
+     * bump pointer.
+     */
+    void reset();
+
+    /** Bytes handed out since the last reset(). */
+    std::size_t used() const { return _used; }
+
+    /** Total bytes of pages owned (the high-water capacity). */
+    std::size_t capacity() const { return _capacity; }
+
+  private:
+    struct Page {
+        Page *next;
+        std::size_t size; // payload bytes following the header
+    };
+
+    Page *newPage(std::size_t payloadBytes);
+
+    Page *_head = nullptr;      // current page being bumped
+    std::uint8_t *_cursor = nullptr;
+    std::uint8_t *_limit = nullptr;
+    std::size_t _used = 0;
+    std::size_t _capacity = 0;
+    std::size_t _firstPageBytes;
+};
+
+} // namespace savat::support
+
+#endif // SAVAT_SUPPORT_ARENA_HH

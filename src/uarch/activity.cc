@@ -34,8 +34,8 @@ microEventName(MicroEvent ev)
 }
 
 void
-ActivityTrace::record(MicroEvent ev, std::uint64_t start,
-                      std::uint32_t duration)
+ActivityTrace::recordImpl(MicroEvent ev, std::uint64_t start,
+                          std::uint32_t duration)
 {
     SAVAT_ASSERT(duration >= 1, "zero-duration activity event");
     _events.push_back({ev, duration, start});
@@ -112,8 +112,23 @@ ActivityTrace::weightedWaveform(
     const std::array<double, kNumMicroEvents> &weights, std::uint64_t begin,
     std::uint64_t end) const
 {
+    std::vector<double> out;
+    weightedWaveformInto(weights, begin, end, out);
+    return out;
+}
+
+void
+ActivityTrace::weightedWaveformInto(
+    const std::array<double, kNumMicroEvents> &weights,
+    std::uint64_t begin, std::uint64_t end,
+    std::vector<double> &out) const
+{
     SAVAT_ASSERT(end > begin, "empty window");
-    std::vector<double> out(end - begin, 0.0);
+    const std::size_t n = static_cast<std::size_t>(end - begin);
+    // Difference array with one sentinel slot for events ending at
+    // the window edge; the prefix sum turns edge pairs into the
+    // dense per-cycle activity.
+    out.assign(n + 1, 0.0);
     for (const auto &e : _events) {
         const double w = weights[static_cast<std::size_t>(e.ev)];
         if (w == 0.0)
@@ -122,10 +137,17 @@ ActivityTrace::weightedWaveform(
         const std::uint64_t t = e.start + e.duration;
         const std::uint64_t lo = std::max(s, begin);
         const std::uint64_t hi = std::min(t, end);
-        for (std::uint64_t c = lo; c < hi; ++c)
-            out[c - begin] += w;
+        if (hi > lo) {
+            out[static_cast<std::size_t>(lo - begin)] += w;
+            out[static_cast<std::size_t>(hi - begin)] -= w;
+        }
     }
-    return out;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        acc += out[i];
+        out[i] = acc;
+    }
+    out.resize(n);
 }
 
 } // namespace savat::uarch

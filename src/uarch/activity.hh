@@ -49,14 +49,22 @@ inline constexpr std::size_t kNumMicroEvents =
 /** Short name of a MicroEvent ("L2Read", ...). */
 const char *microEventName(MicroEvent ev);
 
-/** Receiver of activity events. */
+/**
+ * Receiver of activity events.
+ *
+ * The enabled flag gates delivery BEFORE the virtual dispatch: the
+ * simulator's per-event hot path pays one inline branch while the
+ * sink is disabled (cache warm-up, functional-only runs) instead of
+ * a virtual call per event.
+ */
 class ActivitySink
 {
   public:
+    explicit ActivitySink(bool enabled = true) : _enabled(enabled) {}
     virtual ~ActivitySink() = default;
 
     /**
-     * Record one event.
+     * Record one event (delivered only while enabled).
      *
      * @param ev       Event kind.
      * @param start    Cycle at which the activity begins.
@@ -66,15 +74,36 @@ class ActivitySink
      *                 iterates for 39 cycles switches 39 cycles'
      *                 worth of logic, not one).
      */
-    virtual void record(MicroEvent ev, std::uint64_t start,
-                        std::uint32_t duration) = 0;
+    void record(MicroEvent ev, std::uint64_t start,
+                std::uint32_t duration)
+    {
+        if (_enabled)
+            recordImpl(ev, start, duration);
+    }
+
+    bool enabled() const { return _enabled; }
+    void setEnabled(bool on) { _enabled = on; }
+
+  protected:
+    /** Delivery of one event while enabled. */
+    virtual void recordImpl(MicroEvent ev, std::uint64_t start,
+                            std::uint32_t duration) = 0;
+
+  private:
+    bool _enabled;
 };
 
-/** ActivitySink that discards everything (for functional-only runs). */
+/** ActivitySink that discards everything (for functional-only runs).
+ * Constructed disabled, so recording costs one predictable branch. */
 class NullActivitySink : public ActivitySink
 {
   public:
-    void record(MicroEvent, std::uint64_t, std::uint32_t) override {}
+    NullActivitySink() : ActivitySink(false) {}
+
+  protected:
+    void recordImpl(MicroEvent, std::uint64_t, std::uint32_t) override
+    {
+    }
 };
 
 /** One recorded event. */
@@ -96,9 +125,6 @@ struct ActivityEvent
 class ActivityTrace : public ActivitySink
 {
   public:
-    void record(MicroEvent ev, std::uint64_t start,
-                std::uint32_t duration) override;
-
     /** Drop all recorded events. */
     void clear();
 
@@ -138,6 +164,22 @@ class ActivityTrace : public ActivitySink
     std::vector<double>
     weightedWaveform(const std::array<double, kNumMicroEvents> &weights,
                      std::uint64_t begin, std::uint64_t end) const;
+
+    /**
+     * weightedWaveform() into a caller-owned buffer (resized to the
+     * window length), so repeated extractions over the same trace
+     * reuse one allocation. Built as a difference array followed by
+     * a prefix sum: O(events + window) instead of O(total event
+     * durations).
+     */
+    void weightedWaveformInto(
+        const std::array<double, kNumMicroEvents> &weights,
+        std::uint64_t begin, std::uint64_t end,
+        std::vector<double> &out) const;
+
+  protected:
+    void recordImpl(MicroEvent ev, std::uint64_t start,
+                    std::uint32_t duration) override;
 
   private:
     std::vector<ActivityEvent> _events;

@@ -95,14 +95,20 @@ SimpleCpu::run(const isa::Program &program, RunLimits limits)
     bool halted = false;
     bool stop = false;
 
+    // The dispatch loop reads straight from the instruction array;
+    // hoisting the base pointer and size out of the loop removes a
+    // bounds-checked accessor call per retired instruction.
+    const Instruction *code = program.instructions().data();
+    const std::uint64_t code_size = program.size();
+
     while (!halted && !stop && res.instructions < limits.maxInstructions &&
            res.cycles < limits.maxCycles) {
-        if (pc >= program.size()) {
+        if (pc >= code_size) {
             // Falling off the end behaves like hlt.
             halted = true;
             break;
         }
-        const Instruction &inst = program.at(pc);
+        const Instruction &inst = code[pc];
         const std::uint32_t latency = execute(inst, pc, halted, stop);
         if (latency > 0) {
             _sink.record(MicroEvent::IFetch, _cycle, 1);

@@ -1,5 +1,7 @@
 #include "uarch/memory.hh"
 
+#include <algorithm>
+#include <array>
 #include <cstring>
 
 #include "support/logging.hh"
@@ -10,13 +12,17 @@ std::uint8_t *
 SparseMemory::pageFor(std::uint64_t addr) const
 {
     const std::uint64_t page = addr / kPageBytes;
+    if (page == _lastPage)
+        return _lastData;
     auto it = _pages.find(page);
     if (it == _pages.end()) {
         auto mem = std::make_unique<std::uint8_t[]>(kPageBytes);
         std::memset(mem.get(), 0, kPageBytes);
         it = _pages.emplace(page, std::move(mem)).first;
     }
-    return it->second.get();
+    _lastPage = page;
+    _lastData = it->second.get();
+    return _lastData;
 }
 
 std::uint8_t
@@ -31,9 +37,32 @@ SparseMemory::writeByte(std::uint64_t addr, std::uint8_t value)
     pageFor(addr)[addr % kPageBytes] = value;
 }
 
+namespace {
+
+/** The word's little-endian byte image (the layout readWord /
+ * writeWord define, independent of the host byte order). */
+inline std::array<std::uint8_t, 4>
+wordBytes(std::uint32_t value)
+{
+    return {static_cast<std::uint8_t>(value),
+            static_cast<std::uint8_t>(value >> 8),
+            static_cast<std::uint8_t>(value >> 16),
+            static_cast<std::uint8_t>(value >> 24)};
+}
+
+} // namespace
+
 std::uint32_t
 SparseMemory::readWord(std::uint64_t addr) const
 {
+    const std::uint64_t off = addr % kPageBytes;
+    if (off + 4 <= kPageBytes) {
+        const std::uint8_t *p = pageFor(addr) + off;
+        return static_cast<std::uint32_t>(p[0]) |
+               (static_cast<std::uint32_t>(p[1]) << 8) |
+               (static_cast<std::uint32_t>(p[2]) << 16) |
+               (static_cast<std::uint32_t>(p[3]) << 24);
+    }
     std::uint32_t v = 0;
     for (int i = 3; i >= 0; --i)
         v = (v << 8) | readByte(addr + static_cast<std::uint64_t>(i));
@@ -43,9 +72,39 @@ SparseMemory::readWord(std::uint64_t addr) const
 void
 SparseMemory::writeWord(std::uint64_t addr, std::uint32_t value)
 {
+    const std::uint64_t off = addr % kPageBytes;
+    if (off + 4 <= kPageBytes) {
+        const auto bytes = wordBytes(value);
+        std::memcpy(pageFor(addr) + off, bytes.data(), 4);
+        return;
+    }
     for (int i = 0; i < 4; ++i) {
         writeByte(addr + static_cast<std::uint64_t>(i),
                   static_cast<std::uint8_t>(value >> (8 * i)));
+    }
+}
+
+void
+SparseMemory::fillWords(std::uint64_t addr, std::uint32_t value,
+                        std::uint64_t count)
+{
+    const auto bytes = wordBytes(value);
+    while (count > 0) {
+        const std::uint64_t off = addr % kPageBytes;
+        const std::uint64_t fit = (kPageBytes - off) / 4;
+        if (fit == 0) {
+            // Word straddles the page boundary.
+            writeWord(addr, value);
+            addr += 4;
+            --count;
+            continue;
+        }
+        std::uint8_t *p = pageFor(addr) + off;
+        const std::uint64_t here = std::min(count, fit);
+        for (std::uint64_t w = 0; w < here; ++w)
+            std::memcpy(p + 4 * w, bytes.data(), 4);
+        addr += 4 * here;
+        count -= here;
     }
 }
 

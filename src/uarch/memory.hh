@@ -32,12 +32,26 @@ class SparseMemory
     std::uint32_t readWord(std::uint64_t addr) const;
     void writeWord(std::uint64_t addr, std::uint32_t value);
 
+    /**
+     * Bulk store of `count` copies of a little-endian word starting
+     * at addr (same byte layout as count writeWord() calls 4 bytes
+     * apart). Resolves each page once, so prefilling a multi-MiB
+     * footprint does not pay a hash lookup per word.
+     */
+    void fillWords(std::uint64_t addr, std::uint32_t value,
+                   std::uint64_t count);
+
     /** Number of pages materialized so far. */
     std::size_t pageCount() const { return _pages.size(); }
 
   private:
     using Page = std::unique_ptr<std::uint8_t[]>;
     mutable std::unordered_map<std::uint64_t, Page> _pages;
+
+    /** One-entry page cache: kernel sweeps touch runs of addresses
+     * on the same page, so most lookups skip the hash map. */
+    mutable std::uint64_t _lastPage = ~std::uint64_t{0};
+    mutable std::uint8_t *_lastData = nullptr;
 
     std::uint8_t *pageFor(std::uint64_t addr) const;
 };

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Instrumented-allocator test: the steady-state measurement loop
+ * (Synthesize → Sweep → BandIntegrate via SavatMeter::measureValue
+ * with a reused pipeline::MeasureScratch) must not touch the heap.
+ *
+ * Global operator new/delete are replaced with counting wrappers;
+ * after a few warm-up repetitions grow every scratch buffer to its
+ * high-water mark, further repetitions are required to perform zero
+ * allocations. This pins the arena/scratch reuse contract that the
+ * per-cell speedup depends on — a stray std::vector temporary in the
+ * hot path fails the test immediately.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "core/meter.hh"
+#include "pipeline/config.hh"
+#include "pipeline/stages.hh"
+#include "support/rng.hh"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocs{0};
+std::atomic<std::uint64_t> g_frees{0};
+
+} // namespace
+
+// noinline keeps the replacement pair opaque at call sites; inlined
+// copies trip GCC's -Wmismatched-new-delete on the internal
+// malloc/free, which is exactly the matched pair here.
+#if defined(__GNUC__)
+#define SAVAT_TEST_NOINLINE __attribute__((noinline))
+#else
+#define SAVAT_TEST_NOINLINE
+#endif
+
+SAVAT_TEST_NOINLINE void *
+operator new(std::size_t size)
+{
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(size ? size : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+SAVAT_TEST_NOINLINE void *
+operator new[](std::size_t size)
+{
+    return ::operator new(size);
+}
+
+SAVAT_TEST_NOINLINE void
+operator delete(void *p) noexcept
+{
+    if (p) {
+        g_frees.fetch_add(1, std::memory_order_relaxed);
+        std::free(p);
+    }
+}
+
+SAVAT_TEST_NOINLINE void
+operator delete[](void *p) noexcept
+{
+    ::operator delete(p);
+}
+
+SAVAT_TEST_NOINLINE void
+operator delete(void *p, std::size_t) noexcept
+{
+    ::operator delete(p);
+}
+
+SAVAT_TEST_NOINLINE void
+operator delete[](void *p, std::size_t) noexcept
+{
+    ::operator delete(p);
+}
+
+namespace savat {
+namespace {
+
+using kernels::EventKind;
+
+constexpr std::size_t kWarmReps = 3;
+constexpr std::size_t kSteadyReps = 16;
+
+/** Allocations made while running `reps` repetitions. */
+std::uint64_t
+allocationsDuring(const core::SavatMeter &meter,
+                  const pipeline::PairSimulation &sim, Rng &rng,
+                  pipeline::MeasureScratch &scratch, std::size_t reps)
+{
+    const std::uint64_t before =
+        g_allocs.load(std::memory_order_relaxed);
+    double sink = 0.0;
+    for (std::size_t r = 0; r < reps; ++r)
+        sink += meter.measureValue(sim, rng, scratch, r).savat.inJoules();
+    EXPECT_TRUE(sink == sink) << "NaN SAVAT in allocation probe";
+    return g_allocs.load(std::memory_order_relaxed) - before;
+}
+
+TEST(SteadyStateAllocations, EmChainRepLoopIsHeapFree)
+{
+    auto meter = core::SavatMeter::forMachine("core2duo");
+    const auto &sim = meter.simulatePair(EventKind::ADD, EventKind::LDM);
+
+    Rng rng(7);
+    pipeline::MeasureScratch scratch;
+    allocationsDuring(meter, sim, rng, scratch, kWarmReps);
+
+    const std::uint64_t steady =
+        allocationsDuring(meter, sim, rng, scratch, kSteadyReps);
+    EXPECT_EQ(steady, 0u)
+        << steady << " heap allocations across " << kSteadyReps
+        << " steady-state EM repetitions (expected zero)";
+}
+
+TEST(SteadyStateAllocations, PowerChainRepLoopIsHeapFree)
+{
+    pipeline::MeasureConfig cfg;
+    cfg.channel = pipeline::ChannelKind::Power;
+    auto meter = core::SavatMeter::forMachine("core2duo", cfg);
+    const auto &sim = meter.simulatePair(EventKind::ADD, EventKind::LDM);
+
+    Rng rng(11);
+    pipeline::MeasureScratch scratch;
+    allocationsDuring(meter, sim, rng, scratch, kWarmReps);
+
+    const std::uint64_t steady =
+        allocationsDuring(meter, sim, rng, scratch, kSteadyReps);
+    EXPECT_EQ(steady, 0u)
+        << steady << " heap allocations across " << kSteadyReps
+        << " steady-state power repetitions (expected zero)";
+}
+
+TEST(SteadyStateAllocations, CountersActuallyCount)
+{
+    const std::uint64_t before =
+        g_allocs.load(std::memory_order_relaxed);
+    auto *p = new int(42);
+    const std::uint64_t after =
+        g_allocs.load(std::memory_order_relaxed);
+    delete p;
+    EXPECT_GT(after, before)
+        << "operator new instrumentation is not active";
+    EXPECT_GT(g_frees.load(std::memory_order_relaxed), 0u);
+}
+
+} // namespace
+} // namespace savat

@@ -276,7 +276,7 @@ TEST(ReplayDeathTest, UnrecordedPairIsFatal)
     sim.b = EventKind::ADD;
     sim.state = pipeline::CellState::Measured;
     Rng rng(1);
-    spectrum::Trace scratch;
+    pipeline::MeasureScratch scratch;
     EXPECT_EXIT(chain.measure(sim, 0, rng, scratch),
                 ::testing::KilledBySignal(SIGABRT),
                 "was not recorded");

@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Tests for the runtime-dispatched SIMD kernel layer.
+ *
+ * Two layers of guarantees:
+ *  - kernel level: every dispatch level produces BIT-IDENTICAL
+ *    output for every kernel (the fixed-shape reduction-tree
+ *    contract of DESIGN.md §5h), and the kernels are numerically
+ *    correct against naive references;
+ *  - campaign level: the full EM campaign matrix is byte-identical
+ *    to the checked-in golden fixture under every available level
+ *    (the dispatch-matrix gate).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/campaign.hh"
+#include "core/report.hh"
+#include "dsp/fft.hh"
+#include "dsp/simd.hh"
+#include "support/arena.hh"
+#include "support/rng.hh"
+
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+using namespace savat;
+using dsp::simd::Level;
+
+namespace {
+
+std::vector<Level>
+availableLevels()
+{
+    std::vector<Level> out;
+    for (Level l : {Level::Scalar, Level::Sse2, Level::Avx2})
+        if (dsp::simd::supported(l))
+            out.push_back(l);
+    return out;
+}
+
+/** RAII: force a level, restore the default on scope exit. */
+class ForcedLevel
+{
+  public:
+    explicit ForcedLevel(Level l) : _saved(dsp::simd::active())
+    {
+        dsp::simd::forceLevel(l);
+    }
+    ~ForcedLevel() { dsp::simd::forceLevel(_saved); }
+
+  private:
+    Level _saved;
+};
+
+std::vector<double>
+randomVector(std::size_t n, std::uint64_t seed, double lo = -2.0,
+             double hi = 2.0)
+{
+    Rng rng(seed);
+    std::vector<double> v(n);
+    for (auto &x : v)
+        x = rng.uniform(lo, hi);
+    return v;
+}
+
+} // namespace
+
+TEST(Simd, ActiveLevelIsSupported)
+{
+    EXPECT_TRUE(dsp::simd::supported(dsp::simd::active()));
+    EXPECT_TRUE(dsp::simd::supported(Level::Scalar));
+}
+
+TEST(Simd, NegLogMatchesLibm)
+{
+    Rng rng(7);
+    for (int i = 0; i < 20000; ++i) {
+        double u = rng.uniform();
+        if (u <= 0.0)
+            continue;
+        const double got = dsp::simd::negLog(u);
+        const double want = -std::log(u);
+        EXPECT_NEAR(got, want, 4e-16 * (1.0 + std::abs(want)))
+            << "u=" << u;
+    }
+    // Extremes of the rng.uniform() support.
+    EXPECT_NEAR(dsp::simd::negLog(0x1.0p-53), 53.0 * std::log(2.0),
+                1e-13);
+    EXPECT_NEAR(dsp::simd::negLog(1.0), 0.0, 1e-300);
+}
+
+TEST(Simd, SumMatchesReductionTreeShape)
+{
+    // The contract is the fixed 4-lane strided tree, not naive
+    // left-to-right summation: verify against an explicit model.
+    for (std::size_t n : {0u, 1u, 3u, 4u, 7u, 33u, 1000u}) {
+        const auto x = randomVector(n, 11 + n);
+        double lane[4] = {0, 0, 0, 0};
+        for (std::size_t i = 0; i < n; ++i)
+            lane[i % 4] += x[i];
+        const double want = (lane[0] + lane[1]) + (lane[2] + lane[3]);
+        EXPECT_EQ(dsp::simd::kernels().sum(x.data(), n), want)
+            << "n=" << n;
+    }
+}
+
+TEST(Simd, KernelsBitExactAcrossLevels)
+{
+    const auto levels = availableLevels();
+    if (levels.size() < 2)
+        GTEST_SKIP() << "only one dispatch level available";
+
+    const std::size_t n = 1027; // odd tail on purpose
+    const auto x = randomVector(n, 1);
+    const auto w = randomVector(n, 2, 0.0, 1.0);
+    const auto u = randomVector(n, 3, 1e-12, 1.0);
+    std::vector<dsp::Complex> cbuf(n);
+    for (std::size_t i = 0; i < n; ++i)
+        cbuf[i] = dsp::Complex(x[i], w[i]);
+    // A power-of-two complex array for the FFT stage kernel.
+    const std::size_t fn = 256;
+    std::vector<dsp::Complex> fdata(fn), twiddle(fn / 2);
+    for (std::size_t i = 0; i < fn; ++i)
+        fdata[i] = dsp::Complex(x[i], w[i]);
+    for (std::size_t k = 0; k < fn / 2; ++k) {
+        const double ang =
+            -2.0 * M_PI * static_cast<double>(k) / fn;
+        twiddle[k] = dsp::Complex(std::cos(ang), std::sin(ang));
+    }
+
+    struct Snapshot {
+        double sum, sumSq;
+        std::vector<double> axpy, nlog, psd;
+        std::vector<dsp::Complex> winc, fft;
+        dsp::Complex dft;
+    };
+    auto runAll = [&](Level l) {
+        ForcedLevel forced(l);
+        const auto &k = dsp::simd::kernels();
+        Snapshot s;
+        s.sum = k.sum(x.data(), n);
+        s.sumSq = k.sumSquares(x.data(), n);
+        s.axpy = w;
+        k.axpy(1.7, x.data(), s.axpy.data(), n);
+        s.nlog = w;
+        k.negLogAccum(0.3, u.data(), s.nlog.data(), n);
+        s.winc.resize(n);
+        k.windowComplex(x.data(), w.data(), s.winc.data(), n);
+        s.psd = w;
+        k.accumPsd(cbuf.data(), 0.25, s.psd.data(), n);
+        s.fft = fdata;
+        for (std::size_t len = 2; len <= fn; len <<= 1)
+            k.fftStage(s.fft.data(), twiddle.data(), fn, len);
+        s.dft = k.toneDft(x.data(), n, dsp::Complex(0.9999, 0.0141));
+        return s;
+    };
+
+    const auto ref = runAll(levels[0]);
+    for (std::size_t li = 1; li < levels.size(); ++li) {
+        const auto got = runAll(levels[li]);
+        const char *name = dsp::simd::levelName(levels[li]);
+        EXPECT_EQ(std::memcmp(&ref.sum, &got.sum, sizeof(double)), 0)
+            << name;
+        EXPECT_EQ(
+            std::memcmp(&ref.sumSq, &got.sumSq, sizeof(double)), 0)
+            << name;
+        EXPECT_EQ(std::memcmp(ref.axpy.data(), got.axpy.data(),
+                              n * sizeof(double)),
+                  0)
+            << name << " axpy";
+        EXPECT_EQ(std::memcmp(ref.nlog.data(), got.nlog.data(),
+                              n * sizeof(double)),
+                  0)
+            << name << " negLogAccum";
+        EXPECT_EQ(std::memcmp(ref.winc.data(), got.winc.data(),
+                              n * sizeof(dsp::Complex)),
+                  0)
+            << name << " windowComplex";
+        EXPECT_EQ(std::memcmp(ref.psd.data(), got.psd.data(),
+                              n * sizeof(double)),
+                  0)
+            << name << " accumPsd";
+        EXPECT_EQ(std::memcmp(ref.fft.data(), got.fft.data(),
+                              fn * sizeof(dsp::Complex)),
+                  0)
+            << name << " fftStage";
+        EXPECT_EQ(std::memcmp(&ref.dft, &got.dft,
+                              sizeof(dsp::Complex)),
+                  0)
+            << name << " toneDft";
+    }
+}
+
+TEST(Simd, ToneDftMatchesNaiveDft)
+{
+    const std::size_t n = 9000;
+    const auto x = randomVector(n, 5);
+    const double freq = 0.0123;
+    const dsp::Complex step(std::cos(-2.0 * M_PI * freq),
+                            std::sin(-2.0 * M_PI * freq));
+    const auto got = dsp::simd::kernels().toneDft(x.data(), n, step);
+    dsp::Complex want(0.0, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double ang =
+            -2.0 * M_PI * freq * static_cast<double>(i);
+        want += x[i] * dsp::Complex(std::cos(ang), std::sin(ang));
+    }
+    EXPECT_NEAR(std::abs(got - want), 0.0, 1e-6 * n);
+}
+
+TEST(Arena, ResetReusesHighWaterPage)
+{
+    support::Arena arena(1024);
+    // Outgrow the first page so reset() has to coalesce.
+    for (int rep = 0; rep < 3; ++rep) {
+        double *a = arena.alloc<double>(1000);
+        double *b = arena.alloc<double>(5000);
+        a[0] = 1.0;
+        b[4999] = 2.0;
+        EXPECT_GE(arena.used(), 6000 * sizeof(double));
+        arena.reset();
+        EXPECT_EQ(arena.used(), 0u);
+    }
+    const std::size_t cap = arena.capacity();
+    // Steady state: same demand fits the coalesced page, capacity
+    // must not grow again.
+    for (int rep = 0; rep < 5; ++rep) {
+        arena.alloc<double>(1000);
+        arena.alloc<double>(5000);
+        arena.reset();
+    }
+    EXPECT_EQ(arena.capacity(), cap);
+}
+
+TEST(Arena, AlignmentRespected)
+{
+    support::Arena arena;
+    arena.alloc<char>(3);
+    auto *d = arena.alloc<double>(4);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(d) % alignof(double),
+              0u);
+    auto *c = arena.allocate(1, 64);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(c) % 64, 0u);
+}
+
+/**
+ * The dispatch-matrix gate: the full EM campaign matrix must be
+ * byte-identical to the checked-in golden fixture under every
+ * dispatch level this machine supports (scripts/check.sh re-runs
+ * the same matrix through savat_cli across SAVAT_SIMD values).
+ */
+TEST(SimdDispatchMatrix, GoldenFixtureByteIdentityPerLevel)
+{
+    std::ifstream in(SAVAT_SOURCE_DIR
+                     "/tests/data/golden_em_core2duo.fixture");
+    ASSERT_TRUE(in) << "golden fixture missing";
+    std::ostringstream want;
+    want << in.rdbuf();
+
+    for (Level l : availableLevels()) {
+        ForcedLevel forced(l);
+        core::CampaignConfig cfg;
+        cfg.repetitions = 2;
+        cfg.jobs = 1;
+        const auto res = core::runCampaign(cfg);
+        std::ostringstream got;
+        core::printMatrixFixture(got, res.matrix);
+        EXPECT_EQ(got.str(), want.str())
+            << "matrix diverges under SAVAT_SIMD="
+            << dsp::simd::levelName(l);
+    }
+}
