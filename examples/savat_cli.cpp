@@ -10,6 +10,7 @@
  *   savat_cli assess <profile-file> [options]
  *   savat_cli detect ADD LDM --uses 100 [options]
  *   savat_cli svf [options]
+ *   savat_cli report <journal>... [--format=json] [--serve PORT]
  *
  * Common options:
  *   --machine core2duo|pentium3m|turionx2   (default core2duo)
@@ -50,6 +51,20 @@
  *                                            text table, else JSON)
  *   --trace <path>                          (dump Chrome trace JSON
  *                                            at exit)
+ *   --journal <path>                        (campaign only: stream the
+ *                                            crash-safe run journal,
+ *                                            savat-run-journal-v1
+ *                                            JSONL; implies metrics)
+ *   --serve <port>                          (campaign: expose live
+ *                                            metrics over HTTP while
+ *                                            the run executes; report:
+ *                                            serve the aggregated
+ *                                            snapshot. Port 0 picks a
+ *                                            free port; the bound one
+ *                                            prints as "port=N")
+ *   --format table|json                     (report output format;
+ *                                            --format=json also
+ *                                            accepted)
  *
  * The SAVAT_METRICS / SAVAT_TRACE environment variables set the same
  * paths; the flags override them.
@@ -63,6 +78,7 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/assessment.hh"
@@ -71,7 +87,9 @@
 #include "core/detection.hh"
 #include "core/report.hh"
 #include "core/svf.hh"
+#include "support/httpd.hh"
 #include "support/io.hh"
+#include "support/journal.hh"
 #include "support/obs.hh"
 #include "support/progress.hh"
 #include "support/stats.hh"
@@ -99,6 +117,9 @@ struct Options
     int checkpointEvery = 10;
     std::string metrics;
     std::string trace;
+    std::string journal;
+    std::string format = "table";
+    int serve = -1; //!< HTTP port to expose metrics on; -1 = off
     std::vector<std::string> positional;
 };
 
@@ -108,7 +129,7 @@ usage()
     std::fprintf(
         stderr,
         "usage: savat_cli <events|measure|spectrum|campaign|replay|"
-        "assess|detect|svf> [args] [options]\n"
+        "assess|detect|svf|report> [args] [options]\n"
         "options: --machine M --distance CM --freq KHZ --reps N "
         "--jobs N --channel em|power --uses N\n"
         "         --record PATH (campaign: save traces for replay) "
@@ -118,7 +139,11 @@ usage()
         "         --fault-plan PLAN  (campaign fault injection, e.g. "
         "nan@every:5; also SAVAT_FAULT_PLAN)\n"
         "         --metrics PATH|- --trace PATH  (telemetry export; "
-        "also SAVAT_METRICS / SAVAT_TRACE)\n");
+        "also SAVAT_METRICS / SAVAT_TRACE)\n"
+        "         --journal PATH  (campaign: crash-safe JSONL run "
+        "journal; read back with `savat_cli report`)\n"
+        "         --serve PORT --format table|json  (report/campaign "
+        "metrics exposition)\n");
     std::exit(2);
 }
 
@@ -166,6 +191,14 @@ parseArgs(int argc, char **argv)
             opt.metrics = value();
         else if (arg == "--trace")
             opt.trace = value();
+        else if (arg == "--journal")
+            opt.journal = value();
+        else if (arg == "--serve")
+            opt.serve = std::atoi(value().c_str());
+        else if (arg == "--format")
+            opt.format = value();
+        else if (arg.rfind("--format=", 0) == 0)
+            opt.format = arg.substr(std::strlen("--format="));
         else if (arg == "--channel")
             opt.channel = value();
         else if (arg == "--power")
@@ -279,6 +312,26 @@ writeReport(const std::string &path, const char *what, PrintFn print)
     return true;
 }
 
+/** Serve a metrics snapshot: /metrics (Prometheus) or /metrics.json. */
+bool
+serveSnapshot(const obs::MetricsSnapshot &snap,
+              const std::string &path, std::string &contentType,
+              std::string &body)
+{
+    std::ostringstream os;
+    if (path == "/metrics" || path == "/") {
+        obs::writePrometheusText(os, snap);
+        contentType = "text/plain; version=0.0.4";
+    } else if (path == "/metrics.json") {
+        obs::writeMetricsJson(os, snap);
+        contentType = "application/json";
+    } else {
+        return false;
+    }
+    body = os.str();
+    return true;
+}
+
 int
 cmdCampaign(const Options &opt)
 {
@@ -297,10 +350,46 @@ cmdCampaign(const Options &opt)
     cfg.checkpointEvery =
         static_cast<std::size_t>(std::max(1, opt.checkpointEvery));
     cfg.faultPlan = opt.faultPlan;
+    cfg.journalPath = opt.journal;
+    // The journal's run-end event embeds the metrics snapshot (and
+    // the report layer feeds on the stage attribution), so --journal
+    // implies metrics collection even without --metrics.
+    if (!cfg.journalPath.empty())
+        obs::setMetricsEnabled(true);
     for (const auto &name : opt.positional)
         cfg.events.push_back(kernels::eventByName(name));
+
+    // Live exposition: scrape /metrics (Prometheus text) or
+    // /metrics.json while the campaign runs.
+    support::HttpServer server;
+    std::thread serverThread;
+    if (opt.serve >= 0) {
+        obs::setMetricsEnabled(true);
+        std::string error;
+        if (!server.start(
+                static_cast<std::uint16_t>(opt.serve),
+                [](const std::string &path, std::string &type,
+                   std::string &body) {
+                    return serveSnapshot(
+                        obs::Registry::instance().snapshot(), path,
+                        type, body);
+                },
+                &error)) {
+            std::fprintf(stderr, "cannot serve metrics: %s\n",
+                         error.c_str());
+            return 1;
+        }
+        std::printf("port=%d\n", server.port());
+        std::fflush(stdout);
+        serverThread = std::thread([&server] { server.serve(); });
+    }
+
     obs::ProgressMeter meter("campaign");
-    const auto res = core::runCampaign(cfg, meter.callback());
+    const auto res = core::runCampaign(cfg, {}, meter.sink());
+    if (serverThread.joinable()) {
+        server.stop();
+        serverThread.join();
+    }
     core::printMatrixTable(std::cout, res.matrix);
     std::cout << "\n";
     core::printMatrixHeatmap(std::cout, res.matrix);
@@ -425,6 +514,49 @@ cmdDetect(const Options &opt)
 }
 
 int
+cmdReport(const Options &opt)
+{
+    if (opt.positional.empty())
+        usage();
+    if (opt.format != "table" && opt.format != "json") {
+        std::fprintf(stderr,
+                     "unknown report format '%s' (table|json)\n",
+                     opt.format.c_str());
+        usage();
+    }
+    obs::RunReport report;
+    std::string error;
+    if (!obs::aggregateJournals(opt.positional, report, &error)) {
+        std::fprintf(stderr, "report: %s\n", error.c_str());
+        return 1;
+    }
+    if (opt.format == "json")
+        obs::writeReportJson(std::cout, report);
+    else
+        obs::writeReportTables(std::cout, report);
+    std::cout.flush();
+    if (opt.serve >= 0) {
+        support::HttpServer server;
+        if (!server.start(
+                static_cast<std::uint16_t>(opt.serve),
+                [&report](const std::string &path,
+                          std::string &type, std::string &body) {
+                    return serveSnapshot(report.metrics, path, type,
+                                         body);
+                },
+                &error)) {
+            std::fprintf(stderr, "cannot serve report: %s\n",
+                         error.c_str());
+            return 1;
+        }
+        std::printf("port=%d\n", server.port());
+        std::fflush(stdout);
+        server.serve(); // until killed; scripts background + kill
+    }
+    return 0;
+}
+
+int
 cmdSvf(const Options &opt)
 {
     const auto machine = uarch::machineById(opt.machine);
@@ -479,5 +611,7 @@ main(int argc, char **argv)
         return cmdDetect(opt);
     if (cmd == "svf")
         return cmdSvf(opt);
+    if (cmd == "report")
+        return cmdReport(opt);
     usage();
 }

@@ -57,3 +57,8 @@ python3 scripts/bench_append.py "$OUT" "$RAW" "$LABEL" "$BUILD_TYPE"
 
 echo
 echo "appended entry '$LABEL' to $OUT (metrics in $METRICS)"
+
+# Regression gate: the entry just appended must stay within 10% of
+# the previous one, benchmark by benchmark. Exits non-zero (and so
+# fails the run) on any real-time regression beyond the budget.
+python3 scripts/bench_compare.py "$OUT"

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Gate per-benchmark regressions against the benchmark trajectory.
+
+Usage: bench_compare.py TRAJECTORY [--threshold PCT]
+
+Reads a savat-bench-trajectory-v1 file (BENCH_campaign.json, as
+maintained by bench_append.py) and compares the newest entry against
+the one before it, benchmark by benchmark. Any benchmark whose
+real_time_ms grew by more than the threshold (default 10%) is a
+regression and the script exits non-zero, so bench.sh can fail a PR
+that slows the measurement hot path down.
+
+Benchmarks present in only one of the two entries are reported but
+never fatal: adding or retiring a benchmark is not a regression.
+With fewer than two entries there is nothing to compare; the script
+says so and exits 0 (the first recorded entry is the baseline).
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "savat-bench-trajectory-v1"
+
+
+def load_trajectory(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != SCHEMA:
+        sys.exit(f"error: {path}: expected schema {SCHEMA!r}, "
+                 f"got {doc.get('schema')!r}")
+    return doc.get("entries", [])
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="compare the two newest trajectory entries")
+    ap.add_argument("trajectory")
+    ap.add_argument("--threshold", type=float, default=10.0,
+                    help="allowed real-time growth in percent "
+                         "(default: 10)")
+    args = ap.parse_args()
+
+    entries = load_trajectory(args.trajectory)
+    if len(entries) < 2:
+        print(f"bench_compare: {args.trajectory} has "
+              f"{len(entries)} entr{'y' if len(entries) == 1 else 'ies'}; "
+              "nothing to compare (baseline run)")
+        return 0
+
+    prev, curr = entries[-2], entries[-1]
+    print(f"bench_compare: '{curr['label']}' vs '{prev['label']}' "
+          f"(threshold +{args.threshold:.0f}%)")
+
+    limit = 1.0 + args.threshold / 100.0
+    regressions = []
+    shared = sorted(set(prev["benchmarks"]) & set(curr["benchmarks"]))
+    for name in shared:
+        old = prev["benchmarks"][name]["real_time_ms"]
+        new = curr["benchmarks"][name]["real_time_ms"]
+        if old <= 0.0:
+            continue
+        ratio = new / old
+        verdict = "REGRESSION" if ratio > limit else "ok"
+        print(f"  {verdict:>10}  {name}: {old:.4g} -> {new:.4g} ms "
+              f"({(ratio - 1.0) * 100.0:+.1f}%)")
+        if ratio > limit:
+            regressions.append(name)
+
+    for name in sorted(set(curr["benchmarks"]) - set(prev["benchmarks"])):
+        print(f"       new   {name} (no baseline)")
+    for name in sorted(set(prev["benchmarks"]) - set(curr["benchmarks"])):
+        print(f"   retired   {name}")
+
+    if regressions:
+        print(f"bench_compare: {len(regressions)} benchmark(s) "
+              f"regressed beyond +{args.threshold:.0f}%: "
+              + ", ".join(regressions), file=sys.stderr)
+        return 1
+    print(f"bench_compare: {len(shared)} shared benchmark(s) within "
+          "budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

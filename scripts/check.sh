@@ -93,6 +93,72 @@ set -e
 cmp tests/data/golden_em_core2duo.fixture "$RESUME_DIR/resumed.fixture"
 echo "resumed campaign is byte-identical to the golden fixture"
 
+step "journal gate: bit-identity with journaling on + report sanity"
+JOURNAL_DIR=build/journal-gate
+rm -rf "$JOURNAL_DIR" && mkdir -p "$JOURNAL_DIR"
+# The run journal must never perturb the campaign: the full matrix
+# with --journal --metrics --trace on must stay byte-identical to
+# the golden fixture at jobs 1 and 4.
+for jobs in 1 4; do
+    ./build/examples/savat_cli campaign --reps 2 --jobs "$jobs" \
+        --journal "$JOURNAL_DIR/j${jobs}.jsonl" \
+        --metrics "$JOURNAL_DIR/m${jobs}.json" \
+        --trace "$JOURNAL_DIR/t${jobs}.json" \
+        --fixture "$JOURNAL_DIR/j${jobs}.fixture" >/dev/null
+    cmp tests/data/golden_em_core2duo.fixture \
+        "$JOURNAL_DIR/j${jobs}.fixture" ||
+        { echo "--journal --jobs $jobs diverges from golden"; exit 1; }
+done
+grep -q '"schema":"savat-run-journal-v1"' "$JOURNAL_DIR/j1.jsonl" ||
+    { echo "journal run-start lacks the v1 schema tag"; exit 1; }
+./build/examples/savat_cli report "$JOURNAL_DIR/j1.jsonl" \
+    > "$JOURNAL_DIR/report.txt"
+grep -q 'stage coverage' "$JOURNAL_DIR/report.txt" ||
+    { echo "report omits the stage-coverage line"; exit 1; }
+./build/examples/savat_cli report --format=json \
+    "$JOURNAL_DIR/j1.jsonl" > "$JOURNAL_DIR/report.json"
+python3 -m json.tool "$JOURNAL_DIR/report.json" >/dev/null
+grep -q '"schema": *"savat-run-report-v1"' "$JOURNAL_DIR/report.json" ||
+    { echo "report JSON lacks the v1 schema tag"; exit 1; }
+# Serial runs attribute (nearly) all wall time to stages; parallel
+# runs legitimately sum concurrent worker walls past 100%, so the
+# coverage band is asserted at jobs 1 only.
+python3 - "$JOURNAL_DIR/report.json" <<'EOF'
+import json, sys
+share = json.load(open(sys.argv[1]))["coverage"]["share"]
+print(f"jobs-1 stage coverage share: {share:.3f}")
+if not 0.80 <= share <= 1.10:
+    sys.exit(f"coverage share {share:.3f} outside the [0.80, 1.10] band")
+EOF
+if command -v curl >/dev/null 2>&1; then
+    ./build/examples/savat_cli report --serve 0 \
+        "$JOURNAL_DIR/j1.jsonl" > "$JOURNAL_DIR/serve.log" 2>&1 &
+    SERVE_PID=$!
+    PORT=""
+    for _ in $(seq 50); do
+        PORT="$(grep -o 'port=[0-9]*' "$JOURNAL_DIR/serve.log" |
+                head -1 | cut -d= -f2)" && [[ -n "$PORT" ]] && break
+        sleep 0.1
+    done
+    [[ -n "$PORT" ]] || { echo "report --serve never printed a port"; exit 1; }
+    # curl to files, not pipes: grep -q closing the pipe early
+    # would EPIPE curl and trip pipefail on a healthy response.
+    curl -sf -o "$JOURNAL_DIR/prom.txt" \
+        "http://127.0.0.1:$PORT/metrics" &&
+        grep -q '^savat_' "$JOURNAL_DIR/prom.txt" ||
+        { echo "/metrics is not Prometheus text"; kill "$SERVE_PID"; exit 1; }
+    curl -sf -o "$JOURNAL_DIR/prom.json" \
+        "http://127.0.0.1:$PORT/metrics.json" &&
+        python3 -m json.tool "$JOURNAL_DIR/prom.json" >/dev/null ||
+        { echo "/metrics.json is not JSON"; kill "$SERVE_PID"; exit 1; }
+    kill "$SERVE_PID" 2>/dev/null || true
+    wait "$SERVE_PID" 2>/dev/null || true
+    echo "report --serve smoke OK (port $PORT)"
+else
+    echo "curl not installed; skipping the --serve smoke"
+fi
+echo "journal gate OK"
+
 step "sanitizers: ASan+UBSan build + ctest"
 cmake -B build-asan -S . -DSAVAT_SANITIZE=ON -DSAVAT_WERROR=ON \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
@@ -116,7 +182,7 @@ cmake --build build-tsan -j
 # too slow under TSan; the plain build's ctest already runs them).
 (cd build-tsan &&
      ctest --output-on-failure -j "$(nproc)" \
-           -R 'Parallel|CampaignVariants|MachineCampaign|Obs|PowerChain|Replay\.RecordReplayRoundTrip|Resilience|MutationCorpus|IrPasses')
+           -R 'Parallel|CampaignVariants|MachineCampaign|Obs|PowerChain|Replay\.RecordReplayRoundTrip|Resilience|MutationCorpus|IrPasses|JournalRoundTrip|JournalReport')
 
 if command -v clang-tidy >/dev/null 2>&1; then
     step "clang-tidy: library sources"

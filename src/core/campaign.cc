@@ -1,20 +1,26 @@
 #include "core/campaign.hh"
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
+#include <ctime>
 #include <limits>
 #include <mutex>
 #include <unordered_map>
 
 #include "analysis/checker.hh"
+#include "dsp/simd.hh"
 #include "resilience/checkpoint.hh"
 #include "resilience/fault.hh"
 #include "support/hash.hh"
+#include "support/journal.hh"
 #include "support/logging.hh"
+#include "support/stageprof.hh"
 #include "support/strings.hh"
 #include "support/obs.hh"
 #include "support/parallel.hh"
+#include "uarch/machine.hh"
 
 namespace savat::core {
 
@@ -35,6 +41,49 @@ cellRng(const CampaignConfig &config, std::size_t a, std::size_t b)
     const std::uint64_t mix =
         config.seed ^ (0x9E3779B97F4A7C15ull * (a * 131 + b + 1));
     return Rng(mix);
+}
+
+/** CPU seconds consumed so far by the calling thread. */
+double
+threadCpuSeconds()
+{
+    timespec ts{};
+    if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0)
+        return 0.0;
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+/** Journal state name of one terminal cell record. */
+const char *
+journalStateName(pipeline::CellState state)
+{
+    switch (state) {
+      case pipeline::CellState::Measured: return "ok";
+      case pipeline::CellState::Degraded: return "degraded";
+      case pipeline::CellState::Skipped: return "skipped";
+    }
+    return "failed";
+}
+
+/** Deterministic mean of a cell's SAVAT samples [zJ]. */
+double
+savatMeanZj(const std::vector<double> &samples)
+{
+    if (samples.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : samples)
+        sum += v;
+    return sum / static_cast<double>(samples.size());
+}
+
+/** "A|B" journal key of one pair (CellRecord::pair). */
+std::string
+pairKey(EventKind a, EventKind b)
+{
+    return std::string(kernels::eventName(a)) + "|" +
+           kernels::eventName(b);
 }
 
 /**
@@ -79,10 +128,14 @@ measureCell(SavatMeter &meter, const CampaignConfig &config,
     for (std::size_t rep = 0; rep < reps; ++rep)
         repRngs.push_back(rng.fork());
 
+    // Inner repetition workers attribute their stages to the outer
+    // campaign worker that owns this cell.
+    const int wtag = obs::currentWorker();
     std::atomic<std::size_t> nextRep{0};
     support::runWorkers(
         std::min<std::size_t>(innerJobs, reps ? reps : 1),
         [&](std::size_t worker) {
+            obs::setCurrentWorker(wtag);
             pipeline::MeasureScratch local;
             pipeline::MeasureScratch &buf =
                 worker == 0 ? scratch : local;
@@ -101,7 +154,8 @@ measureCell(SavatMeter &meter, const CampaignConfig &config,
 } // namespace
 
 CampaignResult
-runCampaign(const CampaignConfig &config, const ProgressFn &progress)
+runCampaign(const CampaignConfig &config, const ProgressFn &progress,
+            const obs::ProgressSink &sink)
 {
     const auto events = effectiveEvents(config);
     std::vector<std::pair<EventKind, EventKind>> pairs;
@@ -109,16 +163,18 @@ runCampaign(const CampaignConfig &config, const ProgressFn &progress)
     for (auto a : events)
         for (auto b : events)
             pairs.emplace_back(a, b);
-    return runCampaignPairs(config, pairs, progress);
+    return runCampaignPairs(config, pairs, progress, sink);
 }
 
 CampaignResult
 runCampaignPairs(
     const CampaignConfig &config,
     const std::vector<std::pair<EventKind, EventKind>> &pairs,
-    const ProgressFn &progress)
+    const ProgressFn &progress, const obs::ProgressSink &sink)
 {
     const auto events = effectiveEvents(config);
+
+    const auto runStart = std::chrono::steady_clock::now();
 
     SAVAT_TRACE_SPAN("campaign.run",
                      {{"machine", config.machineId},
@@ -204,6 +260,52 @@ runCampaignPairs(
     const std::string identity =
         resilience::hashCampaignIdentity(result.config);
 
+    // The run journal streams one CRC-guarded JSONL event per cell
+    // boundary (support/journal.hh). It never draws from an RNG
+    // stream, so the matrix stays bit-identical with it on or off.
+    obs::Journal journal;
+    if (!config.journalPath.empty()) {
+        std::string jerr;
+        if (!journal.open(config.journalPath, &jerr))
+            SAVAT_FATAL("cannot open run journal ",
+                        config.journalPath, ": ", jerr);
+        namespace json = support::json;
+        json::Value f = json::Value::object();
+        f.set("schema", obs::kJournalSchema);
+        f.set("identity", identity);
+        f.set("machine", config.machineId);
+        f.set("machine_digest",
+              format("%016llx",
+                     static_cast<unsigned long long>(
+                         uarch::configDigest(
+                             uarch::machineById(config.machineId)))));
+        f.set("channel",
+              pipeline::channelName(config.meter.channel));
+        json::Value evs = json::Value::array();
+        for (auto e : events)
+            evs.push(json::Value(kernels::eventName(e)));
+        f.set("events", std::move(evs));
+        f.set("pairs", pairs.size());
+        f.set("reps", config.repetitions);
+        f.set("seed", static_cast<double>(config.seed));
+        f.set("jobs", requested);
+        f.set("jobs_requested", config.jobs);
+        f.set("simd", dsp::simd::levelName(dsp::simd::active()));
+        f.set("build", obs::buildDescribe());
+        if (!faultPlanText.empty())
+            f.set("fault_plan", faultPlanText);
+        if (!config.checkpointPath.empty())
+            f.set("checkpoint", config.checkpointPath);
+        if (!config.resumePath.empty())
+            f.set("resume", config.resumePath);
+        journal.emit("run-start", std::move(f));
+    }
+
+    // Health-aware progress state, maintained under progressMutex
+    // alongside `completed` and fed to the sink after every cell.
+    obs::ProgressCounts counts;
+    counts.total = npairs;
+
     /**
      * Serialize every finished cell to the checkpoint file. Caller
      * holds progressMutex (done[] and the health slots of finished
@@ -249,6 +351,16 @@ runCampaignPairs(
             SAVAT_WARN("fault injection truncated checkpoint "
                        "write ",
                        checkpointWrites - 1);
+        if (journal.isOpen()) {
+            namespace json = support::json;
+            json::Value f = json::Value::object();
+            f.set("path", config.checkpointPath);
+            f.set("ordinal", checkpointWrites - 1);
+            f.set("cells", cp.cells.size());
+            if (truncate)
+                f.set("truncated", true);
+            journal.emit("checkpoint-written", std::move(f));
+        }
     };
 
     // Warm start: restore completed cells from the resume
@@ -308,11 +420,35 @@ runCampaignPairs(
             h.lastError = cell.lastError;
             done[p] = 1;
             ++restored;
+            if (journal.isOpen()) {
+                namespace json = support::json;
+                json::Value f = json::Value::object();
+                f.set("pair", pairKey(cell.a, cell.b));
+                f.set("a", kernels::eventName(cell.a));
+                f.set("b", kernels::eventName(cell.b));
+                f.set("state", journalStateName(h.state));
+                f.set("attempts", h.attempts);
+                f.set("backoff_s", h.backoffSeconds);
+                f.set("wall_s", 0.0);
+                f.set("cpu_s", 0.0);
+                f.set("reps", slot.samples.size());
+                f.set("savat_zj_mean", savatMeanZj(slot.samples));
+                f.set("restored", true);
+                journal.emit("cell-done", std::move(f));
+            }
         }
         completed = restored;
+        counts.done = restored;
+        counts.restored = restored;
         SAVAT_METRIC_ADD("resilience.cells_restored", restored);
         SAVAT_INFORM("resumed ", restored, " of ", npairs,
                      " pairs from ", config.resumePath);
+        if (restored > 0) {
+            if (progress)
+                progress(completed, npairs);
+            if (sink)
+                sink(counts);
+        }
     }
 
     // One prototype meter calibrates each event's steady-state CPI
@@ -332,6 +468,7 @@ runCampaignPairs(
         // Worker-owned meter: the pair caches stay thread-local so
         // the hot path takes no locks. The caches hold deterministic
         // values, so per-worker ownership does not affect output.
+        obs::setCurrentWorker(support::currentWorker());
         auto meter = prototype;
         pipeline::MeasureScratch scratch;
         for (std::size_t p = nextPair.fetch_add(1); p < npairs;
@@ -343,12 +480,27 @@ runCampaignPairs(
             slot.ia = result.matrix.tryIndexOf(a);
             slot.ib = result.matrix.tryIndexOf(b);
             auto &health = result.health[p];
+            double cellWall = 0.0;
+            double cellCpu = 0.0;
             if (slot.ia < 0 || slot.ib < 0) {
                 SAVAT_METRIC_COUNT("campaign.pairs_skipped");
                 SAVAT_WARN("skipping pair ", kernels::eventName(a),
                            "/", kernels::eventName(b),
                            ": event not in the campaign matrix");
             } else {
+                if (journal.isOpen()) {
+                    namespace json = support::json;
+                    json::Value f = json::Value::object();
+                    f.set("pair", pairKey(a, b));
+                    f.set("a", kernels::eventName(a));
+                    f.set("b", kernels::eventName(b));
+                    f.set("index", p);
+                    f.set("worker", obs::currentWorker());
+                    journal.emit("cell-start", std::move(f));
+                }
+                const auto cellStart =
+                    std::chrono::steady_clock::now();
+                const double cpu0 = threadCpuSeconds();
                 SAVAT_TRACE_SPAN("campaign.cell",
                                  {{"a", kernels::eventName(a)},
                                   {"b", kernels::eventName(b)},
@@ -360,6 +512,20 @@ runCampaignPairs(
                 // its repetition streams from the cell stream on
                 // every attempt, so a retry that succeeds produces
                 // exactly the samples an undisturbed run would.
+                const auto journalFault =
+                    [&](resilience::FaultKind kind,
+                        std::size_t attempt) {
+                        if (!journal.isOpen())
+                            return;
+                        namespace json = support::json;
+                        json::Value f = json::Value::object();
+                        f.set("pair", pairKey(a, b));
+                        f.set("kind",
+                              resilience::faultKindName(kind));
+                        f.set("attempt", attempt + 1);
+                        journal.emit("fault-injected",
+                                     std::move(f));
+                    };
                 const auto outcome = resilience::guardPair(
                     config.retry, p,
                     [&](std::size_t attempt, std::string &error) {
@@ -370,6 +536,7 @@ runCampaignPairs(
                                 resilience::FaultKind::Throw) {
                             SAVAT_METRIC_COUNT(
                                 "resilience.faults_injected");
+                            journalFault(fault->kind, attempt);
                             throw resilience::InjectedFault(format(
                                 "injected fault: throw at pair "
                                 "%zu attempt %zu",
@@ -380,6 +547,7 @@ runCampaignPairs(
                         if (fault && !slot.samples.empty()) {
                             SAVAT_METRIC_COUNT(
                                 "resilience.faults_injected");
+                            journalFault(fault->kind, attempt);
                             slot.samples[0] =
                                 fault->kind ==
                                         resilience::FaultKind::Nan
@@ -404,7 +572,25 @@ runCampaignPairs(
                             }
                         }
                         return true;
+                    },
+                    [&](std::size_t attempt,
+                        const std::string &error,
+                        double backoffSeconds) {
+                        if (!journal.isOpen())
+                            return;
+                        namespace json = support::json;
+                        json::Value f = json::Value::object();
+                        f.set("pair", pairKey(a, b));
+                        f.set("attempt", attempt);
+                        f.set("error", error);
+                        f.set("backoff_s", backoffSeconds);
+                        journal.emit("cell-retry", std::move(f));
                     });
+                cellWall = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() -
+                               cellStart)
+                               .count();
+                cellCpu = threadCpuSeconds() - cpu0;
                 health.state = outcome.state;
                 health.attempts = outcome.attempts;
                 health.backoffSeconds = outcome.backoffSeconds;
@@ -426,8 +612,42 @@ runCampaignPairs(
                     progressMutex);
                 done[p] = 1;
                 ++completed;
+                counts.done = completed;
+                if (slot.ia < 0 || slot.ib < 0)
+                    ++counts.skipped;
+                else {
+                    if (health.attempts > 1)
+                        ++counts.retried;
+                    if (health.state ==
+                        pipeline::CellState::Degraded)
+                        ++counts.degraded;
+                }
+                if (journal.isOpen()) {
+                    namespace json = support::json;
+                    json::Value f = json::Value::object();
+                    f.set("pair", pairKey(a, b));
+                    f.set("a", kernels::eventName(a));
+                    f.set("b", kernels::eventName(b));
+                    f.set("state",
+                          journalStateName(health.state));
+                    f.set("attempts", health.attempts);
+                    f.set("backoff_s", health.backoffSeconds);
+                    f.set("wall_s", cellWall);
+                    f.set("cpu_s", cellCpu);
+                    f.set("reps", slot.samples.size());
+                    f.set("savat_zj_mean",
+                          health.state ==
+                                  pipeline::CellState::Measured
+                              ? savatMeanZj(slot.samples)
+                              : 0.0);
+                    if (!health.lastError.empty())
+                        f.set("error", health.lastError);
+                    journal.emit("cell-done", std::move(f));
+                }
                 if (progress)
                     progress(completed, npairs);
+                if (sink)
+                    sink(counts);
                 if (!config.checkpointPath.empty() &&
                     config.checkpointEvery > 0 &&
                     completed % config.checkpointEvery == 0)
@@ -437,6 +657,15 @@ runCampaignPairs(
                     // die without unwinding -- the faithful analog
                     // of a kill -9 mid-campaign.
                     writeCheckpointLocked();
+                    if (journal.isOpen()) {
+                        namespace json = support::json;
+                        json::Value f = json::Value::object();
+                        f.set("pair", pairKey(a, b));
+                        f.set("kind", "die");
+                        journal.emit("fault-injected",
+                                     std::move(f));
+                        journal.dumpCrash("fault-plan die");
+                    }
                     SAVAT_WARN("injected fault: dying after pair ",
                                p);
                     std::_Exit(137);
@@ -477,6 +706,26 @@ runCampaignPairs(
             std::move(slot.sim);
         if (config.keepTraces)
             result.traces[p] = std::move(slot.traces);
+    }
+
+    if (journal.isOpen()) {
+        namespace json = support::json;
+        json::Value f = json::Value::object();
+        f.set("wall_s", std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() -
+                            runStart)
+                            .count());
+        f.set("cells", completed);
+        f.set("retried", counts.retried);
+        f.set("degraded", counts.degraded);
+        f.set("skipped", counts.skipped);
+        f.set("restored", counts.restored);
+        if (obs::metricsEnabled())
+            f.set("metrics",
+                  obs::metricsSnapshotToJson(
+                      obs::Registry::instance().snapshot()));
+        journal.emit("run-end", std::move(f));
+        journal.close();
     }
     return result;
 }

@@ -94,6 +94,17 @@ struct CampaignConfig
      * match; a mismatch is fatal.
      */
     std::string resumePath;
+
+    /**
+     * When non-empty, stream a crash-safe structured run journal
+     * (savat-run-journal-v1 JSONL; see support/journal.hh) here:
+     * run-start identity/provenance, one cell-start/cell-done pair
+     * per cell, cell-retry and fault-injected records, checkpoint
+     * writes and a run-end summary with the metrics snapshot. The
+     * journal never touches any RNG stream, so the matrix stays
+     * bit-identical with journaling on or off.
+     */
+    std::string journalPath;
 };
 
 /**
@@ -206,10 +217,14 @@ struct CampaignResult
 
 /**
  * Run a full pairwise campaign: every (A, B) combination, measured
- * `repetitions` times with fresh environmental randomness.
+ * `repetitions` times with fresh environmental randomness. `sink`,
+ * when set, additionally receives the full health breakdown
+ * (retried/degraded/skipped/restored) after every completed cell;
+ * it is invoked under the same serialization as `progress`.
  */
 CampaignResult runCampaign(const CampaignConfig &config,
-                           const ProgressFn &progress = {});
+                           const ProgressFn &progress = {},
+                           const obs::ProgressSink &sink = {});
 
 /**
  * Run only the selected pairs (used by the bar-chart figures);
@@ -220,7 +235,8 @@ CampaignResult runCampaignPairs(
     const CampaignConfig &config,
     const std::vector<std::pair<kernels::EventKind,
                                 kernels::EventKind>> &pairs,
-    const ProgressFn &progress = {});
+    const ProgressFn &progress = {},
+    const obs::ProgressSink &sink = {});
 
 /**
  * Package a keepTraces campaign for offline re-analysis: every

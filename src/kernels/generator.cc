@@ -186,47 +186,18 @@ prefillEventArray(uarch::SimpleCpu &cpu, const uarch::MachineConfig &m,
 namespace {
 
 /**
- * FNV-1a digest of every timing-relevant MachineConfig field plus
- * the event: the calibration result is a pure function of these, so
- * identical machines share one global CPI measurement no matter how
- * many meters (or campaign workers) are constructed.
+ * The calibration result is a pure function of the machine's
+ * timing-relevant fields plus the event, so identical machines
+ * share one global CPI measurement no matter how many meters (or
+ * campaign workers) are constructed. uarch::configDigest() covers
+ * the machine; the event is mixed in on top.
  */
 std::uint64_t
 calibrationKey(const uarch::MachineConfig &m, EventKind e)
 {
-    std::uint64_t h = 0xCBF29CE484222325ull;
-    auto mix = [&h](std::uint64_t v) {
-        h ^= v;
-        h *= 0x100000001B3ull;
-    };
-    for (char c : m.id)
-        mix(static_cast<unsigned char>(c));
-    std::uint64_t clock_bits = 0;
-    const double hz = m.clock.inHz();
-    std::memcpy(&clock_bits, &hz, sizeof(clock_bits));
-    mix(clock_bits);
-    auto mix_geom = [&](const uarch::CacheGeometry &g) {
-        mix(g.sizeBytes);
-        mix(g.assoc);
-        mix(g.lineBytes);
-        mix(g.hitLatency);
-        mix(g.dirtyEvictPenalty);
-    };
-    mix_geom(m.l1);
-    mix_geom(m.l2);
-    mix(m.memLatency);
-    mix(m.memBurst);
-    mix(m.lat.alu);
-    mix(m.lat.mov);
-    mix(m.lat.imul);
-    mix(m.lat.idiv);
-    mix(m.lat.branch);
-    mix(m.lat.branchTaken);
-    mix(m.lat.nop);
-    mix(m.lat.agu);
-    mix(m.lat.branchMispredict);
-    mix(static_cast<std::uint64_t>(m.timing));
-    mix(static_cast<std::uint64_t>(e) + 0x9E37u);
+    std::uint64_t h = uarch::configDigest(m);
+    h ^= static_cast<std::uint64_t>(e) + 0x9E37u;
+    h *= 0x100000001B3ull;
     return h;
 }
 

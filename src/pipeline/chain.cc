@@ -5,6 +5,7 @@
 #include "em/environment.hh"
 #include "support/logging.hh"
 #include "support/obs.hh"
+#include "support/stageprof.hh"
 
 namespace savat::pipeline {
 
@@ -103,14 +104,28 @@ EmChain::measure(const PairSimulation &sim, std::size_t /*repetition*/,
         sim.pairsPerSecond;
 
     {
+        obs::StageScope prof(obs::StageChain::Em,
+                             obs::Stage::Synthesize);
         SAVAT_METRIC_TIMER("pipeline.synthesize_seconds");
         _synth.synthesizeInto(tone, _config.distance,
                               _config.alternation, _config.spanHz,
                               rng, scratch.synth, &scratch.arena);
     }
 
-    sweep(_config, _config.noiseFloorWPerHz, scratch.synth.spectrum,
-          rng, scratch.trace, &scratch.arena);
+    {
+        obs::StageScope prof(obs::StageChain::Em,
+                             obs::Stage::Sweep);
+        sweep(_config, _config.noiseFloorWPerHz,
+              scratch.synth.spectrum, rng, scratch.trace,
+              &scratch.arena);
+    }
+    if (scratch.arena.capacity() > scratch.arenaHighWaterSeen) {
+        scratch.arenaHighWaterSeen = scratch.arena.capacity();
+        obs::noteArenaHighWater(obs::StageChain::Em,
+                                scratch.arenaHighWaterSeen);
+    }
+    obs::StageScope prof(obs::StageChain::Em,
+                         obs::Stage::BandIntegrate);
     return bandIntegrate(scratch.trace, _config.alternation.inHz(),
                          _config.bandHz, sim.pairsPerSecond,
                          scratch.synth.realizedToneHz);
@@ -142,6 +157,8 @@ PowerChain::measure(const PairSimulation &sim,
         sim.pairsPerSecond * _config.power.residualCoupling;
 
     {
+        obs::StageScope prof(obs::StageChain::Power,
+                             obs::Stage::Synthesize);
         SAVAT_METRIC_TIMER("pipeline.synthesize_seconds");
         const auto env =
             em::drawEnvironment(_synth.environment(), rng);
@@ -157,9 +174,20 @@ PowerChain::measure(const PairSimulation &sim,
             &scratch.arena);
     }
 
-    sweep(_config, _config.power.noiseFloorWPerHz,
-          scratch.synth.spectrum, rng, scratch.trace,
-          &scratch.arena);
+    {
+        obs::StageScope prof(obs::StageChain::Power,
+                             obs::Stage::Sweep);
+        sweep(_config, _config.power.noiseFloorWPerHz,
+              scratch.synth.spectrum, rng, scratch.trace,
+              &scratch.arena);
+    }
+    if (scratch.arena.capacity() > scratch.arenaHighWaterSeen) {
+        scratch.arenaHighWaterSeen = scratch.arena.capacity();
+        obs::noteArenaHighWater(obs::StageChain::Power,
+                                scratch.arenaHighWaterSeen);
+    }
+    obs::StageScope prof(obs::StageChain::Power,
+                         obs::Stage::BandIntegrate);
     return bandIntegrate(scratch.trace, _config.alternation.inHz(),
                          _config.bandHz, sim.pairsPerSecond,
                          scratch.synth.realizedToneHz);

@@ -9,6 +9,7 @@
 #include "support/io.hh"
 #include "support/logging.hh"
 #include "support/obs.hh"
+#include "support/stageprof.hh"
 #include "support/strings.hh"
 
 namespace savat::pipeline {
@@ -257,6 +258,8 @@ ReplayChain::measure(const PairSimulation &sim,
                  cell.traces.size(), " available)");
     scratch.trace = cell.traces[repetition];
     const double f0 = _recording.alternationHz;
+    obs::StageScope prof(obs::StageChain::Replay,
+                         obs::Stage::BandIntegrate);
     return bandIntegrate(
         scratch.trace, f0, _recording.bandHz, cell.pairsPerSecond,
         scratch.trace.peakFrequency(f0 - _recording.bandHz,

@@ -7,6 +7,7 @@
 #include "dsp/simd.hh"
 #include "support/logging.hh"
 #include "support/obs.hh"
+#include "support/stageprof.hh"
 
 namespace savat::pipeline {
 
@@ -242,6 +243,13 @@ runAlternation(const uarch::MachineConfig &machine,
     sim.a = spec.labelA;
     sim.b = spec.labelB;
 
+    // Per-stage resource attribution is tagged by the chain that
+    // will consume this simulation.
+    const obs::StageChain prof_chain =
+        config.channel == ChannelKind::Power
+            ? obs::StageChain::Power
+            : obs::StageChain::Em;
+
     // 1. BurstSolve from each half's standalone iteration time. The
     // halves can interact once combined (e.g. an L2-sized sweep
     // evicts the other half's L1-resident array), so the realized
@@ -249,7 +257,10 @@ runAlternation(const uarch::MachineConfig &machine,
     // retuned until the tone lands on the intended frequency -- the
     // same centering a bench engineer performs on the analyzer
     // display.
-    sim.counts = burstSolve(machine, spec, config);
+    {
+        obs::StageScope prof(prof_chain, obs::Stage::BurstSolve);
+        sim.counts = burstSolve(machine, spec, config);
+    }
 
     const double target_period =
         machine.cyclesPerPeriod(config.alternation);
@@ -262,8 +273,13 @@ runAlternation(const uarch::MachineConfig &machine,
     // kernel shape, and each rebuilt kernel carries its own counts
     // in its metadata — so analyzing the first build covers the
     // campaign's use of this pair.
-    const auto first_kernel = kernelBuild(spec, sim.counts);
+    const auto first_kernel = [&] {
+        obs::StageScope prof(prof_chain, obs::Stage::KernelBuild);
+        return kernelBuild(spec, sim.counts);
+    }();
     {
+        obs::StageScope prof(prof_chain,
+                             obs::Stage::KernelAnalyze);
         SAVAT_METRIC_TIMER("pipeline.kernel_analyze_seconds");
         SAVAT_METRIC_COUNT("pipeline.kernel_analyses");
         const auto ka =
@@ -274,8 +290,11 @@ runAlternation(const uarch::MachineConfig &machine,
                         ka.report.errorSummary());
         }
     }
-    SimulationRun run = simulate(machine, spec, first_kernel,
-                                 sim.counts, measured);
+    auto timed_simulate = [&](const kernels::AlternationKernel &k) {
+        obs::StageScope prof(prof_chain, obs::Stage::Simulate);
+        return simulate(machine, spec, k, sim.counts, measured);
+    };
+    SimulationRun run = timed_simulate(first_kernel);
     for (int iter = 0; iter < 5; ++iter) {
         const double error =
             std::abs(run.periodCycles - target_period) / target_period;
@@ -294,8 +313,12 @@ runAlternation(const uarch::MachineConfig &machine,
         sim.counts.countB = retuned.countB;
         sim.counts.cpiA = eff.cpiA;
         sim.counts.cpiB = eff.cpiB;
-        run = simulate(machine, spec, kernelBuild(spec, sim.counts),
-                       sim.counts, measured);
+        const auto rebuilt = [&] {
+            obs::StageScope prof(prof_chain,
+                                 obs::Stage::KernelBuild);
+            return kernelBuild(spec, sim.counts);
+        }();
+        run = timed_simulate(rebuilt);
     }
 
     const std::uint64_t begin = run.periodStarts.front();
@@ -313,7 +336,11 @@ runAlternation(const uarch::MachineConfig &machine,
     sim.duty = a_cycles / static_cast<double>(end - begin);
 
     // 3. ChannelExtract.
-    channelExtract(run, profile, measured, sim);
+    {
+        obs::StageScope prof(prof_chain,
+                             obs::Stage::ChannelExtract);
+        channelExtract(run, profile, measured, sim);
+    }
 
     // 4. Pair rate for normalization: realized frequency times the
     // burst length (the larger burst when the two differ; equal to

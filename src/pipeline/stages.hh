@@ -137,6 +137,11 @@ struct MeasureScratch
     spectrum::Trace trace;     //!< analyzer display
     em::SynthesisResult synth; //!< synthesized incident spectrum
     support::Arena arena;      //!< per-repetition staging buffers
+
+    /** Largest arena capacity already reported to the stage
+     * profiler — chains publish the high-water gauge only when the
+     * arena grows past it (tool path, not per-rep work). */
+    std::size_t arenaHighWaterSeen = 0;
 };
 
 /** Everything the front half of the pipeline needs about a kernel. */

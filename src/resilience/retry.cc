@@ -60,7 +60,7 @@ allFinite(const pipeline::PairSimulation &sim)
 
 GuardOutcome
 guardPair(const RetryPolicy &policy, std::size_t pair,
-          const AttemptFn &attempt)
+          const AttemptFn &attempt, const RetryObserver &onRetry)
 {
     GuardOutcome out;
     const std::size_t attempts =
@@ -92,6 +92,8 @@ guardPair(const RetryPolicy &policy, std::size_t pair,
         SAVAT_METRIC_COUNT("resilience.retries");
         SAVAT_WARN("pair ", pair, " attempt ", a + 1, "/", attempts,
                    " failed: ", out.lastError);
+        if (onRetry)
+            onRetry(a + 1, out.lastError, out.backoffSeconds);
     }
     out.state = pipeline::CellState::Degraded;
     SAVAT_METRIC_COUNT("resilience.degraded_cells");

@@ -89,13 +89,25 @@ using AttemptFn =
     std::function<bool(std::size_t attempt, std::string &error)>;
 
 /**
+ * Observer invoked after each *failed* attempt, before the next one
+ * runs: `attempt` is 1-based, `error` is the failure description
+ * and `backoffSeconds` the virtual backoff accumulated so far. The
+ * campaign journals cell-retry events through it; it must not throw.
+ */
+using RetryObserver = std::function<void(
+    std::size_t attempt, const std::string &error,
+    double backoffSeconds)>;
+
+/**
  * Run `attempt` under the policy: retry failed attempts with
  * virtual-time backoff until one succeeds or maxAttempts is
  * exhausted, then report Measured or Degraded. Emits
- * resilience.retries / resilience.degraded_cells metrics.
+ * resilience.retries / resilience.degraded_cells metrics and
+ * notifies `onRetry` (when set) after each failed attempt.
  */
 GuardOutcome guardPair(const RetryPolicy &policy, std::size_t pair,
-                       const AttemptFn &attempt);
+                       const AttemptFn &attempt,
+                       const RetryObserver &onRetry = nullptr);
 
 /**
  * SAV-1801/SAV-1802: reject unusable retry policies (zero attempts,

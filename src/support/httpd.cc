@@ -1,0 +1,158 @@
+#include "support/httpd.hh"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "support/strings.hh"
+
+namespace savat::support {
+
+HttpServer::~HttpServer()
+{
+    stop();
+}
+
+bool
+HttpServer::start(std::uint16_t port, Handler handler,
+                  std::string *error)
+{
+    stop();
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        if (error)
+            *error = std::string("socket: ") +
+                     std::strerror(errno);
+        return false;
+    }
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        if (error)
+            *error = format("bind 127.0.0.1:%u: %s",
+                            static_cast<unsigned>(port),
+                            std::strerror(errno));
+        ::close(fd);
+        return false;
+    }
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd, reinterpret_cast<sockaddr *>(&addr),
+                      &len) != 0) {
+        if (error)
+            *error = std::string("getsockname: ") +
+                     std::strerror(errno);
+        ::close(fd);
+        return false;
+    }
+    if (::listen(fd, 16) != 0) {
+        if (error)
+            *error = std::string("listen: ") +
+                     std::strerror(errno);
+        ::close(fd);
+        return false;
+    }
+    _handler = std::move(handler);
+    _port = static_cast<int>(ntohs(addr.sin_port));
+    _fd.store(fd, std::memory_order_release);
+    return true;
+}
+
+bool
+HttpServer::serveOne()
+{
+    const int fd = _fd.load(std::memory_order_acquire);
+    if (fd < 0)
+        return false;
+    const int conn = ::accept(fd, nullptr, nullptr);
+    if (conn < 0) {
+        // stop() closed the listener out from under accept(), or a
+        // transient accept failure; retry only on the latter.
+        return errno == EINTR &&
+               _fd.load(std::memory_order_acquire) >= 0;
+    }
+
+    // Read until the end of the request headers (bounded: this is
+    // a GET-only metrics endpoint, not a general server).
+    std::string request;
+    char buf[2048];
+    while (request.size() < 16 * 1024 &&
+           request.find("\r\n\r\n") == std::string::npos) {
+        const ssize_t n = ::read(conn, buf, sizeof(buf));
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            break;
+        }
+        request.append(buf, static_cast<std::size_t>(n));
+    }
+
+    std::string status = "405 Method Not Allowed";
+    std::string contentType = "text/plain; charset=utf-8";
+    std::string body = "method not allowed\n";
+    if (request.rfind("GET ", 0) == 0) {
+        const std::size_t pathEnd = request.find(' ', 4);
+        std::string path = pathEnd == std::string::npos
+                               ? std::string("/")
+                               : request.substr(4, pathEnd - 4);
+        const std::size_t query = path.find('?');
+        if (query != std::string::npos)
+            path.resize(query);
+        std::string okBody, okType;
+        if (_handler && _handler(path, okType, okBody)) {
+            status = "200 OK";
+            contentType = okType;
+            body = std::move(okBody);
+        } else {
+            status = "404 Not Found";
+            body = "not found\n";
+        }
+    }
+
+    std::string response =
+        "HTTP/1.1 " + status + "\r\n" +
+        "Content-Type: " + contentType + "\r\n" +
+        format("Content-Length: %zu\r\n", body.size()) +
+        "Connection: close\r\n\r\n" + body;
+    std::size_t off = 0;
+    while (off < response.size()) {
+        const ssize_t n = ::write(conn, response.data() + off,
+                                  response.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    ::close(conn);
+    return true;
+}
+
+void
+HttpServer::serve()
+{
+    while (serveOne()) {
+    }
+}
+
+void
+HttpServer::stop()
+{
+    const int fd = _fd.exchange(-1, std::memory_order_acq_rel);
+    if (fd >= 0) {
+        ::shutdown(fd, SHUT_RDWR);
+        ::close(fd);
+    }
+}
+
+} // namespace savat::support

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Minimal blocking HTTP/1.1 listener for metrics exposition.
+ *
+ * `savat_cli campaign --serve` and `savat_cli report --serve`
+ * expose the metrics registry (live) or an aggregated report
+ * (static) in the Prometheus text format so a scrape target can
+ * watch a long campaign. The server is deliberately tiny: IPv4
+ * loopback only, one blocking accept loop, GET only, every response
+ * closes the connection. It is an operator convenience, not a
+ * production server — nothing else in the pipeline depends on it.
+ *
+ * Port 0 binds an ephemeral port; port() reports the real one so
+ * scripts (scripts/check.sh) can scrape without racing. stop() is
+ * thread-safe and unblocks a serve() loop in another thread by
+ * closing the listening socket.
+ */
+
+#ifndef SAVAT_SUPPORT_HTTPD_HH
+#define SAVAT_SUPPORT_HTTPD_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace savat::support {
+
+class HttpServer
+{
+  public:
+    /**
+     * Produce the response for a GET of `path`; set `contentType`
+     * and `body`, return true. Returning false sends 404.
+     */
+    using Handler = std::function<bool(const std::string &path,
+                                       std::string &contentType,
+                                       std::string &body)>;
+
+    HttpServer() = default;
+    ~HttpServer();
+
+    HttpServer(const HttpServer &) = delete;
+    HttpServer &operator=(const HttpServer &) = delete;
+
+    /** Bind 127.0.0.1:`port` (0 = ephemeral) and listen. */
+    bool start(std::uint16_t port, Handler handler,
+               std::string *error = nullptr);
+
+    /** The bound port, valid after start(). */
+    int port() const { return _port; }
+
+    /** Accept and answer one connection; false once stopped. */
+    bool serveOne();
+
+    /** Blocking accept loop until stop(). */
+    void serve();
+
+    /** Close the listener; unblocks serve() from any thread. */
+    void stop();
+
+  private:
+    Handler _handler;
+    std::atomic<int> _fd{-1};
+    int _port = 0;
+};
+
+} // namespace savat::support
+
+#endif // SAVAT_SUPPORT_HTTPD_HH

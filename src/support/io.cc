@@ -1,8 +1,11 @@
 #include "support/io.hh"
 
+#include <fcntl.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
@@ -89,6 +92,55 @@ readFileToString(const std::string &path, std::string &out,
     }
     out = oss.str();
     return true;
+}
+
+AppendFile::~AppendFile()
+{
+    close();
+}
+
+bool
+AppendFile::open(const std::string &path, std::string *error)
+{
+    close();
+    _fd = ::open(path.c_str(), O_CREAT | O_WRONLY | O_APPEND, 0644);
+    if (_fd < 0) {
+        if (error)
+            *error = "cannot open " + path + ": " +
+                     std::strerror(errno);
+        return false;
+    }
+    return true;
+}
+
+bool
+AppendFile::writeLine(const std::string &line)
+{
+    if (_fd < 0)
+        return false;
+    std::string buf = line;
+    buf += '\n';
+    std::size_t off = 0;
+    while (off < buf.size()) {
+        const ssize_t n =
+            ::write(_fd, buf.data() + off, buf.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+void
+AppendFile::close()
+{
+    if (_fd >= 0) {
+        ::close(_fd);
+        _fd = -1;
+    }
 }
 
 } // namespace savat::support

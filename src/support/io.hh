@@ -46,6 +46,42 @@ bool writeFileAtomically(
 bool readFileToString(const std::string &path, std::string &out,
                       std::string *error = nullptr);
 
+/**
+ * Append-only line writer over a raw file descriptor, for streaming
+ * logs (the run journal) where atomic-rename semantics are wrong:
+ * the file must grow line by line and survive a crash mid-run with
+ * every completed line intact. Opens with O_APPEND and writes each
+ * line with a single ::write() loop plus trailing newline, so lines
+ * from one writer never interleave mid-line and a torn final line
+ * can only be the one in flight at the moment of death.
+ */
+class AppendFile
+{
+  public:
+    AppendFile() = default;
+    ~AppendFile();
+
+    AppendFile(const AppendFile &) = delete;
+    AppendFile &operator=(const AppendFile &) = delete;
+
+    /** Open (create 0644, append). False + `error` on failure. */
+    bool open(const std::string &path,
+              std::string *error = nullptr);
+
+    /** Write `line` plus '\n'. False once any write fails. */
+    bool writeLine(const std::string &line);
+
+    bool isOpen() const { return _fd >= 0; }
+
+    /** Raw descriptor (-1 when closed); async-signal-safe to use. */
+    int fd() const { return _fd; }
+
+    void close();
+
+  private:
+    int _fd = -1;
+};
+
 } // namespace savat::support
 
 #endif // SAVAT_SUPPORT_IO_HH

@@ -1,0 +1,829 @@
+#include "support/journal.hh"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <ostream>
+
+#include "support/crc32.hh"
+#include "support/strings.hh"
+#include "support/table.hh"
+
+#ifndef SAVAT_GIT_DESCRIBE
+#define SAVAT_GIT_DESCRIBE "unknown"
+#endif
+
+namespace savat::obs {
+
+const char *
+buildDescribe()
+{
+    return SAVAT_GIT_DESCRIBE;
+}
+
+namespace {
+
+using support::json::Value;
+
+/**
+ * The flight recorder: a lock-free ring of the most recent
+ * formatted journal lines plus the crash-dump target path. All
+ * plain arrays in static storage so the signal handler can walk it
+ * without allocation or locks; a torn slot in a crash dump is
+ * acceptable (the CRC on each line exposes it).
+ */
+constexpr std::size_t kSlotBytes = 768;
+
+struct FlightRecorder
+{
+    std::atomic<bool> armed{false};
+    std::atomic<std::uint64_t> next{0};
+    char crashPath[512] = {};
+    char slots[kFlightRecorderSlots][kSlotBytes] = {};
+};
+
+FlightRecorder g_recorder;
+
+/** write(2) a whole buffer; async-signal-safe. */
+void
+rawWrite(int fd, const char *data, std::size_t size)
+{
+    std::size_t off = 0;
+    while (off < size) {
+        const ssize_t n = ::write(fd, data + off, size - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+}
+
+/**
+ * Dump the ring (oldest first) to the crash path. Uses only
+ * async-signal-safe calls so the signal handler may run it; the
+ * synchronous dumpCrash() path reuses it too.
+ */
+void
+dumpFlightRecorder(const char *reason)
+{
+    if (!g_recorder.armed.load(std::memory_order_relaxed))
+        return;
+    const int fd =
+        ::open(g_recorder.crashPath,
+               O_CREAT | O_WRONLY | O_TRUNC, 0644);
+    if (fd < 0)
+        return;
+    static const char header[] =
+        "# savat flight recorder dump — last journal events before "
+        "death\n";
+    rawWrite(fd, header, sizeof(header) - 1);
+    const std::uint64_t end =
+        g_recorder.next.load(std::memory_order_relaxed);
+    for (std::uint64_t i = 0; i < kFlightRecorderSlots; ++i) {
+        const std::uint64_t idx =
+            (end + i) % kFlightRecorderSlots;
+        const char *slot = g_recorder.slots[idx];
+        const std::size_t len = ::strnlen(slot, kSlotBytes);
+        if (len == 0)
+            continue;
+        rawWrite(fd, slot, len);
+        rawWrite(fd, "\n", 1);
+    }
+    static const char tail[] = "# reason: ";
+    rawWrite(fd, tail, sizeof(tail) - 1);
+    rawWrite(fd, reason, ::strnlen(reason, 256));
+    rawWrite(fd, "\n", 1);
+    ::close(fd);
+}
+
+extern "C" void
+savatCrashHandler(int sig)
+{
+    char reason[32] = "signal ";
+    std::size_t n = 7;
+    // Async-signal-safe decimal formatting of the signal number.
+    char digits[8];
+    int d = 0;
+    int v = sig;
+    do {
+        digits[d++] = static_cast<char>('0' + v % 10);
+        v /= 10;
+    } while (v > 0 && d < 8);
+    while (d > 0 && n < sizeof(reason) - 1)
+        reason[n++] = digits[--d];
+    reason[n] = '\0';
+    dumpFlightRecorder(reason);
+    ::signal(sig, SIG_DFL);
+    ::raise(sig);
+}
+
+void
+installCrashHandlers()
+{
+    static const bool installed = [] {
+        struct sigaction sa;
+        std::memset(&sa, 0, sizeof(sa));
+        sa.sa_handler = savatCrashHandler;
+        ::sigemptyset(&sa.sa_mask);
+        for (int sig :
+             {SIGSEGV, SIGBUS, SIGILL, SIGFPE, SIGABRT})
+            ::sigaction(sig, &sa, nullptr);
+        return true;
+    }();
+    (void)installed;
+}
+
+void
+recordFlightLine(const std::string &line)
+{
+    const std::uint64_t idx =
+        g_recorder.next.fetch_add(1, std::memory_order_relaxed) %
+        kFlightRecorderSlots;
+    const std::size_t n =
+        std::min(line.size(), kSlotBytes - 1);
+    std::memcpy(g_recorder.slots[idx], line.data(), n);
+    g_recorder.slots[idx][n] = '\0';
+}
+
+} // namespace
+
+Journal::~Journal()
+{
+    close();
+}
+
+bool
+Journal::open(const std::string &path, std::string *error)
+{
+    const std::lock_guard<std::mutex> lock(_mu);
+    if (!_file.open(path, error))
+        return false;
+    _path = path;
+    _seq = 0;
+    _t0 = std::chrono::steady_clock::now();
+    const std::string crash = path + ".crash";
+    std::snprintf(g_recorder.crashPath,
+                  sizeof(g_recorder.crashPath), "%s",
+                  crash.c_str());
+    g_recorder.next.store(0, std::memory_order_relaxed);
+    for (auto &slot : g_recorder.slots)
+        slot[0] = '\0';
+    g_recorder.armed.store(true, std::memory_order_relaxed);
+    installCrashHandlers();
+    return true;
+}
+
+void
+Journal::emit(const std::string &type, Value fields)
+{
+    const std::lock_guard<std::mutex> lock(_mu);
+    if (!_file.isOpen())
+        return;
+    const std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - _t0;
+    Value ev = Value::object();
+    ev.set("event", type);
+    ev.set("seq", static_cast<double>(_seq++));
+    ev.set("t", std::round(dt.count() * 1e6) / 1e6);
+    for (const auto &[key, member] : fields.members())
+        ev.set(key, member);
+    std::string text = ev.serialize();
+    // The CRC covers the line with the crc member spliced out:
+    // readers strip `,"crc":"…"` back off and re-checksum.
+    const std::uint32_t crc = support::crc32(text);
+    text.pop_back(); // '}'
+    text += format(",\"crc\":\"%08x\"}", crc);
+    _file.writeLine(text);
+    recordFlightLine(text);
+}
+
+void
+Journal::dumpCrash(const std::string &reason)
+{
+    dumpFlightRecorder(reason.c_str());
+}
+
+void
+Journal::close()
+{
+    const std::lock_guard<std::mutex> lock(_mu);
+    if (_file.isOpen()) {
+        _file.close();
+        g_recorder.armed.store(false,
+                               std::memory_order_relaxed);
+    }
+}
+
+JournalReadResult
+readJournal(const std::string &path)
+{
+    JournalReadResult res;
+    std::string content;
+    if (!support::readFileToString(path, content, &res.error))
+        return res;
+
+    std::vector<std::string> lines;
+    std::size_t start = 0;
+    while (start < content.size()) {
+        std::size_t end = content.find('\n', start);
+        if (end == std::string::npos)
+            end = content.size();
+        if (end > start)
+            lines.emplace_back(content.substr(start, end - start));
+        start = end + 1;
+    }
+
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        const std::string &line = lines[i];
+        const bool last = i + 1 == lines.size();
+        auto failLine = [&](const std::string &what) {
+            if (last) {
+                // A torn final line is the expected signature of a
+                // crash mid-write; everything before it is good.
+                res.truncatedTail = true;
+                return true;
+            }
+            res.error = format("%s:%zu: %s", path.c_str(), i + 1,
+                               what.c_str());
+            return false;
+        };
+
+        const std::size_t crcPos = line.rfind(",\"crc\":\"");
+        // `,"crc":"XXXXXXXX"}` is exactly 18 bytes at line end.
+        if (crcPos == std::string::npos ||
+            crcPos + 18 != line.size()) {
+            if (failLine("missing crc member"))
+                break;
+            return res;
+        }
+        std::uint32_t stored = 0;
+        if (std::sscanf(line.c_str() + crcPos + 8, "%8x",
+                        &stored) != 1) {
+            if (failLine("malformed crc member"))
+                break;
+            return res;
+        }
+        const std::uint32_t actual =
+            support::crc32(line.substr(0, crcPos) + "}");
+        if (actual != stored) {
+            if (failLine(format("crc mismatch (stored %08x, "
+                                "computed %08x)",
+                                stored, actual)))
+                break;
+            return res;
+        }
+
+        auto parsed = support::json::parse(line);
+        if (!parsed.ok || !parsed.value.isObject()) {
+            if (failLine("bad JSON: " + parsed.error))
+                break;
+            return res;
+        }
+        JournalEvent ev;
+        ev.type = parsed.value.stringOr("event", "");
+        ev.seq = static_cast<std::uint64_t>(
+            parsed.value.numberOr("seq", 0.0));
+        ev.t = parsed.value.numberOr("t", 0.0);
+        ev.fields = std::move(parsed.value);
+        if (ev.type.empty()) {
+            if (failLine("event member missing"))
+                break;
+            return res;
+        }
+        res.events.push_back(std::move(ev));
+    }
+    res.ok = true;
+    return res;
+}
+
+namespace {
+
+Value
+histogramToJson(const HistogramSnapshot &s)
+{
+    Value h = Value::object();
+    h.set("count", static_cast<double>(s.count));
+    h.set("sum", s.sum);
+    h.set("min", s.min);
+    h.set("mean", s.mean);
+    h.set("p50", s.p50);
+    h.set("p95", s.p95);
+    h.set("p99", s.p99);
+    h.set("max", s.max);
+    return h;
+}
+
+HistogramSnapshot
+histogramFromJson(const Value &v)
+{
+    HistogramSnapshot s;
+    s.count = static_cast<std::uint64_t>(v.numberOr("count", 0.0));
+    s.sum = v.numberOr("sum", 0.0);
+    s.min = v.numberOr("min", 0.0);
+    s.mean = v.numberOr("mean", 0.0);
+    s.p50 = v.numberOr("p50", 0.0);
+    s.p95 = v.numberOr("p95", 0.0);
+    s.p99 = v.numberOr("p99", 0.0);
+    s.max = v.numberOr("max", 0.0);
+    return s;
+}
+
+Value
+metricsToJson(const MetricsSnapshot &snap)
+{
+    Value counters = Value::object();
+    for (const auto &[name, v] : snap.counters)
+        counters.set(name, static_cast<double>(v));
+    Value gauges = Value::object();
+    for (const auto &[name, v] : snap.gauges)
+        gauges.set(name, v);
+    Value histograms = Value::object();
+    for (const auto &[name, h] : snap.histograms)
+        histograms.set(name, histogramToJson(h));
+    Value out = Value::object();
+    out.set("counters", std::move(counters));
+    out.set("gauges", std::move(gauges));
+    out.set("histograms", std::move(histograms));
+    return out;
+}
+
+MetricsSnapshot
+metricsFromJson(const Value &v)
+{
+    MetricsSnapshot snap;
+    if (const Value *c = v.find("counters")) {
+        for (const auto &[name, member] : c->members())
+            snap.counters[name] = static_cast<std::uint64_t>(
+                member.asNumber(0.0));
+    }
+    if (const Value *g = v.find("gauges")) {
+        for (const auto &[name, member] : g->members())
+            snap.gauges[name] = member.asNumber(0.0);
+    }
+    if (const Value *h = v.find("histograms")) {
+        for (const auto &[name, member] : h->members())
+            snap.histograms[name] = histogramFromJson(member);
+    }
+    return snap;
+}
+
+/** Split a metric name on '.' for stage.<chain>.<stage>.<w>... */
+std::vector<std::string>
+splitDots(const std::string &name)
+{
+    std::vector<std::string> parts;
+    std::size_t start = 0;
+    while (true) {
+        const std::size_t dot = name.find('.', start);
+        if (dot == std::string::npos) {
+            parts.push_back(name.substr(start));
+            return parts;
+        }
+        parts.push_back(name.substr(start, dot - start));
+        start = dot + 1;
+    }
+}
+
+/** One aggregated (chain, stage) attribution row. */
+struct StageRow
+{
+    std::string chain;
+    std::string stage;
+    std::uint64_t calls = 0;
+    double wallSeconds = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+    std::uint64_t allocs = 0;
+};
+
+std::vector<StageRow>
+stageRows(const MetricsSnapshot &metrics)
+{
+    std::map<std::pair<std::string, std::string>, StageRow> rows;
+    for (const auto &[name, h] : metrics.histograms) {
+        const auto parts = splitDots(name);
+        if (parts.size() != 5 || parts[0] != "stage" ||
+            parts[4] != "wall_seconds")
+            continue;
+        StageRow &row = rows[{parts[1], parts[2]}];
+        row.chain = parts[1];
+        row.stage = parts[2];
+        // Quantiles merge as a count-weighted mean over workers.
+        const double total =
+            static_cast<double>(row.calls + h.count);
+        if (h.count > 0 && total > 0) {
+            const double wb =
+                static_cast<double>(h.count) / total;
+            row.p95 = row.p95 * (1.0 - wb) + h.p95 * wb;
+            row.p99 = row.p99 * (1.0 - wb) + h.p99 * wb;
+        }
+        row.calls += h.count;
+        row.wallSeconds += h.sum;
+    }
+    for (const auto &[name, v] : metrics.counters) {
+        const auto parts = splitDots(name);
+        if (parts.size() != 5 || parts[0] != "stage" ||
+            parts[4] != "alloc_count")
+            continue;
+        auto it = rows.find({parts[1], parts[2]});
+        if (it != rows.end())
+            it->second.allocs += v;
+    }
+    std::vector<StageRow> out;
+    out.reserve(rows.size());
+    for (auto &[key, row] : rows)
+        out.push_back(std::move(row));
+    std::sort(out.begin(), out.end(),
+              [](const StageRow &a, const StageRow &b) {
+                  return a.wallSeconds != b.wallSeconds
+                             ? a.wallSeconds > b.wallSeconds
+                             : a.stage < b.stage;
+              });
+    return out;
+}
+
+/** Max arena high-water per chain over all workers. */
+std::map<std::string, double>
+arenaHighWater(const MetricsSnapshot &metrics)
+{
+    std::map<std::string, double> out;
+    for (const auto &[name, v] : metrics.gauges) {
+        const auto parts = splitDots(name);
+        if (parts.size() != 4 || parts[0] != "stage" ||
+            parts[2] != "arena_high_water_bytes")
+            continue;
+        auto [it, fresh] = out.emplace(parts[1], v);
+        if (!fresh)
+            it->second = std::max(it->second, v);
+    }
+    return out;
+}
+
+double
+counterOr(const MetricsSnapshot &metrics, const std::string &name)
+{
+    const auto it = metrics.counters.find(name);
+    return it == metrics.counters.end()
+               ? 0.0
+               : static_cast<double>(it->second);
+}
+
+/** Total stage-attributed wall plus the calibration warm-up. */
+void
+coverage(const RunReport &report, double &stageWall,
+         double &calibrateWall)
+{
+    stageWall = 0.0;
+    for (const auto &row : stageRows(report.metrics))
+        stageWall += row.wallSeconds;
+    calibrateWall = 0.0;
+    const auto it = report.metrics.histograms.find(
+        "campaign.calibrate_seconds");
+    if (it != report.metrics.histograms.end())
+        calibrateWall = it->second.sum;
+}
+
+} // namespace
+
+bool
+aggregateJournals(const std::vector<std::string> &paths,
+                  RunReport &out, std::string *error)
+{
+    out = RunReport{};
+    for (const auto &path : paths) {
+        const JournalReadResult res = readJournal(path);
+        if (!res.ok) {
+            if (error)
+                *error = res.error;
+            return false;
+        }
+        ++out.journalCount;
+        out.eventCount += res.events.size();
+        out.truncatedTail |= res.truncatedTail;
+        for (const auto &ev : res.events) {
+            const Value &f = ev.fields;
+            if (ev.type == "run-start") {
+                const std::string identity =
+                    f.stringOr("identity", "");
+                if (out.identity.empty()) {
+                    out.identity = identity;
+                } else if (identity != out.identity) {
+                    if (error)
+                        *error = format(
+                            "%s: campaign identity %s does not "
+                            "match %s — not shards of one run",
+                            path.c_str(), identity.c_str(),
+                            out.identity.c_str());
+                    return false;
+                }
+                ++out.runStarts;
+                out.machine = f.stringOr("machine", out.machine);
+                out.machineDigest = f.stringOr(
+                    "machine_digest", out.machineDigest);
+                out.channel = f.stringOr("channel", out.channel);
+                out.simd = f.stringOr("simd", out.simd);
+                out.build = f.stringOr("build", out.build);
+                out.faultPlan =
+                    f.stringOr("fault_plan", out.faultPlan);
+                out.seed = f.numberOr("seed", out.seed);
+                out.jobs = f.numberOr("jobs", out.jobs);
+                out.reps = f.numberOr("reps", out.reps);
+            } else if (ev.type == "cell-retry") {
+                ++out.retries;
+            } else if (ev.type == "fault-injected") {
+                ++out.faultsInjected;
+            } else if (ev.type == "checkpoint-written") {
+                ++out.checkpointsWritten;
+            } else if (ev.type == "cell-done") {
+                CellRecord rec;
+                rec.pair = f.stringOr("pair", "");
+                rec.a = f.stringOr("a", "");
+                rec.b = f.stringOr("b", "");
+                rec.state = f.stringOr("state", "ok");
+                rec.attempts = static_cast<std::uint64_t>(
+                    f.numberOr("attempts", 1.0));
+                rec.backoffSeconds = f.numberOr("backoff_s", 0.0);
+                rec.wallSeconds = f.numberOr("wall_s", 0.0);
+                rec.cpuSeconds = f.numberOr("cpu_s", 0.0);
+                rec.reps = f.numberOr("reps", 0.0);
+                rec.savatZjMean =
+                    f.numberOr("savat_zj_mean", 0.0);
+                rec.restored = f.boolOr("restored", false);
+                rec.error = f.stringOr("error", "");
+                if (!rec.pair.empty())
+                    out.cells[rec.pair] = std::move(rec);
+            } else if (ev.type == "run-end") {
+                ++out.runEnds;
+                out.wallSeconds = std::max(
+                    out.wallSeconds, f.numberOr("wall_s", 0.0));
+                if (const Value *m = f.find("metrics"))
+                    out.metrics.merge(metricsFromJson(*m));
+            }
+        }
+    }
+    if (out.runStarts == 0) {
+        if (error)
+            *error = "no run-start event found in any journal";
+        return false;
+    }
+    return true;
+}
+
+support::json::Value
+metricsSnapshotToJson(const MetricsSnapshot &snap)
+{
+    return metricsToJson(snap);
+}
+
+void
+writeReportTables(std::ostream &os, const RunReport &report)
+{
+    os << format("campaign %s on %s (digest %s), channel %s\n",
+                 report.identity.c_str(), report.machine.c_str(),
+                 report.machineDigest.c_str(),
+                 report.channel.c_str());
+    os << format(
+        "  build %s, simd %s, seed 0x%llx, jobs %g, reps %g\n",
+        report.build.c_str(), report.simd.c_str(),
+        static_cast<unsigned long long>(report.seed), report.jobs,
+        report.reps);
+    os << format("  %zu journal(s), %zu events, run wall %.3f s%s\n",
+                 report.journalCount, report.eventCount,
+                 report.wallSeconds,
+                 report.truncatedTail
+                     ? " [truncated tail: crashed mid-write]"
+                     : "");
+    if (!report.faultPlan.empty())
+        os << format("  fault plan: %s\n",
+                     report.faultPlan.c_str());
+
+    std::size_t ok = 0, degraded = 0, failed = 0, skipped = 0,
+                restored = 0;
+    for (const auto &[pair, cell] : report.cells) {
+        if (cell.state == "ok")
+            ++ok;
+        else if (cell.state == "degraded")
+            ++degraded;
+        else if (cell.state == "skipped")
+            ++skipped;
+        else
+            ++failed;
+        if (cell.restored)
+            ++restored;
+    }
+    os << format("  cells %zu (ok %zu, degraded %zu, failed %zu, "
+                 "skipped %zu, restored %zu); retries %zu, faults "
+                 "%zu, checkpoints %zu\n",
+                 report.cells.size(), ok, degraded, failed,
+                 skipped, restored, report.retries,
+                 report.faultsInjected,
+                 report.checkpointsWritten);
+
+    const auto rows = stageRows(report.metrics);
+    if (!rows.empty()) {
+        double stageWall = 0.0, calibrateWall = 0.0;
+        coverage(report, stageWall, calibrateWall);
+        const double runWall =
+            report.wallSeconds > 0.0 ? report.wallSeconds
+                                     : stageWall + calibrateWall;
+        os << "\nstage attribution\n";
+        TextTable t;
+        t.setHeader({"chain", "stage", "calls", "wall_s",
+                     "mean_ms", "p95_ms", "p99_ms", "allocs",
+                     "share"});
+        for (const auto &row : rows) {
+            t.startRow();
+            t.addCell(row.chain);
+            t.addCell(row.stage);
+            t.addCell(static_cast<long long>(row.calls));
+            t.addCell(row.wallSeconds, 4);
+            t.addCell(row.calls > 0
+                          ? 1e3 * row.wallSeconds /
+                                static_cast<double>(row.calls)
+                          : 0.0,
+                      4);
+            t.addCell(1e3 * row.p95, 4);
+            t.addCell(1e3 * row.p99, 4);
+            t.addCell(static_cast<long long>(row.allocs));
+            t.addCell(format("%.1f%%", 100.0 * row.wallSeconds /
+                                           std::max(runWall,
+                                                    1e-12)));
+        }
+        t.render(os);
+        os << format("stage coverage: %.3f s attributed + %.3f s "
+                     "calibration of %.3f s run wall (%.1f%%)\n",
+                     stageWall, calibrateWall, runWall,
+                     100.0 * (stageWall + calibrateWall) /
+                         std::max(runWall, 1e-12));
+    }
+
+    const auto arena = arenaHighWater(report.metrics);
+    if (!arena.empty()) {
+        os << "\narena high water\n";
+        for (const auto &[chain, bytes] : arena)
+            os << format("  %-8s %12.0f bytes\n", chain.c_str(),
+                         bytes);
+    }
+
+    struct CachePair
+    {
+        const char *label;
+        const char *hits;
+        const char *misses;
+    };
+    static const CachePair kCaches[] = {
+        {"cpi calibration", "meter.cpi_cache_hits",
+         "meter.cpi_calibrations"},
+        {"pair simulation", "meter.pair_cache_hits",
+         "meter.pair_simulations"},
+        {"fft plan", "fft.plan_cache_hits",
+         "fft.plan_cache_misses"},
+    };
+    bool cacheHeader = false;
+    for (const auto &cache : kCaches) {
+        const double hits = counterOr(report.metrics, cache.hits);
+        const double misses =
+            counterOr(report.metrics, cache.misses);
+        if (hits + misses <= 0.0)
+            continue;
+        if (!cacheHeader) {
+            os << "\ncache hit rates\n";
+            cacheHeader = true;
+        }
+        os << format("  %-16s %8.0f hits %8.0f misses (%.1f%%)\n",
+                     cache.label, hits, misses,
+                     100.0 * hits / (hits + misses));
+    }
+
+    if (!report.cells.empty()) {
+        os << "\ncells\n";
+        TextTable t;
+        t.setHeader({"pair", "state", "attempts", "wall_ms",
+                     "cpu_ms", "reps", "savat_zj_mean", "flags"});
+        for (const auto &[pair, cell] : report.cells) {
+            t.startRow();
+            t.addCell(pair);
+            t.addCell(cell.state);
+            t.addCell(static_cast<long long>(cell.attempts));
+            t.addCell(1e3 * cell.wallSeconds, 3);
+            t.addCell(1e3 * cell.cpuSeconds, 3);
+            t.addCell(static_cast<long long>(cell.reps));
+            t.addCell(format("%.6g", cell.savatZjMean));
+            t.addCell(cell.restored ? "restored" : "");
+        }
+        t.render(os);
+    }
+}
+
+void
+writeReportJson(std::ostream &os, const RunReport &report)
+{
+    Value root = Value::object();
+    root.set("schema", kReportSchema);
+    root.set("identity", report.identity);
+    Value machine = Value::object();
+    machine.set("id", report.machine);
+    machine.set("digest", report.machineDigest);
+    root.set("machine", std::move(machine));
+    root.set("channel", report.channel);
+    root.set("simd", report.simd);
+    root.set("build", report.build);
+    root.set("seed", report.seed);
+    root.set("jobs", report.jobs);
+    root.set("reps", report.reps);
+    root.set("journals",
+             static_cast<double>(report.journalCount));
+    root.set("events", static_cast<double>(report.eventCount));
+    root.set("truncated_tail", report.truncatedTail);
+    root.set("wall_seconds", report.wallSeconds);
+    if (!report.faultPlan.empty())
+        root.set("fault_plan", report.faultPlan);
+
+    std::size_t ok = 0, degraded = 0, failed = 0, skipped = 0,
+                restored = 0;
+    Value cells = Value::array();
+    for (const auto &[pair, cell] : report.cells) {
+        if (cell.state == "ok")
+            ++ok;
+        else if (cell.state == "degraded")
+            ++degraded;
+        else if (cell.state == "skipped")
+            ++skipped;
+        else
+            ++failed;
+        if (cell.restored)
+            ++restored;
+        Value c = Value::object();
+        c.set("pair", pair);
+        c.set("a", cell.a);
+        c.set("b", cell.b);
+        c.set("state", cell.state);
+        c.set("attempts", static_cast<double>(cell.attempts));
+        c.set("wall_s", cell.wallSeconds);
+        c.set("cpu_s", cell.cpuSeconds);
+        c.set("reps", cell.reps);
+        c.set("savat_zj_mean", cell.savatZjMean);
+        c.set("restored", cell.restored);
+        if (!cell.error.empty())
+            c.set("error", cell.error);
+        cells.push(std::move(c));
+    }
+    Value totals = Value::object();
+    totals.set("cells", static_cast<double>(report.cells.size()));
+    totals.set("ok", static_cast<double>(ok));
+    totals.set("degraded", static_cast<double>(degraded));
+    totals.set("failed", static_cast<double>(failed));
+    totals.set("skipped", static_cast<double>(skipped));
+    totals.set("restored", static_cast<double>(restored));
+    totals.set("retries", static_cast<double>(report.retries));
+    totals.set("faults_injected",
+               static_cast<double>(report.faultsInjected));
+    totals.set("checkpoints_written",
+               static_cast<double>(report.checkpointsWritten));
+    root.set("totals", std::move(totals));
+    root.set("cells", std::move(cells));
+
+    Value stages = Value::array();
+    double stageWall = 0.0, calibrateWall = 0.0;
+    coverage(report, stageWall, calibrateWall);
+    for (const auto &row : stageRows(report.metrics)) {
+        Value s = Value::object();
+        s.set("chain", row.chain);
+        s.set("stage", row.stage);
+        s.set("calls", static_cast<double>(row.calls));
+        s.set("wall_s", row.wallSeconds);
+        s.set("p95_s", row.p95);
+        s.set("p99_s", row.p99);
+        s.set("allocs", static_cast<double>(row.allocs));
+        stages.push(std::move(s));
+    }
+    root.set("stages", std::move(stages));
+    Value cov = Value::object();
+    cov.set("stage_wall_s", stageWall);
+    cov.set("calibrate_wall_s", calibrateWall);
+    cov.set("run_wall_s", report.wallSeconds);
+    cov.set("share",
+            report.wallSeconds > 0.0
+                ? (stageWall + calibrateWall) / report.wallSeconds
+                : 0.0);
+    root.set("coverage", std::move(cov));
+
+    Value arena = Value::object();
+    for (const auto &[chain, bytes] :
+         arenaHighWater(report.metrics))
+        arena.set(chain, bytes);
+    root.set("arena_high_water_bytes", std::move(arena));
+
+    root.set("metrics", metricsToJson(report.metrics));
+    os << root.serialize() << "\n";
+}
+
+} // namespace savat::obs

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Crash-safe structured run journal and the report layer over it.
+ *
+ * A campaign is a long-running measurement: hours of cells, retries,
+ * fault injections and checkpoints. The journal records that run as
+ * an append-only JSONL stream — one self-describing event object per
+ * line, each line carrying its own CRC32 — so that after a crash,
+ * an OOM kill, or a fault-plan `die`, every completed line is still
+ * readable and the torn line (if any) is detectable. Event grammar
+ * (schema `savat-run-journal-v1`):
+ *
+ *   run-start          campaign identity hash, machine id + config
+ *                      digest, channel, events, reps, seed, jobs,
+ *                      SIMD level, build (git describe), fault plan,
+ *                      checkpoint/resume provenance
+ *   cell-start         pair about to be measured
+ *   cell-retry         one failed attempt (error, backoff)
+ *   fault-injected     an injected measurement fault fired
+ *   cell-done          terminal cell record: state, attempts, wall
+ *                      and thread-CPU seconds, restored-from-
+ *                      checkpoint flag, deterministic metric value
+ *   checkpoint-written checkpoint ordinal and cell count
+ *   run-end            totals plus an embedded metrics snapshot
+ *
+ * Every event carries `event`, `seq` (per-journal sequence number),
+ * `t` (seconds since journal open) and a trailing `crc` member:
+ * CRC32 over the line text with the crc member spliced out.
+ *
+ * The journal also keeps an in-memory **flight recorder**: a ring of
+ * the last kFlightRecorderSlots formatted lines. On SIGSEGV/SIGBUS/
+ * SIGILL/SIGFPE/SIGABRT a handler dumps the ring to `<path>.crash`
+ * using only async-signal-safe write(2) calls, then re-raises; the
+ * fault injector's `die` path calls dumpCrash() synchronously before
+ * _Exit. The dump shows exactly which cells were in flight.
+ *
+ * The report layer (aggregateJournals + writers) parses one or more
+ * journals — e.g. the shards of a resumed run — and merges them into
+ * a RunReport: per-cell records (last terminal record wins), stage
+ * attribution from the embedded metrics snapshot, and run totals.
+ *
+ * Journal writes happen only on the cell boundary (under the
+ * campaign's progress lock), never inside the rep loop, and never
+ * touch an RNG stream: journaled campaigns stay bit-identical to
+ * silent ones (proved by tests/test_obs_journal.cc).
+ */
+
+#ifndef SAVAT_SUPPORT_JOURNAL_HH
+#define SAVAT_SUPPORT_JOURNAL_HH
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "support/io.hh"
+#include "support/json.hh"
+#include "support/obs.hh"
+
+namespace savat::obs {
+
+/** Journal schema identifier written into every run-start event. */
+inline constexpr const char *kJournalSchema = "savat-run-journal-v1";
+
+/** Report schema identifier for `savat_cli report --format=json`. */
+inline constexpr const char *kReportSchema = "savat-run-report-v1";
+
+/** Lines retained by the in-memory flight recorder. */
+inline constexpr std::size_t kFlightRecorderSlots = 64;
+
+/** Build provenance (git describe at configure time). */
+const char *buildDescribe();
+
+/**
+ * Append-only JSONL event writer. One instance per run; emit() is
+ * thread-safe (events from worker threads serialize under an
+ * internal mutex, though the campaign already emits under its
+ * progress lock). Opening a journal installs the crash handlers.
+ */
+class Journal
+{
+  public:
+    Journal() = default;
+    ~Journal();
+
+    Journal(const Journal &) = delete;
+    Journal &operator=(const Journal &) = delete;
+
+    /** Open (append) and arm the flight recorder. */
+    bool open(const std::string &path,
+              std::string *error = nullptr);
+
+    bool isOpen() const { return _file.isOpen(); }
+    const std::string &path() const { return _path; }
+
+    /**
+     * Append one event: `fields` (an object) is spliced after the
+     * standard event/seq/t members, then the CRC is appended.
+     */
+    void emit(const std::string &type,
+              support::json::Value fields);
+
+    /**
+     * Synchronously dump the flight recorder to `<path>.crash`
+     * with a trailing reason line — the non-signal crash path
+     * (fault-plan `die` calls this right before _Exit).
+     */
+    void dumpCrash(const std::string &reason);
+
+    void close();
+
+  private:
+    std::mutex _mu;
+    support::AppendFile _file;
+    std::string _path;
+    std::uint64_t _seq = 0;
+    std::chrono::steady_clock::time_point _t0;
+};
+
+/** One parsed journal event. */
+struct JournalEvent
+{
+    std::string type;
+    std::uint64_t seq = 0;
+    double t = 0.0;                //!< seconds since journal open
+    support::json::Value fields;   //!< the full event object
+};
+
+/** Outcome of reading one journal file. */
+struct JournalReadResult
+{
+    std::vector<JournalEvent> events;
+    bool ok = false;
+    bool truncatedTail = false; //!< final line torn by a crash
+    std::string error;
+};
+
+/**
+ * Parse a journal: every line must parse as JSON and pass its CRC.
+ * A bad *final* line is reported as truncatedTail (expected after a
+ * crash); a bad interior line fails the read.
+ */
+JournalReadResult readJournal(const std::string &path);
+
+/** Terminal per-cell record aggregated from a journal. */
+struct CellRecord
+{
+    std::string pair;  //!< "A|B" display name
+    std::string a, b;
+    std::string state; //!< ok|degraded|failed|skipped
+    std::uint64_t attempts = 0;
+    double backoffSeconds = 0.0;
+    double wallSeconds = 0.0;
+    double cpuSeconds = 0.0;
+    double reps = 0.0;
+    double savatZjMean = 0.0; //!< deterministic; equal across runs
+    bool restored = false;
+    std::string error;
+};
+
+/** Aggregation of one or more journals of the same campaign. */
+struct RunReport
+{
+    std::string identity;      //!< campaign identity hash
+    std::string machine;
+    std::string machineDigest;
+    std::string channel;
+    std::string simd;
+    std::string build;
+    std::string faultPlan;
+    double seed = 0.0;
+    double jobs = 0.0;
+    double reps = 0.0;
+    std::size_t journalCount = 0;
+    std::size_t eventCount = 0;
+    std::size_t runStarts = 0;
+    std::size_t runEnds = 0;
+    bool truncatedTail = false;
+    double wallSeconds = 0.0; //!< max run-end wall over journals
+    std::size_t retries = 0;
+    std::size_t faultsInjected = 0;
+    std::size_t checkpointsWritten = 0;
+    std::map<std::string, CellRecord> cells; //!< keyed by pair
+    MetricsSnapshot metrics; //!< merged run-end snapshots
+};
+
+/**
+ * Read and merge `paths` into one report. Journals of different
+ * campaign identities are refused (they are not shards of one run).
+ * Returns false with `error` on unreadable/corrupt journals.
+ */
+bool aggregateJournals(const std::vector<std::string> &paths,
+                       RunReport &out,
+                       std::string *error = nullptr);
+
+/**
+ * Convert a metrics snapshot to a JSON value — the campaign embeds
+ * one into the run-end event; aggregateJournals parses it back.
+ */
+support::json::Value
+metricsSnapshotToJson(const MetricsSnapshot &snap);
+
+/** Human-readable report: run summary + attribution tables. */
+void writeReportTables(std::ostream &os, const RunReport &report);
+
+/** Machine-readable report (schema savat-run-report-v1). */
+void writeReportJson(std::ostream &os, const RunReport &report);
+
+} // namespace savat::obs
+
+#endif // SAVAT_SUPPORT_JOURNAL_HH

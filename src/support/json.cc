@@ -1,0 +1,405 @@
+#include "support/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+#include "support/strings.hh"
+
+namespace savat::support::json {
+
+Value
+Value::array()
+{
+    Value v;
+    v._kind = Kind::Array;
+    return v;
+}
+
+Value
+Value::object()
+{
+    Value v;
+    v._kind = Kind::Object;
+    return v;
+}
+
+bool
+Value::asBool(bool fallback) const
+{
+    return _kind == Kind::Bool ? _bool : fallback;
+}
+
+double
+Value::asNumber(double fallback) const
+{
+    return _kind == Kind::Number ? _number : fallback;
+}
+
+const std::string &
+Value::asString() const
+{
+    static const std::string empty;
+    return _kind == Kind::String ? _string : empty;
+}
+
+void
+Value::push(Value v)
+{
+    _kind = Kind::Array;
+    _elements.push_back(std::move(v));
+}
+
+void
+Value::set(std::string key, Value v)
+{
+    _kind = Kind::Object;
+    _members.emplace_back(std::move(key), std::move(v));
+}
+
+const Value *
+Value::find(const std::string &key) const
+{
+    for (const auto &[k, v] : _members) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+double
+Value::numberOr(const std::string &key, double fallback) const
+{
+    const Value *v = find(key);
+    return v ? v->asNumber(fallback) : fallback;
+}
+
+std::string
+Value::stringOr(const std::string &key,
+                const std::string &fallback) const
+{
+    const Value *v = find(key);
+    return v && v->isString() ? v->asString() : fallback;
+}
+
+bool
+Value::boolOr(const std::string &key, bool fallback) const
+{
+    const Value *v = find(key);
+    return v ? v->asBool(fallback) : fallback;
+}
+
+std::string
+escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += format("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+std::string
+numberText(double v)
+{
+    if (!std::isfinite(v))
+        return "0";
+    // %.17g round-trips every double; trim to the short form when
+    // the value is integral and small enough to print exactly.
+    if (v == std::floor(v) && std::fabs(v) < 1e15)
+        return format("%.0f", v);
+    return format("%.17g", v);
+}
+
+namespace {
+
+void
+serializeInto(const Value &v, std::string &out)
+{
+    switch (v.kind()) {
+      case Value::Kind::Null:
+        out += "null";
+        return;
+      case Value::Kind::Bool:
+        out += v.asBool() ? "true" : "false";
+        return;
+      case Value::Kind::Number:
+        out += numberText(v.asNumber());
+        return;
+      case Value::Kind::String:
+        out += '"';
+        out += escape(v.asString());
+        out += '"';
+        return;
+      case Value::Kind::Array: {
+        out += '[';
+        const char *sep = "";
+        for (const auto &e : v.elements()) {
+            out += sep;
+            serializeInto(e, out);
+            sep = ",";
+        }
+        out += ']';
+        return;
+      }
+      case Value::Kind::Object: {
+        out += '{';
+        const char *sep = "";
+        for (const auto &[key, member] : v.members()) {
+            out += sep;
+            out += '"';
+            out += escape(key);
+            out += "\":";
+            serializeInto(member, out);
+            sep = ",";
+        }
+        out += '}';
+        return;
+      }
+    }
+}
+
+/** Recursive-descent parser over the whole document string. */
+struct Parser
+{
+    const std::string &text;
+    std::size_t pos = 0;
+    std::string error;
+
+    explicit Parser(const std::string &t) : text(t) {}
+
+    bool
+    fail(const std::string &what)
+    {
+        if (error.empty())
+            error = format("%s at byte %zu", what.c_str(), pos);
+        return false;
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[pos])))
+            ++pos;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        const std::size_t n = std::string(word).size();
+        if (text.compare(pos, n, word) != 0)
+            return fail(format("expected '%s'", word));
+        pos += n;
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (pos >= text.size() || text[pos] != '"')
+            return fail("expected string");
+        ++pos;
+        out.clear();
+        while (pos < text.size()) {
+            const char c = text[pos++];
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos >= text.size())
+                return fail("dangling escape");
+            const char esc = text[pos++];
+            switch (esc) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                if (pos + 4 > text.size())
+                    return fail("short \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text[pos++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return fail("bad \\u escape");
+                }
+                // The journals only ever emit control characters
+                // this way; encode as UTF-8 for completeness.
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xC0 | (code >> 6));
+                    out +=
+                        static_cast<char>(0x80 | (code & 0x3F));
+                } else {
+                    out += static_cast<char>(0xE0 | (code >> 12));
+                    out += static_cast<char>(0x80 |
+                                             ((code >> 6) & 0x3F));
+                    out +=
+                        static_cast<char>(0x80 | (code & 0x3F));
+                }
+                break;
+              }
+              default:
+                return fail("unknown escape");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseValue(Value &out)
+    {
+        skipSpace();
+        if (pos >= text.size())
+            return fail("unexpected end of input");
+        const char c = text[pos];
+        if (c == '{') {
+            ++pos;
+            out = Value::object();
+            skipSpace();
+            if (pos < text.size() && text[pos] == '}') {
+                ++pos;
+                return true;
+            }
+            while (true) {
+                skipSpace();
+                std::string key;
+                if (!parseString(key))
+                    return false;
+                skipSpace();
+                if (pos >= text.size() || text[pos] != ':')
+                    return fail("expected ':'");
+                ++pos;
+                Value member;
+                if (!parseValue(member))
+                    return false;
+                out.set(std::move(key), std::move(member));
+                skipSpace();
+                if (pos < text.size() && text[pos] == ',') {
+                    ++pos;
+                    continue;
+                }
+                if (pos < text.size() && text[pos] == '}') {
+                    ++pos;
+                    return true;
+                }
+                return fail("expected ',' or '}'");
+            }
+        }
+        if (c == '[') {
+            ++pos;
+            out = Value::array();
+            skipSpace();
+            if (pos < text.size() && text[pos] == ']') {
+                ++pos;
+                return true;
+            }
+            while (true) {
+                Value element;
+                if (!parseValue(element))
+                    return false;
+                out.push(std::move(element));
+                skipSpace();
+                if (pos < text.size() && text[pos] == ',') {
+                    ++pos;
+                    continue;
+                }
+                if (pos < text.size() && text[pos] == ']') {
+                    ++pos;
+                    return true;
+                }
+                return fail("expected ',' or ']'");
+            }
+        }
+        if (c == '"') {
+            std::string s;
+            if (!parseString(s))
+                return false;
+            out = Value(std::move(s));
+            return true;
+        }
+        if (c == 't') {
+            if (!literal("true"))
+                return false;
+            out = Value(true);
+            return true;
+        }
+        if (c == 'f') {
+            if (!literal("false"))
+                return false;
+            out = Value(false);
+            return true;
+        }
+        if (c == 'n') {
+            if (!literal("null"))
+                return false;
+            out = Value();
+            return true;
+        }
+        char *end = nullptr;
+        const double v = std::strtod(text.c_str() + pos, &end);
+        if (end == text.c_str() + pos)
+            return fail("expected value");
+        pos = static_cast<std::size_t>(end - text.c_str());
+        out = Value(v);
+        return true;
+    }
+};
+
+} // namespace
+
+std::string
+Value::serialize() const
+{
+    std::string out;
+    serializeInto(*this, out);
+    return out;
+}
+
+ParseResult
+parse(const std::string &text)
+{
+    ParseResult res;
+    Parser p(text);
+    if (!p.parseValue(res.value)) {
+        res.error = p.error;
+        return res;
+    }
+    p.skipSpace();
+    if (p.pos != text.size()) {
+        res.error =
+            format("trailing garbage at byte %zu", p.pos);
+        return res;
+    }
+    res.ok = true;
+    return res;
+}
+
+} // namespace savat::support::json

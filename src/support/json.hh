@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Minimal JSON document model for the observability tooling.
+ *
+ * The run journal (support/journal.hh) streams one JSON object per
+ * line and the report layer has to read those lines back — including
+ * journals written by older builds — without growing a third-party
+ * dependency. This module supplies just enough: an ordered object
+ * model (insertion order is preserved so journal lines round-trip
+ * byte-for-byte minus whitespace), a recursive-descent parser, and a
+ * compact single-line serializer.
+ *
+ * Numbers are stored as doubles (plenty for counters, timings and
+ * sequence numbers; 64-bit hashes travel as hex strings). This is a
+ * tool-path module — nothing on the measurement hot path parses or
+ * prints JSON.
+ */
+
+#ifndef SAVAT_SUPPORT_JSON_HH
+#define SAVAT_SUPPORT_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace savat::support::json {
+
+/** One JSON value; objects keep member insertion order. */
+class Value
+{
+  public:
+    enum class Kind : std::uint8_t
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    using Member = std::pair<std::string, Value>;
+
+    Value() = default;
+    Value(bool b) : _kind(Kind::Bool), _bool(b) {}
+    Value(double v) : _kind(Kind::Number), _number(v) {}
+    Value(int v) : Value(static_cast<double>(v)) {}
+    Value(std::size_t v) : Value(static_cast<double>(v)) {}
+    Value(const char *s) : _kind(Kind::String), _string(s) {}
+    Value(std::string s) : _kind(Kind::String), _string(std::move(s))
+    {
+    }
+
+    static Value array();
+    static Value object();
+
+    Kind kind() const { return _kind; }
+    bool isNull() const { return _kind == Kind::Null; }
+    bool isBool() const { return _kind == Kind::Bool; }
+    bool isNumber() const { return _kind == Kind::Number; }
+    bool isString() const { return _kind == Kind::String; }
+    bool isArray() const { return _kind == Kind::Array; }
+    bool isObject() const { return _kind == Kind::Object; }
+
+    /** Typed accessors; defaults cover the wrong-kind case. */
+    bool asBool(bool fallback = false) const;
+    double asNumber(double fallback = 0.0) const;
+    const std::string &asString() const;
+
+    /** Array elements (empty for non-arrays). */
+    const std::vector<Value> &elements() const { return _elements; }
+    void push(Value v);
+
+    /** Object members in insertion order (empty for non-objects). */
+    const std::vector<Member> &members() const { return _members; }
+
+    /** Append a member (no duplicate check; journals never repeat). */
+    void set(std::string key, Value v);
+
+    /** First member with this key, or nullptr. */
+    const Value *find(const std::string &key) const;
+
+    /** Member lookup with typed fallbacks for absent keys. */
+    double numberOr(const std::string &key, double fallback) const;
+    std::string stringOr(const std::string &key,
+                         const std::string &fallback) const;
+    bool boolOr(const std::string &key, bool fallback) const;
+
+    /** Compact single-line serialization (no trailing newline). */
+    std::string serialize() const;
+
+  private:
+    Kind _kind = Kind::Null;
+    bool _bool = false;
+    double _number = 0.0;
+    std::string _string;
+    std::vector<Value> _elements;
+    std::vector<Member> _members;
+};
+
+/** Outcome of parsing one document. */
+struct ParseResult
+{
+    Value value;
+    bool ok = false;
+    std::string error; //!< includes the byte offset of the failure
+};
+
+/** Parse one JSON document (trailing whitespace allowed). */
+ParseResult parse(const std::string &text);
+
+/** Escape a string for embedding between JSON quotes. */
+std::string escape(const std::string &s);
+
+/** JSON-safe number text: finite via %.17g, NaN/Inf as 0. */
+std::string numberText(double v);
+
+} // namespace savat::support::json
+
+#endif // SAVAT_SUPPORT_JSON_HH

@@ -1,0 +1,98 @@
+#include "support/memcount.hh"
+
+#include <cstdlib>
+#include <new>
+
+// Sanitizer runtimes provide their own operator new (with redzones
+// and interception); replacing it underneath them breaks both, so
+// the counting pair is compiled out and the API degrades to zero.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define SAVAT_MEMCOUNT_DISABLED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define SAVAT_MEMCOUNT_DISABLED 1
+#endif
+#endif
+
+namespace savat::support {
+
+namespace {
+
+// Zero-initialized (no guard, no dynamic init): safe to touch from
+// the very first allocation in the process and from any thread.
+thread_local std::uint64_t t_allocs = 0;
+
+} // namespace
+
+std::uint64_t
+threadAllocCount()
+{
+    return t_allocs;
+}
+
+bool
+allocCounterActive()
+{
+#ifdef SAVAT_MEMCOUNT_DISABLED
+    return false;
+#else
+    return true;
+#endif
+}
+
+} // namespace savat::support
+
+#ifndef SAVAT_MEMCOUNT_DISABLED
+
+// noinline keeps the replacement pair opaque at call sites; inlined
+// copies trip GCC's -Wmismatched-new-delete on the internal
+// malloc/free, which is exactly the matched pair here. weak lets a
+// binary with its own strong replacement (tests/test_alloc.cc) win
+// the link instead of colliding.
+#if defined(__GNUC__)
+#define SAVAT_MEMCOUNT_DEF __attribute__((weak, noinline))
+#else
+#define SAVAT_MEMCOUNT_DEF
+#endif
+
+SAVAT_MEMCOUNT_DEF void *
+operator new(std::size_t size)
+{
+    ++savat::support::t_allocs;
+    if (void *p = std::malloc(size ? size : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+SAVAT_MEMCOUNT_DEF void *
+operator new[](std::size_t size)
+{
+    return ::operator new(size);
+}
+
+SAVAT_MEMCOUNT_DEF void
+operator delete(void *p) noexcept
+{
+    if (p)
+        std::free(p);
+}
+
+SAVAT_MEMCOUNT_DEF void
+operator delete[](void *p) noexcept
+{
+    ::operator delete(p);
+}
+
+SAVAT_MEMCOUNT_DEF void
+operator delete(void *p, std::size_t) noexcept
+{
+    ::operator delete(p);
+}
+
+SAVAT_MEMCOUNT_DEF void
+operator delete[](void *p, std::size_t) noexcept
+{
+    ::operator delete(p);
+}
+
+#endif // !SAVAT_MEMCOUNT_DISABLED

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Library-level heap-allocation counter for stage attribution.
+ *
+ * PR 7's zero-allocation contract is pinned by tests/test_alloc.cc,
+ * which replaces global operator new/delete inside the test binary.
+ * The stage profiler (support/stageprof.hh) wants the same signal in
+ * *every* binary — "how many heap allocations did this stage
+ * perform on this thread" — without breaking that test or fighting
+ * sanitizer runtimes. So memcount.cc defines a counting operator
+ * new/delete pair marked __attribute__((weak)):
+ *
+ *  - in ordinary binaries the weak pair is linked (stageprof pulls
+ *    this TU in) and threadAllocCount() ticks per allocation;
+ *  - in test_alloc the test's strong definitions win the link and
+ *    threadAllocCount() simply stays zero — allocation deltas
+ *    degrade to 0, nothing double-counts;
+ *  - under ASan/TSan the replacement is compiled out entirely (the
+ *    sanitizer runtimes intercept operator new themselves) and
+ *    allocCounterActive() reports false.
+ *
+ * The counter is a zero-initialized thread_local (no dynamic init,
+ * no guard variable), so the per-allocation overhead is one
+ * increment and counting is safe from any thread at any time.
+ */
+
+#ifndef SAVAT_SUPPORT_MEMCOUNT_HH
+#define SAVAT_SUPPORT_MEMCOUNT_HH
+
+#include <cstdint>
+
+namespace savat::support {
+
+/**
+ * Heap allocations observed on the calling thread since it started.
+ * Monotonic; subtract two readings to attribute a scope. Always 0
+ * when the counting allocator is not active in this binary.
+ */
+std::uint64_t threadAllocCount();
+
+/** Whether this binary carries the counting operator new. */
+bool allocCounterActive();
+
+} // namespace savat::support
+
+#endif // SAVAT_SUPPORT_MEMCOUNT_HH

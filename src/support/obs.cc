@@ -173,6 +173,7 @@ Histogram::snapshot() const
     };
     out.p50 = quantile(0.50);
     out.p95 = quantile(0.95);
+    out.p99 = quantile(0.99);
     return out;
 }
 
@@ -277,33 +278,79 @@ jsonNumber(double v)
 
 } // namespace
 
-void
-Registry::writeJson(std::ostream &os) const
+MetricsSnapshot
+Registry::snapshot() const
 {
     const std::lock_guard<std::mutex> lock(_mu);
+    MetricsSnapshot snap;
+    for (const auto &[name, c] : _counters)
+        snap.counters[name] = c->value();
+    for (const auto &[name, g] : _gauges)
+        snap.gauges[name] = g->value();
+    for (const auto &[name, h] : _histograms)
+        snap.histograms[name] = h->snapshot();
+    return snap;
+}
+
+void
+MetricsSnapshot::merge(const MetricsSnapshot &other)
+{
+    for (const auto &[name, v] : other.counters)
+        counters[name] += v;
+    for (const auto &[name, v] : other.gauges) {
+        auto [it, fresh] = gauges.emplace(name, v);
+        if (!fresh)
+            it->second = std::max(it->second, v);
+    }
+    for (const auto &[name, h] : other.histograms) {
+        auto [it, fresh] = histograms.emplace(name, h);
+        if (fresh || h.count == 0)
+            continue;
+        HistogramSnapshot &mine = it->second;
+        if (mine.count == 0) {
+            mine = h;
+            continue;
+        }
+        const double wa = static_cast<double>(mine.count);
+        const double wb = static_cast<double>(h.count);
+        // Buckets are not serialized, so quantiles merge as a
+        // count-weighted average — an estimate, kept honest by the
+        // exact count/sum/min/max alongside it.
+        mine.p50 = (mine.p50 * wa + h.p50 * wb) / (wa + wb);
+        mine.p95 = (mine.p95 * wa + h.p95 * wb) / (wa + wb);
+        mine.p99 = (mine.p99 * wa + h.p99 * wb) / (wa + wb);
+        mine.count += h.count;
+        mine.sum += h.sum;
+        mine.min = std::min(mine.min, h.min);
+        mine.max = std::max(mine.max, h.max);
+        mine.mean = mine.sum / static_cast<double>(mine.count);
+    }
+}
+
+void
+writeMetricsJson(std::ostream &os, const MetricsSnapshot &snap)
+{
     os << "{\n  \"schema\": \"savat.metrics.v1\",\n";
     os << "  \"counters\": {";
     const char *sep = "";
-    for (const auto &[name, c] : _counters) {
-        os << sep << "\n    \"" << jsonEscape(name)
-           << "\": " << c->value();
+    for (const auto &[name, v] : snap.counters) {
+        os << sep << "\n    \"" << jsonEscape(name) << "\": " << v;
         sep = ",";
     }
     os << (*sep ? "\n  " : "") << "},\n";
 
     os << "  \"gauges\": {";
     sep = "";
-    for (const auto &[name, g] : _gauges) {
+    for (const auto &[name, v] : snap.gauges) {
         os << sep << "\n    \"" << jsonEscape(name)
-           << "\": " << jsonNumber(g->value());
+           << "\": " << jsonNumber(v);
         sep = ",";
     }
     os << (*sep ? "\n  " : "") << "},\n";
 
     os << "  \"histograms\": {";
     sep = "";
-    for (const auto &[name, h] : _histograms) {
-        const auto s = h->snapshot();
+    for (const auto &[name, s] : snap.histograms) {
         os << sep << "\n    \"" << jsonEscape(name) << "\": {"
            << "\"count\": " << s.count
            << ", \"sum\": " << jsonNumber(s.sum)
@@ -311,6 +358,7 @@ Registry::writeJson(std::ostream &os) const
            << ", \"mean\": " << jsonNumber(s.mean)
            << ", \"p50\": " << jsonNumber(s.p50)
            << ", \"p95\": " << jsonNumber(s.p95)
+           << ", \"p99\": " << jsonNumber(s.p99)
            << ", \"max\": " << jsonNumber(s.max) << "}";
         sep = ",";
     }
@@ -318,36 +366,94 @@ Registry::writeJson(std::ostream &os) const
 }
 
 void
+writeMetricsTable(std::ostream &os, const MetricsSnapshot &snap)
+{
+    if (!snap.counters.empty()) {
+        os << "counters\n";
+        for (const auto &[name, v] : snap.counters) {
+            os << format("  %-36s %14llu\n", name.c_str(),
+                         static_cast<unsigned long long>(v));
+        }
+    }
+    if (!snap.gauges.empty()) {
+        os << "gauges\n";
+        for (const auto &[name, v] : snap.gauges)
+            os << format("  %-36s %14.6g\n", name.c_str(), v);
+    }
+    if (!snap.histograms.empty()) {
+        os << format(
+            "%-38s %10s %11s %11s %11s %11s %11s %11s\n",
+            "histograms", "count", "min", "mean", "p50", "p95",
+            "p99", "max");
+        for (const auto &[name, s] : snap.histograms) {
+            os << format("  %-36s %10llu %11.4g %11.4g %11.4g "
+                         "%11.4g %11.4g %11.4g\n",
+                         name.c_str(),
+                         static_cast<unsigned long long>(s.count),
+                         s.min, s.mean, s.p50, s.p95, s.p99, s.max);
+        }
+    }
+}
+
+namespace {
+
+/** Prometheus metric name: savat_ prefix, [a-zA-Z0-9_:] body. */
+std::string
+promName(const std::string &name)
+{
+    std::string out = "savat_";
+    for (char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_';
+        out += ok ? c : '_';
+    }
+    return out;
+}
+
+} // namespace
+
+void
+writePrometheusText(std::ostream &os, const MetricsSnapshot &snap)
+{
+    for (const auto &[name, v] : snap.counters) {
+        const std::string p = promName(name);
+        os << "# TYPE " << p << " counter\n"
+           << p << " " << v << "\n";
+    }
+    for (const auto &[name, v] : snap.gauges) {
+        const std::string p = promName(name);
+        os << "# TYPE " << p << " gauge\n"
+           << p << " " << jsonNumber(v) << "\n";
+    }
+    for (const auto &[name, s] : snap.histograms) {
+        const std::string p = promName(name);
+        os << "# TYPE " << p << " summary\n"
+           << p << "{quantile=\"0.5\"} " << jsonNumber(s.p50)
+           << "\n"
+           << p << "{quantile=\"0.95\"} " << jsonNumber(s.p95)
+           << "\n"
+           << p << "{quantile=\"0.99\"} " << jsonNumber(s.p99)
+           << "\n"
+           << p << "_sum " << jsonNumber(s.sum) << "\n"
+           << p << "_count " << s.count << "\n";
+        os << "# TYPE " << p << "_min gauge\n"
+           << p << "_min " << jsonNumber(s.min) << "\n";
+        os << "# TYPE " << p << "_max gauge\n"
+           << p << "_max " << jsonNumber(s.max) << "\n";
+    }
+}
+
+void
+Registry::writeJson(std::ostream &os) const
+{
+    writeMetricsJson(os, snapshot());
+}
+
+void
 Registry::writeTable(std::ostream &os) const
 {
-    const std::lock_guard<std::mutex> lock(_mu);
-    if (!_counters.empty()) {
-        os << "counters\n";
-        for (const auto &[name, c] : _counters) {
-            os << format("  %-36s %14llu\n", name.c_str(),
-                         static_cast<unsigned long long>(c->value()));
-        }
-    }
-    if (!_gauges.empty()) {
-        os << "gauges\n";
-        for (const auto &[name, g] : _gauges) {
-            os << format("  %-36s %14.6g\n", name.c_str(),
-                         g->value());
-        }
-    }
-    if (!_histograms.empty()) {
-        os << format("%-38s %10s %11s %11s %11s %11s %11s\n",
-                     "histograms", "count", "min", "mean", "p50",
-                     "p95", "max");
-        for (const auto &[name, h] : _histograms) {
-            const auto s = h->snapshot();
-            os << format(
-                "  %-36s %10llu %11.4g %11.4g %11.4g %11.4g %11.4g\n",
-                name.c_str(),
-                static_cast<unsigned long long>(s.count), s.min,
-                s.mean, s.p50, s.p95, s.max);
-        }
-    }
+    writeMetricsTable(os, snapshot());
 }
 
 TraceValue::TraceValue(double v)

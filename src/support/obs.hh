@@ -8,7 +8,7 @@
  * pipeline that simulates it gets one too. Three pieces:
  *
  *  - **Metrics registry.** Named monotonic counters, gauges and
- *    histogram/timer statistics (count/sum/min/mean/p50/p95/max).
+ *    histogram/timer statistics (count/sum/min/mean/p50/p95/p99/max).
  *    Every metric is sharded across a fixed set of cache-line-padded
  *    atomic slots indexed by a per-thread shard id, so the campaign
  *    hot paths record with one relaxed atomic op and never take a
@@ -160,11 +160,51 @@ struct HistogramSnapshot
     double max = 0.0;
     double p50 = 0.0; //!< bucket-resolution estimate (log2 buckets)
     double p95 = 0.0; //!< bucket-resolution estimate (log2 buckets)
+    double p99 = 0.0; //!< bucket-resolution estimate (log2 buckets)
 };
 
 /**
+ * A point-in-time copy of every metric: the currency of the export
+ * layer. Registry::snapshot() produces one from the live registry;
+ * the journal's `run-end` event embeds one; the report layer parses
+ * and merges them. All the writers below consume snapshots, so the
+ * same code renders live and journaled metrics.
+ */
+struct MetricsSnapshot
+{
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, HistogramSnapshot> histograms;
+
+    /**
+     * Fold `other` in: counters add, gauges keep the larger value
+     * (the campaign gauges are high-water marks and job knobs, where
+     * max is the honest merge), histograms merge count/sum/min/max
+     * exactly and average the quantile estimates weighted by count
+     * (the underlying buckets are not serialized).
+     */
+    void merge(const MetricsSnapshot &other);
+};
+
+/** Render a snapshot as the savat.metrics.v1 JSON document. */
+void writeMetricsJson(std::ostream &os, const MetricsSnapshot &snap);
+
+/** Render a snapshot as an aligned, human-readable table. */
+void writeMetricsTable(std::ostream &os, const MetricsSnapshot &snap);
+
+/**
+ * Render a snapshot in the Prometheus text exposition format
+ * (version 0.0.4): counters and gauges map directly, histograms
+ * export as summaries (quantile labels 0.5/0.95/0.99 plus _sum and
+ * _count) with _min/_max companion gauges. Metric names are
+ * prefixed `savat_` and sanitized ('.' and '-' become '_').
+ */
+void writePrometheusText(std::ostream &os,
+                         const MetricsSnapshot &snap);
+
+/**
  * Value-distribution metric: exact count/sum/min/max/mean plus
- * bucket-resolution p50/p95 from log2-spaced buckets. record() is
+ * bucket-resolution p50/p95/p99 from log2-spaced buckets. record() is
  * lock-free (relaxed atomic adds and CAS min/max on this thread's
  * shard) and a no-op while metrics are disabled. Timer histograms
  * record seconds by convention (name them *_seconds).
@@ -241,6 +281,9 @@ class Registry
     Counter &counter(const std::string &name);
     Gauge &gauge(const std::string &name);
     Histogram &histogram(const std::string &name);
+
+    /** Point-in-time copy of every metric. */
+    MetricsSnapshot snapshot() const;
 
     /** Merged snapshot as JSON ({counters, gauges, histograms}). */
     void writeJson(std::ostream &os) const;

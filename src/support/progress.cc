@@ -26,6 +26,19 @@ ProgressMeter::ProgressMeter(std::string label,
 void
 ProgressMeter::update(std::size_t done, std::size_t total)
 {
+    ProgressCounts counts;
+    {
+        const std::lock_guard<std::mutex> lock(_mu);
+        counts = _counts; // keep health counts a sink() reported
+    }
+    counts.done = done;
+    counts.total = total;
+    update(counts);
+}
+
+void
+ProgressMeter::update(const ProgressCounts &counts)
+{
     const auto now = std::chrono::steady_clock::now();
     const std::lock_guard<std::mutex> lock(_mu);
     if (_finished)
@@ -34,7 +47,13 @@ ProgressMeter::update(std::size_t done, std::size_t total)
     if (first) {
         _started = true;
         _start = now;
+        // Work completed before this session (checkpoint restore)
+        // costs no session time; the ETA rate starts here.
+        _baseDone = counts.done;
     }
+    _counts = counts;
+    const std::size_t done = counts.done;
+    const std::size_t total = counts.total;
     const bool final = total > 0 && done >= total;
     if (!first && !final && now - _last < _minInterval)
         return;
@@ -49,12 +68,31 @@ ProgressMeter::update(std::size_t done, std::size_t total)
     std::string line = format("\r%s %zu/%zu (%.1f%%)",
                               _label.c_str(), done, total, pct);
     if (final) {
-        line += format(" in %.1fs\n", elapsed);
+        line += format(" in %.1fs", elapsed);
+        std::string health;
+        const auto append = [&health](const char *name,
+                                      std::size_t n) {
+            if (n == 0)
+                return;
+            if (!health.empty())
+                health += ", ";
+            health += format("%s %zu", name, n);
+        };
+        append("retried", counts.retried);
+        append("degraded", counts.degraded);
+        append("skipped", counts.skipped);
+        append("restored", counts.restored);
+        if (!health.empty())
+            line += " [" + health + "]";
+        line += "\n";
         _finished = true;
-    } else if (done > 0 && elapsed > 0.0) {
-        const double eta = elapsed *
-                           static_cast<double>(total - done) /
-                           static_cast<double>(done);
+    } else if (done > _baseDone && elapsed > 0.0) {
+        // Rate over cells completed *this session*: restored cells
+        // are excluded and a retried cell still counts once.
+        const double rate =
+            static_cast<double>(done - _baseDone) / elapsed;
+        const double eta =
+            static_cast<double>(total - done) / rate;
         line += format(" ETA %.1fs", eta);
     }
     emit(line);
@@ -65,6 +103,14 @@ ProgressMeter::callback()
 {
     return [this](std::size_t done, std::size_t total) {
         update(done, total);
+    };
+}
+
+ProgressSink
+ProgressMeter::sink()
+{
+    return [this](const ProgressCounts &counts) {
+        update(counts);
     };
 }
 

@@ -30,9 +30,34 @@ namespace savat::obs {
 using ProgressFn = std::function<void(std::size_t, std::size_t)>;
 
 /**
+ * Extended progress state for callers that track cell health. done
+ * counts *cells that reached a terminal state* — a retried cell is
+ * still one cell, so retries never inflate the ETA denominator;
+ * they are reported in their own counter. restored counts cells
+ * resumed from a checkpoint (completed before this session).
+ */
+struct ProgressCounts
+{
+    std::size_t done = 0;
+    std::size_t total = 0;
+    std::size_t retried = 0;   //!< cells that needed >1 attempt
+    std::size_t degraded = 0;  //!< cells kept with reduced quality
+    std::size_t skipped = 0;   //!< cells abandoned after retries
+    std::size_t restored = 0;  //!< cells restored from checkpoint
+};
+
+/** Health-aware progress callback (campaign engine). */
+using ProgressSink = std::function<void(const ProgressCounts &)>;
+
+/**
  * Throttled progress printer. Thread-safe: update() may be called
  * from any thread (campaign progress callbacks already serialize,
  * but the meter does not rely on it).
+ *
+ * The ETA is computed from the in-session completion rate: the
+ * first update's done count becomes the baseline, so cells restored
+ * from a checkpoint (instant) do not skew the estimate for the
+ * cells that remain, and retried cells count once.
  */
 class ProgressMeter
 {
@@ -51,9 +76,16 @@ class ProgressMeter
     /** Report progress; prints when the rate limit allows. */
     void update(std::size_t done, std::size_t total);
 
+    /** Health-aware variant; the final line reports the nonzero
+     * retry/degraded/skipped/restored counts. */
+    void update(const ProgressCounts &counts);
+
     /** Adapter: a ProgressFn bound to this meter (which must
      * outlive the returned callback). */
     ProgressFn callback();
+
+    /** Adapter: a ProgressSink bound to this meter. */
+    ProgressSink sink();
 
   private:
     void emit(const std::string &line);
@@ -65,6 +97,8 @@ class ProgressMeter
     std::mutex _mu;
     std::chrono::steady_clock::time_point _start;
     std::chrono::steady_clock::time_point _last;
+    ProgressCounts _counts;
+    std::size_t _baseDone = 0;
     bool _started = false;
     bool _finished = false;
 };

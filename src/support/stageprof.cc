@@ -1,0 +1,164 @@
+#include "support/stageprof.hh"
+
+#include <array>
+#include <string>
+
+#include "support/memcount.hh"
+#include "support/obs.hh"
+#include "support/strings.hh"
+
+namespace savat::obs {
+
+const char *
+stageName(Stage s)
+{
+    switch (s) {
+      case Stage::BurstSolve: return "burst_solve";
+      case Stage::KernelBuild: return "kernel_build";
+      case Stage::KernelAnalyze: return "kernel_analyze";
+      case Stage::Simulate: return "simulate";
+      case Stage::ChannelExtract: return "channel_extract";
+      case Stage::Synthesize: return "synthesize";
+      case Stage::Sweep: return "sweep";
+      case Stage::BandIntegrate: return "band_integrate";
+      case Stage::kCount: break;
+    }
+    return "unknown";
+}
+
+const char *
+stageChainName(StageChain c)
+{
+    switch (c) {
+      case StageChain::Em: return "em";
+      case StageChain::Power: return "power";
+      case StageChain::Replay: return "replay";
+      case StageChain::kCount: break;
+    }
+    return "unknown";
+}
+
+namespace {
+
+constexpr std::size_t kChains =
+    static_cast<std::size_t>(StageChain::kCount);
+constexpr std::size_t kStages =
+    static_cast<std::size_t>(Stage::kCount);
+
+thread_local int t_worker = -1;
+
+/** Cached registry handles for one (chain, stage) on one thread. */
+struct StageSlot
+{
+    Histogram *wall = nullptr;
+    Counter *allocs = nullptr;
+};
+
+/**
+ * Per-thread handle cache. Registry lookups take a mutex, so a
+ * worker resolves each (chain, stage) name once per worker-id
+ * assignment and then records lock-free. Invalidated when the
+ * worker tag changes (the names embed the tag).
+ */
+struct StageSlots
+{
+    int worker = -2; // never matches an assigned id
+    std::array<std::array<StageSlot, kStages>, kChains> slots{};
+    std::array<Gauge *, kChains> arenaGauge{};
+    std::array<std::size_t, kChains> arenaSeen{};
+};
+
+std::string
+workerTag()
+{
+    return t_worker < 0 ? std::string("main")
+                        : format("w%d", t_worker);
+}
+
+StageSlots &
+threadSlots()
+{
+    thread_local StageSlots slots;
+    if (slots.worker != t_worker) {
+        slots = StageSlots{};
+        slots.worker = t_worker;
+    }
+    return slots;
+}
+
+StageSlot &
+resolveSlot(StageChain chain, Stage stage)
+{
+    StageSlots &all = threadSlots();
+    StageSlot &slot =
+        all.slots[static_cast<std::size_t>(chain)]
+                 [static_cast<std::size_t>(stage)];
+    if (!slot.wall) {
+        const std::string base =
+            format("stage.%s.%s.%s", stageChainName(chain),
+                   stageName(stage), workerTag().c_str());
+        auto &reg = Registry::instance();
+        slot.wall = &reg.histogram(base + ".wall_seconds");
+        slot.allocs = &reg.counter(base + ".alloc_count");
+    }
+    return slot;
+}
+
+} // namespace
+
+void
+setCurrentWorker(int id)
+{
+    t_worker = id < 0 ? -1 : id;
+}
+
+int
+currentWorker()
+{
+    return t_worker;
+}
+
+StageScope::StageScope(StageChain chain, Stage stage)
+{
+    if (!metricsEnabled())
+        return;
+    _active = true;
+    _chain = chain;
+    _stage = stage;
+    _allocs0 = support::threadAllocCount();
+    _start = std::chrono::steady_clock::now();
+}
+
+StageScope::~StageScope()
+{
+    if (!_active)
+        return;
+    const std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - _start;
+    const std::uint64_t allocs =
+        support::threadAllocCount() - _allocs0;
+    StageSlot &slot = resolveSlot(_chain, _stage);
+    slot.wall->record(dt.count());
+    if (allocs > 0)
+        slot.allocs->add(allocs);
+}
+
+void
+noteArenaHighWater(StageChain chain, std::size_t bytes)
+{
+    if (!metricsEnabled())
+        return;
+    StageSlots &all = threadSlots();
+    const auto ci = static_cast<std::size_t>(chain);
+    if (bytes <= all.arenaSeen[ci])
+        return;
+    all.arenaSeen[ci] = bytes;
+    if (!all.arenaGauge[ci]) {
+        all.arenaGauge[ci] = &Registry::instance().gauge(
+            format("stage.%s.arena_high_water_bytes.%s",
+                   stageChainName(chain), workerTag().c_str()));
+    }
+    all.arenaGauge[ci]->set(static_cast<double>(bytes));
+}
+
+} // namespace savat::obs

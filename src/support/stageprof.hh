@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Per-stage resource attribution for the measurement pipeline.
+ *
+ * The SignalChain implementations decompose one cell measurement
+ * into named stages (solve the burst layout, build kernels, simulate
+ * them, extract the channel, synthesize/sweep/band-integrate the
+ * trace). This module tags each stage invocation with the worker
+ * that ran it and feeds the sharded obs registry:
+ *
+ *  - `stage.<chain>.<stage>.<worker>.wall_seconds`  (histogram)
+ *  - `stage.<chain>.<stage>.<worker>.alloc_count`   (counter,
+ *    heap allocations observed via support::threadAllocCount())
+ *  - `stage.<chain>.arena_high_water_bytes.<worker>` (gauge,
+ *    driven from the chain when the scratch arena grows)
+ *
+ * where `<worker>` is `main` on the serial path or `w<N>` for the
+ * campaign's worker teams. The report layer aggregates these into
+ * the per-stage attribution table, and check.sh asserts the stage
+ * wall-time sum explains the run wall clock.
+ *
+ * StageScope is a no-op (one relaxed load, nothing captured) while
+ * metrics are disabled, so the zero-allocation contract of the
+ * steady-state rep loop is untouched — pinned by tests/test_alloc.cc.
+ */
+
+#ifndef SAVAT_SUPPORT_STAGEPROF_HH
+#define SAVAT_SUPPORT_STAGEPROF_HH
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+
+namespace savat::obs {
+
+/** Pipeline stages that receive attribution. */
+enum class Stage : std::uint8_t
+{
+    BurstSolve,
+    KernelBuild,
+    KernelAnalyze,
+    Simulate,
+    ChannelExtract,
+    Synthesize,
+    Sweep,
+    BandIntegrate,
+    kCount,
+};
+
+/** Which chain a stage ran under (tags the metric name). */
+enum class StageChain : std::uint8_t
+{
+    Em,
+    Power,
+    Replay,
+    kCount,
+};
+
+/** Stable lowercase stage name ("burst_solve", ...). */
+const char *stageName(Stage s);
+
+/** Stable lowercase chain name ("em", "power", "replay"). */
+const char *stageChainName(StageChain c);
+
+/**
+ * Identify the calling thread as campaign worker `id` (0-based) for
+ * stage attribution; -1 restores the default `main` tag. The
+ * parallel engine brackets each worker's run with this.
+ */
+void setCurrentWorker(int id);
+
+/** The calling thread's worker id, or -1 outside a worker. */
+int currentWorker();
+
+/**
+ * RAII attribution scope around one stage invocation: records wall
+ * time into the stage histogram and the heap-allocation delta into
+ * the stage counter, both tagged by chain and worker. Inert while
+ * metrics are disabled.
+ */
+class StageScope
+{
+  public:
+    StageScope(StageChain chain, Stage stage);
+    ~StageScope();
+
+    StageScope(const StageScope &) = delete;
+    StageScope &operator=(const StageScope &) = delete;
+
+  private:
+    bool _active = false;
+    StageChain _chain = StageChain::Em;
+    Stage _stage = Stage::BurstSolve;
+    std::uint64_t _allocs0 = 0;
+    std::chrono::steady_clock::time_point _start;
+};
+
+/**
+ * Report the scratch arena's current capacity for `chain` on this
+ * worker; keeps the per-worker high-water gauge. No-op while
+ * metrics are disabled.
+ */
+void noteArenaHighWater(StageChain chain, std::size_t bytes);
+
+} // namespace savat::obs
+
+#endif // SAVAT_SUPPORT_STAGEPROF_HH

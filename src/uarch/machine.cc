@@ -1,5 +1,7 @@
 #include "uarch/machine.hh"
 
+#include <cstring>
+
 #include "support/logging.hh"
 
 namespace savat::uarch {
@@ -72,6 +74,44 @@ machineById(const std::string &id)
             return m;
     }
     SAVAT_FATAL("unknown machine id: ", id);
+}
+
+std::uint64_t
+configDigest(const MachineConfig &m)
+{
+    std::uint64_t h = 0xCBF29CE484222325ull;
+    auto mix = [&h](std::uint64_t v) {
+        h ^= v;
+        h *= 0x100000001B3ull;
+    };
+    for (char c : m.id)
+        mix(static_cast<unsigned char>(c));
+    std::uint64_t clock_bits = 0;
+    const double hz = m.clock.inHz();
+    std::memcpy(&clock_bits, &hz, sizeof(clock_bits));
+    mix(clock_bits);
+    auto mix_geom = [&](const CacheGeometry &g) {
+        mix(g.sizeBytes);
+        mix(g.assoc);
+        mix(g.lineBytes);
+        mix(g.hitLatency);
+        mix(g.dirtyEvictPenalty);
+    };
+    mix_geom(m.l1);
+    mix_geom(m.l2);
+    mix(m.memLatency);
+    mix(m.memBurst);
+    mix(m.lat.alu);
+    mix(m.lat.mov);
+    mix(m.lat.imul);
+    mix(m.lat.idiv);
+    mix(m.lat.branch);
+    mix(m.lat.branchTaken);
+    mix(m.lat.nop);
+    mix(m.lat.agu);
+    mix(m.lat.branchMispredict);
+    mix(static_cast<std::uint64_t>(m.timing));
+    return h;
 }
 
 } // namespace savat::uarch

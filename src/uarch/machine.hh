@@ -83,6 +83,17 @@ std::vector<MachineConfig> caseStudyMachines();
 /** Look up a machine by id; fatal on unknown id. */
 MachineConfig machineById(const std::string &id);
 
+/**
+ * FNV-1a digest over every timing-relevant field of a machine
+ * config (id, clock, cache geometries, memory and op latencies,
+ * timing model). Two configs with equal digests are
+ * indistinguishable to the simulator. The CPI calibration cache
+ * keys on it, and the run journal records it so a report can tell
+ * whether two runs simulated the same machine even when both were
+ * labelled, say, "core2duo".
+ */
+std::uint64_t configDigest(const MachineConfig &m);
+
 } // namespace savat::uarch
 
 #endif // SAVAT_UARCH_MACHINE_HH

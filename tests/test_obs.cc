@@ -302,6 +302,59 @@ TEST_F(ObsTest, HistogramQuantilesAreOrderOfMagnitudeAccurate)
     EXPECT_LE(s.p50, s.p95);
 }
 
+TEST_F(ObsTest, HistogramSnapshotCarriesTailQuantileAndCount)
+{
+    setMetricsEnabled(true);
+    auto &h = Registry::instance().histogram("test.hist_tail");
+    for (int i = 1; i <= 1000; ++i)
+        h.record(static_cast<double>(i));
+    const auto s = h.snapshot();
+    EXPECT_EQ(s.count, 1000u);
+    // Exact p99 = 990; log2 buckets keep it above p95 and clamped
+    // to the observed maximum.
+    EXPECT_GE(s.p99, s.p95);
+    EXPECT_GE(s.p99, 500.0);
+    EXPECT_LE(s.p99, 1000.0);
+    EXPECT_LE(s.p50, s.p99);
+    EXPECT_LE(s.p99, s.max);
+}
+
+TEST_F(ObsTest, JsonDumpCarriesP99AndSampleCount)
+{
+    setMetricsEnabled(true);
+    auto &h = Registry::instance().histogram("json.p99_hist");
+    for (int i = 0; i < 7; ++i)
+        h.record(1.5);
+    std::ostringstream os;
+    Registry::instance().writeJson(os);
+    const std::string text = os.str();
+    EXPECT_TRUE(JsonChecker(text).valid()) << text;
+    EXPECT_NE(text.find("\"p99\""), std::string::npos) << text;
+    EXPECT_NE(text.find("\"count\": 7"), std::string::npos) << text;
+}
+
+TEST_F(ObsTest, PrometheusExpositionCarriesQuantilesAndCount)
+{
+    setMetricsEnabled(true);
+    Registry::instance().counter("prom.counter").add(2);
+    auto &h = Registry::instance().histogram("prom.hist");
+    for (int i = 0; i < 5; ++i)
+        h.record(0.25);
+    std::ostringstream os;
+    writePrometheusText(os, Registry::instance().snapshot());
+    const std::string text = os.str();
+    EXPECT_NE(text.find("savat_prom_counter 2"), std::string::npos)
+        << text;
+    EXPECT_NE(text.find("savat_prom_hist{quantile=\"0.99\"}"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("savat_prom_hist_count 5"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("savat_prom_hist_sum"), std::string::npos)
+        << text;
+}
+
 TEST_F(ObsTest, ShardsMergeExactlyUnderParallelLoad)
 {
     setMetricsEnabled(true);

@@ -1,0 +1,398 @@
+/**
+ * @file
+ * Tests for the crash-safe run journal and the report layer over it
+ * (support/journal.hh): the headline invariant that a journaled
+ * campaign produces the byte-identical golden matrix at jobs 1 and
+ * 4, the JSONL round trip through the report parser (CRC per line,
+ * torn-tail tolerance, interior-corruption rejection), shard
+ * aggregation (two subset journals merge into the full run's
+ * report), the flight-recorder dump on a fault-plan die, and the
+ * health-aware ProgressMeter accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/campaign.hh"
+#include "core/report.hh"
+#include "support/journal.hh"
+#include "support/obs.hh"
+#include "support/progress.hh"
+
+namespace savat {
+namespace {
+
+using kernels::EventKind;
+
+std::string
+tempPath(const std::string &name)
+{
+    return ::testing::TempDir() + name;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << path;
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    return oss.str();
+}
+
+core::CampaignConfig
+smallConfig()
+{
+    core::CampaignConfig cfg;
+    cfg.events = {EventKind::ADD, EventKind::LDM, EventKind::MUL};
+    cfg.repetitions = 2;
+    cfg.jobs = 1;
+    return cfg;
+}
+
+std::size_t
+countEvents(const obs::JournalReadResult &read,
+            const std::string &type)
+{
+    std::size_t n = 0;
+    for (const auto &ev : read.events)
+        n += ev.type == type;
+    return n;
+}
+
+// ---------------------------------------------------------------
+// The headline invariant: journaling perturbs nothing. A journaled
+// full campaign reproduces the golden fixture byte for byte, at
+// jobs 1 and under parallel sharding.
+
+class JournalGoldenMatrix : public ::testing::Test
+{
+  protected:
+    static std::string
+    golden()
+    {
+        std::ifstream in(SAVAT_SOURCE_DIR
+                         "/tests/data/golden_em_core2duo.fixture",
+                         std::ios::binary);
+        EXPECT_TRUE(in.good());
+        std::ostringstream oss;
+        oss << in.rdbuf();
+        return oss.str();
+    }
+
+    static void
+    journaledRunMatchesGolden(std::size_t jobs)
+    {
+        const auto path = tempPath(
+            "golden_journal_" + std::to_string(jobs) + ".jsonl");
+        core::CampaignConfig cfg;
+        cfg.repetitions = 2;
+        cfg.jobs = jobs;
+        cfg.journalPath = path;
+        const auto res = core::runCampaign(cfg);
+
+        std::ostringstream oss;
+        core::printMatrixFixture(oss, res.matrix);
+        EXPECT_EQ(oss.str(), golden());
+
+        // ... and the journal itself is complete and parseable.
+        const auto read = obs::readJournal(path);
+        ASSERT_TRUE(read.ok) << read.error;
+        EXPECT_FALSE(read.truncatedTail);
+        EXPECT_EQ(countEvents(read, "run-start"), 1u);
+        EXPECT_EQ(countEvents(read, "cell-done"), 121u);
+        EXPECT_EQ(countEvents(read, "run-end"), 1u);
+        std::remove(path.c_str());
+    }
+};
+
+TEST_F(JournalGoldenMatrix, Jobs1)
+{
+    journaledRunMatchesGolden(1);
+}
+
+TEST_F(JournalGoldenMatrix, Jobs4)
+{
+    journaledRunMatchesGolden(4);
+}
+
+// ---------------------------------------------------------------
+// Round trip through the report parser.
+
+TEST(JournalRoundTrip, CampaignJournalParsesAndAggregates)
+{
+    const auto path = tempPath("roundtrip.jsonl");
+    std::remove(path.c_str());
+    auto cfg = smallConfig();
+    cfg.journalPath = path;
+    obs::setMetricsEnabled(true);
+    const auto res = core::runCampaign(cfg);
+    obs::setMetricsEnabled(false);
+
+    const auto read = obs::readJournal(path);
+    ASSERT_TRUE(read.ok) << read.error;
+    EXPECT_FALSE(read.truncatedTail);
+
+    // Event grammar: one run-start first, one run-end last, one
+    // cell-start/cell-done pair per cell, seq strictly increasing.
+    ASSERT_FALSE(read.events.empty());
+    EXPECT_EQ(read.events.front().type, "run-start");
+    EXPECT_EQ(read.events.back().type, "run-end");
+    EXPECT_EQ(countEvents(read, "cell-start"), 9u);
+    EXPECT_EQ(countEvents(read, "cell-done"), 9u);
+    for (std::size_t i = 0; i < read.events.size(); ++i)
+        EXPECT_EQ(read.events[i].seq, i);
+    const auto &start = read.events.front().fields;
+    EXPECT_EQ(start.stringOr("schema", ""), obs::kJournalSchema);
+    EXPECT_EQ(start.stringOr("machine", ""), "core2duo");
+    EXPECT_EQ(start.stringOr("machine_digest", "").size(), 16u);
+
+    // The aggregated report reproduces the campaign's own view.
+    obs::RunReport report;
+    std::string error;
+    ASSERT_TRUE(obs::aggregateJournals({path}, report, &error))
+        << error;
+    EXPECT_EQ(report.cells.size(), 9u);
+    EXPECT_EQ(report.runStarts, 1u);
+    EXPECT_EQ(report.runEnds, 1u);
+    EXPECT_GT(report.wallSeconds, 0.0);
+    for (const auto &[pair, cell] : report.cells) {
+        EXPECT_EQ(cell.state, "ok") << pair;
+        EXPECT_EQ(cell.attempts, 1u) << pair;
+        EXPECT_EQ(cell.reps, 2.0) << pair;
+        EXPECT_FALSE(cell.restored) << pair;
+    }
+
+    // The journaled per-cell mean is the deterministic matrix mean.
+    const auto &events = res.matrix.events();
+    for (std::size_t a = 0; a < events.size(); ++a) {
+        for (std::size_t b = 0; b < events.size(); ++b) {
+            const std::string key =
+                std::string(kernels::eventName(events[a])) + "|" +
+                kernels::eventName(events[b]);
+            const auto it = report.cells.find(key);
+            ASSERT_NE(it, report.cells.end()) << key;
+            EXPECT_DOUBLE_EQ(it->second.savatZjMean,
+                             res.matrix.mean(a, b))
+                << key;
+        }
+    }
+
+    // run-end embedded a metrics snapshot with stage attribution.
+    bool sawStage = false;
+    for (const auto &[name, h] : report.metrics.histograms)
+        sawStage |= name.rfind("stage.", 0) == 0 && h.count > 0;
+    EXPECT_TRUE(sawStage);
+    std::remove(path.c_str());
+}
+
+TEST(JournalRoundTrip, TornTailToleratedInteriorCorruptionFatal)
+{
+    const auto path = tempPath("torn.jsonl");
+    std::remove(path.c_str());
+    auto cfg = smallConfig();
+    cfg.journalPath = path;
+    (void)core::runCampaign(cfg);
+    const auto intact = slurp(path);
+
+    // Tear the final line mid-write: every preceding event still
+    // reads; the tail is flagged, not fatal (the crash signature).
+    std::ofstream(path, std::ios::binary)
+        << intact.substr(0, intact.size() - 9);
+    auto read = obs::readJournal(path);
+    EXPECT_TRUE(read.ok) << read.error;
+    EXPECT_TRUE(read.truncatedTail);
+    EXPECT_EQ(countEvents(read, "cell-done"), 9u);
+
+    // Flip one interior byte: the line's CRC catches it and the
+    // read fails hard (silent corruption must never aggregate).
+    auto bad = intact;
+    bad[bad.size() / 2] ^= 0x04;
+    std::ofstream(path, std::ios::binary) << bad;
+    read = obs::readJournal(path);
+    EXPECT_FALSE(read.ok);
+    EXPECT_NE(read.error.find("crc"), std::string::npos)
+        << read.error;
+    std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------
+// Shard aggregation: journals of two subset runs merge into the
+// full run's report (same identity, union of cells).
+
+TEST(JournalReport, SubsetShardsAggregateToTheFullRun)
+{
+    const auto fullPath = tempPath("shard_full.jsonl");
+    const auto loPath = tempPath("shard_lo.jsonl");
+    const auto hiPath = tempPath("shard_hi.jsonl");
+    for (const auto &p : {fullPath, loPath, hiPath})
+        std::remove(p.c_str());
+
+    auto cfg = smallConfig();
+    cfg.journalPath = fullPath;
+    const auto full = core::runCampaign(cfg);
+
+    std::vector<std::pair<EventKind, EventKind>> pairs;
+    for (auto a : cfg.events)
+        for (auto b : cfg.events)
+            pairs.emplace_back(a, b);
+    auto lo = smallConfig();
+    lo.journalPath = loPath;
+    (void)core::runCampaignPairs(
+        lo, {pairs.begin(), pairs.begin() + 4});
+    auto hi = smallConfig();
+    hi.journalPath = hiPath;
+    (void)core::runCampaignPairs(hi, {pairs.begin() + 4, pairs.end()});
+
+    obs::RunReport whole, sharded;
+    std::string error;
+    ASSERT_TRUE(obs::aggregateJournals({fullPath}, whole, &error))
+        << error;
+    ASSERT_TRUE(
+        obs::aggregateJournals({loPath, hiPath}, sharded, &error))
+        << error;
+
+    // Same campaign identity, same cells, same deterministic means:
+    // subset cells draw the very streams the full run gives them.
+    EXPECT_EQ(sharded.identity, whole.identity);
+    EXPECT_EQ(sharded.journalCount, 2u);
+    ASSERT_EQ(sharded.cells.size(), whole.cells.size());
+    for (const auto &[pair, cell] : whole.cells) {
+        const auto it = sharded.cells.find(pair);
+        ASSERT_NE(it, sharded.cells.end()) << pair;
+        EXPECT_EQ(it->second.state, cell.state) << pair;
+        EXPECT_DOUBLE_EQ(it->second.savatZjMean, cell.savatZjMean)
+            << pair;
+    }
+
+    // A journal from a different campaign refuses to merge.
+    const auto otherPath = tempPath("shard_other.jsonl");
+    std::remove(otherPath.c_str());
+    auto other = smallConfig();
+    other.seed ^= 1;
+    other.journalPath = otherPath;
+    (void)core::runCampaign(other);
+    obs::RunReport refused;
+    EXPECT_FALSE(obs::aggregateJournals({fullPath, otherPath},
+                                        refused, &error));
+    EXPECT_NE(error.find("identity"), std::string::npos) << error;
+
+    for (const auto &p : {fullPath, loPath, hiPath, otherPath})
+        std::remove(p.c_str());
+
+    (void)full;
+}
+
+// ---------------------------------------------------------------
+// Crash path: a fault-plan die dumps the flight recorder so the
+// in-flight cells are visible post mortem.
+
+TEST(JournalCrashDeath, DieDumpsTheFlightRecorder)
+{
+    const auto path = tempPath("die_journal.jsonl");
+    std::remove(path.c_str());
+    std::remove((path + ".crash").c_str());
+    auto cfg = smallConfig();
+    cfg.journalPath = path;
+    cfg.faultPlan = "die@1";
+    EXPECT_EXIT((void)core::runCampaign(cfg),
+                ::testing::ExitedWithCode(137), "dying after pair");
+
+    // The journal survives up to the death and parses cleanly.
+    const auto read = obs::readJournal(path);
+    EXPECT_TRUE(read.ok) << read.error;
+    EXPECT_EQ(countEvents(read, "cell-done"), 2u);
+
+    // The crash dump replays the ring: run-start through the die.
+    const auto dump = slurp(path + ".crash");
+    EXPECT_NE(dump.find("flight recorder"), std::string::npos);
+    EXPECT_NE(dump.find("\"event\":\"run-start\""),
+              std::string::npos);
+    EXPECT_NE(dump.find("\"event\":\"cell-start\""),
+              std::string::npos);
+    EXPECT_NE(dump.find("\"kind\":\"die\""), std::string::npos);
+    EXPECT_NE(dump.find("# reason: fault-plan die"),
+              std::string::npos);
+    std::remove(path.c_str());
+    std::remove((path + ".crash").c_str());
+}
+
+// ---------------------------------------------------------------
+// Health-aware progress accounting.
+
+TEST(ObsProgressHealth, RetriesDoNotInflateTheDenominator)
+{
+    std::ostringstream out;
+    obs::ProgressMeter meter("t", 0.0, &out);
+    obs::ProgressCounts c;
+    c.total = 3;
+
+    // Cell 0 needed three attempts: done advances once, not thrice.
+    c.done = 1;
+    c.retried = 1;
+    meter.update(c);
+    c.done = 2;
+    meter.update(c);
+    c.done = 3;
+    c.degraded = 1;
+    meter.update(c);
+
+    const auto text = out.str();
+    EXPECT_NE(text.find("3/3 (100.0%)"), std::string::npos) << text;
+    EXPECT_EQ(text.find("4/3"), std::string::npos) << text;
+
+    // The final line reports the health counts by name.
+    EXPECT_NE(text.find("retried 1"), std::string::npos) << text;
+    EXPECT_NE(text.find("degraded 1"), std::string::npos) << text;
+    EXPECT_EQ(text.find("skipped"), std::string::npos) << text;
+}
+
+TEST(ObsProgressHealth, RestoredCellsAnchorTheEtaBaseline)
+{
+    std::ostringstream out;
+    obs::ProgressMeter meter("t", 0.0, &out);
+    obs::ProgressCounts c;
+    c.total = 100;
+
+    // 40 cells restored instantly from a checkpoint, then two
+    // measured: the meter must not extrapolate the instant 40.
+    c.done = 40;
+    c.restored = 40;
+    meter.update(c);
+    c.done = 41;
+    meter.update(c);
+    c.done = 42;
+    meter.update(c);
+    c.done = 100;
+    meter.update(c);
+
+    const auto text = out.str();
+    EXPECT_NE(text.find("100/100 (100.0%)"), std::string::npos)
+        << text;
+    EXPECT_NE(text.find("restored 40"), std::string::npos) << text;
+}
+
+TEST(ObsProgressHealth, SinkAdapterForwardsCounts)
+{
+    std::ostringstream out;
+    obs::ProgressMeter meter("t", 0.0, &out);
+    auto sink = meter.sink();
+    obs::ProgressCounts c;
+    c.total = 2;
+    c.done = 1;
+    sink(c);
+    c.done = 2;
+    c.skipped = 1;
+    sink(c);
+    const auto text = out.str();
+    EXPECT_NE(text.find("2/2 (100.0%)"), std::string::npos) << text;
+    EXPECT_NE(text.find("skipped 1"), std::string::npos) << text;
+}
+
+} // namespace
+} // namespace savat
