@@ -254,6 +254,32 @@ BENCHMARK(BM_PipelineStageChainMeasure)
     ->ArgName("power")
     ->Unit(benchmark::kMillisecond);
 
+/**
+ * One timing-channel repetition over the transient pair: the
+ * prime+probe simulation runs with a 32-deep speculation frontier,
+ * so this prices the wrong-path execution plus the probe sweeps on
+ * top of the ordinary simulate cost.
+ */
+void
+BM_TimingChain(benchmark::State &state)
+{
+    core::MeterConfig cfg;
+    cfg.channel = pipeline::ChannelKind::Timing;
+    cfg.specWindow = 32;
+    auto meter = core::SavatMeter::forMachine("core2duo", cfg);
+    const auto &sim = meter.simulatePair(kernels::EventKind::TLD,
+                                         kernels::EventKind::TLF);
+    Rng rng(3);
+    pipeline::MeasureScratch scratch;
+    for (auto _ : state) {
+        auto rep = rng.fork();
+        benchmark::DoNotOptimize(
+            meter.measureValue(sim, rep, scratch));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TimingChain)->Unit(benchmark::kMillisecond);
+
 /** One campaign cell end to end: simulate + a few repetitions. */
 void
 BM_CampaignPair(benchmark::State &state)

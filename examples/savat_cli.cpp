@@ -17,8 +17,13 @@
  *   --distance <cm>                         (default 10)
  *   --freq <kHz>                            (default 80)
  *   --reps <n>                              (default 10)
- *   --channel em|power                      (signal chain; default em)
+ *   --channel em|power|timing               (signal chain; default em)
  *   --power                                 (alias for --channel power)
+ *   --speculation <n>                       (transient wrong-path
+ *                                            window depth; 0 = off.
+ *                                            The timing channel needs
+ *                                            a nonzero window to see
+ *                                            wrong-path fills)
  *   --record <path>                         (campaign only: save every
  *                                            analyzer trace for later
  *                                            `savat_cli replay`)
@@ -106,6 +111,7 @@ struct Options
     double freqKhz = 80.0;
     int reps = 10;
     int jobs = 0;
+    int speculation = 0;
     std::string channel = "em";
     double uses = 100.0;
     std::string record;
@@ -131,7 +137,9 @@ usage()
         "usage: savat_cli <events|measure|spectrum|campaign|replay|"
         "assess|detect|svf|report> [args] [options]\n"
         "options: --machine M --distance CM --freq KHZ --reps N "
-        "--jobs N --channel em|power --uses N\n"
+        "--jobs N --channel em|power|timing --uses N\n"
+        "         --speculation N  (transient wrong-path window "
+        "depth; 0 = off)\n"
         "         --record PATH (campaign: save traces for replay) "
         "--csv PATH --fixture PATH\n"
         "         --checkpoint PATH --checkpoint-every N "
@@ -171,6 +179,8 @@ parseArgs(int argc, char **argv)
             opt.reps = std::atoi(value().c_str());
         else if (arg == "--jobs")
             opt.jobs = std::atoi(value().c_str());
+        else if (arg == "--speculation")
+            opt.speculation = std::atoi(value().c_str());
         else if (arg == "--uses")
             opt.uses = std::atof(value().c_str());
         else if (arg == "--csv")
@@ -217,8 +227,20 @@ channelKind(const Options &opt)
 {
     const auto kind = pipeline::channelByName(opt.channel);
     if (!kind) {
-        std::fprintf(stderr, "unknown channel '%s' (em|power)\n",
-                     opt.channel.c_str());
+        // Enumerate through channelName() so a future chain cannot
+        // be forgotten here.
+        std::string known;
+        for (auto k : {pipeline::ChannelKind::Em,
+                       pipeline::ChannelKind::Power,
+                       pipeline::ChannelKind::Timing}) {
+            known += known.empty() ? "" : "|";
+            known += pipeline::channelName(k);
+        }
+        std::fprintf(stderr,
+                     "unknown channel '%s' (registered chains: %s; "
+                     "recorded traces replay via `savat_cli "
+                     "replay`)\n",
+                     opt.channel.c_str(), known.c_str());
         usage();
     }
     return *kind;
@@ -231,6 +253,8 @@ meterConfig(const Options &opt)
     cfg.distance = Distance::centimeters(opt.distanceCm);
     cfg.alternation = Frequency::khz(opt.freqKhz);
     cfg.channel = channelKind(opt);
+    cfg.specWindow =
+        static_cast<std::uint32_t>(std::max(0, opt.speculation));
     return cfg;
 }
 
@@ -241,7 +265,10 @@ cmdEvents()
     for (auto e : kernels::extendedEvents()) {
         std::printf("%-6s %s%s\n", kernels::eventName(e),
                     kernels::eventDescription(e),
-                    kernels::isBranchEvent(e) ? "  [extension]" : "");
+                    kernels::isBranchEvent(e) ||
+                            kernels::isTransientEvent(e)
+                        ? "  [extension]"
+                        : "");
     }
     return 0;
 }

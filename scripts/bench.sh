@@ -40,7 +40,7 @@ RAW="$(mktemp --suffix=.json)"
 trap 'rm -f "$RAW"' EXIT
 
 "./$BUILD/bench/bench_perf_substrate" \
-    --benchmark_filter='BM_Campaign|BM_PipelineStage|BM_AnalyzeKernel' \
+    --benchmark_filter='BM_Campaign|BM_PipelineStage|BM_AnalyzeKernel|BM_TimingChain' \
     --benchmark_out="$RAW" \
     --benchmark_out_format=json \
     --benchmark_format=console

@@ -52,6 +52,43 @@ fi
 step "golden matrix: EM chain bit-identity vs checked-in fixture"
 ./build/tests/test_pipeline --gtest_filter='GoldenMatrix.*'
 
+step "speculation gate: spec-off campaign bytes vs golden fixture"
+# The staged-core refactor must be invisible with speculation off:
+# the default (window 0) EM campaign lands byte-for-byte on the same
+# golden fixture, serial and parallel.
+SPEC_DIR=build/spec-gate
+rm -rf "$SPEC_DIR" && mkdir -p "$SPEC_DIR"
+for jobs in 1 4; do
+    ./build/examples/savat_cli campaign --reps 2 --jobs "$jobs" \
+        --fixture "$SPEC_DIR/specoff_j${jobs}.fixture" >/dev/null
+    cmp tests/data/golden_em_core2duo.fixture \
+        "$SPEC_DIR/specoff_j${jobs}.fixture" ||
+        { echo "spec-off --jobs $jobs diverges from golden"; exit 1; }
+done
+echo "spec-off campaign byte-identical to golden (jobs 1 and 4)"
+
+step "timing-matrix smoke: transient pair over the software channel"
+# The prime+probe attacker must be deterministic across job counts
+# and must actually see the wrong-path fills: the TLD/TLF cell sits
+# well above both diagonal floor cells.
+for jobs in 1 4; do
+    ./build/examples/savat_cli campaign TLD TLF \
+        --channel timing --speculation 32 --reps 2 --jobs "$jobs" \
+        --csv "$SPEC_DIR/timing_j${jobs}.csv" >/dev/null
+done
+cmp "$SPEC_DIR/timing_j1.csv" "$SPEC_DIR/timing_j4.csv" ||
+    { echo "--channel timing diverges between jobs 1 and 4"; exit 1; }
+python3 - "$SPEC_DIR/timing_j1.csv" <<'EOF'
+import csv, sys
+cells = {(r["a"], r["b"]): float(r["mean_zj"])
+         for r in csv.DictReader(open(sys.argv[1]))}
+ab = cells[("TLD", "TLF")]
+floor = max(cells[("TLD", "TLD")], cells[("TLF", "TLF")])
+print(f"timing TLD/TLF {ab:.1f} zJ vs diagonal floor {floor:.1f} zJ")
+if not ab > 2.0 * floor:
+    sys.exit("transient pair does not separate from the floor")
+EOF
+
 step "simd gate: campaign bytes identical across dispatch targets"
 # The fixed-reduction-tree contract (DESIGN.md §5h) says every SIMD
 # dispatch level produces bit-identical campaigns at every job count.
@@ -182,7 +219,7 @@ cmake --build build-tsan -j
 # too slow under TSan; the plain build's ctest already runs them).
 (cd build-tsan &&
      ctest --output-on-failure -j "$(nproc)" \
-           -R 'Parallel|CampaignVariants|MachineCampaign|Obs|PowerChain|Replay\.RecordReplayRoundTrip|Resilience|MutationCorpus|IrPasses|JournalRoundTrip|JournalReport')
+           -R 'Parallel|CampaignVariants|MachineCampaign|Obs|PowerChain|Replay\.RecordReplayRoundTrip|Resilience|MutationCorpus|IrPasses|JournalRoundTrip|JournalReport|UarchSpec|TimingChain')
 
 if command -v clang-tidy >/dev/null 2>&1; then
     step "clang-tidy: library sources"

@@ -31,6 +31,7 @@ Checker::check(const CampaignSpec &spec) const
         const auto m = spec.machine();
         checkMachine(m, out);
         checkSpectral(m, spec.settings, _options, out);
+        checkSpeculation(m, spec.settings, out);
 
         // Geometry errors make every footprint/burst statement
         // about cache levels meaningless; stop at the root cause.
@@ -121,6 +122,7 @@ Checker::checkMeasurement(const uarch::MachineConfig &m,
     checkUnits(value_view, _options, out);
     checkMachine(m, out);
     checkSpectral(m, s, _options, out);
+    checkSpeculation(m, s, out);
     return out;
 }
 

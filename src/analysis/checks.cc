@@ -19,6 +19,10 @@ slotInstructions(EventKind e)
         return 0;
     if (kernels::isBranchEvent(e))
         return 3; // test + jne + nop
+    if (e == EventKind::TLD)
+        return 3; // test + jne + guarded load
+    if (e == EventKind::TLF)
+        return 4; // test + jne + lfence + guarded load
     return 1;
 }
 
@@ -56,6 +60,14 @@ estimateIterationCycles(const uarch::MachineConfig &m, EventKind e)
             cycles += lat.alu;
         else if (kernels::isBranchEvent(e))
             cycles += 2 * lat.alu + lat.nop + lat.branch;
+        else if (kernels::isTransientEvent(e)) {
+            // test + the guard (taken and not-taken halves average
+            // out) + the architectural load on the not-taken half.
+            cycles += lat.alu +
+                      0.5 * (lat.branchTaken + lat.branch) +
+                      0.5 * (lat.agu + m.l1.hitLatency) +
+                      (e == EventKind::TLF ? 0.5 * lat.nop : 0.0);
+        }
     }
 
     // Stalls charged in both models: the sweep advances one cache
@@ -85,6 +97,13 @@ estimateIterationCycles(const uarch::MachineConfig &m, EventKind e)
         // predictor about half the time.
         if (m.timing == uarch::TimingModel::Pipelined)
             cycles += 0.5 * lat.branchMispredict;
+        break;
+      case EventKind::TLD:
+      case EventKind::TLF:
+        // Streaks of 8: each polarity transition costs two bimodal
+        // mispredicts, so ~4 per 16 iterations.
+        if (m.timing == uarch::TimingModel::Pipelined)
+            cycles += 0.25 * lat.branchMispredict;
         break;
       default:
         break;
@@ -333,6 +352,44 @@ checkPairBursts(const uarch::MachineConfig &m, EventKind a,
 }
 
 void
+checkSpeculation(const uarch::MachineConfig &m,
+                 const MeasurementSettings &s, Report &out)
+{
+    // The effective window: the measurement override when present
+    // (the meter applies it to the machine), else whatever the
+    // machine already configures.
+    const std::uint32_t window =
+        s.specWindow ? s.specWindow : m.spec.window;
+
+    if (s.timingChannel && window == 0) {
+        out.add(DiagId::TimingWithoutSpec, "channel",
+                "timing channel with speculation disabled: the "
+                "prime+probe readout sees only architectural cache "
+                "footprints, and transient events (TLD) degenerate "
+                "to their fenced counterparts",
+                "set speculation-window (e.g. 32) so wrong-path "
+                "loads leave measurable fills");
+    }
+    if (window > 4096) {
+        out.add(DiagId::SpecWindowExcessive, "speculation-window",
+                format("speculation window %u exceeds any realistic "
+                       "wrong-path depth (limit 4096)",
+                       window),
+                "real reorder windows are tens to a few hundred "
+                "micro-ops; choose a window in that range");
+    }
+    if (window > 0 && m.timing == uarch::TimingModel::Scalar) {
+        out.add(DiagId::SpecOnScalarModel, "speculation-window",
+                format("speculation window %u has no effect on the "
+                       "scalar timing model: the non-pipelined core "
+                       "never fetches past an unresolved branch",
+                       window),
+                "use the pipelined timing model when measuring "
+                "speculation effects");
+    }
+}
+
+void
 checkEventFootprint(const uarch::MachineConfig &m, EventKind e,
                     Report &out)
 {
@@ -466,6 +523,7 @@ lintProgram(const isa::Program &program, const std::string &what,
                            "operand");
             break;
           case Opcode::Cdq:
+          case Opcode::Lfence:
           case Opcode::Nop:
           case Opcode::Hlt:
             if (dst != OK::None || src != OK::None)
@@ -480,6 +538,8 @@ lintProgram(const isa::Program &program, const std::string &what,
           case Opcode::Jmp:
           case Opcode::Je:
           case Opcode::Jne:
+          case Opcode::Jae:
+          case Opcode::Jb:
             if (inst.target < 0 || inst.target >= size)
                 badOperand(out, what, i, inst,
                            "branch target is outside the program");

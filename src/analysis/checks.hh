@@ -94,6 +94,18 @@ void checkPairBursts(const uarch::MachineConfig &m,
                      const CheckerOptions &opts, Report &out);
 
 /**
+ * SAV-1901..1903: speculation / timing-channel configuration. The
+ * timing channel reads the cache side effects of wrong-path loads,
+ * so measuring it on an in-order target only shows the architectural
+ * footprint difference (SAV-1901, warning); a speculation window
+ * beyond any realistic reorder depth is a configuration error
+ * (SAV-1902); and the scalar ablation model never speculates, so a
+ * window on it silently does nothing (SAV-1903, warning).
+ */
+void checkSpeculation(const uarch::MachineConfig &m,
+                      const MeasurementSettings &s, Report &out);
+
+/**
  * SAV-K003: the event's sweep footprint must create the cache
  * behaviour its name claims on this machine (an LDL1 sweep must fit
  * in L1, an LDL2 sweep must overflow L1 but stay in L2, an LDM sweep

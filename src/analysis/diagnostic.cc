@@ -50,6 +50,9 @@ diagIdName(DiagId id)
       case DiagId::NonTerminatingLoop: return "SAV-P002";
       case DiagId::FootprintProofFailed: return "SAV-P003";
       case DiagId::AsymmetricHalves: return "SAV-P004";
+      case DiagId::TimingWithoutSpec: return "SAV-1901";
+      case DiagId::SpecWindowExcessive: return "SAV-1902";
+      case DiagId::SpecOnScalarModel: return "SAV-1903";
       default: SAVAT_PANIC("bad diagnostic id");
     }
 }
@@ -90,6 +93,12 @@ diagIdSlug(DiagId id)
       case DiagId::FootprintProofFailed:
         return "footprint-proof-failed";
       case DiagId::AsymmetricHalves: return "asymmetric-halves";
+      case DiagId::TimingWithoutSpec:
+        return "timing-without-speculation";
+      case DiagId::SpecWindowExcessive:
+        return "speculation-window-excessive";
+      case DiagId::SpecOnScalarModel:
+        return "speculation-on-scalar-model";
       default: SAVAT_PANIC("bad diagnostic id");
     }
 }
@@ -116,6 +125,7 @@ diagIdSeverity(DiagId id)
       case DiagId::NonTerminatingLoop:
       case DiagId::FootprintProofFailed:
       case DiagId::AsymmetricHalves:
+      case DiagId::SpecWindowExcessive:
         return Severity::Error;
       case DiagId::BurstQuantized:
       case DiagId::DutySkewed:
@@ -127,6 +137,8 @@ diagIdSeverity(DiagId id)
       case DiagId::FaultPlanUnreachable:
       case DiagId::DeadStore:
       case DiagId::UnreachableCode:
+      case DiagId::TimingWithoutSpec:
+      case DiagId::SpecOnScalarModel:
         return Severity::Warning;
       case DiagId::DegeneratePair:
         return Severity::Note;

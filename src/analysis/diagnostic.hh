@@ -67,6 +67,10 @@ enum class DiagId : std::uint8_t {
     NonTerminatingLoop,   //!< SAV-P002: inner loop cannot exit
     FootprintProofFailed, //!< SAV-P003: proved range vs claim/level
     AsymmetricHalves,     //!< SAV-P004: A/B differ outside the slot
+    // --- speculation / timing-channel checks ---
+    TimingWithoutSpec,    //!< SAV-1901: timing channel, no speculation
+    SpecWindowExcessive,  //!< SAV-1902: speculation window too deep
+    SpecOnScalarModel,    //!< SAV-1903: speculation on scalar timing
     NumIds
 };
 

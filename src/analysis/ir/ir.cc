@@ -100,9 +100,12 @@ lowerOne(IrInst &out)
         break;
       case Opcode::Je:
       case Opcode::Jne:
+      case Opcode::Jae:
+      case Opcode::Jb:
         out.readsFlags = true;
         break;
       case Opcode::Jmp:
+      case Opcode::Lfence:
       case Opcode::Nop:
       case Opcode::Hlt:
       case Opcode::Mark:

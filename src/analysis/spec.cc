@@ -274,13 +274,28 @@ struct Parser
         if (key == "channel") {
             if (args.size() == 1 && args[0] == "em") {
                 s.settings.powerRail = false;
+                s.settings.timingChannel = false;
                 return true;
             }
             if (args.size() == 1 && args[0] == "power") {
                 s.settings.powerRail = true;
+                s.settings.timingChannel = false;
                 return true;
             }
-            return fail(line, "channel expects em or power");
+            if (args.size() == 1 && args[0] == "timing") {
+                s.settings.powerRail = false;
+                s.settings.timingChannel = true;
+                return true;
+            }
+            return fail(line, "channel expects em, power or timing");
+        }
+        if (key == "speculation-window") {
+            std::size_t window = 0;
+            if (!integer(key, args, line, window))
+                return false;
+            s.settings.specWindow =
+                static_cast<std::uint32_t>(window);
+            return true;
         }
         return fail(line, "unknown key '" + key + "'");
     }

@@ -24,6 +24,7 @@
  *     periods 8
  *     pairing equal-duration
  *     channel em
+ *     speculation-window 0 # transient wrong-path depth (0 = off)
  *     clock 2.4 GHz        # machine override
  *     l1 32 KiB            # machine override
  *     l2 4096 KiB          # machine override
@@ -92,6 +93,15 @@ struct MeasurementSettings : SharedMeasurementSettings
 {
     /** Measure the power rail instead of the EM antenna. */
     bool powerRail = false;
+
+    /** Measure the cache-timing channel (software prime+probe). */
+    bool timingChannel = false;
+
+    /**
+     * Wrong-path speculation window depth configured for the target
+     * (0 = in-order core, no transient execution).
+     */
+    std::uint32_t specWindow = 0;
 
     /** Rated band of the loop antenna (EM channel only). */
     Frequency antennaCorner = Frequency::khz(10.0);

@@ -87,6 +87,32 @@ pairKey(EventKind a, EventKind b)
 }
 
 /**
+ * Per-cell speculation attribution in the cell-done record: branch
+ * predictor traffic, wrong-path side effects and (timing channel)
+ * the attacker's probe readout, all over the measured window. The
+ * report layer aggregates these into the per-cell speculation table.
+ */
+void
+setSpeculationFields(support::json::Value &f,
+                     const PairSimulation &sim)
+{
+    namespace json = support::json;
+    auto count = [&f](const char *key, std::uint64_t v) {
+        f.set(key, json::Value(static_cast<double>(v)));
+    };
+    count("bp_conditional", sim.bp.conditional);
+    count("bp_unconditional", sim.bp.unconditional);
+    count("bp_mispredicts", sim.bp.mispredicts);
+    count("spec_squashes", sim.spec.squashes);
+    count("spec_wrong_path", sim.spec.wrongPathInsts);
+    count("spec_transient_fills", sim.spec.transientFills);
+    count("spec_window_exhausted", sim.spec.windowExhausted);
+    count("spec_fences", sim.spec.fencesHit);
+    f.set("probe_mean_a", sim.probeMeanA);
+    f.set("probe_mean_b", sim.probeMeanB);
+}
+
+/**
  * Everything one worker produces for one pair. Outcomes are merged
  * into the result serially, in request order, so the assembled
  * matrix is byte-for-byte the serial loop's output regardless of
@@ -281,6 +307,8 @@ runCampaignPairs(
                              uarch::machineById(config.machineId)))));
         f.set("channel",
               pipeline::channelName(config.meter.channel));
+        f.set("speculation_window",
+              static_cast<double>(config.meter.specWindow));
         json::Value evs = json::Value::array();
         for (auto e : events)
             evs.push(json::Value(kernels::eventName(e)));
@@ -433,6 +461,7 @@ runCampaignPairs(
                 f.set("cpu_s", 0.0);
                 f.set("reps", slot.samples.size());
                 f.set("savat_zj_mean", savatMeanZj(slot.samples));
+                setSpeculationFields(f, slot.sim);
                 f.set("restored", true);
                 journal.emit("cell-done", std::move(f));
             }
@@ -640,6 +669,7 @@ runCampaignPairs(
                                   pipeline::CellState::Measured
                               ? savatMeanZj(slot.samples)
                               : 0.0);
+                    setSpeculationFields(f, slot.sim);
                     if (!health.lastError.empty())
                         f.set("error", health.lastError);
                     journal.emit("cell-done", std::move(f));

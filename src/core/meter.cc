@@ -14,6 +14,13 @@ SavatMeter::SavatMeter(uarch::MachineConfig machine,
       _synth(std::move(synth)),
       _config(config)
 {
+    // The speculation window is measurement configuration (the
+    // attack under study), applied to the target before anything
+    // keys off the machine: configDigest() mixes spec.window, so
+    // CPI calibrations of speculating and in-order variants of the
+    // same machine never share a cache entry.
+    if (_config.specWindow)
+        _machine.spec.window = _config.specWindow;
     const auto report = validate();
     if (report.hasErrors()) {
         SAVAT_FATAL("invalid measurement configuration:\n",
@@ -101,8 +108,10 @@ SavatMeter::runPairSimulation(EventKind a, EventKind b)
     spec.cpiB = iterationCycles(b);
     spec.footprintA = kernels::footprintBytes(a, _machine);
     spec.footprintB = kernels::footprintBytes(b, _machine);
-    spec.prefillA = kernels::isLoadEvent(a);
-    spec.prefillB = kernels::isLoadEvent(b);
+    spec.prefillA = kernels::isLoadEvent(a) ||
+                    kernels::isTransientEvent(a);
+    spec.prefillB = kernels::isLoadEvent(b) ||
+                    kernels::isTransientEvent(b);
     spec.labelA = a;
     spec.labelB = b;
     return pipeline::runAlternation(_machine, _synth.profile(), spec,
@@ -124,8 +133,10 @@ SavatMeter::simulateSequencePair(const kernels::EventSequence &a,
 
     auto any_load = [](const kernels::EventSequence &seq) {
         for (auto e : seq) {
-            if (kernels::isLoadEvent(e))
+            if (kernels::isLoadEvent(e) ||
+                kernels::isTransientEvent(e)) {
                 return true;
+            }
         }
         return false;
     };

@@ -29,6 +29,8 @@ parseOpcode(std::string_view token)
         {"dec", Opcode::Dec},   {"cmp", Opcode::Cmp},
         {"test", Opcode::Test}, {"jmp", Opcode::Jmp},
         {"je", Opcode::Je},     {"jne", Opcode::Jne},
+        {"jae", Opcode::Jae},   {"jb", Opcode::Jb},
+        {"lfence", Opcode::Lfence},
         {"nop", Opcode::Nop},   {"hlt", Opcode::Hlt},
         {"mark", Opcode::Mark},
     };
@@ -78,7 +80,8 @@ parseOperand(std::string_view token, Operand &out, std::string &err)
 bool
 isBranchOpcode(Opcode op)
 {
-    return op == Opcode::Jmp || op == Opcode::Je || op == Opcode::Jne;
+    return op == Opcode::Jmp || op == Opcode::Je ||
+           op == Opcode::Jne || op == Opcode::Jae || op == Opcode::Jb;
 }
 
 } // namespace
@@ -170,6 +173,7 @@ assemble(std::string_view source, const std::string &name)
 
         switch (*opcode) {
           case Opcode::Cdq:
+          case Opcode::Lfence:
           case Opcode::Nop:
           case Opcode::Hlt:
             if (!fields.empty())

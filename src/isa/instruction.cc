@@ -43,6 +43,9 @@ opcodeName(Opcode op)
       case Opcode::Jmp: return "jmp";
       case Opcode::Je: return "je";
       case Opcode::Jne: return "jne";
+      case Opcode::Jae: return "jae";
+      case Opcode::Jb: return "jb";
+      case Opcode::Lfence: return "lfence";
       case Opcode::Nop: return "nop";
       case Opcode::Hlt: return "hlt";
       case Opcode::Mark: return "mark";

@@ -58,6 +58,9 @@ enum class Opcode : std::uint8_t {
     Jmp,   //!< unconditional branch
     Je,    //!< branch if ZF
     Jne,   //!< branch if !ZF
+    Jae,   //!< branch if !CF (unsigned >=, the bounds-check idiom)
+    Jb,    //!< branch if CF (unsigned <)
+    Lfence, //!< speculation fence: wrong-path execution stops here
     Nop,   //!< no operation
     Hlt,   //!< stop simulation
     Mark,  //!< simulator hook: reports its immediate to the host
@@ -109,7 +112,9 @@ struct Instruction
     bool
     isBranch() const
     {
-        return op == Opcode::Jmp || op == Opcode::Je || op == Opcode::Jne;
+        return op == Opcode::Jmp || op == Opcode::Je ||
+               op == Opcode::Jne || op == Opcode::Jae ||
+               op == Opcode::Jb;
     }
 
     /** True for instructions that read memory. */

@@ -23,6 +23,8 @@ eventName(EventKind e)
       case EventKind::DIV: return "DIV";
       case EventKind::BRH: return "BRH";
       case EventKind::BRM: return "BRM";
+      case EventKind::TLD: return "TLD";
+      case EventKind::TLF: return "TLF";
       default: SAVAT_PANIC("bad event kind");
     }
 }
@@ -44,6 +46,8 @@ eventDescription(EventKind e)
       case EventKind::DIV: return "Integer division";
       case EventKind::BRH: return "Predicted branch";
       case EventKind::BRM: return "Mispredicted branch";
+      case EventKind::TLD: return "Transient load (Spectre gadget)";
+      case EventKind::TLF: return "Fenced transient load";
       default: SAVAT_PANIC("bad event kind");
     }
 }
@@ -82,6 +86,12 @@ bool
 isBranchEvent(EventKind e)
 {
     return e == EventKind::BRH || e == EventKind::BRM;
+}
+
+bool
+isTransientEvent(EventKind e)
+{
+    return e == EventKind::TLD || e == EventKind::TLF;
 }
 
 bool
@@ -138,6 +148,21 @@ eventAsm(EventKind e, const std::string &ptrReg,
       case EventKind::BRM:
         return "test ebx,64\njne " + label + "\nnop\n" + label +
                ":";
+      case EventKind::TLD:
+        // Spectre-v1 shape: bit 9 of the 64-byte-stride sweep offset
+        // flips every 8 iterations, so the guard runs in streaks the
+        // bimodal predictor mispredicts at each transition. When the
+        // taken (skip) streak begins, the not-taken prediction sends
+        // the load down the wrong path: a transient fill of a line
+        // the architectural path never touches.
+        return "test ebx,512\njne " + label + "\nmov eax,[" + ptrReg +
+               "]\n" + label + ":";
+      case EventKind::TLF:
+        // Identical gadget with the lfence mitigation: the fence
+        // stops the wrong-path window before the load, so no
+        // transient fill ever lands.
+        return "test ebx,512\njne " + label + "\nlfence\nmov eax,[" +
+               ptrReg + "]\n" + label + ":";
       default:
         SAVAT_PANIC("bad event kind");
     }

@@ -33,6 +33,8 @@ enum class EventKind : std::uint8_t {
     // --- extension events (the paper's Section VII future work) ---
     BRH,  //!< well-predicted conditional branch
     BRM,  //!< frequently mispredicted conditional branch
+    TLD,  //!< transient load: Spectre-v1 wrong-path gadget
+    TLF,  //!< fenced transient load: same gadget behind lfence
     NumEvents
 };
 
@@ -63,6 +65,14 @@ std::vector<EventKind> extendedEvents();
 
 /** True for the branch-predictor extension events. */
 bool isBranchEvent(EventKind e);
+
+/**
+ * True for the transient-execution extension events (TLD/TLF). Their
+ * loads run on the wrong path of a mispredicted branch, so they only
+ * differ from NOI-like slots when the machine's speculation window is
+ * nonzero.
+ */
+bool isTransientEvent(EventKind e);
 
 /** True for memory-accessing events. */
 bool isMemoryEvent(EventKind e);

@@ -177,7 +177,7 @@ void
 prefillEventArray(uarch::SimpleCpu &cpu, const uarch::MachineConfig &m,
                   EventKind e, std::uint64_t base)
 {
-    if (!isLoadEvent(e))
+    if (!isLoadEvent(e) && !isTransientEvent(e))
         return;
     const std::uint64_t bytes = footprintBytes(e, m);
     cpu.memory().fillWords(base, 0x07070707u, (bytes + 3) / 4);

@@ -193,6 +193,73 @@ PowerChain::measure(const PairSimulation &sim,
                          scratch.synth.realizedToneHz);
 }
 
+TimingChain::TimingChain(std::string machineId,
+                         em::ReceivedSignalSynthesizer synth,
+                         MeasureConfig config)
+    : _machineId(std::move(machineId)),
+      _synth(std::move(synth)),
+      _config(config)
+{
+}
+
+SavatSample
+TimingChain::measure(const PairSimulation &sim,
+                     std::size_t /*repetition*/, Rng &rng,
+                     MeasureScratch &scratch) const
+{
+    SAVAT_METRIC_COUNT("pipeline.timing_measurements");
+    scratch.arena.reset();
+
+    // The attacker's observable: the mean probe-sweep latency
+    // difference between the two halves, jittered per repetition by
+    // the attacker's own front-end noise (scheduler preemption,
+    // unrelated fills between prime and probe).
+    const double delta = sim.probeMeanA - sim.probeMeanB;
+    const double delta_rep =
+        delta * (1.0 + rng.gaussian(0.0, _config.timing.jitterRel));
+
+    // The probe series is a square wave between the two latency
+    // levels; its fundamental at the alternation tone has amplitude
+    // (2/pi) * delta/2, converted to the common power scale by the
+    // front end's cycles^2 -> W factor.
+    const double fundamental = (2.0 / M_PI) * delta_rep / 2.0;
+    const double tone_w =
+        _config.timing.wattsPerCycleSq * fundamental * fundamental;
+
+    {
+        obs::StageScope prof(obs::StageChain::Timing,
+                             obs::Stage::Synthesize);
+        SAVAT_METRIC_TIMER("pipeline.synthesize_seconds");
+        const auto env =
+            em::drawEnvironment(_synth.environment(), rng);
+        // Software readout: no antenna, no distance attenuation
+        // (front-end response 1), same environment drift model as
+        // the rail (shared clock/thermal state).
+        _synth.synthesizeToneInto(tone_w, sim.actualFrequency, 1.0,
+                                  _config.alternation,
+                                  _config.spanHz, env, rng,
+                                  scratch.synth, &scratch.arena);
+    }
+
+    {
+        obs::StageScope prof(obs::StageChain::Timing,
+                             obs::Stage::Sweep);
+        sweep(_config, _config.timing.noiseFloorWPerHz,
+              scratch.synth.spectrum, rng, scratch.trace,
+              &scratch.arena);
+    }
+    if (scratch.arena.capacity() > scratch.arenaHighWaterSeen) {
+        scratch.arenaHighWaterSeen = scratch.arena.capacity();
+        obs::noteArenaHighWater(obs::StageChain::Timing,
+                                scratch.arenaHighWaterSeen);
+    }
+    obs::StageScope prof(obs::StageChain::Timing,
+                         obs::Stage::BandIntegrate);
+    return bandIntegrate(scratch.trace, _config.alternation.inHz(),
+                         _config.bandHz, sim.pairsPerSecond,
+                         scratch.synth.realizedToneHz);
+}
+
 std::shared_ptr<const SignalChain>
 makeSignalChain(const std::string &machineId,
                 const em::ReceivedSignalSynthesizer &synth,
@@ -203,6 +270,9 @@ makeSignalChain(const std::string &machineId,
         return std::make_shared<EmChain>(machineId, synth, config);
       case ChannelKind::Power:
         return std::make_shared<PowerChain>(machineId, synth, config);
+      case ChannelKind::Timing:
+        return std::make_shared<TimingChain>(machineId, synth,
+                                             config);
     }
     SAVAT_FATAL("unknown channel kind");
 }

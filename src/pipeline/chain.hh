@@ -11,6 +11,9 @@
  *   PowerChain  Section VII's supply-current measurement — coherent
  *               current summation on the shared rail, no propagation
  *               loss, its own front-end noise floor,
+ *   TimingChain software-observable cache timing — a co-resident
+ *               prime+probe attacker's per-half L1 probe-latency
+ *               delta converted onto the SAVAT power scale,
  *   ReplayChain (pipeline/replay.hh) re-integrates recorded analyzer
  *               traces for offline re-analysis.
  *
@@ -41,7 +44,7 @@ class SignalChain
   public:
     virtual ~SignalChain() = default;
 
-    /** Short chain name ("em" | "power" | "replay"). */
+    /** Short chain name ("em" | "power" | "timing" | "replay"). */
     virtual const char *name() const = 0;
 
     /**
@@ -94,6 +97,39 @@ class PowerChain final : public SignalChain
                MeasureConfig config);
 
     const char *name() const override { return "power"; }
+    SavatSample measure(const PairSimulation &sim,
+                        std::size_t repetition, Rng &rng,
+                        MeasureScratch &scratch) const override;
+
+    const em::ReceivedSignalSynthesizer &synth() const
+    {
+        return _synth;
+    }
+
+  private:
+    std::string _machineId;
+    em::ReceivedSignalSynthesizer _synth;
+    MeasureConfig _config;
+};
+
+/**
+ * The software timing chain: the attacker's probe-latency delta
+ * between the A and B halves is the alternation-tone amplitude. The
+ * victim's simulation already interleaved the prime+probe readout
+ * (stages.cc), so measure() only adds the attacker's front-end
+ * noise (scheduler jitter on the delta) and pushes the equivalent
+ * tone power through the shared Synthesize/Sweep/BandIntegrate back
+ * half, landing timing cells on the same SAVAT scale as the analog
+ * channels.
+ */
+class TimingChain final : public SignalChain
+{
+  public:
+    TimingChain(std::string machineId,
+                em::ReceivedSignalSynthesizer synth,
+                MeasureConfig config);
+
+    const char *name() const override { return "timing"; }
     SavatSample measure(const PairSimulation &sim,
                         std::size_t repetition, Rng &rng,
                         MeasureScratch &scratch) const override;

@@ -8,6 +8,7 @@ channelName(ChannelKind kind)
     switch (kind) {
       case ChannelKind::Em: return "em";
       case ChannelKind::Power: return "power";
+      case ChannelKind::Timing: return "timing";
     }
     return "?";
 }
@@ -19,6 +20,8 @@ channelByName(const std::string &name)
         return ChannelKind::Em;
     if (name == "power")
         return ChannelKind::Power;
+    if (name == "timing")
+        return ChannelKind::Timing;
     return std::nullopt;
 }
 
@@ -29,6 +32,8 @@ toAnalysisSettings(const MeasureConfig &config,
     analysis::MeasurementSettings s;
     static_cast<analysis::SharedMeasurementSettings &>(s) = config;
     s.powerRail = config.channel == ChannelKind::Power;
+    s.timingChannel = config.channel == ChannelKind::Timing;
+    s.specWindow = config.specWindow;
     s.antennaCorner = antenna.corner();
     s.antennaMax = antenna.maxFrequency();
     return s;

@@ -23,11 +23,12 @@ namespace savat::pipeline {
 
 /** Which physical side channel a signal chain measures. */
 enum class ChannelKind {
-    Em,   //!< EM emanations via the loop antenna (the paper's case)
-    Power //!< supply-current measurement (Section VII)
+    Em,    //!< EM emanations via the loop antenna (the paper's case)
+    Power, //!< supply-current measurement (Section VII)
+    Timing //!< software-observable cache timing (prime+probe)
 };
 
-/** Lower-case channel name ("em" | "power"). */
+/** Lower-case channel name ("em" | "power" | "timing"). */
 const char *channelName(ChannelKind kind);
 
 /** Parse a channel name; empty when unknown. */
@@ -50,6 +51,30 @@ struct PowerFrontEnd
     double residualCoupling = 8.0;
 };
 
+/**
+ * Front-end model of the software timing attacker: a co-resident
+ * prime+probe process that reads per-set L1 probe latencies instead
+ * of an analog capture chain. The probe-latency difference between
+ * the A and B halves plays the role of the alternation-tone
+ * amplitude; the "noise floor" models the attacker's own front-end
+ * activity (scheduler jitter, unrelated fills).
+ */
+struct TimingFrontEnd
+{
+    /** Equivalent noise floor of the probe readout [W/Hz]. */
+    double noiseFloorWPerHz = 1.0e-17;
+
+    /**
+     * Conversion from squared probe-latency delta [cycles^2] to
+     * equivalent tone power [W], so timing cells land on the same
+     * SAVAT scale as the analog channels.
+     */
+    double wattsPerCycleSq = 1.0e-14;
+
+    /** Relative 1-sigma jitter on the probe-latency delta. */
+    double jitterRel = 0.05;
+};
+
 /** Measurement parameters shared by a campaign. */
 struct MeasureConfig : analysis::SharedMeasurementSettings
 {
@@ -61,6 +86,17 @@ struct MeasureConfig : analysis::SharedMeasurementSettings
 
     /** Power-chain front end (used when channel == Power). */
     PowerFrontEnd power;
+
+    /** Timing-chain front end (used when channel == Timing). */
+    TimingFrontEnd timing;
+
+    /**
+     * Wrong-path speculation window applied to the target machine
+     * (0 keeps the in-order core). Lives here rather than in the
+     * shared base: the checker receives it through its own
+     * MeasurementSettings field, not a verbatim slice.
+     */
+    std::uint32_t specWindow = 0;
 };
 
 /**

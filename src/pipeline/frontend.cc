@@ -10,6 +10,9 @@ channelCoupling(ChannelKind kind, const em::EmissionProfile &profile,
     switch (kind) {
       case ChannelKind::Em: return profile.gain[c];
       case ChannelKind::Power: return profile.currentWeight[c];
+      // The timing attacker reads the probe latencies directly; the
+      // per-channel emission couplings do not apply.
+      case ChannelKind::Timing: return 0.0;
     }
     return 0.0;
 }

@@ -28,6 +28,29 @@ diffCache(const uarch::CacheStats &now, const uarch::CacheStats &then)
     return d;
 }
 
+uarch::BranchStats
+diffBranch(const uarch::BranchStats &now,
+           const uarch::BranchStats &then)
+{
+    uarch::BranchStats d;
+    d.conditional = now.conditional - then.conditional;
+    d.unconditional = now.unconditional - then.unconditional;
+    d.mispredicts = now.mispredicts - then.mispredicts;
+    return d;
+}
+
+uarch::SpecStats
+diffSpec(const uarch::SpecStats &now, const uarch::SpecStats &then)
+{
+    uarch::SpecStats d;
+    d.squashes = now.squashes - then.squashes;
+    d.wrongPathInsts = now.wrongPathInsts - then.wrongPathInsts;
+    d.transientFills = now.transientFills - then.transientFills;
+    d.windowExhausted = now.windowExhausted - then.windowExhausted;
+    d.fencesHit = now.fencesHit - then.fencesHit;
+    return d;
+}
+
 } // namespace
 
 const char *
@@ -81,7 +104,7 @@ SimulationRun
 simulate(const uarch::MachineConfig &machine, const KernelSpec &spec,
          const kernels::AlternationKernel &kernel,
          const kernels::CountSolution &counts,
-         std::size_t measuredPeriods)
+         std::size_t measuredPeriods, std::uint64_t probeBase)
 {
     SAVAT_METRIC_TIMER("pipeline.simulate_seconds");
     SAVAT_METRIC_COUNT("pipeline.simulations");
@@ -117,18 +140,45 @@ simulate(const uarch::MachineConfig &machine, const KernelSpec &spec,
         std::max(warm_periods_for(spec.footprintA, counts.countA),
                  warm_periods_for(spec.footprintB, counts.countB));
 
+    // Timing attacker: probe the full L1 through the demand path
+    // without recording victim events or advancing victim time. The
+    // fills/evictions a probe causes must not enter the activity
+    // trace (the attacker is a separate process, invisible to the
+    // analog channels), so delivery is gated off around the sweep.
+    std::uint64_t probe_sum_a = 0, probe_sum_b = 0;
+    auto probe = [&](std::uint64_t cycle) {
+        const bool was_enabled = run.trace.enabled();
+        run.trace.setEnabled(false);
+        const std::uint64_t lat = cpu.l1().probeSweep(probeBase, cycle);
+        run.trace.setEnabled(was_enabled);
+        return lat;
+    };
+
     std::uint64_t periods_seen = 0;
     uarch::CacheStats l1_at_enable, l2_at_enable;
     uarch::MainMemoryStats mem_at_enable;
+    uarch::BranchStats bp_at_enable;
+    uarch::SpecStats spec_at_enable;
     cpu.setMarkCallback([&](std::int64_t id, std::uint64_t cycle,
                             std::uint64_t) {
         if (id == Marks::kPeriodStart) {
             ++periods_seen;
             if (periods_seen == warmup + 1) {
+                // Prime before the stats snapshot so the attacker's
+                // initial fills are excluded from the measured-window
+                // cache statistics.
+                if (probeBase)
+                    cpu.l1().probeSweep(probeBase, cycle);
                 run.trace.setEnabled(true);
                 l1_at_enable = cpu.l1Stats();
                 l2_at_enable = cpu.l2Stats();
                 mem_at_enable = cpu.memStats();
+                bp_at_enable = cpu.branchStats();
+                spec_at_enable = cpu.specStats();
+            } else if (probeBase && periods_seen > warmup + 1 &&
+                       periods_seen <= warmup + measured + 1) {
+                // End of a measured B burst.
+                probe_sum_b += probe(cycle);
             }
             if (periods_seen > warmup)
                 run.periodStarts.push_back(cycle);
@@ -140,6 +190,9 @@ simulate(const uarch::MachineConfig &machine, const KernelSpec &spec,
             if (periods_seen > warmup &&
                 periods_seen <= warmup + measured) {
                 run.halfMarks.push_back(cycle);
+                // End of a measured A burst.
+                if (probeBase)
+                    probe_sum_a += probe(cycle);
             }
         }
         return true;
@@ -157,6 +210,14 @@ simulate(const uarch::MachineConfig &machine, const KernelSpec &spec,
     run.l2 = diffCache(cpu.l2Stats(), l2_at_enable);
     run.mem.reads = cpu.memStats().reads - mem_at_enable.reads;
     run.mem.writes = cpu.memStats().writes - mem_at_enable.writes;
+    run.bp = diffBranch(cpu.branchStats(), bp_at_enable);
+    run.spec = diffSpec(cpu.specStats(), spec_at_enable);
+    if (probeBase) {
+        run.probeMeanA = static_cast<double>(probe_sum_a) /
+                         static_cast<double>(measured);
+        run.probeMeanB = static_cast<double>(probe_sum_b) /
+                         static_cast<double>(measured);
+    }
     run.periodCycles = static_cast<double>(run.periodStarts.back() -
                                            run.periodStarts.front()) /
                        static_cast<double>(measured);
@@ -248,7 +309,15 @@ runAlternation(const uarch::MachineConfig &machine,
     const obs::StageChain prof_chain =
         config.channel == ChannelKind::Power
             ? obs::StageChain::Power
-            : obs::StageChain::Em;
+            : config.channel == ChannelKind::Timing
+                  ? obs::StageChain::Timing
+                  : obs::StageChain::Em;
+
+    // Only the timing chain interleaves the prime+probe attacker;
+    // a zero base keeps simulate() on the probe-free path and the
+    // analog channels byte-identical to their golden fixtures.
+    const std::uint64_t probe_base =
+        config.channel == ChannelKind::Timing ? kProbeBase : 0;
 
     // 1. BurstSolve from each half's standalone iteration time. The
     // halves can interact once combined (e.g. an L2-sized sweep
@@ -292,7 +361,8 @@ runAlternation(const uarch::MachineConfig &machine,
     }
     auto timed_simulate = [&](const kernels::AlternationKernel &k) {
         obs::StageScope prof(prof_chain, obs::Stage::Simulate);
-        return simulate(machine, spec, k, sim.counts, measured);
+        return simulate(machine, spec, k, sim.counts, measured,
+                        probe_base);
     };
     SimulationRun run = timed_simulate(first_kernel);
     for (int iter = 0; iter < 5; ++iter) {
@@ -353,6 +423,10 @@ runAlternation(const uarch::MachineConfig &machine,
     sim.l1 = run.l1;
     sim.l2 = run.l2;
     sim.mem = run.mem;
+    sim.bp = run.bp;
+    sim.spec = run.spec;
+    sim.probeMeanA = run.probeMeanA;
+    sim.probeMeanB = run.probeMeanB;
     sim.state = CellState::Measured;
     return sim;
 }

@@ -42,6 +42,14 @@
 namespace savat::pipeline {
 
 /**
+ * Base address of the timing attacker's probe array. Way above the
+ * kernel arrays (kBaseA/kBaseB) so the attacker and victim share
+ * cache sets only through index aliasing, never through overlapping
+ * lines — the same separation a co-resident prime+probe process has.
+ */
+inline constexpr std::uint64_t kProbeBase = 0x70000000ull;
+
+/**
  * Lifecycle of one campaign matrix cell. Campaigns size their
  * simulation table for the full matrix, so cells of pairs that were
  * never requested stay Skipped — reading one is a bug, caught by
@@ -104,6 +112,19 @@ struct PairSimulation
     uarch::CacheStats l1;
     uarch::CacheStats l2;
     uarch::MainMemoryStats mem;
+
+    /** Branch-predictor / speculation statistics over the measured
+     * window (all-zero unless the machine speculates). */
+    uarch::BranchStats bp;
+    uarch::SpecStats spec;
+
+    /**
+     * Timing channel only: mean L1 prime+probe sweep latency
+     * [cycles] observed at the end of each A half (probeMeanA) and
+     * each B half (probeMeanB). Zero for the analog channels.
+     */
+    double probeMeanA = 0.0;
+    double probeMeanB = 0.0;
 };
 
 /** One measurement repetition's outputs. */
@@ -172,6 +193,14 @@ struct SimulationRun
     uarch::CacheStats l1;
     uarch::CacheStats l2;
     uarch::MainMemoryStats mem;
+
+    /** Branch / speculation statistics over the measured window. */
+    uarch::BranchStats bp;
+    uarch::SpecStats spec;
+
+    /** Mean probe-sweep latencies (timing channel; else zero). */
+    double probeMeanA = 0.0;
+    double probeMeanB = 0.0;
 };
 
 /**
@@ -191,12 +220,23 @@ kernelBuild(const KernelSpec &spec,
  * Simulate: run the kernel, capturing the activity trace and the
  * period/half marks over `measuredPeriods` periods after a cache
  * warm-up sized to the halves' footprints.
+ *
+ * When `probeBase` is nonzero (the timing chain passes kProbeBase),
+ * the attacker's prime+probe readout runs interleaved with the
+ * victim: the L1 is primed from the probe array once at the end of
+ * warm-up, then swept at every half boundary (end of the A burst)
+ * and period start (end of the B burst) in the measured window,
+ * filling probeMeanA/probeMeanB. The probes use the demand path of
+ * the L1 but charge no victim cycles and record no victim events, so
+ * the analog channels (probeBase == 0) are byte-identical with or
+ * without this feature compiled in.
  */
 SimulationRun simulate(const uarch::MachineConfig &machine,
                        const KernelSpec &spec,
                        const kernels::AlternationKernel &kernel,
                        const kernels::CountSolution &counts,
-                       std::size_t measuredPeriods);
+                       std::size_t measuredPeriods,
+                       std::uint64_t probeBase = 0);
 
 /**
  * Effective per-half cycles/iteration measured on the combined

@@ -19,8 +19,11 @@ using support::readHexFloat;
 
 namespace {
 
+// v2 added the per-cell bp/spec/probe records (speculation refactor);
+// the strict parser rejects unknown record keys, so the version must
+// move with the grammar.
 constexpr const char *kMagic = "savat-campaign-checkpoint";
-constexpr const char *kVersion = "v1";
+constexpr const char *kVersion = "v2";
 
 /** Non-fatal event-name lookup (the parser reports, never aborts). */
 bool
@@ -85,6 +88,17 @@ printCellBody(std::ostream &os, const CampaignCheckpoint::Cell &cell)
            << cache->writebacksOut << '\n';
     }
     os << "mem " << sim.mem.reads << ' ' << sim.mem.writes << '\n';
+    os << "bp " << sim.bp.conditional << ' ' << sim.bp.unconditional
+       << ' ' << sim.bp.mispredicts << '\n';
+    os << "spec " << sim.spec.squashes << ' '
+       << sim.spec.wrongPathInsts << ' ' << sim.spec.transientFills
+       << ' ' << sim.spec.windowExhausted << ' '
+       << sim.spec.fencesHit << '\n';
+    os << "probe ";
+    printHexFloat(os, sim.probeMeanA);
+    os << ' ';
+    printHexFloat(os, sim.probeMeanB);
+    os << '\n';
     os << "samples";
     for (double v : cell.samples) {
         os << ' ';
@@ -144,12 +158,14 @@ hashCampaignIdentity(const core::CampaignConfig &config)
     for (double v :
          {m.alternation.inHz(), m.distance.inMeters(), m.bandHz,
           m.spanHz, m.rbwHz, m.noiseFloorWPerHz,
-          m.power.noiseFloorWPerHz, m.power.residualCoupling}) {
+          m.power.noiseFloorWPerHz, m.power.residualCoupling,
+          m.timing.noiseFloorWPerHz, m.timing.wattsPerCycleSq,
+          m.timing.jitterRel}) {
         printHexFloat(canon, v);
         canon << '|';
     }
     canon << static_cast<int>(m.pairing) << '|' << m.measurePeriods
-          << '|';
+          << '|' << m.specWindow << '|';
     for (auto e : config.events)
         canon << kernels::eventName(e) << ',';
     canon << '|' << config.repetitions << '|' << config.seed << '|'
@@ -328,6 +344,20 @@ loadCheckpoint(std::istream &stream)
             if (!(in >> sub) || sub != "mem" ||
                 !(in >> sim.mem.reads >> sim.mem.writes))
                 return fail("cell: malformed mem record");
+            if (!(in >> sub) || sub != "bp" ||
+                !(in >> sim.bp.conditional >>
+                  sim.bp.unconditional >> sim.bp.mispredicts))
+                return fail("cell: malformed bp record");
+            if (!(in >> sub) || sub != "spec" ||
+                !(in >> sim.spec.squashes >>
+                  sim.spec.wrongPathInsts >>
+                  sim.spec.transientFills >>
+                  sim.spec.windowExhausted >> sim.spec.fencesHit))
+                return fail("cell: malformed spec record");
+            if (!(in >> sub) || sub != "probe" ||
+                !readHexFloat(in, sim.probeMeanA) ||
+                !readHexFloat(in, sim.probeMeanB))
+                return fail("cell: malformed probe record");
 
             if (!(in >> sub) || sub != "samples")
                 return fail("cell: expected samples record");

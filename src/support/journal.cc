@@ -558,6 +558,22 @@ aggregateJournals(const std::vector<std::string> &paths,
                     f.numberOr("savat_zj_mean", 0.0);
                 rec.restored = f.boolOr("restored", false);
                 rec.error = f.stringOr("error", "");
+                // Speculation attribution (absent in v1 journals;
+                // numberOr keeps those readable with zero counts).
+                rec.bpConditional = f.numberOr("bp_conditional", 0.0);
+                rec.bpUnconditional =
+                    f.numberOr("bp_unconditional", 0.0);
+                rec.bpMispredicts = f.numberOr("bp_mispredicts", 0.0);
+                rec.specSquashes = f.numberOr("spec_squashes", 0.0);
+                rec.specWrongPath =
+                    f.numberOr("spec_wrong_path", 0.0);
+                rec.specTransientFills =
+                    f.numberOr("spec_transient_fills", 0.0);
+                rec.specWindowExhausted =
+                    f.numberOr("spec_window_exhausted", 0.0);
+                rec.specFences = f.numberOr("spec_fences", 0.0);
+                rec.probeMeanA = f.numberOr("probe_mean_a", 0.0);
+                rec.probeMeanB = f.numberOr("probe_mean_b", 0.0);
                 if (!rec.pair.empty())
                     out.cells[rec.pair] = std::move(rec);
             } else if (ev.type == "run-end") {
@@ -721,6 +737,43 @@ writeReportTables(std::ostream &os, const RunReport &report)
         }
         t.render(os);
     }
+
+    // Per-cell speculation attribution: shown only when some cell
+    // actually speculated (or carried a timing-probe readout), so
+    // in-order analog campaigns keep their familiar report.
+    bool anySpec = false;
+    for (const auto &[pair, cell] : report.cells) {
+        if (cell.speculated()) {
+            anySpec = true;
+            break;
+        }
+    }
+    if (anySpec) {
+        os << "\nspeculation attribution\n";
+        TextTable t;
+        t.setHeader({"pair", "branches", "mispredicts", "squashes",
+                     "wrong_path", "transient_fills", "fences",
+                     "probe_delta"});
+        for (const auto &[pair, cell] : report.cells) {
+            if (!cell.speculated())
+                continue;
+            t.startRow();
+            t.addCell(pair);
+            t.addCell(static_cast<long long>(
+                cell.bpConditional + cell.bpUnconditional));
+            t.addCell(
+                static_cast<long long>(cell.bpMispredicts));
+            t.addCell(static_cast<long long>(cell.specSquashes));
+            t.addCell(
+                static_cast<long long>(cell.specWrongPath));
+            t.addCell(static_cast<long long>(
+                cell.specTransientFills));
+            t.addCell(static_cast<long long>(cell.specFences));
+            t.addCell(format("%.4g", cell.probeMeanA -
+                                         cell.probeMeanB));
+        }
+        t.render(os);
+    }
 }
 
 void
@@ -772,6 +825,16 @@ writeReportJson(std::ostream &os, const RunReport &report)
         c.set("reps", cell.reps);
         c.set("savat_zj_mean", cell.savatZjMean);
         c.set("restored", cell.restored);
+        c.set("bp_conditional", cell.bpConditional);
+        c.set("bp_unconditional", cell.bpUnconditional);
+        c.set("bp_mispredicts", cell.bpMispredicts);
+        c.set("spec_squashes", cell.specSquashes);
+        c.set("spec_wrong_path", cell.specWrongPath);
+        c.set("spec_transient_fills", cell.specTransientFills);
+        c.set("spec_window_exhausted", cell.specWindowExhausted);
+        c.set("spec_fences", cell.specFences);
+        c.set("probe_mean_a", cell.probeMeanA);
+        c.set("probe_mean_b", cell.probeMeanB);
         if (!cell.error.empty())
             c.set("error", cell.error);
         cells.push(std::move(c));

@@ -158,6 +158,29 @@ struct CellRecord
     double savatZjMean = 0.0; //!< deterministic; equal across runs
     bool restored = false;
     std::string error;
+
+    /** Branch-predictor traffic over the measured window. */
+    double bpConditional = 0.0;
+    double bpUnconditional = 0.0;
+    double bpMispredicts = 0.0;
+
+    /** Wrong-path speculation side effects (zero on in-order runs). */
+    double specSquashes = 0.0;
+    double specWrongPath = 0.0;
+    double specTransientFills = 0.0;
+    double specWindowExhausted = 0.0;
+    double specFences = 0.0;
+
+    /** Timing-channel probe readout (zero on analog channels). */
+    double probeMeanA = 0.0;
+    double probeMeanB = 0.0;
+
+    /** Any speculation or probe activity worth reporting? */
+    bool speculated() const
+    {
+        return specSquashes > 0.0 || specTransientFills > 0.0 ||
+               probeMeanA != 0.0 || probeMeanB != 0.0;
+    }
 };
 
 /** Aggregation of one or more journals of the same campaign. */

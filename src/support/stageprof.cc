@@ -33,6 +33,7 @@ stageChainName(StageChain c)
       case StageChain::Em: return "em";
       case StageChain::Power: return "power";
       case StageChain::Replay: return "replay";
+      case StageChain::Timing: return "timing";
       case StageChain::kCount: break;
     }
     return "unknown";

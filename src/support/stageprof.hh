@@ -53,13 +53,14 @@ enum class StageChain : std::uint8_t
     Em,
     Power,
     Replay,
+    Timing,
     kCount,
 };
 
 /** Stable lowercase stage name ("burst_solve", ...). */
 const char *stageName(Stage s);
 
-/** Stable lowercase chain name ("em", "power", "replay"). */
+/** Stable lowercase chain name ("em", "power", "replay", "timing"). */
 const char *stageChainName(StageChain c);
 
 /**

@@ -33,12 +33,22 @@ microEventName(MicroEvent ev)
     }
 }
 
+const char *
+eventOriginName(EventOrigin origin)
+{
+    switch (origin) {
+      case EventOrigin::Retired: return "retired";
+      case EventOrigin::Transient: return "transient";
+    }
+    SAVAT_PANIC("bad EventOrigin");
+}
+
 void
 ActivityTrace::recordImpl(MicroEvent ev, std::uint64_t start,
-                          std::uint32_t duration)
+                          std::uint32_t duration, EventOrigin origin)
 {
     SAVAT_ASSERT(duration >= 1, "zero-duration activity event");
-    _events.push_back({ev, duration, start});
+    _events.push_back({ev, origin, duration, start});
 }
 
 void
@@ -54,6 +64,17 @@ ActivityTrace::eventCounts() const
     for (const auto &e : _events)
         ++counts[static_cast<std::size_t>(e.ev)];
     return counts;
+}
+
+std::uint64_t
+ActivityTrace::originCount(EventOrigin origin) const
+{
+    std::uint64_t n = 0;
+    for (const auto &e : _events) {
+        if (e.origin == origin)
+            ++n;
+    }
+    return n;
 }
 
 double

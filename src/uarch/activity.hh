@@ -50,6 +50,21 @@ inline constexpr std::size_t kNumMicroEvents =
 const char *microEventName(MicroEvent ev);
 
 /**
+ * Whether an event came from the retired (architectural) instruction
+ * stream or from wrong-path execution inside the speculation frontier.
+ * Transient events switch real logic — they are energy- and
+ * cache-state-relevant — but belong to instructions that are
+ * architecturally squashed.
+ */
+enum class EventOrigin : std::uint8_t {
+    Retired,  //!< architecturally committed activity
+    Transient //!< wrong-path activity, squashed after the window
+};
+
+/** Short name of an EventOrigin ("retired" | "transient"). */
+const char *eventOriginName(EventOrigin origin);
+
+/**
  * Receiver of activity events.
  *
  * The enabled flag gates delivery BEFORE the virtual dispatch: the
@@ -73,24 +88,36 @@ class ActivitySink
      *                 EVERY cycle of its duration (a divider that
      *                 iterates for 39 cycles switches 39 cycles'
      *                 worth of logic, not one).
+     *
+     * The event is tagged with the sink's current origin: the CPU
+     * flips the origin to Transient around wrong-path windows, so
+     * every producer (caches, memory, the core itself) labels its
+     * events retired-vs-speculative without threading an argument
+     * through the whole memory hierarchy.
      */
     void record(MicroEvent ev, std::uint64_t start,
                 std::uint32_t duration)
     {
         if (_enabled)
-            recordImpl(ev, start, duration);
+            recordImpl(ev, start, duration, _origin);
     }
 
     bool enabled() const { return _enabled; }
     void setEnabled(bool on) { _enabled = on; }
 
+    /** Origin applied to subsequently recorded events. */
+    EventOrigin origin() const { return _origin; }
+    void setOrigin(EventOrigin origin) { _origin = origin; }
+
   protected:
     /** Delivery of one event while enabled. */
     virtual void recordImpl(MicroEvent ev, std::uint64_t start,
-                            std::uint32_t duration) = 0;
+                            std::uint32_t duration,
+                            EventOrigin origin) = 0;
 
   private:
     bool _enabled;
+    EventOrigin _origin = EventOrigin::Retired;
 };
 
 /** ActivitySink that discards everything (for functional-only runs).
@@ -101,7 +128,8 @@ class NullActivitySink : public ActivitySink
     NullActivitySink() : ActivitySink(false) {}
 
   protected:
-    void recordImpl(MicroEvent, std::uint64_t, std::uint32_t) override
+    void recordImpl(MicroEvent, std::uint64_t, std::uint32_t,
+                    EventOrigin) override
     {
     }
 };
@@ -110,6 +138,7 @@ class NullActivitySink : public ActivitySink
 struct ActivityEvent
 {
     MicroEvent ev;
+    EventOrigin origin = EventOrigin::Retired;
     std::uint32_t duration;
     std::uint64_t start;
 };
@@ -133,6 +162,9 @@ class ActivityTrace : public ActivitySink
 
     /** Number of events of each kind (duration-independent). */
     std::array<std::uint64_t, kNumMicroEvents> eventCounts() const;
+
+    /** Number of recorded events with the given origin. */
+    std::uint64_t originCount(EventOrigin origin) const;
 
     /**
      * Mean activity of one event kind over the half-open cycle window
@@ -179,7 +211,8 @@ class ActivityTrace : public ActivitySink
 
   protected:
     void recordImpl(MicroEvent ev, std::uint64_t start,
-                    std::uint32_t duration) override;
+                    std::uint32_t duration,
+                    EventOrigin origin) override;
 
   private:
     std::vector<ActivityEvent> _events;

@@ -205,6 +205,35 @@ Cache::write(std::uint64_t addr, std::uint64_t cycle)
     return _geom.hitLatency + next_lat;
 }
 
+std::uint32_t
+Cache::probeSet(std::uint32_t set, std::uint64_t base,
+                std::uint64_t cycle)
+{
+    // The attacker array is way-major: way w's line for this set
+    // lives at base + w * (numSets * lineBytes) + set * lineBytes,
+    // so the assoc addresses below all map to `set` with distinct
+    // tags.
+    const std::uint64_t way_stride =
+        static_cast<std::uint64_t>(_geom.numSets()) * _geom.lineBytes;
+    std::uint32_t total = 0;
+    for (std::uint32_t w = 0; w < _geom.assoc; ++w) {
+        const std::uint64_t addr = base + w * way_stride +
+                                   static_cast<std::uint64_t>(set) *
+                                       _geom.lineBytes;
+        total += read(addr, cycle);
+    }
+    return total;
+}
+
+std::uint64_t
+Cache::probeSweep(std::uint64_t base, std::uint64_t cycle)
+{
+    std::uint64_t total = 0;
+    for (std::uint32_t s = 0; s < _geom.numSets(); ++s)
+        total += probeSet(s, base, cycle);
+    return total;
+}
+
 void
 Cache::writeback(std::uint64_t addr, std::uint64_t cycle)
 {

@@ -107,6 +107,24 @@ class Cache : public MemLevel
     /** True if the line containing addr is currently resident. */
     bool contains(std::uint64_t addr) const;
 
+    /**
+     * Prime+probe support: demand-read one address per way of `set`
+     * inside the attacker array at `base` (way-major layout, one
+     * line per set per way) and return the summed latency — the
+     * software attacker's per-set probe time. The reads run through
+     * the normal demand path, so they re-prime the set as a side
+     * effect, exactly like a real prime+probe sweep.
+     */
+    std::uint32_t probeSet(std::uint32_t set, std::uint64_t base,
+                           std::uint64_t cycle);
+
+    /**
+     * Full prime/probe sweep: probeSet() over every set of the
+     * cache, returning the total latency in cycles. Callers that
+     * only want to prime discard the result.
+     */
+    std::uint64_t probeSweep(std::uint64_t base, std::uint64_t cycle);
+
     /** True if the line containing addr is resident and dirty. */
     bool isDirty(std::uint64_t addr) const;
 

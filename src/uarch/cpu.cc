@@ -40,10 +40,9 @@ SimpleCpu::predictBranch(std::uint64_t pc, bool taken)
             --counter;
     }
     ++_branchStats.conditional;
-    const bool correct = predicted_taken == taken;
-    if (!correct)
+    if (predicted_taken != taken)
         ++_branchStats.mispredicts;
-    return correct;
+    return predicted_taken;
 }
 
 std::uint32_t
@@ -63,10 +62,12 @@ SimpleCpu::reset()
 {
     _regs.fill(0);
     _zf = false;
+    _cf = false;
     _cycle = 0;
     _instsRetired = 0;
     _bpTable.fill(2); // weakly taken
     _branchStats = {};
+    _specStats = {};
     _l1->flushAll();
     _l2->flushAll();
     _l1->clearStats();
@@ -100,6 +101,8 @@ SimpleCpu::run(const isa::Program &program, RunLimits limits)
     // bounds-checked accessor call per retired instruction.
     const Instruction *code = program.instructions().data();
     const std::uint64_t code_size = program.size();
+    const bool spec_on = _config.timing == TimingModel::Pipelined &&
+                         _config.spec.enabled();
 
     while (!halted && !stop && res.instructions < limits.maxInstructions &&
            res.cycles < limits.maxCycles) {
@@ -108,30 +111,48 @@ SimpleCpu::run(const isa::Program &program, RunLimits limits)
             halted = true;
             break;
         }
+        // Execute stage: architectural effects plus the op-specific
+        // activity events, all stamped at the current cycle.
         const Instruction &inst = code[pc];
-        const std::uint32_t latency = execute(inst, pc, halted, stop);
-        if (latency > 0) {
-            _sink.record(MicroEvent::IFetch, _cycle, 1);
-            _sink.record(MicroEvent::PipelineCycle, _cycle, latency);
-            _cycle += latency;
-            res.cycles += latency;
-            ++res.instructions;
-            ++_instsRetired;
-        }
+        const ExecResult ex = execute(inst, pc, halted, stop);
+        if (ex.latency == 0)
+            continue; // mark: free and emission-silent
+
+        // Speculation frontier: on a mispredict the front end has
+        // already fetched down the predicted path, so the wrong-path
+        // window runs before the branch retires. Its activity carries
+        // EventOrigin::Transient and its cache fills persist, but no
+        // cycles or architectural state are charged — the squash cost
+        // is the mispredict penalty already inside ex.latency.
+        if (ex.mispredicted && spec_on)
+            speculate(code, code_size, ex.wrongPathPc);
+
+        // Retire stage. The record order — op events, then IFetch,
+        // then PipelineCycle, all at the pre-retire cycle — is a
+        // byte-level contract with the golden EM fixtures; do not
+        // reorder.
+        _sink.record(MicroEvent::IFetch, _cycle, 1);
+        _sink.record(MicroEvent::PipelineCycle, _cycle, ex.latency);
+        _cycle += ex.latency;
+        res.cycles += ex.latency;
+        ++res.instructions;
+        ++_instsRetired;
     }
     res.halted = halted;
     res.stoppedByMark = stop;
     return res;
 }
 
-std::uint32_t
+ExecResult
 SimpleCpu::execute(const Instruction &inst, std::uint64_t &pc,
                    bool &halted, bool &stop)
 {
     const OpLatencies &lat = _config.lat;
     const bool pipe = _config.timing == TimingModel::Pipelined;
     std::uint64_t next_pc = pc + 1;
-    std::uint32_t latency = lat.alu;
+    ExecResult res;
+    std::uint32_t &latency = res.latency;
+    latency = lat.alu;
 
     switch (inst.op) {
       case Opcode::Mov: {
@@ -174,11 +195,11 @@ SimpleCpu::execute(const Instruction &inst, std::uint64_t &pc,
         const std::uint32_t b = readOperand(inst.src);
         std::uint32_t r = 0;
         switch (inst.op) {
-          case Opcode::Add: r = a + b; break;
-          case Opcode::Sub: r = a - b; break;
-          case Opcode::And: r = a & b; break;
-          case Opcode::Or: r = a | b; break;
-          case Opcode::Xor: r = a ^ b; break;
+          case Opcode::Add: r = a + b; _cf = r < a; break;
+          case Opcode::Sub: r = a - b; _cf = b > a; break;
+          case Opcode::And: r = a & b; _cf = false; break;
+          case Opcode::Or: r = a | b; _cf = false; break;
+          case Opcode::Xor: r = a ^ b; _cf = false; break;
           default: SAVAT_PANIC("unreachable");
         }
         setReg(inst.dst.reg, r);
@@ -229,6 +250,8 @@ SimpleCpu::execute(const Instruction &inst, std::uint64_t &pc,
       }
       case Opcode::Inc:
       case Opcode::Dec: {
+        // inc/dec set ZF but preserve CF (x86): loop counters must
+        // not clobber a pending bounds-check comparison.
         const std::uint32_t r = inst.op == Opcode::Inc
                                     ? reg(inst.dst.reg) + 1
                                     : reg(inst.dst.reg) - 1;
@@ -239,9 +262,10 @@ SimpleCpu::execute(const Instruction &inst, std::uint64_t &pc,
         break;
       }
       case Opcode::Cmp: {
-        const std::uint32_t r =
-            reg(inst.dst.reg) - readOperand(inst.src);
-        setZf(r);
+        const std::uint32_t a = reg(inst.dst.reg);
+        const std::uint32_t b = readOperand(inst.src);
+        setZf(a - b);
+        _cf = b > a;
         latency = pipe ? 1 : lat.alu;
         _sink.record(MicroEvent::AluOp, _cycle, 1);
         break;
@@ -250,32 +274,53 @@ SimpleCpu::execute(const Instruction &inst, std::uint64_t &pc,
         const std::uint32_t r =
             reg(inst.dst.reg) & readOperand(inst.src);
         setZf(r);
+        _cf = false;
         latency = pipe ? 1 : lat.alu;
         _sink.record(MicroEvent::AluOp, _cycle, 1);
         break;
       }
       case Opcode::Jmp:
         next_pc = static_cast<std::uint64_t>(inst.target);
-        // Loop branches are perfectly predicted on the pipelined core.
-        latency = pipe ? 1 : lat.branchTaken;
+        if (pipe) {
+            // The front end resolves unconditional targets in decode,
+            // so jmp never mispredicts — but it is still a
+            // predictor-visible branch and belongs in the rate's
+            // denominator.
+            ++_branchStats.unconditional;
+            latency = 1;
+        } else {
+            latency = lat.branchTaken;
+        }
         _sink.record(MicroEvent::AluOp, _cycle, 1);
         break;
       case Opcode::Je:
-      case Opcode::Jne: {
-        const bool taken =
-            (inst.op == Opcode::Je) ? _zf : !_zf;
+      case Opcode::Jne:
+      case Opcode::Jae:
+      case Opcode::Jb: {
+        bool taken = false;
+        switch (inst.op) {
+          case Opcode::Je: taken = _zf; break;
+          case Opcode::Jne: taken = !_zf; break;
+          case Opcode::Jae: taken = !_cf; break;
+          default: taken = _cf; break;
+        }
         if (taken)
             next_pc = static_cast<std::uint64_t>(inst.target);
         if (pipe) {
             // Bimodal predictor: correct predictions are free
             // (1-cycle issue); mispredictions flush the pipeline.
-            const bool correct = predictBranch(pc, taken);
-            if (correct) {
+            const bool predicted = predictBranch(pc, taken);
+            if (predicted == taken) {
                 latency = 1;
             } else {
                 latency = 1 + lat.branchMispredict;
                 _sink.record(MicroEvent::BpMispredict, _cycle,
                              lat.branchMispredict);
+                // The wrong path follows the *predicted* direction.
+                res.mispredicted = true;
+                res.wrongPathPc =
+                    predicted ? static_cast<std::uint64_t>(inst.target)
+                              : pc + 1;
             }
         } else {
             latency = taken ? lat.branchTaken : lat.branch;
@@ -283,6 +328,11 @@ SimpleCpu::execute(const Instruction &inst, std::uint64_t &pc,
         _sink.record(MicroEvent::AluOp, _cycle, 1);
         break;
       }
+      case Opcode::Lfence:
+        // Architecturally a cheap drain; its real job is stopping
+        // wrong-path execution (see speculate()).
+        latency = pipe ? 1 : lat.nop;
+        break;
       case Opcode::Nop:
         latency = pipe ? 1 : lat.nop;
         break;
@@ -297,13 +347,148 @@ SimpleCpu::execute(const Instruction &inst, std::uint64_t &pc,
             stop = true;
         }
         pc = next_pc;
-        return 0;
+        return {};
       default:
         SAVAT_PANIC("unhandled opcode in execute");
     }
 
     pc = next_pc;
-    return latency;
+    return res;
+}
+
+void
+SimpleCpu::speculate(const Instruction *code, std::uint64_t code_size,
+                     std::uint64_t pc)
+{
+    const OpLatencies &lat = _config.lat;
+    ++_specStats.squashes;
+    _sink.setOrigin(EventOrigin::Transient);
+
+    // Shadow architectural state: wrong-path results are computed for
+    // real so transient loads dereference real addresses, but the
+    // shadow is dropped at the squash — only cache state survives.
+    // Flags written on the wrong path are dead (any branch ends the
+    // window before it could read them), so they are not tracked.
+    std::array<std::uint32_t, isa::kNumRegs> regs = _regs;
+    auto rd = [&](const Operand &op) {
+        return op.isImm() ? static_cast<std::uint32_t>(op.imm)
+                          : regs[static_cast<std::size_t>(op.reg)];
+    };
+    auto wr = [&](Reg r, std::uint32_t v) {
+        regs[static_cast<std::size_t>(r)] = v;
+    };
+
+    std::uint32_t executed = 0;
+    bool stopped = false;
+    while (!stopped && executed < _config.spec.window &&
+           pc < code_size) {
+        const Instruction &inst = code[pc];
+
+        // Frontier terminators. A further branch stalls the window
+        // (the model speculates through one unresolved branch at a
+        // time); hlt and mark are simulator control points; division
+        // may fault on garbage wrong-path operands.
+        if (inst.isBranch() || inst.op == Opcode::Hlt ||
+            inst.op == Opcode::Mark || inst.op == Opcode::Idiv) {
+            stopped = true;
+            break;
+        }
+        if (inst.op == Opcode::Lfence) {
+            ++_specStats.fencesHit;
+            stopped = true;
+            break;
+        }
+
+        switch (inst.op) {
+          case Opcode::Mov:
+            if (inst.src.isMem()) {
+                // Transient load: the demand access is real, so the
+                // fill it triggers persists after the squash — the
+                // Spectre-v1 leak this model exists to expose.
+                const std::uint64_t addr =
+                    regs[static_cast<std::size_t>(inst.src.reg)];
+                _sink.record(MicroEvent::AguOp, _cycle, 1);
+                const std::uint32_t mem_lat =
+                    _l1->read(addr, _cycle + lat.agu);
+                if (mem_lat > _config.l1.hitLatency)
+                    ++_specStats.transientFills;
+                wr(inst.dst.reg, _memory.readWord(addr));
+            } else if (inst.dst.isMem()) {
+                // Wrong-path stores never drain: the store buffer is
+                // squashed with the window. Only the address
+                // generation is visible.
+                _sink.record(MicroEvent::AguOp, _cycle, 1);
+            } else {
+                wr(inst.dst.reg, rd(inst.src));
+                _sink.record(MicroEvent::AluOp, _cycle, 1);
+            }
+            break;
+          case Opcode::Add:
+          case Opcode::Sub:
+          case Opcode::And:
+          case Opcode::Or:
+          case Opcode::Xor: {
+            const std::uint32_t a =
+                regs[static_cast<std::size_t>(inst.dst.reg)];
+            const std::uint32_t b = rd(inst.src);
+            std::uint32_t r = 0;
+            switch (inst.op) {
+              case Opcode::Add: r = a + b; break;
+              case Opcode::Sub: r = a - b; break;
+              case Opcode::And: r = a & b; break;
+              case Opcode::Or: r = a | b; break;
+              case Opcode::Xor: r = a ^ b; break;
+              default: SAVAT_PANIC("unreachable");
+            }
+            wr(inst.dst.reg, r);
+            _sink.record(MicroEvent::AluOp, _cycle, 1);
+            break;
+          }
+          case Opcode::Imul: {
+            const std::int64_t a = static_cast<std::int32_t>(
+                regs[static_cast<std::size_t>(inst.dst.reg)]);
+            const std::int64_t b =
+                static_cast<std::int32_t>(rd(inst.src));
+            wr(inst.dst.reg, static_cast<std::uint32_t>(a * b));
+            _sink.record(MicroEvent::MulOp, _cycle, lat.imul);
+            break;
+          }
+          case Opcode::Cdq: {
+            const bool neg =
+                (static_cast<std::int32_t>(
+                     regs[static_cast<std::size_t>(Reg::Eax)]) < 0);
+            wr(Reg::Edx, neg ? 0xFFFFFFFFu : 0u);
+            _sink.record(MicroEvent::AluOp, _cycle, 1);
+            break;
+          }
+          case Opcode::Inc:
+          case Opcode::Dec: {
+            const std::uint32_t v =
+                regs[static_cast<std::size_t>(inst.dst.reg)];
+            wr(inst.dst.reg, inst.op == Opcode::Inc ? v + 1 : v - 1);
+            _sink.record(MicroEvent::AluOp, _cycle, 1);
+            break;
+          }
+          case Opcode::Cmp:
+          case Opcode::Test:
+            // Flag results are dead on the wrong path, but the ALU
+            // still switches.
+            _sink.record(MicroEvent::AluOp, _cycle, 1);
+            break;
+          case Opcode::Nop:
+            break;
+          default:
+            SAVAT_PANIC("unhandled opcode in speculate");
+        }
+
+        ++executed;
+        ++_specStats.wrongPathInsts;
+        ++pc;
+    }
+    if (!stopped && executed == _config.spec.window)
+        ++_specStats.windowExhausted;
+
+    _sink.setOrigin(EventOrigin::Retired);
 }
 
 } // namespace savat::uarch

@@ -34,17 +34,55 @@ struct RunLimits
 /** Branch predictor statistics. */
 struct BranchStats
 {
-    std::uint64_t conditional = 0; //!< conditional branches retired
-    std::uint64_t mispredicts = 0; //!< bimodal mispredictions
+    std::uint64_t conditional = 0;   //!< conditional branches retired
+    std::uint64_t unconditional = 0; //!< unconditional (jmp) branches
+    std::uint64_t mispredicts = 0;   //!< bimodal mispredictions
+
+    /** All front-end-visible branches (the honest denominator). */
+    std::uint64_t branches() const { return conditional + unconditional; }
 
     double
     mispredictRate() const
     {
-        return conditional
-                   ? static_cast<double>(mispredicts) /
-                         static_cast<double>(conditional)
-                   : 0.0;
+        const std::uint64_t total = branches();
+        return total ? static_cast<double>(mispredicts) /
+                           static_cast<double>(total)
+                     : 0.0;
     }
+};
+
+/**
+ * Wrong-path (speculative) execution statistics.
+ *
+ * Populated only on the pipelined core with a nonzero speculation
+ * window (MachineConfig::spec). Every mispredicted conditional branch
+ * opens one wrong-path window; the window's instructions execute
+ * against shadow state, are squashed architecturally, and leave only
+ * cache side effects behind — the signal the software timing channel
+ * measures.
+ */
+struct SpecStats
+{
+    std::uint64_t squashes = 0;        //!< wrong-path windows squashed
+    std::uint64_t wrongPathInsts = 0;  //!< transient instructions run
+    std::uint64_t transientFills = 0;  //!< cache fills left by wrong path
+    std::uint64_t windowExhausted = 0; //!< windows that hit the bound
+    std::uint64_t fencesHit = 0;       //!< windows stopped by lfence
+};
+
+/**
+ * Outcome of the execute stage for one instruction.
+ *
+ * `latency` is charged at retire; 0 means the instruction is free and
+ * emission-silent (mark). A mispredicted conditional branch also
+ * reports where the front end had speculatively fetched so the
+ * speculation frontier can run the wrong path before the squash.
+ */
+struct ExecResult
+{
+    std::uint32_t latency = 0;
+    bool mispredicted = false;     //!< conditional branch mispredicted
+    std::uint64_t wrongPathPc = 0; //!< first wrong-path instruction
 };
 
 /** Outcome of one CPU run. */
@@ -93,6 +131,9 @@ class SimpleCpu
     /** Zero flag (set by arithmetic and compare instructions). */
     bool zeroFlag() const { return _zf; }
 
+    /** Carry flag (set by add/sub/cmp; cleared by logic ops). */
+    bool carryFlag() const { return _cf; }
+
     /** Functional memory image. */
     SparseMemory &memory() { return _memory; }
     const SparseMemory &memory() const { return _memory; }
@@ -107,6 +148,11 @@ class SimpleCpu
     const CacheStats &l2Stats() const { return _l2->stats(); }
     const MainMemoryStats &memStats() const { return _mem->stats(); }
     const BranchStats &branchStats() const { return _branchStats; }
+    const SpecStats &specStats() const { return _specStats; }
+
+    /** L1 cache (prime+probe readout and residency checks). */
+    Cache &l1() { return *_l1; }
+    const Cache &l1() const { return *_l1; }
 
     /** Reset registers, flags, caches, cycle count (not memory). */
     void reset();
@@ -126,6 +172,7 @@ class SimpleCpu
 
     std::array<std::uint32_t, isa::kNumRegs> _regs{};
     bool _zf = false;
+    bool _cf = false;
     std::uint64_t _cycle = 0;
     std::uint64_t _instsRetired = 0;
     MarkCallback _markCb;
@@ -139,13 +186,28 @@ class SimpleCpu
     static constexpr std::size_t kBpEntries = 1024;
     std::array<std::uint8_t, kBpEntries> _bpTable{};
     BranchStats _branchStats;
+    SpecStats _specStats;
 
-    /** Predict taken/not-taken and update the counter. */
+    /**
+     * Predict the branch's direction, train the counter on the real
+     * outcome and update the predictor statistics. Returns the
+     * predicted direction (true = taken) — the caller decides what a
+     * mispredict costs and where the wrong path starts.
+     */
     bool predictBranch(std::uint64_t pc, bool taken);
 
-    /** Execute one instruction; returns its latency in cycles. */
-    std::uint32_t execute(const isa::Instruction &inst, std::uint64_t &pc,
-                          bool &halted, bool &stop);
+    /** Execute stage: one instruction's architectural effects. */
+    ExecResult execute(const isa::Instruction &inst, std::uint64_t &pc,
+                       bool &halted, bool &stop);
+
+    /**
+     * Speculation frontier: execute up to spec.window wrong-path
+     * instructions starting at `pc` against shadow register state.
+     * Activity is tagged EventOrigin::Transient; cache fills persist
+     * past the squash; stores, cycles and architectural state do not.
+     */
+    void speculate(const isa::Instruction *code, std::uint64_t code_size,
+                   std::uint64_t pc);
 
     std::uint32_t readOperand(const isa::Operand &op) const;
     void setZf(std::uint32_t result) { _zf = (result == 0); }

@@ -111,6 +111,7 @@ configDigest(const MachineConfig &m)
     mix(m.lat.agu);
     mix(m.lat.branchMispredict);
     mix(static_cast<std::uint64_t>(m.timing));
+    mix(m.spec.window);
     return h;
 }
 

@@ -43,6 +43,26 @@ struct OpLatencies
     std::uint32_t branchMispredict = 12;
 };
 
+/**
+ * Speculation frontier of the pipelined core.
+ *
+ * When the window is nonzero, a branch misprediction fetches and
+ * executes up to `window` wrong-path instructions before the
+ * architectural squash. Wrong-path loads go through the real cache
+ * hierarchy — their line fills and evictions persist after the
+ * squash (the Spectre-v1 mechanism) — while wrong-path stores are
+ * buffered and dropped. The default window of 0 disables the
+ * frontier entirely: the core is then the classic in-order model,
+ * byte-identical to the pre-speculation simulator.
+ */
+struct SpeculationConfig
+{
+    /** Wrong-path instructions per misprediction; 0 disables. */
+    std::uint32_t window = 0;
+
+    bool enabled() const { return window > 0; }
+};
+
 /** Complete description of a simulated machine. */
 struct MachineConfig
 {
@@ -59,6 +79,7 @@ struct MachineConfig
 
     OpLatencies lat;
     TimingModel timing = TimingModel::Pipelined;
+    SpeculationConfig spec; //!< speculation frontier (off by default)
 
     /** Cycles per intended alternation period at the given frequency. */
     double

@@ -246,11 +246,15 @@ TEST(BranchPredictor, ScalarModelHasNoPredictor)
 TEST(BranchEvents, ExtendedCatalogue)
 {
     EXPECT_EQ(kernels::allEvents().size(), 11u);
-    EXPECT_EQ(kernels::extendedEvents().size(), 13u);
+    EXPECT_EQ(kernels::extendedEvents().size(), 15u);
     EXPECT_TRUE(kernels::isBranchEvent(EventKind::BRH));
     EXPECT_TRUE(kernels::isBranchEvent(EventKind::BRM));
     EXPECT_FALSE(kernels::isBranchEvent(EventKind::DIV));
     EXPECT_EQ(kernels::eventByName("BRM"), EventKind::BRM);
+    EXPECT_TRUE(kernels::isTransientEvent(EventKind::TLD));
+    EXPECT_TRUE(kernels::isTransientEvent(EventKind::TLF));
+    EXPECT_FALSE(kernels::isTransientEvent(EventKind::BRM));
+    EXPECT_EQ(kernels::eventByName("TLD"), EventKind::TLD);
 }
 
 TEST(BranchEvents, SlotsShareTheInstructionMix)

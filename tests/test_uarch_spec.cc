@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Tests for the speculation frontier and the software timing channel:
+ * wrong-path cache fills surviving the architectural squash, window
+ * bounds and fences, honest branch-predictor statistics, timing-
+ * channel campaign determinism, and the spec-off golden gate.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "core/campaign.hh"
+#include "core/report.hh"
+#include "isa/assembler.hh"
+#include "uarch/cpu.hh"
+
+namespace savat::uarch {
+namespace {
+
+using isa::Reg;
+
+/** A Core 2 Duo shaped CPU with a configurable speculation window. */
+class UarchSpec : public ::testing::Test
+{
+  protected:
+    RunResult
+    runAsm(const std::string &src, std::uint32_t window)
+    {
+        auto config = core2duo();
+        config.spec.window = window;
+        cpu = std::make_unique<SimpleCpu>(config, trace);
+        program = isa::assembleOrDie(src, "test");
+        return cpu->run(program);
+    }
+
+    ActivityTrace trace;
+    std::unique_ptr<SimpleCpu> cpu;
+    isa::Program program;
+};
+
+/**
+ * The Spectre-v1 shape: the predictor starts weakly taken, so the
+ * first not-taken conditional mispredicts and the wrong path runs the
+ * branch target's load. The fill must outlive the squash while the
+ * architectural register state must not.
+ */
+constexpr const char *kWrongPathLoad = "mov esi,0x5000\n"
+                                       "mov eax,5\n"
+                                       "cmp eax,5\n"
+                                       "jne wrong\n"
+                                       "hlt\n"
+                                       "wrong:\n"
+                                       "mov eax,[esi]\n"
+                                       "hlt\n";
+
+TEST_F(UarchSpec, TransientFillPersistsAfterSquash)
+{
+    runAsm(kWrongPathLoad, 8);
+    EXPECT_EQ(cpu->specStats().squashes, 1u);
+    EXPECT_GE(cpu->specStats().wrongPathInsts, 1u);
+    EXPECT_EQ(cpu->specStats().transientFills, 1u);
+    EXPECT_EQ(cpu->specStats().fencesHit, 0u);
+    // The microarchitectural side effect survives the squash...
+    EXPECT_TRUE(cpu->l1().contains(0x5000));
+    // ...and the wrong path's activity is tagged as transient.
+    EXPECT_GT(trace.originCount(EventOrigin::Transient), 0u);
+    // The architectural state does not: eax keeps its retired value.
+    EXPECT_EQ(cpu->reg(Reg::Eax), 5u);
+}
+
+TEST_F(UarchSpec, NoSpeculationNoTransientState)
+{
+    runAsm(kWrongPathLoad, 0);
+    // The mispredict still happens and still costs cycles...
+    EXPECT_EQ(cpu->branchStats().mispredicts, 1u);
+    // ...but with the frontier off nothing transient exists.
+    EXPECT_EQ(cpu->specStats().squashes, 0u);
+    EXPECT_EQ(cpu->specStats().transientFills, 0u);
+    EXPECT_FALSE(cpu->l1().contains(0x5000));
+    EXPECT_EQ(trace.originCount(EventOrigin::Transient), 0u);
+}
+
+TEST_F(UarchSpec, LfenceStopsWrongPath)
+{
+    runAsm("mov esi,0x5000\n"
+           "mov eax,5\n"
+           "cmp eax,5\n"
+           "jne wrong\n"
+           "hlt\n"
+           "wrong:\n"
+           "lfence\n"
+           "mov eax,[esi]\n"
+           "hlt\n",
+           8);
+    EXPECT_EQ(cpu->specStats().squashes, 1u);
+    EXPECT_EQ(cpu->specStats().fencesHit, 1u);
+    // The fence kills the window before the load issues.
+    EXPECT_EQ(cpu->specStats().transientFills, 0u);
+    EXPECT_FALSE(cpu->l1().contains(0x5000));
+}
+
+TEST_F(UarchSpec, WindowBoundExhaustsWrongPath)
+{
+    runAsm("mov eax,5\n"
+           "cmp eax,5\n"
+           "jne wrong\n"
+           "hlt\n"
+           "wrong:\n"
+           "add ebx,1\n"
+           "add ebx,1\n"
+           "add ebx,1\n"
+           "add ebx,1\n"
+           "hlt\n",
+           2);
+    EXPECT_EQ(cpu->specStats().squashes, 1u);
+    EXPECT_EQ(cpu->specStats().wrongPathInsts, 2u);
+    EXPECT_EQ(cpu->specStats().windowExhausted, 1u);
+    // Squashed: the shadow ebx increments never retire.
+    EXPECT_EQ(cpu->reg(Reg::Ebx), 0u);
+}
+
+/**
+ * Regression for the silent "perfectly predicted" jmp special case:
+ * unconditional branches must appear in the front-end-visible branch
+ * count so mispredictRate() has an honest denominator.
+ */
+TEST_F(UarchSpec, JmpCountsInBranchStats)
+{
+    runAsm("mov eax,5\n"
+           "cmp eax,5\n"
+           "jne wrong\n"
+           "jmp done\n"
+           "wrong:\n"
+           "hlt\n"
+           "done:\n"
+           "hlt\n",
+           0);
+    const auto &bp = cpu->branchStats();
+    EXPECT_EQ(bp.conditional, 1u);
+    EXPECT_EQ(bp.unconditional, 1u);
+    EXPECT_EQ(bp.mispredicts, 1u);
+    EXPECT_EQ(bp.branches(), 2u);
+    // One mispredict over two front-end branches, not over one.
+    EXPECT_DOUBLE_EQ(bp.mispredictRate(), 0.5);
+}
+
+/** Timing-channel campaigns over the transient pair. */
+class TimingChainCampaign : public ::testing::Test
+{
+  protected:
+    static core::CampaignResult
+    runTiming(std::size_t jobs)
+    {
+        core::CampaignConfig cfg;
+        cfg.events = {kernels::eventByName("TLD"),
+                      kernels::eventByName("TLF")};
+        cfg.repetitions = 2;
+        cfg.jobs = jobs;
+        cfg.meter.channel = pipeline::ChannelKind::Timing;
+        cfg.meter.specWindow = 32;
+        return core::runCampaign(cfg);
+    }
+
+    static std::string
+    fixture(const core::CampaignResult &res)
+    {
+        std::ostringstream oss;
+        core::printMatrixFixture(oss, res.matrix);
+        return oss.str();
+    }
+};
+
+TEST_F(TimingChainCampaign, JobsDeterministicAndNonzero)
+{
+    const auto serial = runTiming(1);
+    const auto parallel = runTiming(4);
+    EXPECT_EQ(fixture(serial), fixture(parallel));
+
+    // The unfenced/fenced pair separates cleanly from the diagonal
+    // floor: TLD leaves wrong-path fills the probe sees, TLF does not.
+    const double ab = serial.matrix.mean(0, 1);
+    const double floor =
+        std::max(serial.matrix.mean(0, 0), serial.matrix.mean(1, 1));
+    EXPECT_GT(ab, 0.0);
+    EXPECT_GT(ab, 2.0 * floor);
+}
+
+/**
+ * The hard gate of the speculation refactor: with speculation off
+ * (every default config), the staged core must reproduce the EM
+ * campaign byte-for-byte against the checked-in golden fixture.
+ */
+class GoldenSpecOff : public ::testing::Test
+{
+  protected:
+    static std::string
+    golden()
+    {
+        std::ifstream in(SAVAT_SOURCE_DIR
+                         "/tests/data/golden_em_core2duo.fixture",
+                         std::ios::binary);
+        EXPECT_TRUE(in.good());
+        std::ostringstream oss;
+        oss << in.rdbuf();
+        return oss.str();
+    }
+
+    static std::string
+    fixtureFor(std::size_t jobs)
+    {
+        core::CampaignConfig cfg;
+        cfg.repetitions = 2;
+        cfg.jobs = jobs;
+        const auto res = core::runCampaign(cfg);
+        std::ostringstream oss;
+        core::printMatrixFixture(oss, res.matrix);
+        return oss.str();
+    }
+};
+
+TEST_F(GoldenSpecOff, EmBitIdenticalSerial)
+{
+    EXPECT_EQ(fixtureFor(1), golden());
+}
+
+TEST_F(GoldenSpecOff, EmBitIdenticalParallel)
+{
+    EXPECT_EQ(fixtureFor(4), golden());
+}
+
+} // namespace
+} // namespace savat::uarch
