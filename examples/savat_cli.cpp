@@ -51,6 +51,20 @@
  *                                            threads; default: all
  *                                            hardware threads; results
  *                                            are identical for any n)
+ *   --isolate threads|procs                 (campaign only: run cells
+ *                                            in supervised forked
+ *                                            worker processes; crashes
+ *                                            cost one cell, never the
+ *                                            campaign, and results are
+ *                                            byte-identical to thread
+ *                                            mode)
+ *   --workers <n>                           (--isolate procs: worker
+ *                                            process count; default:
+ *                                            the --jobs resolution)
+ *   --cell-deadline <s>                     (--isolate procs: kill
+ *                                            workers stuck on one cell
+ *                                            longer than this; 0 = no
+ *                                            deadline)
  *   --metrics <path|->                      (dump obs metrics at exit;
  *                                            "-" = stdout, ".txt" =
  *                                            text table, else JSON)
@@ -114,6 +128,9 @@ struct Options
     int speculation = 0;
     std::string channel = "em";
     double uses = 100.0;
+    std::string isolate = "threads";
+    int workers = 0;
+    double cellDeadline = 0.0;
     std::string record;
     std::string csv;
     std::string fixture;
@@ -146,6 +163,10 @@ usage()
         "--resume PATH  (campaign crash recovery)\n"
         "         --fault-plan PLAN  (campaign fault injection, e.g. "
         "nan@every:5; also SAVAT_FAULT_PLAN)\n"
+        "         --isolate threads|procs --workers N "
+        "--cell-deadline S  (campaign crash isolation: shard cells\n"
+        "           across supervised worker processes; results are "
+        "byte-identical to thread mode)\n"
         "         --metrics PATH|- --trace PATH  (telemetry export; "
         "also SAVAT_METRICS / SAVAT_TRACE)\n"
         "         --journal PATH  (campaign: crash-safe JSONL run "
@@ -179,6 +200,12 @@ parseArgs(int argc, char **argv)
             opt.reps = std::atoi(value().c_str());
         else if (arg == "--jobs")
             opt.jobs = std::atoi(value().c_str());
+        else if (arg == "--isolate")
+            opt.isolate = value();
+        else if (arg == "--workers")
+            opt.workers = std::atoi(value().c_str());
+        else if (arg == "--cell-deadline")
+            opt.cellDeadline = std::atof(value().c_str());
         else if (arg == "--speculation")
             opt.speculation = std::atoi(value().c_str());
         else if (arg == "--uses")
@@ -339,7 +366,13 @@ writeReport(const std::string &path, const char *what, PrintFn print)
     return true;
 }
 
-/** Serve a metrics snapshot: /metrics (Prometheus) or /metrics.json. */
+/**
+ * Serve a metrics snapshot: /metrics (Prometheus), /metrics.json,
+ * or /healthz — a compact worker-pool health document (workers
+ * alive, deaths/restarts, quarantined cells) fed by the
+ * savat::service metrics. All counters are zero for in-process
+ * (--isolate threads) runs.
+ */
 bool
 serveSnapshot(const obs::MetricsSnapshot &snap,
               const std::string &path, std::string &contentType,
@@ -351,6 +384,30 @@ serveSnapshot(const obs::MetricsSnapshot &snap,
         contentType = "text/plain; version=0.0.4";
     } else if (path == "/metrics.json") {
         obs::writeMetricsJson(os, snap);
+        contentType = "application/json";
+    } else if (path == "/healthz") {
+        const auto counter = [&snap](const char *name) {
+            const auto it = snap.counters.find(name);
+            return it == snap.counters.end() ? std::uint64_t{0}
+                                             : it->second;
+        };
+        const auto gauge = [&snap](const char *name) {
+            const auto it = snap.gauges.find(name);
+            return it == snap.gauges.end() ? 0.0 : it->second;
+        };
+        const std::uint64_t quarantined =
+            counter("service.quarantined_cells");
+        os << "{\"status\":\""
+           << (quarantined > 0 ? "degraded" : "ok")
+           << "\",\"workers_alive\":"
+           << static_cast<std::uint64_t>(
+                  gauge("service.workers_alive"))
+           << ",\"worker_deaths\":"
+           << counter("service.worker_deaths")
+           << ",\"restarts\":" << counter("service.restarts")
+           << ",\"quarantined_cells\":" << quarantined
+           << ",\"cells_dispatched\":"
+           << counter("service.cells_dispatched") << "}\n";
         contentType = "application/json";
     } else {
         return false;
@@ -377,6 +434,16 @@ cmdCampaign(const Options &opt)
     cfg.checkpointEvery =
         static_cast<std::size_t>(std::max(1, opt.checkpointEvery));
     cfg.faultPlan = opt.faultPlan;
+    if (opt.isolate == "procs")
+        cfg.isolate = core::IsolateMode::Procs;
+    else if (opt.isolate != "threads") {
+        std::fprintf(stderr,
+                     "unknown isolation mode '%s' (threads|procs)\n",
+                     opt.isolate.c_str());
+        usage();
+    }
+    cfg.workers = static_cast<std::size_t>(std::max(0, opt.workers));
+    cfg.cellDeadlineSeconds = std::max(0.0, opt.cellDeadline);
     cfg.journalPath = opt.journal;
     // The journal's run-end event embeds the metrics snapshot (and
     // the report layer feeds on the stage attribution), so --journal

@@ -61,4 +61,6 @@ echo "appended entry '$LABEL' to $OUT (metrics in $METRICS)"
 # Regression gate: the entry just appended must stay within 10% of
 # the previous one, benchmark by benchmark. Exits non-zero (and so
 # fails the run) on any real-time regression beyond the budget.
+# Noisy shared runners can widen the band with SAVAT_BENCH_TOLERANCE
+# (a percentage) instead of editing the gate.
 python3 scripts/bench_compare.py "$OUT"

@@ -130,6 +130,93 @@ set -e
 cmp tests/data/golden_em_core2duo.fixture "$RESUME_DIR/resumed.fixture"
 echo "resumed campaign is byte-identical to the golden fixture"
 
+step "crash isolation: worker deaths under --isolate procs vs golden"
+ISO_DIR=build/isolate-gate
+rm -rf "$ISO_DIR" && mkdir -p "$ISO_DIR"
+# Deterministic kill: under --isolate procs the die@40 rule routes
+# through the worker (it _Exits(137) before reporting the cell), so
+# the supervisor must restart it and the campaign must complete with
+# exit 0, byte-identical to the golden fixture at both worker counts.
+for workers in 1 4; do
+    ./build/examples/savat_cli campaign --reps 2 \
+        --isolate procs --workers "$workers" --fault-plan die@40 \
+        --journal "$ISO_DIR/die_w${workers}.jsonl" \
+        --fixture "$ISO_DIR/die_w${workers}.fixture" >/dev/null 2>&1
+    cmp tests/data/golden_em_core2duo.fixture \
+        "$ISO_DIR/die_w${workers}.fixture" ||
+        { echo "--isolate procs --workers $workers diverges after a worker death"; exit 1; }
+done
+grep -q '"event":"worker-died"' "$ISO_DIR/die_w4.jsonl" &&
+    grep -q '"event":"worker-restarted"' "$ISO_DIR/die_w4.jsonl" ||
+    { echo "journal lacks the worker-died/restarted records"; exit 1; }
+echo "killed worker recovered byte-identically (workers 1 and 4)"
+
+# Quarantine: die@40:always kills every worker dispatched the cell,
+# exhausting its crash budget -> exit 3, one Degraded cell, the rest
+# of the matrix intact. The report must tell that story, and a clean
+# resume from the quarantined run's checkpoint must land on golden.
+set +e
+./build/examples/savat_cli campaign --reps 2 \
+    --isolate procs --workers 4 --fault-plan die@40:always \
+    --checkpoint "$ISO_DIR/quarantine.ckpt" --checkpoint-every 5 \
+    --journal "$ISO_DIR/quarantine.jsonl" >/dev/null 2>&1
+Q_STATUS=$?
+set -e
+[[ "$Q_STATUS" == 3 ]] ||
+    { echo "expected the quarantined campaign to exit 3, got $Q_STATUS"; exit 1; }
+grep -q '"event":"cell-quarantined"' "$ISO_DIR/quarantine.jsonl" ||
+    { echo "journal lacks the cell-quarantined record"; exit 1; }
+./build/examples/savat_cli report "$ISO_DIR/quarantine.jsonl" \
+    > "$ISO_DIR/quarantine_report.txt"
+grep -q 'worker events' "$ISO_DIR/quarantine_report.txt" &&
+    grep -q 'quarantined' "$ISO_DIR/quarantine_report.txt" ||
+    { echo "report does not surface the worker-death story"; exit 1; }
+./build/examples/savat_cli campaign --reps 2 \
+    --isolate procs --workers 4 \
+    --resume "$ISO_DIR/quarantine.ckpt" \
+    --fixture "$ISO_DIR/quarantine_resumed.fixture" >/dev/null
+cmp tests/data/golden_em_core2duo.fixture \
+    "$ISO_DIR/quarantine_resumed.fixture" ||
+    { echo "resume past the quarantined cell diverges from golden"; exit 1; }
+echo "quarantine surfaced in the report; resume byte-identical to golden"
+
+# External kill: SIGKILL a live worker of a running campaign -- the
+# unplanned analog of the deterministic gates above. The crash budget
+# (3) absorbs one murder, so the run must still exit 0 on the golden
+# bytes; a checkpoint covers the (theoretical) quarantine path.
+./build/examples/savat_cli campaign --reps 2 \
+    --isolate procs --workers 4 \
+    --checkpoint "$ISO_DIR/murder.ckpt" --checkpoint-every 5 \
+    --fixture "$ISO_DIR/murder.fixture" >/dev/null 2>&1 &
+CAMPAIGN_PID=$!
+VICTIM=""
+for _ in $(seq 100); do
+    VICTIM="$(pgrep -P "$CAMPAIGN_PID" | head -1)" &&
+        [[ -n "$VICTIM" ]] && break
+    sleep 0.1
+done
+[[ -n "$VICTIM" ]] ||
+    { echo "no worker process appeared to kill"; exit 1; }
+sleep 0.5 # let the victim take a cell in flight
+kill -9 "$VICTIM" 2>/dev/null || true
+set +e
+wait "$CAMPAIGN_PID"
+MURDER_STATUS=$?
+set -e
+if [[ "$MURDER_STATUS" == 3 ]]; then
+    # Quarantined the in-flight cell: resume must recover golden.
+    ./build/examples/savat_cli campaign --reps 2 \
+        --isolate procs --workers 4 \
+        --resume "$ISO_DIR/murder.ckpt" \
+        --fixture "$ISO_DIR/murder.fixture" >/dev/null
+elif [[ "$MURDER_STATUS" != 0 ]]; then
+    echo "campaign with a murdered worker exited $MURDER_STATUS"
+    exit 1
+fi
+cmp tests/data/golden_em_core2duo.fixture "$ISO_DIR/murder.fixture" ||
+    { echo "campaign with a murdered worker diverges from golden"; exit 1; }
+echo "SIGKILLed worker absorbed (exit $MURDER_STATUS); bytes match golden"
+
 step "journal gate: bit-identity with journaling on + report sanity"
 JOURNAL_DIR=build/journal-gate
 rm -rf "$JOURNAL_DIR" && mkdir -p "$JOURNAL_DIR"
@@ -215,11 +302,14 @@ cmake -B build-tsan -S . -DSAVAT_TSAN=ON -DSAVAT_WERROR=ON \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build build-tsan -j
 # The pipeline and resilience suites join the TSan pass except
-# GoldenMatrix / CheckpointResumeGolden (full 11x11 campaigns -- far
-# too slow under TSan; the plain build's ctest already runs them).
+# GoldenMatrix / CheckpointResumeGolden / ServiceGoldenCampaign
+# (full 11x11 campaigns -- far too slow under TSan; the plain
+# build's ctest already runs them). ServiceWire/ServicePool run the
+# supervisor + forked-worker machinery under TSan (the fork happens
+# on a single-threaded parent, so child-side threads are safe).
 (cd build-tsan &&
      ctest --output-on-failure -j "$(nproc)" \
-           -R 'Parallel|CampaignVariants|MachineCampaign|Obs|PowerChain|Replay\.RecordReplayRoundTrip|Resilience|MutationCorpus|IrPasses|JournalRoundTrip|JournalReport|UarchSpec|TimingChain')
+           -R 'Parallel|CampaignVariants|MachineCampaign|Obs|PowerChain|Replay\.RecordReplayRoundTrip|Resilience|MutationCorpus|IrPasses|JournalRoundTrip|JournalReport|UarchSpec|TimingChain|ServiceWire|ServicePool')
 
 if command -v clang-tidy >/dev/null 2>&1; then
     step "clang-tidy: library sources"

@@ -7,12 +7,14 @@
 #include <ctime>
 #include <limits>
 #include <mutex>
+#include <sstream>
 #include <unordered_map>
 
 #include "analysis/checker.hh"
 #include "dsp/simd.hh"
 #include "resilience/checkpoint.hh"
 #include "resilience/fault.hh"
+#include "service/pool.hh"
 #include "support/hash.hh"
 #include "support/journal.hh"
 #include "support/logging.hh"
@@ -177,7 +179,86 @@ measureCell(SavatMeter &meter, const CampaignConfig &config,
         });
 }
 
+/**
+ * One cell's guarded measurement: containment retries around
+ * measureCell with deterministic fault injection (nan/inf poison,
+ * throw) and finiteness checks. Shared verbatim between the
+ * in-process worker path and the forked-worker cell function, so
+ * both substrates produce identical samples and identical health
+ * verdicts. `onFault(kind, attempt)` fires when an injected fault
+ * does; callers journal it (threads) or relay it upstream (procs).
+ */
+resilience::GuardOutcome
+runGuardedCell(SavatMeter &meter, const CampaignConfig &config,
+               const resilience::FaultInjector &injector,
+               std::size_t p, EventKind a, EventKind b,
+               std::size_t innerJobs,
+               pipeline::MeasureScratch &scratch, PairOutcome &slot,
+               const std::function<void(resilience::FaultKind,
+                                        std::size_t)> &onFault,
+               const resilience::RetryObserver &onRetry)
+{
+    const auto outcome = resilience::guardPair(
+        config.retry, p,
+        [&](std::size_t attempt, std::string &error) {
+            const auto *fault = injector.measurementFault(p, attempt);
+            if (fault &&
+                fault->kind == resilience::FaultKind::Throw) {
+                SAVAT_METRIC_COUNT("resilience.faults_injected");
+                if (onFault)
+                    onFault(fault->kind, attempt);
+                throw resilience::InjectedFault(
+                    format("injected fault: throw at pair "
+                           "%zu attempt %zu",
+                           p, attempt));
+            }
+            measureCell(meter, config, slot, a, b, innerJobs,
+                        scratch);
+            if (fault && !slot.samples.empty()) {
+                SAVAT_METRIC_COUNT("resilience.faults_injected");
+                if (onFault)
+                    onFault(fault->kind, attempt);
+                slot.samples[0] =
+                    fault->kind == resilience::FaultKind::Nan
+                        ? std::numeric_limits<double>::quiet_NaN()
+                        : std::numeric_limits<double>::infinity();
+            }
+            if (!resilience::allFinite(slot.sim)) {
+                error = "non-finite simulation products";
+                return false;
+            }
+            for (std::size_t r = 0; r < slot.samples.size(); ++r) {
+                if (!std::isfinite(slot.samples[r])) {
+                    error = format("non-finite SAVAT sample in "
+                                   "repetition %zu",
+                                   r);
+                    return false;
+                }
+            }
+            return true;
+        },
+        onRetry);
+    if (outcome.state == pipeline::CellState::Degraded) {
+        // Keep the labels honest even when the failure struck
+        // before the simulation filled the slot.
+        slot.sim.a = a;
+        slot.sim.b = b;
+        slot.sim.state = pipeline::CellState::Degraded;
+    }
+    return outcome;
+}
+
 } // namespace
+
+const char *
+isolateModeName(IsolateMode mode)
+{
+    switch (mode) {
+      case IsolateMode::Threads: return "threads";
+      case IsolateMode::Procs: return "procs";
+    }
+    return "unknown";
+}
 
 CampaignResult
 runCampaign(const CampaignConfig &config, const ProgressFn &progress,
@@ -318,6 +399,10 @@ runCampaignPairs(
         f.set("seed", static_cast<double>(config.seed));
         f.set("jobs", requested);
         f.set("jobs_requested", config.jobs);
+        f.set("isolate", isolateModeName(config.isolate));
+        if (config.isolate == IsolateMode::Procs)
+            f.set("workers", config.workers > 0 ? config.workers
+                                                : requested);
         f.set("simd", dsp::simd::levelName(dsp::simd::active()));
         f.set("build", obs::buildDescribe());
         if (!faultPlanText.empty())
@@ -493,216 +578,431 @@ runCampaignPairs(
             prototype.iterationCycles(e);
     }
 
-    support::runWorkers(outerJobs, [&](std::size_t) {
-        // Worker-owned meter: the pair caches stay thread-local so
-        // the hot path takes no locks. The caches hold deterministic
-        // values, so per-worker ownership does not affect output.
-        obs::setCurrentWorker(support::currentWorker());
-        auto meter = prototype;
-        pipeline::MeasureScratch scratch;
-        for (std::size_t p = nextPair.fetch_add(1); p < npairs;
-             p = nextPair.fetch_add(1)) {
-            auto &slot = outcomes[p];
-            if (done[p])
-                continue; // restored from the resume checkpoint
+    /**
+     * Process isolation: cells run in forked workers supervised by
+     * savat::service::WorkerPool. The parent stays the only journal
+     * and checkpoint writer; workers relay retries and injected
+     * faults upstream as wire frames, and ship each finished cell
+     * back as a one-cell checkpoint — the same lossless hexfloat
+     * encoding resume uses — so proc-mode matrices are
+     * byte-identical to thread-mode ones by construction. A worker
+     * death charges the in-flight cell's crash budget
+     * (retry.maxAttempts worker deaths); exhausting it quarantines
+     * the cell as Degraded and the campaign still completes.
+     */
+    const auto runCellsInWorkerProcs = [&]() {
+        const auto finishCell = [&](std::size_t p, double wall,
+                                    double cpu) {
             const auto &[a, b] = pairs[p];
+            const auto &health = result.health[p];
+            const auto &slot = outcomes[p];
+            done[p] = 1;
+            ++completed;
+            counts.done = completed;
+            if (slot.ia < 0 || slot.ib < 0)
+                ++counts.skipped;
+            else {
+                if (health.attempts > 1)
+                    ++counts.retried;
+                if (health.state == pipeline::CellState::Degraded)
+                    ++counts.degraded;
+            }
+            if (journal.isOpen()) {
+                namespace json = support::json;
+                json::Value f = json::Value::object();
+                f.set("pair", pairKey(a, b));
+                f.set("a", kernels::eventName(a));
+                f.set("b", kernels::eventName(b));
+                f.set("state", journalStateName(health.state));
+                f.set("attempts", health.attempts);
+                f.set("backoff_s", health.backoffSeconds);
+                f.set("wall_s", wall);
+                f.set("cpu_s", cpu);
+                f.set("reps", slot.samples.size());
+                f.set("savat_zj_mean",
+                      health.state == pipeline::CellState::Measured
+                          ? savatMeanZj(slot.samples)
+                          : 0.0);
+                setSpeculationFields(f, slot.sim);
+                if (!health.lastError.empty())
+                    f.set("error", health.lastError);
+                journal.emit("cell-done", std::move(f));
+            }
+            if (progress)
+                progress(completed, npairs);
+            if (sink)
+                sink(counts);
+            if (!config.checkpointPath.empty() &&
+                config.checkpointEvery > 0 &&
+                completed % config.checkpointEvery == 0)
+                writeCheckpointLocked();
+        };
+
+        // Pairs outside the event matrix never reach a worker.
+        std::vector<std::size_t> pending;
+        pending.reserve(npairs);
+        for (std::size_t p = 0; p < npairs; ++p) {
+            if (done[p])
+                continue;
+            const auto &[a, b] = pairs[p];
+            auto &slot = outcomes[p];
             slot.ia = result.matrix.tryIndexOf(a);
             slot.ib = result.matrix.tryIndexOf(b);
-            auto &health = result.health[p];
-            double cellWall = 0.0;
-            double cellCpu = 0.0;
             if (slot.ia < 0 || slot.ib < 0) {
                 SAVAT_METRIC_COUNT("campaign.pairs_skipped");
                 SAVAT_WARN("skipping pair ", kernels::eventName(a),
                            "/", kernels::eventName(b),
                            ": event not in the campaign matrix");
-            } else {
-                if (journal.isOpen()) {
-                    namespace json = support::json;
-                    json::Value f = json::Value::object();
-                    f.set("pair", pairKey(a, b));
-                    f.set("a", kernels::eventName(a));
-                    f.set("b", kernels::eventName(b));
-                    f.set("index", p);
-                    f.set("worker", obs::currentWorker());
-                    journal.emit("cell-start", std::move(f));
-                }
-                const auto cellStart =
-                    std::chrono::steady_clock::now();
-                const double cpu0 = threadCpuSeconds();
-                SAVAT_TRACE_SPAN("campaign.cell",
-                                 {{"a", kernels::eventName(a)},
-                                  {"b", kernels::eventName(b)},
-                                  {"reps", config.repetitions}});
-                SAVAT_METRIC_TIMER("campaign.cell_seconds");
-                // Containment: exceptions and non-finite outputs
-                // degrade this cell after bounded retries instead
-                // of aborting the campaign. measureCell re-forks
-                // its repetition streams from the cell stream on
-                // every attempt, so a retry that succeeds produces
-                // exactly the samples an undisturbed run would.
-                const auto journalFault =
-                    [&](resilience::FaultKind kind,
-                        std::size_t attempt) {
-                        if (!journal.isOpen())
-                            return;
-                        namespace json = support::json;
-                        json::Value f = json::Value::object();
-                        f.set("pair", pairKey(a, b));
-                        f.set("kind",
-                              resilience::faultKindName(kind));
-                        f.set("attempt", attempt + 1);
-                        journal.emit("fault-injected",
-                                     std::move(f));
-                    };
-                const auto outcome = resilience::guardPair(
-                    config.retry, p,
-                    [&](std::size_t attempt, std::string &error) {
-                        const auto *fault =
-                            injector.measurementFault(p, attempt);
-                        if (fault &&
-                            fault->kind ==
-                                resilience::FaultKind::Throw) {
-                            SAVAT_METRIC_COUNT(
-                                "resilience.faults_injected");
-                            journalFault(fault->kind, attempt);
-                            throw resilience::InjectedFault(format(
-                                "injected fault: throw at pair "
-                                "%zu attempt %zu",
-                                p, attempt));
-                        }
-                        measureCell(meter, config, slot, a, b,
-                                    innerJobs, scratch);
-                        if (fault && !slot.samples.empty()) {
-                            SAVAT_METRIC_COUNT(
-                                "resilience.faults_injected");
-                            journalFault(fault->kind, attempt);
-                            slot.samples[0] =
-                                fault->kind ==
-                                        resilience::FaultKind::Nan
-                                    ? std::numeric_limits<
-                                          double>::quiet_NaN()
-                                    : std::numeric_limits<
-                                          double>::infinity();
-                        }
-                        if (!resilience::allFinite(slot.sim)) {
-                            error = "non-finite simulation "
-                                    "products";
-                            return false;
-                        }
-                        for (std::size_t r = 0;
-                             r < slot.samples.size(); ++r) {
-                            if (!std::isfinite(slot.samples[r])) {
-                                error = format(
-                                    "non-finite SAVAT sample in "
-                                    "repetition %zu",
-                                    r);
-                                return false;
-                            }
-                        }
-                        return true;
-                    },
-                    [&](std::size_t attempt,
-                        const std::string &error,
-                        double backoffSeconds) {
-                        if (!journal.isOpen())
-                            return;
-                        namespace json = support::json;
-                        json::Value f = json::Value::object();
-                        f.set("pair", pairKey(a, b));
-                        f.set("attempt", attempt);
-                        f.set("error", error);
-                        f.set("backoff_s", backoffSeconds);
-                        journal.emit("cell-retry", std::move(f));
-                    });
-                cellWall = std::chrono::duration<double>(
-                               std::chrono::steady_clock::now() -
-                               cellStart)
-                               .count();
-                cellCpu = threadCpuSeconds() - cpu0;
-                health.state = outcome.state;
-                health.attempts = outcome.attempts;
-                health.backoffSeconds = outcome.backoffSeconds;
-                health.lastError = outcome.lastError;
-                if (outcome.state ==
-                    pipeline::CellState::Degraded) {
-                    // Keep the labels honest even when the failure
-                    // struck before the simulation filled the slot.
-                    slot.sim.a = a;
-                    slot.sim.b = b;
-                    slot.sim.state = pipeline::CellState::Degraded;
-                }
-                SAVAT_METRIC_COUNT("campaign.cells");
-                SAVAT_METRIC_ADD("campaign.reps",
-                                 config.repetitions);
+                finishCell(p, 0.0, 0.0);
+                continue;
             }
-            {
-                const std::lock_guard<std::mutex> lock(
-                    progressMutex);
-                done[p] = 1;
-                ++completed;
-                counts.done = completed;
-                if (slot.ia < 0 || slot.ib < 0)
-                    ++counts.skipped;
-                else {
-                    if (health.attempts > 1)
-                        ++counts.retried;
-                    if (health.state ==
-                        pipeline::CellState::Degraded)
-                        ++counts.degraded;
+            pending.push_back(p);
+        }
+        if (pending.empty())
+            return;
+
+        service::PoolConfig pool;
+        pool.workers =
+            config.workers > 0 ? config.workers : requested;
+        pool.cellDeadlineSeconds = config.cellDeadlineSeconds;
+        pool.restart = config.retry;
+
+        service::PoolCallbacks cb;
+        cb.onCellDone = [&](std::size_t p, double wall, double cpu,
+                            const std::string &payload) {
+            auto &slot = outcomes[p];
+            auto &health = result.health[p];
+            const auto &[a, b] = pairs[p];
+            std::istringstream is(payload);
+            auto parsed = resilience::loadCheckpoint(is);
+            if (!parsed.ok || parsed.checkpoint.cells.size() != 1) {
+                // Unreachable under a CRC-clean wire; degrade the
+                // cell honestly instead of aborting the campaign.
+                health.state = pipeline::CellState::Degraded;
+                health.attempts = config.retry.maxAttempts;
+                health.lastError =
+                    "unreadable worker payload: " +
+                    (parsed.ok ? std::string("cell count mismatch")
+                               : parsed.error);
+                slot.sim.a = a;
+                slot.sim.b = b;
+                slot.sim.state = pipeline::CellState::Degraded;
+            } else {
+                auto &cell = parsed.checkpoint.cells.front();
+                slot.sim = std::move(cell.sim);
+                slot.samples = std::move(cell.samples);
+                if (config.keepTraces)
+                    slot.traces = std::move(cell.traces);
+                health.state = slot.sim.state;
+                health.attempts = cell.attempts;
+                health.backoffSeconds = cell.backoffSeconds;
+                health.lastError = cell.lastError;
+            }
+            SAVAT_METRIC_COUNT("campaign.cells");
+            SAVAT_METRIC_ADD("campaign.reps", config.repetitions);
+            finishCell(p, wall, cpu);
+        };
+        cb.onCellRetry = [&](std::size_t p, std::size_t attempt,
+                             double backoffSeconds,
+                             const std::string &error) {
+            if (!journal.isOpen())
+                return;
+            namespace json = support::json;
+            json::Value f = json::Value::object();
+            f.set("pair", pairKey(pairs[p].first, pairs[p].second));
+            f.set("attempt", attempt);
+            f.set("error", error);
+            f.set("backoff_s", backoffSeconds);
+            journal.emit("cell-retry", std::move(f));
+        };
+        cb.onCellFault = [&](std::size_t p, std::size_t attempt,
+                             const std::string &kind) {
+            if (!journal.isOpen())
+                return;
+            namespace json = support::json;
+            json::Value f = json::Value::object();
+            f.set("pair", pairKey(pairs[p].first, pairs[p].second));
+            f.set("kind", kind);
+            f.set("attempt", attempt);
+            journal.emit("fault-injected", std::move(f));
+        };
+        cb.onQuarantine = [&](std::size_t p, std::size_t crashes,
+                              const std::string &reason) {
+            const auto &[a, b] = pairs[p];
+            auto &slot = outcomes[p];
+            auto &health = result.health[p];
+            health.state = pipeline::CellState::Degraded;
+            health.attempts = crashes;
+            health.lastError = "worker lost: " + reason;
+            slot.sim.a = a;
+            slot.sim.b = b;
+            slot.sim.state = pipeline::CellState::Degraded;
+            SAVAT_WARN("quarantined pair ", kernels::eventName(a),
+                       "/", kernels::eventName(b), " after ",
+                       crashes, " worker deaths (", reason, ")");
+            if (journal.isOpen()) {
+                namespace json = support::json;
+                json::Value f = json::Value::object();
+                f.set("pair", pairKey(a, b));
+                f.set("crashes", crashes);
+                f.set("reason", reason);
+                journal.emit("cell-quarantined", std::move(f));
+            }
+            finishCell(p, 0.0, 0.0);
+        };
+        cb.onWorkerEvent = [&](std::size_t wslot, std::int64_t pid,
+                               service::WorkerEvent event,
+                               const std::string &detail) {
+            if (event == service::WorkerEvent::Died)
+                SAVAT_WARN("worker ", wslot, " died: ", detail);
+            if (!journal.isOpen())
+                return;
+            namespace json = support::json;
+            json::Value f = json::Value::object();
+            f.set("slot", wslot);
+            f.set("pid", static_cast<double>(pid));
+            f.set("detail", detail);
+            journal.emit(service::workerEventName(event),
+                         std::move(f));
+        };
+        cb.onWorkerLoss = [&]() {
+            // Keep crash survivability transitive: progress made
+            // before a worker died is durable even if the
+            // supervisor is lost next.
+            if (!config.checkpointPath.empty())
+                writeCheckpointLocked();
+        };
+
+        service::WorkerFactory factory = [&]() -> service::CellFn {
+            // Runs once inside each freshly forked worker: the
+            // child builds its meter from the parent's warmed
+            // prototype (a copy-on-write snapshot, so calibration
+            // never repeats).
+            auto meter = std::make_shared<SavatMeter>(prototype);
+            auto scratch =
+                std::make_shared<pipeline::MeasureScratch>();
+            return [&, meter, scratch](
+                       service::WorkerContext &ctx, std::size_t p,
+                       std::size_t dispatchAttempt) -> std::string {
+                const auto &[a, b] = pairs[p];
+                PairOutcome slot;
+                slot.ia = result.matrix.tryIndexOf(a);
+                slot.ib = result.matrix.tryIndexOf(b);
+                const auto outcome = runGuardedCell(
+                    *meter, config, injector, p, a, b,
+                    /*innerJobs=*/1, *scratch, slot,
+                    [&ctx](resilience::FaultKind kind,
+                           std::size_t attempt) {
+                        ctx.reportFault(
+                            attempt + 1,
+                            resilience::faultKindName(kind));
+                    },
+                    [&ctx](std::size_t attempt,
+                           const std::string &error,
+                           double backoffSeconds) {
+                        ctx.reportRetry(attempt, backoffSeconds,
+                                        error);
+                    });
+                // Die faults route through the worker here: exit
+                // before reporting the cell so the supervisor sees
+                // a crashed worker holding it. Non-`:always` rules
+                // fire on the first dispatch only, so the
+                // re-dispatched cell recovers on the replacement
+                // worker.
+                if (const auto *rule = injector.dieRule(p)) {
+                    if (dispatchAttempt == 0 || rule->always) {
+                        ctx.reportFault(dispatchAttempt + 1, "die");
+                        SAVAT_WARN("injected fault: worker dying "
+                                   "on pair ",
+                                   p);
+                        std::_Exit(137);
+                    }
                 }
-                if (journal.isOpen()) {
-                    namespace json = support::json;
-                    json::Value f = json::Value::object();
-                    f.set("pair", pairKey(a, b));
-                    f.set("a", kernels::eventName(a));
-                    f.set("b", kernels::eventName(b));
-                    f.set("state",
-                          journalStateName(health.state));
-                    f.set("attempts", health.attempts);
-                    f.set("backoff_s", health.backoffSeconds);
-                    f.set("wall_s", cellWall);
-                    f.set("cpu_s", cellCpu);
-                    f.set("reps", slot.samples.size());
-                    f.set("savat_zj_mean",
-                          health.state ==
-                                  pipeline::CellState::Measured
-                              ? savatMeanZj(slot.samples)
-                              : 0.0);
-                    setSpeculationFields(f, slot.sim);
-                    if (!health.lastError.empty())
-                        f.set("error", health.lastError);
-                    journal.emit("cell-done", std::move(f));
-                }
-                if (progress)
-                    progress(completed, npairs);
-                if (sink)
-                    sink(counts);
-                if (!config.checkpointPath.empty() &&
-                    config.checkpointEvery > 0 &&
-                    completed % config.checkpointEvery == 0)
-                    writeCheckpointLocked();
-                if (injector.dieAfterPair(p)) {
-                    // Flush first so the next run can resume, then
-                    // die without unwinding -- the faithful analog
-                    // of a kill -9 mid-campaign.
-                    writeCheckpointLocked();
+                resilience::CampaignCheckpoint cp;
+                cp.identity = identity;
+                cp.machineId = config.machineId;
+                cp.events = events;
+                cp.repetitions = config.repetitions;
+                cp.keepTraces = config.keepTraces;
+                resilience::CampaignCheckpoint::Cell cell;
+                cell.a = a;
+                cell.b = b;
+                cell.sim = slot.sim;
+                cell.samples = slot.samples;
+                cell.traces = slot.traces;
+                cell.attempts = outcome.attempts;
+                cell.backoffSeconds = outcome.backoffSeconds;
+                cell.lastError = outcome.lastError;
+                cp.cells.push_back(std::move(cell));
+                std::ostringstream os;
+                resilience::saveCheckpoint(os, cp);
+                return os.str();
+            };
+        };
+
+        service::runPool(pool, pending, factory, cb);
+    };
+
+    if (config.isolate == IsolateMode::Procs)
+        runCellsInWorkerProcs();
+    else
+        support::runWorkers(outerJobs, [&](std::size_t) {
+            // Worker-owned meter: the pair caches stay thread-local so
+            // the hot path takes no locks. The caches hold deterministic
+            // values, so per-worker ownership does not affect output.
+            obs::setCurrentWorker(support::currentWorker());
+            auto meter = prototype;
+            pipeline::MeasureScratch scratch;
+            for (std::size_t p = nextPair.fetch_add(1); p < npairs;
+                 p = nextPair.fetch_add(1)) {
+                auto &slot = outcomes[p];
+                if (done[p])
+                    continue; // restored from the resume checkpoint
+                const auto &[a, b] = pairs[p];
+                slot.ia = result.matrix.tryIndexOf(a);
+                slot.ib = result.matrix.tryIndexOf(b);
+                auto &health = result.health[p];
+                double cellWall = 0.0;
+                double cellCpu = 0.0;
+                if (slot.ia < 0 || slot.ib < 0) {
+                    SAVAT_METRIC_COUNT("campaign.pairs_skipped");
+                    SAVAT_WARN("skipping pair ", kernels::eventName(a),
+                               "/", kernels::eventName(b),
+                               ": event not in the campaign matrix");
+                } else {
                     if (journal.isOpen()) {
                         namespace json = support::json;
                         json::Value f = json::Value::object();
                         f.set("pair", pairKey(a, b));
-                        f.set("kind", "die");
-                        journal.emit("fault-injected",
-                                     std::move(f));
-                        journal.dumpCrash("fault-plan die");
+                        f.set("a", kernels::eventName(a));
+                        f.set("b", kernels::eventName(b));
+                        f.set("index", p);
+                        f.set("worker", obs::currentWorker());
+                        journal.emit("cell-start", std::move(f));
                     }
-                    SAVAT_WARN("injected fault: dying after pair ",
-                               p);
-                    std::_Exit(137);
+                    const auto cellStart =
+                        std::chrono::steady_clock::now();
+                    const double cpu0 = threadCpuSeconds();
+                    SAVAT_TRACE_SPAN("campaign.cell",
+                                     {{"a", kernels::eventName(a)},
+                                      {"b", kernels::eventName(b)},
+                                      {"reps", config.repetitions}});
+                    SAVAT_METRIC_TIMER("campaign.cell_seconds");
+                    // Containment: exceptions and non-finite outputs
+                    // degrade this cell after bounded retries instead
+                    // of aborting the campaign. measureCell re-forks
+                    // its repetition streams from the cell stream on
+                    // every attempt, so a retry that succeeds produces
+                    // exactly the samples an undisturbed run would.
+                    const auto outcome = runGuardedCell(
+                        meter, config, injector, p, a, b, innerJobs,
+                        scratch, slot,
+                        [&](resilience::FaultKind kind,
+                            std::size_t attempt) {
+                            if (!journal.isOpen())
+                                return;
+                            namespace json = support::json;
+                            json::Value f = json::Value::object();
+                            f.set("pair", pairKey(a, b));
+                            f.set("kind",
+                                  resilience::faultKindName(kind));
+                            f.set("attempt", attempt + 1);
+                            journal.emit("fault-injected",
+                                         std::move(f));
+                        },
+                        [&](std::size_t attempt,
+                            const std::string &error,
+                            double backoffSeconds) {
+                            if (!journal.isOpen())
+                                return;
+                            namespace json = support::json;
+                            json::Value f = json::Value::object();
+                            f.set("pair", pairKey(a, b));
+                            f.set("attempt", attempt);
+                            f.set("error", error);
+                            f.set("backoff_s", backoffSeconds);
+                            journal.emit("cell-retry", std::move(f));
+                        });
+                    cellWall = std::chrono::duration<double>(
+                                   std::chrono::steady_clock::now() -
+                                   cellStart)
+                                   .count();
+                    cellCpu = threadCpuSeconds() - cpu0;
+                    health.state = outcome.state;
+                    health.attempts = outcome.attempts;
+                    health.backoffSeconds = outcome.backoffSeconds;
+                    health.lastError = outcome.lastError;
+                    SAVAT_METRIC_COUNT("campaign.cells");
+                    SAVAT_METRIC_ADD("campaign.reps",
+                                     config.repetitions);
+                }
+                {
+                    const std::lock_guard<std::mutex> lock(
+                        progressMutex);
+                    done[p] = 1;
+                    ++completed;
+                    counts.done = completed;
+                    if (slot.ia < 0 || slot.ib < 0)
+                        ++counts.skipped;
+                    else {
+                        if (health.attempts > 1)
+                            ++counts.retried;
+                        if (health.state ==
+                            pipeline::CellState::Degraded)
+                            ++counts.degraded;
+                    }
+                    if (journal.isOpen()) {
+                        namespace json = support::json;
+                        json::Value f = json::Value::object();
+                        f.set("pair", pairKey(a, b));
+                        f.set("a", kernels::eventName(a));
+                        f.set("b", kernels::eventName(b));
+                        f.set("state",
+                              journalStateName(health.state));
+                        f.set("attempts", health.attempts);
+                        f.set("backoff_s", health.backoffSeconds);
+                        f.set("wall_s", cellWall);
+                        f.set("cpu_s", cellCpu);
+                        f.set("reps", slot.samples.size());
+                        f.set("savat_zj_mean",
+                              health.state ==
+                                      pipeline::CellState::Measured
+                                  ? savatMeanZj(slot.samples)
+                                  : 0.0);
+                        setSpeculationFields(f, slot.sim);
+                        if (!health.lastError.empty())
+                            f.set("error", health.lastError);
+                        journal.emit("cell-done", std::move(f));
+                    }
+                    if (progress)
+                        progress(completed, npairs);
+                    if (sink)
+                        sink(counts);
+                    if (!config.checkpointPath.empty() &&
+                        config.checkpointEvery > 0 &&
+                        completed % config.checkpointEvery == 0)
+                        writeCheckpointLocked();
+                    if (injector.dieAfterPair(p)) {
+                        // Flush first so the next run can resume, then
+                        // die without unwinding -- the faithful analog
+                        // of a kill -9 mid-campaign.
+                        writeCheckpointLocked();
+                        if (journal.isOpen()) {
+                            namespace json = support::json;
+                            json::Value f = json::Value::object();
+                            f.set("pair", pairKey(a, b));
+                            f.set("kind", "die");
+                            journal.emit("fault-injected",
+                                         std::move(f));
+                            journal.dumpCrash("fault-plan die");
+                        }
+                        SAVAT_WARN("injected fault: dying after pair ",
+                                   p);
+                        std::_Exit(137);
+                    }
                 }
             }
-        }
-    });
+        });
 
     // Final checkpoint: a finished campaign's file restores every
     // cell, so resuming it is a no-op re-merge. Written before the

@@ -16,6 +16,7 @@
 #ifndef SAVAT_CORE_CAMPAIGN_HH
 #define SAVAT_CORE_CAMPAIGN_HH
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -28,6 +29,25 @@
 #include "support/progress.hh"
 
 namespace savat::core {
+
+/** How campaign cells are sharded across the machine. */
+enum class IsolateMode : std::uint8_t
+{
+    /** In-process worker threads (support::parallel). Fastest; a
+     * crash in any cell takes the whole campaign down. */
+    Threads,
+
+    /**
+     * Forked worker processes supervised over savat-worker-wire-v1
+     * pipes (savat::service::WorkerPool): dead workers are restarted
+     * with backoff, cells that keep killing their worker are
+     * quarantined as Degraded, and the campaign always completes.
+     * Results are byte-identical to thread mode.
+     */
+    Procs,
+};
+
+const char *isolateModeName(IsolateMode mode);
 
 /** Campaign parameters. */
 struct CampaignConfig
@@ -94,6 +114,24 @@ struct CampaignConfig
      * match; a mismatch is fatal.
      */
     std::string resumePath;
+
+    /** Cell execution substrate (threads in-process, or supervised
+     * worker processes). See IsolateMode. */
+    IsolateMode isolate = IsolateMode::Threads;
+
+    /**
+     * IsolateMode::Procs only: worker processes to keep alive. 0
+     * means the resolved `jobs` value. Byte-identical for every
+     * count, exactly like `jobs`.
+     */
+    std::size_t workers = 0;
+
+    /**
+     * IsolateMode::Procs only: kill (and charge the crash budget
+     * of) any cell still running after this many wall seconds; 0
+     * disables the deadline.
+     */
+    double cellDeadlineSeconds = 0.0;
 
     /**
      * When non-empty, stream a crash-safe structured run journal

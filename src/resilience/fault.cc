@@ -193,10 +193,16 @@ FaultInjector::measurementFault(std::size_t pair,
 bool
 FaultInjector::dieAfterPair(std::size_t pair) const
 {
+    return dieRule(pair) != nullptr;
+}
+
+const FaultRule *
+FaultInjector::dieRule(std::size_t pair) const
+{
     for (const auto &rule : _plan.rules)
         if (rule.kind == FaultKind::Die && rule.matches(pair, _seed))
-            return true;
-    return false;
+            return &rule;
+    return nullptr;
 }
 
 bool

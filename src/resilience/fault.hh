@@ -20,6 +20,16 @@
  * cell — append `:always` to fail every attempt and force the cell
  * Degraded.
  *
+ * Under `--isolate procs` the die rule is routed through the worker
+ * process instead of the campaign: the worker measuring the targeted
+ * cell _Exits(137) before reporting its result, so the supervisor
+ * observes a crashed worker, charges the cell's crash budget, and
+ * re-dispatches the cell to a replacement. Without `:always` the
+ * rule fires only on the cell's first dispatch, so the campaign
+ * recovers and completes byte-identically; with `:always` every
+ * dispatch dies and the cell is quarantined as Degraded once the
+ * budget (retry.maxAttempts worker deaths) is exhausted.
+ *
  * Rule matching is a pure function of (plan, seed, indices): a plan
  * replayed against the same campaign injects the same faults
  * regardless of jobs or thread schedule.
@@ -121,6 +131,16 @@ class FaultInjector
 
     /** True when a `die` rule targets pair `pair`. */
     bool dieAfterPair(std::size_t pair) const;
+
+    /**
+     * The `die` rule targeting pair `pair`, or nullptr. Process-
+     * isolated campaigns route die through the worker: the worker
+     * _Exits before reporting the cell, so the supervisor sees a
+     * crashed worker instead of a dead campaign. There `always`
+     * decides whether the re-dispatched cell dies again (forcing
+     * quarantine) or recovers on the replacement worker.
+     */
+    const FaultRule *dieRule(std::size_t pair) const;
 
     /** True when checkpoint write number `ordinal` is truncated. */
     bool truncateCheckpointWrite(std::size_t ordinal) const;

@@ -1,0 +1,691 @@
+#include "pool.hh"
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <time.h>
+#include <unistd.h>
+
+#include "support/obs.hh"
+#include "support/subprocess.hh"
+#include "support/wire.hh"
+
+namespace savat::service {
+namespace {
+
+using support::Frame;
+using support::FrameType;
+using support::WireReader;
+using support::WireStatus;
+
+double monotonicSeconds()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+double threadCpuSeconds()
+{
+    timespec ts{};
+    if (::clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0)
+        return 0.0;
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+/// Child exit codes for failures that are not crashes of the cell
+/// function itself; the supervisor only sees them in describe().
+enum ChildExit : int
+{
+    kExitOk = 0,
+    kExitFactoryThrew = 21,
+    kExitBadMeasureFrame = 22,
+    kExitCellThrew = 23,
+    kExitParentGone = 24,
+};
+
+int workerChildMain(int readFd, int writeFd, const PoolConfig &config,
+                    const WorkerFactory &factory)
+{
+    support::resetChildSignals();
+    support::dieWithParent();
+    // A write racing the supervisor's death must surface as EPIPE,
+    // not SIGPIPE, so the child can exit on its own terms.
+    support::ignoreSigpipe();
+
+    CellFn fn;
+    try {
+        fn = factory();
+    } catch (...) {
+        return kExitFactoryThrew;
+    }
+
+    std::mutex writeMutex;
+    std::atomic<std::int64_t> currentCell{-1};
+    std::mutex stopMutex;
+    std::condition_variable stopCv;
+    bool stop = false;
+
+    // Heartbeats come from a dedicated thread so a long-running cell
+    // still proves liveness; a frozen process (SIGSTOP, livelock)
+    // freezes this thread too, which is exactly what makes the
+    // supervisor's heartbeat timeout meaningful.
+    std::thread heartbeat([&] {
+        std::uint64_t seq = 0;
+        const auto period = std::chrono::duration<double>(
+            config.heartbeatSeconds > 0 ? config.heartbeatSeconds : 0.2);
+        for (;;) {
+            Frame beat;
+            beat.type = FrameType::Heartbeat;
+            support::appendU64(
+                beat.payload,
+                static_cast<std::uint64_t>(currentCell.load()));
+            support::appendU64(beat.payload, seq++);
+            {
+                std::lock_guard<std::mutex> guard(writeMutex);
+                if (!support::writeFrame(writeFd, beat))
+                    return;
+            }
+            std::unique_lock<std::mutex> lock(stopMutex);
+            if (stopCv.wait_for(lock, period, [&] { return stop; }))
+                return;
+        }
+    });
+
+    int rc = kExitOk;
+    WireReader reader;
+    Frame frame;
+    while (support::readFrameBlocking(readFd, reader, frame)) {
+        if (frame.type == FrameType::Shutdown)
+            break;
+        if (frame.type != FrameType::Measure)
+            continue;
+        std::size_t off = 0;
+        std::uint64_t cell = 0;
+        std::uint64_t dispatchAttempt = 0;
+        if (!support::readU64(frame.payload, off, cell) ||
+            !support::readU64(frame.payload, off, dispatchAttempt)) {
+            rc = kExitBadMeasureFrame;
+            break;
+        }
+        currentCell.store(static_cast<std::int64_t>(cell));
+        const double wall0 = monotonicSeconds();
+        const double cpu0 = threadCpuSeconds();
+        WorkerContext ctx(writeFd, &writeMutex,
+                          static_cast<std::size_t>(cell));
+        std::string payload;
+        try {
+            payload = fn(ctx, static_cast<std::size_t>(cell),
+                         static_cast<std::size_t>(dispatchAttempt));
+        } catch (...) {
+            // An exception escaping the cell function is a worker
+            // crash by contract: charge the cell's crash budget.
+            rc = kExitCellThrew;
+            break;
+        }
+        Frame done;
+        done.type = FrameType::CellDone;
+        support::appendU64(done.payload, cell);
+        support::appendF64(done.payload, monotonicSeconds() - wall0);
+        support::appendF64(done.payload, threadCpuSeconds() - cpu0);
+        done.payload += payload;
+        currentCell.store(-1);
+        std::lock_guard<std::mutex> guard(writeMutex);
+        if (!support::writeFrame(writeFd, done)) {
+            rc = kExitParentGone;
+            break;
+        }
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(stopMutex);
+        stop = true;
+    }
+    stopCv.notify_all();
+    heartbeat.join();
+    return rc;
+}
+
+struct PendingCell
+{
+    std::size_t cell = 0;
+    std::size_t dispatchAttempt = 0;
+};
+
+struct Slot
+{
+    pid_t pid = -1;
+    int toChild = -1;
+    int fromChild = -1;
+    WireReader reader;
+    bool alive = false;
+    std::int64_t cell = -1; //!< in-flight cell index, -1 idle
+    std::size_t dispatchAttempt = 0;
+    double lastBeat = 0.0;
+    double cellStart = 0.0;
+    double respawnAt = 0.0;
+    std::size_t spawnCount = 0;
+};
+
+class Supervisor
+{
+  public:
+    Supervisor(const PoolConfig &config,
+               const std::vector<std::size_t> &cells,
+               const WorkerFactory &factory,
+               const PoolCallbacks &callbacks)
+        : _config(config), _factory(factory), _callbacks(callbacks)
+    {
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            _queue.push_back(PendingCell{cells[i], 0});
+        _total = cells.size();
+        _slots.resize(std::max<std::size_t>(
+            1, std::min(config.workers > 0 ? config.workers : 1,
+                        std::max<std::size_t>(1, _total))));
+    }
+
+    PoolStats run()
+    {
+        support::ignoreSigpipe();
+        for (std::size_t i = 0; i < _slots.size(); ++i)
+            if (!spawn(i))
+                throw std::runtime_error(
+                    "service: failed to start worker " +
+                    std::to_string(i) + ": " + std::strerror(errno));
+        while (finishedCells() < _total)
+            step();
+        shutdownWorkers();
+        return _stats;
+    }
+
+  private:
+    std::size_t finishedCells() const
+    {
+        return _stats.completed + _stats.quarantined;
+    }
+
+    std::size_t aliveCount() const
+    {
+        std::size_t n = 0;
+        for (const Slot &slot : _slots)
+            n += slot.alive ? 1 : 0;
+        return n;
+    }
+
+    void publishAlive()
+    {
+        SAVAT_METRIC_GAUGE("service.workers_alive",
+                           static_cast<double>(aliveCount()));
+    }
+
+    bool spawn(std::size_t index)
+    {
+        Slot &slot = _slots[index];
+        support::Pipe toChild;
+        support::Pipe fromChild;
+        if (!toChild.open() || !fromChild.open())
+            return false;
+
+        // Collect every supervisor-side fd the child must not
+        // inherit open: sibling pipes would keep a dead sibling's
+        // channel half-open and mask its EOF.
+        std::vector<int> closeInChild;
+        for (const Slot &other : _slots) {
+            if (other.toChild >= 0)
+                closeInChild.push_back(other.toChild);
+            if (other.fromChild >= 0)
+                closeInChild.push_back(other.fromChild);
+        }
+        closeInChild.push_back(toChild.writeFd());
+        closeInChild.push_back(fromChild.readFd());
+
+        const int childRead = toChild.readFd();
+        const int childWrite = fromChild.writeFd();
+        const PoolConfig &config = _config;
+        const WorkerFactory &factory = _factory;
+        const pid_t pid = support::forkProcess([&]() -> int {
+            for (const int fd : closeInChild)
+                ::close(fd);
+            return workerChildMain(childRead, childWrite, config,
+                                   factory);
+        });
+        if (pid < 0)
+            return false;
+
+        toChild.closeRead();
+        fromChild.closeWrite();
+        slot.pid = pid;
+        // Ownership of the surviving ends moves to the slot; its
+        // close path is closeSlotFds().
+        slot.toChild = toChild.releaseWrite();
+        slot.fromChild = fromChild.releaseRead();
+        ::fcntl(slot.fromChild, F_SETFL, O_NONBLOCK);
+        slot.reader = WireReader{};
+        slot.alive = true;
+        slot.cell = -1;
+        const double now = monotonicSeconds();
+        slot.lastBeat = now;
+        slot.respawnAt = 0.0;
+        const WorkerEvent event = slot.spawnCount == 0
+                                      ? WorkerEvent::Started
+                                      : WorkerEvent::Restarted;
+        slot.spawnCount++;
+        if (event == WorkerEvent::Restarted) {
+            _stats.restarts++;
+            SAVAT_METRIC_COUNT("service.restarts");
+        }
+        if (_callbacks.onWorkerEvent)
+            _callbacks.onWorkerEvent(index, pid, event,
+                                     "pid " + std::to_string(pid));
+        publishAlive();
+        return true;
+    }
+
+    void closeSlotFds(Slot &slot)
+    {
+        if (slot.toChild >= 0) {
+            ::close(slot.toChild);
+            slot.toChild = -1;
+        }
+        if (slot.fromChild >= 0) {
+            ::close(slot.fromChild);
+            slot.fromChild = -1;
+        }
+    }
+
+    void dispatch()
+    {
+        for (std::size_t i = 0; i < _slots.size() && !_queue.empty();
+             ++i) {
+            Slot &slot = _slots[i];
+            if (!slot.alive || slot.cell >= 0)
+                continue;
+            const PendingCell next = _queue.front();
+            _queue.pop_front();
+            slot.cell = static_cast<std::int64_t>(next.cell);
+            slot.dispatchAttempt = next.dispatchAttempt;
+            slot.cellStart = monotonicSeconds();
+            slot.lastBeat = slot.cellStart;
+            Frame frame;
+            frame.type = FrameType::Measure;
+            support::appendU64(frame.payload, next.cell);
+            support::appendU64(frame.payload, next.dispatchAttempt);
+            if (!support::writeFrame(slot.toChild, frame)) {
+                // Worker died between poll rounds; the death path
+                // requeues the cell we just assigned.
+                killAndReap(i, "write failed (worker gone)");
+                continue;
+            }
+            _stats.dispatched++;
+            SAVAT_METRIC_COUNT("service.cells_dispatched");
+        }
+    }
+
+    /// Pull buffered bytes and process frames. Returns false when
+    /// the worker must be treated as dead (EOF or corrupt stream).
+    bool drainSlot(std::size_t index, std::string *reason)
+    {
+        Slot &slot = _slots[index];
+        bool eof = false;
+        for (;;) {
+            char buf[4096];
+            const ssize_t n = ::read(slot.fromChild, buf, sizeof(buf));
+            if (n > 0) {
+                slot.reader.feed(buf, static_cast<std::size_t>(n));
+                continue;
+            }
+            if (n == 0) {
+                eof = true;
+                break;
+            }
+            if (errno == EINTR)
+                continue;
+            break; // EAGAIN: drained
+        }
+        Frame frame;
+        std::string wireError;
+        for (;;) {
+            const WireStatus status = slot.reader.next(frame, &wireError);
+            if (status == WireStatus::NeedMore)
+                break;
+            if (status == WireStatus::Corrupt) {
+                if (reason)
+                    *reason = "corrupt frame: " + wireError;
+                return false;
+            }
+            if (!handleFrame(index, frame)) {
+                if (reason)
+                    *reason = "protocol violation (" +
+                              std::string(frameTypeName(frame.type)) +
+                              ")";
+                return false;
+            }
+        }
+        if (eof) {
+            if (reason)
+                *reason = slot.reader.pendingBytes() > 0
+                              ? "pipe closed mid-frame"
+                              : "pipe closed";
+            return false;
+        }
+        return true;
+    }
+
+    bool handleFrame(std::size_t index, const Frame &frame)
+    {
+        Slot &slot = _slots[index];
+        std::size_t off = 0;
+        switch (frame.type) {
+        case FrameType::Heartbeat: {
+            slot.lastBeat = monotonicSeconds();
+            return true;
+        }
+        case FrameType::CellRetry: {
+            std::uint64_t cell = 0;
+            std::uint64_t attempt = 0;
+            double backoff = 0.0;
+            if (!support::readU64(frame.payload, off, cell) ||
+                !support::readU64(frame.payload, off, attempt) ||
+                !support::readF64(frame.payload, off, backoff))
+                return false;
+            if (_callbacks.onCellRetry)
+                _callbacks.onCellRetry(
+                    static_cast<std::size_t>(cell),
+                    static_cast<std::size_t>(attempt), backoff,
+                    frame.payload.substr(off));
+            return true;
+        }
+        case FrameType::CellFault: {
+            std::uint64_t cell = 0;
+            std::uint64_t attempt = 0;
+            if (!support::readU64(frame.payload, off, cell) ||
+                !support::readU64(frame.payload, off, attempt))
+                return false;
+            if (_callbacks.onCellFault)
+                _callbacks.onCellFault(static_cast<std::size_t>(cell),
+                                       static_cast<std::size_t>(attempt),
+                                       frame.payload.substr(off));
+            return true;
+        }
+        case FrameType::CellDone: {
+            std::uint64_t cell = 0;
+            double wall = 0.0;
+            double cpu = 0.0;
+            if (!support::readU64(frame.payload, off, cell) ||
+                !support::readF64(frame.payload, off, wall) ||
+                !support::readF64(frame.payload, off, cpu))
+                return false;
+            if (slot.cell < 0 ||
+                static_cast<std::uint64_t>(slot.cell) != cell)
+                return false; // result for a cell we never dispatched
+            if (_callbacks.onCellDone)
+                _callbacks.onCellDone(static_cast<std::size_t>(cell),
+                                      wall, cpu,
+                                      frame.payload.substr(off));
+            slot.cell = -1;
+            _stats.completed++;
+            return true;
+        }
+        default:
+            return false; // parent-bound streams carry no other types
+        }
+    }
+
+    void killAndReap(std::size_t index, const std::string &why)
+    {
+        Slot &slot = _slots[index];
+        if (!slot.alive)
+            return;
+        ::kill(slot.pid, SIGKILL);
+        support::ExitStatus status;
+        support::waitProcess(slot.pid, status, /*block=*/true);
+        // The pipe may still hold complete frames written before the
+        // kill (e.g. a CellDone racing a deadline) — honor them so a
+        // finished cell is never re-measured or charged.
+        std::string ignored;
+        drainSlot(index, &ignored);
+        handleDeath(index, status, why);
+    }
+
+    void handleDeath(std::size_t index, const support::ExitStatus &status,
+                     const std::string &why)
+    {
+        Slot &slot = _slots[index];
+        if (!slot.alive)
+            return;
+        slot.alive = false;
+        closeSlotFds(slot);
+        _stats.deaths++;
+        SAVAT_METRIC_COUNT("service.worker_deaths");
+        const std::string detail =
+            why.empty() ? status.describe()
+                        : why + ", " + status.describe();
+        if (_callbacks.onWorkerEvent)
+            _callbacks.onWorkerEvent(index, slot.pid,
+                                     WorkerEvent::Died, detail);
+        if (slot.cell >= 0) {
+            const std::size_t cell =
+                static_cast<std::size_t>(slot.cell);
+            slot.cell = -1;
+            const std::size_t crashes = ++_crashes[cell];
+            if (_callbacks.onWorkerLoss)
+                _callbacks.onWorkerLoss();
+            if (crashes >=
+                std::max<std::size_t>(1, _config.restart.maxAttempts)) {
+                _stats.quarantined++;
+                SAVAT_METRIC_COUNT("service.quarantined_cells");
+                if (_callbacks.onQuarantine)
+                    _callbacks.onQuarantine(cell, crashes, detail);
+            } else {
+                // Head of the queue: the crashed cell keeps its
+                // scheduling position so recovery stays prompt.
+                _queue.push_front(PendingCell{cell, crashes});
+            }
+        }
+        publishAlive();
+        if (finishedCells() >= _total)
+            return; // no respawn needed; run() is about to shut down
+        const double backoff = resilience::retryBackoffSeconds(
+            _config.restart, index, slot.spawnCount);
+        slot.respawnAt = monotonicSeconds() + backoff;
+    }
+
+    void respawnDue()
+    {
+        if (finishedCells() >= _total)
+            return;
+        const double now = monotonicSeconds();
+        for (std::size_t i = 0; i < _slots.size(); ++i) {
+            Slot &slot = _slots[i];
+            if (slot.alive || slot.respawnAt <= 0.0 ||
+                slot.respawnAt > now)
+                continue;
+            if (!spawn(i)) {
+                // Transient fork/pipe pressure: try again shortly.
+                slot.respawnAt = now + 0.25;
+            }
+        }
+    }
+
+    void step()
+    {
+        respawnDue();
+        dispatch();
+
+        std::vector<pollfd> fds;
+        std::vector<std::size_t> owners;
+        for (std::size_t i = 0; i < _slots.size(); ++i) {
+            if (!_slots[i].alive)
+                continue;
+            fds.push_back(pollfd{_slots[i].fromChild, POLLIN, 0});
+            owners.push_back(i);
+        }
+        if (fds.empty()) {
+            // All workers down, waiting out respawn backoff.
+            std::this_thread::sleep_for(std::chrono::milliseconds(10));
+            return;
+        }
+        const int rc = ::poll(fds.data(),
+                              static_cast<nfds_t>(fds.size()), 50);
+        if (rc < 0 && errno != EINTR)
+            throw std::runtime_error(std::string("service: poll: ") +
+                                     std::strerror(errno));
+        if (rc > 0) {
+            for (std::size_t k = 0; k < fds.size(); ++k) {
+                if (!(fds[k].revents & (POLLIN | POLLHUP | POLLERR)))
+                    continue;
+                const std::size_t i = owners[k];
+                if (!_slots[i].alive)
+                    continue;
+                std::string reason;
+                if (!drainSlot(i, &reason))
+                    killAndReap(i, reason);
+            }
+        }
+
+        // Reap exits the pipe did not reveal (e.g. SIGKILL from
+        // outside with buffered frames already consumed).
+        for (std::size_t i = 0; i < _slots.size(); ++i) {
+            Slot &slot = _slots[i];
+            if (!slot.alive)
+                continue;
+            support::ExitStatus status;
+            if (support::waitProcess(slot.pid, status,
+                                     /*block=*/false)) {
+                std::string ignored;
+                drainSlot(i, &ignored);
+                handleDeath(i, status, "");
+            }
+        }
+
+        // Liveness policy: heartbeat staleness and cell deadlines.
+        const double now = monotonicSeconds();
+        for (std::size_t i = 0; i < _slots.size(); ++i) {
+            Slot &slot = _slots[i];
+            if (!slot.alive)
+                continue;
+            if (_config.heartbeatTimeoutSeconds > 0 &&
+                now - slot.lastBeat > _config.heartbeatTimeoutSeconds) {
+                killAndReap(i, "heartbeat timeout");
+                continue;
+            }
+            if (_config.cellDeadlineSeconds > 0 && slot.cell >= 0 &&
+                now - slot.cellStart > _config.cellDeadlineSeconds) {
+                killAndReap(i, "cell deadline exceeded");
+            }
+        }
+    }
+
+    void shutdownWorkers()
+    {
+        for (Slot &slot : _slots) {
+            if (!slot.alive)
+                continue;
+            Frame bye;
+            bye.type = FrameType::Shutdown;
+            support::writeFrame(slot.toChild, bye);
+            if (slot.toChild >= 0) {
+                ::close(slot.toChild);
+                slot.toChild = -1;
+            }
+        }
+        const double deadline = monotonicSeconds() + 5.0;
+        for (std::size_t i = 0; i < _slots.size(); ++i) {
+            Slot &slot = _slots[i];
+            if (!slot.alive)
+                continue;
+            support::ExitStatus status;
+            while (!support::waitProcess(slot.pid, status,
+                                         /*block=*/false)) {
+                if (monotonicSeconds() > deadline) {
+                    ::kill(slot.pid, SIGKILL);
+                    support::waitProcess(slot.pid, status,
+                                         /*block=*/true);
+                    break;
+                }
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(5));
+            }
+            slot.alive = false;
+            closeSlotFds(slot);
+        }
+        publishAlive();
+    }
+
+    PoolConfig _config;
+    const WorkerFactory &_factory;
+    const PoolCallbacks &_callbacks;
+    std::vector<Slot> _slots;
+    std::deque<PendingCell> _queue;
+    std::unordered_map<std::size_t, std::size_t> _crashes;
+    std::size_t _total = 0;
+    PoolStats _stats;
+};
+
+} // namespace
+
+const char *workerEventName(WorkerEvent event)
+{
+    switch (event) {
+    case WorkerEvent::Started:
+        return "worker-started";
+    case WorkerEvent::Died:
+        return "worker-died";
+    case WorkerEvent::Restarted:
+        return "worker-restarted";
+    }
+    return "unknown";
+}
+
+void WorkerContext::reportRetry(std::size_t attempt,
+                                double backoffSeconds,
+                                const std::string &error)
+{
+    Frame frame;
+    frame.type = FrameType::CellRetry;
+    support::appendU64(frame.payload, _cell);
+    support::appendU64(frame.payload, attempt);
+    support::appendF64(frame.payload, backoffSeconds);
+    frame.payload += error;
+    std::lock_guard<std::mutex> guard(
+        *static_cast<std::mutex *>(_writeLock));
+    support::writeFrame(_fd, frame);
+}
+
+void WorkerContext::reportFault(std::size_t attempt,
+                                const std::string &kind)
+{
+    Frame frame;
+    frame.type = FrameType::CellFault;
+    support::appendU64(frame.payload, _cell);
+    support::appendU64(frame.payload, attempt);
+    frame.payload += kind;
+    std::lock_guard<std::mutex> guard(
+        *static_cast<std::mutex *>(_writeLock));
+    support::writeFrame(_fd, frame);
+}
+
+PoolStats runPool(const PoolConfig &config,
+                  const std::vector<std::size_t> &cells,
+                  const WorkerFactory &factory,
+                  const PoolCallbacks &callbacks)
+{
+    if (cells.empty())
+        return PoolStats{};
+    Supervisor supervisor(config, cells, factory, callbacks);
+    return supervisor.run();
+}
+
+} // namespace savat::service

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * savat::service::WorkerPool — crash-isolated campaign sharding.
+ *
+ * Cells are dispatched over `savat-worker-wire-v1` pipes to forked
+ * worker processes. The supervisor (single-threaded, runs on the
+ * caller's thread) tracks per-worker heartbeats, enforces per-cell
+ * deadlines, and restarts dead workers with seeded jittered backoff
+ * (the resilience::RetryPolicy machinery from the checkpoint layer).
+ * A cell that kills its worker `restart.maxAttempts` times is
+ * quarantined: reported through onQuarantine and never re-dispatched,
+ * so one poisoned cell costs one cell, not the campaign.
+ *
+ * The pool is generic — it moves opaque result payloads, not
+ * campaign types. The campaign layer serializes each finished cell
+ * as a one-cell resilience checkpoint (already proven byte-stable),
+ * which makes process-mode results byte-identical to in-process
+ * mode by construction.
+ *
+ * Concurrency contract: fork() is called from the supervisor thread;
+ * the caller must not hold locks that the worker factory or callbacks
+ * need, and in-process worker teams must not be running concurrently
+ * (campaign.cc calls runPool from the main thread only). Children
+ * always leave through _Exit and never run parent atexit hooks.
+ */
+
+#ifndef SAVAT_SERVICE_POOL_HH
+#define SAVAT_SERVICE_POOL_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "resilience/retry.hh"
+
+namespace savat::service {
+
+/** Supervisor tuning knobs. */
+struct PoolConfig
+{
+    /** Worker processes to keep alive (>= 1). */
+    std::size_t workers = 1;
+
+    /** Child heartbeat period [s]. */
+    double heartbeatSeconds = 0.2;
+
+    /**
+     * Kill a worker whose last heartbeat is older than this [s].
+     * Generous by default: sanitizer builds are slow and a false
+     * kill costs a crash-budget charge against an innocent cell.
+     */
+    double heartbeatTimeoutSeconds = 30.0;
+
+    /** Kill a worker that sits on one cell longer than this [s];
+     * 0 disables the deadline. */
+    double cellDeadlineSeconds = 0.0;
+
+    /**
+     * Restart/backoff policy, reusing the campaign retry machinery:
+     * maxAttempts doubles as the per-cell crash budget (a cell whose
+     * worker dies maxAttempts times is quarantined), and
+     * backoff/jitter seed the respawn delay schedule.
+     */
+    resilience::RetryPolicy restart;
+};
+
+/** What the pool observed; all counts are totals for one run. */
+struct PoolStats
+{
+    std::size_t dispatched = 0;  //!< Measure frames sent
+    std::size_t completed = 0;   //!< CellDone frames accepted
+    std::size_t deaths = 0;      //!< workers lost (crash/kill/timeout)
+    std::size_t restarts = 0;    //!< replacement workers forked
+    std::size_t quarantined = 0; //!< cells that exhausted the budget
+};
+
+/** Worker lifecycle moments surfaced to the journal. */
+enum class WorkerEvent : std::uint8_t
+{
+    Started,   //!< worker forked (initial or replacement)
+    Died,      //!< worker lost; detail describes the wait status
+    Restarted, //!< replacement scheduled after a death
+};
+
+const char *workerEventName(WorkerEvent event);
+
+/**
+ * Handed to the cell function inside the worker; lets a cell report
+ * non-terminal events (retries, injected faults) upstream so the
+ * supervisor can journal them — children never write journals
+ * themselves (single-writer discipline).
+ */
+class WorkerContext
+{
+  public:
+    WorkerContext(int fd, void *writeLock, std::size_t cell)
+        : _fd(fd), _writeLock(writeLock), _cell(cell)
+    {
+    }
+
+    std::size_t cell() const { return _cell; }
+
+    /** Report one failed attempt (mirrors resilience::RetryObserver). */
+    void reportRetry(std::size_t attempt, double backoffSeconds,
+                     const std::string &error);
+
+    /** Report an injected fault firing (kind = fault kind name). */
+    void reportFault(std::size_t attempt, const std::string &kind);
+
+  private:
+    int _fd;
+    void *_writeLock; // std::mutex shared with the heartbeat thread
+    std::size_t _cell;
+};
+
+/**
+ * Measures one cell inside a worker process and returns the result
+ * payload (opaque to the pool). Runs in the forked child: throwing
+ * or crashing here charges the cell's crash budget. dispatchAttempt
+ * counts prior worker deaths on this cell (0 on first dispatch).
+ */
+using CellFn = std::function<std::string(
+    WorkerContext &ctx, std::size_t cell, std::size_t dispatchAttempt)>;
+
+/**
+ * Called once inside each freshly forked worker to build its CellFn
+ * (e.g. clone the warmed prototype meter). Runs after fork, so any
+ * state it captures is the child's copy-on-write snapshot.
+ */
+using WorkerFactory = std::function<CellFn()>;
+
+/** Supervisor-side hooks; all run on the caller's thread. Any hook
+ * may be left empty. */
+struct PoolCallbacks
+{
+    /** Terminal success for `cell` with the child's payload and its
+     * measured wall/CPU seconds. */
+    std::function<void(std::size_t cell, double wallSeconds,
+                       double cpuSeconds, const std::string &payload)>
+        onCellDone;
+
+    /** A cell attempt failed inside the worker and will be retried
+     * in-process (relayed CellRetry frame). */
+    std::function<void(std::size_t cell, std::size_t attempt,
+                       double backoffSeconds, const std::string &error)>
+        onCellRetry;
+
+    /** An injected fault fired inside the worker (relayed frame). */
+    std::function<void(std::size_t cell, std::size_t attempt,
+                       const std::string &kind)>
+        onCellFault;
+
+    /** `cell` exhausted its crash budget; `reason` describes the
+     * last death (signal/exit code). The cell is never re-dispatched. */
+    std::function<void(std::size_t cell, std::size_t crashes,
+                       const std::string &reason)>
+        onQuarantine;
+
+    /** Worker lifecycle: slot index, pid, event, and a detail string
+     * (wait status for Died, backoff for Restarted). */
+    std::function<void(std::size_t slot, std::int64_t pid,
+                       WorkerEvent event, const std::string &detail)>
+        onWorkerEvent;
+
+    /** A worker died with a cell in flight — checkpoint hook so
+     * progress survives a subsequent supervisor loss too. */
+    std::function<void()> onWorkerLoss;
+};
+
+/**
+ * Run `cells` (indices are opaque tokens, passed through to the
+ * worker) to completion across forked workers. Returns once every
+ * cell is either completed or quarantined. Throws std::runtime_error
+ * only on unrecoverable supervisor-side failures (fork/pipe
+ * exhaustion at startup).
+ */
+PoolStats runPool(const PoolConfig &config,
+                  const std::vector<std::size_t> &cells,
+                  const WorkerFactory &factory,
+                  const PoolCallbacks &callbacks);
+
+} // namespace savat::service
+
+#endif // SAVAT_SERVICE_POOL_HH

@@ -542,6 +542,34 @@ aggregateJournals(const std::vector<std::string> &paths,
                 ++out.faultsInjected;
             } else if (ev.type == "checkpoint-written") {
                 ++out.checkpointsWritten;
+            } else if (ev.type == "worker-started" ||
+                       ev.type == "worker-died" ||
+                       ev.type == "worker-restarted") {
+                if (ev.type == "worker-started")
+                    ++out.workerStarts;
+                else if (ev.type == "worker-died")
+                    ++out.workerDeaths;
+                else
+                    ++out.workerRestarts;
+                WorkerEventRecord rec;
+                rec.t = ev.t;
+                rec.type = ev.type;
+                rec.slot = static_cast<std::uint64_t>(
+                    f.numberOr("slot", 0.0));
+                rec.pid = f.numberOr("pid", 0.0);
+                rec.detail = f.stringOr("detail", "");
+                out.workerEvents.push_back(std::move(rec));
+            } else if (ev.type == "cell-quarantined") {
+                ++out.quarantinedCells;
+                WorkerEventRecord rec;
+                rec.t = ev.t;
+                rec.type = ev.type;
+                rec.detail = format(
+                    "%s after %.0f crashes: %s",
+                    f.stringOr("pair", "?").c_str(),
+                    f.numberOr("crashes", 0.0),
+                    f.stringOr("reason", "").c_str());
+                out.workerEvents.push_back(std::move(rec));
             } else if (ev.type == "cell-done") {
                 CellRecord rec;
                 rec.pair = f.stringOr("pair", "");
@@ -642,6 +670,37 @@ writeReportTables(std::ostream &os, const RunReport &report)
                  skipped, restored, report.retries,
                  report.faultsInjected,
                  report.checkpointsWritten);
+    if (report.workerStarts > 0 || report.workerDeaths > 0 ||
+        report.quarantinedCells > 0)
+        os << format("  service: %zu worker(s) started, %zu "
+                     "death(s), %zu restart(s), %zu cell(s) "
+                     "quarantined\n",
+                     report.workerStarts, report.workerDeaths,
+                     report.workerRestarts,
+                     report.quarantinedCells);
+
+    // Worker lifecycle (process-isolated campaigns only): every
+    // spawn/death/restart/quarantine, in journal order, so a
+    // degraded run's crash story reads straight off the report.
+    if (!report.workerEvents.empty()) {
+        os << "\nworker events\n";
+        TextTable t;
+        t.setHeader({"t_s", "event", "slot", "pid", "detail"});
+        for (const auto &ev : report.workerEvents) {
+            t.startRow();
+            t.addCell(ev.t, 3);
+            t.addCell(ev.type);
+            t.addCell(ev.type == "cell-quarantined"
+                          ? std::string()
+                          : format("%llu",
+                                   static_cast<unsigned long long>(
+                                       ev.slot)));
+            t.addCell(ev.pid > 0.0 ? format("%.0f", ev.pid)
+                                   : std::string());
+            t.addCell(ev.detail);
+        }
+        t.render(os);
+    }
 
     const auto rows = stageRows(report.metrics);
     if (!rows.empty()) {
@@ -851,8 +910,30 @@ writeReportJson(std::ostream &os, const RunReport &report)
                static_cast<double>(report.faultsInjected));
     totals.set("checkpoints_written",
                static_cast<double>(report.checkpointsWritten));
+    totals.set("worker_starts",
+               static_cast<double>(report.workerStarts));
+    totals.set("worker_deaths",
+               static_cast<double>(report.workerDeaths));
+    totals.set("worker_restarts",
+               static_cast<double>(report.workerRestarts));
+    totals.set("quarantined_cells",
+               static_cast<double>(report.quarantinedCells));
     root.set("totals", std::move(totals));
     root.set("cells", std::move(cells));
+
+    if (!report.workerEvents.empty()) {
+        Value events = Value::array();
+        for (const auto &ev : report.workerEvents) {
+            Value e = Value::object();
+            e.set("t", ev.t);
+            e.set("event", ev.type);
+            e.set("slot", static_cast<double>(ev.slot));
+            e.set("pid", ev.pid);
+            e.set("detail", ev.detail);
+            events.push(std::move(e));
+        }
+        root.set("worker_events", std::move(events));
+    }
 
     Value stages = Value::array();
     double stageWall = 0.0, calibrateWall = 0.0;

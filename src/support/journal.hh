@@ -21,6 +21,10 @@
  *                      and thread-CPU seconds, restored-from-
  *                      checkpoint flag, deterministic metric value
  *   checkpoint-written checkpoint ordinal and cell count
+ *   worker-started     `--isolate procs`: supervisor spawned a worker
+ *   worker-died        a worker process exited or was killed
+ *   worker-restarted   a replacement worker took over the slot
+ *   cell-quarantined   a cell exhausted its crash budget (Degraded)
  *   run-end            totals plus an embedded metrics snapshot
  *
  * Every event carries `event`, `seq` (per-journal sequence number),
@@ -183,6 +187,20 @@ struct CellRecord
     }
 };
 
+/**
+ * One worker-lifecycle record from a process-isolated campaign
+ * (`--isolate procs`): spawn, death, restart or quarantine, in
+ * journal order.
+ */
+struct WorkerEventRecord
+{
+    double t = 0.0;     //!< seconds since journal open
+    std::string type;   //!< worker-started|worker-died|...
+    std::uint64_t slot = 0; //!< supervisor worker slot
+    double pid = 0.0;       //!< worker pid (0 for cell events)
+    std::string detail;     //!< exit status / quarantine reason
+};
+
 /** Aggregation of one or more journals of the same campaign. */
 struct RunReport
 {
@@ -205,6 +223,14 @@ struct RunReport
     std::size_t retries = 0;
     std::size_t faultsInjected = 0;
     std::size_t checkpointsWritten = 0;
+
+    /** Process-isolation lifecycle (zero in thread-mode runs). */
+    std::size_t workerStarts = 0;
+    std::size_t workerDeaths = 0;
+    std::size_t workerRestarts = 0;
+    std::size_t quarantinedCells = 0;
+    std::vector<WorkerEventRecord> workerEvents;
+
     std::map<std::string, CellRecord> cells; //!< keyed by pair
     MetricsSnapshot metrics; //!< merged run-end snapshots
 };

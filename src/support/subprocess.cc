@@ -1,0 +1,172 @@
+#include "subprocess.hh"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#ifdef __linux__
+#include <sys/prctl.h>
+#endif
+
+namespace savat::support {
+
+Pipe::Pipe(Pipe &&other) noexcept
+    : _read(other._read), _write(other._write)
+{
+    other._read = -1;
+    other._write = -1;
+}
+
+Pipe &Pipe::operator=(Pipe &&other) noexcept
+{
+    if (this != &other) {
+        closeBoth();
+        _read = other._read;
+        _write = other._write;
+        other._read = -1;
+        other._write = -1;
+    }
+    return *this;
+}
+
+bool Pipe::open()
+{
+    closeBoth();
+    int fds[2] = {-1, -1};
+#ifdef __linux__
+    if (::pipe2(fds, O_CLOEXEC) != 0)
+        return false;
+#else
+    if (::pipe(fds) != 0)
+        return false;
+    ::fcntl(fds[0], F_SETFD, FD_CLOEXEC);
+    ::fcntl(fds[1], F_SETFD, FD_CLOEXEC);
+#endif
+    _read = fds[0];
+    _write = fds[1];
+    return true;
+}
+
+void Pipe::closeRead()
+{
+    if (_read >= 0) {
+        ::close(_read);
+        _read = -1;
+    }
+}
+
+void Pipe::closeWrite()
+{
+    if (_write >= 0) {
+        ::close(_write);
+        _write = -1;
+    }
+}
+
+void Pipe::closeBoth()
+{
+    closeRead();
+    closeWrite();
+}
+
+int Pipe::releaseRead()
+{
+    const int fd = _read;
+    _read = -1;
+    return fd;
+}
+
+int Pipe::releaseWrite()
+{
+    const int fd = _write;
+    _write = -1;
+    return fd;
+}
+
+std::string ExitStatus::describe() const
+{
+    if (exited)
+        return "exit " + std::to_string(code);
+    if (signaled) {
+        std::string s = "signal " + std::to_string(signal);
+        if (const char *name = ::strsignal(signal)) {
+            s += " (";
+            s += name;
+            s += ")";
+        }
+        return s;
+    }
+    return "unknown";
+}
+
+pid_t forkProcess(const std::function<int()> &childMain)
+{
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+        // _Exit skips atexit handlers: the child inherited the
+        // parent's registered metrics/trace dumps and must not run
+        // them against copy-on-write state.
+        ::_Exit(childMain());
+    }
+    return pid;
+}
+
+bool waitProcess(pid_t pid, ExitStatus &status, bool block)
+{
+    int raw = 0;
+    for (;;) {
+        const pid_t r = ::waitpid(pid, &raw, block ? 0 : WNOHANG);
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            // ECHILD: already reaped elsewhere; report as unknown.
+            status = ExitStatus{};
+            return true;
+        }
+        if (r == 0)
+            return false;
+        break;
+    }
+    status = ExitStatus{};
+    if (WIFEXITED(raw)) {
+        status.exited = true;
+        status.code = WEXITSTATUS(raw);
+    } else if (WIFSIGNALED(raw)) {
+        status.signaled = true;
+        status.signal = WTERMSIG(raw);
+    }
+    return true;
+}
+
+void resetChildSignals()
+{
+    const int signals[] = {SIGSEGV, SIGABRT, SIGBUS,  SIGFPE, SIGILL,
+                           SIGINT,  SIGTERM, SIGPIPE, SIGHUP, SIGQUIT};
+    for (const int sig : signals)
+        ::signal(sig, SIG_DFL);
+    sigset_t none;
+    sigemptyset(&none);
+    ::sigprocmask(SIG_SETMASK, &none, nullptr);
+}
+
+void ignoreSigpipe()
+{
+    ::signal(SIGPIPE, SIG_IGN);
+}
+
+void dieWithParent()
+{
+#ifdef __linux__
+    ::prctl(PR_SET_PDEATHSIG, SIGKILL);
+    // If the parent already died between fork and prctl, leave now.
+    if (::getppid() == 1)
+        ::_Exit(1);
+#endif
+}
+
+} // namespace savat::support

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Thin fork/pipe/waitpid primitives for the process-isolated worker
+ * pool (savat::service). Kept deliberately small: the pool owns all
+ * policy (heartbeats, deadlines, restarts); this layer only makes
+ * the POSIX plumbing hard to misuse — children always leave via
+ * _Exit so they never run the parent's atexit hooks (metrics dumps,
+ * stream flushes) against inherited state.
+ */
+
+#ifndef SAVAT_SUPPORT_SUBPROCESS_HH
+#define SAVAT_SUPPORT_SUBPROCESS_HH
+
+#include <functional>
+#include <string>
+
+#include <sys/types.h>
+
+namespace savat::support {
+
+/**
+ * An anonymous pipe; both ends start owned. close*() is idempotent
+ * and the destructor releases whatever is still open.
+ */
+class Pipe
+{
+  public:
+    Pipe() = default;
+    ~Pipe() { closeBoth(); }
+    Pipe(const Pipe &) = delete;
+    Pipe &operator=(const Pipe &) = delete;
+    Pipe(Pipe &&other) noexcept;
+    Pipe &operator=(Pipe &&other) noexcept;
+
+    /** Create the pipe (close-on-exec). False + errno on failure. */
+    bool open();
+
+    int readFd() const { return _read; }
+    int writeFd() const { return _write; }
+
+    void closeRead();
+    void closeWrite();
+    void closeBoth();
+
+    /** Drop ownership of one end (e.g. after handing it to a slot
+     * table that outlives this object); returns the fd. */
+    int releaseRead();
+    int releaseWrite();
+
+  private:
+    int _read = -1;
+    int _write = -1;
+};
+
+/** Decoded wait(2) status with a human-readable crash description. */
+struct ExitStatus
+{
+    bool exited = false;   //!< normal termination (code valid)
+    int code = 0;          //!< exit code when `exited`
+    bool signaled = false; //!< killed by signal (signal valid)
+    int signal = 0;        //!< terminating signal when `signaled`
+
+    /** "exit 3", "signal 9 (Killed)", or "unknown". */
+    std::string describe() const;
+};
+
+/**
+ * Fork and run `childMain` in the child; the child terminates via
+ * _Exit(childMain()) and never returns to the caller. Returns the
+ * child pid in the parent, or -1 with errno on fork failure.
+ */
+pid_t forkProcess(const std::function<int()> &childMain);
+
+/**
+ * Reap `pid`. With block=false uses WNOHANG and returns false while
+ * the child is still running; true fills `status` once reaped.
+ */
+bool waitProcess(pid_t pid, ExitStatus &status, bool block);
+
+/**
+ * Restore default dispositions for the signals the parent may have
+ * customized (crash handlers, SIGINT) and unblock everything — call
+ * first thing in a forked child so inherited handlers never run
+ * against the parent's (now copy-on-write) state.
+ */
+void resetChildSignals();
+
+/**
+ * Ignore SIGPIPE process-wide so a write to a dead worker surfaces
+ * as EPIPE from write(2) instead of killing the supervisor.
+ */
+void ignoreSigpipe();
+
+/**
+ * Linux only: arrange for the calling process to receive SIGKILL
+ * when its parent dies, so orphaned workers cannot outlive a
+ * crashed supervisor. No-op elsewhere.
+ */
+void dieWithParent();
+
+} // namespace savat::support
+
+#endif // SAVAT_SUPPORT_SUBPROCESS_HH

@@ -1,0 +1,231 @@
+#include "wire.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <unistd.h>
+
+#include "crc32.hh"
+
+namespace savat::support {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x31575653u; // "SVW1" little-endian
+
+constexpr std::size_t kHeaderBytes = 4 + 1 + 4 + 4;
+
+void appendU32(std::string &out, std::uint32_t v)
+{
+    out.push_back(static_cast<char>(v & 0xFFu));
+    out.push_back(static_cast<char>((v >> 8) & 0xFFu));
+    out.push_back(static_cast<char>((v >> 16) & 0xFFu));
+    out.push_back(static_cast<char>((v >> 24) & 0xFFu));
+}
+
+std::uint32_t peekU32(const char *p)
+{
+    const auto *u = reinterpret_cast<const unsigned char *>(p);
+    return static_cast<std::uint32_t>(u[0]) |
+           (static_cast<std::uint32_t>(u[1]) << 8) |
+           (static_cast<std::uint32_t>(u[2]) << 16) |
+           (static_cast<std::uint32_t>(u[3]) << 24);
+}
+
+bool validFrameType(std::uint8_t raw)
+{
+    return raw >= static_cast<std::uint8_t>(FrameType::Measure) &&
+           raw <= static_cast<std::uint8_t>(FrameType::CellDone);
+}
+
+/// CRC over the mutable header fields plus the payload, so a
+/// corrupted type or length is caught even when the payload is empty.
+std::uint32_t frameCrc(FrameType type, const std::string &payload)
+{
+    std::string head;
+    head.push_back(static_cast<char>(type));
+    appendU32(head, static_cast<std::uint32_t>(payload.size()));
+    std::uint32_t crc = crc32(head.data(), head.size());
+    return crc32(payload.data(), payload.size(), crc);
+}
+
+} // namespace
+
+const char *frameTypeName(FrameType type)
+{
+    switch (type) {
+    case FrameType::Measure:
+        return "measure";
+    case FrameType::Shutdown:
+        return "shutdown";
+    case FrameType::Heartbeat:
+        return "heartbeat";
+    case FrameType::CellRetry:
+        return "cell-retry";
+    case FrameType::CellFault:
+        return "cell-fault";
+    case FrameType::CellDone:
+        return "cell-done";
+    }
+    return "unknown";
+}
+
+void appendU64(std::string &out, std::uint64_t v)
+{
+    for (int shift = 0; shift < 64; shift += 8)
+        out.push_back(static_cast<char>((v >> shift) & 0xFFu));
+}
+
+void appendF64(std::string &out, double v)
+{
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    appendU64(out, bits);
+}
+
+bool readU64(const std::string &payload, std::size_t &offset,
+             std::uint64_t &out)
+{
+    if (offset + 8 > payload.size())
+        return false;
+    const auto *u =
+        reinterpret_cast<const unsigned char *>(payload.data() + offset);
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i)
+        v = (v << 8) | u[i];
+    out = v;
+    offset += 8;
+    return true;
+}
+
+bool readF64(const std::string &payload, std::size_t &offset,
+             double &out)
+{
+    std::uint64_t bits = 0;
+    if (!readU64(payload, offset, bits))
+        return false;
+    std::memcpy(&out, &bits, sizeof(out));
+    return true;
+}
+
+std::string encodeFrame(const Frame &frame)
+{
+    std::string out;
+    out.reserve(kHeaderBytes + frame.payload.size());
+    appendU32(out, kMagic);
+    out.push_back(static_cast<char>(frame.type));
+    appendU32(out, static_cast<std::uint32_t>(frame.payload.size()));
+    appendU32(out, frameCrc(frame.type, frame.payload));
+    out += frame.payload;
+    return out;
+}
+
+bool writeFrame(int fd, const Frame &frame)
+{
+    const std::string bytes = encodeFrame(frame);
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+        const ssize_t n =
+            ::write(fd, bytes.data() + off, bytes.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (n == 0)
+            return false;
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+void WireReader::feed(const char *data, std::size_t size)
+{
+    // Compact once the consumed prefix dominates, so a long-lived
+    // reader does not grow without bound.
+    if (_pos > 4096 && _pos * 2 > _buf.size()) {
+        _buf.erase(0, _pos);
+        _pos = 0;
+    }
+    _buf.append(data, size);
+}
+
+WireStatus WireReader::next(Frame &out, std::string *error)
+{
+    if (_corrupt) {
+        if (error)
+            *error = _corruptError;
+        return WireStatus::Corrupt;
+    }
+    const std::size_t avail = _buf.size() - _pos;
+    if (avail < kHeaderBytes)
+        return WireStatus::NeedMore;
+    const char *head = _buf.data() + _pos;
+    const std::uint32_t magic = peekU32(head);
+    const std::uint8_t rawType = static_cast<std::uint8_t>(head[4]);
+    const std::uint32_t length = peekU32(head + 5);
+    const std::uint32_t crc = peekU32(head + 9);
+    if (magic != kMagic) {
+        _corrupt = true;
+        _corruptError = "bad frame magic";
+    } else if (!validFrameType(rawType)) {
+        _corrupt = true;
+        _corruptError = "unknown frame type " + std::to_string(rawType);
+    } else if (length > kMaxFramePayload) {
+        _corrupt = true;
+        _corruptError =
+            "frame length " + std::to_string(length) + " exceeds cap";
+    }
+    if (_corrupt) {
+        if (error)
+            *error = _corruptError;
+        return WireStatus::Corrupt;
+    }
+    if (avail < kHeaderBytes + length)
+        return WireStatus::NeedMore;
+    const FrameType type = static_cast<FrameType>(rawType);
+    std::string payload(_buf.data() + _pos + kHeaderBytes, length);
+    if (frameCrc(type, payload) != crc) {
+        _corrupt = true;
+        _corruptError = std::string("frame crc mismatch (") +
+                        frameTypeName(type) + ")";
+        if (error)
+            *error = _corruptError;
+        return WireStatus::Corrupt;
+    }
+    _pos += kHeaderBytes + length;
+    out.type = type;
+    out.payload = std::move(payload);
+    return WireStatus::Frame;
+}
+
+bool readFrameBlocking(int fd, WireReader &reader, Frame &out,
+                       std::string *error)
+{
+    for (;;) {
+        const WireStatus status = reader.next(out, error);
+        if (status == WireStatus::Frame)
+            return true;
+        if (status == WireStatus::Corrupt)
+            return false;
+        char buf[4096];
+        const ssize_t n = ::read(fd, buf, sizeof(buf));
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (error)
+                *error = std::string("read: ") + std::strerror(errno);
+            return false;
+        }
+        if (n == 0) {
+            if (error)
+                *error = reader.pendingBytes() > 0
+                             ? "eof mid-frame"
+                             : "eof";
+            return false;
+        }
+        reader.feed(buf, static_cast<std::size_t>(n));
+    }
+}
+
+} // namespace savat::support

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * savat-worker-wire-v1: the length-prefixed, CRC-guarded frame
+ * protocol between a campaign supervisor and its forked worker
+ * processes (savat::service::WorkerPool).
+ *
+ * A frame is a fixed little-endian header followed by the payload:
+ *
+ *   u32 magic      0x31575653 ("SVW1")
+ *   u8  type       FrameType
+ *   u32 length     payload bytes (<= kMaxFramePayload)
+ *   u32 crc        CRC-32 over type, length and the payload bytes
+ *   ... payload
+ *
+ * The CRC covers the header's type/length fields as well as the
+ * payload, so a bit flip anywhere in the frame is detected, and a
+ * frame torn by a worker dying mid-write is distinguishable from
+ * "more bytes still in flight" only at EOF — which is exactly the
+ * distinction the supervisor needs (a closed pipe with a partial
+ * frame means the worker died mid-send and the in-flight cell must
+ * be re-dispatched).
+ *
+ * Payloads are packed with the appendU64/appendF64 helpers (64-bit
+ * little-endian words; doubles travel as their IEEE-754 bit
+ * patterns, so samples survive the pipe bit-exactly). Frame grammar
+ * (supervisor <-> worker):
+ *
+ *   Measure    u64 cell, u64 dispatchAttempt        parent -> child
+ *   Shutdown   (empty)                              parent -> child
+ *   Heartbeat  i64 cell (-1 idle), u64 seq          child -> parent
+ *   CellRetry  u64 cell, u64 attempt, f64 backoff,
+ *              error text                           child -> parent
+ *   CellFault  u64 cell, u64 attempt, kind text     child -> parent
+ *   CellDone   u64 cell, f64 wall_s, f64 cpu_s,
+ *              one-cell checkpoint text             child -> parent
+ */
+
+#ifndef SAVAT_SUPPORT_WIRE_HH
+#define SAVAT_SUPPORT_WIRE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace savat::support {
+
+/** Wire schema identifier (journaled in proc-mode run-start). */
+inline constexpr const char *kWireSchema = "savat-worker-wire-v1";
+
+/** Hard payload cap: a length field past this is corruption. */
+inline constexpr std::size_t kMaxFramePayload = 1u << 30;
+
+/** Frame types; values are wire-stable. */
+enum class FrameType : std::uint8_t
+{
+    Measure = 1,   //!< parent -> child: measure one cell
+    Shutdown = 2,  //!< parent -> child: drain and exit
+    Heartbeat = 3, //!< child -> parent: liveness tick
+    CellRetry = 4, //!< child -> parent: one failed attempt
+    CellFault = 5, //!< child -> parent: injected fault fired
+    CellDone = 6,  //!< child -> parent: terminal cell result
+};
+
+/** Stable lower-case name for logs and journals. */
+const char *frameTypeName(FrameType type);
+
+/** One decoded frame. */
+struct Frame
+{
+    FrameType type = FrameType::Heartbeat;
+    std::string payload;
+};
+
+/** Append a 64-bit word, little-endian. */
+void appendU64(std::string &out, std::uint64_t v);
+
+/** Append a double as its IEEE-754 bit pattern (bit-exact). */
+void appendF64(std::string &out, double v);
+
+/**
+ * Cursor-based payload reader; each read*() advances `offset` and
+ * returns false on a short payload (leaving outputs untouched).
+ */
+bool readU64(const std::string &payload, std::size_t &offset,
+             std::uint64_t &out);
+bool readF64(const std::string &payload, std::size_t &offset,
+             double &out);
+
+/** Serialize one frame (header + payload) to bytes. */
+std::string encodeFrame(const Frame &frame);
+
+/**
+ * Write a frame to `fd` with a retry loop (EINTR-safe). Returns
+ * false once any write fails — e.g. EPIPE after the peer died; the
+ * caller must have SIGPIPE ignored.
+ */
+bool writeFrame(int fd, const Frame &frame);
+
+/** Decoder outcome for one attempt to pull a frame off the buffer. */
+enum class WireStatus : std::uint8_t
+{
+    Frame,    //!< a complete, CRC-clean frame was produced
+    NeedMore, //!< buffer holds only a prefix; feed more bytes
+    Corrupt,  //!< bad magic / oversized length / CRC mismatch
+};
+
+/**
+ * Incremental frame decoder over a byte stream. feed() appends raw
+ * pipe bytes; next() pulls complete frames out. A Corrupt result
+ * poisons the stream permanently — after corruption, resynchronizing
+ * with a byte-oriented peer is hopeless and the worker must be
+ * treated as compromised.
+ */
+class WireReader
+{
+  public:
+    void feed(const char *data, std::size_t size);
+
+    /**
+     * Decode the next frame. On Corrupt, `error` (when non-null)
+     * describes the damage and every further call returns Corrupt.
+     */
+    WireStatus next(Frame &out, std::string *error = nullptr);
+
+    /** Undecoded bytes currently buffered (a partial frame at EOF
+     * means the peer died mid-send). */
+    std::size_t pendingBytes() const { return _buf.size() - _pos; }
+
+  private:
+    std::string _buf;
+    std::size_t _pos = 0;
+    bool _corrupt = false;
+    std::string _corruptError;
+};
+
+/**
+ * Blocking read loop for the single-threaded worker side: pull
+ * bytes from `fd` until one frame completes. Returns false on EOF,
+ * read error, or corruption (workers treat all three as "parent is
+ * gone; exit").
+ */
+bool readFrameBlocking(int fd, WireReader &reader, Frame &out,
+                       std::string *error = nullptr);
+
+} // namespace savat::support
+
+#endif // SAVAT_SUPPORT_WIRE_HH

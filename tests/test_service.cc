@@ -1,0 +1,435 @@
+/**
+ * @file
+ * Tests for the crash-isolated worker pool (service/pool.hh) and its
+ * savat-worker-wire-v1 frame protocol (support/wire.hh): frame
+ * round-trips survive byte-at-a-time delivery, corruption poisons
+ * the stream permanently, a torn frame is distinguishable at EOF; a
+ * worker SIGKILLed mid-cell is restarted and the cell recovers, an
+ * always-crashing cell is quarantined after its budget instead of
+ * wedging the run, frozen workers die by heartbeat timeout and slow
+ * cells by deadline; and the headline invariant — a process-isolated
+ * campaign reproduces the golden fixture byte for byte at workers 1
+ * and 4, including across an injected worker death.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <csignal>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/campaign.hh"
+#include "core/report.hh"
+#include "pipeline/replay.hh"
+#include "service/pool.hh"
+#include "support/wire.hh"
+
+namespace savat {
+namespace {
+
+using kernels::EventKind;
+using support::Frame;
+using support::FrameType;
+using support::WireReader;
+using support::WireStatus;
+
+// ---------------------------------------------------------------
+// Wire protocol.
+
+TEST(ServiceWire, PayloadWordsRoundTripBitExact)
+{
+    std::string payload;
+    support::appendU64(payload, 0);
+    support::appendU64(payload, 0xDEADBEEFCAFEF00Dull);
+    support::appendF64(payload, -0.0);
+    support::appendF64(payload, 6.62607015e-34);
+
+    std::size_t off = 0;
+    std::uint64_t a = 1, b = 0;
+    double x = 0.0, y = 0.0;
+    ASSERT_TRUE(support::readU64(payload, off, a));
+    ASSERT_TRUE(support::readU64(payload, off, b));
+    ASSERT_TRUE(support::readF64(payload, off, x));
+    ASSERT_TRUE(support::readF64(payload, off, y));
+    EXPECT_EQ(a, 0u);
+    EXPECT_EQ(b, 0xDEADBEEFCAFEF00Dull);
+    EXPECT_EQ(x, 0.0);
+    EXPECT_TRUE(std::signbit(x));
+    EXPECT_EQ(y, 6.62607015e-34);
+    EXPECT_EQ(off, payload.size());
+
+    // A short payload fails without advancing the cursor.
+    std::uint64_t extra = 7;
+    ASSERT_FALSE(support::readU64(payload, off, extra));
+    EXPECT_EQ(extra, 7u);
+    EXPECT_EQ(off, payload.size());
+}
+
+TEST(ServiceWire, FramesSurviveByteAtATimeDelivery)
+{
+    // Frames with empty, textual and binary (NUL-bearing) payloads.
+    const std::vector<Frame> sent = {
+        {FrameType::Shutdown, ""},
+        {FrameType::CellRetry, std::string("err\0bin", 7)},
+        {FrameType::CellDone, std::string(4096, 'x')},
+    };
+    std::string bytes;
+    for (const auto &f : sent)
+        bytes += support::encodeFrame(f);
+
+    WireReader reader;
+    std::vector<Frame> got;
+    for (const char c : bytes) {
+        reader.feed(&c, 1);
+        Frame f;
+        std::string error;
+        const WireStatus st = reader.next(f, &error);
+        ASSERT_NE(st, WireStatus::Corrupt) << error;
+        if (st == WireStatus::Frame)
+            got.push_back(std::move(f));
+    }
+    ASSERT_EQ(got.size(), sent.size());
+    for (std::size_t i = 0; i < sent.size(); ++i) {
+        EXPECT_EQ(got[i].type, sent[i].type);
+        EXPECT_EQ(got[i].payload, sent[i].payload);
+    }
+    EXPECT_EQ(reader.pendingBytes(), 0u);
+}
+
+TEST(ServiceWire, TornFrameIsVisibleAsPendingBytes)
+{
+    const std::string bytes = support::encodeFrame(
+        {FrameType::CellDone, "partial result"});
+    WireReader reader;
+    reader.feed(bytes.data(), bytes.size() - 1);
+    Frame f;
+    EXPECT_EQ(reader.next(f), WireStatus::NeedMore);
+    // The supervisor's "worker died mid-send" signal: EOF with a
+    // partial frame still buffered.
+    EXPECT_GT(reader.pendingBytes(), 0u);
+
+    reader.feed(bytes.data() + bytes.size() - 1, 1);
+    ASSERT_EQ(reader.next(f), WireStatus::Frame);
+    EXPECT_EQ(f.payload, "partial result");
+    EXPECT_EQ(reader.pendingBytes(), 0u);
+}
+
+TEST(ServiceWire, CorruptionIsPermanent)
+{
+    std::string bytes = support::encodeFrame(
+        {FrameType::Heartbeat, "abcdefgh"});
+    bytes.back() ^= 0x01; // flip one payload bit -> CRC mismatch
+
+    WireReader reader;
+    reader.feed(bytes.data(), bytes.size());
+    Frame f;
+    std::string error;
+    EXPECT_EQ(reader.next(f, &error), WireStatus::Corrupt);
+    EXPECT_FALSE(error.empty());
+
+    // Even a pristine frame cannot revive a poisoned stream.
+    const std::string clean =
+        support::encodeFrame({FrameType::Shutdown, ""});
+    reader.feed(clean.data(), clean.size());
+    EXPECT_EQ(reader.next(f), WireStatus::Corrupt);
+}
+
+TEST(ServiceWire, BadMagicAndOversizedLengthAreCorrupt)
+{
+    {
+        std::string bytes = support::encodeFrame(
+            {FrameType::Measure, "zz"});
+        bytes[0] = 'X'; // clobber the magic
+        WireReader reader;
+        reader.feed(bytes.data(), bytes.size());
+        Frame f;
+        EXPECT_EQ(reader.next(f), WireStatus::Corrupt);
+    }
+    {
+        // A length field past kMaxFramePayload must be rejected from
+        // the header alone -- no gigabyte of buffering required.
+        std::string bytes = support::encodeFrame(
+            {FrameType::Measure, "zz"});
+        bytes[5] = '\xFF';
+        bytes[6] = '\xFF';
+        bytes[7] = '\xFF';
+        bytes[8] = '\x7F';
+        WireReader reader;
+        reader.feed(bytes.data(), bytes.size());
+        Frame f;
+        EXPECT_EQ(reader.next(f), WireStatus::Corrupt);
+    }
+}
+
+// ---------------------------------------------------------------
+// The pool itself, driven directly with synthetic cell functions.
+// Cells run in forked children, so std::_Exit / raise() here kill a
+// worker, not the test binary.
+
+struct PoolRun
+{
+    service::PoolStats stats;
+    std::map<std::size_t, std::string> payloads;
+    std::map<std::size_t, std::size_t> quarantined; // cell -> crashes
+    std::string lastQuarantineReason;
+    std::size_t workerDeaths = 0;
+};
+
+PoolRun
+drive(const service::PoolConfig &config, std::size_t cells,
+      const service::WorkerFactory &factory)
+{
+    PoolRun run;
+    std::vector<std::size_t> ids(cells);
+    for (std::size_t i = 0; i < cells; ++i)
+        ids[i] = i;
+    service::PoolCallbacks cb;
+    cb.onCellDone = [&](std::size_t cell, double, double,
+                        const std::string &payload) {
+        run.payloads[cell] = payload;
+    };
+    cb.onQuarantine = [&](std::size_t cell, std::size_t crashes,
+                          const std::string &reason) {
+        run.quarantined[cell] = crashes;
+        run.lastQuarantineReason = reason;
+    };
+    cb.onWorkerEvent = [&](std::size_t, std::int64_t,
+                           service::WorkerEvent event,
+                           const std::string &) {
+        run.workerDeaths += event == service::WorkerEvent::Died;
+    };
+    run.stats = service::runPool(config, ids, factory, cb);
+    return run;
+}
+
+std::string
+cellPayload(std::size_t cell)
+{
+    return "cell-" + std::to_string(cell) + "-result";
+}
+
+TEST(ServicePool, CompletesEveryCellAcrossWorkers)
+{
+    service::PoolConfig config;
+    config.workers = 3;
+    const auto run = drive(config, 8, []() -> service::CellFn {
+        return [](service::WorkerContext &, std::size_t cell,
+                  std::size_t) { return cellPayload(cell); };
+    });
+    EXPECT_EQ(run.stats.dispatched, 8u);
+    EXPECT_EQ(run.stats.completed, 8u);
+    EXPECT_EQ(run.stats.deaths, 0u);
+    EXPECT_EQ(run.stats.quarantined, 0u);
+    ASSERT_EQ(run.payloads.size(), 8u);
+    for (std::size_t c = 0; c < 8; ++c)
+        EXPECT_EQ(run.payloads.at(c), cellPayload(c));
+}
+
+TEST(ServicePool, KilledWorkerIsRestartedAndCellRecovers)
+{
+    service::PoolConfig config;
+    // One worker, so finishing the queue *requires* a restart (a
+    // surviving sibling would otherwise drain it first -- respawns
+    // are lazy and never fork workers the run no longer needs).
+    config.workers = 1;
+    config.restart.backoffSeconds = 0.01;
+    const auto run = drive(config, 6, []() -> service::CellFn {
+        return [](service::WorkerContext &, std::size_t cell,
+                  std::size_t dispatchAttempt) {
+            // Cell 3's first dispatch dies the way `kill -9` would;
+            // the replacement worker must complete it.
+            if (cell == 3 && dispatchAttempt == 0)
+                std::_Exit(137);
+            return cellPayload(cell);
+        };
+    });
+    EXPECT_EQ(run.stats.completed, 6u);
+    EXPECT_EQ(run.stats.deaths, 1u);
+    EXPECT_GE(run.stats.restarts, 1u);
+    EXPECT_EQ(run.stats.quarantined, 0u);
+    EXPECT_EQ(run.workerDeaths, 1u);
+    EXPECT_EQ(run.payloads.at(3), cellPayload(3));
+}
+
+TEST(ServicePool, AlwaysCrashingCellIsQuarantined)
+{
+    service::PoolConfig config;
+    config.workers = 2;
+    config.restart.maxAttempts = 2; // the per-cell crash budget
+    config.restart.backoffSeconds = 0.01;
+    const auto run = drive(config, 4, []() -> service::CellFn {
+        return [](service::WorkerContext &, std::size_t cell,
+                  std::size_t) {
+            if (cell == 1)
+                std::_Exit(42); // poisoned on every dispatch
+            return cellPayload(cell);
+        };
+    });
+    EXPECT_EQ(run.stats.quarantined, 1u);
+    EXPECT_EQ(run.stats.completed, 3u);
+    EXPECT_EQ(run.stats.deaths, 2u);
+    ASSERT_EQ(run.quarantined.count(1), 1u);
+    EXPECT_EQ(run.quarantined.at(1), 2u);
+    EXPECT_NE(run.lastQuarantineReason.find("42"),
+              std::string::npos)
+        << run.lastQuarantineReason;
+    // The poisoned cell cost itself, nothing else.
+    EXPECT_EQ(run.payloads.count(1), 0u);
+    EXPECT_EQ(run.payloads.size(), 3u);
+}
+
+TEST(ServicePool, FrozenWorkerDiesByHeartbeatTimeout)
+{
+    service::PoolConfig config;
+    config.workers = 1;
+    config.heartbeatSeconds = 0.05;
+    config.heartbeatTimeoutSeconds = 1.5;
+    config.restart.backoffSeconds = 0.01;
+    const auto run = drive(config, 2, []() -> service::CellFn {
+        return [](service::WorkerContext &, std::size_t cell,
+                  std::size_t dispatchAttempt) {
+            // SIGSTOP freezes the whole process including its
+            // heartbeat thread -- exactly the hang class heartbeats
+            // exist to catch. The retry dispatch completes normally.
+            if (cell == 0 && dispatchAttempt == 0)
+                ::raise(SIGSTOP);
+            return cellPayload(cell);
+        };
+    });
+    EXPECT_EQ(run.stats.completed, 2u);
+    EXPECT_GE(run.stats.deaths, 1u);
+    EXPECT_EQ(run.stats.quarantined, 0u);
+    EXPECT_EQ(run.payloads.at(0), cellPayload(0));
+}
+
+TEST(ServicePool, SlowCellDiesByDeadline)
+{
+    service::PoolConfig config;
+    config.workers = 1;
+    config.cellDeadlineSeconds = 1.0;
+    config.restart.backoffSeconds = 0.01;
+    const auto run = drive(config, 2, []() -> service::CellFn {
+        return [](service::WorkerContext &, std::size_t cell,
+                  std::size_t dispatchAttempt) {
+            // Heartbeats keep flowing (the heartbeat thread is
+            // alive), so only the per-cell deadline can catch this.
+            if (cell == 1 && dispatchAttempt == 0)
+                std::this_thread::sleep_for(
+                    std::chrono::seconds(30));
+            return cellPayload(cell);
+        };
+    });
+    EXPECT_EQ(run.stats.completed, 2u);
+    EXPECT_GE(run.stats.deaths, 1u);
+    EXPECT_EQ(run.stats.quarantined, 0u);
+    EXPECT_EQ(run.payloads.at(1), cellPayload(1));
+}
+
+// ---------------------------------------------------------------
+// Campaign-level integration: die faults route through workers.
+
+TEST(ServiceCampaignProcs, DieFaultRecoversByteIdentical)
+{
+    core::CampaignConfig base;
+    base.events = {EventKind::ADD, EventKind::LDM, EventKind::MUL};
+    base.repetitions = 2;
+    base.isolate = core::IsolateMode::Procs;
+    base.workers = 1;
+    const auto clean = core::runCampaign(base);
+
+    auto faulted = base;
+    faulted.workers = 2;
+    faulted.faultPlan = "die@4";
+    faulted.retry.backoffSeconds = 0.01;
+    const auto recovered = core::runCampaign(faulted);
+
+    std::ostringstream a, b;
+    core::printMatrixFixture(a, clean.matrix);
+    core::printMatrixFixture(b, recovered.matrix);
+    EXPECT_EQ(a.str(), b.str());
+    EXPECT_EQ(recovered.degradedCells(), 0u);
+    for (const auto &h : recovered.health)
+        EXPECT_EQ(h.state, pipeline::CellState::Measured);
+}
+
+TEST(ServiceCampaignProcs, AlwaysDyingCellIsQuarantinedDegraded)
+{
+    core::CampaignConfig cfg;
+    cfg.events = {EventKind::ADD, EventKind::LDM, EventKind::MUL};
+    cfg.repetitions = 2;
+    cfg.isolate = core::IsolateMode::Procs;
+    cfg.workers = 2;
+    cfg.faultPlan = "die@4:always";
+    cfg.retry.maxAttempts = 2;
+    cfg.retry.backoffSeconds = 0.01;
+    const auto res = core::runCampaign(cfg);
+
+    EXPECT_EQ(res.degradedCells(), 1u);
+    ASSERT_EQ(res.health.size(), 9u);
+    EXPECT_EQ(res.health[4].state, pipeline::CellState::Degraded);
+    EXPECT_NE(res.health[4].lastError.find("worker lost"),
+              std::string::npos)
+        << res.health[4].lastError;
+    // Quarantine cost one cell: every other pair measured clean.
+    for (std::size_t p = 0; p < res.health.size(); ++p) {
+        if (p == 4)
+            continue;
+        EXPECT_EQ(res.health[p].state, pipeline::CellState::Measured)
+            << "pair " << p;
+    }
+}
+
+// ---------------------------------------------------------------
+// The headline invariant: process isolation perturbs nothing. The
+// full campaign under forked workers reproduces the golden fixture
+// byte for byte, at one worker and under parallel sharding.
+
+class ServiceGoldenCampaign : public ::testing::Test
+{
+  protected:
+    static std::string
+    golden()
+    {
+        std::ifstream in(SAVAT_SOURCE_DIR
+                         "/tests/data/golden_em_core2duo.fixture",
+                         std::ios::binary);
+        EXPECT_TRUE(in.good());
+        std::ostringstream oss;
+        oss << in.rdbuf();
+        return oss.str();
+    }
+
+    static void
+    procsRunMatchesGolden(std::size_t workers)
+    {
+        core::CampaignConfig cfg;
+        cfg.repetitions = 2;
+        cfg.isolate = core::IsolateMode::Procs;
+        cfg.workers = workers;
+        const auto res = core::runCampaign(cfg);
+
+        std::ostringstream oss;
+        core::printMatrixFixture(oss, res.matrix);
+        EXPECT_EQ(oss.str(), golden());
+        EXPECT_EQ(res.degradedCells(), 0u);
+    }
+};
+
+TEST_F(ServiceGoldenCampaign, Workers1)
+{
+    procsRunMatchesGolden(1);
+}
+
+TEST_F(ServiceGoldenCampaign, Workers4)
+{
+    procsRunMatchesGolden(4);
+}
+
+} // namespace
+} // namespace savat
